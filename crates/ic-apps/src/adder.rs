@@ -1,0 +1,168 @@
+//! Carry-lookahead addition via parallel prefix (§6.1).
+//!
+//! The paper lists carry-lookahead addition among the "microscopic"
+//! computations that the scan operator enables. The carry recurrence
+//! `c_{i+1} = g_i ∨ (p_i ∧ c_i)` (generate/propagate) is a linear
+//! recurrence over the associative *carry operator*
+//!
+//! ```text
+//! (g, p) * (g', p') = (g' ∨ (p' ∧ g), p ∧ p')
+//! ```
+//!
+//! so all carries fall out of one `*`-parallel-prefix over the per-bit
+//! (generate, propagate) pairs — computed here through the `P_n` dag in
+//! its IC-optimal schedule, and checked against native integer
+//! addition.
+
+use crate::scan::scan_via_dag;
+
+/// A generate/propagate pair — the scan's carrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenProp {
+    /// This span *generates* a carry out regardless of carry in.
+    pub generate: bool,
+    /// This span *propagates* a carry in to a carry out.
+    pub propagate: bool,
+}
+
+/// The associative carry operator: `a` spans the lower bits, `b` the
+/// upper bits; the combination spans both.
+pub fn carry_op(a: &GenProp, b: &GenProp) -> GenProp {
+    GenProp {
+        generate: b.generate || (b.propagate && a.generate),
+        propagate: a.propagate && b.propagate,
+    }
+}
+
+/// Add two `width`-bit numbers (given LSB-first as bit slices) with a
+/// carry-lookahead adder whose carry chain is computed by the parallel-
+/// prefix dag. Returns the LSB-first sum, `width + 1` bits.
+///
+/// # Panics
+/// Panics if the inputs' lengths differ or are empty.
+pub fn add_lookahead(a_bits: &[bool], b_bits: &[bool]) -> Vec<bool> {
+    assert_eq!(a_bits.len(), b_bits.len(), "operand widths must match");
+    assert!(!a_bits.is_empty(), "zero-width addition");
+    // Per-bit generate/propagate.
+    let gp: Vec<GenProp> = a_bits
+        .iter()
+        .zip(b_bits)
+        .map(|(&a, &b)| GenProp {
+            generate: a && b,
+            propagate: a || b,
+        })
+        .collect();
+    // Inclusive scan: prefix[i] spans bits 0..=i, so carry into bit i+1
+    // is prefix[i].generate (carry-in to bit 0 is false).
+    let prefix = scan_via_dag(&gp, carry_op);
+    let width = a_bits.len();
+    let mut out = Vec::with_capacity(width + 1);
+    for i in 0..width {
+        let carry_in = if i == 0 {
+            false
+        } else {
+            prefix[i - 1].generate
+        };
+        out.push(a_bits[i] ^ b_bits[i] ^ carry_in);
+    }
+    out.push(prefix[width - 1].generate);
+    out
+}
+
+/// Convenience: add two `u64`s through the lookahead adder (65-bit
+/// result returned as u128).
+///
+/// ```
+/// assert_eq!(ic_apps::adder::add_u64(u64::MAX, 1), 1u128 << 64);
+/// ```
+pub fn add_u64(a: u64, b: u64) -> u128 {
+    let bits = |x: u64| (0..64).map(|i| x >> i & 1 == 1).collect::<Vec<_>>();
+    let sum = add_lookahead(&bits(a), &bits(b));
+    sum.iter()
+        .enumerate()
+        .fold(0u128, |acc, (i, &bit)| acc | (u128::from(bit) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carry_op_is_associative() {
+        let vals = [
+            GenProp {
+                generate: false,
+                propagate: false,
+            },
+            GenProp {
+                generate: false,
+                propagate: true,
+            },
+            GenProp {
+                generate: true,
+                propagate: false,
+            },
+            GenProp {
+                generate: true,
+                propagate: true,
+            },
+        ];
+        for a in vals {
+            for b in vals {
+                for c in vals {
+                    let left = carry_op(&carry_op(&a, &b), &c);
+                    let right = carry_op(&a, &carry_op(&b, &c));
+                    assert_eq!(left, right, "associativity of the carry operator");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn small_sums() {
+        assert_eq!(add_u64(0, 0), 0);
+        assert_eq!(add_u64(1, 1), 2);
+        assert_eq!(add_u64(5, 7), 12);
+        assert_eq!(add_u64(0xFF, 1), 0x100);
+    }
+
+    #[test]
+    fn carries_ripple_through() {
+        // All-ones + 1 overflows into the 65th bit.
+        assert_eq!(add_u64(u64::MAX, 1), 1u128 << 64);
+        assert_eq!(add_u64(u64::MAX, u64::MAX), (u128::from(u64::MAX)) * 2);
+    }
+
+    #[test]
+    fn random_sums_match_native() {
+        let mut s = 0xADD5EEDu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..200 {
+            let (a, b) = (next(), next());
+            assert_eq!(add_u64(a, b), u128::from(a) + u128::from(b));
+        }
+    }
+
+    #[test]
+    fn odd_widths_work() {
+        // 5-bit addition: 19 + 13 = 32 (overflow bit set).
+        let bits = |x: u32, w: usize| (0..w).map(|i| x >> i & 1 == 1).collect::<Vec<_>>();
+        let sum = add_lookahead(&bits(19, 5), &bits(13, 5));
+        let value: u32 = sum
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (i, &b)| acc | (u32::from(b) << i));
+        assert_eq!(value, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must match")]
+    fn mismatched_widths_panic() {
+        let _ = add_lookahead(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,192 @@
+//! The Discrete Laplace Transform (Z-Transform), §6.2.1.
+//!
+//! `y_k(ω) = Σ_{i=0}^{n-1} x_i ω^{ik}` (6.4), computed two ways — the
+//! paper presents both because they trade generator structure for
+//! in-tree balance, and both admit IC-optimal schedules:
+//!
+//! * **via parallel prefix** (`L_n`, Fig. 13): a `P_n` dag over complex
+//!   multiplication turns `⟨1, ω^k, ..., ω^k⟩` into
+//!   `⟨1, ω^k, ω^{2k}, ..., ω^{(n-1)k}⟩`; the accumulation in-tree's
+//!   sources multiply by `x_i` and the tree sums;
+//! * **via a ternary out-tree** (`L'_n`, Fig. 15): the powers are
+//!   generated down a `V₃`-built out-tree whose leaves hold
+//!   `ω^{k}, ..., ω^{(n-1)k}`; the in-tree's leftmost source handles the
+//!   `x_0 ω^0` term directly.
+//!
+//! Both are cross-validated against direct evaluation of (6.4).
+
+use crate::numeric::Complex;
+use crate::scan::scan_via_dag;
+use ic_families::dlt::dlt_vee3;
+use ic_families::trees::out_tree_schedule;
+
+/// Direct evaluation of (6.4): the reference.
+pub fn dlt_direct(xs: &[Complex], omega: Complex, k: usize) -> Complex {
+    let wk = omega.powu(k);
+    let mut acc = Complex::ZERO;
+    let mut pw = Complex::ONE;
+    for &x in xs {
+        acc = acc + x * pw;
+        pw = pw * wk;
+    }
+    acc
+}
+
+/// `y_k(ω)` via the `L_n` dag (parallel-prefix power generation then
+/// in-tree accumulation). `xs.len()` must be a power of two.
+pub fn dlt_via_prefix(xs: &[Complex], omega: Complex, k: usize) -> Complex {
+    let n = xs.len();
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "n must be a power of two >= 2"
+    );
+    let wk = omega.powu(k);
+    // Inclusive scan of ⟨1, ω^k, ω^k, ...⟩ = ⟨1, ω^k, ω^{2k}, ...⟩,
+    // computed through P_n in IC-optimal order.
+    let mut inputs = vec![wk; n];
+    inputs[0] = Complex::ONE;
+    let powers = scan_via_dag(&inputs, |a, b| *a * *b);
+    // The in-tree sources multiply x_i by the received power; the tree
+    // sums pairwise (complex addition is associative, so the balanced
+    // reduction is exact up to f64 rounding).
+    let mut level: Vec<Complex> = xs.iter().zip(&powers).map(|(&x, &p)| x * p).collect();
+    while level.len() > 1 {
+        level = level.chunks(2).map(|c| c[0] + c[1]).collect();
+    }
+    level[0]
+}
+
+/// `y_k(ω)` via the `L'_n` dag: powers generated down the ternary
+/// out-tree, leaves feeding the in-tree sources `1..n`; the leftmost
+/// source contributes `x_0` directly.
+pub fn dlt_via_vee3(xs: &[Complex], omega: Complex, k: usize) -> Complex {
+    let n = xs.len();
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "n must be a power of two >= 2"
+    );
+    let lp = dlt_vee3(n);
+    let wk = omega.powu(k);
+
+    // Generator phase: walk the ternary out-tree in (IC-optimal) order.
+    // Each node holds a power of ω^k; the j-th leaf (in id order) ends
+    // up holding ω^{(j+1)k}: the tree distributes the exponents 1..n-1
+    // to its leaves (the §6.2.1 "w, x0, x1, x2 represent powers of ω^k"
+    // semantics, realized as exponent bookkeeping plus one complex
+    // multiplication per node).
+    let gen = &lp.generator;
+    let order = out_tree_schedule(gen);
+    let leaves: Vec<ic_dag::NodeId> = gen.sinks().collect();
+    let mut exponent = vec![0usize; gen.num_nodes()];
+    for (j, &leaf) in leaves.iter().enumerate() {
+        exponent[leaf.index()] = j + 1;
+    }
+    // Interior nodes hold the minimum exponent of their subtree (the
+    // value they forward); compute by upward propagation, then evaluate
+    // each node's power in schedule order (each evaluation is one task).
+    for v in order.order().iter().rev() {
+        if !gen.is_sink(*v) {
+            exponent[v.index()] = gen
+                .children(*v)
+                .iter()
+                .map(|c| exponent[c.index()])
+                .min()
+                .expect("internal nodes have children");
+        }
+    }
+    let mut value = vec![Complex::ZERO; gen.num_nodes()];
+    for &v in order.order() {
+        value[v.index()] = wk.powu(exponent[v.index()]);
+    }
+
+    // Accumulation phase: source 0 contributes x_0; leaf j contributes
+    // x_{j+1} · ω^{(j+1)k}; the in-tree sums.
+    let mut level: Vec<Complex> = Vec::with_capacity(n);
+    level.push(xs[0]);
+    for (j, &leaf) in leaves.iter().enumerate() {
+        level.push(xs[j + 1] * value[leaf.index()]);
+    }
+    while level.len() > 1 {
+        level = level.chunks(2).map(|c| c[0] + c[1]).collect();
+    }
+    level[0]
+}
+
+/// The full transform: `⟨y_0(ω), ..., y_{m-1}(ω)⟩` via the prefix
+/// algorithm.
+pub fn dlt_transform(xs: &[Complex], omega: Complex, m: usize) -> Vec<Complex> {
+    (0..m).map(|k| dlt_via_prefix(xs, omega, k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_families::dlt::ternary_out_tree;
+
+    fn sample(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64 * 0.61).cos(), (i as f64) * 0.25 - 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn prefix_dlt_matches_direct() {
+        let xs = sample(8);
+        let omega = Complex::cis(0.37);
+        for k in 0..8 {
+            let a = dlt_via_prefix(&xs, omega, k);
+            let b = dlt_direct(&xs, omega, k);
+            assert!((a - b).abs() < 1e-9, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn vee3_dlt_matches_direct() {
+        let xs = sample(8);
+        let omega = Complex::cis(-1.1);
+        for k in 0..8 {
+            let a = dlt_via_vee3(&xs, omega, k);
+            let b = dlt_direct(&xs, omega, k);
+            assert!((a - b).abs() < 1e-9, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn both_algorithms_agree() {
+        let xs = sample(16);
+        let omega = Complex::cis(0.9);
+        for k in [0usize, 1, 5, 15] {
+            let a = dlt_via_prefix(&xs, omega, k);
+            let b = dlt_via_vee3(&xs, omega, k);
+            assert!((a - b).abs() < 1e-8, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn k_zero_is_plain_sum() {
+        let xs = sample(4);
+        let omega = Complex::cis(2.2);
+        let sum = xs.iter().fold(Complex::ZERO, |a, &b| a + b);
+        assert!((dlt_via_prefix(&xs, omega, 0) - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dlt_at_roots_of_unity_is_dft() {
+        // With ω = e^{-2πi/n}, the DLT vector is the DFT.
+        let xs = sample(8);
+        let omega = Complex::root_of_unity(8);
+        let via_dlt = dlt_transform(&xs, omega, 8);
+        let via_fft = crate::fft::fft_via_butterfly(&xs);
+        for (a, b) in via_dlt.iter().zip(&via_fft) {
+            assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn leaf_exponents_cover_one_to_n_minus_one() {
+        // The ternary generator must hand each in-tree source a distinct
+        // power.
+        let t = ternary_out_tree(7);
+        assert_eq!(t.num_sinks(), 7);
+    }
+}

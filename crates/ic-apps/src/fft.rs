@@ -1,0 +1,329 @@
+//! The Fast Fourier Transform over the butterfly network (§5.2).
+//!
+//! The data dependencies of the `d`-dimensional FFT form exactly the
+//! butterfly network `B_d`; each building block applies the convolution
+//! transformation (5.2) with a twiddle factor `ω` drawn from the complex
+//! roots of unity. Our `B_d` construction pairs rows `r` and
+//! `r ^ 2^{d-1-l}` between levels `l` and `l+1` — the
+//! decimation-in-frequency dataflow: natural-order input, bit-reversed
+//! output (un-permuted before returning).
+//!
+//! Verified against the naive `O(n²)` DFT.
+
+use ic_families::butterfly::{butterfly, butterfly_id, butterfly_schedule};
+
+use crate::numeric::Complex;
+
+/// Naive `O(n²)` reference DFT: `X[k] = Σ_j x[j] ω^{jk}`,
+/// `ω = e^{-2πi/n}`.
+pub fn dft_naive(xs: &[Complex]) -> Vec<Complex> {
+    let n = xs.len();
+    let w = Complex::root_of_unity(n);
+    (0..n)
+        .map(|k| {
+            xs.iter()
+                .enumerate()
+                .fold(Complex::ZERO, |acc, (j, &x)| acc + x * w.powu(j * k))
+        })
+        .collect()
+}
+
+/// Reverse the low `bits` bits of `i`.
+fn bit_reverse(i: usize, bits: usize) -> usize {
+    let mut out = 0usize;
+    for b in 0..bits {
+        if i >> b & 1 == 1 {
+            out |= 1 << (bits - 1 - b);
+        }
+    }
+    out
+}
+
+/// Compute the DFT of `xs` (length a power of two) by executing the
+/// butterfly dag `B_d` in its IC-optimal (§5.1 paired) schedule order.
+///
+/// # Panics
+/// Panics unless `xs.len()` is a power of two `>= 2`.
+pub fn fft_via_butterfly(xs: &[Complex]) -> Vec<Complex> {
+    let n = xs.len();
+    assert!(n >= 2 && n.is_power_of_two(), "FFT length must be 2^d >= 2");
+    let d = n.trailing_zeros() as usize;
+    let dag = butterfly(d);
+    let schedule = butterfly_schedule(d);
+    let mut values: Vec<Complex> = vec![Complex::ZERO; dag.num_nodes()];
+    for i in 0..n {
+        values[butterfly_id(d, 0, i).index()] = xs[i];
+    }
+    // Execute in schedule order. A node (l+1, r) combines its two
+    // parents (l, r) and (l, r ^ bit). Decimation-in-frequency:
+    //   top    (r & bit == 0): a + b
+    //   bottom (r & bit != 0): (a - b) · W_{2·bit}^{r mod bit}
+    // where a is the parent on the top wire and b on the bottom wire.
+    for &v in schedule.order() {
+        let idx = v.index();
+        let (level, r) = (idx / n, idx % n);
+        if level == 0 {
+            continue; // inputs
+        }
+        let bit = 1usize << (d - level); // the bit used between level-1 and level
+        let top = r & !bit;
+        let bottom = r | bit;
+        let a = values[butterfly_id(d, level - 1, top).index()];
+        let b = values[butterfly_id(d, level - 1, bottom).index()];
+        let span = 2 * bit;
+        values[idx] = if r & bit == 0 {
+            a + b
+        } else {
+            let w = Complex::root_of_unity(span).powu(r % bit.max(1));
+            (a - b) * w
+        };
+    }
+    // Outputs appear bit-reversed at the last level.
+    (0..n)
+        .map(|k| values[butterfly_id(d, d, bit_reverse(k, d)).index()])
+        .collect()
+}
+
+/// The FFT executed on `workers` threads through [`ic_exec::execute`]:
+/// the butterfly dag's nodes become real tasks, selected by the
+/// IC-optimal paired schedule; per-node values flow through `OnceLock`
+/// cells under the executor's happens-before guarantee.
+pub fn fft_parallel(xs: &[Complex], workers: usize) -> Vec<Complex> {
+    use std::sync::OnceLock;
+    let n = xs.len();
+    assert!(n >= 2 && n.is_power_of_two(), "FFT length must be 2^d >= 2");
+    let d = n.trailing_zeros() as usize;
+    let dag = butterfly(d);
+    let schedule = butterfly_schedule(d);
+    let cells: Vec<OnceLock<Complex>> = (0..dag.num_nodes()).map(|_| OnceLock::new()).collect();
+    ic_exec::execute(&dag, &schedule, workers, |v| {
+        let idx = v.index();
+        let (level, r) = (idx / n, idx % n);
+        let val = if level == 0 {
+            xs[r]
+        } else {
+            let bit = 1usize << (d - level);
+            let top = r & !bit;
+            let bottom = r | bit;
+            let a = *cells[butterfly_id(d, level - 1, top).index()]
+                .get()
+                .expect("executor runs parents first");
+            let b = *cells[butterfly_id(d, level - 1, bottom).index()]
+                .get()
+                .expect("executor runs parents first");
+            let span = 2 * bit;
+            if r & bit == 0 {
+                a + b
+            } else {
+                (a - b) * Complex::root_of_unity(span).powu(r % bit)
+            }
+        };
+        cells[idx].set(val).expect("single execution per node");
+    });
+    (0..n)
+        .map(|k| {
+            *cells[butterfly_id(d, d, bit_reverse(k, d)).index()]
+                .get()
+                .unwrap()
+        })
+        .collect()
+}
+
+/// Reverse the base-`r` digits of `i` (d digits).
+fn digit_reverse(mut i: usize, r: usize, d: usize) -> usize {
+    let mut out = 0usize;
+    for _ in 0..d {
+        out = out * r + i % r;
+        i /= r;
+    }
+    out
+}
+
+/// The radix-`r` decimation-in-frequency FFT, executed along the
+/// radix-`r` butterfly dag — the *coarse-granularity* FFT of §5.1: each
+/// `K_{r,r}` block is one task computing an `r`-point DFT plus twiddles.
+/// (`radix_r_fft(2, ..)` recomputes [`fft_via_butterfly`]'s transform
+/// through the same dataflow at the finest granularity.)
+///
+/// # Panics
+/// Panics unless `xs.len()` is a positive power of `r` and `r >= 2`.
+pub fn radix_r_fft(r: usize, xs: &[Complex]) -> Vec<Complex> {
+    assert!(r >= 2, "radix must be at least 2");
+    let n = xs.len();
+    let mut d = 0usize;
+    let mut m = 1usize;
+    while m < n {
+        m *= r;
+        d += 1;
+    }
+    assert!(
+        m == n && d >= 1,
+        "length must be a positive power of the radix"
+    );
+
+    let dag = ic_families::butterfly::radix_butterfly(r, d);
+    let schedule = ic_families::butterfly::radix_butterfly_schedule(r, d);
+    let mut values = vec![Complex::ZERO; dag.num_nodes()];
+    for (i, &x) in xs.iter().enumerate() {
+        values[ic_families::butterfly::radix_id(r, d, 0, i).index()] = x;
+    }
+    // Execute in the paired schedule order: a level-(l+1) node computes
+    // its DIF output from the whole level-l group it belongs to.
+    for &v in schedule.order() {
+        let idx = v.index();
+        let (level, row) = (idx / n, idx % n);
+        if level == 0 {
+            continue;
+        }
+        let weight = r.pow((d - level) as u32); // digit of the block below
+        let j = row / weight % r; // this node's output index in its group
+        let base = row - j * weight;
+        // Sub-DFT size at that stage: B = r * weight; offset within the
+        // block: n_off = base mod B ... the group's base coordinates.
+        let block = r * weight;
+        let n_off = base % block;
+        let wr = Complex::root_of_unity(r);
+        let wb = Complex::root_of_unity(block);
+        let mut acc = Complex::ZERO;
+        for k in 0..r {
+            let src = ic_families::butterfly::radix_id(r, d, level - 1, base + k * weight);
+            acc = acc + values[src.index()] * wr.powu(j * k);
+        }
+        values[idx] = acc * wb.powu(n_off * j);
+    }
+    // Outputs appear digit-reversed at the last level.
+    (0..n)
+        .map(|k| values[ic_families::butterfly::radix_id(r, d, d, digit_reverse(k, r, d)).index()])
+        .collect()
+}
+
+/// Inverse DFT via the conjugate trick: `ifft(X) = conj(fft(conj(X)))/n`.
+pub fn ifft_via_butterfly(xs: &[Complex]) -> Vec<Complex> {
+    let n = xs.len();
+    let conj: Vec<Complex> = xs.iter().map(|z| z.conj()).collect();
+    fft_via_butterfly(&conj)
+        .into_iter()
+        .map(|z| z.conj().scale(1.0 / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[Complex], b: &[Complex], tol: f64) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (*x - *y).abs() < tol)
+    }
+
+    #[test]
+    fn bit_reversal() {
+        assert_eq!(bit_reverse(0b001, 3), 0b100);
+        assert_eq!(bit_reverse(0b110, 3), 0b011);
+        assert_eq!(bit_reverse(0, 4), 0);
+        assert_eq!(bit_reverse(0b1111, 4), 0b1111);
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut xs = vec![Complex::ZERO; 8];
+        xs[0] = Complex::ONE;
+        let out = fft_via_butterfly(&xs);
+        assert!(out.iter().all(|z| (*z - Complex::ONE).abs() < 1e-12));
+    }
+
+    #[test]
+    fn fft_of_constant_is_impulse() {
+        let xs = vec![Complex::ONE; 8];
+        let out = fft_via_butterfly(&xs);
+        assert!((out[0] - Complex::real(8.0)).abs() < 1e-12);
+        assert!(out[1..].iter().all(|z| z.abs() < 1e-12));
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [2usize, 4, 8, 16, 32] {
+            let xs: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sin() + 0.5, (i as f64 * 0.7).cos()))
+                .collect();
+            let fast = fft_via_butterfly(&xs);
+            let slow = dft_naive(&xs);
+            assert!(close(&fast, &slow, 1e-9), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ifft_round_trips() {
+        let xs: Vec<Complex> = (0..16)
+            .map(|i| Complex::new(i as f64, (i * i % 7) as f64))
+            .collect();
+        let back = ifft_via_butterfly(&fft_via_butterfly(&xs));
+        assert!(close(&back, &xs, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "2^d")]
+    fn non_power_of_two_rejected() {
+        let _ = fft_via_butterfly(&[Complex::ONE; 6]);
+    }
+
+    #[test]
+    fn radix_two_matches_plain_fft() {
+        let xs: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.29).sin(), i as f64 * 0.05))
+            .collect();
+        assert!(close(&radix_r_fft(2, &xs), &fft_via_butterfly(&xs), 1e-10));
+    }
+
+    #[test]
+    fn radix_four_matches_naive_dft() {
+        for n in [4usize, 16, 64] {
+            let xs: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.21).cos(), (i as f64 * 0.6).sin()))
+                .collect();
+            assert!(
+                close(&radix_r_fft(4, &xs), &dft_naive(&xs), 1e-9),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn radix_three_matches_naive_dft() {
+        for n in [3usize, 9, 27] {
+            let xs: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(1.0 / (i as f64 + 1.0), (i as f64 * 0.8).cos()))
+                .collect();
+            assert!(
+                close(&radix_r_fft(3, &xs), &dft_naive(&xs), 1e-9),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn digit_reversal_properties() {
+        assert_eq!(digit_reverse(0b011, 2, 3), 0b110);
+        assert_eq!(digit_reverse(5, 3, 2), 3 * 2 + 1); // 12_3 -> 21_3
+        for i in 0..27 {
+            assert_eq!(digit_reverse(digit_reverse(i, 3, 3), 3, 3), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of the radix")]
+    fn radix_fft_rejects_bad_lengths() {
+        let _ = radix_r_fft(3, &[Complex::ONE; 8]);
+    }
+
+    #[test]
+    fn parallel_fft_matches_sequential() {
+        let xs: Vec<Complex> = (0..64)
+            .map(|i| Complex::new((i as f64 * 0.13).cos(), (i as f64 * 0.41).sin()))
+            .collect();
+        let seq = fft_via_butterfly(&xs);
+        for workers in [1usize, 2, 4] {
+            let par = fft_parallel(&xs, workers);
+            assert!(close(&par, &seq, 1e-12), "workers = {workers}");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Computing all path lengths in a graph (§6.2.2, Fig. 16).
+//!
+//! Given an `m`-node graph via its boolean adjacency matrix `A`, compute
+//! the matrix `M` whose `(i, j)` entry is the vector
+//! `⟨β⁽¹⁾, ..., β⁽ᴷ⁾⟩` with `β⁽ᵏ⁾ = 1` iff a length-`k` path joins `i`
+//! and `j`:
+//!
+//! 1. a `K`-input parallel prefix over *logical matrix multiplication*
+//!    produces `A¹, ..., A^K` (coarse tasks!);
+//! 2. an in-tree ORs the per-`k` fragments into `M`.
+//!
+//! Checked against an independent layered-BFS dynamic program.
+
+use crate::numeric::BoolMatrix;
+use crate::scan::boolean_matrix_powers;
+
+/// The path-length matrix: `entry(i, j)` is a bitmask whose bit `k-1`
+/// is set iff a length-`k` path joins `i` and `j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathMatrix {
+    n: usize,
+    /// Maximum path length recorded.
+    pub max_len: usize,
+    masks: Vec<u64>,
+}
+
+impl PathMatrix {
+    fn zero(n: usize, max_len: usize) -> Self {
+        assert!(max_len <= 64);
+        PathMatrix {
+            n,
+            max_len,
+            masks: vec![0; n * n],
+        }
+    }
+
+    /// The bitmask of path lengths joining `i` and `j`.
+    pub fn mask(&self, i: usize, j: usize) -> u64 {
+        self.masks[i * self.n + j]
+    }
+
+    /// Is there a path of length exactly `k` (1-based) from `i` to `j`?
+    pub fn has_path(&self, i: usize, j: usize, k: usize) -> bool {
+        k >= 1 && k <= self.max_len && self.mask(i, j) >> (k - 1) & 1 == 1
+    }
+
+    fn or_in_power(&mut self, power: &BoolMatrix, k: usize) {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if power.get(i, j) {
+                    self.masks[i * self.n + j] |= 1 << (k - 1);
+                }
+            }
+        }
+    }
+
+    fn or(&mut self, other: &PathMatrix) {
+        for (a, b) in self.masks.iter_mut().zip(&other.masks) {
+            *a |= b;
+        }
+    }
+}
+
+/// Fig. 16: compute `M` for path lengths `1..=k` using the prefix dag's
+/// powers and an in-tree accumulation (`k` a power of two; the paper
+/// uses `k = 8` on a 9-node graph).
+pub fn all_path_lengths(a: &BoolMatrix, k: usize) -> PathMatrix {
+    assert!(
+        k >= 2 && k.is_power_of_two(),
+        "k must be a power of two >= 2"
+    );
+    let n = a.dim();
+    // Phase 1: logical powers via the P_k dag.
+    let powers = boolean_matrix_powers(a, k);
+    // Phase 2: leaf tasks convert each power into an M-fragment; an
+    // in-tree of ORs combines them pairwise.
+    let mut level: Vec<PathMatrix> = powers
+        .iter()
+        .enumerate()
+        .map(|(idx, p)| {
+            let mut frag = PathMatrix::zero(n, k);
+            frag.or_in_power(p, idx + 1);
+            frag
+        })
+        .collect();
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|c| {
+                let mut m = c[0].clone();
+                m.or(&c[1]);
+                m
+            })
+            .collect();
+    }
+    level.into_iter().next().expect("k >= 2")
+}
+
+/// Independent reference: layered reachability DP over walk lengths.
+#[allow(clippy::needless_range_loop)] // the DP reads several rows at once; indices are clearer
+pub fn all_path_lengths_reference(a: &BoolMatrix, k: usize) -> PathMatrix {
+    let n = a.dim();
+    let mut out = PathMatrix::zero(n, k);
+    // frontier[i][j] = reachable from i in exactly `len` steps, as rows.
+    let mut frontier: Vec<Vec<bool>> = (0..n)
+        .map(|i| (0..n).map(|j| a.get(i, j)).collect())
+        .collect();
+    for len in 1..=k {
+        for i in 0..n {
+            for j in 0..n {
+                if frontier[i][j] {
+                    out.masks[i * n + j] |= 1 << (len - 1);
+                }
+            }
+        }
+        if len < k {
+            let mut next = vec![vec![false; n]; n];
+            for i in 0..n {
+                for (mid, &reach) in frontier[i].iter().enumerate() {
+                    if reach {
+                        for j in 0..n {
+                            if a.get(mid, j) {
+                                next[i][j] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            frontier = next;
+        }
+    }
+    out
+}
+
+/// The paper's showcase instance: a 9-node graph, 8 powers.
+pub fn nine_node_example() -> (BoolMatrix, PathMatrix) {
+    // A 3×3 grid graph (undirected: symmetric adjacency).
+    let mut entries = Vec::new();
+    for r in 0..3usize {
+        for c in 0..3usize {
+            let v = 3 * r + c;
+            if c + 1 < 3 {
+                entries.push((v, v + 1));
+                entries.push((v + 1, v));
+            }
+            if r + 1 < 3 {
+                entries.push((v, v + 3));
+                entries.push((v + 3, v));
+            }
+        }
+    }
+    let a = BoolMatrix::from_entries(9, &entries);
+    let m = all_path_lengths(&a, 8);
+    (a, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_on_grid() {
+        let (a, m) = nine_node_example();
+        let r = all_path_lengths_reference(&a, 8);
+        assert_eq!(m, r);
+    }
+
+    #[test]
+    fn matches_reference_on_random_digraphs() {
+        let mut s = 0xD1CEu64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for _ in 0..10 {
+            let n = 6;
+            let mut entries = Vec::new();
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && next() % 100 < 30 {
+                        entries.push((i, j));
+                    }
+                }
+            }
+            let a = BoolMatrix::from_entries(n, &entries);
+            assert_eq!(all_path_lengths(&a, 4), all_path_lengths_reference(&a, 4));
+        }
+    }
+
+    #[test]
+    fn grid_distances_are_sane() {
+        let (_, m) = nine_node_example();
+        // Corner (0) to opposite corner (8): shortest walk length 4,
+        // and parity forbids length 5 on a bipartite grid.
+        assert!(!m.has_path(0, 8, 1));
+        assert!(!m.has_path(0, 8, 3));
+        assert!(m.has_path(0, 8, 4));
+        assert!(!m.has_path(0, 8, 5));
+        assert!(m.has_path(0, 8, 6));
+        // Self-walks: even lengths only (bipartite).
+        assert!(m.has_path(0, 0, 2));
+        assert!(!m.has_path(0, 0, 3));
+    }
+
+    #[test]
+    fn mask_accessors() {
+        let a = BoolMatrix::from_entries(2, &[(0, 1)]);
+        let m = all_path_lengths(&a, 2);
+        assert_eq!(m.mask(0, 1), 0b01);
+        assert_eq!(m.mask(1, 0), 0);
+        assert!(!m.has_path(0, 1, 0));
+        assert!(!m.has_path(0, 1, 3));
+    }
+}

@@ -1,0 +1,219 @@
+//! Adaptive-quadrature numerical integration (§3.2).
+//!
+//! The expansive phase recursively splits `[a, b]` wherever a one-panel
+//! approximation disagrees with the two-panel refinement by more than
+//! the tolerance, producing a (possibly quite irregular) binary
+//! out-tree whose leaves carry accepted panel areas; the dual in-tree
+//! accumulates the areas — an expansion–reduction diamond. We build the
+//! actual tree, form the diamond dag, execute its IC-optimal schedule,
+//! and return the integral.
+
+use ic_families::diamond::{diamond_from_out_tree, Diamond};
+use ic_families::trees::out_tree_from_parents;
+use ic_sched::SchedError;
+
+/// The quadrature rule used for a single panel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Linear approximation: `(f(a) + f(b)) (b - a) / 2`.
+    Trapezoid,
+    /// Quadratic approximation:
+    /// `(f(a) + 4 f((a+b)/2) + f(b)) (b - a) / 6`.
+    Simpson,
+}
+
+impl Rule {
+    fn panel(&self, f: &dyn Fn(f64) -> f64, a: f64, b: f64) -> f64 {
+        match self {
+            Rule::Trapezoid => 0.5 * (f(a) + f(b)) * (b - a),
+            Rule::Simpson => (f(a) + 4.0 * f(0.5 * (a + b)) + f(b)) * (b - a) / 6.0,
+        }
+    }
+}
+
+/// The result of an adaptive quadrature run.
+#[derive(Debug)]
+pub struct Quadrature {
+    /// The integral estimate (accumulated through the diamond dag).
+    pub value: f64,
+    /// The expansion–reduction diamond representing the computation.
+    pub diamond: Diamond,
+    /// Per-tree-node intervals `(a, b)`, indexed by tree node id.
+    pub intervals: Vec<(f64, f64)>,
+    /// Number of leaf panels accepted.
+    pub panels: usize,
+}
+
+/// Integrate `f` over `[a, b]` adaptively. A node splits when its
+/// one-panel area differs from the two-half refinement by more than
+/// `tol` (scaled to the subinterval); recursion is capped at
+/// `max_depth`.
+///
+/// Returns the estimate together with the computation's diamond dag,
+/// whose execution (in IC-optimal order) produced the value.
+///
+/// # Panics
+/// Panics if `a >= b` or `tol <= 0`.
+pub fn integrate_adaptive(
+    f: impl Fn(f64) -> f64,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_depth: usize,
+    rule: Rule,
+) -> Result<Quadrature, SchedError> {
+    assert!(a < b, "interval must be nonempty");
+    assert!(tol > 0.0, "tolerance must be positive");
+    let f = &f;
+
+    // Expansion: build the out-tree breadth-first.
+    let mut parents: Vec<Option<usize>> = vec![None];
+    let mut intervals: Vec<(f64, f64)> = vec![(a, b)];
+    let mut depth: Vec<usize> = vec![0];
+    let mut accepted: Vec<Option<f64>> = vec![None];
+    let mut queue = std::collections::VecDeque::from([0usize]);
+    while let Some(v) = queue.pop_front() {
+        let (lo, hi) = intervals[v];
+        let mid = 0.5 * (lo + hi);
+        let coarse = rule.panel(f, lo, hi);
+        let fine = rule.panel(f, lo, mid) + rule.panel(f, mid, hi);
+        let local_tol = tol * (hi - lo) / (b - a);
+        if (coarse - fine).abs() <= local_tol || depth[v] >= max_depth {
+            accepted[v] = Some(fine);
+        } else {
+            for (l, h) in [(lo, mid), (mid, hi)] {
+                parents.push(Some(v));
+                intervals.push((l, h));
+                depth.push(depth[v] + 1);
+                accepted.push(None);
+                queue.push_back(parents.len() - 1);
+            }
+        }
+    }
+    let tree = out_tree_from_parents(&parents)?;
+    let diamond = diamond_from_out_tree(&tree)?;
+    let schedule = diamond.ic_schedule()?;
+
+    // Reduction: execute the diamond. Leaves carry accepted areas; the
+    // in-tree portion sums children.
+    let ndag = diamond.dag.num_nodes();
+    let mut values: Vec<Option<f64>> = vec![None; ndag];
+    // The shared (merged leaf) diamond nodes, seeded with panel areas.
+    let mut leaf_area: Vec<Option<f64>> = vec![None; ndag];
+    for u in diamond.tree.sinks() {
+        leaf_area[diamond.out_map[u.index()].index()] =
+            Some(accepted[u.index()].expect("leaves carry accepted areas"));
+    }
+    for &v in schedule.order() {
+        let idx = v.index();
+        // Only the reductive side carries values: leaves are seeded with
+        // their accepted areas; in-tree nodes sum their parents. The
+        // expansive copies (whose values stay None) represent interval
+        // bookkeeping and contribute nothing to the total.
+        if let Some(area) = leaf_area[idx] {
+            values[idx] = Some(area);
+            continue;
+        }
+        let mut val = 0.0f64;
+        let mut have = false;
+        for &p in diamond.dag.parents(v) {
+            if let Some(x) = values[p.index()] {
+                val += x;
+                have = true;
+            }
+        }
+        values[idx] = if have { Some(val) } else { None };
+    }
+    let sink = diamond
+        .dag
+        .sinks()
+        .next()
+        .expect("a diamond has a unique sink");
+    let value = values[sink.index()].expect("the sink accumulates the total");
+    let panels = accepted.iter().flatten().count();
+    Ok(Quadrature {
+        value,
+        diamond,
+        intervals,
+        panels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_a_line_exactly() {
+        // ∫₀¹ x dx = 1/2; the trapezoid rule is exact, so no splits.
+        let q = integrate_adaptive(|x| x, 0.0, 1.0, 1e-9, 20, Rule::Trapezoid).unwrap();
+        assert!((q.value - 0.5).abs() < 1e-12);
+        assert_eq!(q.panels, 1);
+        assert_eq!(q.diamond.tree.num_nodes(), 1);
+    }
+
+    #[test]
+    fn integrates_a_parabola() {
+        // ∫₀¹ x² dx = 1/3.
+        let q = integrate_adaptive(|x| x * x, 0.0, 1.0, 1e-7, 24, Rule::Trapezoid).unwrap();
+        assert!((q.value - 1.0 / 3.0).abs() < 1e-6, "got {}", q.value);
+        assert!(q.panels > 1, "a parabola forces splitting under trapezoid");
+    }
+
+    #[test]
+    fn simpson_is_exact_for_cubics() {
+        // Simpson integrates cubics exactly: ∫₀² x³ dx = 4.
+        let q = integrate_adaptive(|x| x * x * x, 0.0, 2.0, 1e-9, 20, Rule::Simpson).unwrap();
+        assert!((q.value - 4.0).abs() < 1e-9);
+        assert_eq!(q.panels, 1);
+    }
+
+    #[test]
+    fn integrates_sine() {
+        // ∫₀^π sin = 2.
+        let q = integrate_adaptive(f64::sin, 0.0, std::f64::consts::PI, 1e-8, 30, Rule::Simpson)
+            .unwrap();
+        assert!((q.value - 2.0).abs() < 1e-6, "got {}", q.value);
+    }
+
+    #[test]
+    fn irregular_function_builds_irregular_tree() {
+        // √x has a singular derivative at 0: the tree splits deeply near
+        // the origin and stays shallow on the right.
+        let q = integrate_adaptive(f64::sqrt, 0.0, 1.0, 1e-7, 30, Rule::Simpson).unwrap();
+        // Exact: ∫₀¹ √x = 2/3.
+        assert!((q.value - 2.0 / 3.0).abs() < 1e-5, "got {}", q.value);
+        // The tree is a genuine (irregular) expansion: deeper on the
+        // left leaf than on the rightmost.
+        assert!(q.diamond.tree.num_nodes() > 3);
+        let depths = ic_dag::traversal::levels(&q.diamond.tree);
+        let max_depth = depths.iter().copied().max().unwrap();
+        assert!(max_depth >= 3);
+        // The leftmost accepted interval is far narrower than the
+        // rightmost: irregularity in action.
+        let widths: Vec<f64> = q
+            .diamond
+            .tree
+            .sinks()
+            .map(|v| {
+                let (lo, hi) = q.intervals[v.index()];
+                hi - lo
+            })
+            .collect();
+        let min = widths.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = widths.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min >= 4.0, "widths should vary: {min} vs {max}");
+    }
+
+    #[test]
+    fn value_equals_sum_of_panels() {
+        let q = integrate_adaptive(|x| x.exp(), 0.0, 1.0, 1e-6, 20, Rule::Trapezoid).unwrap();
+        assert!((q.value - (1f64.exp() - 1.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_interval_rejected() {
+        let _ = integrate_adaptive(|x| x, 1.0, 0.0, 1e-6, 10, Rule::Trapezoid);
+    }
+}

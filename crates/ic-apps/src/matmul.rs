@@ -1,0 +1,278 @@
+//! Recursive block matrix multiplication (§7, Fig. 17).
+//!
+//! Equation (7.1) never invokes commutativity, so the 2×2 schema
+//! multiplies block matrices recursively. We provide a dense reference
+//! multiply, the recursive block algorithm (the granularity knob: the
+//! recursion cutoff), and a dag-driven execution of one level of the
+//! `M` dag — the 8 block products as tasks in the paper's C₄-derived
+//! IC-optimal order, runnable in parallel through `ic-exec`.
+
+use std::sync::OnceLock;
+
+use ic_families::matmul::{matmul_dag, theorem_schedule};
+
+/// A dense row-major `n × n` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// The `n × n` zero matrix.
+    pub fn zero(n: usize) -> Self {
+        Matrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// The identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a function of `(row, col)`.
+    pub fn from_fn(n: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zero(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.data[i * n + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry access.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Entry mutation.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Naive `O(n³)` product — the reference.
+    pub fn multiply_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.n, other.n);
+        let n = self.n;
+        let mut out = Matrix::zero(n);
+        for i in 0..n {
+            for k in 0..n {
+                let aik = self.data[i * n + k];
+                if aik != 0.0 {
+                    for j in 0..n {
+                        out.data[i * n + j] += aik * other.data[k * n + j];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.n, other.n);
+        let mut out = self.clone();
+        for (a, b) in out.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        out
+    }
+
+    /// Extract the `quadrant` block (`0..4`, row-major quadrants) of an
+    /// even-dimension matrix.
+    pub fn block(&self, quadrant: usize) -> Matrix {
+        assert!(self.n.is_multiple_of(2) && quadrant < 4);
+        let h = self.n / 2;
+        let (r0, c0) = (quadrant / 2 * h, quadrant % 2 * h);
+        Matrix::from_fn(h, |i, j| self.get(r0 + i, c0 + j))
+    }
+
+    /// Assemble from four quadrant blocks (row-major order).
+    pub fn from_blocks(blocks: [&Matrix; 4]) -> Matrix {
+        let h = blocks[0].n;
+        assert!(blocks.iter().all(|b| b.n == h));
+        let mut out = Matrix::zero(2 * h);
+        for (q, b) in blocks.iter().enumerate() {
+            let (r0, c0) = (q / 2 * h, q % 2 * h);
+            for i in 0..h {
+                for j in 0..h {
+                    out.set(r0 + i, c0 + j, b.get(i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Recursive 2×2 block multiplication with a cutoff: below `cutoff`,
+/// multiply naively; otherwise recurse by (7.1). The cutoff is the
+/// granularity knob of §7.
+///
+/// # Panics
+/// Panics unless the dimension is a power of two.
+pub fn multiply_recursive(a: &Matrix, b: &Matrix, cutoff: usize) -> Matrix {
+    assert_eq!(a.n, b.n);
+    assert!(
+        a.n.is_power_of_two(),
+        "recursive multiply needs 2^k dimension"
+    );
+    if a.n <= cutoff.max(1) {
+        return a.multiply_naive(b);
+    }
+    // (A B; C D) × (E F; G H).
+    let (qa, qb, qc, qd) = (a.block(0), a.block(1), a.block(2), a.block(3));
+    let (qe, qf, qg, qh) = (b.block(0), b.block(1), b.block(2), b.block(3));
+    let prod = |x: &Matrix, y: &Matrix| multiply_recursive(x, y, cutoff);
+    let top_left = prod(&qa, &qe).add(&prod(&qb, &qg));
+    let top_right = prod(&qa, &qf).add(&prod(&qb, &qh));
+    let bot_left = prod(&qc, &qe).add(&prod(&qd, &qg));
+    let bot_right = prod(&qc, &qf).add(&prod(&qd, &qh));
+    Matrix::from_blocks([&top_left, &top_right, &bot_left, &bot_right])
+}
+
+/// Multiply by executing the `M` dag of Fig. 17: the 8 inputs load
+/// blocks, the 8 product tasks run (recursive) block multiplications in
+/// the C₄-derived IC-optimal order, the 4 sum tasks add — optionally on
+/// `workers` threads via `ic-exec`.
+///
+/// # Panics
+/// Panics unless the dimension is an even power of two `>= 2`.
+pub fn multiply_via_dag(a: &Matrix, b: &Matrix, workers: usize) -> Matrix {
+    assert_eq!(a.n, b.n);
+    assert!(a.n >= 2 && a.n.is_power_of_two());
+    let dag = matmul_dag();
+    let schedule = theorem_schedule();
+    let cells: Vec<OnceLock<Matrix>> = (0..dag.num_nodes()).map(|_| OnceLock::new()).collect();
+    // Node layout (see ic_families::matmul): inputs 0..8 = A,E,C,F,B,G,D,H;
+    // products 8..16 = AE,CE,CF,AF,BG,DG,DH,BH; sums 16..20.
+    let input_block = |node: usize| -> Matrix {
+        match node {
+            0 => a.block(0), // A
+            1 => b.block(0), // E
+            2 => a.block(2), // C
+            3 => b.block(1), // F
+            4 => a.block(1), // B
+            5 => b.block(2), // G
+            6 => a.block(3), // D
+            7 => b.block(3), // H
+            _ => unreachable!(),
+        }
+    };
+    let product_operands = [
+        (0usize, 1),
+        (2, 1),
+        (2, 3),
+        (0, 3),
+        (4, 5),
+        (6, 5),
+        (6, 7),
+        (4, 7),
+    ];
+    let sum_operands = [(8usize, 12), (11, 15), (9, 13), (10, 14)];
+    ic_exec::execute(&dag, &schedule, workers.max(1), |v| {
+        let idx = v.index();
+        let val = if idx < 8 {
+            input_block(idx)
+        } else if idx < 16 {
+            let (x, y) = product_operands[idx - 8];
+            let left = cells[x].get().expect("parents ran first");
+            let right = cells[y].get().expect("parents ran first");
+            multiply_recursive(left, right, 16)
+        } else {
+            let (p, q) = sum_operands[idx - 16];
+            cells[p].get().unwrap().add(cells[q].get().unwrap())
+        };
+        cells[idx].set(val).expect("single execution");
+    });
+    // Sums 16..20 are AE+BG (top-left), AF+BH (top-right), CE+DG
+    // (bottom-left), CF+DH (bottom-right).
+    Matrix::from_blocks([
+        cells[16].get().unwrap(),
+        cells[17].get().unwrap(),
+        cells[18].get().unwrap(),
+        cells[19].get().unwrap(),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, phase: f64) -> Matrix {
+        Matrix::from_fn(n, |i, j| ((i * 7 + j * 3) as f64 * phase).sin())
+    }
+
+    fn close(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        a.dim() == b.dim()
+            && (0..a.dim()).all(|i| (0..a.dim()).all(|j| (a.get(i, j) - b.get(i, j)).abs() < tol))
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = sample(8, 0.3);
+        let id = Matrix::identity(8);
+        assert!(close(&a.multiply_naive(&id), &a, 1e-12));
+        assert!(close(&multiply_recursive(&a, &id, 2), &a, 1e-12));
+    }
+
+    #[test]
+    fn recursive_matches_naive() {
+        for n in [2usize, 4, 8, 16] {
+            let a = sample(n, 0.37);
+            let b = sample(n, 0.91);
+            let naive = a.multiply_naive(&b);
+            for cutoff in [1usize, 2, 4] {
+                let rec = multiply_recursive(&a, &b, cutoff);
+                assert!(close(&rec, &naive, 1e-9), "n = {n}, cutoff = {cutoff}");
+            }
+        }
+    }
+
+    #[test]
+    fn dag_driven_matches_naive() {
+        for n in [2usize, 4, 16] {
+            let a = sample(n, 0.5);
+            let b = sample(n, 1.3);
+            let naive = a.multiply_naive(&b);
+            for workers in [1usize, 4] {
+                let via_dag = multiply_via_dag(&a, &b, workers);
+                assert!(
+                    close(&via_dag, &naive, 1e-9),
+                    "n = {n}, workers = {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_round_trip() {
+        let a = sample(8, 0.7);
+        let rebuilt = Matrix::from_blocks([&a.block(0), &a.block(1), &a.block(2), &a.block(3)]);
+        assert_eq!(a, rebuilt);
+    }
+
+    #[test]
+    fn noncommutativity_is_respected() {
+        // (7.1) must hold without commuting operands: check AB != BA
+        // but both dag/naive agree on each.
+        let a = sample(4, 0.21);
+        let b = sample(4, 1.7);
+        let ab = multiply_via_dag(&a, &b, 2);
+        let ba = multiply_via_dag(&b, &a, 2);
+        assert!(close(&ab, &a.multiply_naive(&b), 1e-10));
+        assert!(close(&ba, &b.multiply_naive(&a), 1e-10));
+        assert!(!close(&ab, &ba, 1e-6), "these matrices should not commute");
+    }
+}

@@ -1,0 +1,274 @@
+//! Shared numeric scaffolding: complex arithmetic and boolean matrices.
+//!
+//! Implemented here rather than pulled from crates.io — the paper's
+//! computations only need a handful of operations, and the workspace
+//! policy is to build its substrates.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number (f64 components).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Construct from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The real number `x`.
+    pub const fn real(x: f64) -> Self {
+        Complex::new(x, 0.0)
+    }
+
+    /// Multiplicative identity.
+    pub const ONE: Complex = Complex::new(1.0, 0.0);
+
+    /// Additive identity.
+    pub const ZERO: Complex = Complex::new(0.0, 0.0);
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// The primitive `n`-th root of unity `e^{-2πi/n}` used by the
+    /// forward FFT.
+    pub fn root_of_unity(n: usize) -> Self {
+        Complex::cis(-2.0 * std::f64::consts::PI / n as f64)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// `self^k` by repeated squaring.
+    pub fn powu(self, mut k: usize) -> Self {
+        let mut base = self;
+        let mut acc = Complex::ONE;
+        while k > 0 {
+            if k & 1 == 1 {
+                acc = acc * base;
+            }
+            base = base * base;
+            k >>= 1;
+        }
+        acc
+    }
+
+    /// Scale by a real factor.
+    pub fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// A dense square boolean matrix, bit-packed by rows — the adjacency
+/// matrices of §6.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoolMatrix {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BoolMatrix {
+    /// The `n × n` all-zero matrix.
+    pub fn zero(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64).max(1);
+        BoolMatrix {
+            n,
+            words_per_row,
+            bits: vec![0; words_per_row * n],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = BoolMatrix::zero(n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Build from an adjacency list of (row, col) true entries.
+    pub fn from_entries(n: usize, entries: &[(usize, usize)]) -> Self {
+        let mut m = BoolMatrix::zero(n);
+        for &(i, j) in entries {
+            m.set(i, j, true);
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Get entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        self.bits[i * self.words_per_row + j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// Set entry `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: bool) {
+        let w = &mut self.bits[i * self.words_per_row + j / 64];
+        if v {
+            *w |= 1 << (j % 64);
+        } else {
+            *w &= !(1 << (j % 64));
+        }
+    }
+
+    /// Logical matrix product: `(self ∧ other)` with OR-accumulation —
+    /// the §6.1 "logical matrix multiplication".
+    pub fn logical_mul(&self, other: &BoolMatrix) -> BoolMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let n = self.n;
+        let wpr = self.words_per_row;
+        let mut out = BoolMatrix::zero(n);
+        for i in 0..n {
+            let out_row = i * wpr;
+            for k in 0..n {
+                if self.get(i, k) {
+                    let other_row = k * wpr;
+                    for w in 0..wpr {
+                        out.bits[out_row + w] |= other.bits[other_row + w];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Elementwise OR.
+    pub fn or(&self, other: &BoolMatrix) -> BoolMatrix {
+        assert_eq!(self.n, other.n);
+        let mut out = self.clone();
+        for (a, b) in out.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_arithmetic() {
+        let i = Complex::new(0.0, 1.0);
+        assert_eq!(i * i, Complex::real(-1.0));
+        let z = Complex::new(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < 1e-12);
+        assert_eq!(z + z.conj(), Complex::real(6.0));
+        assert_eq!(-z, Complex::new(-3.0, -4.0));
+        assert_eq!(z - z, Complex::ZERO);
+    }
+
+    #[test]
+    fn complex_powers() {
+        let i = Complex::new(0.0, 1.0);
+        let p4 = i.powu(4);
+        assert!((p4 - Complex::ONE).abs() < 1e-12);
+        assert_eq!(Complex::real(2.0).powu(10), Complex::real(1024.0));
+        assert_eq!(Complex::real(7.0).powu(0), Complex::ONE);
+    }
+
+    #[test]
+    fn roots_of_unity() {
+        let w = Complex::root_of_unity(8);
+        assert!((w.powu(8) - Complex::ONE).abs() < 1e-12);
+        assert!((w.powu(4) + Complex::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bool_matrix_basics() {
+        let mut m = BoolMatrix::zero(3);
+        assert!(!m.get(1, 2));
+        m.set(1, 2, true);
+        assert!(m.get(1, 2));
+        m.set(1, 2, false);
+        assert!(!m.get(1, 2));
+        let id = BoolMatrix::identity(3);
+        assert!(id.get(0, 0) && id.get(2, 2) && !id.get(0, 1));
+    }
+
+    #[test]
+    fn logical_multiplication_is_path_composition() {
+        // 0 -> 1 -> 2: A² must contain exactly (0, 2).
+        let a = BoolMatrix::from_entries(3, &[(0, 1), (1, 2)]);
+        let a2 = a.logical_mul(&a);
+        assert!(a2.get(0, 2));
+        assert!(!a2.get(0, 1));
+        assert!(!a2.get(1, 2));
+        // A · I = A.
+        let id = BoolMatrix::identity(3);
+        assert_eq!(a.logical_mul(&id), a);
+        assert_eq!(id.logical_mul(&a), a);
+    }
+
+    #[test]
+    fn logical_mul_wide_matrix() {
+        // Exercise multi-word rows (n > 64).
+        let n = 70;
+        let mut a = BoolMatrix::zero(n);
+        for i in 0..n - 1 {
+            a.set(i, i + 1, true);
+        }
+        let a2 = a.logical_mul(&a);
+        assert!(a2.get(0, 2));
+        assert!(a2.get(67, 69));
+        assert!(!a2.get(0, 1));
+    }
+
+    #[test]
+    fn or_combines() {
+        let a = BoolMatrix::from_entries(2, &[(0, 0)]);
+        let b = BoolMatrix::from_entries(2, &[(1, 1)]);
+        assert_eq!(a.or(&b), BoolMatrix::identity(2));
+    }
+}

@@ -1,0 +1,220 @@
+//! Parallel prefix (scan) over any associative operation (§6.1).
+//!
+//! The `*`-parallel prefix of `⟨x_1, ..., x_n⟩` is
+//! `⟨x_1, x_1*x_2, ..., x_1*...*x_n⟩`. The dag `P_n` of
+//! [`ic_families::prefix`] realizes the `O(log n)`-step algorithm; here
+//! we attach the actual value flow (cells either pass through or
+//! combine `x[i - 2^j] * x[i]`) and drive it either sequentially in
+//! IC-optimal schedule order or in parallel through `ic-exec`.
+//!
+//! The §6.1 instances — integer powers, complex powers, and logical
+//! matrix powers — are provided as ready-made wrappers.
+
+use std::sync::OnceLock;
+
+use ic_families::prefix::{parallel_prefix, prefix_id, prefix_rows, prefix_schedule};
+
+use crate::numeric::{BoolMatrix, Complex};
+
+/// Reference implementation: the sequential left fold.
+pub fn scan_sequential<T: Clone>(xs: &[T], op: impl Fn(&T, &T) -> T) -> Vec<T> {
+    let mut out = Vec::with_capacity(xs.len());
+    for x in xs {
+        let next = match out.last() {
+            None => x.clone(),
+            Some(prev) => op(prev, x),
+        };
+        out.push(next);
+    }
+    out
+}
+
+/// Compute the `op`-parallel prefix of `xs` by executing the dag `P_n`
+/// in its IC-optimal schedule order (sequentially).
+///
+/// ```
+/// use ic_apps::scan::scan_via_dag;
+/// let sums = scan_via_dag(&[1, 2, 3, 4, 5], |a, b| a + b);
+/// assert_eq!(sums, vec![1, 3, 6, 10, 15]);
+/// ```
+///
+/// # Panics
+/// Panics if `xs` is empty.
+pub fn scan_via_dag<T: Clone>(xs: &[T], op: impl Fn(&T, &T) -> T) -> Vec<T> {
+    let n = xs.len();
+    assert!(n > 0, "scan of an empty vector");
+    if n == 1 {
+        return vec![xs[0].clone()];
+    }
+    let dag = parallel_prefix(n);
+    let schedule = prefix_schedule(n);
+    let rows = prefix_rows(n);
+    let mut values: Vec<Option<T>> = vec![None; dag.num_nodes()];
+    for &v in schedule.order() {
+        let idx = v.index();
+        let (row, cell) = (idx / n, idx % n);
+        let val = if row == 0 {
+            xs[cell].clone()
+        } else {
+            let shift = 1usize << (row - 1);
+            let below = values[prefix_id(n, row - 1, cell).index()]
+                .as_ref()
+                .expect("schedule order guarantees parents first");
+            if cell >= shift {
+                let left = values[prefix_id(n, row - 1, cell - shift).index()]
+                    .as_ref()
+                    .expect("parent executed");
+                op(left, below)
+            } else {
+                below.clone()
+            }
+        };
+        values[idx] = Some(val);
+    }
+    (0..n)
+        .map(|i| {
+            values[prefix_id(n, rows - 1, i).index()]
+                .take()
+                .expect("all cells computed")
+        })
+        .collect()
+}
+
+/// Compute the `op`-parallel prefix of `xs` by running the `P_n` dag on
+/// `workers` threads through [`ic_exec::execute`], tasks selected by the
+/// IC-optimal schedule.
+pub fn scan_parallel<T, F>(xs: &[T], op: F, workers: usize) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    let n = xs.len();
+    assert!(n > 0, "scan of an empty vector");
+    if n == 1 {
+        return vec![xs[0].clone()];
+    }
+    let dag = parallel_prefix(n);
+    let schedule = prefix_schedule(n);
+    let rows = prefix_rows(n);
+    let cells: Vec<OnceLock<T>> = (0..dag.num_nodes()).map(|_| OnceLock::new()).collect();
+    ic_exec::execute(&dag, &schedule, workers, |v| {
+        let idx = v.index();
+        let (row, cell) = (idx / n, idx % n);
+        let val = if row == 0 {
+            xs[cell].clone()
+        } else {
+            let shift = 1usize << (row - 1);
+            let below = cells[prefix_id(n, row - 1, cell).index()]
+                .get()
+                .expect("executor runs parents first");
+            if cell >= shift {
+                let left = cells[prefix_id(n, row - 1, cell - shift).index()]
+                    .get()
+                    .expect("executor runs parents first");
+                op(left, below)
+            } else {
+                below.clone()
+            }
+        };
+        cells[idx].set(val).ok().expect("each task runs once");
+    });
+    (0..n)
+        .map(|i| {
+            cells[prefix_id(n, rows - 1, i).index()]
+                .get()
+                .cloned()
+                .unwrap()
+        })
+        .collect()
+}
+
+/// §6.1 instance 1: the first `n` powers `N, N², ..., Nⁿ` of an integer,
+/// via `*` = wrapping multiplication.
+pub fn integer_powers(base: u64, n: usize) -> Vec<u64> {
+    scan_via_dag(&vec![base; n], |a, b| a.wrapping_mul(*b))
+}
+
+/// §6.1 instance 2: the first `n` powers of a complex number.
+pub fn complex_powers(omega: Complex, n: usize) -> Vec<Complex> {
+    scan_via_dag(&vec![omega; n], |a, b| *a * *b)
+}
+
+/// §6.1 instance 3: the first `n` logical powers `A, A², ..., Aⁿ` of a
+/// boolean adjacency matrix.
+pub fn boolean_matrix_powers(a: &BoolMatrix, n: usize) -> Vec<BoolMatrix> {
+    scan_via_dag(&vec![a.clone(); n], |x, y| x.logical_mul(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_scan_matches_sequential_sum() {
+        for n in [1usize, 2, 3, 5, 8, 13, 16, 31] {
+            let xs: Vec<i64> = (1..=n as i64).collect();
+            let expect = scan_sequential(&xs, |a, b| a + b);
+            let got = scan_via_dag(&xs, |a, b| a + b);
+            assert_eq!(got, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn dag_scan_with_noncommutative_op() {
+        // String concatenation is associative but not commutative — the
+        // scan must preserve operand order.
+        let xs: Vec<String> = ["a", "b", "c", "d", "e"].map(String::from).to_vec();
+        let got = scan_via_dag(&xs, |a, b| format!("{a}{b}"));
+        assert_eq!(got.last().unwrap(), "abcde");
+        assert_eq!(got[2], "abc");
+    }
+
+    #[test]
+    fn parallel_scan_matches() {
+        let xs: Vec<i64> = (1..=24).map(|i| i * i - 3).collect();
+        let expect = scan_sequential(&xs, |a, b| a + b);
+        for workers in [1usize, 2, 4] {
+            let got = scan_parallel(&xs, |a, b| a + b, workers);
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn integer_power_generation() {
+        let powers = integer_powers(3, 6);
+        assert_eq!(powers, vec![3, 9, 27, 81, 243, 729]);
+    }
+
+    #[test]
+    fn complex_power_generation() {
+        let i = Complex::new(0.0, 1.0);
+        let powers = complex_powers(i, 4);
+        assert!((powers[0] - i).abs() < 1e-12);
+        assert!((powers[1] - Complex::real(-1.0)).abs() < 1e-12);
+        assert!((powers[3] - Complex::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boolean_matrix_power_generation() {
+        // Directed 4-cycle: A^4 = I on the cycle relation.
+        let a = BoolMatrix::from_entries(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let powers = boolean_matrix_powers(&a, 4);
+        assert_eq!(powers[0], a);
+        assert_eq!(powers[3], BoolMatrix::identity(4));
+        // A² has exactly the distance-2 pairs.
+        assert!(powers[1].get(0, 2) && powers[1].get(2, 0));
+        assert!(!powers[1].get(0, 1));
+    }
+
+    #[test]
+    fn scan_of_single_element() {
+        assert_eq!(scan_via_dag(&[42i64], |a, b| a + b), vec![42]);
+    }
+
+    #[test]
+    fn min_scan() {
+        let xs = [5i64, 3, 8, 1, 9, 2];
+        let got = scan_via_dag(&xs, |a, b| (*a).min(*b));
+        assert_eq!(got, vec![5, 3, 3, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Sorting through comparator networks (§5.2).
+//!
+//! Each comparator applies the transformation (5.1):
+//! `y0 = min(x0, x1)`, `y1 = max(x0, x1)`. Executing the bitonic
+//! network's dag in its IC-optimal paired schedule sorts any input.
+
+use ic_families::sorting::{
+    bitonic_network, comparator_dag, comparator_schedule, odd_even_network, wire_id, Comparator,
+};
+
+/// Sort by simulating the comparator stages directly on an array —
+/// the reference executor.
+pub fn bitonic_sort_array<T: Ord + Clone>(xs: &[T]) -> Vec<T> {
+    let n = xs.len();
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "bitonic sort needs 2^k >= 2 keys"
+    );
+    let (_, stages) = bitonic_network(n);
+    let mut v = xs.to_vec();
+    for comps in &stages {
+        for c in comps {
+            apply(&mut v, c);
+        }
+    }
+    v
+}
+
+/// Sort through Batcher's odd-even merge network (fewer comparators
+/// than bitonic; stages contain pass-through wires), dag-driven.
+pub fn odd_even_sort_via_dag<T: Ord + Clone>(xs: &[T]) -> Vec<T> {
+    let n = xs.len();
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "odd-even sort needs 2^k >= 2 keys"
+    );
+    let (_, stages) = odd_even_network(n);
+    network_sort(xs, &stages)
+}
+
+fn apply<T: Ord + Clone>(v: &mut [T], c: &Comparator) {
+    let out_of_order = if c.ascending {
+        v[c.lo] > v[c.hi]
+    } else {
+        v[c.lo] < v[c.hi]
+    };
+    if out_of_order {
+        v.swap(c.lo, c.hi);
+    }
+}
+
+/// Sort by executing the bitonic network's *dag*, node by node in the
+/// IC-optimal schedule order, carrying wire values through the levels.
+pub fn bitonic_sort_via_dag<T: Ord + Clone>(xs: &[T]) -> Vec<T> {
+    let n = xs.len();
+    assert!(
+        n.is_power_of_two() && n >= 2,
+        "bitonic sort needs 2^k >= 2 keys"
+    );
+    let (_, stages) = bitonic_network(n);
+    network_sort(xs, &stages)
+}
+
+/// Execute any comparator network dag-first: build the dag (with
+/// pass-through wires), walk it in the §5.2 paired schedule order, and
+/// read the sorted keys off the final level.
+fn network_sort<T: Ord + Clone>(xs: &[T], stages: &[Vec<Comparator>]) -> Vec<T> {
+    let n = xs.len();
+    let dag = comparator_dag(n, stages);
+    let schedule = comparator_schedule(n, stages);
+
+    // comp_of[(stage, wire)] -> the comparator touching that wire, if any.
+    let mut comp_of: Vec<Vec<Option<&Comparator>>> = Vec::with_capacity(stages.len());
+    for comps in stages {
+        let mut slots: Vec<Option<&Comparator>> = vec![None; n];
+        for c in comps {
+            slots[c.lo] = Some(c);
+            slots[c.hi] = Some(c);
+        }
+        comp_of.push(slots);
+    }
+
+    let mut values: Vec<Option<T>> = vec![None; dag.num_nodes()];
+    for (i, x) in xs.iter().enumerate() {
+        values[wire_id(n, 0, i).index()] = Some(x.clone());
+    }
+    for &v in schedule.order() {
+        let idx = v.index();
+        let (level, wire) = (idx / n, idx % n);
+        if level == 0 {
+            continue;
+        }
+        let val = match comp_of[level - 1][wire] {
+            None => values[wire_id(n, level - 1, wire).index()]
+                .clone()
+                .expect("pass-through parent executed"),
+            Some(c) => {
+                let a = values[wire_id(n, level - 1, c.lo).index()]
+                    .clone()
+                    .expect("schedule order guarantees parents first");
+                let b = values[wire_id(n, level - 1, c.hi).index()]
+                    .clone()
+                    .expect("parent executed");
+                let (min, max) = if a <= b { (a, b) } else { (b, a) };
+                match (wire == c.lo, c.ascending) {
+                    (true, true) | (false, false) => min,
+                    _ => max,
+                }
+            }
+        };
+        values[idx] = Some(val);
+    }
+    let last = stages.len();
+    (0..n)
+        .map(|i| values[wire_id(n, last, i).index()].take().unwrap())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sorts_small_cases() {
+        assert_eq!(bitonic_sort_array(&[2, 1]), vec![1, 2]);
+        assert_eq!(bitonic_sort_array(&[4, 1, 3, 2]), vec![1, 2, 3, 4]);
+        assert_eq!(
+            bitonic_sort_array(&[8, 7, 6, 5, 4, 3, 2, 1]),
+            vec![1, 2, 3, 4, 5, 6, 7, 8]
+        );
+    }
+
+    #[test]
+    fn dag_execution_matches_array_execution() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [2usize, 4, 8, 16, 32] {
+            let xs: Vec<i64> = (0..n).map(|_| rng.gen_range(-100..100)).collect();
+            let via_dag = bitonic_sort_via_dag(&xs);
+            let via_array = bitonic_sort_array(&xs);
+            let mut expect = xs.clone();
+            expect.sort();
+            assert_eq!(via_dag, expect, "dag sort, n = {n}");
+            assert_eq!(via_array, expect, "array sort, n = {n}");
+        }
+    }
+
+    #[test]
+    fn sorts_with_duplicates() {
+        let xs = [3, 1, 3, 1, 2, 2, 0, 3];
+        assert_eq!(bitonic_sort_via_dag(&xs), vec![0, 1, 1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn sorts_already_sorted() {
+        let xs: Vec<u32> = (0..16).collect();
+        assert_eq!(bitonic_sort_via_dag(&xs), xs);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn non_power_of_two_rejected() {
+        let _ = bitonic_sort_array(&[3, 1, 2]);
+    }
+
+    #[test]
+    fn odd_even_sorts_random_keys() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for n in [2usize, 4, 8, 16, 32, 64] {
+            let xs: Vec<i64> = (0..n).map(|_| rng.gen_range(-50..50)).collect();
+            let got = odd_even_sort_via_dag(&xs);
+            let mut want = xs.clone();
+            want.sort();
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn odd_even_agrees_with_bitonic() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<u32> = (0..32).map(|_| rng.gen_range(0..1000)).collect();
+        assert_eq!(odd_even_sort_via_dag(&xs), bitonic_sort_via_dag(&xs));
+    }
+
+    #[test]
+    fn odd_even_zero_one_principle_spot_check() {
+        // All 0/1 inputs of width 8 (the 0-1 principle: a network that
+        // sorts every 0/1 vector sorts everything).
+        for bits in 0..256u32 {
+            let xs: Vec<u8> = (0..8).map(|i| (bits >> i & 1) as u8).collect();
+            let got = odd_even_sort_via_dag(&xs);
+            let mut want = xs.clone();
+            want.sort_unstable();
+            assert_eq!(got, want, "bits = {bits:08b}");
+        }
+    }
+}

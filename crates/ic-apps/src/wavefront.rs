@@ -1,0 +1,267 @@
+//! Wavefront computations over out-meshes (§4).
+//!
+//! A wavefront recurrence fills a triangular array where cell `(r, c)`
+//! depends on `(r-1, c)` and `(r, c-1)` — exactly the out-mesh dag. We
+//! provide a generic executor (sequential, in the IC-optimal diagonal
+//! schedule, or parallel through `ic-exec`) and two instances:
+//! Pascal's triangle (binomials — the canonical mesh recurrence) and a
+//! smoothing stencil of the kind that arises in finite-element and
+//! vision arrays.
+
+use std::sync::OnceLock;
+
+use ic_families::mesh::{mesh_coords, out_mesh, out_mesh_schedule};
+
+/// Run a wavefront recurrence over the `levels`-diagonal out-mesh in
+/// IC-optimal schedule order. `init` gives the apex value; `combine`
+/// computes a cell from its available parents (`up` = `(r-1, c)`,
+/// `left` = `(r, c-1)`; boundary cells see `None` on the missing side).
+/// Returns all cell values indexed by `(r, c)` via the returned
+/// coordinate list.
+pub fn wavefront<T: Clone>(
+    levels: usize,
+    init: T,
+    combine: impl Fn(usize, usize, Option<&T>, Option<&T>) -> T,
+) -> (Vec<T>, Vec<(usize, usize)>) {
+    let dag = out_mesh(levels);
+    let coords = mesh_coords(levels);
+    let schedule = out_mesh_schedule(&dag);
+    // Map coordinates -> node index for parent lookups.
+    let id_of = |r: usize, c: usize| -> usize {
+        let k = r + c;
+        k * (k + 1) / 2 + r
+    };
+    let mut values: Vec<Option<T>> = vec![None; dag.num_nodes()];
+    for &v in schedule.order() {
+        let (r, c) = coords[v.index()];
+        let val = if r == 0 && c == 0 {
+            init.clone()
+        } else {
+            let up = r.checked_sub(1).map(|ru| id_of(ru, c));
+            let left = c.checked_sub(1).map(|cl| id_of(r, cl));
+            let up_val = up.map(|i| values[i].as_ref().expect("parent executed"));
+            let left_val = left.map(|i| values[i].as_ref().expect("parent executed"));
+            combine(r, c, up_val, left_val)
+        };
+        values[v.index()] = Some(val);
+    }
+    (
+        values
+            .into_iter()
+            .map(|v| v.expect("all cells computed"))
+            .collect(),
+        coords,
+    )
+}
+
+/// Parallel wavefront through [`ic_exec::execute`].
+pub fn wavefront_parallel<T, F>(
+    levels: usize,
+    init: T,
+    combine: F,
+    workers: usize,
+) -> (Vec<T>, Vec<(usize, usize)>)
+where
+    T: Clone + Send + Sync,
+    F: Fn(usize, usize, Option<&T>, Option<&T>) -> T + Sync,
+{
+    let dag = out_mesh(levels);
+    let coords = mesh_coords(levels);
+    let schedule = out_mesh_schedule(&dag);
+    let id_of = |r: usize, c: usize| -> usize {
+        let k = r + c;
+        k * (k + 1) / 2 + r
+    };
+    let cells: Vec<OnceLock<T>> = (0..dag.num_nodes()).map(|_| OnceLock::new()).collect();
+    ic_exec::execute(&dag, &schedule, workers, |v| {
+        let (r, c) = coords[v.index()];
+        let val = if r == 0 && c == 0 {
+            init.clone()
+        } else {
+            let up = r
+                .checked_sub(1)
+                .map(|ru| cells[id_of(ru, c)].get().expect("parent ran"));
+            let left = c
+                .checked_sub(1)
+                .map(|cl| cells[id_of(r, cl)].get().expect("parent ran"));
+            combine(r, c, up, left)
+        };
+        cells[v.index()].set(val).ok().expect("single execution");
+    });
+    (
+        cells
+            .into_iter()
+            .map(|c| c.into_inner().expect("computed"))
+            .collect(),
+        coords,
+    )
+}
+
+/// Pascal's triangle through the mesh: cell `(r, c)` holds `C(r+c, r)`.
+pub fn pascal_triangle(levels: usize) -> Vec<(usize, usize, u64)> {
+    let (values, coords) = wavefront(levels, 1u64, |_, _, up, left| {
+        up.copied().unwrap_or(0) + left.copied().unwrap_or(0)
+    });
+    coords
+        .into_iter()
+        .zip(values)
+        .map(|((r, c), v)| (r, c, v))
+        .collect()
+}
+
+/// A relaxation/smoothing stencil: each cell averages its available
+/// parents and adds a source term `f(r, c)` — the shape of wavefront
+/// sweeps in finite-element settings.
+pub fn smoothing_sweep(levels: usize, f: impl Fn(usize, usize) -> f64) -> Vec<f64> {
+    let (values, _) = wavefront(levels, f(0, 0), |r, c, up, left| {
+        let (sum, cnt) = match (up, left) {
+            (Some(a), Some(b)) => (a + b, 2.0),
+            (Some(a), None) | (None, Some(a)) => (*a, 1.0),
+            (None, None) => (0.0, 1.0),
+        };
+        sum / cnt + f(r, c)
+    });
+    values
+}
+
+/// A full rectangular wavefront: the minimum-cost monotone path DP
+/// (`dp[r][c] = cost[r][c] + min(dp[r-1][c], dp[r][c-1])`), executed
+/// cell by cell over the [`ic_families::mesh::rect_mesh`] dag in its
+/// IC-optimal wavefront order. Returns the dp table (row-major).
+///
+/// # Panics
+/// Panics if `cost` is empty or ragged.
+pub fn min_cost_path(cost: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let rows = cost.len();
+    assert!(rows > 0, "empty grid");
+    let cols = cost[0].len();
+    assert!(
+        cols > 0 && cost.iter().all(|r| r.len() == cols),
+        "ragged grid"
+    );
+    let dag = ic_families::mesh::rect_mesh(rows, cols);
+    let ids = ic_families::mesh::rect_mesh_ids(rows, cols);
+    let schedule = ic_families::mesh::rect_mesh_schedule(&dag);
+    // Invert the id map once.
+    let mut coord = vec![(0usize, 0usize); rows * cols];
+    for (r, row) in ids.iter().enumerate() {
+        for (c, &id) in row.iter().enumerate() {
+            coord[id.index()] = (r, c);
+        }
+    }
+    let mut dp = vec![vec![0.0f64; cols]; rows];
+    for &v in schedule.order() {
+        let (r, c) = coord[v.index()];
+        let up = r.checked_sub(1).map(|ru| dp[ru][c]);
+        let left = c.checked_sub(1).map(|cl| dp[r][cl]);
+        let best = match (up, left) {
+            (None, None) => 0.0,
+            (Some(a), None) | (None, Some(a)) => a,
+            (Some(a), Some(b)) => a.min(b),
+        };
+        dp[r][c] = cost[r][c] + best;
+    }
+    dp
+}
+
+/// Brute-force reference for [`min_cost_path`]: enumerate every
+/// monotone path (exponential; small grids only).
+pub fn min_cost_path_reference(cost: &[Vec<f64>]) -> f64 {
+    fn go(cost: &[Vec<f64>], r: usize, c: usize) -> f64 {
+        let here = cost[r][c];
+        if r == 0 && c == 0 {
+            return here;
+        }
+        let mut best = f64::INFINITY;
+        if r > 0 {
+            best = best.min(go(cost, r - 1, c));
+        }
+        if c > 0 {
+            best = best.min(go(cost, r, c - 1));
+        }
+        here + best
+    }
+    go(cost, cost.len() - 1, cost[0].len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binomial(n: u64, k: u64) -> u64 {
+        let k = k.min(n - k);
+        let mut acc = 1u64;
+        for i in 0..k {
+            acc = acc * (n - i) / (i + 1);
+        }
+        acc
+    }
+
+    #[test]
+    fn pascal_matches_binomials() {
+        for (r, c, v) in pascal_triangle(10) {
+            assert_eq!(v, binomial((r + c) as u64, r as u64), "({r},{c})");
+        }
+    }
+
+    #[test]
+    fn parallel_wavefront_matches_sequential() {
+        let combine = |_r: usize, _c: usize, up: Option<&u64>, left: Option<&u64>| {
+            up.copied().unwrap_or(0) + left.copied().unwrap_or(0)
+        };
+        let (seq, _) = wavefront(12, 1u64, combine);
+        for workers in [1usize, 2, 4] {
+            let (par, _) = wavefront_parallel(12, 1u64, combine, workers);
+            assert_eq!(par, seq, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn smoothing_is_deterministic_and_finite() {
+        let out = smoothing_sweep(8, |r, c| (r as f64 - c as f64) * 0.25);
+        assert_eq!(out.len(), 8 * 9 / 2);
+        assert!(out.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn min_cost_path_matches_brute_force() {
+        let mut s = 0xC057u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % 100) as f64 / 10.0
+        };
+        for (rows, cols) in [(1usize, 1usize), (2, 3), (4, 4), (3, 6)] {
+            let cost: Vec<Vec<f64>> = (0..rows)
+                .map(|_| (0..cols).map(|_| next()).collect())
+                .collect();
+            let dp = min_cost_path(&cost);
+            let brute = min_cost_path_reference(&cost);
+            assert!(
+                (dp[rows - 1][cols - 1] - brute).abs() < 1e-9,
+                "{rows}x{cols}: {} vs {brute}",
+                dp[rows - 1][cols - 1]
+            );
+        }
+    }
+
+    #[test]
+    fn min_cost_path_prefers_cheap_rows() {
+        // Zero top row + zero right column vs expensive interior.
+        let cost = vec![
+            vec![0.0, 0.0, 0.0],
+            vec![9.0, 9.0, 0.0],
+            vec![9.0, 9.0, 0.0],
+        ];
+        let dp = min_cost_path(&cost);
+        assert_eq!(dp[2][2], 0.0);
+    }
+
+    #[test]
+    fn single_cell_wavefront() {
+        let (values, coords) = wavefront(1, 42u64, |_, _, _, _| unreachable!());
+        assert_eq!(values, vec![42]);
+        assert_eq!(coords, vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Criterion benches for the applicative computations: the §5.2
+//! FFT-vs-naive-DFT crossover, convolution, dag-driven sorting vs the
+//! standard library, scan, DLT, graph paths, adaptive quadrature, and
+//! block matrix multiplication.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ic_apps::dlt::{dlt_via_prefix, dlt_via_vee3};
+use ic_apps::fft::{dft_naive, fft_via_butterfly};
+use ic_apps::graphpaths::all_path_lengths;
+use ic_apps::integration::{integrate_adaptive, Rule};
+use ic_apps::matmul::{multiply_recursive, Matrix};
+use ic_apps::numeric::{BoolMatrix, Complex};
+use ic_apps::poly::{convolve_fft, convolve_naive};
+use ic_apps::scan::scan_via_dag;
+use ic_apps::sorting::{bitonic_sort_array, bitonic_sort_via_dag};
+
+fn signal(n: usize) -> Vec<Complex> {
+    (0..n)
+        .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+        .collect()
+}
+
+/// The paper's headline §5.2 claim rendered as a bench: FFT is
+/// Θ(n log n) against the naive Θ(n²) DFT; the crossover appears as n
+/// grows.
+fn bench_fft_crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_vs_naive_dft");
+    for n in [16usize, 64, 256] {
+        let xs = signal(n);
+        g.bench_with_input(BenchmarkId::new("butterfly_fft", n), &xs, |b, xs| {
+            b.iter(|| fft_via_butterfly(black_box(xs)))
+        });
+        g.bench_with_input(BenchmarkId::new("naive_dft", n), &xs, |b, xs| {
+            b.iter(|| dft_naive(black_box(xs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_convolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("convolution");
+    for n in [32usize, 128, 512] {
+        let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+        let b_: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07).cos()).collect();
+        g.bench_with_input(BenchmarkId::new("fft", n), &n, |b, _| {
+            b.iter(|| convolve_fft(black_box(&a), black_box(&b_)))
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| convolve_naive(black_box(&a), black_box(&b_)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sorting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sorting");
+    for n in [64usize, 256] {
+        let xs: Vec<i64> = (0..n).map(|i| ((i * 2654435761) % 1000) as i64).collect();
+        g.bench_with_input(BenchmarkId::new("bitonic_array", n), &xs, |b, xs| {
+            b.iter(|| bitonic_sort_array(black_box(xs)))
+        });
+        g.bench_with_input(BenchmarkId::new("bitonic_dag", n), &xs, |b, xs| {
+            b.iter(|| bitonic_sort_via_dag(black_box(xs)))
+        });
+        g.bench_with_input(BenchmarkId::new("std_sort", n), &xs, |b, xs| {
+            b.iter(|| {
+                let mut v = xs.clone();
+                v.sort();
+                v
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_prefix_scan");
+    for n in [64usize, 256, 1024] {
+        let xs: Vec<i64> = (0..n as i64).collect();
+        g.bench_with_input(BenchmarkId::new("dag_scan", n), &xs, |b, xs| {
+            b.iter(|| scan_via_dag(black_box(xs), |a, b| a + b))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dlt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dlt");
+    let omega = Complex::cis(0.43);
+    for n in [16usize, 64] {
+        let xs = signal(n);
+        g.bench_with_input(BenchmarkId::new("via_prefix", n), &xs, |b, xs| {
+            b.iter(|| dlt_via_prefix(black_box(xs), omega, 3))
+        });
+        g.bench_with_input(BenchmarkId::new("via_vee3", n), &xs, |b, xs| {
+            b.iter(|| dlt_via_vee3(black_box(xs), omega, 3))
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph_paths");
+    for (nodes, k) in [(9usize, 8usize), (30, 8), (30, 16)] {
+        let mut entries = Vec::new();
+        for i in 0..nodes {
+            entries.push((i, (i + 1) % nodes));
+            entries.push((i, (i + 3) % nodes));
+        }
+        let a = BoolMatrix::from_entries(nodes, &entries);
+        g.bench_with_input(BenchmarkId::new(format!("n{nodes}"), k), &a, |b, a| {
+            b.iter(|| all_path_lengths(black_box(a), k))
+        });
+    }
+    g.finish();
+}
+
+fn bench_integration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptive_quadrature");
+    g.bench_function("sin_trapezoid", |b| {
+        b.iter(|| {
+            integrate_adaptive(
+                f64::sin,
+                0.0,
+                std::f64::consts::PI,
+                black_box(1e-5),
+                20,
+                Rule::Trapezoid,
+            )
+            .unwrap()
+            .value
+        })
+    });
+    g.bench_function("sin_simpson", |b| {
+        b.iter(|| {
+            integrate_adaptive(
+                f64::sin,
+                0.0,
+                std::f64::consts::PI,
+                black_box(1e-8),
+                20,
+                Rule::Simpson,
+            )
+            .unwrap()
+            .value
+        })
+    });
+    g.finish();
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_matmul");
+    for n in [32usize, 64] {
+        let a = Matrix::from_fn(n, |i, j| ((i + j) as f64 * 0.01).sin());
+        let b_ = Matrix::from_fn(n, |i, j| ((i * j) as f64 * 0.02).cos());
+        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(&a).multiply_naive(black_box(&b_)))
+        });
+        for cutoff in [8usize, 16] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("recursive_cut{cutoff}"), n),
+                &n,
+                |b, _| b.iter(|| multiply_recursive(black_box(&a), black_box(&b_), cutoff)),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Radix granularity of the FFT: the same transform at radices 2 and 4
+/// (coarser butterfly tasks) — the §5.1 granularity knob, timed.
+fn bench_radix_fft(c: &mut Criterion) {
+    use ic_apps::fft::radix_r_fft;
+    let mut g = c.benchmark_group("radix_fft");
+    for n in [64usize, 256] {
+        let xs = signal(n);
+        g.bench_with_input(BenchmarkId::new("radix2", n), &xs, |b, xs| {
+            b.iter(|| radix_r_fft(2, black_box(xs)))
+        });
+        g.bench_with_input(BenchmarkId::new("radix4", n), &xs, |b, xs| {
+            b.iter(|| radix_r_fft(4, black_box(xs)))
+        });
+    }
+    g.finish();
+}
+
+/// Odd-even vs bitonic, dag-driven: fewer comparators vs denser stages.
+fn bench_network_sorts(c: &mut Criterion) {
+    use ic_apps::sorting::odd_even_sort_via_dag;
+    let mut g = c.benchmark_group("network_sorts");
+    for n in [64usize, 256] {
+        let xs: Vec<i64> = (0..n).map(|i| ((i * 2654435761) % 997) as i64).collect();
+        g.bench_with_input(BenchmarkId::new("bitonic_dag", n), &xs, |b, xs| {
+            b.iter(|| bitonic_sort_via_dag(black_box(xs)))
+        });
+        g.bench_with_input(BenchmarkId::new("odd_even_dag", n), &xs, |b, xs| {
+            b.iter(|| odd_even_sort_via_dag(black_box(xs)))
+        });
+    }
+    g.finish();
+}
+
+/// The carry-lookahead adder through the prefix dag.
+fn bench_adder(c: &mut Criterion) {
+    use ic_apps::adder::add_u64;
+    let mut g = c.benchmark_group("carry_lookahead");
+    g.bench_function("add_u64", |b| {
+        b.iter(|| {
+            add_u64(
+                black_box(0xDEAD_BEEF_0123_4567),
+                black_box(0x0FED_CBA9_8765_4321),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft_crossover,
+    bench_convolution,
+    bench_sorting,
+    bench_scan,
+    bench_dlt,
+    bench_graph_paths,
+    bench_integration,
+    bench_matmul,
+    bench_radix_fft,
+    bench_network_sorts,
+    bench_adder
+);
+criterion_main!(benches);

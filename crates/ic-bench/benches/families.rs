@@ -1,0 +1,108 @@
+//! Criterion benches for dag-family construction, composition, and
+//! coarsening — one group per paper family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ic_families::butterfly::{butterfly, butterfly_as_block_chain, coarsen_butterfly};
+use ic_families::diamond::{diamond_chain, diamond_from_out_tree};
+use ic_families::dlt::{dlt_prefix, dlt_vee3};
+use ic_families::matmul::recursive_matmul;
+use ic_families::mesh::{coarsen_mesh, out_mesh, out_mesh_as_w_chain};
+use ic_families::prefix::{parallel_prefix, prefix_as_n_chain};
+use ic_families::sorting::bitonic_network;
+use ic_families::trees::{complete_out_tree, random_branching_out_tree};
+
+fn bench_trees_and_diamonds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diamonds");
+    for depth in [4usize, 6, 8] {
+        g.bench_with_input(BenchmarkId::new("complete", depth), &depth, |b, &d| {
+            b.iter(|| {
+                let t = complete_out_tree(2, d);
+                diamond_from_out_tree(black_box(&t)).unwrap()
+            })
+        });
+    }
+    g.bench_function("random_tree_200", |b| {
+        b.iter(|| random_branching_out_tree(200, 2, black_box(7)))
+    });
+    let t = complete_out_tree(2, 3);
+    g.bench_function("chain_of_4", |b| {
+        b.iter(|| diamond_chain(black_box(&[&t, &t, &t, &t])).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_meshes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("meshes");
+    for levels in [20usize, 40, 80] {
+        g.bench_with_input(BenchmarkId::new("direct", levels), &levels, |b, &l| {
+            b.iter(|| out_mesh(black_box(l)))
+        });
+    }
+    g.bench_function("w_chain_20", |b| {
+        b.iter(|| out_mesh_as_w_chain(black_box(20)))
+    });
+    g.bench_function("coarsen_40_by_4", |b| {
+        b.iter(|| coarsen_mesh(black_box(40), 4))
+    });
+    g.finish();
+}
+
+fn bench_butterflies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("butterflies");
+    for d in [4usize, 7, 10] {
+        g.bench_with_input(BenchmarkId::new("direct", d), &d, |b, &d| {
+            b.iter(|| butterfly(black_box(d)))
+        });
+    }
+    g.bench_function("block_chain_d4", |b| {
+        b.iter(|| butterfly_as_block_chain(black_box(4)))
+    });
+    g.bench_function("coarsen_d8_b2", |b| {
+        b.iter(|| coarsen_butterfly(black_box(8), 2))
+    });
+    g.finish();
+}
+
+fn bench_prefix_family(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prefix_dags");
+    for n in [64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::new("direct", n), &n, |b, &n| {
+            b.iter(|| parallel_prefix(black_box(n)))
+        });
+    }
+    g.bench_function("n_chain_64", |b| {
+        b.iter(|| prefix_as_n_chain(black_box(64)))
+    });
+    g.bench_function("dlt_prefix_64", |b| b.iter(|| dlt_prefix(black_box(64))));
+    g.bench_function("dlt_vee3_64", |b| b.iter(|| dlt_vee3(black_box(64))));
+    g.finish();
+}
+
+fn bench_networks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("networks");
+    for n in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::new("bitonic", n), &n, |b, &n| {
+            b.iter(|| bitonic_network(black_box(n)))
+        });
+    }
+    for depth in [1usize, 2] {
+        g.bench_with_input(
+            BenchmarkId::new("recursive_matmul", depth),
+            &depth,
+            |b, &d| b.iter(|| recursive_matmul(black_box(d))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trees_and_diamonds,
+    bench_meshes,
+    bench_butterflies,
+    bench_prefix_family,
+    bench_networks
+);
+criterion_main!(benches);

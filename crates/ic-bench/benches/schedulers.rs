@@ -1,0 +1,192 @@
+//! Criterion benches for the scheduling core: envelope computation,
+//! IC-optimal schedule synthesis, the priority relation, heuristic
+//! schedulers, and the Theorem 2.1/2.2 constructions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ic_dag::dual;
+use ic_families::diamond::diamond_from_out_tree;
+use ic_families::mesh::{out_mesh, out_mesh_schedule};
+use ic_families::prefix::{parallel_prefix, prefix_schedule};
+use ic_families::primitives::{cycle_dag, ic_schedule, n_dag, w_dag};
+use ic_families::trees::complete_out_tree;
+use ic_sched::duality::dual_schedule;
+use ic_sched::heuristics::{schedule_with, Policy};
+use ic_sched::optimal::{find_ic_optimal, optimal_envelope};
+use ic_sched::priority::has_priority;
+use ic_sched::Schedule;
+
+fn bench_envelope(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimal_envelope");
+    for levels in [3usize, 4, 5] {
+        let m = out_mesh(levels);
+        g.bench_with_input(BenchmarkId::new("mesh", m.num_nodes()), &m, |b, m| {
+            b.iter(|| optimal_envelope(black_box(m)).unwrap())
+        });
+    }
+    for depth in [2usize, 3] {
+        let d = diamond_from_out_tree(&complete_out_tree(2, depth)).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("diamond", d.dag.num_nodes()),
+            &d.dag,
+            |b, dag| b.iter(|| optimal_envelope(black_box(dag)).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("find_ic_optimal");
+    let m4 = out_mesh(4);
+    g.bench_function("mesh_4", |b| {
+        b.iter(|| find_ic_optimal(black_box(&m4)).unwrap())
+    });
+    let p4 = parallel_prefix(4);
+    g.bench_function("prefix_4", |b| {
+        b.iter(|| find_ic_optimal(black_box(&p4)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_priority(c: &mut Criterion) {
+    let mut g = c.benchmark_group("priority_relation");
+    for s in [8usize, 32, 128] {
+        let (ws, wt) = (w_dag(s), w_dag(s + 1));
+        let (ss, st) = (ic_schedule(&ws), ic_schedule(&wt));
+        g.bench_with_input(BenchmarkId::new("w_dags", s), &s, |b, _| {
+            b.iter(|| has_priority(black_box(&ws), &ss, black_box(&wt), &st))
+        });
+        let (ns, nt) = (n_dag(s), cycle_dag(s));
+        let (sn, sc) = (ic_schedule(&ns), ic_schedule(&nt));
+        g.bench_with_input(BenchmarkId::new("n_vs_cycle", s), &s, |b, _| {
+            b.iter(|| has_priority(black_box(&ns), &sn, black_box(&nt), &sc))
+        });
+    }
+    g.finish();
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heuristic_schedulers");
+    let mesh = out_mesh(40); // 820 nodes
+    for p in Policy::all(7) {
+        g.bench_with_input(BenchmarkId::new(p.name(), mesh.num_nodes()), &p, |b, &p| {
+            b.iter(|| schedule_with(black_box(&mesh), p))
+        });
+    }
+    g.finish();
+}
+
+fn bench_duality(c: &mut Criterion) {
+    let mut g = c.benchmark_group("theorem_2_2_dual_schedule");
+    for levels in [10usize, 20, 40] {
+        let m = out_mesh(levels);
+        let s = out_mesh_schedule(&m);
+        g.bench_with_input(BenchmarkId::new("mesh", m.num_nodes()), &m, |b, m| {
+            b.iter(|| dual_schedule(black_box(m), &s).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_profiles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profile_evaluation");
+    for n in [64usize, 256, 1024] {
+        let p = parallel_prefix(n);
+        let s = prefix_schedule(n);
+        g.bench_with_input(BenchmarkId::new("prefix", p.num_nodes()), &p, |b, dag| {
+            b.iter(|| black_box(&s).profile(black_box(dag)))
+        });
+    }
+    let m = out_mesh(40);
+    let sm = Schedule::in_id_order(&m);
+    g.bench_function("mesh_820", |b| b.iter(|| sm.profile(black_box(&m))));
+    let d = dual(&m);
+    let sd = Schedule::in_id_order(&d);
+    g.bench_function("in_mesh_820", |b| b.iter(|| sd.profile(black_box(&d))));
+    g.finish();
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batched_scheduling");
+    let mesh = out_mesh(5);
+    let prio: Vec<usize> = (0..mesh.num_nodes()).collect();
+    g.bench_function("greedy_mesh5_w3", |b| {
+        b.iter(|| ic_sched::batched::greedy_batches(black_box(&mesh), 3, &prio))
+    });
+    g.bench_function("min_rounds_mesh5_w3", |b| {
+        b.iter(|| ic_sched::batched::min_rounds(black_box(&mesh), 3).unwrap())
+    });
+    g.bench_function("optimal_mesh5_w3", |b| {
+        b.iter(|| ic_sched::batched::optimal_batches(black_box(&mesh), 3).unwrap())
+    });
+    let big = out_mesh(30);
+    let prio_big: Vec<usize> = (0..big.num_nodes()).collect();
+    g.bench_function("greedy_mesh30_w8", |b| {
+        b.iter(|| ic_sched::batched::greedy_batches(black_box(&big), 8, &prio_big))
+    });
+    g.finish();
+}
+
+fn bench_almost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("almost_optimal");
+    // The certified non-admitter from the §3.1 analysis.
+    let unary = {
+        let mut arcs = vec![(0u32, 1), (1, 2), (0, 3)];
+        for i in 0..5u32 {
+            arcs.push((2, 4 + i));
+        }
+        arcs.push((3, 9));
+        arcs.push((3, 10));
+        ic_dag::builder::from_arcs(11, &arcs).unwrap()
+    };
+    g.bench_function("min_regret_unary_tree", |b| {
+        b.iter(|| ic_sched::almost::min_regret_schedule(black_box(&unary)).unwrap())
+    });
+    let m4 = out_mesh(4);
+    g.bench_function("min_regret_mesh4", |b| {
+        b.iter(|| ic_sched::almost::min_regret_schedule(black_box(&m4)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_linearize(c: &mut Criterion) {
+    use ic_families::primitives::{lambda, vee_d};
+    let mut g = c.benchmark_group("linearize");
+    let blocks_dags: Vec<ic_dag::Dag> = (0..8)
+        .map(|i| {
+            if i % 2 == 0 {
+                vee_d(2 + i % 3)
+            } else {
+                lambda()
+            }
+        })
+        .collect();
+    let scheds: Vec<Schedule> = blocks_dags.iter().map(Schedule::in_id_order).collect();
+    let blocks: Vec<ic_sched::linearize::Block<'_>> = blocks_dags
+        .iter()
+        .zip(&scheds)
+        .map(|(dag, schedule)| ic_sched::linearize::Block { dag, schedule })
+        .collect();
+    g.bench_function("sort_8_blocks", |b| {
+        b.iter(|| ic_sched::linearize::linearize(black_box(&blocks)))
+    });
+    g.bench_function("exhaustive_8_blocks", |b| {
+        b.iter(|| ic_sched::linearize::chain_exists_exhaustive(black_box(&blocks)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_envelope,
+    bench_synthesis,
+    bench_priority,
+    bench_heuristics,
+    bench_duality,
+    bench_profiles,
+    bench_batched,
+    bench_almost,
+    bench_linearize
+);
+criterion_main!(benches);

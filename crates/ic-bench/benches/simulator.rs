@@ -1,0 +1,85 @@
+//! Criterion benches for the IC server simulator: per-policy simulation
+//! cost across workload families and client populations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ic_families::butterfly::{butterfly, butterfly_schedule};
+use ic_families::mesh::{out_mesh, out_mesh_schedule};
+use ic_families::prefix::{parallel_prefix, prefix_schedule};
+use ic_sched::heuristics::{schedule_with, Policy};
+use ic_sim::{simulate, ClientProfile, SimConfig};
+
+fn cfg(clients: usize) -> SimConfig {
+    SimConfig {
+        clients: ClientProfile {
+            num_clients: clients,
+            mean_service: 1.0,
+            jitter: 0.5,
+            straggler_prob: 0.05,
+            straggler_factor: 6.0,
+            failure_prob: 0.0,
+            comm_cost_per_arc: 0.0,
+            speed_factors: None,
+        },
+        seed: 42,
+        task_weights: None,
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_by_policy");
+    let m = out_mesh(20); // 210 tasks
+    let ic = out_mesh_schedule(&m);
+    g.bench_function("mesh20_ic_optimal", |b| {
+        b.iter(|| simulate(black_box(&m), &ic, &cfg(8)))
+    });
+    for p in [Policy::Fifo, Policy::Lifo, Policy::GreedyEligibility] {
+        let s = schedule_with(&m, p);
+        g.bench_with_input(BenchmarkId::new("mesh20", p.name()), &s, |b, s| {
+            b.iter(|| simulate(black_box(&m), s, &cfg(8)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_workload_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_scale");
+    for d in [4usize, 6, 8] {
+        let bf = butterfly(d);
+        let s = butterfly_schedule(d);
+        g.bench_with_input(
+            BenchmarkId::new("butterfly", bf.num_nodes()),
+            &bf,
+            |b, dag| b.iter(|| simulate(black_box(dag), &s, &cfg(8))),
+        );
+    }
+    for n in [64usize, 256] {
+        let p = parallel_prefix(n);
+        let s = prefix_schedule(n);
+        g.bench_with_input(BenchmarkId::new("prefix", p.num_nodes()), &p, |b, dag| {
+            b.iter(|| simulate(black_box(dag), &s, &cfg(8)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_client_counts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_clients");
+    let m = out_mesh(20);
+    let s = out_mesh_schedule(&m);
+    for clients in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("mesh20", clients), &clients, |b, &k| {
+            b.iter(|| simulate(black_box(&m), &s, &cfg(k)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_workload_scale,
+    bench_client_counts
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Regenerate every figure/table artifact of the paper.
+//!
+//! ```text
+//! cargo run -p ic-bench --bin experiments            # everything
+//! cargo run -p ic-bench --bin experiments -- F13 F17 # a subset
+//! cargo run -p ic-bench --bin experiments -- --dot out/figures
+//! ```
+//!
+//! Exits nonzero if any experiment's checks fail.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use ic_bench::experiments::{run_all, Ctx};
+
+fn main() {
+    let mut only: Vec<String> = Vec::new();
+    let mut ctx = Ctx::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--dot" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--dot requires a directory argument");
+                    std::process::exit(2);
+                });
+                ctx.dot_dir = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                println!("usage: experiments [--dot DIR] [ARTIFACT_ID ...]");
+                println!("artifact ids: F1-F17, T1, S5a, S5b, SIM");
+                return;
+            }
+            other => only.push(other.to_string()),
+        }
+    }
+
+    let sections = run_all(&ctx, &only);
+    if sections.is_empty() {
+        eprintln!("no experiments matched {only:?}");
+        std::process::exit(2);
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(
+        out,
+        "IC-Scheduling Theory — experiment harness ({} artifacts)\n",
+        sections.len()
+    );
+    let mut failures = 0usize;
+    for sec in &sections {
+        let _ = write!(out, "{}", sec.render());
+        let _ = writeln!(out);
+        if !sec.pass {
+            failures += 1;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "summary: {}/{} artifacts reproduced{}",
+        sections.len() - failures,
+        sections.len(),
+        if failures == 0 {
+            ""
+        } else {
+            " — FAILURES PRESENT"
+        }
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Experiments F1, F8, F14: the building blocks and their priorities.
+
+use ic_families::primitives::{butterfly_block, cycle_dag, ic_schedule, lambda, vee, vee_d};
+use ic_sched::optimal::{every_nonsink_order_ic_optimal, is_ic_optimal};
+use ic_sched::priority::has_priority;
+use ic_sched::quality::area_under;
+use ic_sched::Schedule;
+
+use crate::report::{fmt_profile, Section};
+
+use super::Ctx;
+
+/// Fig. 1: the Vee and Lambda dags; duality; the priorities `V ▷ V`,
+/// `V ▷ Λ`, `Λ ▷ Λ` (and the failure of `Λ ▷ V`).
+pub fn fig01_vee_and_lambda(ctx: &Ctx) -> Section {
+    let mut s = Section::new("F1", "Fig. 1: the Vee dag V and Lambda dag Λ");
+    let v = vee();
+    let l = lambda();
+    ctx.dot("fig01_vee", &v, Some(&ic_schedule(&v)));
+    ctx.dot("fig01_lambda", &l, Some(&ic_schedule(&l)));
+
+    s.check_eq(
+        "V: (nodes, sources, sinks)",
+        (v.num_nodes(), v.num_sources(), v.num_sinks()),
+        (3, 1, 2),
+    );
+    s.check_eq(
+        "Λ: (nodes, sources, sinks)",
+        (l.num_nodes(), l.num_sources(), l.num_sinks()),
+        (3, 2, 1),
+    );
+    let dual_v = ic_dag::dual(&v);
+    s.check(
+        "Λ and V are dual (degree profile of dual(V) equals Λ's)",
+        dual_v.num_sources() == l.num_sources() && dual_v.num_sinks() == l.num_sinks(),
+    );
+    let (sv, sl) = (ic_schedule(&v), ic_schedule(&l));
+    s.line(format!("  E_V = {}", fmt_profile(&sv.nonsink_profile(&v))));
+    s.line(format!("  E_Λ = {}", fmt_profile(&sl.nonsink_profile(&l))));
+    s.check("V ▷ V", has_priority(&v, &sv, &v, &sv));
+    s.check("V ▷ Λ", has_priority(&v, &sv, &l, &sl));
+    s.check("Λ ▷ Λ", has_priority(&l, &sl, &l, &sl));
+    s.check("not Λ ▷ V (asymmetry)", !has_priority(&l, &sl, &v, &sv));
+    s.check(
+        "every nonsink order of V is IC-optimal",
+        every_nonsink_order_ic_optimal(&v).unwrap(),
+    );
+    s.check(
+        "every nonsink order of Λ is IC-optimal",
+        every_nonsink_order_ic_optimal(&l).unwrap(),
+    );
+    s
+}
+
+/// Fig. 8: the butterfly building block `B`; `B ▷ B`; the paired-source
+/// schedule is IC-optimal.
+pub fn fig08_butterfly_block(ctx: &Ctx) -> Section {
+    let mut s = Section::new("F8", "Fig. 8: the butterfly building block B");
+    let b = butterfly_block();
+    let sb = ic_schedule(&b);
+    ctx.dot("fig08_block", &b, Some(&sb));
+    s.check_eq("B: (nodes, arcs)", (b.num_nodes(), b.num_arcs()), (4, 4));
+    s.line(format!("  E_B = {}", fmt_profile(&sb.nonsink_profile(&b))));
+    s.check(
+        "paired schedule is IC-optimal",
+        is_ic_optimal(&b, &sb).unwrap(),
+    );
+    s.check(
+        "B ▷ B (enables iterated composition)",
+        has_priority(&b, &sb, &b, &sb),
+    );
+    // Also show C4 here for contrast (used later by F17): profile dip.
+    let c4 = cycle_dag(4);
+    let sc = ic_schedule(&c4);
+    s.line(format!(
+        "  E_C4 = {} (cyclic-source schedule)",
+        fmt_profile(&sc.nonsink_profile(&c4))
+    ));
+    s.check(
+        "C4 cyclic schedule is IC-optimal",
+        is_ic_optimal(&c4, &sc).unwrap(),
+    );
+    s
+}
+
+/// Fig. 14: the 3-prong Vee dag `V₃` and the chain `V₃ ▷ V₃ ▷ Λ ▷ Λ`.
+pub fn fig14_vee3(ctx: &Ctx) -> Section {
+    let mut s = Section::new("F14", "Fig. 14: the 3-prong Vee dag V₃");
+    let v3 = vee_d(3);
+    let l = lambda();
+    ctx.dot("fig14_vee3", &v3, None);
+    s.check_eq(
+        "V₃: (nodes, sinks)",
+        (v3.num_nodes(), v3.num_sinks()),
+        (4, 3),
+    );
+    let (s3, sl) = (ic_schedule(&v3), ic_schedule(&l));
+    s.line(format!(
+        "  E_V₃ = {}",
+        fmt_profile(&s3.nonsink_profile(&v3))
+    ));
+    s.check("V₃ ▷ V₃", has_priority(&v3, &s3, &v3, &s3));
+    s.check("V₃ ▷ Λ", has_priority(&v3, &s3, &l, &sl));
+    s.check("Λ ▷ Λ", has_priority(&l, &sl, &l, &sl));
+    // Wider prongs only increase the eligibility area.
+    let areas: Vec<u64> = (2..=5)
+        .map(|d| {
+            let vd = vee_d(d);
+            area_under(&Schedule::in_id_order(&vd).profile(&vd))
+        })
+        .collect();
+    s.line(format!("  area under E for V_d, d = 2..5: {areas:?}"));
+    s.check(
+        "area grows with prong count",
+        areas.windows(2).all(|w| w[1] > w[0]),
+    );
+    s
+}

@@ -1,0 +1,216 @@
+//! Experiments F9, F10, S5a, S5b: butterfly-structured computations.
+
+use ic_apps::fft::{dft_naive, fft_via_butterfly};
+use ic_apps::numeric::Complex;
+use ic_apps::poly::{convolve_fft, convolve_naive};
+use ic_apps::sorting::bitonic_sort_via_dag;
+use ic_dag::NodeId;
+use ic_families::butterfly::{
+    butterfly, butterfly_as_block_chain, butterfly_schedule, butterfly_schedule_via_blocks,
+    coarsen_butterfly, executes_block_pairs_consecutively,
+};
+use ic_families::sorting::{bitonic_network, bitonic_schedule};
+use ic_sched::heuristics::{schedule_with, Policy};
+use ic_sched::optimal::is_ic_optimal;
+use ic_sched::quality::{area_under, dominates};
+
+use crate::report::{fmt_profile, Section};
+
+use super::Ctx;
+
+/// Fig. 9: the 2- and 3-dimensional butterfly networks.
+pub fn fig09_networks(ctx: &Ctx) -> Section {
+    let mut s = Section::new("F9", "Fig. 9: butterfly networks B_2 and B_3");
+    let b2 = butterfly(2);
+    let b3 = butterfly(3);
+    let s2 = butterfly_schedule(2);
+    let s3 = butterfly_schedule(3);
+    ctx.dot("fig09_b2", &b2, Some(&s2));
+    ctx.dot("fig09_b3", &b3, Some(&s3));
+    s.check_eq(
+        "B_2: (nodes, arcs)",
+        (b2.num_nodes(), b2.num_arcs()),
+        (12, 16),
+    );
+    s.check_eq(
+        "B_3: (nodes, arcs)",
+        (b3.num_nodes(), b3.num_arcs()),
+        (32, 48),
+    );
+    s.line(format!(
+        "  B_2 paired-schedule profile = {}",
+        fmt_profile(&s2.profile(&b2))
+    ));
+    s.check(
+        "B_2 paired schedule is IC-optimal",
+        is_ic_optimal(&b2, &s2).unwrap(),
+    );
+    s.check(
+        "B_3 schedule executes every block's sources consecutively",
+        executes_block_pairs_consecutively(3, &s3),
+    );
+    s.check(
+        "B_3 schedule is a valid execution order",
+        ic_dag::traversal::is_topological(&b3, s3.order()),
+    );
+    // Heuristic contrast on B_2.
+    let opt = s2.profile(&b2);
+    for p in Policy::all(23) {
+        let hp = schedule_with(&b2, p).profile(&b2);
+        s.line(format!(
+            "  {:<10} area {:>3} (optimal {:>3}) dominated: {}",
+            p.name(),
+            area_under(&hp),
+            area_under(&opt),
+            dominates(&opt, &hp)
+        ));
+    }
+    s
+}
+
+/// Fig. 10: `B_d` as an iterated composition of blocks; Theorem 2.1;
+/// granularity via the band decomposition (`B_{a+b}` of `B_b` nodes).
+pub fn fig10_block_composition(ctx: &Ctx) -> Section {
+    let mut s = Section::new(
+        "F10",
+        "Fig. 10: B_d as a composition of blocks; granularity",
+    );
+    for d in 1..=3usize {
+        let (composed, maps, _) = butterfly_as_block_chain(d);
+        let direct = butterfly(d);
+        s.check_eq(
+            &format!("block chain reconstructs B_{d} (nodes, arcs)"),
+            (composed.num_nodes(), composed.num_arcs()),
+            (direct.num_nodes(), direct.num_arcs()),
+        );
+        s.check_eq(
+            &format!("B_{d} block count"),
+            maps.len(),
+            d * (1 << (d - 1)),
+        );
+    }
+    let via_blocks = butterfly_schedule_via_blocks(2).unwrap();
+    let (composite, _, _) = butterfly_as_block_chain(2);
+    ctx.dot("fig10_block_chain", &composite, Some(&via_blocks));
+    s.check(
+        "Theorem 2.1 schedule over the block chain is IC-optimal (B_2)",
+        is_ic_optimal(&composite, &via_blocks).unwrap(),
+    );
+    // Granularity: the band quotient of B_4 with b = 2 is the radix-4
+    // butterfly; with b = d everything collapses.
+    let q = coarsen_butterfly(4, 2);
+    s.check_eq("coarsen(B_4, b=2): clusters", q.dag.num_nodes(), 8);
+    s.check_eq(
+        "radix-4 block out-degree",
+        (0..4)
+            .map(|c| q.dag.out_degree(NodeId(c)))
+            .collect::<Vec<_>>(),
+        vec![4, 4, 4, 4],
+    );
+    s.line(format!(
+        "  cluster granularities: band 0 = {}, band 1 = {}",
+        q.granularity(NodeId(0)),
+        q.granularity(NodeId(4))
+    ));
+    s.check(
+        "coarsened butterfly admits an IC-optimal schedule",
+        ic_sched::optimal::admits_ic_optimal(&q.dag).unwrap(),
+    );
+    s.check_eq(
+        "coarsen(B_3, b=3) collapses to one task",
+        coarsen_butterfly(3, 3).dag.num_nodes(),
+        1,
+    );
+    s
+}
+
+/// §5.2 (sorting): bitonic comparator networks sort, and their dags are
+/// IC-optimally scheduled by the paired stage order.
+pub fn sec52_sorting(ctx: &Ctx) -> Section {
+    let mut s = Section::new("S5a", "§5.2: comparator-network sorting (bitonic)");
+    let (net4, stages4) = bitonic_network(4);
+    let sched4 = bitonic_schedule(4, &stages4);
+    ctx.dot("sec52_bitonic4", &net4, Some(&sched4));
+    s.check_eq(
+        "n=4 network: (stages, nodes)",
+        (stages4.len(), net4.num_nodes()),
+        (3, 16),
+    );
+    s.check(
+        "n=4 paired schedule is IC-optimal",
+        is_ic_optimal(&net4, &sched4).unwrap(),
+    );
+    for n in [8usize, 16, 32] {
+        let (net, stages) = bitonic_network(n);
+        let sched = bitonic_schedule(n, &stages);
+        s.check(
+            &format!("n={n}: schedule valid over {} nodes", net.num_nodes()),
+            ic_dag::traversal::is_topological(&net, sched.order()),
+        );
+    }
+    // Actually sort through the dag.
+    let mut sorted_ok = true;
+    let mut state = 0xBEEFu64;
+    for n in [4usize, 8, 16, 32, 64] {
+        let xs: Vec<i64> = (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as i64 - 500
+            })
+            .collect();
+        let got = bitonic_sort_via_dag(&xs);
+        let mut want = xs.clone();
+        want.sort();
+        sorted_ok &= got == want;
+    }
+    s.check(
+        "dag-driven bitonic sort sorts (n = 4..64, random keys)",
+        sorted_ok,
+    );
+    s
+}
+
+/// §5.2 (convolutions): the FFT over `B_d` matches the naive DFT;
+/// FFT-based polynomial products match naive convolution.
+pub fn sec52_fft_convolution(_ctx: &Ctx) -> Section {
+    let mut s = Section::new("S5b", "§5.2: FFT over B_d; polynomial convolution");
+    for n in [8usize, 16, 64] {
+        let xs: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.31).sin(), (i as f64 * 0.17).cos()))
+            .collect();
+        let fast = fft_via_butterfly(&xs);
+        let slow = dft_naive(&xs);
+        let err = fast
+            .iter()
+            .zip(&slow)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f64, f64::max);
+        s.check(
+            &format!(
+                "FFT(B_{}) matches naive DFT, max err {err:.2e}",
+                n.trailing_zeros()
+            ),
+            err < 1e-8,
+        );
+    }
+    let a: Vec<f64> = (0..20).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+    let b: Vec<f64> = (0..15).map(|i| ((i * 5 + 1) % 13) as f64 - 6.0).collect();
+    let fast = convolve_fft(&a, &b);
+    let slow = convolve_naive(&a, &b);
+    let err = fast
+        .iter()
+        .zip(&slow)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max);
+    s.check(
+        &format!("FFT convolution matches naive, max err {err:.2e}"),
+        err < 1e-7,
+    );
+    s.line(
+        "  (Criterion bench `apps::fft` sweeps n to show the Θ(n log n) vs Θ(n²) crossover.)"
+            .to_string(),
+    );
+    s
+}

@@ -1,0 +1,217 @@
+//! Experiments F2, F3, F4, T1: expansion–reduction computations.
+
+use ic_dag::NodeId;
+use ic_families::diamond::{
+    alternating, diamond_chain, diamond_from_out_tree, in_tree_led, out_tree_tailed, Component,
+};
+use ic_families::trees::{complete_in_tree, complete_out_tree, random_branching_out_tree};
+use ic_sched::heuristics::{schedule_with, Policy};
+use ic_sched::optimal::{is_ic_optimal, optimal_envelope};
+use ic_sched::quality::{area_under, dominates};
+
+use crate::report::{fmt_profile, Section};
+
+use super::Ctx;
+
+/// Fig. 2: the out-tree ⇑ in-tree diamond; its phase schedule attains
+/// the optimal envelope; heuristics are dominated.
+pub fn fig02_diamond(ctx: &Ctx) -> Section {
+    let mut s = Section::new("F2", "Fig. 2: expansion-reduction diamond T ⇑ T̃");
+    let t = complete_out_tree(2, 2);
+    let d = diamond_from_out_tree(&t).unwrap();
+    let sched = d.ic_schedule().unwrap();
+    ctx.dot("fig02_diamond", &d.dag, Some(&sched));
+    s.check_eq("diamond nodes (depth-2 binary)", d.dag.num_nodes(), 10);
+    s.check_eq(
+        "(sources, sinks)",
+        (d.dag.num_sources(), d.dag.num_sinks()),
+        (1, 1),
+    );
+    let profile = sched.profile(&d.dag);
+    let envelope = optimal_envelope(&d.dag).unwrap();
+    s.line(format!(
+        "  phase schedule profile  = {}",
+        fmt_profile(&profile)
+    ));
+    s.line(format!(
+        "  optimal envelope        = {}",
+        fmt_profile(&envelope)
+    ));
+    s.check("phase schedule is IC-optimal", profile == envelope);
+    for p in Policy::all(17) {
+        let hp = schedule_with(&d.dag, p).profile(&d.dag);
+        s.check(
+            &format!(
+                "IC-optimal dominates {} (area {} vs {})",
+                p.name(),
+                area_under(&profile),
+                area_under(&hp)
+            ),
+            dominates(&profile, &hp),
+        );
+    }
+    // Scale check: deeper diamonds stay IC-optimally schedulable.
+    for depth in [3usize, 4] {
+        let t = complete_out_tree(2, depth);
+        let d = diamond_from_out_tree(&t).unwrap();
+        let ok = if d.dag.num_nodes() <= 24 {
+            is_ic_optimal(&d.dag, &d.ic_schedule().unwrap()).unwrap()
+        } else {
+            // Beyond exhaustive reach: validate the schedule.
+            ic_dag::traversal::is_topological(&d.dag, d.ic_schedule().unwrap().order())
+        };
+        s.check(
+            &format!(
+                "depth-{depth} diamond scheduled ({} nodes)",
+                d.dag.num_nodes()
+            ),
+            ok,
+        );
+    }
+    s
+}
+
+/// Fig. 3: coarsening the diamond by truncating mirrored subtree pairs.
+pub fn fig03_coarsened_diamond(ctx: &Ctx) -> Section {
+    let mut s = Section::new("F3", "Fig. 3: coarsening tasks in the Fig. 2 diamond");
+    let t = complete_out_tree(2, 2);
+    let d = diamond_from_out_tree(&t).unwrap();
+    let q = d.coarsen_at(&[NodeId(1), NodeId(2)]).unwrap();
+    ctx.dot("fig03_coarse", &q.dag, None);
+    s.check_eq("fine nodes", d.dag.num_nodes(), 10);
+    s.check_eq("coarse nodes", q.dag.num_nodes(), 4);
+    s.line(format!(
+        "  granularities: {:?}",
+        (0..q.num_clusters())
+            .map(|c| q.granularity(NodeId::new(c)))
+            .collect::<Vec<_>>()
+    ));
+    s.check(
+        "coarsened diamond admits an IC-optimal schedule",
+        ic_sched::optimal::admits_ic_optimal(&q.dag).unwrap(),
+    );
+    // Partial coarsening (only one branch) — the Fig. 3 shape proper.
+    let q1 = d.coarsen_at(&[NodeId(1)]).unwrap();
+    s.check_eq("one-branch coarse nodes", q1.dag.num_nodes(), 7);
+    s.check(
+        "one-branch coarsening admits an IC-optimal schedule",
+        ic_sched::optimal::admits_ic_optimal(&q1.dag).unwrap(),
+    );
+    s
+}
+
+/// Fig. 4: sample alternating expansion–reduction compositions,
+/// including the unequal-leaf alternation (rightmost dag of the figure).
+pub fn fig04_alternations(ctx: &Ctx) -> Section {
+    let mut s = Section::new("F4", "Fig. 4: alternating expansion-reduction chains");
+    // Leftmost: in-tree then out-tree, forced topologically.
+    let chain = alternating(vec![
+        Component::InTree(complete_in_tree(2, 2)),
+        Component::OutTree(complete_out_tree(2, 2)),
+    ])
+    .unwrap();
+    let sched = chain.ic_schedule().unwrap();
+    ctx.dot("fig04_in_then_out", &chain.dag, Some(&sched));
+    s.check_eq("T' ⇑ T nodes", chain.dag.num_nodes(), 13);
+    s.check(
+        "T' ⇑ T schedule is IC-optimal",
+        is_ic_optimal(&chain.dag, &sched).unwrap(),
+    );
+
+    // Rightmost: leaf counts of different diamonds need not match.
+    let t_small = complete_out_tree(2, 1);
+    let t_large = complete_out_tree(2, 2);
+    let uneven = diamond_chain(&[&t_small, &t_large]).unwrap();
+    let us = uneven.ic_schedule().unwrap();
+    ctx.dot("fig04_uneven", &uneven.dag, Some(&us));
+    s.check(
+        "uneven diamond chain schedule is IC-optimal",
+        is_ic_optimal(&uneven.dag, &us).unwrap(),
+    );
+
+    // Irregular (random, uniform-arity) components.
+    let mut all_ok = true;
+    for seed in 0..4u64 {
+        let t = random_branching_out_tree(7, 2, seed);
+        let d = diamond_from_out_tree(&t).unwrap();
+        all_ok &= is_ic_optimal(&d.dag, &d.ic_schedule().unwrap()).unwrap();
+    }
+    s.check(
+        "irregular-tree diamonds are IC-optimally scheduled (4 seeds)",
+        all_ok,
+    );
+    s
+}
+
+/// Table 1: the three alternating composition types admit IC-optimal
+/// schedules — parameter sweep over component shapes.
+pub fn table1_composition_types(ctx: &Ctx) -> Section {
+    let mut s = Section::new(
+        "T1",
+        "Table 1: diamond compositions admitting IC-optimal schedules",
+    );
+    let shapes: Vec<(usize, usize)> = vec![(2, 1), (2, 2), (3, 1)];
+    let tree = |a: usize, d: usize| complete_out_tree(a, d);
+
+    // Row 1: D_0 ⇑ ... ⇑ D_n.
+    for (i, window) in shapes.windows(2).enumerate() {
+        let (a0, d0) = window[0];
+        let (a1, d1) = window[1];
+        let (t0, t1) = (tree(a0, d0), tree(a1, d1));
+        let chain = diamond_chain(&[&t0, &t1]).unwrap();
+        let sched = chain.ic_schedule().unwrap();
+        let ok = if chain.dag.num_nodes() <= 24 {
+            is_ic_optimal(&chain.dag, &sched).unwrap()
+        } else {
+            ic_dag::traversal::is_topological(&chain.dag, sched.order())
+        };
+        s.check(
+            &format!(
+                "row 1 [{i}]: D({a0},{d0}) ⇑ D({a1},{d1}) — {} nodes",
+                chain.dag.num_nodes()
+            ),
+            ok,
+        );
+        if i == 0 {
+            ctx.dot("table1_row1", &chain.dag, Some(&sched));
+        }
+    }
+
+    // Row 2: T^(in) ⇑ D_1 ⇑ ... .
+    let lead = complete_in_tree(2, 1);
+    let t1 = tree(2, 1);
+    let chain2 = in_tree_led(&lead, &[&t1]).unwrap();
+    let sched2 = chain2.ic_schedule().unwrap();
+    s.check(
+        &format!("row 2: Λ-led chain — {} nodes", chain2.dag.num_nodes()),
+        is_ic_optimal(&chain2.dag, &sched2).unwrap(),
+    );
+    ctx.dot("table1_row2", &chain2.dag, Some(&sched2));
+
+    // Row 3: ... ⇑ T^(out).
+    let tail = tree(2, 2);
+    let chain3 = out_tree_tailed(&[&t1], &tail).unwrap();
+    let sched3 = chain3.ic_schedule().unwrap();
+    s.check(
+        &format!(
+            "row 3: out-tree-tailed chain — {} nodes",
+            chain3.dag.num_nodes()
+        ),
+        is_ic_optimal(&chain3.dag, &sched3).unwrap(),
+    );
+    ctx.dot("table1_row3", &chain3.dag, Some(&sched3));
+
+    // A longer mixed chain, schedule validated structurally.
+    let trees: Vec<_> = (0..4).map(|i| tree(2, 1 + i % 2)).collect();
+    let refs: Vec<&_> = trees.iter().collect();
+    let long = diamond_chain(&refs).unwrap();
+    let ls = long.ic_schedule().unwrap();
+    s.check(
+        &format!(
+            "long chain of 4 diamonds — {} nodes, schedule valid",
+            long.dag.num_nodes()
+        ),
+        ic_dag::traversal::is_topological(&long.dag, ls.order()),
+    );
+    s
+}

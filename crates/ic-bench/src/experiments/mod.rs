@@ -1,0 +1,94 @@
+//! The experiment registry: one entry per paper artifact.
+//!
+//! Each experiment reconstructs its artifact, re-derives the paper's
+//! schedule, verifies the claims that accompany it (exhaustively at
+//! checkable sizes), contrasts against heuristic baselines, and returns
+//! a [`Section`]. See `DESIGN.md` §5 for the artifact ↔ experiment
+//! index and `EXPERIMENTS.md` for the recorded outcomes.
+
+use std::path::PathBuf;
+
+use ic_dag::dot::{to_dot, DotOptions};
+use ic_dag::Dag;
+use ic_sched::Schedule;
+
+use crate::report::Section;
+
+pub mod ablations;
+pub mod blocks;
+pub mod butterfly;
+pub mod expansion;
+pub mod matmul;
+pub mod prefix;
+pub mod sim;
+pub mod wavefront;
+
+/// Shared experiment context.
+#[derive(Debug, Default)]
+pub struct Ctx {
+    /// When set, every constructed figure is also written as Graphviz
+    /// DOT into this directory.
+    pub dot_dir: Option<PathBuf>,
+}
+
+impl Ctx {
+    /// Write `dag` (optionally annotated with a schedule order) as
+    /// `<dot_dir>/<name>.dot`, if a DOT directory was requested.
+    pub fn dot(&self, name: &str, dag: &Dag, order: Option<&Schedule>) {
+        let Some(dir) = &self.dot_dir else { return };
+        let opts = DotOptions {
+            name: name.to_string(),
+            order: order.map(|s| s.order().to_vec()),
+            ..DotOptions::default()
+        };
+        let text = to_dot(dag, &opts);
+        let path = dir.join(format!("{name}.dot"));
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, text)) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// An experiment runner.
+pub type Runner = fn(&Ctx) -> Section;
+
+/// Every experiment, in paper order: `(artifact id, runner)`.
+pub fn registry() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("F1", blocks::fig01_vee_and_lambda as Runner),
+        ("F2", expansion::fig02_diamond),
+        ("F3", expansion::fig03_coarsened_diamond),
+        ("F4", expansion::fig04_alternations),
+        ("T1", expansion::table1_composition_types),
+        ("F5", wavefront::fig05_meshes),
+        ("F6", wavefront::fig06_w_decomposition),
+        ("F7", wavefront::fig07_mesh_coarsening),
+        ("F8", blocks::fig08_butterfly_block),
+        ("F9", butterfly::fig09_networks),
+        ("F10", butterfly::fig10_block_composition),
+        ("S5a", butterfly::sec52_sorting),
+        ("S5b", butterfly::sec52_fft_convolution),
+        ("F11", prefix::fig11_parallel_prefix),
+        ("F12", prefix::fig12_n_dag_decomposition),
+        ("F13", prefix::fig13_dlt),
+        ("F14", blocks::fig14_vee3),
+        ("F15", prefix::fig15_dlt_ternary),
+        ("F16", prefix::fig16_graph_paths),
+        ("F17", matmul::fig17_matmul),
+        ("SIM", sim::sim_comparison),
+        ("AB1", ablations::ab1_batched_scheduling),
+        ("AB2", ablations::ab2_network_scope),
+        ("AB3", ablations::ab3_almost_optimal),
+        ("AB4", ablations::ab4_comm_granularity),
+    ]
+}
+
+/// Run all experiments (or the subset whose ids appear in `only`),
+/// returning the sections in paper order.
+pub fn run_all(ctx: &Ctx, only: &[String]) -> Vec<Section> {
+    registry()
+        .into_iter()
+        .filter(|(id, _)| only.is_empty() || only.iter().any(|o| o.eq_ignore_ascii_case(id)))
+        .map(|(_, f)| f(ctx))
+        .collect()
+}

@@ -1,0 +1,233 @@
+//! Experiments F11, F12, F13, F15, F16: parallel-prefix computations
+//! and their applications.
+
+use ic_apps::dlt::{dlt_direct, dlt_via_prefix, dlt_via_vee3};
+use ic_apps::graphpaths::{all_path_lengths_reference, nine_node_example};
+use ic_apps::numeric::Complex;
+use ic_apps::scan::{integer_powers, scan_sequential, scan_via_dag};
+use ic_dag::Dag;
+use ic_families::dlt::{dlt_prefix, dlt_vee3};
+use ic_families::paths::graph_paths_dag;
+use ic_families::prefix::{n_dag_sizes, parallel_prefix, prefix_as_n_chain, prefix_schedule};
+use ic_sched::compose_schedule::{linear_composition_schedule, Stage};
+use ic_sched::heuristics::{schedule_with, Policy};
+use ic_sched::optimal::is_ic_optimal;
+use ic_sched::priority::is_priority_chain;
+use ic_sched::quality::{area_under, dominates};
+use ic_sched::Schedule;
+
+use crate::report::{fmt_profile, Section};
+
+use super::Ctx;
+
+/// Fig. 11: the 8-input parallel-prefix dag `P_8`.
+pub fn fig11_parallel_prefix(ctx: &Ctx) -> Section {
+    let mut s = Section::new("F11", "Fig. 11: the 8-input parallel-prefix dag P_8");
+    let p8 = parallel_prefix(8);
+    let sched = prefix_schedule(8);
+    ctx.dot("fig11_p8", &p8, Some(&sched));
+    s.check_eq(
+        "P_8: (nodes, arcs)",
+        (p8.num_nodes(), p8.num_arcs()),
+        (32, 41),
+    );
+    s.check_eq(
+        "(sources, sinks)",
+        (p8.num_sources(), p8.num_sinks()),
+        (8, 8),
+    );
+    s.check(
+        "nonincreasing-N-dag schedule is valid",
+        ic_dag::traversal::is_topological(&p8, sched.order()),
+    );
+    // Scan semantics: the dag computes prefixes.
+    let xs: Vec<i64> = (1..=8).collect();
+    s.check_eq(
+        "P_8 computes prefix sums of 1..8",
+        scan_via_dag(&xs, |a, b| a + b),
+        scan_sequential(&xs, |a, b| a + b),
+    );
+    s.check_eq(
+        "integer powers via P_6",
+        integer_powers(2, 6),
+        vec![2, 4, 8, 16, 32, 64],
+    );
+    s
+}
+
+/// Fig. 12: `P_n` as a composition of N-dags; the nonincreasing-order
+/// schedule is IC-optimal.
+pub fn fig12_n_dag_decomposition(ctx: &Ctx) -> Section {
+    let mut s = Section::new("F12", "Fig. 12: P_n as N-dag composition");
+    s.check_eq("P_8 stage sizes", n_dag_sizes(8), vec![8, 4, 4, 2, 2, 2, 2]);
+    let (composite, maps, stages) = prefix_as_n_chain(8);
+    ctx.dot("fig12_n_chain", &composite, None);
+    let direct = parallel_prefix(8);
+    s.check_eq(
+        "N-chain reconstructs P_8 (nodes, arcs)",
+        (composite.num_nodes(), composite.num_arcs()),
+        (direct.num_nodes(), direct.num_arcs()),
+    );
+    let schedules: Vec<Schedule> = stages.iter().map(Schedule::in_id_order).collect();
+    let pairs: Vec<(&Dag, &Schedule)> = stages.iter().zip(&schedules).collect();
+    s.check("N_s ▷ N_t chain holds", is_priority_chain(&pairs));
+    // Exhaustive optimality at P_4 (envelope is tractable there).
+    let (c4, m4, s4dags) = prefix_as_n_chain(4);
+    let s4scheds: Vec<Schedule> = s4dags.iter().map(Schedule::in_id_order).collect();
+    let st: Vec<Stage<'_>> = s4dags
+        .iter()
+        .zip(&m4)
+        .zip(&s4scheds)
+        .map(|((dag, map), schedule)| Stage { dag, map, schedule })
+        .collect();
+    let sched4 = linear_composition_schedule(&c4, &st).unwrap();
+    s.check(
+        "Theorem 2.1 schedule on P_4 is IC-optimal",
+        is_ic_optimal(&c4, &sched4).unwrap(),
+    );
+    s.check(
+        "direct prefix_schedule(4) is IC-optimal",
+        is_ic_optimal(&parallel_prefix(4), &prefix_schedule(4)).unwrap(),
+    );
+    // Theorem 2.1 over the full P_8 chain: schedule validity + dominance.
+    let st8: Vec<Stage<'_>> = stages
+        .iter()
+        .zip(&maps)
+        .zip(&schedules)
+        .map(|((dag, map), schedule)| Stage { dag, map, schedule })
+        .collect();
+    let sched8 = linear_composition_schedule(&composite, &st8).unwrap();
+    let opt8 = sched8.profile(&composite);
+    s.line(format!("  P_8 schedule profile = {}", fmt_profile(&opt8)));
+    for p in Policy::all(29) {
+        let hp = schedule_with(&composite, p).profile(&composite);
+        s.line(format!(
+            "  {:<10} area {:>4} (ours {:>4}) dominated: {}",
+            p.name(),
+            area_under(&hp),
+            area_under(&opt8),
+            dominates(&opt8, &hp)
+        ));
+    }
+    s
+}
+
+/// Fig. 13: the DLT dag `L_8` and its coarsenings; DLT values check out.
+pub fn fig13_dlt(ctx: &Ctx) -> Section {
+    let mut s = Section::new("F13", "Fig. 13: the 8-input DLT dag L_8 (and coarsened)");
+    let l8 = dlt_prefix(8);
+    let sched8 = l8.ic_schedule().unwrap();
+    ctx.dot("fig13_l8", &l8.dag, Some(&sched8));
+    s.check_eq("L_8: nodes", l8.dag.num_nodes(), 39);
+    s.check_eq(
+        "(sources, sinks)",
+        (l8.dag.num_sources(), l8.dag.num_sinks()),
+        (8, 1),
+    );
+    s.check(
+        "L_8 schedule is valid",
+        ic_dag::traversal::is_topological(&l8.dag, sched8.order()),
+    );
+    let l4 = dlt_prefix(4);
+    s.check(
+        "L_4 schedule is IC-optimal (exhaustive)",
+        is_ic_optimal(&l4.dag, &l4.ic_schedule().unwrap()).unwrap(),
+    );
+    // Coarsenings (Fig. 13 right).
+    let q = l8.coarsen_leaf_pairs().unwrap();
+    ctx.dot("fig13_l8_coarse", &q.dag, None);
+    s.check_eq(
+        "leaf-pair coarsening of L_8: nodes",
+        q.dag.num_nodes(),
+        39 - 8,
+    );
+    let q4 = l4.coarsen_leaf_pairs().unwrap();
+    s.check(
+        "coarsened L_4 admits an IC-optimal schedule",
+        ic_sched::optimal::admits_ic_optimal(&q4.dag).unwrap(),
+    );
+    let qr = l4.coarsen_right_half().unwrap();
+    s.check(
+        "right-half coarsening of L_4 admits an IC-optimal schedule",
+        ic_sched::optimal::admits_ic_optimal(&qr.dag).unwrap(),
+    );
+    // Value check: DLT by (6.4).
+    let xs: Vec<Complex> = (0..8)
+        .map(|i| Complex::new(1.0 / (i as f64 + 1.0), (i as f64 * 0.2).sin()))
+        .collect();
+    let omega = Complex::cis(0.41);
+    let max_err = (0..8)
+        .map(|k| (dlt_via_prefix(&xs, omega, k) - dlt_direct(&xs, omega, k)).abs())
+        .fold(0.0f64, f64::max);
+    s.check(
+        &format!("DLT values match (6.4), max err {max_err:.2e}"),
+        max_err < 1e-9,
+    );
+    s
+}
+
+/// Fig. 15: the alternative DLT dag `L'_8` via the ternary out-tree.
+pub fn fig15_dlt_ternary(ctx: &Ctx) -> Section {
+    let mut s = Section::new("F15", "Fig. 15: the alternative 8-input DLT dag L'_8");
+    let lp8 = dlt_vee3(8);
+    let sched = lp8.ic_schedule().unwrap();
+    ctx.dot("fig15_lp8", &lp8.dag, Some(&sched));
+    s.check_eq("L'_8: nodes", lp8.dag.num_nodes(), 18);
+    s.check_eq(
+        "(sources, sinks) — tree root plus the free x₀ source",
+        (lp8.dag.num_sources(), lp8.dag.num_sinks()),
+        (2, 1),
+    );
+    s.check(
+        "L'_8 schedule is valid",
+        ic_dag::traversal::is_topological(&lp8.dag, sched.order()),
+    );
+    let lp4 = dlt_vee3(4);
+    s.check(
+        "L'_4 schedule is IC-optimal (exhaustive)",
+        is_ic_optimal(&lp4.dag, &lp4.ic_schedule().unwrap()).unwrap(),
+    );
+    // The two DLT algorithms agree.
+    let xs: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64 - 3.0, 0.5)).collect();
+    let omega = Complex::cis(-0.73);
+    let max_err = (0..8)
+        .map(|k| (dlt_via_vee3(&xs, omega, k) - dlt_via_prefix(&xs, omega, k)).abs())
+        .fold(0.0f64, f64::max);
+    s.check(
+        &format!("L'_8 and L_8 algorithms agree, max err {max_err:.2e}"),
+        max_err < 1e-8,
+    );
+    s
+}
+
+/// Fig. 16: computing the paths in a 9-node graph.
+pub fn fig16_graph_paths(ctx: &Ctx) -> Section {
+    let mut s = Section::new("F16", "Fig. 16: path lengths in a 9-node graph");
+    let dag = graph_paths_dag(8);
+    let sched = dag.ic_schedule().unwrap();
+    ctx.dot("fig16_paths", &dag.dag, Some(&sched));
+    s.check_eq(
+        "dag shape equals L_8 (matrix-granular tasks)",
+        dag.dag.num_nodes(),
+        39,
+    );
+    s.check(
+        "schedule is valid",
+        ic_dag::traversal::is_topological(&dag.dag, sched.order()),
+    );
+    let (a, m) = nine_node_example();
+    let reference = all_path_lengths_reference(&a, 8);
+    s.check("matrix M matches the layered-DP reference", m == reference);
+    // A few human-readable rows of M.
+    s.line("  M entries for node pairs (corner 0, center 4, corner 8), k = 1..8:".to_string());
+    for (i, j) in [(0usize, 4usize), (0, 8), (4, 8)] {
+        let bits: String = (1..=8)
+            .map(|k| if m.has_path(i, j, k) { '1' } else { '0' })
+            .collect();
+        s.line(format!("    ({i},{j}): {bits}"));
+    }
+    s.check("grid parity: no odd-length corner-to-corner walks", {
+        (1..=8).step_by(2).all(|k| !m.has_path(0, 8, k))
+    });
+    s
+}

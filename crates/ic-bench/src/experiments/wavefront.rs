@@ -1,0 +1,164 @@
+//! Experiments F5, F6, F7: wavefront (mesh) computations.
+
+use ic_dag::{Dag, NodeId};
+use ic_families::mesh::{
+    cluster_stats, coarsen_mesh, in_mesh, in_mesh_schedule, out_mesh, out_mesh_as_w_chain,
+    out_mesh_schedule,
+};
+use ic_sched::compose_schedule::{linear_composition_schedule, Stage};
+use ic_sched::heuristics::{schedule_with, Policy};
+use ic_sched::optimal::{is_ic_optimal, optimal_envelope};
+use ic_sched::priority::is_priority_chain;
+use ic_sched::quality::{area_under, dominates};
+use ic_sched::Schedule;
+
+use crate::report::{fmt_profile, table_row, Section};
+
+use super::Ctx;
+
+/// Fig. 5: the out-mesh and in-mesh; the diagonal schedule and its dual.
+pub fn fig05_meshes(ctx: &Ctx) -> Section {
+    let mut s = Section::new("F5", "Fig. 5: out-mesh and in-mesh (pyramid)");
+    let om = out_mesh(5);
+    let im = in_mesh(5);
+    let os = out_mesh_schedule(&om);
+    let is_ = in_mesh_schedule(&im).unwrap();
+    ctx.dot("fig05_out_mesh", &om, Some(&os));
+    ctx.dot("fig05_in_mesh", &im, Some(&is_));
+    s.check_eq(
+        "out-mesh(5): (nodes, arcs)",
+        (om.num_nodes(), om.num_arcs()),
+        (15, 20),
+    );
+    s.check_eq(
+        "in-mesh is the dual",
+        (im.num_sources(), im.num_sinks()),
+        (5, 1),
+    );
+    s.line(format!(
+        "  diagonal profile = {}",
+        fmt_profile(&os.profile(&om))
+    ));
+    s.check(
+        "diagonal schedule is IC-optimal",
+        is_ic_optimal(&om, &os).unwrap(),
+    );
+    s.check(
+        "dual schedule is IC-optimal on the in-mesh",
+        is_ic_optimal(&im, &is_).unwrap(),
+    );
+    s
+}
+
+/// Fig. 6: the out-mesh as a ▷-linear composition of W-dags; Theorem 2.1
+/// reproduces the diagonal schedule's optimality.
+pub fn fig06_w_decomposition(ctx: &Ctx) -> Section {
+    let mut s = Section::new("F6", "Fig. 6: out-mesh = W_1 ⇑ W_2 ⇑ ... (▷-linear)");
+    let levels = 5;
+    let (composite, maps, stages) = out_mesh_as_w_chain(levels);
+    ctx.dot("fig06_w_chain", &composite, None);
+    let direct = out_mesh(levels);
+    s.check_eq(
+        "composition matches direct construction (nodes, arcs)",
+        (composite.num_nodes(), composite.num_arcs()),
+        (direct.num_nodes(), direct.num_arcs()),
+    );
+    let schedules: Vec<Schedule> = stages.iter().map(Schedule::in_id_order).collect();
+    let pairs: Vec<(&Dag, &Schedule)> = stages.iter().zip(&schedules).collect();
+    s.check(
+        "W_1 ▷ W_2 ▷ ... ▷ W_4 (smaller over larger)",
+        is_priority_chain(&pairs),
+    );
+    let st: Vec<Stage<'_>> = stages
+        .iter()
+        .zip(&maps)
+        .zip(&schedules)
+        .map(|((dag, map), schedule)| Stage { dag, map, schedule })
+        .collect();
+    let sched = linear_composition_schedule(&composite, &st).unwrap();
+    s.check(
+        "Theorem 2.1 composite schedule is IC-optimal",
+        is_ic_optimal(&composite, &sched).unwrap(),
+    );
+    // Heuristic contrast on the mesh.
+    let envelope = optimal_envelope(&direct).unwrap();
+    let opt = out_mesh_schedule(&direct).profile(&direct);
+    s.line(format!("  envelope      = {}", fmt_profile(&envelope)));
+    for p in [Policy::Fifo, Policy::Lifo, Policy::Random(3)] {
+        let hp = schedule_with(&direct, p).profile(&direct);
+        s.line(format!(
+            "  {:<9} area {} vs optimal {} — dominated: {}",
+            p.name(),
+            area_under(&hp),
+            area_under(&opt),
+            dominates(&opt, &hp)
+        ));
+    }
+    s
+}
+
+/// Fig. 7: mesh coarsening — quadratic compute, linear communication.
+pub fn fig07_mesh_coarsening(ctx: &Ctx) -> Section {
+    let mut s = Section::new("F7", "Fig. 7: rendering an out-mesh multi-granular");
+    let levels = 12;
+    let fine = out_mesh(levels);
+    s.line(table_row(
+        &[
+            "b".into(),
+            "coarse nodes".into(),
+            "max granularity".into(),
+            "max cross-arcs".into(),
+            "g/x ratio".into(),
+        ],
+        &[3, 12, 15, 14, 9],
+    ));
+    for b in [1usize, 2, 3, 4, 6] {
+        let q = coarsen_mesh(levels, b);
+        if b == 2 {
+            ctx.dot("fig07_coarse_b2", &q.dag, None);
+        }
+        let stats = cluster_stats(&fine, &q);
+        let gmax = stats.iter().map(|&(g, _)| g).max().unwrap();
+        let xmax = stats.iter().map(|&(_, x)| x).max().unwrap();
+        s.line(table_row(
+            &[
+                b.to_string(),
+                q.dag.num_nodes().to_string(),
+                gmax.to_string(),
+                xmax.to_string(),
+                format!("{:.2}", gmax as f64 / xmax.max(1) as f64),
+            ],
+            &[3, 12, 15, 14, 9],
+        ));
+        // Compute grows ~b², communication ~b.
+        s.check(
+            &format!("b = {b}: granularity {gmax} == b² and cross {xmax} <= 4b"),
+            gmax == b * b && xmax <= 4 * b,
+        );
+    }
+    // Uniform coarsening is again an out-mesh.
+    let q = coarsen_mesh(12, 4);
+    let small = out_mesh(3);
+    s.check_eq(
+        "coarse(12, 4) is the 3-diagonal out-mesh (nodes, arcs)",
+        (q.dag.num_nodes(), q.dag.num_arcs()),
+        (small.num_nodes(), small.num_arcs()),
+    );
+    s.check(
+        "coarse mesh admits an IC-optimal schedule",
+        is_ic_optimal(&q.dag, &Schedule::in_id_order(&q.dag)).unwrap(),
+    );
+    // Non-dividing b: irregular granularity — still acyclic/schedulable.
+    let q7 = coarsen_mesh(7, 3);
+    s.check(
+        "non-uniform coarsening (levels 7, b 3) admits an IC-optimal schedule",
+        ic_sched::optimal::admits_ic_optimal(&q7.dag).unwrap(),
+    );
+    let stats7 = cluster_stats(&out_mesh(7), &q7);
+    let gs: Vec<usize> = stats7.iter().map(|&(g, _)| g).collect();
+    s.line(format!(
+        "  levels 7, b 3 granularities: {gs:?} (unequal => regularity lost)"
+    ));
+    let _ = NodeId(0);
+    s
+}

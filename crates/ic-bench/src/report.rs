@@ -1,0 +1,144 @@
+//! Plain-text experiment reporting.
+
+use std::fmt::Write as _;
+
+/// One experiment's outcome: an identifier tied to a paper artifact, a
+/// title, free-form result lines, and a verdict.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Artifact id: `F1`..`F17`, `T1`, `S5a`, `S5b`, `SIM`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Result lines (tables, profiles, checks).
+    pub lines: Vec<String>,
+    /// Did every check in the section pass?
+    pub pass: bool,
+}
+
+impl Section {
+    /// Start a passing section; failed checks flip the verdict.
+    pub fn new(id: &'static str, title: &'static str) -> Self {
+        Section {
+            id,
+            title,
+            lines: Vec::new(),
+            pass: true,
+        }
+    }
+
+    /// Append a free-form line.
+    pub fn line(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    /// Record a named check.
+    pub fn check(&mut self, name: &str, ok: bool) {
+        self.lines
+            .push(format!("  [{}] {}", if ok { "PASS" } else { "FAIL" }, name));
+        self.pass &= ok;
+    }
+
+    /// Record a named expectation over a displayed value.
+    pub fn check_eq<T: PartialEq + std::fmt::Debug>(&mut self, name: &str, got: T, want: T) {
+        let ok = got == want;
+        if ok {
+            self.lines.push(format!("  [PASS] {name} = {got:?}"));
+        } else {
+            self.lines
+                .push(format!("  [FAIL] {name}: got {got:?}, want {want:?}"));
+        }
+        self.pass &= ok;
+    }
+
+    /// Render to text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== {} — {} {}",
+            self.id,
+            self.title,
+            if self.pass { "[PASS]" } else { "[FAIL]" }
+        );
+        for l in &self.lines {
+            let _ = writeln!(out, "{l}");
+        }
+        out
+    }
+}
+
+/// Format an eligibility profile compactly.
+pub fn fmt_profile(p: &[usize]) -> String {
+    let body: Vec<String> = p.iter().map(|e| e.to_string()).collect();
+    format!("[{}]", body.join(" "))
+}
+
+/// Render a profile as a unicode sparkline (`▁▂▃▄▅▆▇█`), the harness's
+/// stand-in for the paper's eligibility "curves".
+pub fn sparkline(p: &[usize]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = p.iter().copied().max().unwrap_or(0);
+    if max == 0 {
+        return "▁".repeat(p.len());
+    }
+    p.iter()
+        .map(|&e| BARS[(e * (BARS.len() - 1)).div_ceil(max).min(BARS.len() - 1)])
+        .collect()
+}
+
+/// Left-pad/align simple columns for report tables.
+pub fn table_row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::from("  ");
+    for (c, w) in cells.iter().zip(widths) {
+        let _ = write!(out, "{c:<width$}  ", width = w);
+    }
+    out.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_verdicts() {
+        let mut s = Section::new("F1", "test");
+        s.check("ok", true);
+        assert!(s.pass);
+        s.check("bad", false);
+        assert!(!s.pass);
+        let r = s.render();
+        assert!(r.contains("[FAIL]"));
+        assert!(r.contains("== F1"));
+    }
+
+    #[test]
+    fn check_eq_formats() {
+        let mut s = Section::new("T1", "eq");
+        s.check_eq("count", 3, 3);
+        assert!(s.pass);
+        s.check_eq("count", 2, 3);
+        assert!(!s.pass);
+    }
+
+    #[test]
+    fn profile_formatting() {
+        assert_eq!(fmt_profile(&[1, 2, 0]), "[1 2 0]");
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        let s = sparkline(&[0, 2, 4, 2, 0]);
+        assert_eq!(s.chars().count(), 5);
+        assert!(s.starts_with('▁'));
+        assert!(s.contains('█'));
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    fn row_alignment() {
+        let row = table_row(&["a".into(), "bb".into()], &[3, 4]);
+        assert!(row.starts_with("  a"));
+    }
+}

@@ -1,0 +1,284 @@
+//! The tool's commands, as pure functions returning the report text
+//! (so they are unit-testable without process plumbing).
+
+use std::fmt::Write as _;
+
+use ic_dag::dot::{to_dot, DotOptions};
+use ic_dag::stats::stats;
+use ic_sched::heuristics::{schedule_with, Policy};
+use ic_sched::quality::{area_under, summarize};
+use ic_sched::Schedule;
+
+use crate::parse::NamedDag;
+
+/// How to choose the priority order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderPolicy {
+    /// Exact IC-optimal (or, failing that, exact minimum-regret)
+    /// schedule when the dag is small enough; greedy lookahead
+    /// otherwise.
+    Auto,
+    /// Force the greedy one-step-lookahead heuristic.
+    Greedy,
+    /// Plain FIFO (Condor DAGMan's order) — for comparison.
+    Fifo,
+}
+
+impl OrderPolicy {
+    /// Parse a `--policy` value.
+    pub fn from_flag(s: &str) -> Option<OrderPolicy> {
+        match s {
+            "auto" => Some(OrderPolicy::Auto),
+            "greedy" => Some(OrderPolicy::Greedy),
+            "fifo" => Some(OrderPolicy::Fifo),
+            _ => None,
+        }
+    }
+}
+
+/// Exhaustive machinery is engaged up to this many tasks.
+pub const EXACT_LIMIT: usize = 22;
+
+/// `order`: compute and report a priority order.
+pub fn order(nd: &NamedDag, policy: OrderPolicy) -> String {
+    let dag = &nd.dag;
+    let n = dag.num_nodes();
+    let (schedule, how) = match policy {
+        OrderPolicy::Fifo => (schedule_with(dag, Policy::Fifo), "FIFO".to_string()),
+        OrderPolicy::Greedy => (
+            schedule_with(dag, Policy::GreedyEligibility),
+            "greedy lookahead".to_string(),
+        ),
+        OrderPolicy::Auto => {
+            if n <= EXACT_LIMIT {
+                match ic_sched::optimal::find_ic_optimal(dag) {
+                    Ok(Some(s)) => (s, "exact IC-optimal".to_string()),
+                    Ok(None) => {
+                        let (r, s) = ic_sched::almost::min_regret_schedule(dag)
+                            .expect("within the exact limit");
+                        (
+                            s,
+                            format!(
+                                "exact minimum-regret (regret {r}; no IC-optimal schedule exists)"
+                            ),
+                        )
+                    }
+                    Err(_) => (
+                        schedule_with(dag, Policy::GreedyEligibility),
+                        "greedy lookahead (dag too large for exact)".to_string(),
+                    ),
+                }
+            } else {
+                (
+                    schedule_with(dag, Policy::GreedyEligibility),
+                    format!("greedy lookahead ({n} tasks > exact limit {EXACT_LIMIT})"),
+                )
+            }
+        }
+    };
+
+    let profile = schedule.profile(dag);
+    let summary = summarize(&profile);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} tasks, {} dependencies — {how}",
+        n,
+        dag.num_arcs()
+    );
+    let _ = writeln!(
+        out,
+        "# eligibility: area {}, peak {}, interior minimum {}",
+        summary.area, summary.peak, summary.min_interior
+    );
+    if n <= EXACT_LIMIT {
+        if let Ok(env) = ic_sched::optimal::optimal_envelope(dag) {
+            let _ = writeln!(
+                out,
+                "# envelope area {} (this order: {})",
+                area_under(&env),
+                summary.area
+            );
+        }
+    }
+    let _ = writeln!(out, "# profile: {profile:?}");
+    for (i, &v) in schedule.order().iter().enumerate() {
+        let _ = writeln!(out, "{i:>4}  {}", nd.name(v));
+    }
+    out
+}
+
+/// `stats`: structural summary plus per-task degrees.
+pub fn stats_report(nd: &NamedDag) -> String {
+    let dag = &nd.dag;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", stats(dag));
+    let _ = writeln!(out, "sources: {}", join_names(nd, dag.sources()));
+    let _ = writeln!(out, "sinks:   {}", join_names(nd, dag.sinks()));
+    out
+}
+
+/// `check`: validate a proposed order (task names, one per line) and
+/// report its profile against the exact envelope where feasible.
+pub fn check(nd: &NamedDag, order_text: &str) -> Result<String, String> {
+    let dag = &nd.dag;
+    let mut ids = Vec::new();
+    for (i, raw) in order_text.lines().enumerate() {
+        let name = raw.trim();
+        if name.is_empty() || name.starts_with('#') {
+            continue;
+        }
+        match nd.by_name.get(name) {
+            Some(&v) => ids.push(v),
+            None => return Err(format!("line {}: unknown task {name:?}", i + 1)),
+        }
+    }
+    let schedule = Schedule::new(dag, ids)
+        .map_err(|_| "the order violates the dependencies (or misses tasks)".to_string())?;
+    let profile = schedule.profile(dag);
+    let mut out = String::new();
+    let _ = writeln!(out, "valid order over {} tasks", dag.num_nodes());
+    let _ = writeln!(out, "profile: {profile:?}");
+    if dag.num_nodes() <= EXACT_LIMIT {
+        let opt = ic_sched::optimal::is_ic_optimal(dag, &schedule).map_err(|e| e.to_string())?;
+        let _ = writeln!(out, "IC-optimal: {opt}");
+        if !opt {
+            let regret = ic_sched::almost::regret(dag, &schedule).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "regret vs envelope: {regret}");
+        }
+    }
+    Ok(out)
+}
+
+/// `export`: re-serialize to the canonical edge-list format (stable,
+/// diffable; round-trips through [`crate::parse_dag`]).
+pub fn export(nd: &NamedDag) -> String {
+    ic_dag::serialize::to_edge_list(&nd.dag)
+}
+
+/// `dot`: Graphviz output.
+pub fn dot(nd: &NamedDag) -> String {
+    to_dot(
+        &nd.dag,
+        &DotOptions {
+            name: "tasks".to_string(),
+            ..DotOptions::default()
+        },
+    )
+}
+
+fn join_names(nd: &NamedDag, it: impl Iterator<Item = ic_dag::NodeId>) -> String {
+    it.map(|v| nd.name(v).to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_dag;
+
+    fn pipeline() -> NamedDag {
+        parse_dag("build_a -> test_a\nbuild_b -> test_b\ntest_a -> package\ntest_b -> package\n")
+            .unwrap()
+    }
+
+    #[test]
+    fn order_auto_reports_exact_on_small_dags() {
+        let nd = pipeline();
+        let report = order(&nd, OrderPolicy::Auto);
+        assert!(report.contains("exact IC-optimal"), "{report}");
+        assert!(report.contains("package"));
+        // Every task appears exactly once.
+        for name in ["build_a", "build_b", "test_a", "test_b", "package"] {
+            assert!(report.matches(name).count() >= 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn order_fifo_and_greedy_work() {
+        let nd = pipeline();
+        assert!(order(&nd, OrderPolicy::Fifo).contains("FIFO"));
+        assert!(order(&nd, OrderPolicy::Greedy).contains("greedy"));
+    }
+
+    #[test]
+    fn order_reports_min_regret_on_non_admitting_dags() {
+        // The unary-chain tree admits no IC-optimal schedule.
+        let mut text = String::from("r -> u\nu -> v\nr -> w\n");
+        for i in 0..5 {
+            text.push_str(&format!("v -> v{i}\n"));
+        }
+        text.push_str("w -> w0\nw -> w1\n");
+        let nd = parse_dag(&text).unwrap();
+        let report = order(&nd, OrderPolicy::Auto);
+        assert!(report.contains("minimum-regret"), "{report}");
+    }
+
+    #[test]
+    fn stats_lists_sources_and_sinks() {
+        let nd = pipeline();
+        let report = stats_report(&nd);
+        assert!(report.contains("5 nodes"));
+        assert!(report.contains("build_a"));
+        assert!(report.contains("package"));
+    }
+
+    #[test]
+    fn check_accepts_valid_orders() {
+        let nd = pipeline();
+        let report = check(&nd, "build_a\nbuild_b\ntest_a\ntest_b\npackage\n").unwrap();
+        assert!(report.contains("valid order"));
+        assert!(report.contains("IC-optimal: true"));
+    }
+
+    #[test]
+    fn check_rejects_bad_orders() {
+        let nd = pipeline();
+        // Dependency violation.
+        assert!(check(&nd, "test_a\nbuild_a\nbuild_b\ntest_b\npackage\n").is_err());
+        // Unknown task.
+        assert!(check(&nd, "ship_it\n")
+            .unwrap_err()
+            .contains("unknown task"));
+        // Missing tasks.
+        assert!(check(&nd, "build_a\n").is_err());
+    }
+
+    #[test]
+    fn check_reports_regret_for_suboptimal_orders() {
+        // Two disjoint Lambdas: interleaving the pairs is suboptimal.
+        let nd = parse_dag("a -> s1\nb -> s1\nc -> s2\nd -> s2\n").unwrap();
+        let report = check(&nd, "a\nc\nb\nd\ns1\ns2\n").unwrap();
+        assert!(report.contains("IC-optimal: false"), "{report}");
+        assert!(report.contains("regret"), "{report}");
+    }
+
+    #[test]
+    fn export_round_trips() {
+        let nd = pipeline();
+        let text = export(&nd);
+        let again = parse_dag(&text).unwrap();
+        assert_eq!(again.dag.num_nodes(), nd.dag.num_nodes());
+        assert_eq!(again.dag.num_arcs(), nd.dag.num_arcs());
+        assert!(ic_dag::iso::are_isomorphic(&again.dag, &nd.dag));
+        // Idempotent after the first round.
+        assert_eq!(export(&again), text);
+    }
+
+    #[test]
+    fn dot_renders() {
+        let nd = pipeline();
+        let text = dot(&nd);
+        assert!(text.contains("digraph"));
+        assert!(text.contains("package"));
+    }
+
+    #[test]
+    fn policy_flag_parsing() {
+        assert_eq!(OrderPolicy::from_flag("auto"), Some(OrderPolicy::Auto));
+        assert_eq!(OrderPolicy::from_flag("fifo"), Some(OrderPolicy::Fifo));
+        assert_eq!(OrderPolicy::from_flag("greedy"), Some(OrderPolicy::Greedy));
+        assert_eq!(OrderPolicy::from_flag("bogus"), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! `ic-prio` — compute IC-scheduling priorities for a task dag.
+//!
+//! ```text
+//! ic-prio order <file> [--policy auto|greedy|fifo]
+//! ic-prio stats <file>
+//! ic-prio check <file> <order-file>
+//! ic-prio dot <file>
+//! ic-prio export <file>
+//! ```
+
+use std::process::ExitCode;
+
+use ic_cli::commands::{self, OrderPolicy};
+use ic_cli::parse_dag;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  ic-prio order <file> [--policy auto|greedy|fifo]\n  \
+         ic-prio stats <file>\n  ic-prio check <file> <order-file>\n  \
+         ic-prio dot <file>\n  ic-prio export <file>"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<ic_cli::NamedDag, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    parse_dag(&text).map_err(|e| {
+        eprintln!("error: {path}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    let Some(cmd) = it.next() else { return usage() };
+    match cmd {
+        "order" => {
+            let Some(path) = it.next() else {
+                return usage();
+            };
+            let mut policy = OrderPolicy::Auto;
+            let rest: Vec<&str> = it.collect();
+            match rest.as_slice() {
+                [] => {}
+                ["--policy", p] => match OrderPolicy::from_flag(p) {
+                    Some(pp) => policy = pp,
+                    None => {
+                        eprintln!("error: unknown policy {p:?}");
+                        return usage();
+                    }
+                },
+                _ => return usage(),
+            }
+            match load(path) {
+                Ok(nd) => {
+                    print!("{}", commands::order(&nd, policy));
+                    ExitCode::SUCCESS
+                }
+                Err(c) => c,
+            }
+        }
+        "stats" => {
+            let Some(path) = it.next() else {
+                return usage();
+            };
+            match load(path) {
+                Ok(nd) => {
+                    print!("{}", commands::stats_report(&nd));
+                    ExitCode::SUCCESS
+                }
+                Err(c) => c,
+            }
+        }
+        "check" => {
+            let (Some(path), Some(order_path)) = (it.next(), it.next()) else {
+                return usage();
+            };
+            let nd = match load(path) {
+                Ok(nd) => nd,
+                Err(c) => return c,
+            };
+            let order_text = match std::fs::read_to_string(order_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {order_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match commands::check(&nd, &order_text) {
+                Ok(report) => {
+                    print!("{report}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "dot" => {
+            let Some(path) = it.next() else {
+                return usage();
+            };
+            match load(path) {
+                Ok(nd) => {
+                    print!("{}", commands::dot(&nd));
+                    ExitCode::SUCCESS
+                }
+                Err(c) => c,
+            }
+        }
+        "export" => {
+            let Some(path) = it.next() else {
+                return usage();
+            };
+            match load(path) {
+                Ok(nd) => {
+                    print!("{}", commands::export(&nd));
+                    ExitCode::SUCCESS
+                }
+                Err(c) => c,
+            }
+        }
+        "--help" | "-h" | "help" => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,214 @@
+//! The edge-list dag format.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ic_dag::{Dag, DagBuilder, NodeId};
+
+/// A parsed dag with its task names.
+#[derive(Debug, Clone)]
+pub struct NamedDag {
+    /// The dag; node labels carry the task names.
+    pub dag: Dag,
+    /// Task name → node id.
+    pub by_name: HashMap<String, NodeId>,
+}
+
+impl NamedDag {
+    /// The name of node `v`.
+    pub fn name(&self, v: NodeId) -> &str {
+        self.dag.label(v)
+    }
+}
+
+/// Parse errors, with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line that is neither a comment, a `node` declaration, nor an
+    /// arc.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A `node` declaration re-used an existing name.
+    DuplicateNode {
+        /// 1-based line number.
+        line: usize,
+        /// The duplicated name.
+        name: String,
+    },
+    /// An arc from a task to itself.
+    SelfLoop {
+        /// 1-based line number.
+        line: usize,
+        /// The task name.
+        name: String,
+    },
+    /// The arcs form a cycle — not a valid computation-dag.
+    Cycle,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadLine { line, text } => {
+                write!(
+                    f,
+                    "line {line}: cannot parse {text:?} (expected `node NAME` or `A -> B`)"
+                )
+            }
+            ParseError::DuplicateNode { line, name } => {
+                write!(f, "line {line}: task {name:?} declared twice")
+            }
+            ParseError::SelfLoop { line, name } => {
+                write!(f, "line {line}: task {name:?} depends on itself")
+            }
+            ParseError::Cycle => write!(f, "the dependencies contain a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Parse the edge-list format (see the crate docs). Task names may
+/// contain any non-whitespace characters except `#`; undeclared arc
+/// endpoints are created on first mention, in order of appearance.
+pub fn parse_dag(text: &str) -> Result<NamedDag, ParseError> {
+    let mut b = DagBuilder::new();
+    let mut by_name: HashMap<String, NodeId> = HashMap::new();
+    let mut declared: HashMap<String, usize> = HashMap::new();
+
+    let intern =
+        |b: &mut DagBuilder, by_name: &mut HashMap<String, NodeId>, name: &str| match by_name
+            .get(name)
+        {
+            Some(&v) => v,
+            None => {
+                let v = b.add_node(name);
+                by_name.insert(name.to_string(), v);
+                v
+            }
+        };
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["node", name] => {
+                if declared.insert((*name).to_string(), lineno).is_some() {
+                    return Err(ParseError::DuplicateNode {
+                        line: lineno,
+                        name: (*name).to_string(),
+                    });
+                }
+                intern(&mut b, &mut by_name, name);
+            }
+            [from, "->", to] => {
+                if from == to {
+                    return Err(ParseError::SelfLoop {
+                        line: lineno,
+                        name: (*from).to_string(),
+                    });
+                }
+                let u = intern(&mut b, &mut by_name, from);
+                let v = intern(&mut b, &mut by_name, to);
+                b.add_arc(u, v)
+                    .expect("interned ids are valid; self-loops rejected above");
+            }
+            _ => {
+                return Err(ParseError::BadLine {
+                    line: lineno,
+                    text: line.to_string(),
+                });
+            }
+        }
+    }
+    let dag = b.build().map_err(|_| ParseError::Cycle)?;
+    Ok(NamedDag { dag, by_name })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_doc_example() {
+        let text = "\
+# a tiny build pipeline
+node build_a
+node build_b
+build_a -> test_a
+build_b -> test_b
+test_a -> package
+test_b -> package
+";
+        let nd = parse_dag(text).unwrap();
+        assert_eq!(nd.dag.num_nodes(), 5);
+        assert_eq!(nd.dag.num_arcs(), 4);
+        assert_eq!(nd.dag.num_sources(), 2);
+        assert_eq!(nd.dag.num_sinks(), 1);
+        let pkg = nd.by_name["package"];
+        assert_eq!(nd.name(pkg), "package");
+        assert_eq!(nd.dag.in_degree(pkg), 2);
+    }
+
+    #[test]
+    fn auto_creates_undeclared_tasks() {
+        let nd = parse_dag("a -> b\nb -> c\n").unwrap();
+        assert_eq!(nd.dag.num_nodes(), 3);
+        assert!(nd.by_name.contains_key("c"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let nd = parse_dag("\n# hi\n  \na -> b # inline\n").unwrap();
+        assert_eq!(nd.dag.num_arcs(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(matches!(
+            parse_dag("a -> ").unwrap_err(),
+            ParseError::BadLine { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse_dag("a b c d").unwrap_err(),
+            ParseError::BadLine { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicates_self_loops_cycles() {
+        assert!(matches!(
+            parse_dag("node x\nnode x\n").unwrap_err(),
+            ParseError::DuplicateNode { line: 2, .. }
+        ));
+        assert!(matches!(
+            parse_dag("x -> x\n").unwrap_err(),
+            ParseError::SelfLoop { .. }
+        ));
+        assert_eq!(
+            parse_dag("a -> b\nb -> a\n").unwrap_err(),
+            ParseError::Cycle
+        );
+    }
+
+    #[test]
+    fn duplicate_arcs_are_deduped() {
+        let nd = parse_dag("a -> b\na -> b\n").unwrap();
+        assert_eq!(nd.dag.num_arcs(), 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Incremental dag construction with validation.
+
+use std::collections::BTreeSet;
+
+use crate::dag::{Dag, NodeId};
+use crate::error::DagError;
+
+/// Builds a [`Dag`] incrementally; [`DagBuilder::build`] validates
+/// acyclicity and freezes the structure.
+///
+/// Parallel arcs are silently deduplicated (the theory works with arc
+/// *sets*); self-loops are rejected immediately.
+///
+/// ```
+/// use ic_dag::DagBuilder;
+/// let mut b = DagBuilder::new();
+/// let u = b.add_node("u");
+/// let v = b.add_node("v");
+/// b.add_arc(u, v).unwrap();
+/// let dag = b.build().unwrap();
+/// assert_eq!(dag.num_arcs(), 1);
+/// ```
+#[derive(Default, Clone)]
+pub struct DagBuilder {
+    labels: Vec<String>,
+    arcs: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl DagBuilder {
+    /// Fresh empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder pre-sized for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        DagBuilder {
+            labels: Vec::with_capacity(n),
+            arcs: BTreeSet::new(),
+        }
+    }
+
+    /// Add a node with a human-readable label; returns its id.
+    pub fn add_node(&mut self, label: impl Into<String>) -> NodeId {
+        let id = NodeId::new(self.labels.len());
+        self.labels.push(label.into());
+        id
+    }
+
+    /// Add `n` unlabeled nodes; returns their ids in order.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node(String::new())).collect()
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Add the arc `(u -> v)`. Duplicate arcs are ignored.
+    pub fn add_arc(&mut self, u: NodeId, v: NodeId) -> Result<(), DagError> {
+        if u.index() >= self.labels.len() {
+            return Err(DagError::InvalidNode(u));
+        }
+        if v.index() >= self.labels.len() {
+            return Err(DagError::InvalidNode(v));
+        }
+        if u == v {
+            return Err(DagError::SelfLoop(u));
+        }
+        self.arcs.insert((u, v));
+        Ok(())
+    }
+
+    /// Overwrite the label of an existing node.
+    pub fn set_label(&mut self, v: NodeId, label: impl Into<String>) -> Result<(), DagError> {
+        let slot = self
+            .labels
+            .get_mut(v.index())
+            .ok_or(DagError::InvalidNode(v))?;
+        *slot = label.into();
+        Ok(())
+    }
+
+    /// Validate acyclicity and freeze into an immutable [`Dag`].
+    pub fn build(self) -> Result<Dag, DagError> {
+        let n = self.labels.len();
+
+        // CSR for children: arcs are already sorted by (u, v) in the BTreeSet.
+        let mut children_off = vec![0u32; n + 1];
+        let mut parents_count = vec![0u32; n];
+        for &(u, v) in &self.arcs {
+            children_off[u.index() + 1] += 1;
+            parents_count[v.index()] += 1;
+        }
+        for i in 0..n {
+            children_off[i + 1] += children_off[i];
+        }
+        let mut children_flat = Vec::with_capacity(self.arcs.len());
+        for &(_, v) in &self.arcs {
+            children_flat.push(v);
+        }
+
+        // CSR for parents, filled per-target then each slice sorted by
+        // construction (we fill in (u, v) order, so parents arrive sorted).
+        let mut parents_off = vec![0u32; n + 1];
+        for i in 0..n {
+            parents_off[i + 1] = parents_off[i] + parents_count[i];
+        }
+        let mut cursor: Vec<u32> = parents_off[..n].to_vec();
+        let mut parents_flat = vec![NodeId(0); self.arcs.len()];
+        for &(u, v) in &self.arcs {
+            parents_flat[cursor[v.index()] as usize] = u;
+            cursor[v.index()] += 1;
+        }
+
+        let dag = Dag {
+            children_off,
+            children_flat,
+            parents_off,
+            parents_flat,
+            labels: self.labels,
+        };
+
+        // Kahn's algorithm to detect cycles.
+        let mut indeg: Vec<u32> = (0..n)
+            .map(|i| dag.in_degree(NodeId::new(i)) as u32)
+            .collect();
+        let mut queue: Vec<NodeId> = dag.sources().collect();
+        let mut seen = 0usize;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in dag.children(u) {
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if seen != n {
+            return Err(DagError::Cycle);
+        }
+        Ok(dag)
+    }
+}
+
+/// Convenience: build a dag from an explicit arc list over `n` nodes.
+///
+/// ```
+/// let diamond = ic_dag::builder::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+/// assert_eq!(diamond.num_sources(), 1);
+/// assert_eq!(diamond.num_sinks(), 1);
+/// ```
+pub fn from_arcs(n: usize, arcs: &[(u32, u32)]) -> Result<Dag, DagError> {
+    let mut b = DagBuilder::new();
+    b.add_nodes(n);
+    for &(u, v) in arcs {
+        b.add_arc(NodeId(u), NodeId(v))?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = DagBuilder::new();
+        let v = b.add_node("v");
+        assert_eq!(b.add_arc(v, v), Err(DagError::SelfLoop(v)));
+    }
+
+    #[test]
+    fn rejects_invalid_node() {
+        let mut b = DagBuilder::new();
+        let v = b.add_node("v");
+        assert_eq!(
+            b.add_arc(v, NodeId(7)),
+            Err(DagError::InvalidNode(NodeId(7)))
+        );
+    }
+
+    #[test]
+    fn detects_two_cycle() {
+        assert_eq!(
+            from_arcs(2, &[(0, 1), (1, 0)]).unwrap_err(),
+            DagError::Cycle
+        );
+    }
+
+    #[test]
+    fn detects_long_cycle() {
+        assert_eq!(
+            from_arcs(4, &[(0, 1), (1, 2), (2, 3), (3, 1)]).unwrap_err(),
+            DagError::Cycle
+        );
+    }
+
+    #[test]
+    fn dedupes_parallel_arcs() {
+        let mut b = DagBuilder::new();
+        let u = b.add_node("u");
+        let v = b.add_node("v");
+        b.add_arc(u, v).unwrap();
+        b.add_arc(u, v).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_arcs(), 1);
+    }
+
+    #[test]
+    fn adjacency_slices_are_sorted() {
+        // Insert arcs out of order; slices must come out sorted by id.
+        let g = from_arcs(4, &[(0, 3), (0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(g.children(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(g.parents(NodeId(3)), &[NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn set_label_works() {
+        let mut b = DagBuilder::new();
+        let v = b.add_node("old");
+        b.set_label(v, "new").unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.label(v), "new");
+    }
+
+    #[test]
+    fn add_nodes_bulk() {
+        let mut b = DagBuilder::new();
+        let ids = b.add_nodes(5);
+        assert_eq!(ids.len(), 5);
+        assert_eq!(ids[4], NodeId(4));
+    }
+}

@@ -1,0 +1,132 @@
+//! Graphviz DOT rendering — regenerates the *pictures* of the paper's
+//! figures from the constructed dags.
+
+use std::fmt::Write as _;
+
+use crate::dag::{Dag, NodeId};
+use crate::traversal::levels;
+
+/// Rendering options for [`to_dot`].
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name.
+    pub name: String,
+    /// Draw bottom-up (`rankdir=BT`), matching the paper's figures where
+    /// computation flows upward. Default `true`.
+    pub bottom_up: bool,
+    /// Annotate each node with its position in this execution order
+    /// (e.g. a schedule), shown as `label [k]`.
+    pub order: Option<Vec<NodeId>>,
+    /// Group nodes of equal level on the same rank.
+    pub rank_by_level: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "G".to_string(),
+            bottom_up: true,
+            order: None,
+            rank_by_level: true,
+        }
+    }
+}
+
+/// Render `dag` as Graphviz DOT text.
+///
+/// ```
+/// use ic_dag::{builder::from_arcs, dot::{to_dot, DotOptions}};
+/// let g = from_arcs(3, &[(0, 1), (0, 2)]).unwrap();
+/// let text = to_dot(&g, &DotOptions::default());
+/// assert!(text.contains("digraph"));
+/// assert!(text.contains("0 -> 1"));
+/// ```
+pub fn to_dot(dag: &Dag, opts: &DotOptions) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", opts.name);
+    if opts.bottom_up {
+        let _ = writeln!(s, "  rankdir=BT;");
+    }
+    let _ = writeln!(s, "  node [shape=circle, fontsize=10];");
+
+    let mut pos = vec![None::<usize>; dag.num_nodes()];
+    if let Some(order) = &opts.order {
+        for (k, &v) in order.iter().enumerate() {
+            pos[v.index()] = Some(k);
+        }
+    }
+
+    for v in dag.node_ids() {
+        let base = if dag.label(v).is_empty() {
+            format!("{v}")
+        } else {
+            dag.label(v).to_string()
+        };
+        let label = match pos[v.index()] {
+            Some(k) => format!("{base} [{k}]"),
+            None => base,
+        };
+        let _ = writeln!(s, "  {} [label=\"{}\"];", v, label);
+    }
+    for (u, v) in dag.arcs() {
+        let _ = writeln!(s, "  {u} -> {v};");
+    }
+
+    if opts.rank_by_level && dag.num_nodes() > 0 {
+        let lvl = levels(dag);
+        let max = lvl.iter().copied().max().unwrap_or(0);
+        for l in 0..=max {
+            let members: Vec<String> = dag
+                .node_ids()
+                .filter(|v| lvl[v.index()] == l)
+                .map(|v| v.to_string())
+                .collect();
+            if members.len() > 1 {
+                let _ = writeln!(s, "  {{ rank=same; {}; }}", members.join("; "));
+            }
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_arcs;
+
+    #[test]
+    fn renders_nodes_arcs_and_ranks() {
+        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.contains("rankdir=BT"));
+        assert!(dot.contains("1 -> 3"));
+        assert!(dot.contains("rank=same; 1; 2;"));
+    }
+
+    #[test]
+    fn order_annotations_appear() {
+        let g = from_arcs(2, &[(0, 1)]).unwrap();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                order: Some(vec![NodeId(0), NodeId(1)]),
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.contains("[0]"));
+        assert!(dot.contains("[1]"));
+    }
+
+    #[test]
+    fn labels_are_used_when_present() {
+        let mut b = crate::DagBuilder::new();
+        let u = b.add_node("root");
+        let v = b.add_node("leaf");
+        b.add_arc(u, v).unwrap();
+        let g = b.build().unwrap();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.contains("root"));
+        assert!(dot.contains("leaf"));
+    }
+}

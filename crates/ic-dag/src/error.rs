@@ -1,0 +1,79 @@
+//! Error type for dag construction and dag algebra.
+
+use std::fmt;
+
+use crate::dag::NodeId;
+
+/// Errors raised while building or combining dags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An arc would create a cycle (reported when the builder seals).
+    Cycle,
+    /// An arc from a node to itself.
+    SelfLoop(NodeId),
+    /// A node id that does not belong to the dag in question.
+    InvalidNode(NodeId),
+    /// A composition pairing referenced a node that is not a sink of the
+    /// left dag.
+    NotASink(NodeId),
+    /// A composition pairing referenced a node that is not a source of the
+    /// right dag.
+    NotASource(NodeId),
+    /// A composition pairing mentioned the same node twice.
+    DuplicateInPairing(NodeId),
+    /// `compose_full` requires `#sinks(G1) == #sources(G2)`.
+    SizeMismatch {
+        /// Number of sinks offered by the left dag.
+        left_sinks: usize,
+        /// Number of sources required by the right dag.
+        right_sources: usize,
+    },
+    /// A quotient (clustering) map produced a cyclic cluster graph.
+    CyclicQuotient,
+    /// A cluster assignment did not cover every node, or used
+    /// non-contiguous cluster ids.
+    BadClusterAssignment,
+    /// The dag is too large for a bitmask-based operation (max 64 nodes).
+    TooLarge(usize),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::Cycle => write!(f, "arc set contains a cycle"),
+            DagError::SelfLoop(v) => write!(f, "self-loop on node {v}"),
+            DagError::InvalidNode(v) => write!(f, "node {v} does not belong to this dag"),
+            DagError::NotASink(v) => write!(f, "node {v} is not a sink of the left dag"),
+            DagError::NotASource(v) => write!(f, "node {v} is not a source of the right dag"),
+            DagError::DuplicateInPairing(v) => {
+                write!(
+                    f,
+                    "node {v} appears more than once in a composition pairing"
+                )
+            }
+            DagError::SizeMismatch {
+                left_sinks,
+                right_sources,
+            } => write!(
+                f,
+                "full composition requires equal counts; left has {left_sinks} sinks, \
+                 right has {right_sources} sources"
+            ),
+            DagError::CyclicQuotient => write!(f, "cluster assignment induces a cyclic quotient"),
+            DagError::BadClusterAssignment => {
+                write!(
+                    f,
+                    "cluster assignment must cover all nodes with contiguous ids"
+                )
+            }
+            DagError::TooLarge(n) => {
+                write!(
+                    f,
+                    "dag has {n} nodes; bitmask operations support at most 64"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DagError {}

@@ -1,0 +1,189 @@
+//! Enumeration of *down-sets* — the reachable execution states of a dag.
+//!
+//! When a dag is executed task by task, the set of already-executed nodes
+//! is always predecessor-closed (a *down-set*, or order ideal, of the
+//! precedence order). Conversely, every down-set is reachable by some
+//! valid execution prefix. The exhaustive IC-optimality checker in
+//! `ic-sched` needs, for every execution length `t`, the maximum number
+//! of ELIGIBLE nodes over all down-sets of size `t`; this module supplies
+//! the state enumeration, bitmask-encoded for dags of up to 64 nodes.
+
+use std::collections::HashSet;
+
+use crate::dag::{Dag, NodeId};
+use crate::error::DagError;
+
+/// Bitmask-based down-set enumerator for dags with at most 64 nodes.
+pub struct IdealEnumerator {
+    parent_masks: Vec<u64>,
+    n: usize,
+}
+
+impl IdealEnumerator {
+    /// Precompute parent masks. Errors with [`DagError::TooLarge`] for
+    /// dags of more than 64 nodes.
+    pub fn new(dag: &Dag) -> Result<Self, DagError> {
+        let n = dag.num_nodes();
+        if n > 64 {
+            return Err(DagError::TooLarge(n));
+        }
+        let parent_masks = (0..n)
+            .map(|i| {
+                dag.parents(NodeId::new(i))
+                    .iter()
+                    .fold(0u64, |m, p| m | (1u64 << p.index()))
+            })
+            .collect();
+        Ok(IdealEnumerator { parent_masks, n })
+    }
+
+    /// Number of nodes in the underlying dag.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// The ELIGIBLE nodes for the execution state `executed`: unexecuted
+    /// nodes all of whose parents are executed.
+    #[inline]
+    pub fn eligible_mask(&self, executed: u64) -> u64 {
+        let mut e = 0u64;
+        for (i, &pm) in self.parent_masks.iter().enumerate() {
+            let bit = 1u64 << i;
+            if executed & bit == 0 && pm & !executed == 0 {
+                e |= bit;
+            }
+        }
+        e
+    }
+
+    /// Visit every down-set exactly once, in nondecreasing size order.
+    /// `f(executed_mask, size, eligible_mask)` is called per state,
+    /// including the empty state.
+    pub fn for_each(&self, mut f: impl FnMut(u64, u32, u64)) {
+        let mut layer: HashSet<u64> = HashSet::new();
+        layer.insert(0);
+        for size in 0..=self.n as u32 {
+            if layer.is_empty() {
+                break;
+            }
+            let mut next: HashSet<u64> = HashSet::with_capacity(layer.len() * 2);
+            for &state in &layer {
+                let elig = self.eligible_mask(state);
+                f(state, size, elig);
+                let mut rest = elig;
+                while rest != 0 {
+                    let bit = rest & rest.wrapping_neg();
+                    rest ^= bit;
+                    next.insert(state | bit);
+                }
+            }
+            layer = next;
+        }
+    }
+
+    /// Like [`IdealEnumerator::for_each`], but only grows states by
+    /// eligible nodes inside `allowed` (a bitmask). Enumerates exactly
+    /// the down-sets that are subsets of `allowed` — e.g. pass the
+    /// nonsink mask to walk the execution states of "nonsinks-first"
+    /// schedules.
+    pub fn for_each_within(&self, allowed: u64, mut f: impl FnMut(u64, u32, u64)) {
+        let mut layer: HashSet<u64> = HashSet::new();
+        layer.insert(0);
+        for size in 0..=self.n as u32 {
+            if layer.is_empty() {
+                break;
+            }
+            let mut next: HashSet<u64> = HashSet::with_capacity(layer.len() * 2);
+            for &state in &layer {
+                let elig = self.eligible_mask(state);
+                f(state, size, elig);
+                let mut rest = elig & allowed;
+                while rest != 0 {
+                    let bit = rest & rest.wrapping_neg();
+                    rest ^= bit;
+                    next.insert(state | bit);
+                }
+            }
+            layer = next;
+        }
+    }
+
+    /// Total number of down-sets (execution states), including the empty
+    /// and the full state.
+    pub fn count(&self) -> u64 {
+        let mut c = 0u64;
+        self.for_each(|_, _, _| c += 1);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_arcs;
+
+    #[test]
+    fn chain_has_linear_ideals() {
+        // A path of n nodes has exactly n + 1 down-sets (the prefixes).
+        let g = from_arcs(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let e = IdealEnumerator::new(&g).unwrap();
+        assert_eq!(e.count(), 6);
+    }
+
+    #[test]
+    fn antichain_has_all_subsets() {
+        // n isolated nodes: every subset is a down-set.
+        let g = from_arcs(4, &[]).unwrap();
+        let e = IdealEnumerator::new(&g).unwrap();
+        assert_eq!(e.count(), 16);
+    }
+
+    #[test]
+    fn vee_ideals() {
+        // Vee: {}, {r}, {r,a}, {r,b}, {r,a,b} => 5 down-sets.
+        let g = from_arcs(3, &[(0, 1), (0, 2)]).unwrap();
+        let e = IdealEnumerator::new(&g).unwrap();
+        assert_eq!(e.count(), 5);
+    }
+
+    #[test]
+    fn eligible_masks_are_correct() {
+        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let e = IdealEnumerator::new(&g).unwrap();
+        // Nothing executed: only the source eligible.
+        assert_eq!(e.eligible_mask(0), 0b0001);
+        // Source executed: both middles eligible.
+        assert_eq!(e.eligible_mask(0b0001), 0b0110);
+        // Source + one middle: the other middle only.
+        assert_eq!(e.eligible_mask(0b0011), 0b0100);
+        // All but sink: sink eligible.
+        assert_eq!(e.eligible_mask(0b0111), 0b1000);
+        // Everything executed: nothing.
+        assert_eq!(e.eligible_mask(0b1111), 0);
+    }
+
+    #[test]
+    fn states_visited_once_in_size_order() {
+        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let e = IdealEnumerator::new(&g).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut last_size = 0;
+        e.for_each(|state, size, _| {
+            assert!(seen.insert(state), "state visited twice");
+            assert!(size >= last_size);
+            last_size = size;
+            assert_eq!(state.count_ones(), size);
+        });
+        // Diamond: {}, {0}, {0,1}, {0,2}, {0,1,2}, {0,1,2,3} => 6.
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn too_large_is_rejected() {
+        let g = from_arcs(65, &[]).unwrap();
+        assert!(matches!(
+            IdealEnumerator::new(&g),
+            Err(DagError::TooLarge(65))
+        ));
+    }
+}

@@ -1,0 +1,225 @@
+//! Dag isomorphism for modest sizes.
+//!
+//! The decomposition results of the paper (out-mesh = W-dag chain,
+//! `B_d` = block chain, `P_n` = N-dag chain) claim that the composed
+//! dag *is* the directly-constructed one. Count- and degree-checks are
+//! necessary but not sufficient; this module provides an actual
+//! isomorphism test: iterated neighborhood-refinement coloring to prune,
+//! then backtracking search. Exponential in the worst case; intended
+//! for the hundreds-of-nodes dags the decompositions produce.
+
+use std::collections::HashMap;
+
+use crate::dag::{Dag, NodeId};
+
+/// Stable colors from iterated refinement: initial color = (in-degree,
+/// out-degree); each round, a node's color is rehashed with the sorted
+/// multisets of its parents' and children's colors.
+fn refine_colors(dag: &Dag) -> Vec<u64> {
+    let n = dag.num_nodes();
+    let mut color: Vec<u64> = (0..n)
+        .map(|i| {
+            let v = NodeId::new(i);
+            (dag.in_degree(v) as u64) << 32 | dag.out_degree(v) as u64
+        })
+        .collect();
+    // log2(n)+2 rounds suffice to stabilize in practice for these dags.
+    let rounds = (usize::BITS - n.leading_zeros()) as usize + 2;
+    for _ in 0..rounds {
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            let v = NodeId::new(i);
+            let mut parents: Vec<u64> = dag.parents(v).iter().map(|p| color[p.index()]).collect();
+            let mut children: Vec<u64> = dag.children(v).iter().map(|c| color[c.index()]).collect();
+            parents.sort_unstable();
+            children.sort_unstable();
+            let mut h = color[i] ^ 0x9E37_79B9_7F4A_7C15;
+            let mut mix = |x: u64| {
+                h ^= x.wrapping_mul(0xFF51_AFD7_ED55_8CCD).rotate_left(31);
+                h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+            };
+            mix(parents.len() as u64);
+            for p in parents {
+                mix(p);
+            }
+            mix(0xABCD);
+            for c in children {
+                mix(c);
+            }
+            next.push(h);
+        }
+        color = next;
+    }
+    color
+}
+
+/// Are `a` and `b` isomorphic as directed graphs?
+///
+/// ```
+/// use ic_dag::{builder::from_arcs, iso::are_isomorphic};
+/// let a = from_arcs(3, &[(0, 1), (0, 2)]).unwrap();
+/// let b = from_arcs(3, &[(2, 0), (2, 1)]).unwrap(); // relabeled Vee
+/// let c = from_arcs(3, &[(0, 2), (1, 2)]).unwrap(); // Lambda
+/// assert!(are_isomorphic(&a, &b));
+/// assert!(!are_isomorphic(&a, &c));
+/// ```
+pub fn are_isomorphic(a: &Dag, b: &Dag) -> bool {
+    if a.num_nodes() != b.num_nodes() || a.num_arcs() != b.num_arcs() {
+        return false;
+    }
+    let n = a.num_nodes();
+    if n == 0 {
+        return true;
+    }
+    let ca = refine_colors(a);
+    let cb = refine_colors(b);
+    // Color multisets must match.
+    let hist = |c: &[u64]| {
+        let mut h: HashMap<u64, usize> = HashMap::new();
+        for &x in c {
+            *h.entry(x).or_default() += 1;
+        }
+        h
+    };
+    let hb = hist(&cb);
+    if hist(&ca) != hb {
+        return false;
+    }
+    // Backtracking: map a's nodes to b's nodes of the same color,
+    // consistency-checked on adjacency to already-mapped nodes. The
+    // node order matters enormously on symmetric graphs: always extend
+    // along adjacency (most already-ordered neighbors first, then
+    // rarest color), so each new node is maximally constrained.
+    let rarity: HashMap<u64, usize> = hb.iter().map(|(&k, &v)| (k, v)).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut placed = vec![false; n];
+    let mut adj_count = vec![0usize; n];
+    for _ in 0..n {
+        let pick = (0..n)
+            .filter(|&i| !placed[i])
+            .min_by_key(|&i| (std::cmp::Reverse(adj_count[i]), rarity[&ca[i]], ca[i], i))
+            .expect("unplaced node exists");
+        placed[pick] = true;
+        order.push(pick);
+        let v = NodeId::new(pick);
+        for &w in a.parents(v).iter().chain(a.children(v)) {
+            adj_count[w.index()] += 1;
+        }
+    }
+    let mut mapping: Vec<Option<NodeId>> = vec![None; n];
+    let mut used = vec![false; n];
+
+    fn consistent(a: &Dag, b: &Dag, mapping: &[Option<NodeId>], u: usize, img: NodeId) -> bool {
+        let un = NodeId::new(u);
+        for &p in a.parents(un) {
+            if let Some(pi) = mapping[p.index()] {
+                if !b.has_arc(pi, img) {
+                    return false;
+                }
+            }
+        }
+        for &c in a.children(un) {
+            if let Some(ci) = mapping[c.index()] {
+                if !b.has_arc(img, ci) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[allow(clippy::too_many_arguments)] // recursive search state, local to this fn
+    fn dfs(
+        a: &Dag,
+        b: &Dag,
+        ca: &[u64],
+        cb: &[u64],
+        order: &[usize],
+        k: usize,
+        mapping: &mut Vec<Option<NodeId>>,
+        used: &mut Vec<bool>,
+    ) -> bool {
+        if k == order.len() {
+            return true;
+        }
+        let u = order[k];
+        for cand in 0..b.num_nodes() {
+            if used[cand] || cb[cand] != ca[u] {
+                continue;
+            }
+            let img = NodeId::new(cand);
+            if consistent(a, b, mapping, u, img) {
+                mapping[u] = Some(img);
+                used[cand] = true;
+                if dfs(a, b, ca, cb, order, k + 1, mapping, used) {
+                    return true;
+                }
+                mapping[u] = None;
+                used[cand] = false;
+            }
+        }
+        false
+    }
+
+    dfs(a, b, &ca, &cb, &order, 0, &mut mapping, &mut used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_arcs;
+
+    #[test]
+    fn identical_dags_are_isomorphic() {
+        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert!(are_isomorphic(&g, &g));
+    }
+
+    #[test]
+    fn relabeled_dags_are_isomorphic() {
+        let a = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        // Same diamond with middles renamed.
+        let b = from_arcs(4, &[(0, 2), (0, 1), (2, 3), (1, 3)]).unwrap();
+        assert!(are_isomorphic(&a, &b));
+        // Fully scrambled ids: 3 is the source, 0 the sink.
+        let c = from_arcs(4, &[(3, 1), (3, 2), (1, 0), (2, 0)]).unwrap();
+        assert!(are_isomorphic(&a, &c));
+    }
+
+    #[test]
+    fn different_shapes_are_not() {
+        let path = from_arcs(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let star = from_arcs(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert!(!are_isomorphic(&path, &star));
+        // Same counts, different structure: diamond vs. 2-path + 2 arcs
+        // rearranged.
+        let diamond = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let zigzag = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (1, 2)]).unwrap();
+        assert_eq!(diamond.num_arcs(), zigzag.num_arcs());
+        assert!(!are_isomorphic(&diamond, &zigzag));
+    }
+
+    #[test]
+    fn orientation_matters() {
+        let v = from_arcs(3, &[(0, 1), (0, 2)]).unwrap();
+        let l = from_arcs(3, &[(0, 2), (1, 2)]).unwrap();
+        assert!(!are_isomorphic(&v, &l));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = from_arcs(0, &[]).unwrap();
+        assert!(are_isomorphic(&e, &e));
+        let s1 = from_arcs(1, &[]).unwrap();
+        assert!(are_isomorphic(&s1, &s1));
+        assert!(!are_isomorphic(&e, &s1));
+    }
+
+    #[test]
+    fn regular_dags_with_symmetry() {
+        // The butterfly block has a 2-fold symmetry: scrambles map back.
+        let b1 = from_arcs(4, &[(0, 2), (0, 3), (1, 2), (1, 3)]).unwrap();
+        let b2 = from_arcs(4, &[(2, 0), (2, 1), (3, 0), (3, 1)]).unwrap();
+        assert!(are_isomorphic(&b1, &b2));
+    }
+}

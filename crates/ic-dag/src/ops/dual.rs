@@ -1,0 +1,73 @@
+//! The dual of a dag (§2.3.2 of the paper).
+//!
+//! The dual of `G` is obtained by reversing all of `G`'s arcs, thereby
+//! interchanging sources and sinks. Node ids are preserved, so no
+//! correspondence map is needed: node `v` of `G` *is* node `v` of the
+//! dual.
+
+use crate::dag::Dag;
+
+/// Reverse every arc of `dag`. Node ids and labels are preserved.
+///
+/// Duality is an involution: `dual(&dual(g)) == g`.
+///
+/// ```
+/// use ic_dag::{builder::from_arcs, dual};
+/// let vee = from_arcs(3, &[(0, 1), (0, 2)]).unwrap();
+/// let lambda = dual(&vee);
+/// assert_eq!(lambda.num_sources(), 2);
+/// assert_eq!(lambda.num_sinks(), 1);
+/// assert_eq!(dual(&lambda), vee);
+/// ```
+pub fn dual(dag: &Dag) -> Dag {
+    // Swapping the two CSR halves *is* arc reversal.
+    Dag {
+        children_off: dag.parents_off.clone(),
+        children_flat: dag.parents_flat.clone(),
+        parents_off: dag.children_off.clone(),
+        parents_flat: dag.children_flat.clone(),
+        labels: dag.labels.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_arcs;
+    use crate::dag::NodeId;
+
+    #[test]
+    fn dual_swaps_sources_and_sinks() {
+        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let d = dual(&g);
+        assert_eq!(d.sources().collect::<Vec<_>>(), vec![NodeId(3)]);
+        assert_eq!(d.sinks().collect::<Vec<_>>(), vec![NodeId(0)]);
+        assert!(d.has_arc(NodeId(3), NodeId(1)));
+        assert!(!d.has_arc(NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn dual_is_involution() {
+        let g = from_arcs(6, &[(0, 2), (1, 2), (2, 3), (2, 4), (4, 5)]).unwrap();
+        assert_eq!(dual(&dual(&g)), g);
+    }
+
+    #[test]
+    fn dual_preserves_counts_and_labels() {
+        let mut b = crate::DagBuilder::new();
+        let u = b.add_node("u");
+        let v = b.add_node("v");
+        b.add_arc(u, v).unwrap();
+        let g = b.build().unwrap();
+        let d = dual(&g);
+        assert_eq!(d.num_nodes(), 2);
+        assert_eq!(d.num_arcs(), 1);
+        assert_eq!(d.label(u), "u");
+    }
+
+    #[test]
+    fn dual_of_empty() {
+        let g = from_arcs(0, &[]).unwrap();
+        assert_eq!(dual(&g).num_nodes(), 0);
+    }
+}

@@ -1,0 +1,7 @@
+//! The dag algebra of IC-Scheduling Theory: duality, sums, the
+//! composition operation `⇑`, and quotient (coarsening) dags.
+
+pub mod compose;
+pub mod dual;
+pub mod quotient;
+pub mod sum;

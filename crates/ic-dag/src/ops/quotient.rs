@@ -1,0 +1,176 @@
+//! Quotient (clustering) dags — the engine behind the paper's
+//! *multi-granularity* constructions (Figs. 3, 7, 13-right).
+//!
+//! Coarsening a computation means assigning each fine-grained task to a
+//! cluster; the coarsened computation's dag has one node per cluster and
+//! an arc between clusters whenever some fine arc crosses them. The
+//! assignment is valid only if the quotient is acyclic — otherwise two
+//! coarse tasks would each have to run before the other.
+
+use crate::builder::DagBuilder;
+use crate::dag::{Dag, NodeId};
+use crate::error::DagError;
+
+/// A validated coarsening of a dag.
+#[derive(Debug, Clone)]
+pub struct Quotient {
+    /// The coarse dag: one node per cluster.
+    pub dag: Dag,
+    /// `assignment[v]` = cluster id of fine node `v`.
+    pub assignment: Vec<u32>,
+    /// `members[c]` = the fine nodes of cluster `c`, in id order.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+impl Quotient {
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The cluster containing fine node `v`.
+    pub fn cluster_of(&self, v: NodeId) -> NodeId {
+        NodeId(self.assignment[v.index()])
+    }
+
+    /// The coarsening factor of cluster `c` — how many fine tasks it
+    /// absorbs. The paper's granularity knob.
+    pub fn granularity(&self, c: NodeId) -> usize {
+        self.members[c.index()].len()
+    }
+}
+
+/// Build the quotient of `dag` under `assignment` (fine node -> cluster).
+///
+/// Requirements:
+/// * `assignment.len() == dag.num_nodes()`;
+/// * cluster ids are contiguous: every id in `0..max+1` is used;
+/// * the induced cluster graph is acyclic
+///   (else [`DagError::CyclicQuotient`]).
+///
+/// ```
+/// use ic_dag::{builder::from_arcs, quotient};
+/// // A 4-node diamond coarsened into {top}, {middle pair}, {bottom}.
+/// let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+/// let q = quotient(&g, &[0, 1, 1, 2]).unwrap();
+/// assert_eq!(q.dag.num_nodes(), 3);
+/// assert_eq!(q.dag.num_arcs(), 2);
+/// ```
+pub fn quotient(dag: &Dag, assignment: &[u32]) -> Result<Quotient, DagError> {
+    if assignment.len() != dag.num_nodes() {
+        return Err(DagError::BadClusterAssignment);
+    }
+    let k = match assignment.iter().max() {
+        Some(&m) => m as usize + 1,
+        None => 0,
+    };
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+    for (i, &c) in assignment.iter().enumerate() {
+        members[c as usize].push(NodeId::new(i));
+    }
+    if members.iter().any(Vec::is_empty) {
+        return Err(DagError::BadClusterAssignment);
+    }
+
+    let mut b = DagBuilder::with_capacity(k);
+    for mem in &members {
+        // A compact label: join member labels when few, else a count.
+        let named: Vec<&str> = mem
+            .iter()
+            .map(|&v| dag.label(v))
+            .filter(|l| !l.is_empty())
+            .collect();
+        let label = if named.is_empty() {
+            String::new()
+        } else if named.len() <= 4 {
+            named.join("+")
+        } else {
+            format!("{}+..({})", named[0], mem.len())
+        };
+        b.add_node(label);
+    }
+    for (u, v) in dag.arcs() {
+        let (cu, cv) = (assignment[u.index()], assignment[v.index()]);
+        if cu != cv {
+            b.add_arc(NodeId(cu), NodeId(cv))?;
+        }
+    }
+    let qdag = b.build().map_err(|e| match e {
+        DagError::Cycle => DagError::CyclicQuotient,
+        other => other,
+    })?;
+    Ok(Quotient {
+        dag: qdag,
+        assignment: assignment.to_vec(),
+        members,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_arcs;
+
+    #[test]
+    fn valid_coarsening() {
+        // Path 0 -> 1 -> 2 -> 3, clusters {0,1} and {2,3}.
+        let g = from_arcs(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let q = quotient(&g, &[0, 0, 1, 1]).unwrap();
+        assert_eq!(q.num_clusters(), 2);
+        assert_eq!(q.dag.num_arcs(), 1);
+        assert_eq!(q.granularity(NodeId(0)), 2);
+        assert_eq!(q.cluster_of(NodeId(3)), NodeId(1));
+    }
+
+    #[test]
+    fn rejects_cyclic_quotient() {
+        // 0 -> 1 -> 2 with clusters {0,2} and {1}: arcs both ways between
+        // the clusters.
+        let g = from_arcs(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(
+            quotient(&g, &[0, 1, 0]).unwrap_err(),
+            DagError::CyclicQuotient
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let g = from_arcs(3, &[(0, 1)]).unwrap();
+        assert_eq!(
+            quotient(&g, &[0, 0]).unwrap_err(),
+            DagError::BadClusterAssignment
+        );
+    }
+
+    #[test]
+    fn rejects_gap_in_cluster_ids() {
+        let g = from_arcs(3, &[(0, 1)]).unwrap();
+        assert_eq!(
+            quotient(&g, &[0, 0, 2]).unwrap_err(),
+            DagError::BadClusterAssignment
+        );
+    }
+
+    #[test]
+    fn identity_quotient_is_isomorphic() {
+        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let q = quotient(&g, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(q.dag.num_nodes(), g.num_nodes());
+        assert_eq!(q.dag.num_arcs(), g.num_arcs());
+    }
+
+    #[test]
+    fn internal_arcs_disappear() {
+        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let q = quotient(&g, &[0, 0, 0, 0]).unwrap();
+        assert_eq!(q.dag.num_nodes(), 1);
+        assert_eq!(q.dag.num_arcs(), 0);
+    }
+
+    #[test]
+    fn empty_dag_quotient() {
+        let g = from_arcs(0, &[]).unwrap();
+        let q = quotient(&g, &[]).unwrap();
+        assert_eq!(q.num_clusters(), 0);
+    }
+}

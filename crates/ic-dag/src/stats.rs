@@ -1,0 +1,113 @@
+//! Structural statistics of dags, used by the experiment reports.
+
+use crate::dag::Dag;
+use crate::traversal::levels;
+
+/// A structural summary of a dag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Arc count.
+    pub arcs: usize,
+    /// Source count.
+    pub sources: usize,
+    /// Sink count.
+    pub sinks: usize,
+    /// Number of nodes on a longest directed path.
+    pub height: usize,
+    /// The largest level population (a lower bound on the maximum
+    /// antichain, i.e. on the dag's parallelism).
+    pub max_level_width: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+}
+
+/// Compute [`DagStats`] for `dag`.
+///
+/// ```
+/// use ic_dag::{builder::from_arcs, stats::stats};
+/// let diamond = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+/// let s = stats(&diamond);
+/// assert_eq!((s.height, s.max_level_width), (3, 2));
+/// ```
+pub fn stats(dag: &Dag) -> DagStats {
+    let lvl = levels(dag);
+    let height = lvl.iter().copied().max().map_or(0, |m| m + 1);
+    let mut width = vec![0usize; height.max(1)];
+    for &l in &lvl {
+        width[l] += 1;
+    }
+    DagStats {
+        nodes: dag.num_nodes(),
+        arcs: dag.num_arcs(),
+        sources: dag.num_sources(),
+        sinks: dag.num_sinks(),
+        height: if dag.num_nodes() == 0 { 0 } else { height },
+        max_level_width: width.iter().copied().max().unwrap_or(0)
+            * usize::from(dag.num_nodes() > 0),
+        max_in_degree: dag.node_ids().map(|v| dag.in_degree(v)).max().unwrap_or(0),
+        max_out_degree: dag.node_ids().map(|v| dag.out_degree(v)).max().unwrap_or(0),
+    }
+}
+
+impl std::fmt::Display for DagStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} arcs; {} sources, {} sinks; height {}, max width {}, degrees in<={} out<={}",
+            self.nodes,
+            self.arcs,
+            self.sources,
+            self.sinks,
+            self.height,
+            self.max_level_width,
+            self.max_in_degree,
+            self.max_out_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_arcs;
+
+    #[test]
+    fn diamond_stats() {
+        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let s = stats(&g);
+        assert_eq!(
+            s,
+            DagStats {
+                nodes: 4,
+                arcs: 4,
+                sources: 1,
+                sinks: 1,
+                height: 3,
+                max_level_width: 2,
+                max_in_degree: 2,
+                max_out_degree: 2,
+            }
+        );
+        assert!(s.to_string().contains("4 nodes"));
+    }
+
+    #[test]
+    fn empty_dag_stats() {
+        let s = stats(&from_arcs(0, &[]).unwrap());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.height, 0);
+        assert_eq!(s.max_level_width, 0);
+    }
+
+    #[test]
+    fn antichain_stats() {
+        let s = stats(&from_arcs(5, &[]).unwrap());
+        assert_eq!(s.height, 1);
+        assert_eq!(s.max_level_width, 5);
+        assert_eq!(s.max_in_degree, 0);
+    }
+}

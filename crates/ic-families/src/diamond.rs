@@ -1,0 +1,429 @@
+//! Alternating expansion–reduction computations (§3, Figs. 2–4, Table 1).
+//!
+//! A *diamond dag* composes an out-tree `T` (the "expansive" phase, e.g.
+//! the divide phase of divide-and-conquer) with an in-tree `T'` (the
+//! "reductive" recombination phase) by merging `T`'s leaves with `T'`'s
+//! sources. More generally, arbitrary alternations of out- and in-trees
+//! (Fig. 4) of the composition types in Table 1 all admit IC-optimal
+//! schedules:
+//!
+//! 1. `D_0 ⇑ D_1 ⇑ ... ⇑ D_n`  (chains of diamonds),
+//! 2. `T^(in) ⇑ D_1 ⇑ ... ⇑ D_n`  (in-tree-led),
+//! 3. `D_1 ⇑ ... ⇑ D_n ⇑ T^(out)`  (out-tree-tailed),
+//!
+//! where the out→in boundary merges all leaves with all in-tree sources,
+//! and the in→out boundary merges the single sink with the single root.
+//!
+//! Coarsening (Fig. 3): truncating a branch of the out-tree together with
+//! its mated portion of the in-tree collapses a mirrored subtree pair
+//! into one coarse task.
+
+use ic_dag::{compose_full, dual, quotient, ChainBuilder, Dag, NodeId, Quotient};
+use ic_sched::compose_schedule::{linear_composition_schedule, Stage};
+use ic_sched::{SchedError, Schedule};
+
+use crate::trees::{in_tree_schedule, is_in_tree, is_out_tree, out_tree_schedule};
+
+/// A diamond dag with its provenance: the generating out-tree and the
+/// maps from tree nodes into the composite for both the expansive copy
+/// and the reductive (dual) copy. Leaf `v` of the tree appears *once* in
+/// the diamond — `out_map[v] == in_map[v]` for leaves.
+#[derive(Debug, Clone)]
+pub struct Diamond {
+    /// The composite diamond dag.
+    pub dag: Dag,
+    /// The generating out-tree `T`.
+    pub tree: Dag,
+    /// Map from `T`'s nodes to diamond nodes (expansive copy).
+    pub out_map: Vec<NodeId>,
+    /// Map from `T̃`'s nodes (same ids as `T`) to diamond nodes
+    /// (reductive copy).
+    pub in_map: Vec<NodeId>,
+}
+
+/// Build the diamond `T ⇑ T̃` of Fig. 2/3: the out-tree composed with its
+/// own dual, merging each leaf with its mirror.
+pub fn diamond_from_out_tree(tree: &Dag) -> Result<Diamond, SchedError> {
+    let tin = dual(tree);
+    // T's sinks and T̃'s sources are the same id set, so compose_full's
+    // id-order pairing merges each leaf with its own mirror.
+    let c = compose_full(tree, &tin)?;
+    Ok(Diamond {
+        dag: c.dag,
+        tree: tree.clone(),
+        out_map: c.left_map,
+        in_map: c.right_map,
+    })
+}
+
+impl Diamond {
+    /// The IC-optimal schedule of §3.1: execute all of `T` by an
+    /// IC-optimal schedule, then all of `T̃` by an IC-optimal schedule
+    /// (Theorem 2.1 over the ▷-linear `V ... V Λ ... Λ` decomposition).
+    pub fn ic_schedule(&self) -> Result<Schedule, SchedError> {
+        let tin = dual(&self.tree);
+        let s_out = out_tree_schedule(&self.tree);
+        let s_in = in_tree_schedule(&tin)?;
+        let stages = [
+            Stage {
+                dag: &self.tree,
+                map: &self.out_map,
+                schedule: &s_out,
+            },
+            Stage {
+                dag: &tin,
+                map: &self.in_map,
+                schedule: &s_in,
+            },
+        ];
+        linear_composition_schedule(&self.dag, &stages)
+    }
+
+    /// Coarsen (Fig. 3): for each given out-tree node `v`, collapse the
+    /// subtree rooted at `v` *together with* its mirrored in-tree portion
+    /// into a single coarse task. The given roots' subtrees must be
+    /// pairwise disjoint.
+    pub fn coarsen_at(&self, roots: &[NodeId]) -> Result<Quotient, SchedError> {
+        let n = self.dag.num_nodes();
+        // usize::MAX marks "not yet clustered".
+        let mut cluster = vec![usize::MAX; n];
+        let mut next = 0usize;
+        for &r in roots {
+            if r.index() >= self.tree.num_nodes() {
+                return Err(SchedError::Dag(ic_dag::DagError::InvalidNode(r)));
+            }
+            let sub = ic_dag::traversal::reachable_from(&self.tree, r);
+            for (u, &in_subtree) in sub.iter().enumerate() {
+                if !in_subtree {
+                    continue;
+                }
+                for &cid in &[self.out_map[u], self.in_map[u]] {
+                    if cluster[cid.index()] != usize::MAX && cluster[cid.index()] != next {
+                        // Overlapping subtrees.
+                        return Err(SchedError::Dag(ic_dag::DagError::BadClusterAssignment));
+                    }
+                    cluster[cid.index()] = next;
+                }
+            }
+            next += 1;
+        }
+        for c in cluster.iter_mut() {
+            if *c == usize::MAX {
+                *c = next;
+                next += 1;
+            }
+        }
+        let assignment: Vec<u32> = cluster.iter().map(|&c| c as u32).collect();
+        quotient(&self.dag, &assignment).map_err(SchedError::Dag)
+    }
+}
+
+/// One component of an alternating expansion–reduction chain.
+#[derive(Debug, Clone)]
+pub enum Component {
+    /// An out-tree (expansive phase).
+    OutTree(Dag),
+    /// An in-tree (reductive phase).
+    InTree(Dag),
+}
+
+impl Component {
+    fn dag(&self) -> &Dag {
+        match self {
+            Component::OutTree(d) | Component::InTree(d) => d,
+        }
+    }
+
+    fn validate(&self) -> bool {
+        match self {
+            Component::OutTree(d) => is_out_tree(d),
+            Component::InTree(d) => is_in_tree(d),
+        }
+    }
+}
+
+/// An alternating composition of out- and in-trees (Fig. 4 / Table 1),
+/// with per-component provenance maps.
+#[derive(Debug, Clone)]
+pub struct AlternatingChain {
+    /// The composite dag.
+    pub dag: Dag,
+    /// The components, in order.
+    pub components: Vec<Component>,
+    /// `maps[i][v]` = composite id of node `v` of component `i`.
+    pub maps: Vec<Vec<NodeId>>,
+}
+
+/// Compose an alternating sequence of out-/in-trees. The boundary rule
+/// follows Table 1: `Out → In` merges all leaves with all in-tree
+/// sources (a diamond boundary, requiring equal counts); `In → Out`
+/// merges the single sink with the single root. Consecutive components
+/// of the same kind are rejected.
+pub fn alternating(components: Vec<Component>) -> Result<AlternatingChain, SchedError> {
+    if components.is_empty() {
+        return Err(SchedError::InvalidSchedule);
+    }
+    for (i, c) in components.iter().enumerate() {
+        if !c.validate() {
+            return Err(SchedError::StageMismatch { stage: i });
+        }
+    }
+    let mut chain = ChainBuilder::new(components[0].dag());
+    for i in 1..components.len() {
+        match (&components[i - 1], &components[i]) {
+            (Component::OutTree(_), Component::InTree(next)) => {
+                // Diamond boundary: all current sinks to all sources.
+                chain.push_full(next).map_err(SchedError::Dag)?;
+            }
+            (Component::InTree(_), Component::OutTree(next)) => {
+                // Single-node boundary: the unique current sink is the
+                // previous in-tree's sink (an in-tree has one sink and it
+                // cannot have been merged away).
+                let sink = chain
+                    .current()
+                    .sinks()
+                    .next()
+                    .ok_or(SchedError::StageMismatch { stage: i })?;
+                let root = next
+                    .sources()
+                    .next()
+                    .ok_or(SchedError::StageMismatch { stage: i })?;
+                chain.push(next, &[(sink, root)]).map_err(SchedError::Dag)?;
+            }
+            _ => return Err(SchedError::StageMismatch { stage: i }),
+        }
+    }
+    let (dag, maps) = chain.finish();
+    Ok(AlternatingChain {
+        dag,
+        components,
+        maps,
+    })
+}
+
+impl AlternatingChain {
+    /// The IC-optimal schedule: components in order; out-trees by any
+    /// schedule, in-trees by the paired (dual-packet) schedule
+    /// (Theorem 2.1 plus the topological forcing argument of §3.1 for
+    /// in→out boundaries).
+    pub fn ic_schedule(&self) -> Result<Schedule, SchedError> {
+        let schedules: Vec<Schedule> = self
+            .components
+            .iter()
+            .map(|c| match c {
+                Component::OutTree(d) => Ok(out_tree_schedule(d)),
+                Component::InTree(d) => in_tree_schedule(d),
+            })
+            .collect::<Result<_, _>>()?;
+        let stages: Vec<Stage<'_>> = self
+            .components
+            .iter()
+            .zip(&self.maps)
+            .zip(&schedules)
+            .map(|((c, map), schedule)| Stage {
+                dag: c.dag(),
+                map,
+                schedule,
+            })
+            .collect();
+        linear_composition_schedule(&self.dag, &stages)
+    }
+}
+
+/// Table 1, row 1: a chain of diamonds `D_0 ⇑ ... ⇑ D_n`, each generated
+/// from its out-tree.
+pub fn diamond_chain(trees: &[&Dag]) -> Result<AlternatingChain, SchedError> {
+    let mut comps = Vec::with_capacity(trees.len() * 2);
+    for t in trees {
+        comps.push(Component::OutTree((*t).clone()));
+        comps.push(Component::InTree(dual(t)));
+    }
+    alternating(comps)
+}
+
+/// Table 1, row 2: an in-tree-led chain `T^(in) ⇑ D_1 ⇑ ... ⇑ D_n`.
+pub fn in_tree_led(lead: &Dag, trees: &[&Dag]) -> Result<AlternatingChain, SchedError> {
+    let mut comps = vec![Component::InTree(lead.clone())];
+    for t in trees {
+        comps.push(Component::OutTree((*t).clone()));
+        comps.push(Component::InTree(dual(t)));
+    }
+    alternating(comps)
+}
+
+/// Table 1, row 3: an out-tree-tailed chain `D_1 ⇑ ... ⇑ D_n ⇑ T^(out)`.
+pub fn out_tree_tailed(trees: &[&Dag], tail: &Dag) -> Result<AlternatingChain, SchedError> {
+    let mut comps = Vec::with_capacity(trees.len() * 2 + 1);
+    for t in trees {
+        comps.push(Component::OutTree((*t).clone()));
+        comps.push(Component::InTree(dual(t)));
+    }
+    comps.push(Component::OutTree(tail.clone()));
+    alternating(comps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trees::{complete_in_tree, complete_out_tree, random_branching_out_tree};
+    use ic_sched::optimal::{admits_ic_optimal, is_ic_optimal};
+
+    #[test]
+    fn diamond_of_depth2_tree() {
+        let t = complete_out_tree(2, 2); // 7 nodes, 4 leaves
+        let d = diamond_from_out_tree(&t).unwrap();
+        // 7 + 7 - 4 merged leaves = 10 nodes.
+        assert_eq!(d.dag.num_nodes(), 10);
+        assert_eq!(d.dag.num_sources(), 1);
+        assert_eq!(d.dag.num_sinks(), 1);
+        // Leaves are shared between the maps.
+        for v in t.sinks() {
+            assert_eq!(d.out_map[v.index()], d.in_map[v.index()]);
+        }
+    }
+
+    #[test]
+    fn diamond_schedule_is_ic_optimal() {
+        for (a, depth) in [(2, 1), (2, 2), (3, 1)] {
+            let t = complete_out_tree(a, depth);
+            let d = diamond_from_out_tree(&t).unwrap();
+            let s = d.ic_schedule().unwrap();
+            assert!(
+                is_ic_optimal(&d.dag, &s).unwrap(),
+                "diamond of arity {a} depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn irregular_diamond_schedule_is_ic_optimal() {
+        // Irregular but *branching* trees (every internal node >= 2
+        // children) — the Vee-composition class the theory covers.
+        for seed in 0..5 {
+            let t = random_branching_out_tree(8, 2, seed);
+            let d = diamond_from_out_tree(&t).unwrap();
+            let s = d.ic_schedule().unwrap();
+            assert!(is_ic_optimal(&d.dag, &s).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn coarsened_diamond_fig3() {
+        // Fig. 3 coarsens two mirrored subtree pairs of the Fig. 2
+        // diamond. Take the depth-2 binary diamond and coarsen at both
+        // depth-1 internal nodes.
+        let t = complete_out_tree(2, 2);
+        let d = diamond_from_out_tree(&t).unwrap();
+        let q = d.coarsen_at(&[NodeId(1)]).unwrap();
+        // Subtree of node 1 = {1, 3, 4}; its mirror = {1', 3', 4'} but
+        // leaves are shared: out {1,3,4} + in {1'} = 4 fine nodes fused.
+        assert_eq!(q.dag.num_nodes(), d.dag.num_nodes() - 3);
+        // The coarsened diamond still admits an IC-optimal schedule.
+        assert!(admits_ic_optimal(&q.dag).unwrap());
+    }
+
+    #[test]
+    fn coarsen_two_disjoint_branches() {
+        let t = complete_out_tree(2, 2);
+        let d = diamond_from_out_tree(&t).unwrap();
+        let q = d.coarsen_at(&[NodeId(1), NodeId(2)]).unwrap();
+        assert!(admits_ic_optimal(&q.dag).unwrap());
+        // Two coarse tasks of granularity 4 each (3 tree + 1 mirror).
+        assert_eq!(q.granularity(NodeId(0)), 4);
+        assert_eq!(q.granularity(NodeId(1)), 4);
+    }
+
+    #[test]
+    fn coarsen_rejects_overlapping_subtrees() {
+        let t = complete_out_tree(2, 2);
+        let d = diamond_from_out_tree(&t).unwrap();
+        // Node 1's subtree contains node 3.
+        assert!(d.coarsen_at(&[NodeId(1), NodeId(3)]).is_err());
+    }
+
+    #[test]
+    fn diamond_chain_table1_row1() {
+        let t0 = complete_out_tree(2, 1); // V
+        let t1 = complete_out_tree(2, 1);
+        let chain = diamond_chain(&[&t0, &t1]).unwrap();
+        // Each diamond: 3 + 3 - 2 = 4 nodes; chained via 1 merge: 7.
+        assert_eq!(chain.dag.num_nodes(), 7);
+        let s = chain.ic_schedule().unwrap();
+        assert!(is_ic_optimal(&chain.dag, &s).unwrap());
+    }
+
+    #[test]
+    fn in_tree_led_table1_row2() {
+        let lead = complete_in_tree(2, 1); // Λ
+        let t1 = complete_out_tree(2, 1);
+        let chain = in_tree_led(&lead, &[&t1]).unwrap();
+        // Λ (3) + D (4) - 1 merge = 6.
+        assert_eq!(chain.dag.num_nodes(), 6);
+        assert_eq!(chain.dag.num_sources(), 2);
+        let s = chain.ic_schedule().unwrap();
+        assert!(is_ic_optimal(&chain.dag, &s).unwrap());
+    }
+
+    #[test]
+    fn out_tree_tailed_table1_row3() {
+        let t1 = complete_out_tree(2, 1);
+        let tail = complete_out_tree(2, 2);
+        let chain = out_tree_tailed(&[&t1], &tail).unwrap();
+        // D (4) + T (7) - 1 = 10.
+        assert_eq!(chain.dag.num_nodes(), 10);
+        assert_eq!(chain.dag.num_sinks(), 4);
+        let s = chain.ic_schedule().unwrap();
+        assert!(is_ic_optimal(&chain.dag, &s).unwrap());
+    }
+
+    #[test]
+    fn leftmost_fig4_in_tree_then_out_tree() {
+        // The leftmost dag of Fig. 4: T' ⇑ T merging T'ated sink with
+        // T's root; topology forces all of T' before any of T.
+        let chain = alternating(vec![
+            Component::InTree(complete_in_tree(2, 2)),
+            Component::OutTree(complete_out_tree(2, 2)),
+        ])
+        .unwrap();
+        assert_eq!(chain.dag.num_nodes(), 13);
+        let s = chain.ic_schedule().unwrap();
+        assert!(is_ic_optimal(&chain.dag, &s).unwrap());
+    }
+
+    #[test]
+    fn mismatched_leaf_counts_rejected() {
+        // Out-tree with 4 leaves followed by in-tree with 2 sources.
+        let res = alternating(vec![
+            Component::OutTree(complete_out_tree(2, 2)),
+            Component::InTree(complete_in_tree(2, 1)),
+        ]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn same_kind_neighbors_rejected() {
+        let res = alternating(vec![
+            Component::OutTree(complete_out_tree(2, 1)),
+            Component::OutTree(complete_out_tree(2, 1)),
+        ]);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn non_tree_component_rejected() {
+        let d = ic_dag::builder::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let res = alternating(vec![Component::OutTree(d)]);
+        assert!(matches!(res, Err(SchedError::StageMismatch { stage: 0 })));
+    }
+
+    #[test]
+    fn unequal_leaf_alternation_fig4_rightmost() {
+        // The rightmost dag of Fig. 4: leaf counts of composed out- and
+        // in-trees need not match across *different* diamonds.
+        let t_small = complete_out_tree(2, 1); // 2 leaves
+        let t_large = complete_out_tree(2, 2); // 4 leaves
+        let chain = diamond_chain(&[&t_small, &t_large]).unwrap();
+        let s = chain.ic_schedule().unwrap();
+        assert!(is_ic_optimal(&chain.dag, &s).unwrap());
+    }
+}

@@ -1,0 +1,314 @@
+//! The Discrete Laplace Transform dags (§6.2.1, Figs. 13 and 15).
+//!
+//! Both DLT algorithms accumulate the terms of
+//! `y_k(ω) = Σ_i x_i ω^{ik}` with an `n`-source in-tree; they differ in
+//! how the powers `ω^{ik}` are generated:
+//!
+//! * **`L_n`** (Fig. 13 left): an `n`-input parallel-prefix dag `P_n`
+//!   generates `⟨1, ω^k, ..., ω^{(n-1)k}⟩`; composite of type
+//!   `P_n ⇑ T_n`.
+//! * **`L'_n`** (Fig. 15): a *ternary* out-tree built from the 3-prong
+//!   Vee dag `V₃` generates the powers; the in-tree's leftmost source
+//!   (the `x_0 · ω^0` term) stays free. The chain
+//!   `V₃ ▷ V₃ ▷ Λ ▷ Λ` makes it ▷-linear.
+//!
+//! Coarsened variants (Fig. 13 right) collapse leaf-level `Λ`s with
+//! their merged prefix outputs, or a whole half of the in-tree.
+
+use ic_dag::{compose, compose_full, quotient, Dag, NodeId, Quotient};
+use ic_sched::compose_schedule::{linear_composition_schedule, Stage};
+use ic_sched::{SchedError, Schedule};
+
+use crate::prefix::{parallel_prefix, prefix_schedule};
+use crate::trees::{complete_in_tree, in_tree_schedule, out_tree_from_parents, out_tree_schedule};
+
+/// A DLT dag with provenance into its two stages.
+#[derive(Debug, Clone)]
+pub struct DltDag {
+    /// The composite dag.
+    pub dag: Dag,
+    /// The generator stage (a `P_n`, or the `V₃` out-tree for `L'_n`).
+    pub generator: Dag,
+    /// Map from generator node ids to composite ids.
+    pub generator_map: Vec<NodeId>,
+    /// The accumulation in-tree `T_n`.
+    pub tree: Dag,
+    /// Map from in-tree node ids to composite ids.
+    pub tree_map: Vec<NodeId>,
+    /// The number of inputs `n`.
+    pub n: usize,
+}
+
+fn log2_exact(n: usize) -> Option<usize> {
+    (n >= 2 && n.is_power_of_two()).then(|| n.trailing_zeros() as usize)
+}
+
+/// The DLT dag `L_n` of Fig. 13 (left): `P_n ⇑ T_n`, merging the prefix
+/// outputs with the accumulation tree's sources, left to right.
+///
+/// # Panics
+/// Panics unless `n` is a power of two, `n >= 2`.
+pub fn dlt_prefix(n: usize) -> DltDag {
+    let p = log2_exact(n).expect("n must be a power of two >= 2");
+    let gen = parallel_prefix(n);
+    let tree = complete_in_tree(2, p);
+    let c = compose_full(&gen, &tree).expect("P_n has n sinks; T_n has n sources");
+    DltDag {
+        dag: c.dag,
+        generator: gen,
+        generator_map: c.left_map,
+        tree,
+        tree_map: c.right_map,
+        n,
+    }
+}
+
+impl DltDag {
+    /// The §6.2.1 IC-optimal schedule: execute the generator stage
+    /// IC-optimally, then the in-tree IC-optimally (Theorem 2.1 over
+    /// `N ... N Λ ... Λ` resp. `V₃ ... V₃ Λ ... Λ`).
+    pub fn ic_schedule(&self) -> Result<Schedule, SchedError> {
+        let gen_sched = if self.generator.num_sources() == 1 {
+            // The V₃ out-tree generator: any schedule.
+            out_tree_schedule(&self.generator)
+        } else {
+            prefix_schedule(self.n)
+        };
+        let tree_sched = in_tree_schedule(&self.tree)?;
+        let stages = [
+            Stage {
+                dag: &self.generator,
+                map: &self.generator_map,
+                schedule: &gen_sched,
+            },
+            Stage {
+                dag: &self.tree,
+                map: &self.tree_map,
+                schedule: &tree_sched,
+            },
+        ];
+        linear_composition_schedule(&self.dag, &stages)
+    }
+
+    /// Fig. 13 (right)-style coarsening: collapse each leaf-level `Λ` of
+    /// the accumulation tree together with its two merged generator
+    /// outputs into one coarse task.
+    pub fn coarsen_leaf_pairs(&self) -> Result<Quotient, SchedError> {
+        let nfine = self.dag.num_nodes();
+        let mut cluster = vec![usize::MAX; nfine];
+        let mut next = 0usize;
+        // In-tree leaves (sources) come in sibling pairs feeding one
+        // internal node; group (leaf, leaf, parent-in-tree-node).
+        for v in self.tree.node_ids() {
+            let parents = self.tree.parents(v);
+            if parents.len() == 2 && parents.iter().all(|&p| self.tree.is_source(p)) {
+                for &u in parents {
+                    cluster[self.tree_map[u.index()].index()] = next;
+                }
+                cluster[self.tree_map[v.index()].index()] = next;
+                next += 1;
+            }
+        }
+        for c in cluster.iter_mut() {
+            if *c == usize::MAX {
+                *c = next;
+                next += 1;
+            }
+        }
+        let assignment: Vec<u32> = cluster.iter().map(|&c| c as u32).collect();
+        quotient(&self.dag, &assignment).map_err(SchedError::Dag)
+    }
+
+    /// Collapse the right half of the accumulation in-tree (everything
+    /// strictly under the root's right child) into one coarse task —
+    /// the "righthand portion of the in-tree cannot be executed until
+    /// its sources have been executed" construction of §6.2.1.
+    pub fn coarsen_right_half(&self) -> Result<Quotient, SchedError> {
+        // The tree's sink is the root; its parents are the two halves.
+        let root = self
+            .tree
+            .sinks()
+            .next()
+            .ok_or(SchedError::InvalidSchedule)?;
+        let halves = self.tree.parents(root);
+        let right = *halves.last().ok_or(SchedError::InvalidSchedule)?;
+        // All tree nodes that reach `right` (its whole subtree).
+        let members = ic_dag::traversal::ancestors_of(&self.tree, right);
+        let nfine = self.dag.num_nodes();
+        let mut cluster = vec![usize::MAX; nfine];
+        for (u, &m) in members.iter().enumerate() {
+            if m {
+                cluster[self.tree_map[u].index()] = 0;
+            }
+        }
+        let mut next = 1usize;
+        for c in cluster.iter_mut() {
+            if *c == usize::MAX {
+                *c = next;
+                next += 1;
+            }
+        }
+        let assignment: Vec<u32> = cluster.iter().map(|&c| c as u32).collect();
+        quotient(&self.dag, &assignment).map_err(SchedError::Dag)
+    }
+}
+
+/// Build a ternary out-tree with exactly `leaves` leaves (`leaves` odd,
+/// `>= 1`) by repeatedly expanding the leftmost expandable leaf into a
+/// `V₃` — the §6.2.1 power-generation tree.
+///
+/// # Panics
+/// Panics unless `leaves` is odd.
+pub fn ternary_out_tree(leaves: usize) -> Dag {
+    assert!(
+        leaves >= 1 && leaves % 2 == 1,
+        "a ternary tree has an odd leaf count"
+    );
+    let mut parents: Vec<Option<usize>> = vec![None];
+    let mut leaf_count = 1usize;
+    let mut expand_next = 0usize;
+    while leaf_count < leaves {
+        // Expand node `expand_next` (currently a leaf) with 3 children.
+        for _ in 0..3 {
+            parents.push(Some(expand_next));
+        }
+        leaf_count += 2;
+        expand_next += 1;
+    }
+    out_tree_from_parents(&parents).expect("valid ternary construction")
+}
+
+/// The alternative DLT dag `L'_n` of Fig. 15: a ternary out-tree with
+/// `n - 1` leaves feeds the accumulation tree's sources `1..n`; source
+/// `0` (the `x_0` term, multiplied by `ω^0 = 1`) remains a free source.
+///
+/// # Panics
+/// Panics unless `n` is a power of two, `n >= 2`.
+pub fn dlt_vee3(n: usize) -> DltDag {
+    let p = log2_exact(n).expect("n must be a power of two >= 2");
+    let gen = ternary_out_tree(n - 1);
+    let tree = complete_in_tree(2, p);
+    let gen_sinks: Vec<NodeId> = gen.sinks().collect();
+    let tree_sources: Vec<NodeId> = tree.sources().collect();
+    debug_assert_eq!(gen_sinks.len(), tree_sources.len() - 1);
+    let pairing: Vec<(NodeId, NodeId)> = gen_sinks
+        .into_iter()
+        .zip(tree_sources.into_iter().skip(1))
+        .collect();
+    let c = compose(&gen, &tree, &pairing).expect("valid pairing");
+    DltDag {
+        dag: c.dag,
+        generator: gen,
+        generator_map: c.left_map,
+        tree,
+        tree_map: c.right_map,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::{ic_schedule, lambda, vee_d};
+    use ic_sched::optimal::{admits_ic_optimal, is_ic_optimal};
+    use ic_sched::priority::has_priority;
+
+    #[test]
+    fn l8_counts() {
+        let l8 = dlt_prefix(8);
+        // P_8 (32) + in-tree (15) - 8 merged = 39.
+        assert_eq!(l8.dag.num_nodes(), 39);
+        assert_eq!(l8.dag.num_sources(), 8);
+        assert_eq!(l8.dag.num_sinks(), 1);
+    }
+
+    #[test]
+    fn l4_schedule_is_ic_optimal() {
+        let l4 = dlt_prefix(4);
+        // P_4 (12) + T_4 (7) - 4 = 15 nodes: exhaustively checkable.
+        assert_eq!(l4.dag.num_nodes(), 15);
+        let s = l4.ic_schedule().unwrap();
+        assert!(is_ic_optimal(&l4.dag, &s).unwrap());
+    }
+
+    #[test]
+    fn l8_schedule_is_valid_topological() {
+        let l8 = dlt_prefix(8);
+        let s = l8.ic_schedule().unwrap();
+        assert!(ic_dag::traversal::is_topological(&l8.dag, s.order()));
+    }
+
+    #[test]
+    fn coarsened_l4_leaf_pairs() {
+        let l4 = dlt_prefix(4);
+        let q = l4.coarsen_leaf_pairs().unwrap();
+        // Two leaf-level Λs, each absorbing 3 nodes: 15 - 2*2 = 11.
+        assert_eq!(q.dag.num_nodes(), 11);
+        assert!(admits_ic_optimal(&q.dag).unwrap());
+    }
+
+    #[test]
+    fn coarsened_l4_right_half() {
+        let l4 = dlt_prefix(4);
+        let q = l4.coarsen_right_half().unwrap();
+        // Right half of T_4 = right leaf-Λ (2 leaves + 1 internal): those
+        // 3 fine nodes fuse into 1: 15 - 2 = 13.
+        assert_eq!(q.dag.num_nodes(), 13);
+        assert!(admits_ic_optimal(&q.dag).unwrap());
+    }
+
+    #[test]
+    fn ternary_tree_shapes() {
+        let t1 = ternary_out_tree(1);
+        assert_eq!(t1.num_nodes(), 1);
+        let t3 = ternary_out_tree(3);
+        assert_eq!(t3.num_nodes(), 4); // V₃
+        let t7 = ternary_out_tree(7);
+        assert_eq!(t7.num_nodes(), 10); // root + 3 + expansion of child: 1+3+3+3
+        assert_eq!(t7.num_sinks(), 7);
+        assert!(crate::trees::is_out_tree(&t7));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_leaf_count_panics() {
+        let _ = ternary_out_tree(4);
+    }
+
+    #[test]
+    fn l_prime_8_counts() {
+        let lp = dlt_vee3(8);
+        // Ternary tree with 7 leaves (10 nodes) + T_8 (15) - 7 merged = 18.
+        assert_eq!(lp.dag.num_nodes(), 18);
+        // Sources: the tree root and the free x0 source.
+        assert_eq!(lp.dag.num_sources(), 2);
+        assert_eq!(lp.dag.num_sinks(), 1);
+    }
+
+    #[test]
+    fn l_prime_4_schedule_is_ic_optimal() {
+        let lp = dlt_vee3(4);
+        // V₃ (4) + T_4 (7) - 3 = 8 nodes.
+        assert_eq!(lp.dag.num_nodes(), 8);
+        let s = lp.ic_schedule().unwrap();
+        assert!(is_ic_optimal(&lp.dag, &s).unwrap());
+    }
+
+    #[test]
+    fn l_prime_8_schedule_is_valid() {
+        let lp = dlt_vee3(8);
+        let s = lp.ic_schedule().unwrap();
+        assert!(ic_dag::traversal::is_topological(&lp.dag, s.order()));
+    }
+
+    #[test]
+    fn section_6_priority_chain() {
+        // V₃ ▷ V₃ ▷ Λ ▷ Λ (the §6.2.1 validation chain for L'_n).
+        let v3 = vee_d(3);
+        let l = lambda();
+        let (s3, sl) = (ic_schedule(&v3), ic_schedule(&l));
+        assert!(has_priority(&v3, &s3, &v3, &s3));
+        assert!(has_priority(&v3, &s3, &l, &sl));
+        assert!(has_priority(&l, &sl, &l, &sl));
+    }
+}

@@ -1,0 +1,47 @@
+//! The graph-paths computation of §6.2.2 (Fig. 16).
+//!
+//! Given an `m`-node graph with boolean adjacency matrix `A`, the
+//! computation finds, for every node pair and every path length
+//! `k ∈ [1, K]`, whether a length-`k` path exists:
+//!
+//! 1. a `K`-input parallel-prefix dag over *logical matrix
+//!    multiplication* computes all powers `A¹ ... A^K`;
+//! 2. an in-tree accumulates the `K` power matrices into the matrix `M`
+//!    of path-length vectors.
+//!
+//! Structurally this is exactly the DLT dag `L_K` with coarse
+//! (matrix-valued) tasks — the paper's showcase of the parallel-prefix
+//! operator's multi-granularity. The task semantics (boolean matrix
+//! products) live in `ic-apps::graphpaths`.
+
+use crate::dlt::{dlt_prefix, DltDag};
+
+/// The Fig. 16 dag for accumulating `powers` logical powers of an
+/// adjacency matrix (`powers` a power of two; the paper uses 8).
+/// Node-for-node the dag is `L_powers`; tasks are matrix-granular.
+pub fn graph_paths_dag(powers: usize) -> DltDag {
+    dlt_prefix(powers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_sched::optimal::is_ic_optimal;
+
+    #[test]
+    fn fig16_dag_for_eight_powers() {
+        let g = graph_paths_dag(8);
+        assert_eq!(g.n, 8);
+        assert_eq!(g.dag.num_sources(), 8);
+        assert_eq!(g.dag.num_sinks(), 1);
+        let s = g.ic_schedule().unwrap();
+        assert!(ic_dag::traversal::is_topological(&g.dag, s.order()));
+    }
+
+    #[test]
+    fn small_instance_is_ic_optimal() {
+        let g = graph_paths_dag(4);
+        let s = g.ic_schedule().unwrap();
+        assert!(is_ic_optimal(&g.dag, &s).unwrap());
+    }
+}

@@ -1,0 +1,253 @@
+//! The parallel-prefix (scan) dag `P_n` (§6.1, Figs. 11–12).
+//!
+//! `P_n` represents the `O(log n)`-step scan algorithm
+//!
+//! ```text
+//! for j = 0 to floor(log2(n-1)):
+//!     for i = 2^j to n-1, in parallel:  x[i] <- x[i - 2^j] * x[i]
+//! ```
+//!
+//! as a dag with one node per cell per step-row: row `j`, cell `i` feeds
+//! row `j+1` cells `i` (pass-through / left operand) and `i + 2^j`
+//! (right operand), when in range. `P_n` is an iterated composition of
+//! N-dags — row `j` to row `j+1` splits into `2^j` interleaved copies of
+//! `N_{⌈(n-offset)/2^j⌉}`-ish N-dags (Fig. 12: `P_8 = N_8 ⇑ N_4 ⇑ N_4 ⇑
+//! N_2 ⇑ N_2 ⇑ N_2 ⇑ N_2`) — and `N_s ▷ N_t` for all `s, t`, so any
+//! schedule executing the constituent N-dags one after another (in
+//! nonincreasing source order) is IC-optimal.
+
+use ic_dag::{ChainBuilder, Dag, DagBuilder, NodeId};
+use ic_sched::Schedule;
+
+use crate::primitives::n_dag;
+
+/// Number of step-rows of `P_n` (including the input row): for `n >= 2`,
+/// `floor(log2(n-1)) + 2`; a single-input scan is one node.
+pub fn prefix_rows(n: usize) -> usize {
+    assert!(n >= 1);
+    if n == 1 {
+        return 1;
+    }
+    let jmax = usize::BITS as usize - 1 - (n - 1).leading_zeros() as usize;
+    jmax + 2
+}
+
+/// Node id of row `j`, cell `i` in `parallel_prefix(n)`: row-major.
+pub fn prefix_id(n: usize, row: usize, cell: usize) -> NodeId {
+    NodeId::new(row * n + cell)
+}
+
+/// The `n`-input parallel-prefix dag `P_n` (Fig. 11).
+///
+/// ```
+/// let p8 = ic_families::prefix::parallel_prefix(8);
+/// assert_eq!((p8.num_nodes(), p8.num_arcs()), (32, 41));
+/// ```
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn parallel_prefix(n: usize) -> Dag {
+    let rows = prefix_rows(n);
+    let mut b = DagBuilder::with_capacity(rows * n);
+    for j in 0..rows {
+        for i in 0..n {
+            b.add_node(format!("x{i}@{j}"));
+        }
+    }
+    for j in 0..rows - 1 {
+        let shift = 1usize << j;
+        for i in 0..n {
+            let u = prefix_id(n, j, i);
+            // Value x_i flows to row j+1 cell i (as left/pass value)...
+            b.add_arc(u, prefix_id(n, j + 1, i)).expect("valid");
+            // ...and combines into cell i + 2^j, if that cell is updated.
+            if i + shift < n {
+                b.add_arc(u, prefix_id(n, j + 1, i + shift)).expect("valid");
+            }
+        }
+    }
+    b.build().expect("prefix dags are acyclic")
+}
+
+/// The §6.1 IC-optimal schedule for `P_n`: the constituent N-dags in
+/// nonincreasing order of source count — row by row, and within a row
+/// each parity-class N-dag completely (anchored, left to right) before
+/// the next.
+pub fn prefix_schedule(n: usize) -> Schedule {
+    let rows = prefix_rows(n);
+    let mut order = Vec::with_capacity(rows * n);
+    for j in 0..rows - 1 {
+        let stride = 1usize << j;
+        // Row j splits into `stride` interleaved N-dags by residue class;
+        // execute each class fully, anchored at its leftmost cell.
+        for class in 0..stride.min(n) {
+            let mut i = class;
+            while i < n {
+                order.push(prefix_id(n, j, i));
+                i += stride;
+            }
+        }
+    }
+    // The last row: all sinks, any order.
+    for i in 0..n {
+        order.push(prefix_id(n, rows - 1, i));
+    }
+    Schedule::new_unchecked(order)
+}
+
+/// Fig. 12: `P_n` as an explicit chain of N-dags via the composition
+/// machinery. Returns the composite, per-stage maps, and stage dags.
+/// For `n = 8` the stages are `N_8, N_4, N_4, N_2, N_2, N_2, N_2`.
+pub fn prefix_as_n_chain(n: usize) -> (Dag, Vec<Vec<NodeId>>, Vec<Dag>) {
+    assert!(n >= 2, "the N-dag decomposition needs at least two inputs");
+    let rows = prefix_rows(n);
+    // composite id of (row, cell).
+    let mut cid: Vec<Vec<Option<NodeId>>> = vec![vec![None; n]; rows];
+    let mut chain: Option<ChainBuilder> = None;
+    let mut stages: Vec<Dag> = Vec::new();
+    for j in 0..rows - 1 {
+        let stride = 1usize << j;
+        for class in 0..stride.min(n) {
+            let cells: Vec<usize> = (class..n).step_by(stride).collect();
+            let s = cells.len();
+            let nd = n_dag(s);
+            // Pair the N-dag's sources (ids 0..s) with existing composite
+            // nodes for row j's cells of this class.
+            let mut pairing = Vec::new();
+            for (k, &cell) in cells.iter().enumerate() {
+                if let Some(existing) = cid[j][cell] {
+                    pairing.push((existing, NodeId::new(k)));
+                }
+            }
+            match chain.as_mut() {
+                None => chain = Some(ChainBuilder::new(&nd)),
+                Some(c) => c.push(&nd, &pairing).expect("valid by construction"),
+            }
+            let c = chain.as_ref().expect("created above");
+            let map = c.stage_map(stages.len());
+            for (k, &cell) in cells.iter().enumerate() {
+                cid[j][cell] = Some(map[k]); // source k
+                cid[j + 1][cell] = Some(map[s + k]); // sink k
+            }
+            stages.push(nd);
+        }
+    }
+    let (dag, maps) = chain.expect("n >= 2").finish();
+    (dag, maps, stages)
+}
+
+/// The per-row N-dag source counts of the Fig. 12 decomposition, in
+/// stage order — e.g. `[8, 4, 4, 2, 2, 2, 2]` for `n = 8`.
+pub fn n_dag_sizes(n: usize) -> Vec<usize> {
+    assert!(n >= 2);
+    let rows = prefix_rows(n);
+    let mut sizes = Vec::new();
+    for j in 0..rows - 1 {
+        let stride = 1usize << j;
+        for class in 0..stride.min(n) {
+            sizes.push((n - class).div_ceil(stride));
+        }
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_sched::optimal::is_ic_optimal;
+    use ic_sched::priority::is_priority_chain;
+
+    #[test]
+    fn p8_counts() {
+        let p = parallel_prefix(8);
+        assert_eq!(p.num_nodes(), 32); // 4 rows of 8
+        assert_eq!(p.num_sources(), 8);
+        assert_eq!(p.num_sinks(), 8);
+        // Arcs: per row 0..2: n pass arcs + (n - 2^j) combine arcs.
+        assert_eq!(p.num_arcs(), (8 + 7) + (8 + 6) + (8 + 4));
+    }
+
+    #[test]
+    fn decomposition_sizes_match_fig_12() {
+        assert_eq!(n_dag_sizes(8), vec![8, 4, 4, 2, 2, 2, 2]);
+        assert_eq!(n_dag_sizes(4), vec![4, 2, 2]);
+    }
+
+    #[test]
+    fn n_chain_reconstructs_prefix_dag() {
+        for n in [2usize, 3, 4, 8] {
+            let direct = parallel_prefix(n);
+            let (composed, _, stages) = prefix_as_n_chain(n);
+            assert_eq!(
+                stages.len(),
+                n_dag_sizes(n).len(),
+                "stage count for n = {n}"
+            );
+            assert!(
+                ic_dag::iso::are_isomorphic(&composed, &direct),
+                "n = {n}: N-chain must be isomorphic to P_n"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_schedule_is_valid() {
+        for n in [2usize, 3, 4, 5, 8, 16] {
+            let p = parallel_prefix(n);
+            let s = prefix_schedule(n);
+            assert!(ic_dag::traversal::is_topological(&p, s.order()), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn prefix_schedule_is_ic_optimal_small() {
+        for n in [2usize, 3, 4] {
+            let p = parallel_prefix(n);
+            assert!(is_ic_optimal(&p, &prefix_schedule(n)).unwrap(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn n_dag_stages_form_priority_chain() {
+        // N_s ▷ N_t for all s, t — so the stage sequence is ▷-linear in
+        // any order; check the actual nonincreasing order.
+        let (_, _, stages) = prefix_as_n_chain(8);
+        let schedules: Vec<Schedule> = stages.iter().map(Schedule::in_id_order).collect();
+        let pairs: Vec<(&Dag, &Schedule)> = stages.iter().zip(&schedules).collect();
+        assert!(is_priority_chain(&pairs));
+    }
+
+    #[test]
+    fn theorem_2_1_schedule_on_p4_is_ic_optimal() {
+        use ic_sched::compose_schedule::{linear_composition_schedule, Stage};
+        let (composite, maps, stages) = prefix_as_n_chain(4);
+        let schedules: Vec<Schedule> = stages.iter().map(Schedule::in_id_order).collect();
+        let st: Vec<Stage<'_>> = stages
+            .iter()
+            .zip(&maps)
+            .zip(&schedules)
+            .map(|((dag, map), schedule)| Stage { dag, map, schedule })
+            .collect();
+        let sched = linear_composition_schedule(&composite, &st).unwrap();
+        assert!(is_ic_optimal(&composite, &sched).unwrap());
+    }
+
+    #[test]
+    fn rows_formula() {
+        assert_eq!(prefix_rows(1), 1);
+        assert_eq!(prefix_rows(2), 2);
+        assert_eq!(prefix_rows(3), 3);
+        assert_eq!(prefix_rows(4), 3);
+        assert_eq!(prefix_rows(5), 4);
+        assert_eq!(prefix_rows(8), 4);
+        assert_eq!(prefix_rows(9), 5);
+        assert_eq!(prefix_rows(16), 5);
+    }
+
+    #[test]
+    fn single_input_prefix() {
+        let p = parallel_prefix(1);
+        assert_eq!(p.num_nodes(), 1);
+        assert_eq!(p.num_arcs(), 0);
+    }
+}

@@ -1,0 +1,355 @@
+//! The building-block dags of IC-Scheduling Theory.
+//!
+//! * the **Vee dag** `V` and **Lambda dag** `Λ` (Fig. 1), and their
+//!   degree-`d` generalizations (the 3-prong `V₃` of Fig. 14 among them);
+//! * the **butterfly building block** `B` (Fig. 8);
+//! * the **N-dags** `N_s` (§6.1, Fig. 12);
+//! * the **W-dags** and **M-dags** (§4, Fig. 6);
+//! * the **(bipartite) cycle-dags** `C_s` (§7.2).
+//!
+//! Node-id conventions: sources come first (ids `0..s`), then sinks —
+//! chosen so that `Schedule::in_id_order` *is* the closed-form IC-optimal
+//! schedule of every primitive (anchored order for `N_s`, consecutive
+//! sources for `W_s`, cyclic order for `C_s`, paired sources for `B`).
+
+use ic_dag::{Dag, DagBuilder, NodeId};
+use ic_sched::Schedule;
+
+/// The Vee dag `V`: one source `w` with two children `x0`, `x1`
+/// (Fig. 1 left). The building block of "expansive" computations.
+pub fn vee() -> Dag {
+    vee_d(2)
+}
+
+/// The degree-`d` Vee dag: one source with `d` children. `vee_d(3)` is
+/// the 3-prong Vee dag `V₃` of Fig. 14.
+///
+/// # Panics
+/// Panics if `d == 0`.
+pub fn vee_d(d: usize) -> Dag {
+    assert!(d > 0, "vee_d requires at least one child");
+    let mut b = DagBuilder::with_capacity(d + 1);
+    let w = b.add_node("w");
+    for i in 0..d {
+        let x = b.add_node(format!("x{i}"));
+        b.add_arc(w, x).expect("valid by construction");
+    }
+    b.build().expect("a star is acyclic")
+}
+
+/// The Lambda dag `Λ`: two sources `y0`, `y1` with one common child `z`
+/// (Fig. 1 right). The building block of "reductive" computations.
+/// Dual to [`vee`].
+pub fn lambda() -> Dag {
+    lambda_d(2)
+}
+
+/// The degree-`d` Lambda dag: `d` sources with one common child.
+///
+/// # Panics
+/// Panics if `d == 0`.
+pub fn lambda_d(d: usize) -> Dag {
+    assert!(d > 0, "lambda_d requires at least one parent");
+    let mut b = DagBuilder::with_capacity(d + 1);
+    let ys: Vec<NodeId> = (0..d).map(|i| b.add_node(format!("y{i}"))).collect();
+    let z = b.add_node("z");
+    for y in ys {
+        b.add_arc(y, z).expect("valid by construction");
+    }
+    b.build().expect("an in-star is acyclic")
+}
+
+/// The butterfly building block `B` (Fig. 8): sources `x0`, `x1`; sinks
+/// `y0`, `y1`; complete bipartite arcs. `B = B₁`, the 1-dimensional
+/// butterfly network.
+pub fn butterfly_block() -> Dag {
+    let mut b = DagBuilder::with_capacity(4);
+    let x0 = b.add_node("x0");
+    let x1 = b.add_node("x1");
+    let y0 = b.add_node("y0");
+    let y1 = b.add_node("y1");
+    for &x in &[x0, x1] {
+        for &y in &[y0, y1] {
+            b.add_arc(x, y).expect("valid by construction");
+        }
+    }
+    b.build().expect("bipartite blocks are acyclic")
+}
+
+/// The `s`-source N-dag `N_s` (§6.1): sources `0..s`, sinks `s..2s`;
+/// source `v` has arcs to sink `v` and (when it exists) sink `v+1` —
+/// `2s − 1` arcs in all. Source `0` is the *anchor*: its child has no
+/// other parents.
+///
+/// The IC-optimal schedule executes the sources sequentially starting
+/// with the anchor — which is exactly id order.
+///
+/// # Panics
+/// Panics if `s == 0`.
+pub fn n_dag(s: usize) -> Dag {
+    assert!(s > 0, "n_dag requires at least one source");
+    let mut b = DagBuilder::with_capacity(2 * s);
+    let sources: Vec<NodeId> = (0..s).map(|i| b.add_node(format!("u{i}"))).collect();
+    let sinks: Vec<NodeId> = (0..s).map(|i| b.add_node(format!("v{i}"))).collect();
+    for i in 0..s {
+        b.add_arc(sources[i], sinks[i]).expect("valid");
+        if i + 1 < s {
+            b.add_arc(sources[i], sinks[i + 1]).expect("valid");
+        }
+    }
+    b.build().expect("bipartite")
+}
+
+/// The `s`-source W-dag `W_s` (§4, Fig. 6): sources `0..s`, sinks
+/// `s..2s+1`; source `v` has arcs to sinks `v` and `v+1` (both always
+/// exist) — `2s` arcs. One diagonal-step of an out-mesh.
+///
+/// The IC-optimal schedule executes the sources consecutively left to
+/// right — id order.
+///
+/// # Panics
+/// Panics if `s == 0`.
+pub fn w_dag(s: usize) -> Dag {
+    assert!(s > 0, "w_dag requires at least one source");
+    let mut b = DagBuilder::with_capacity(2 * s + 1);
+    let sources: Vec<NodeId> = (0..s).map(|i| b.add_node(format!("u{i}"))).collect();
+    let sinks: Vec<NodeId> = (0..=s).map(|i| b.add_node(format!("v{i}"))).collect();
+    for i in 0..s {
+        b.add_arc(sources[i], sinks[i]).expect("valid");
+        b.add_arc(sources[i], sinks[i + 1]).expect("valid");
+    }
+    b.build().expect("bipartite")
+}
+
+/// The `s`-sink M-dag `M_s` (§4): the dual of [`w_dag`] — `s + 1`
+/// sources, `s` sinks, sink `v` with parents `v` and `v+1`. One
+/// diagonal-step of an in-mesh.
+pub fn m_dag(s: usize) -> Dag {
+    ic_dag::dual(&w_dag(s))
+}
+
+/// The `s`-source (bipartite) cycle-dag `C_s` (§7.2, `s ≥ 2`): sources
+/// `0..s`, sinks `s..2s`; source `v` has arcs to sinks `v` and
+/// `(v+1) mod s`.
+///
+/// The IC-optimal schedule executes the sources in consecutive cyclic
+/// order — id order.
+///
+/// # Panics
+/// Panics if `s < 2`.
+pub fn cycle_dag(s: usize) -> Dag {
+    assert!(s >= 2, "cycle_dag requires at least two sources");
+    let mut b = DagBuilder::with_capacity(2 * s);
+    let sources: Vec<NodeId> = (0..s).map(|i| b.add_node(format!("u{i}"))).collect();
+    let sinks: Vec<NodeId> = (0..s).map(|i| b.add_node(format!("v{i}"))).collect();
+    for i in 0..s {
+        b.add_arc(sources[i], sinks[i]).expect("valid");
+        b.add_arc(sources[i], sinks[(i + 1) % s]).expect("valid");
+    }
+    b.build().expect("bipartite")
+}
+
+/// The canonical IC-optimal schedule of any primitive in this module:
+/// id order (sources in anchored/consecutive/cyclic order, then sinks).
+pub fn ic_schedule(dag: &Dag) -> Schedule {
+    Schedule::in_id_order(dag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_dag::dual;
+    use ic_sched::optimal::{every_schedule_ic_optimal, is_ic_optimal};
+    use ic_sched::priority::has_priority;
+
+    #[test]
+    fn vee_shape() {
+        let v = vee();
+        assert_eq!(v.num_nodes(), 3);
+        assert_eq!(v.num_sources(), 1);
+        assert_eq!(v.num_sinks(), 2);
+        assert_eq!(v.out_degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn vee3_shape() {
+        let v3 = vee_d(3);
+        assert_eq!(v3.num_nodes(), 4);
+        assert_eq!(v3.num_sinks(), 3);
+    }
+
+    #[test]
+    fn lambda_is_dual_of_vee() {
+        // Shape equality (up to node renaming): both 3 nodes, mirrored
+        // degrees.
+        let l = lambda();
+        assert_eq!(l.num_sources(), 2);
+        assert_eq!(l.num_sinks(), 1);
+        let dv = dual(&vee());
+        assert_eq!(dv.num_sources(), 2);
+        assert_eq!(dv.num_sinks(), 1);
+    }
+
+    #[test]
+    fn butterfly_block_shape() {
+        let bb = butterfly_block();
+        assert_eq!(bb.num_nodes(), 4);
+        assert_eq!(bb.num_arcs(), 4);
+        assert_eq!(bb.num_sources(), 2);
+        assert_eq!(bb.num_sinks(), 2);
+        assert!(bb.has_arc(NodeId(0), NodeId(2)));
+        assert!(bb.has_arc(NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn n_dag_structure() {
+        let n4 = n_dag(4);
+        assert_eq!(n4.num_nodes(), 8);
+        assert_eq!(n4.num_arcs(), 7); // 2s - 1
+                                      // Anchor's child (sink 4) has a single parent.
+        assert_eq!(n4.in_degree(NodeId(4)), 1);
+        // Interior sinks have two parents.
+        assert_eq!(n4.in_degree(NodeId(5)), 2);
+        // Last source has out-degree 1.
+        assert_eq!(n4.out_degree(NodeId(3)), 1);
+    }
+
+    #[test]
+    fn n_dag_profile_is_flat() {
+        // E(x) = s for all x in [0, s] under the anchored schedule.
+        for s in 1..6 {
+            let g = n_dag(s);
+            let p = ic_schedule(&g).nonsink_profile(&g);
+            assert_eq!(p, vec![s; s + 1], "N_{s} profile");
+        }
+    }
+
+    #[test]
+    fn n_dag_anchored_schedule_is_ic_optimal() {
+        for s in 1..6 {
+            let g = n_dag(s);
+            assert!(is_ic_optimal(&g, &ic_schedule(&g)).unwrap());
+        }
+    }
+
+    #[test]
+    fn n_dag_priorities_hold_for_all_sizes() {
+        // Fact (1) of §6.2.1: N_s ▷ N_t for all s and t.
+        for s in 1..5 {
+            for t in 1..5 {
+                let (gs, gt) = (n_dag(s), n_dag(t));
+                assert!(
+                    has_priority(&gs, &ic_schedule(&gs), &gt, &ic_schedule(&gt)),
+                    "N_{s} ▷ N_{t} failed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn w_dag_structure_and_schedule() {
+        let w3 = w_dag(3);
+        assert_eq!(w3.num_nodes(), 7);
+        assert_eq!(w3.num_arcs(), 6);
+        assert_eq!(w3.num_sinks(), 4);
+        assert!(is_ic_optimal(&w3, &ic_schedule(&w3)).unwrap());
+        // Consecutive-source profile: s, s, ..., s, s+1.
+        let p = ic_schedule(&w3).nonsink_profile(&w3);
+        assert_eq!(p, vec![3, 3, 3, 4]);
+    }
+
+    #[test]
+    fn smaller_w_dags_have_priority_over_larger() {
+        // §4: "smaller W-dags have ▷-priority over larger ones".
+        for s in 1..5 {
+            for t in s..5 {
+                let (gs, gt) = (w_dag(s), w_dag(t));
+                assert!(has_priority(&gs, &ic_schedule(&gs), &gt, &ic_schedule(&gt)));
+                if t > s {
+                    assert!(
+                        !has_priority(&gt, &ic_schedule(&gt), &gs, &ic_schedule(&gs)),
+                        "W_{t} ▷ W_{s} should fail for t > s"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn m_dag_is_dual_shaped() {
+        let m3 = m_dag(3);
+        assert_eq!(m3.num_sources(), 4);
+        assert_eq!(m3.num_sinks(), 3);
+        assert!(
+            ic_sched::optimal::admits_ic_optimal(&m3).unwrap(),
+            "M-dags admit IC-optimal schedules (duality)"
+        );
+    }
+
+    #[test]
+    fn cycle_dag_structure() {
+        let c4 = cycle_dag(4);
+        assert_eq!(c4.num_nodes(), 8);
+        assert_eq!(c4.num_arcs(), 8);
+        // Every sink has exactly two parents (the cycle closes).
+        for i in 4..8 {
+            assert_eq!(c4.in_degree(NodeId(i)), 2);
+        }
+    }
+
+    #[test]
+    fn cycle_dag_cyclic_schedule_is_ic_optimal() {
+        for s in 2..6 {
+            let g = cycle_dag(s);
+            assert!(is_ic_optimal(&g, &ic_schedule(&g)).unwrap(), "C_{s}");
+        }
+    }
+
+    #[test]
+    fn cycle_dag_profile() {
+        // E = [s, s-1, ..., s-1, s].
+        let g = cycle_dag(4);
+        let p = ic_schedule(&g).nonsink_profile(&g);
+        assert_eq!(p, vec![4, 3, 3, 3, 4]);
+    }
+
+    #[test]
+    fn cycle_priority_chain_of_section_7() {
+        // C4 ▷ C4 ▷ Λ ▷ Λ.
+        let c4 = cycle_dag(4);
+        let l = lambda();
+        let sc = ic_schedule(&c4);
+        let sl = ic_schedule(&l);
+        assert!(has_priority(&c4, &sc, &c4, &sc));
+        assert!(has_priority(&c4, &sc, &l, &sl));
+        assert!(has_priority(&l, &sl, &l, &sl));
+    }
+
+    #[test]
+    fn vee3_priority_chain_of_section_6() {
+        // V3 ▷ V3 ▷ Λ ▷ Λ.
+        let v3 = vee_d(3);
+        let l = lambda();
+        let s3 = ic_schedule(&v3);
+        let sl = ic_schedule(&l);
+        assert!(has_priority(&v3, &s3, &v3, &s3));
+        assert!(has_priority(&v3, &s3, &l, &sl));
+    }
+
+    #[test]
+    fn every_schedule_optimal_for_stars() {
+        for d in 1..5 {
+            assert!(every_schedule_ic_optimal(&vee_d(d)).unwrap());
+            assert!(every_schedule_ic_optimal(&lambda_d(d)).unwrap());
+        }
+    }
+
+    #[test]
+    fn butterfly_block_schedule_and_priority() {
+        let bb = butterfly_block();
+        let s = ic_schedule(&bb);
+        assert!(is_ic_optimal(&bb, &s).unwrap());
+        assert!(has_priority(&bb, &s, &bb, &s)); // B ▷ B (§5.1)
+        assert_eq!(s.nonsink_profile(&bb), vec![2, 1, 2]);
+    }
+}

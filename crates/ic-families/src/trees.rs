@@ -1,0 +1,328 @@
+//! Out-trees and in-trees (§3.1 of the paper).
+//!
+//! Every out-tree is an iterated composition of Vee dags, hence a
+//! ▷-linear composition — and in fact *every* schedule for an out-tree
+//! is IC-optimal. Every in-tree is dual to an out-tree; a schedule for
+//! an in-tree is IC-optimal iff it executes the `d` sources of each
+//! `Λ_d` copy in consecutive steps. We construct in-tree schedules by
+//! the Theorem 2.2 dual-packet construction, which realizes exactly
+//! that characterization.
+
+use ic_dag::{dual, Dag, DagBuilder, NodeId};
+use ic_sched::duality::dual_schedule;
+use ic_sched::{SchedError, Schedule};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A complete `arity`-ary out-tree of the given `depth` (`depth = 0` is
+/// a single node). Nodes are numbered in BFS order: the root is `0`,
+/// level `l` occupies a contiguous id range, and the leaves come last.
+///
+/// # Panics
+/// Panics if `arity == 0`.
+pub fn complete_out_tree(arity: usize, depth: usize) -> Dag {
+    assert!(arity > 0, "arity must be positive");
+    let mut count = 1usize;
+    let mut level_size = 1usize;
+    for _ in 0..depth {
+        level_size *= arity;
+        count += level_size;
+    }
+    let mut b = DagBuilder::with_capacity(count);
+    b.add_nodes(count);
+    // BFS numbering: children of node i are arity*i + 1 ..= arity*i + arity.
+    for i in 0..count {
+        for c in 1..=arity {
+            let child = arity * i + c;
+            if child < count {
+                b.add_arc(NodeId::new(i), NodeId::new(child))
+                    .expect("valid");
+            }
+        }
+    }
+    b.build().expect("trees are acyclic")
+}
+
+/// A complete `arity`-ary in-tree of the given `depth`: the dual of
+/// [`complete_out_tree`] (same node ids; the root `0` becomes the sink).
+pub fn complete_in_tree(arity: usize, depth: usize) -> Dag {
+    dual(&complete_out_tree(arity, depth))
+}
+
+/// Build an out-tree from an explicit parent array: `parents[0]` must be
+/// `None` (the root); `parents[i] = Some(j)` makes `j` (`j < i`) the
+/// parent of `i`. This is how irregular trees — e.g. the adaptive
+/// quadrature trees of §3.2 — are assembled.
+pub fn out_tree_from_parents(parents: &[Option<usize>]) -> Result<Dag, SchedError> {
+    let mut b = DagBuilder::with_capacity(parents.len());
+    b.add_nodes(parents.len());
+    for (i, p) in parents.iter().enumerate() {
+        match p {
+            None => {
+                if i != 0 {
+                    return Err(SchedError::InvalidSchedule);
+                }
+            }
+            Some(j) => {
+                if *j >= i {
+                    return Err(SchedError::InvalidSchedule);
+                }
+                b.add_arc(NodeId::new(*j), NodeId::new(i))
+                    .map_err(SchedError::Dag)?;
+            }
+        }
+    }
+    b.build().map_err(SchedError::Dag)
+}
+
+/// A uniformly random out-tree with `n` nodes and maximum out-degree
+/// `max_arity`: each node `i > 0` attaches to a random earlier node with
+/// remaining capacity. Deterministic in `seed`.
+///
+/// # Panics
+/// Panics if `n == 0` or `max_arity == 0`.
+pub fn random_out_tree(n: usize, max_arity: usize, seed: u64) -> Dag {
+    assert!(n > 0 && max_arity > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut degree = vec![0usize; n];
+    let mut parents: Vec<Option<usize>> = vec![None; n];
+    for (i, slot) in parents.iter_mut().enumerate().skip(1) {
+        // Rejection-free: collect candidates with capacity.
+        let candidates: Vec<usize> = (0..i).filter(|&j| degree[j] < max_arity).collect();
+        let j = candidates[rng.gen_range(0..candidates.len())];
+        *slot = Some(j);
+        degree[j] += 1;
+    }
+    out_tree_from_parents(&parents).expect("parent array is valid by construction")
+}
+
+/// A random *uniform-arity* out-tree: every internal node has exactly
+/// `arity` children — exactly the trees expressible as iterated
+/// compositions of the degree-`arity` Vee dag, for which the §3.1
+/// claims hold (each nonsink execution renders the same number of nodes
+/// ELIGIBLE, so every nonsink order is IC-optimal). Grows by expanding a
+/// random leaf until at least `target_nodes` nodes exist. Deterministic
+/// in `seed`.
+///
+/// Trees with *unary* internal nodes can fail to admit IC-optimal
+/// schedules at all, and trees of mixed arity admit them but not by
+/// every order — see the tests for concrete counterexamples.
+///
+/// # Panics
+/// Panics if `arity < 2`.
+pub fn random_branching_out_tree(target_nodes: usize, arity: usize, seed: u64) -> Dag {
+    assert!(arity >= 2, "branching trees need arity >= 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut parents: Vec<Option<usize>> = vec![None];
+    let mut leaves: Vec<usize> = vec![0];
+    while parents.len() < target_nodes {
+        let li = rng.gen_range(0..leaves.len());
+        let v = leaves.swap_remove(li);
+        for _ in 0..arity {
+            leaves.push(parents.len());
+            parents.push(Some(v));
+        }
+    }
+    out_tree_from_parents(&parents).expect("valid by construction")
+}
+
+/// Is `dag` a *branching* out-tree — an out-tree in which every internal
+/// node has at least two children (an iterated Vee-composition)?
+pub fn is_branching_out_tree(dag: &Dag) -> bool {
+    is_out_tree(dag) && dag.node_ids().all(|v| dag.out_degree(v) != 1)
+}
+
+/// Is `dag` an out-tree? (Connected; exactly one source; every other
+/// node has exactly one parent.)
+pub fn is_out_tree(dag: &Dag) -> bool {
+    if dag.num_nodes() == 0 {
+        return false;
+    }
+    let roots = dag.num_sources();
+    roots == 1
+        && dag.node_ids().all(|v| dag.in_degree(v) <= 1)
+        && ic_dag::traversal::is_weakly_connected(dag)
+}
+
+/// Is `dag` an in-tree? (The dual of an out-tree.)
+pub fn is_in_tree(dag: &Dag) -> bool {
+    is_out_tree(&dual(dag))
+}
+
+/// An IC-optimal schedule for an out-tree. *Every* schedule of an
+/// out-tree is IC-optimal (§3.1), so id order serves.
+pub fn out_tree_schedule(tree: &Dag) -> Schedule {
+    Schedule::in_id_order(tree)
+}
+
+/// An IC-optimal schedule for an in-tree, via Theorem 2.2: take any
+/// (IC-optimal) schedule of the dual out-tree and reverse its packets.
+/// The result executes the sources of each `Λ_d` copy consecutively —
+/// the §3.1 characterization of in-tree IC-optimality.
+pub fn in_tree_schedule(tree: &Dag) -> Result<Schedule, SchedError> {
+    let out = dual(tree); // an out-tree; ids shared
+    let sigma = Schedule::in_id_order(&out);
+    dual_schedule(&out, &sigma) // schedule for dual(out) == tree
+}
+
+/// Check the §3.1 characterization directly: does `schedule` execute,
+/// for every internal node of the in-tree, all of that node's parents
+/// in consecutive steps?
+pub fn executes_siblings_consecutively(tree: &Dag, schedule: &Schedule) -> bool {
+    let mut pos = vec![0usize; tree.num_nodes()];
+    for (i, &v) in schedule.order().iter().enumerate() {
+        pos[v.index()] = i;
+    }
+    tree.node_ids().all(|v| {
+        let ps = tree.parents(v);
+        if ps.len() < 2 {
+            return true;
+        }
+        let mut positions: Vec<usize> = ps.iter().map(|p| pos[p.index()]).collect();
+        positions.sort_unstable();
+        positions.windows(2).all(|w| w[1] == w[0] + 1)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_sched::optimal::{every_nonsink_order_ic_optimal, is_ic_optimal};
+
+    #[test]
+    fn complete_tree_counts() {
+        let t = complete_out_tree(2, 3);
+        assert_eq!(t.num_nodes(), 15);
+        assert_eq!(t.num_sinks(), 8);
+        assert!(is_out_tree(&t));
+        let t3 = complete_out_tree(3, 2);
+        assert_eq!(t3.num_nodes(), 13);
+        assert_eq!(t3.num_sinks(), 9);
+    }
+
+    #[test]
+    fn depth_zero_tree_is_single_node() {
+        let t = complete_out_tree(2, 0);
+        assert_eq!(t.num_nodes(), 1);
+        assert!(is_out_tree(&t));
+    }
+
+    #[test]
+    fn every_nonsink_order_of_branching_out_trees_is_ic_optimal() {
+        // §3.1: "easily, every schedule for an out-tree is IC optimal!"
+        // (Every *nonsink order*, for trees built from Vee compositions.)
+        for (a, d) in [(2, 1), (2, 2), (2, 3), (3, 1), (3, 2)] {
+            let t = complete_out_tree(a, d);
+            assert!(
+                every_nonsink_order_ic_optimal(&t).unwrap(),
+                "arity {a} depth {d}"
+            );
+        }
+        for seed in 0..5 {
+            let t = random_branching_out_tree(10, 3, seed);
+            assert!(every_nonsink_order_ic_optimal(&t).unwrap(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn mixed_arity_trees_admit_but_not_every_order() {
+        // root has a 3-child and a 2-child internal node below it:
+        // IC-optimal schedules exist (execute the wider Vee first — V_a ▷
+        // V_b iff a >= b) but not every nonsink order achieves the
+        // envelope.
+        let mut parents = vec![None, Some(0), Some(0)];
+        parents.extend([Some(1), Some(1), Some(1)]); // node 1: 3 children
+        parents.extend([Some(2), Some(2)]); // node 2: 2 children
+        let t = out_tree_from_parents(&parents).unwrap();
+        assert!(is_branching_out_tree(&t));
+        assert!(ic_sched::optimal::admits_ic_optimal(&t).unwrap());
+        assert!(!every_nonsink_order_ic_optimal(&t).unwrap());
+    }
+
+    #[test]
+    fn unary_out_trees_can_fail_to_admit_ic_optimal_schedules() {
+        // Reproduction note: a tree with a unary chain hiding a wide
+        // branch admits no IC-optimal schedule — the §3.1 claim is about
+        // branching (Vee-composed) trees. root -> u -> v(5 kids), root -> w(2 kids).
+        let mut parents = vec![None, Some(0), Some(1), Some(0)];
+        for _ in 0..5 {
+            parents.push(Some(2)); // v's children
+        }
+        for _ in 0..2 {
+            parents.push(Some(3)); // w's children
+        }
+        let t = out_tree_from_parents(&parents).unwrap();
+        assert!(is_out_tree(&t));
+        assert!(!is_branching_out_tree(&t));
+        assert!(!ic_sched::optimal::admits_ic_optimal(&t).unwrap());
+    }
+
+    #[test]
+    fn in_tree_dual_schedule_is_ic_optimal() {
+        for (a, d) in [(2, 2), (2, 3), (3, 2)] {
+            let t = complete_in_tree(a, d);
+            let s = in_tree_schedule(&t).unwrap();
+            assert!(is_ic_optimal(&t, &s).unwrap(), "arity {a} depth {d}");
+            assert!(executes_siblings_consecutively(&t, &s));
+        }
+    }
+
+    #[test]
+    fn in_tree_characterization_iff() {
+        // On a small in-tree, a schedule is IC-optimal iff it executes
+        // sibling leaf-groups consecutively — check both directions by
+        // probing several schedules.
+        let t = complete_in_tree(2, 2); // 7 nodes, sinks last... ids: root 0 is sink
+        use ic_sched::heuristics::{schedule_with, Policy};
+        for p in Policy::all(3) {
+            let s = schedule_with(&t, p);
+            let optimal = is_ic_optimal(&t, &s).unwrap();
+            let consecutive = executes_siblings_consecutively(&t, &s);
+            assert_eq!(
+                optimal,
+                consecutive,
+                "characterization mismatch for {}",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn random_trees_respect_arity() {
+        for seed in 0..10 {
+            let t = random_out_tree(30, 2, seed);
+            assert!(is_out_tree(&t));
+            assert!(t.node_ids().all(|v| t.out_degree(v) <= 2));
+        }
+    }
+
+    #[test]
+    fn random_tree_is_reproducible() {
+        let a = random_out_tree(20, 3, 99);
+        let b = random_out_tree(20, 3, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parent_array_validation() {
+        assert!(out_tree_from_parents(&[None, Some(0), Some(0)]).is_ok());
+        // Root must be index 0.
+        assert!(out_tree_from_parents(&[Some(1), None]).is_err());
+        // Forward parent reference rejected.
+        assert!(out_tree_from_parents(&[None, Some(2), Some(0)]).is_err());
+    }
+
+    #[test]
+    fn tree_predicates() {
+        let t = complete_out_tree(2, 2);
+        assert!(is_out_tree(&t));
+        assert!(!is_in_tree(&t));
+        let it = complete_in_tree(2, 2);
+        assert!(is_in_tree(&it));
+        assert!(!is_out_tree(&it));
+        // A diamond is neither.
+        let d = ic_dag::builder::from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert!(!is_out_tree(&d));
+        assert!(!is_in_tree(&d));
+    }
+}

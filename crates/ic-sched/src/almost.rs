@@ -1,0 +1,254 @@
+//! "Almost optimal" scheduling — the paper's future-work thrust 2.
+//!
+//! §8 of the paper: *"developing rigorous notions of 'almost' optimal
+//! scheduling that apply to ALL dags (which is important since the
+//! strong demands of IC optimality preclude the IC-optimal scheduling
+//! of many dags)"*. This module provides one such rigorous notion and
+//! the machinery around it:
+//!
+//! * the **regret** of a schedule — its total shortfall against the
+//!   optimal envelope, `R(Σ) = Σ_t (opt(t) − E_Σ(t))` — a nonnegative
+//!   integer that is `0` exactly when `Σ` is IC-optimal;
+//! * [`min_regret_schedule`] — an *exact* minimum-regret schedule by
+//!   dynamic programming over the down-set lattice (small dags): the
+//!   canonical "as close to IC-optimal as this dag allows" schedule;
+//! * [`greedy_regret_schedule`] — a practical one-step-lookahead
+//!   heuristic whose regret is measured against the exact optimum in
+//!   the test-suite.
+//!
+//! On dags that *do* admit IC-optimal schedules, the minimum regret is
+//! `0` and [`min_regret_schedule`] returns one of them; on dags that do
+//! not (unary-chain trees, the odd-even merge network, many random
+//! dags), it quantifies exactly how much eligibility must be given up.
+
+use std::collections::HashMap;
+
+use ic_dag::ideals::IdealEnumerator;
+use ic_dag::{Dag, NodeId};
+
+use crate::error::SchedError;
+use crate::optimal::optimal_envelope;
+use crate::schedule::Schedule;
+
+/// The regret of `schedule`: `Σ_t (opt(t) − E_Σ(t))`. Zero iff the
+/// schedule is IC-optimal. (Exhaustive envelope; dags of ≤ 64 nodes.)
+///
+/// ```
+/// use ic_dag::builder::from_arcs;
+/// use ic_sched::{almost::regret, Schedule};
+/// // Two disjoint Λs: interleaving the source pairs wastes eligibility.
+/// let g = from_arcs(6, &[(0, 2), (1, 2), (3, 5), (4, 5)]).unwrap();
+/// let good = Schedule::new(&g, [0, 1, 3, 4, 2, 5].map(ic_dag::NodeId).to_vec()).unwrap();
+/// let bad = Schedule::new(&g, [0, 3, 1, 4, 2, 5].map(ic_dag::NodeId).to_vec()).unwrap();
+/// assert_eq!(regret(&g, &good).unwrap(), 0);
+/// assert!(regret(&g, &bad).unwrap() > 0);
+/// ```
+pub fn regret(dag: &Dag, schedule: &Schedule) -> Result<u64, SchedError> {
+    let envelope = optimal_envelope(dag)?;
+    let profile = schedule.profile(dag);
+    Ok(envelope
+        .iter()
+        .zip(&profile)
+        .map(|(&o, &e)| (o - e) as u64)
+        .sum())
+}
+
+/// The minimum achievable regret over all schedules of `dag`, computed
+/// by exact dynamic programming over the down-set lattice, together
+/// with a schedule attaining it.
+///
+/// `min_regret == 0` iff the dag admits an IC-optimal schedule.
+pub fn min_regret_schedule(dag: &Dag) -> Result<(u64, Schedule), SchedError> {
+    let n = dag.num_nodes();
+    let envelope = optimal_envelope(dag)?;
+    let en = IdealEnumerator::new(dag)?;
+
+    // States in decreasing popcount order; value = min future regret
+    // from this state to completion (the state's own shortfall is
+    // charged on arrival).
+    let mut states: Vec<u64> = Vec::new();
+    en.for_each(|s, _, _| states.push(s));
+    states.sort_by_key(|s| std::cmp::Reverse(s.count_ones()));
+
+    let full: u64 = if n == 0 {
+        0
+    } else if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    };
+    // best[state] = (min regret accumulated from state's *successors*
+    //                to the end, plus those successors' shortfalls,
+    //                best next node).
+    let mut best: HashMap<u64, (u64, Option<NodeId>)> = HashMap::with_capacity(states.len());
+    for &s in &states {
+        if s == full {
+            best.insert(s, (0, None));
+            continue;
+        }
+        let t = s.count_ones() as usize;
+        let mut rest = en.eligible_mask(s);
+        let mut entry: Option<(u64, NodeId)> = None;
+        while rest != 0 {
+            let bit = rest & rest.wrapping_neg();
+            rest ^= bit;
+            let ns = s | bit;
+            let shortfall = (envelope[t + 1] - en.eligible_mask(ns).count_ones() as usize) as u64;
+            let (future, _) = best[&ns];
+            let total = shortfall + future;
+            let v = NodeId(bit.trailing_zeros());
+            if entry.is_none_or(|(b, _)| total < b) {
+                entry = Some((total, v));
+            }
+        }
+        let (cost, node) = entry.expect("non-full down-sets have eligible nodes");
+        best.insert(s, (cost, Some(node)));
+    }
+
+    // Walk the optimal policy forward.
+    let mut order = Vec::with_capacity(n);
+    let mut state = 0u64;
+    let min = best[&0].0;
+    while let (_, Some(v)) = best[&state] {
+        order.push(v);
+        state |= 1u64 << v.index();
+    }
+    Ok((min, Schedule::new(dag, order)?))
+}
+
+/// Greedy almost-optimal scheduler for dags of any size: at each step
+/// execute the ELIGIBLE node maximizing the immediate next eligible
+/// count (ties: larger out-degree, then smaller id). Its regret is
+/// *measured*, not guaranteed; compare against [`min_regret_schedule`]
+/// where feasible.
+pub fn greedy_regret_schedule(dag: &Dag) -> Schedule {
+    crate::heuristics::schedule_with(dag, crate::heuristics::Policy::GreedyEligibility)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::{admits_ic_optimal, is_ic_optimal};
+    use ic_dag::builder::from_arcs;
+
+    fn diamond() -> Dag {
+        from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    /// The unary-chain tree from the §3.1 boundary analysis: admits no
+    /// IC-optimal schedule.
+    fn unary_tree() -> Dag {
+        // root -> u -> v(5 kids); root -> w(2 kids).
+        let mut arcs = vec![(0u32, 1), (1, 2), (0, 3)];
+        for i in 0..5u32 {
+            arcs.push((2, 4 + i));
+        }
+        arcs.push((3, 9));
+        arcs.push((3, 10));
+        from_arcs(11, &arcs).unwrap()
+    }
+
+    #[test]
+    fn regret_zero_iff_ic_optimal() {
+        let g = diamond();
+        let s = Schedule::in_id_order(&g);
+        assert!(is_ic_optimal(&g, &s).unwrap());
+        assert_eq!(regret(&g, &s).unwrap(), 0);
+    }
+
+    #[test]
+    fn min_regret_zero_on_admitting_dags() {
+        for g in [
+            diamond(),
+            from_arcs(3, &[(0, 1), (0, 2)]).unwrap(),
+            from_arcs(6, &[(0, 2), (1, 2), (2, 3), (3, 4), (3, 5)]).unwrap(),
+        ] {
+            let (r, s) = min_regret_schedule(&g).unwrap();
+            assert_eq!(r, 0);
+            assert!(is_ic_optimal(&g, &s).unwrap());
+        }
+    }
+
+    #[test]
+    fn min_regret_positive_on_non_admitting_dags() {
+        let g = unary_tree();
+        assert!(!admits_ic_optimal(&g).unwrap());
+        let (r, s) = min_regret_schedule(&g).unwrap();
+        assert!(r > 0, "non-admitting dag must have positive regret");
+        assert_eq!(
+            regret(&g, &s).unwrap(),
+            r,
+            "returned schedule attains the minimum"
+        );
+    }
+
+    #[test]
+    fn min_regret_is_a_true_minimum() {
+        // Exhaustively compare against every heuristic and id order.
+        let g = unary_tree();
+        let (min, _) = min_regret_schedule(&g).unwrap();
+        for p in crate::heuristics::Policy::all(3) {
+            let s = crate::heuristics::schedule_with(&g, p);
+            assert!(regret(&g, &s).unwrap() >= min, "{}", p.name());
+        }
+        assert!(regret(&g, &Schedule::in_id_order(&g)).unwrap() >= min);
+    }
+
+    #[test]
+    fn greedy_regret_is_reasonable() {
+        // On the unary tree, greedy lookahead should get within a small
+        // factor of the true minimum (measured: bounded by min + n).
+        let g = unary_tree();
+        let (min, _) = min_regret_schedule(&g).unwrap();
+        let greedy = greedy_regret_schedule(&g);
+        let rg = regret(&g, &greedy).unwrap();
+        assert!(rg >= min);
+        assert!(
+            rg <= min + g.num_nodes() as u64,
+            "greedy regret {rg} vs min {min}"
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_dags() {
+        let e = from_arcs(0, &[]).unwrap();
+        let (r, s) = min_regret_schedule(&e).unwrap();
+        assert_eq!((r, s.len()), (0, 0));
+        let one = from_arcs(1, &[]).unwrap();
+        let (r, s) = min_regret_schedule(&one).unwrap();
+        assert_eq!(r, 0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn random_dags_min_regret_consistency() {
+        // For random dags: min regret is 0 exactly when the dag admits
+        // an IC-optimal schedule.
+        let mut st = 0xA11C0DEu64;
+        let mut next = move || {
+            st ^= st << 13;
+            st ^= st >> 7;
+            st ^= st << 17;
+            st
+        };
+        for _ in 0..30 {
+            let n = 7 + (next() % 3) as usize;
+            let mut arcs = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if next() % 100 < 30 {
+                        arcs.push((u as u32, v as u32));
+                    }
+                }
+            }
+            let g = from_arcs(n, &arcs).unwrap();
+            let (r, s) = min_regret_schedule(&g).unwrap();
+            assert_eq!(regret(&g, &s).unwrap(), r);
+            assert_eq!(
+                r == 0,
+                admits_ic_optimal(&g).unwrap(),
+                "consistency on {g:?}"
+            );
+        }
+    }
+}

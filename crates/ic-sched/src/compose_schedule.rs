@@ -1,0 +1,188 @@
+//! Theorem 2.1: scheduling ▷-linear compositions.
+//!
+//! Let `G` be a ▷-linear composition of `G_1, ..., G_n` (each with an
+//! IC-optimal schedule `Σ_i`, and `G_i ▷ G_{i+1}`). Then the schedule
+//! that, for `i = 1..n` in turn, executes the composite nodes
+//! corresponding to nonsinks of `G_i` in `Σ_i`'s order, and finally
+//! executes all sinks of `G` in any order, is IC-optimal for `G`.
+//!
+//! The per-stage node maps produced by [`ic_dag::ChainBuilder`] are
+//! exactly the correspondence this construction needs.
+
+use ic_dag::{Dag, NodeId};
+
+use crate::error::SchedError;
+use crate::priority::is_priority_chain;
+use crate::schedule::Schedule;
+
+/// One stage of a composition chain: the stage dag, its map into the
+/// composite (`map[v] =` composite id of stage node `v`), and its
+/// (IC-optimal) schedule.
+#[derive(Clone, Copy)]
+pub struct Stage<'a> {
+    /// The stage dag `G_i`.
+    pub dag: &'a Dag,
+    /// Map from `G_i`'s node ids to composite node ids.
+    pub map: &'a [NodeId],
+    /// An IC-optimal schedule `Σ_i` for `G_i`.
+    pub schedule: &'a Schedule,
+}
+
+/// Build the Theorem 2.1 composite schedule: stage nonsinks in stage
+/// order, then all remaining (sink) nodes in id order.
+///
+/// Validates that the result is a legal execution order of `composite`;
+/// malformed maps surface as [`SchedError::StageMismatch`] or
+/// [`SchedError::InvalidSchedule`].
+pub fn linear_composition_schedule(
+    composite: &Dag,
+    stages: &[Stage<'_>],
+) -> Result<Schedule, SchedError> {
+    let n = composite.num_nodes();
+    let mut emitted = vec![false; n];
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+
+    for (i, stage) in stages.iter().enumerate() {
+        if stage.map.len() != stage.dag.num_nodes() || stage.schedule.len() != stage.dag.num_nodes()
+        {
+            return Err(SchedError::StageMismatch { stage: i });
+        }
+        for &v in stage.schedule.order() {
+            if stage.dag.is_sink(v) {
+                continue;
+            }
+            let cid = stage.map[v.index()];
+            if cid.index() >= n {
+                return Err(SchedError::StageMismatch { stage: i });
+            }
+            if emitted[cid.index()] {
+                // A composite node is a nonsink of exactly one stage in a
+                // well-formed chain; duplication means the maps are wrong.
+                return Err(SchedError::StageMismatch { stage: i });
+            }
+            emitted[cid.index()] = true;
+            order.push(cid);
+        }
+    }
+    // Finally execute all sinks of the composite, in any order (id order).
+    for v in composite.node_ids() {
+        if !emitted[v.index()] {
+            order.push(v);
+        }
+    }
+    Schedule::new(composite, order)
+}
+
+/// Convenience check for the hypothesis of Theorem 2.1: the stages form
+/// a ▷-chain (`G_i ▷ G_{i+1}` for consecutive stages).
+pub fn stages_form_priority_chain(stages: &[Stage<'_>]) -> bool {
+    let pairs: Vec<(&Dag, &Schedule)> = stages.iter().map(|s| (s.dag, s.schedule)).collect();
+    is_priority_chain(&pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::{find_ic_optimal, is_ic_optimal};
+    use ic_dag::builder::from_arcs;
+    use ic_dag::ChainBuilder;
+
+    fn vee() -> Dag {
+        from_arcs(3, &[(0, 1), (0, 2)]).unwrap()
+    }
+
+    fn lambda() -> Dag {
+        from_arcs(3, &[(0, 2), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn diamond_via_theorem_2_1() {
+        // V ⇑ Λ with both sinks/sources merged = the 4-node diamond.
+        let v = vee();
+        let l = lambda();
+        let mut chain = ChainBuilder::new(&v);
+        chain.push_full(&l).unwrap();
+        let (composite, maps) = chain.finish();
+
+        let sv = find_ic_optimal(&v).unwrap().unwrap();
+        let sl = find_ic_optimal(&l).unwrap().unwrap();
+        let stages = [
+            Stage {
+                dag: &v,
+                map: &maps[0],
+                schedule: &sv,
+            },
+            Stage {
+                dag: &l,
+                map: &maps[1],
+                schedule: &sl,
+            },
+        ];
+        assert!(stages_form_priority_chain(&stages));
+        let sched = linear_composition_schedule(&composite, &stages).unwrap();
+        assert!(is_ic_optimal(&composite, &sched).unwrap());
+    }
+
+    #[test]
+    fn out_tree_of_three_vees_via_theorem_2_1() {
+        let v = vee();
+        let mut chain = ChainBuilder::new(&v);
+        chain.push(&v, &[(NodeId(1), NodeId(0))]).unwrap();
+        chain.push(&v, &[(NodeId(2), NodeId(0))]).unwrap();
+        let (composite, maps) = chain.finish();
+        assert_eq!(composite.num_nodes(), 7);
+
+        let sv = find_ic_optimal(&v).unwrap().unwrap();
+        let stages: Vec<Stage> = maps
+            .iter()
+            .map(|m| Stage {
+                dag: &v,
+                map: m,
+                schedule: &sv,
+            })
+            .collect();
+        assert!(stages_form_priority_chain(&stages));
+        let sched = linear_composition_schedule(&composite, &stages).unwrap();
+        assert!(is_ic_optimal(&composite, &sched).unwrap());
+    }
+
+    #[test]
+    fn two_lambdas_chained() {
+        // Λ ⇑ Λ merging Λ1's sink with Λ2's first source: the 5-node
+        // "double accumulation".
+        let l = lambda();
+        let mut chain = ChainBuilder::new(&l);
+        chain.push(&l, &[(NodeId(2), NodeId(0))]).unwrap();
+        let (composite, maps) = chain.finish();
+        assert_eq!(composite.num_nodes(), 5);
+
+        let sl = find_ic_optimal(&l).unwrap().unwrap();
+        let stages: Vec<Stage> = maps
+            .iter()
+            .map(|m| Stage {
+                dag: &l,
+                map: m,
+                schedule: &sl,
+            })
+            .collect();
+        assert!(stages_form_priority_chain(&stages));
+        let sched = linear_composition_schedule(&composite, &stages).unwrap();
+        assert!(is_ic_optimal(&composite, &sched).unwrap());
+    }
+
+    #[test]
+    fn stage_mismatch_detected() {
+        let v = vee();
+        let sv = find_ic_optimal(&v).unwrap().unwrap();
+        let bad_map = vec![NodeId(0)]; // wrong length
+        let stages = [Stage {
+            dag: &v,
+            map: &bad_map,
+            schedule: &sv,
+        }];
+        assert!(matches!(
+            linear_composition_schedule(&v, &stages),
+            Err(SchedError::StageMismatch { stage: 0 })
+        ));
+    }
+}

@@ -1,0 +1,132 @@
+//! Duality-based scheduling tools (§2.3.2; Theorem 2.2).
+//!
+//! Executing a schedule `Σ` on `G` renders `G`'s nonsources ELIGIBLE in
+//! a sequence of "packets": the packet of nonsink execution `j` is the
+//! set of nodes whose *last* parent was executed at step `j`. A schedule
+//! for the dual dag that executes these packets in *reverse* order
+//! (then the dual's sinks, i.e. `G`'s sources) is *dual to* `Σ`, and by
+//! Theorem 2.2 it is IC-optimal whenever `Σ` is.
+
+use ic_dag::{dual, Dag, NodeId};
+
+use crate::eligibility::ExecState;
+use crate::error::SchedError;
+use crate::schedule::Schedule;
+
+/// The packet decomposition of `schedule` on `dag`: `packets[j]` is the
+/// set of nonsources rendered ELIGIBLE by the `(j+1)`-th *nonsink*
+/// execution (possibly empty), in execution-discovery order.
+///
+/// The packets partition the nonsources of `dag`.
+pub fn packets(dag: &Dag, schedule: &Schedule) -> Result<Vec<Vec<NodeId>>, SchedError> {
+    let mut st = ExecState::new(dag);
+    let mut out = Vec::with_capacity(dag.num_nonsinks());
+    for &v in &schedule.nonsink_order(dag) {
+        let newly = st.execute(v)?;
+        out.push(newly);
+    }
+    Ok(out)
+}
+
+/// Construct a schedule for `dual(dag)` that is dual to `schedule`
+/// (Theorem 2.2 construction): the packets of `schedule`, in reverse
+/// packet order, followed by the dual's sinks (`dag`'s sources).
+///
+/// Node ids are shared between `dag` and its dual, so the returned
+/// schedule indexes directly into `dual(dag)`.
+pub fn dual_schedule(dag: &Dag, schedule: &Schedule) -> Result<Schedule, SchedError> {
+    let pk = packets(dag, schedule)?;
+    let mut order: Vec<NodeId> = Vec::with_capacity(dag.num_nodes());
+    for packet in pk.iter().rev() {
+        order.extend_from_slice(packet);
+    }
+    // The dual's sinks are exactly dag's sources.
+    order.extend(dag.sources());
+    let d = dual(dag);
+    Schedule::new(&d, order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::{find_ic_optimal, is_ic_optimal};
+    use ic_dag::builder::from_arcs;
+
+    #[test]
+    fn packets_partition_nonsources() {
+        let g = from_arcs(6, &[(0, 1), (0, 2), (1, 3), (2, 4), (2, 5)]).unwrap();
+        let s = Schedule::in_id_order(&g);
+        let pk = packets(&g, &s).unwrap();
+        let mut all: Vec<NodeId> = pk.into_iter().flatten().collect();
+        all.sort();
+        let nonsources: Vec<NodeId> = g.nonsources().collect();
+        assert_eq!(all, nonsources);
+    }
+
+    #[test]
+    fn packet_count_equals_nonsink_count() {
+        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let s = Schedule::in_id_order(&g);
+        assert_eq!(packets(&g, &s).unwrap().len(), g.num_nonsinks());
+    }
+
+    #[test]
+    fn dual_of_out_tree_schedule_is_optimal_for_in_tree() {
+        // Complete binary out-tree of 7 nodes; any schedule is IC-optimal
+        // for it. Its dual is the 7-node in-tree; the dual schedule must
+        // be IC-optimal there (Theorem 2.2).
+        let t = from_arcs(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]).unwrap();
+        let s = Schedule::in_id_order(&t);
+        assert!(is_ic_optimal(&t, &s).unwrap());
+        let ds = dual_schedule(&t, &s).unwrap();
+        let d = dual(&t);
+        assert!(is_ic_optimal(&d, &ds).unwrap());
+    }
+
+    #[test]
+    fn theorem_2_2_on_random_small_dags() {
+        // For a batch of deterministic pseudo-random dags that admit an
+        // IC-optimal schedule, the dual schedule must be IC-optimal for
+        // the dual dag.
+        let mut s = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut checked = 0;
+        for _ in 0..60 {
+            let n = 6 + (next() % 3) as usize;
+            let mut arcs = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if next() % 100 < 30 {
+                        arcs.push((u as u32, v as u32));
+                    }
+                }
+            }
+            let g = from_arcs(n, &arcs).unwrap();
+            if let Some(opt) = find_ic_optimal(&g).unwrap() {
+                let ds = dual_schedule(&g, &opt).unwrap();
+                let d = dual(&g);
+                assert!(
+                    is_ic_optimal(&d, &ds).unwrap(),
+                    "Theorem 2.2 violated on {g:?}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 10, "too few dags admitted an IC-optimal schedule");
+    }
+
+    #[test]
+    fn dual_schedule_is_valid_even_for_suboptimal_input() {
+        // The construction produces a *valid* dual execution order for
+        // any schedule, optimal or not.
+        let g = from_arcs(5, &[(0, 2), (1, 2), (2, 3), (2, 4)]).unwrap();
+        let s = Schedule::in_id_order(&g);
+        let ds = dual_schedule(&g, &s).unwrap();
+        assert_eq!(ds.len(), g.num_nodes());
+    }
+}

@@ -1,0 +1,202 @@
+//! Execution state and ELIGIBLE-set maintenance (§2.2 of the paper).
+//!
+//! When one executes a computation-dag, a node is ELIGIBLE only after
+//! all of its parents have been executed (so every source is initially
+//! ELIGIBLE); executing a node removes its ELIGIBLE status permanently
+//! and may render children ELIGIBLE. Time is event-driven: it advances
+//! by one per node execution.
+
+use ic_dag::{Dag, NodeId};
+
+use crate::error::SchedError;
+
+/// Mutable execution state of a dag: which nodes have been executed and
+/// which are currently ELIGIBLE.
+///
+/// ```
+/// use ic_dag::builder::from_arcs;
+/// use ic_sched::eligibility::ExecState;
+/// use ic_dag::NodeId;
+///
+/// let diamond = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+/// let mut st = ExecState::new(&diamond);
+/// assert_eq!(st.eligible_count(), 1);
+/// let newly = st.execute(NodeId(0)).unwrap();
+/// assert_eq!(newly, vec![NodeId(1), NodeId(2)]);
+/// assert_eq!(st.eligible_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExecState<'a> {
+    dag: &'a Dag,
+    executed: Vec<bool>,
+    eligible: Vec<bool>,
+    /// Number of unexecuted parents per node.
+    missing_parents: Vec<u32>,
+    num_executed: usize,
+    eligible_count: usize,
+}
+
+impl<'a> ExecState<'a> {
+    /// Fresh state: nothing executed, exactly the sources ELIGIBLE.
+    pub fn new(dag: &'a Dag) -> Self {
+        let n = dag.num_nodes();
+        let mut eligible = vec![false; n];
+        let mut eligible_count = 0;
+        let mut missing_parents = vec![0u32; n];
+        for v in dag.node_ids() {
+            missing_parents[v.index()] = dag.in_degree(v) as u32;
+            if dag.is_source(v) {
+                eligible[v.index()] = true;
+                eligible_count += 1;
+            }
+        }
+        ExecState {
+            dag,
+            executed: vec![false; n],
+            eligible,
+            missing_parents,
+            num_executed: 0,
+            eligible_count,
+        }
+    }
+
+    /// The dag being executed.
+    pub fn dag(&self) -> &Dag {
+        self.dag
+    }
+
+    /// Has `v` been executed?
+    #[inline]
+    pub fn is_executed(&self, v: NodeId) -> bool {
+        self.executed[v.index()]
+    }
+
+    /// Is `v` currently ELIGIBLE (unexecuted, all parents executed)?
+    #[inline]
+    pub fn is_eligible(&self, v: NodeId) -> bool {
+        self.eligible[v.index()]
+    }
+
+    /// Number of currently ELIGIBLE nodes — the paper's quality measure
+    /// at this instant.
+    #[inline]
+    pub fn eligible_count(&self) -> usize {
+        self.eligible_count
+    }
+
+    /// Number of nodes executed so far (the event-driven clock).
+    #[inline]
+    pub fn num_executed(&self) -> usize {
+        self.num_executed
+    }
+
+    /// Are all nodes executed?
+    pub fn is_complete(&self) -> bool {
+        self.num_executed == self.dag.num_nodes()
+    }
+
+    /// The currently ELIGIBLE nodes, in increasing id order.
+    pub fn eligible_nodes(&self) -> Vec<NodeId> {
+        self.dag
+            .node_ids()
+            .filter(|v| self.eligible[v.index()])
+            .collect()
+    }
+
+    /// Execute `v`. Returns the nodes *newly rendered ELIGIBLE* by this
+    /// execution (those whose last missing parent was `v`), in
+    /// increasing id order.
+    ///
+    /// Errors if `v` is already executed or not ELIGIBLE.
+    pub fn execute(&mut self, v: NodeId) -> Result<Vec<NodeId>, SchedError> {
+        if self.executed[v.index()] {
+            return Err(SchedError::AlreadyExecuted(v));
+        }
+        if !self.eligible[v.index()] {
+            return Err(SchedError::NotEligible(v));
+        }
+        self.executed[v.index()] = true;
+        self.eligible[v.index()] = false;
+        self.eligible_count -= 1;
+        self.num_executed += 1;
+        let mut newly = Vec::new();
+        for &c in self.dag.children(v) {
+            self.missing_parents[c.index()] -= 1;
+            if self.missing_parents[c.index()] == 0 {
+                self.eligible[c.index()] = true;
+                self.eligible_count += 1;
+                newly.push(c);
+            }
+        }
+        Ok(newly)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_dag::builder::from_arcs;
+
+    #[test]
+    fn initial_state_has_sources_eligible() {
+        let g = from_arcs(5, &[(0, 2), (1, 2), (2, 3), (2, 4)]).unwrap();
+        let st = ExecState::new(&g);
+        assert_eq!(st.eligible_nodes(), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(st.eligible_count(), 2);
+        assert_eq!(st.num_executed(), 0);
+        assert!(!st.is_complete());
+    }
+
+    #[test]
+    fn execute_non_eligible_fails() {
+        let g = from_arcs(2, &[(0, 1)]).unwrap();
+        let mut st = ExecState::new(&g);
+        assert_eq!(
+            st.execute(NodeId(1)),
+            Err(SchedError::NotEligible(NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn double_execute_fails() {
+        let g = from_arcs(2, &[(0, 1)]).unwrap();
+        let mut st = ExecState::new(&g);
+        st.execute(NodeId(0)).unwrap();
+        assert_eq!(
+            st.execute(NodeId(0)),
+            Err(SchedError::AlreadyExecuted(NodeId(0)))
+        );
+    }
+
+    #[test]
+    fn last_parent_triggers_eligibility() {
+        let g = from_arcs(3, &[(0, 2), (1, 2)]).unwrap();
+        let mut st = ExecState::new(&g);
+        assert_eq!(st.execute(NodeId(0)).unwrap(), vec![]);
+        assert!(!st.is_eligible(NodeId(2)));
+        assert_eq!(st.execute(NodeId(1)).unwrap(), vec![NodeId(2)]);
+        assert!(st.is_eligible(NodeId(2)));
+    }
+
+    #[test]
+    fn full_run_completes() {
+        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let mut st = ExecState::new(&g);
+        for v in [0u32, 1, 2, 3] {
+            st.execute(NodeId(v)).unwrap();
+        }
+        assert!(st.is_complete());
+        assert_eq!(st.eligible_count(), 0);
+    }
+
+    #[test]
+    fn executed_node_loses_eligibility() {
+        let g = from_arcs(2, &[]).unwrap();
+        let mut st = ExecState::new(&g);
+        assert!(st.is_eligible(NodeId(0)));
+        st.execute(NodeId(0)).unwrap();
+        assert!(!st.is_eligible(NodeId(0)));
+        assert!(st.is_executed(NodeId(0)));
+        assert_eq!(st.eligible_count(), 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Errors of the scheduling layer.
+
+use std::fmt;
+
+use ic_dag::{DagError, NodeId};
+
+/// Errors raised by schedule construction, execution, and checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The node is not currently ELIGIBLE (unexecuted with all parents
+    /// executed), so executing it would violate the precedence order.
+    NotEligible(NodeId),
+    /// The node has already been executed (re-execution is disallowed,
+    /// §2.2).
+    AlreadyExecuted(NodeId),
+    /// The proposed schedule is not a precedence-respecting permutation
+    /// of the dag's nodes.
+    InvalidSchedule,
+    /// A stage map or stage schedule does not match its stage dag.
+    StageMismatch {
+        /// Index of the offending stage.
+        stage: usize,
+    },
+    /// The dag admits no IC-optimal schedule.
+    NoIcOptimalSchedule,
+    /// An underlying dag error (e.g. too large for exhaustive checking).
+    Dag(DagError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NotEligible(v) => write!(f, "node {v} is not ELIGIBLE"),
+            SchedError::AlreadyExecuted(v) => write!(f, "node {v} was already executed"),
+            SchedError::InvalidSchedule => write!(f, "schedule is not a valid execution order"),
+            SchedError::StageMismatch { stage } => {
+                write!(
+                    f,
+                    "stage {stage}: map or schedule does not match the stage dag"
+                )
+            }
+            SchedError::NoIcOptimalSchedule => write!(f, "dag admits no IC-optimal schedule"),
+            SchedError::Dag(e) => write!(f, "dag error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Dag(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DagError> for SchedError {
+    fn from(e: DagError) -> Self {
+        SchedError::Dag(e)
+    }
+}

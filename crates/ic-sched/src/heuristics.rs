@@ -1,0 +1,277 @@
+//! Baseline dag-scheduling heuristics.
+//!
+//! The companion evaluations of IC-Scheduling Theory (\[15\], \[19\] in the
+//! paper) compare its schedules against natural heuristics, including
+//! the "FIFO" policy used by Condor's DAGMan. These serve as the
+//! comparators in our simulator and benchmark harness.
+
+use std::collections::VecDeque;
+
+use ic_dag::traversal::levels;
+use ic_dag::{Dag, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::eligibility::ExecState;
+use crate::schedule::Schedule;
+
+/// A named scheduling policy over the ELIGIBLE pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Execute ELIGIBLE nodes in the order they became ELIGIBLE
+    /// (Condor DAGMan's dag-scheduling order).
+    Fifo,
+    /// Execute the most recently ELIGIBLE node first.
+    Lifo,
+    /// Uniformly random ELIGIBLE node, from the given seed.
+    Random(u64),
+    /// The ELIGIBLE node with the most children (ties: smaller id).
+    MaxOutDegree,
+    /// The ELIGIBLE node at the smallest depth (ties: smaller id).
+    MinDepth,
+    /// One-step lookahead: the ELIGIBLE node that renders the most new
+    /// nodes ELIGIBLE immediately (ties: larger out-degree, then smaller
+    /// id).
+    GreedyEligibility,
+}
+
+impl Policy {
+    /// Short display name, for report tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Fifo => "FIFO",
+            Policy::Lifo => "LIFO",
+            Policy::Random(_) => "RANDOM",
+            Policy::MaxOutDegree => "MAX-OUTDEG",
+            Policy::MinDepth => "MIN-DEPTH",
+            Policy::GreedyEligibility => "GREEDY",
+        }
+    }
+
+    /// All policies with a fixed random seed — the standard comparator
+    /// set.
+    pub fn all(seed: u64) -> Vec<Policy> {
+        vec![
+            Policy::Fifo,
+            Policy::Lifo,
+            Policy::Random(seed),
+            Policy::MaxOutDegree,
+            Policy::MinDepth,
+            Policy::GreedyEligibility,
+        ]
+    }
+}
+
+/// Produce the complete schedule that `policy` yields on `dag`.
+pub fn schedule_with(dag: &Dag, policy: Policy) -> Schedule {
+    match policy {
+        Policy::Fifo => fifo(dag),
+        Policy::Lifo => lifo(dag),
+        Policy::Random(seed) => random(dag, seed),
+        Policy::MaxOutDegree => {
+            select_best(dag, |d, _st, v| (d.out_degree(v) as i64, -(v.0 as i64)))
+        }
+        Policy::MinDepth => {
+            let lvl = levels(dag);
+            select_best(dag, move |_d, _st, v| {
+                (-(lvl[v.index()] as i64), -(v.0 as i64))
+            })
+        }
+        Policy::GreedyEligibility => greedy_eligibility(dag),
+    }
+}
+
+/// FIFO over the ELIGIBLE pool: sources enter in id order; newly
+/// ELIGIBLE nodes are appended in id order.
+pub fn fifo(dag: &Dag) -> Schedule {
+    let mut st = ExecState::new(dag);
+    let mut queue: VecDeque<NodeId> = dag.sources().collect();
+    let mut order = Vec::with_capacity(dag.num_nodes());
+    while let Some(v) = queue.pop_front() {
+        let newly = st.execute(v).expect("FIFO only executes ELIGIBLE nodes");
+        order.push(v);
+        queue.extend(newly);
+    }
+    Schedule::new_unchecked(order)
+}
+
+/// LIFO over the ELIGIBLE pool: most recently enabled first.
+pub fn lifo(dag: &Dag) -> Schedule {
+    let mut st = ExecState::new(dag);
+    let mut stack: Vec<NodeId> = dag.sources().collect();
+    let mut order = Vec::with_capacity(dag.num_nodes());
+    while let Some(v) = stack.pop() {
+        let newly = st.execute(v).expect("LIFO only executes ELIGIBLE nodes");
+        order.push(v);
+        stack.extend(newly);
+    }
+    Schedule::new_unchecked(order)
+}
+
+/// Uniformly random ELIGIBLE node at every step (seeded, reproducible).
+pub fn random(dag: &Dag, seed: u64) -> Schedule {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut st = ExecState::new(dag);
+    let mut pool: Vec<NodeId> = dag.sources().collect();
+    let mut order = Vec::with_capacity(dag.num_nodes());
+    while !pool.is_empty() {
+        let i = rng.gen_range(0..pool.len());
+        let v = pool.swap_remove(i);
+        let newly = st.execute(v).expect("pool holds only ELIGIBLE nodes");
+        order.push(v);
+        pool.extend(newly);
+    }
+    Schedule::new_unchecked(order)
+}
+
+/// Generic "pick the ELIGIBLE node maximizing a key" scheduler.
+fn select_best(dag: &Dag, key: impl Fn(&Dag, &ExecState<'_>, NodeId) -> (i64, i64)) -> Schedule {
+    let mut st = ExecState::new(dag);
+    let mut pool: Vec<NodeId> = dag.sources().collect();
+    let mut order = Vec::with_capacity(dag.num_nodes());
+    while !pool.is_empty() {
+        let (mut best_i, mut best_key) = (0usize, key(dag, &st, pool[0]));
+        for (i, &v) in pool.iter().enumerate().skip(1) {
+            let k = key(dag, &st, v);
+            if k > best_key {
+                best_i = i;
+                best_key = k;
+            }
+        }
+        let v = pool.swap_remove(best_i);
+        let newly = st.execute(v).expect("pool holds only ELIGIBLE nodes");
+        order.push(v);
+        pool.extend(newly);
+    }
+    Schedule::new_unchecked(order)
+}
+
+/// One-step lookahead: maximize the number of children whose last
+/// missing parent would be the executed node.
+fn greedy_eligibility(dag: &Dag) -> Schedule {
+    let mut st = ExecState::new(dag);
+    let mut pool: Vec<NodeId> = dag.sources().collect();
+    let mut order = Vec::with_capacity(dag.num_nodes());
+    while !pool.is_empty() {
+        let gain = |st: &ExecState<'_>, v: NodeId| -> i64 {
+            dag.children(v)
+                .iter()
+                .filter(|&&c| {
+                    // c becomes eligible iff v is its only unexecuted parent.
+                    dag.parents(c).iter().all(|&p| p == v || st.is_executed(p))
+                })
+                .count() as i64
+        };
+        let (mut best_i, mut best) = (
+            0usize,
+            (
+                gain(&st, pool[0]),
+                dag.out_degree(pool[0]) as i64,
+                -(pool[0].0 as i64),
+            ),
+        );
+        for (i, &v) in pool.iter().enumerate().skip(1) {
+            let k = (gain(&st, v), dag.out_degree(v) as i64, -(v.0 as i64));
+            if k > best {
+                best_i = i;
+                best = k;
+            }
+        }
+        let v = pool.swap_remove(best_i);
+        let newly = st.execute(v).expect("pool holds only ELIGIBLE nodes");
+        order.push(v);
+        pool.extend(newly);
+    }
+    Schedule::new_unchecked(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_dag::builder::from_arcs;
+    use ic_dag::traversal::is_topological;
+
+    fn sample() -> Dag {
+        from_arcs(
+            8,
+            &[
+                (0, 2),
+                (0, 3),
+                (1, 3),
+                (1, 4),
+                (2, 5),
+                (3, 5),
+                (3, 6),
+                (4, 7),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_policies_yield_valid_schedules() {
+        let g = sample();
+        for p in Policy::all(42) {
+            let s = schedule_with(&g, p);
+            assert!(
+                is_topological(&g, s.order()),
+                "{} produced an invalid order",
+                p.name()
+            );
+            assert_eq!(s.len(), g.num_nodes());
+        }
+    }
+
+    #[test]
+    fn fifo_is_breadth_first_on_a_tree() {
+        let t = from_arcs(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]).unwrap();
+        let s = fifo(&t);
+        assert_eq!(s.order(), &[0, 1, 2, 3, 4, 5, 6].map(NodeId));
+    }
+
+    #[test]
+    fn lifo_is_depth_first_on_a_tree() {
+        let t = from_arcs(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]).unwrap();
+        let s = lifo(&t);
+        // Root, then the most recently enabled branch fully.
+        assert_eq!(s.order()[0], NodeId(0));
+        assert_eq!(s.order()[1], NodeId(2));
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let g = sample();
+        assert_eq!(random(&g, 7).order(), random(&g, 7).order());
+    }
+
+    #[test]
+    fn max_outdegree_prefers_hubs() {
+        // Two sources: node 0 with 3 children, node 1 with 1 child.
+        let g = from_arcs(6, &[(0, 2), (0, 3), (0, 4), (1, 5)]).unwrap();
+        let s = schedule_with(&g, Policy::MaxOutDegree);
+        assert_eq!(s.order()[0], NodeId(0));
+    }
+
+    #[test]
+    fn greedy_takes_immediate_enablers() {
+        // Source 0 enables nothing immediately (child 3 needs 1 too);
+        // source 2 immediately enables its private child 4.
+        let g = from_arcs(5, &[(0, 3), (1, 3), (2, 4)]).unwrap();
+        let s = schedule_with(&g, Policy::GreedyEligibility);
+        assert_eq!(s.order()[0], NodeId(2));
+    }
+
+    #[test]
+    fn min_depth_is_levelwise() {
+        let g = from_arcs(4, &[(0, 1), (1, 2), (0, 3)]).unwrap();
+        let s = schedule_with(&g, Policy::MinDepth);
+        // Level 0: {0}; level 1: {1, 3}; level 2: {2}.
+        assert_eq!(s.order(), &[0, 1, 3, 2].map(NodeId));
+    }
+
+    #[test]
+    fn policy_names_are_distinct() {
+        let names: std::collections::HashSet<_> = Policy::all(0).iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+}

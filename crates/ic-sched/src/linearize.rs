@@ -1,0 +1,285 @@
+//! ▷-linearization — the heart of the main scheduling algorithm of
+//! \[21\] (Malewicz–Rosenberg–Yurkewych).
+//!
+//! Theorem 2.1 needs the composition's stages to come in an order where
+//! consecutive stages satisfy `G_i ▷ G_{i+1}`. Given a *set* of stages
+//! (building blocks with their IC-optimal schedules), this module
+//! decides whether such an order exists among a candidate permutation
+//! class and produces one: it sorts stages by the ▷ relation (which on
+//! the theory's building blocks behaves like a total preorder — e.g.
+//! `W_s ▷ W_t ⇔ s ≤ t`, `N_s ▷ N_t` always, `V_a ▷ V_b ⇔ a ≥ b`) and
+//! then *verifies* every consecutive pair, returning `None` when the
+//! relation genuinely cannot be chained.
+//!
+//! Caveat: linearization reorders *priorities*, not composition
+//! structure — a reordered stage sequence must still describe the same
+//! composite for Theorem 2.1 to apply. Use the result to choose a stage
+//! order *before* composing, then feed the ordered stages to
+//! [`crate::compose_schedule::linear_composition_schedule`].
+
+use ic_dag::Dag;
+
+use crate::priority::has_priority;
+use crate::schedule::Schedule;
+
+/// A building block for linearization: a dag and an IC-optimal schedule
+/// for it.
+#[derive(Clone, Copy)]
+pub struct Block<'a> {
+    /// The block dag.
+    pub dag: &'a Dag,
+    /// An IC-optimal schedule for it.
+    pub schedule: &'a Schedule,
+}
+
+/// Try to arrange `blocks` into a ▷-chain. Returns the indices of the
+/// blocks in chain order, or `None` if no chain exists among the
+/// sort-induced candidates (verified pairwise, so a returned order is
+/// always a genuine ▷-chain).
+///
+/// ```
+/// use ic_dag::builder::from_arcs;
+/// use ic_sched::{linearize::{linearize, Block}, Schedule};
+/// let vee = from_arcs(3, &[(0, 1), (0, 2)]).unwrap();
+/// let lambda = from_arcs(3, &[(0, 2), (1, 2)]).unwrap();
+/// let (sv, sl) = (Schedule::in_id_order(&vee), Schedule::in_id_order(&lambda));
+/// let blocks = [
+///     Block { dag: &lambda, schedule: &sl },
+///     Block { dag: &vee, schedule: &sv },
+/// ];
+/// // V ▷ Λ: the Vee must come first.
+/// assert_eq!(linearize(&blocks), Some(vec![1, 0]));
+/// ```
+pub fn linearize(blocks: &[Block<'_>]) -> Option<Vec<usize>> {
+    let n = blocks.len();
+    if n <= 1 {
+        return Some((0..n).collect());
+    }
+    // Precompute the pairwise relation.
+    let mut wins = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                wins[i][j] = has_priority(
+                    blocks[i].dag,
+                    blocks[i].schedule,
+                    blocks[j].dag,
+                    blocks[j].schedule,
+                );
+            }
+        }
+    }
+    // Sort by "number of blocks this block has priority over",
+    // descending: on a total preorder this is a valid linear extension;
+    // the subsequent verification catches anything else.
+    let mut order: Vec<usize> = (0..n).collect();
+    let score = |i: usize| wins[i].iter().filter(|&&w| w).count();
+    order.sort_by_key(|&i| std::cmp::Reverse(score(i)));
+    let ok = order.windows(2).all(|w| wins[w[0]][w[1]]);
+    ok.then_some(order)
+}
+
+/// Does the multiset of blocks admit *any* ▷-chain? (Exhaustive over
+/// permutations for small block counts; use only with ≲ 8 blocks.)
+pub fn chain_exists_exhaustive(blocks: &[Block<'_>]) -> bool {
+    let n = blocks.len();
+    if n <= 1 {
+        return true;
+    }
+    let mut wins = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                wins[i][j] = has_priority(
+                    blocks[i].dag,
+                    blocks[i].schedule,
+                    blocks[j].dag,
+                    blocks[j].schedule,
+                );
+            }
+        }
+    }
+    // DFS over partial chains (Hamiltonian path in the ▷ digraph, with
+    // memoization over (last, visited-mask)).
+    fn dfs(
+        wins: &[Vec<bool>],
+        last: usize,
+        visited: u32,
+        n: usize,
+        dead: &mut std::collections::HashSet<(usize, u32)>,
+    ) -> bool {
+        if visited.count_ones() as usize == n {
+            return true;
+        }
+        if dead.contains(&(last, visited)) {
+            return false;
+        }
+        for next in 0..n {
+            if visited & (1 << next) == 0
+                && wins[last][next]
+                && dfs(wins, next, visited | (1 << next), n, dead)
+            {
+                return true;
+            }
+        }
+        dead.insert((last, visited));
+        false
+    }
+    let mut dead = std::collections::HashSet::new();
+    (0..n).any(|start| dfs(&wins, start, 1 << start, n, &mut dead))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_dag::builder::from_arcs;
+
+    fn vee() -> Dag {
+        from_arcs(3, &[(0, 1), (0, 2)]).unwrap()
+    }
+
+    fn vee_d(d: usize) -> Dag {
+        let arcs: Vec<(u32, u32)> = (1..=d as u32).map(|i| (0, i)).collect();
+        from_arcs(d + 1, &arcs).unwrap()
+    }
+
+    fn lambda() -> Dag {
+        from_arcs(3, &[(0, 2), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn sorts_vees_before_lambdas() {
+        let v = vee();
+        let l = lambda();
+        let (sv, sl) = (Schedule::in_id_order(&v), Schedule::in_id_order(&l));
+        let blocks = [
+            Block {
+                dag: &l,
+                schedule: &sl,
+            },
+            Block {
+                dag: &v,
+                schedule: &sv,
+            },
+            Block {
+                dag: &l,
+                schedule: &sl,
+            },
+            Block {
+                dag: &v,
+                schedule: &sv,
+            },
+        ];
+        let order = linearize(&blocks).expect("V/Λ mixes always chain");
+        // Both Vees (indices 1, 3) must precede both Lambdas (0, 2).
+        let pos = |i: usize| order.iter().position(|&x| x == i).unwrap();
+        assert!(pos(1) < pos(0) && pos(1) < pos(2));
+        assert!(pos(3) < pos(0) && pos(3) < pos(2));
+    }
+
+    #[test]
+    fn sorts_wide_vees_first() {
+        // V_a ▷ V_b iff a >= b: the widest Vee must come first.
+        let v2 = vee_d(2);
+        let v3 = vee_d(3);
+        let v5 = vee_d(5);
+        let (s2, s3, s5) = (
+            Schedule::in_id_order(&v2),
+            Schedule::in_id_order(&v3),
+            Schedule::in_id_order(&v5),
+        );
+        let blocks = [
+            Block {
+                dag: &v2,
+                schedule: &s2,
+            },
+            Block {
+                dag: &v5,
+                schedule: &s5,
+            },
+            Block {
+                dag: &v3,
+                schedule: &s3,
+            },
+        ];
+        let order = linearize(&blocks).expect("Vees form a total ▷ order");
+        assert_eq!(order, vec![1, 2, 0]); // widths 5, 3, 2
+    }
+
+    #[test]
+    fn single_and_empty_block_sets() {
+        let v = vee();
+        let sv = Schedule::in_id_order(&v);
+        assert_eq!(linearize(&[]), Some(vec![]));
+        assert_eq!(
+            linearize(&[Block {
+                dag: &v,
+                schedule: &sv
+            }]),
+            Some(vec![0])
+        );
+    }
+
+    #[test]
+    fn unchainable_blocks_return_none() {
+        // Λ ▷ V fails and V ▷ Λ holds, so [Λ, V] linearizes as [V, Λ];
+        // to force a None we need blocks where neither direction holds.
+        // E_X = [1, 3] (V3) vs a dag whose profile makes both directions
+        // fail: take X = V3 and Y = 2·Λ (two disjoint Lambdas, paired
+        // schedule) — E_Y = [4, 3, 3, 2, 2]? Verify via the checker: we
+        // only assert consistency (linearize agrees with the exhaustive
+        // search).
+        let v3 = vee_d(3);
+        let yy = from_arcs(6, &[(0, 2), (1, 2), (3, 5), (4, 5)]).unwrap();
+        let sy = crate::optimal::find_ic_optimal(&yy).unwrap().unwrap();
+        let s3 = Schedule::in_id_order(&v3);
+        let blocks = [
+            Block {
+                dag: &v3,
+                schedule: &s3,
+            },
+            Block {
+                dag: &yy,
+                schedule: &sy,
+            },
+        ];
+        let fast = linearize(&blocks).is_some();
+        let slow = chain_exists_exhaustive(&blocks);
+        assert_eq!(
+            fast, slow,
+            "linearize must agree with exhaustive search here"
+        );
+    }
+
+    #[test]
+    fn exhaustive_agrees_with_sort_on_standard_blocks() {
+        let v = vee();
+        let v3 = vee_d(3);
+        let l = lambda();
+        let (sv, s3, sl) = (
+            Schedule::in_id_order(&v),
+            Schedule::in_id_order(&v3),
+            Schedule::in_id_order(&l),
+        );
+        let blocks = [
+            Block {
+                dag: &l,
+                schedule: &sl,
+            },
+            Block {
+                dag: &v3,
+                schedule: &s3,
+            },
+            Block {
+                dag: &v,
+                schedule: &sv,
+            },
+            Block {
+                dag: &l,
+                schedule: &sl,
+            },
+        ];
+        assert!(linearize(&blocks).is_some());
+        assert!(chain_exists_exhaustive(&blocks));
+    }
+}

@@ -1,0 +1,289 @@
+//! Exhaustive IC-optimality machinery.
+//!
+//! A schedule `Σ` for a dag `G` is **IC-optimal** when it maximizes the
+//! number of ELIGIBLE nodes after *every* prefix of the execution — a
+//! pointwise-maximal eligibility profile. Because the set of executed
+//! nodes after `t` steps of any valid execution is exactly a size-`t`
+//! down-set of the precedence order (and every down-set is reachable),
+//! the optimal envelope
+//!
+//! ```text
+//! opt(t) = max { #eligible(S) : S a down-set, |S| = t }
+//! ```
+//!
+//! can be computed by sweeping the down-set lattice. `Σ` is IC-optimal
+//! iff its profile equals `opt` pointwise, and `G` *admits* an
+//! IC-optimal schedule iff some single execution path attains the whole
+//! envelope. These checks are exponential in general (the lattice can be
+//! large) but entirely practical for the building-block-sized dags used
+//! to validate the paper's claims.
+
+use std::collections::HashSet;
+
+use ic_dag::ideals::IdealEnumerator;
+use ic_dag::{Dag, NodeId};
+
+use crate::error::SchedError;
+use crate::schedule::Schedule;
+
+/// The optimal envelope `opt(t)` for `t = 0 ..= n`.
+///
+/// Errors for dags of more than 64 nodes ([`ic_dag::DagError::TooLarge`]).
+///
+/// ```
+/// use ic_dag::builder::from_arcs;
+/// let diamond = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+/// let env = ic_sched::optimal::optimal_envelope(&diamond).unwrap();
+/// assert_eq!(env, vec![1, 2, 1, 1, 0]);
+/// ```
+pub fn optimal_envelope(dag: &Dag) -> Result<Vec<usize>, SchedError> {
+    Ok(envelope_bounds(dag)?.1)
+}
+
+/// For every size `t`, the minimum and maximum eligible count over all
+/// down-sets of size `t`: `(lo, hi)`. `hi` is the optimal envelope; when
+/// `lo == hi` pointwise, *every* schedule is IC-optimal.
+pub fn envelope_bounds(dag: &Dag) -> Result<(Vec<usize>, Vec<usize>), SchedError> {
+    let n = dag.num_nodes();
+    let en = IdealEnumerator::new(dag)?;
+    let mut lo = vec![usize::MAX; n + 1];
+    let mut hi = vec![0usize; n + 1];
+    en.for_each(|_, size, elig| {
+        let e = elig.count_ones() as usize;
+        let t = size as usize;
+        lo[t] = lo[t].min(e);
+        hi[t] = hi[t].max(e);
+    });
+    Ok((lo, hi))
+}
+
+/// Is `schedule` IC-optimal for `dag`? (Exhaustive; `n <= 64`.)
+pub fn is_ic_optimal(dag: &Dag, schedule: &Schedule) -> Result<bool, SchedError> {
+    let envelope = optimal_envelope(dag)?;
+    Ok(schedule.profile(dag) == envelope)
+}
+
+/// Does *every* schedule of `dag` achieve the optimal envelope — in the
+/// strictest sense, quantifying over all execution orders including
+/// those that execute sinks early? This is rarely true (executing a sink
+/// wastes a step); the theory's "every schedule is IC optimal" claims
+/// quantify over *nonsink orders* — see
+/// [`every_nonsink_order_ic_optimal`].
+pub fn every_schedule_ic_optimal(dag: &Dag) -> Result<bool, SchedError> {
+    let (lo, hi) = envelope_bounds(dag)?;
+    Ok(lo == hi)
+}
+
+/// The min/max eligible counts over down-sets consisting of *nonsinks
+/// only* — the execution states reachable by "nonsinks-first" schedules,
+/// the canonical form in which the theory states its results (executing
+/// a sink renders nothing ELIGIBLE, so deferring all sinks never hurts).
+/// Indexed by the number of nonsinks executed, `0 ..= num_nonsinks`.
+pub fn nonsink_envelope_bounds(dag: &Dag) -> Result<(Vec<usize>, Vec<usize>), SchedError> {
+    let n1 = dag.num_nonsinks();
+    let en = IdealEnumerator::new(dag)?;
+    let nonsink_mask = dag.nonsinks().fold(0u64, |m, v| m | (1u64 << v.index()));
+    let mut lo = vec![usize::MAX; n1 + 1];
+    let mut hi = vec![0usize; n1 + 1];
+    en.for_each_within(nonsink_mask, |_, size, elig| {
+        let e = elig.count_ones() as usize;
+        let t = size as usize;
+        lo[t] = lo[t].min(e);
+        hi[t] = hi[t].max(e);
+    });
+    Ok((lo, hi))
+}
+
+/// Is *every nonsink order* of `dag` IC-optimal? True for branching
+/// out-trees (§3.1: "easily, every schedule for an out-tree is IC
+/// optimal!" — in the theory's nonsinks-first convention).
+pub fn every_nonsink_order_ic_optimal(dag: &Dag) -> Result<bool, SchedError> {
+    let (lo, hi) = nonsink_envelope_bounds(dag)?;
+    Ok(lo == hi)
+}
+
+/// Search for an IC-optimal schedule: an execution path whose every
+/// prefix attains the envelope. Returns `None` when the dag admits no
+/// IC-optimal schedule (many dags do not; see \[21\]).
+///
+/// ```
+/// use ic_dag::builder::from_arcs;
+/// use ic_sched::optimal::{find_ic_optimal, is_ic_optimal};
+/// let g = from_arcs(3, &[(0, 1), (0, 2)]).unwrap();
+/// let sched = find_ic_optimal(&g).unwrap().expect("Vee admits one");
+/// assert!(is_ic_optimal(&g, &sched).unwrap());
+/// ```
+pub fn find_ic_optimal(dag: &Dag) -> Result<Option<Schedule>, SchedError> {
+    let n = dag.num_nodes();
+    let envelope = optimal_envelope(dag)?;
+    let en = IdealEnumerator::new(dag)?;
+
+    // Depth-first search over execution states, only stepping to states
+    // on the envelope; dead states are memoized.
+    let mut dead: HashSet<u64> = HashSet::new();
+    let mut order: Vec<NodeId> = Vec::with_capacity(n);
+    if dfs(&en, &envelope, n, 0u64, 0, &mut order, &mut dead) {
+        Ok(Some(Schedule::new(dag, order)?))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Does `dag` admit an IC-optimal schedule at all?
+pub fn admits_ic_optimal(dag: &Dag) -> Result<bool, SchedError> {
+    Ok(find_ic_optimal(dag)?.is_some())
+}
+
+fn dfs(
+    en: &IdealEnumerator,
+    envelope: &[usize],
+    n: usize,
+    state: u64,
+    t: usize,
+    order: &mut Vec<NodeId>,
+    dead: &mut HashSet<u64>,
+) -> bool {
+    if t == n {
+        return true;
+    }
+    if dead.contains(&state) {
+        return false;
+    }
+    let mut rest = en.eligible_mask(state);
+    while rest != 0 {
+        let bit = rest & rest.wrapping_neg();
+        rest ^= bit;
+        let next = state | bit;
+        if (en.eligible_mask(next).count_ones() as usize) == envelope[t + 1] {
+            order.push(NodeId(bit.trailing_zeros()));
+            if dfs(en, envelope, n, next, t + 1, order, dead) {
+                return true;
+            }
+            order.pop();
+        }
+    }
+    dead.insert(state);
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_dag::builder::from_arcs;
+
+    fn vee() -> Dag {
+        from_arcs(3, &[(0, 1), (0, 2)]).unwrap()
+    }
+
+    fn lambda() -> Dag {
+        from_arcs(3, &[(0, 2), (1, 2)]).unwrap()
+    }
+
+    #[test]
+    fn vee_envelope() {
+        assert_eq!(optimal_envelope(&vee()).unwrap(), vec![1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn lambda_envelope() {
+        assert_eq!(optimal_envelope(&lambda()).unwrap(), vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn every_schedule_optimal_for_vee_and_lambda() {
+        assert!(every_schedule_ic_optimal(&vee()).unwrap());
+        assert!(every_schedule_ic_optimal(&lambda()).unwrap());
+    }
+
+    #[test]
+    fn not_every_schedule_optimal_for_two_lambdas() {
+        // Two disjoint Lambdas: executing sources of different Lambdas
+        // (profile stays 4, 3, 2...) is worse than finishing one Lambda's
+        // pair first. opt after 2 steps = 3 (one sink + two sources),
+        // but a bad schedule gets 2.
+        let g = from_arcs(6, &[(0, 2), (1, 2), (3, 5), (4, 5)]).unwrap();
+        assert!(!every_schedule_ic_optimal(&g).unwrap());
+        // Yet an IC-optimal schedule exists: finish one pair, then the other.
+        let s = find_ic_optimal(&g).unwrap().expect("exists");
+        assert!(is_ic_optimal(&g, &s).unwrap());
+    }
+
+    #[test]
+    fn diamond_optimal_schedule() {
+        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let s = Schedule::in_id_order(&g);
+        assert!(is_ic_optimal(&g, &s).unwrap());
+    }
+
+    #[test]
+    fn dag_without_ic_optimal_schedule() {
+        // Known example shape: two "interlocking" components where no
+        // single schedule can dominate every prefix. Take G = Lambda + Vee
+        // scaled: a 2-source N-like conflict. Construct: sources a, b;
+        // a -> {x, y}; b alone feeds z... We build one where the envelope
+        // is unattainable: G1 = Vee (root r, leaves l1, l2), G2 = Lambda
+        // (sources s1, s2, sink k), disjoint.
+        // opt(1): execute r => eligible = {l1, l2, s1, s2} = 4.
+        // opt(2): execute s1, s2 => eligible = {r, k} ... that's 2;
+        //   or r + s1 => {l1,l2,s2} = 3; or r,l1 => {l2,s1,s2}=3. opt(2)=3.
+        // A single schedule: r first (4), then any => 3. opt(3): r,s1,s2
+        // => {l1,l2,k} = 3. Schedule r,s1,s2 gives 4,3,3 — fine. Hmm,
+        // this one *does* admit. Use the classic non-admitting example:
+        // a 3-source Lambda (needs both orders of pair-completion).
+        // Simplest documented non-admitter: two Lambdas sharing no nodes
+        // PLUS a Vee, all disjoint, can conflict... Instead, verify a
+        // concrete small non-admitter found by search:
+        // G: sources a, b; arcs a->c, b->c, b->d (c, d sinks).
+        // opt(1): exec b => {a, d} = 2. (exec a => {b} = 1.)
+        // opt(2): exec a, b => {c, d} = 2; or b, d => {a} ... 1. so 2.
+        // Schedule b first: profile(1) = 2 ok; then a: (2) = 2 ok; fine;
+        // admits. Try harder: known minimal non-admitters have ~7 nodes;
+        // search random dags for one instead.
+        let mut found = None;
+        'outer: for seed in 0..200u64 {
+            // Tiny deterministic PRNG (xorshift) to build random dags.
+            let mut s = seed.wrapping_mul(2654435769).wrapping_add(12345) | 1;
+            let mut next = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let n = 7;
+            let mut arcs = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if next() % 100 < 35 {
+                        arcs.push((u as u32, v as u32));
+                    }
+                }
+            }
+            let g = from_arcs(n, &arcs).unwrap();
+            if !admits_ic_optimal(&g).unwrap() {
+                found = Some(g);
+                break 'outer;
+            }
+        }
+        let g = found.expect("some random 7-node dag should admit no IC-optimal schedule");
+        assert!(find_ic_optimal(&g).unwrap().is_none());
+    }
+
+    #[test]
+    fn envelope_bounds_endpoints() {
+        let g = vee();
+        let (lo, hi) = envelope_bounds(&g).unwrap();
+        assert_eq!(lo[0], hi[0]); // the empty prefix is unique
+        assert_eq!(hi[0], g.num_sources());
+        assert_eq!(lo[3], 0);
+        assert_eq!(hi[3], 0);
+    }
+
+    #[test]
+    fn found_schedule_is_valid_and_optimal() {
+        let g = from_arcs(6, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5)]).unwrap();
+        if let Some(s) = find_ic_optimal(&g).unwrap() {
+            assert!(is_ic_optimal(&g, &s).unwrap());
+            assert_eq!(s.len(), g.num_nodes());
+        }
+    }
+}

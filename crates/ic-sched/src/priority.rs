@@ -1,0 +1,181 @@
+//! The priority relation `G1 ▷ G2` (§2.3.1; inequalities (2.1) of the
+//! paper, from \[21\] = Malewicz–Rosenberg–Yurkewych, IEEE TC 55(6) 2006).
+//!
+//! Informally, `G1 ▷ G2` means one never decreases IC quality by
+//! executing a nonsink of `G1` whenever possible, before nonsinks of
+//! `G2`. Formally, with `Σᵢ` an IC-optimal schedule for `Gᵢ`, `nᵢ` the
+//! number of nonsinks of `Gᵢ`, and `Eᵢ(x)` the number of ELIGIBLE nodes
+//! of `Gᵢ` after `Σᵢ` executes its first `x` nonsinks:
+//!
+//! ```text
+//! G1 ▷ G2  ⇔  ∀ x ∈ [0, n1], y ∈ [0, n2]:
+//!             E1(x) + E2(y)  ≤  E1(x̂) + E2(ŷ)
+//!             where x̂ = min(n1, x + y), ŷ = (x + y) − x̂
+//! ```
+//!
+//! i.e. for any total budget `x + y` of nonsink executions split between
+//! the two dags, the "all to `G1` first" split is at least as good.
+//!
+//! (The inequality block (2.1) is garbled in the available text of the
+//! paper; this is the standard definition from the cited source, and the
+//! test-suites of this crate and of `ic-families` cross-validate it
+//! semantically: every priority claim the paper states — `V ▷ V`,
+//! `V ▷ Λ`, `Λ ▷ Λ`, `B ▷ B`, `N_s ▷ N_t`, small-over-large W-dags,
+//! `C4 ▷ C4 ▷ Λ`, `V3 ▷ V3 ▷ Λ ▷ Λ` — holds under it, and composite
+//! schedules built from it are exhaustively verified IC-optimal.)
+
+use ic_dag::Dag;
+
+use crate::schedule::Schedule;
+
+/// Check `g1 ▷ g2`, given IC-optimal schedules for both.
+///
+/// The schedules' *nonsink profiles* are used, i.e. both are normalized
+/// to "nonsinks first" shape (always possible for IC-optimal schedules
+/// without loss of quality).
+///
+/// ```
+/// use ic_dag::builder::from_arcs;
+/// use ic_sched::{has_priority, Schedule};
+///
+/// let vee = from_arcs(3, &[(0, 1), (0, 2)]).unwrap();
+/// let lambda = from_arcs(3, &[(0, 2), (1, 2)]).unwrap();
+/// let sv = Schedule::in_id_order(&vee);
+/// let sl = Schedule::in_id_order(&lambda);
+/// assert!(has_priority(&vee, &sv, &lambda, &sl));   // V ▷ Λ
+/// assert!(!has_priority(&lambda, &sl, &vee, &sv));  // but not Λ ▷ V
+/// ```
+pub fn has_priority(g1: &Dag, s1: &Schedule, g2: &Dag, s2: &Schedule) -> bool {
+    let e1 = s1.nonsink_profile(g1);
+    let e2 = s2.nonsink_profile(g2);
+    profiles_have_priority(&e1, &e2)
+}
+
+/// The ▷ test on raw nonsink eligibility profiles (`e1.len() = n1 + 1`,
+/// `e2.len() = n2 + 1`).
+pub fn profiles_have_priority(e1: &[usize], e2: &[usize]) -> bool {
+    let n1 = e1.len() - 1;
+    let n2 = e2.len() - 1;
+    for x in 0..=n1 {
+        for y in 0..=n2 {
+            let t = x + y;
+            let xh = t.min(n1);
+            let yh = t - xh;
+            if e1[x] + e2[y] > e1[xh] + e2[yh] {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Check that a sequence of (dag, IC-optimal schedule) pairs is a
+/// ▷-*chain*: `G_i ▷ G_{i+1}` for every consecutive pair. This is
+/// condition (b) of a ▷-linear composition (Theorem 2.1).
+pub fn is_priority_chain(stages: &[(&Dag, &Schedule)]) -> bool {
+    stages.windows(2).all(|w| {
+        let (g1, s1) = w[0];
+        let (g2, s2) = w[1];
+        has_priority(g1, s1, g2, s2)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimal::find_ic_optimal;
+    use ic_dag::builder::from_arcs;
+    use ic_dag::dual;
+
+    fn vee() -> Dag {
+        from_arcs(3, &[(0, 1), (0, 2)]).unwrap()
+    }
+
+    fn lambda() -> Dag {
+        from_arcs(3, &[(0, 2), (1, 2)]).unwrap()
+    }
+
+    /// Butterfly block: 2 sources, 2 sinks, complete bipartite.
+    fn bblock() -> Dag {
+        from_arcs(4, &[(0, 2), (0, 3), (1, 2), (1, 3)]).unwrap()
+    }
+
+    fn opt(g: &Dag) -> Schedule {
+        find_ic_optimal(g)
+            .unwrap()
+            .expect("admits IC-optimal schedule")
+    }
+
+    #[test]
+    fn vee_over_vee() {
+        let g = vee();
+        let s = opt(&g);
+        assert!(has_priority(&g, &s, &g, &s));
+    }
+
+    #[test]
+    fn vee_over_lambda_but_not_conversely() {
+        let (v, l) = (vee(), lambda());
+        let (sv, sl) = (opt(&v), opt(&l));
+        assert!(has_priority(&v, &sv, &l, &sl));
+        assert!(!has_priority(&l, &sl, &v, &sv));
+    }
+
+    #[test]
+    fn lambda_over_lambda() {
+        let l = lambda();
+        let s = opt(&l);
+        assert!(has_priority(&l, &s, &l, &s));
+    }
+
+    #[test]
+    fn butterfly_block_over_itself() {
+        let b = bblock();
+        let s = opt(&b);
+        assert!(has_priority(&b, &s, &b, &s));
+    }
+
+    #[test]
+    fn theorem_2_3_duality_of_priority() {
+        // G1 ▷ G2  iff  dual(G2) ▷ dual(G1), exercised on all pairs drawn
+        // from {V, Λ, B}.
+        let dags = [vee(), lambda(), bblock()];
+        for g1 in &dags {
+            for g2 in &dags {
+                let s1 = opt(g1);
+                let s2 = opt(g2);
+                let d1 = dual(g1);
+                let d2 = dual(g2);
+                let sd1 = opt(&d1);
+                let sd2 = opt(&d2);
+                assert_eq!(
+                    has_priority(g1, &s1, g2, &s2),
+                    has_priority(&d2, &sd2, &d1, &sd1),
+                    "Theorem 2.3 violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn priority_chain_check() {
+        let (v, l) = (vee(), lambda());
+        let (sv, sl) = (opt(&v), opt(&l));
+        assert!(is_priority_chain(&[
+            (&v, &sv),
+            (&v, &sv),
+            (&l, &sl),
+            (&l, &sl)
+        ]));
+        assert!(!is_priority_chain(&[(&l, &sl), (&v, &sv)]));
+    }
+
+    #[test]
+    fn flat_profiles_trivially_commute() {
+        // Profiles constant in x satisfy ▷ in both directions.
+        let e1 = vec![3, 3, 3];
+        let e2 = vec![5, 5];
+        assert!(profiles_have_priority(&e1, &e2));
+        assert!(profiles_have_priority(&e2, &e1));
+    }
+}

@@ -1,0 +1,143 @@
+//! Scalar quality metrics over eligibility profiles.
+//!
+//! IC-optimality is a *pointwise* criterion; when comparing schedules
+//! that are not comparable pointwise (e.g. heuristics against each
+//! other), scalar summaries are useful: the area under the profile (how
+//! much eligibility the schedule offers over the whole run), the minimum
+//! over the interior (worst-case starvation exposure), and the number of
+//! steps at which a batch of `b` simultaneous requests could be served.
+
+use std::cmp::Ordering;
+
+/// Sum of `E(t)` over all `t` — the total "task availability" offered.
+pub fn area_under(profile: &[usize]) -> u64 {
+    profile.iter().map(|&e| e as u64).sum()
+}
+
+/// Does `p` dominate `q` pointwise (`p[t] >= q[t]` for all `t`)?
+/// Requires equal lengths (profiles of the same dag).
+pub fn dominates(p: &[usize], q: &[usize]) -> bool {
+    p.len() == q.len() && p.iter().zip(q).all(|(&a, &b)| a >= b)
+}
+
+/// Pointwise comparison of equal-length profiles:
+/// `Some(Greater)` if `p` dominates `q` with at least one strict step,
+/// `Some(Less)` for the converse, `Some(Equal)` when identical, and
+/// `None` when incomparable.
+pub fn compare(p: &[usize], q: &[usize]) -> Option<Ordering> {
+    if p.len() != q.len() {
+        return None;
+    }
+    let mut ge = true;
+    let mut le = true;
+    for (&a, &b) in p.iter().zip(q) {
+        ge &= a >= b;
+        le &= a <= b;
+        if !ge && !le {
+            return None;
+        }
+    }
+    match (ge, le) {
+        (true, true) => Some(Ordering::Equal),
+        (true, false) => Some(Ordering::Greater),
+        (false, true) => Some(Ordering::Less),
+        (false, false) => None,
+    }
+}
+
+/// The minimum of `E(t)` over the *interior* steps `1..n` (excluding the
+/// initial state and the empty final state): how close the execution
+/// comes to gridlock.
+pub fn min_interior(profile: &[usize]) -> usize {
+    if profile.len() <= 2 {
+        return profile.first().copied().unwrap_or(0);
+    }
+    profile[1..profile.len() - 1].iter().copied().min().unwrap()
+}
+
+/// The peak of the profile.
+pub fn peak(profile: &[usize]) -> usize {
+    profile.iter().copied().max().unwrap_or(0)
+}
+
+/// The number of steps `t` at which a batch of `batch` simultaneous
+/// task requests could all be satisfied (`E(t) >= batch`). Models the
+/// paper's scenario (2): a server receiving bursts of requests.
+pub fn batch_satisfaction(profile: &[usize], batch: usize) -> usize {
+    profile.iter().filter(|&&e| e >= batch).count()
+}
+
+/// A compact summary of a profile for report tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProfileSummary {
+    /// See [`area_under`].
+    pub area: u64,
+    /// See [`peak`].
+    pub peak: usize,
+    /// See [`min_interior`].
+    pub min_interior: usize,
+}
+
+/// Summarize a profile.
+pub fn summarize(profile: &[usize]) -> ProfileSummary {
+    ProfileSummary {
+        area: area_under(profile),
+        peak: peak(profile),
+        min_interior: min_interior(profile),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area() {
+        assert_eq!(area_under(&[1, 2, 1, 0]), 4);
+        assert_eq!(area_under(&[]), 0);
+    }
+
+    #[test]
+    fn dominance() {
+        assert!(dominates(&[2, 2, 1], &[2, 1, 1]));
+        assert!(!dominates(&[2, 1, 1], &[2, 2, 1]));
+        assert!(!dominates(&[2, 2], &[2, 2, 1])); // length mismatch
+    }
+
+    #[test]
+    fn comparison_cases() {
+        assert_eq!(compare(&[1, 2], &[1, 2]), Some(Ordering::Equal));
+        assert_eq!(compare(&[2, 2], &[1, 2]), Some(Ordering::Greater));
+        assert_eq!(compare(&[1, 1], &[1, 2]), Some(Ordering::Less));
+        assert_eq!(compare(&[2, 1], &[1, 2]), None);
+        assert_eq!(compare(&[1], &[1, 2]), None);
+    }
+
+    #[test]
+    fn interior_minimum() {
+        assert_eq!(min_interior(&[1, 3, 2, 0]), 2);
+        assert_eq!(min_interior(&[5, 0]), 5); // no interior
+        assert_eq!(min_interior(&[1, 1, 0]), 1);
+    }
+
+    #[test]
+    fn batch_counts() {
+        let p = [1, 2, 3, 2, 0];
+        assert_eq!(batch_satisfaction(&p, 2), 3);
+        assert_eq!(batch_satisfaction(&p, 4), 0);
+        assert_eq!(batch_satisfaction(&p, 0), 5);
+    }
+
+    #[test]
+    fn summary() {
+        let s = summarize(&[1, 2, 1, 0]);
+        assert_eq!(
+            s,
+            ProfileSummary {
+                area: 4,
+                peak: 2,
+                min_interior: 1
+            }
+        );
+    }
+}

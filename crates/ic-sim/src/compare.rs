@@ -1,0 +1,142 @@
+//! Multi-seed policy comparison — the summary the experiment harness
+//! and the examples both report.
+
+use ic_dag::Dag;
+use ic_sched::Schedule;
+
+use crate::server::{simulate, SimConfig};
+
+/// Seed-averaged metrics for one allocation policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySummary {
+    /// Display label.
+    pub label: String,
+    /// Mean gridlock events per run.
+    pub gridlock: f64,
+    /// Mean initial-batch shortfall.
+    pub unsatisfied_at_batch: f64,
+    /// Mean (time-weighted) ELIGIBLE-pool size.
+    pub mean_pool: f64,
+    /// Mean makespan.
+    pub makespan: f64,
+    /// Mean client utilization.
+    pub utilization: f64,
+    /// Mean client idle time.
+    pub idle_time: f64,
+    /// Mean failed allocations.
+    pub failures: f64,
+}
+
+/// Run `schedule` as the allocation policy over every seed in `seeds`
+/// (varying only the RNG seed of `base`) and average the metrics.
+///
+/// # Panics
+/// Panics if `seeds` is empty.
+pub fn summarize_policy(
+    label: impl Into<String>,
+    dag: &Dag,
+    schedule: &Schedule,
+    base: &SimConfig,
+    seeds: &[u64],
+) -> PolicySummary {
+    assert!(!seeds.is_empty(), "need at least one seed");
+    let mut acc = PolicySummary {
+        label: label.into(),
+        gridlock: 0.0,
+        unsatisfied_at_batch: 0.0,
+        mean_pool: 0.0,
+        makespan: 0.0,
+        utilization: 0.0,
+        idle_time: 0.0,
+        failures: 0.0,
+    };
+    for &seed in seeds {
+        let cfg = SimConfig {
+            seed,
+            ..base.clone()
+        };
+        let r = simulate(dag, schedule, &cfg);
+        acc.gridlock += r.gridlock_events as f64;
+        acc.unsatisfied_at_batch += r.unsatisfied_at_batch as f64;
+        acc.mean_pool += r.mean_pool();
+        acc.makespan += r.makespan;
+        acc.utilization += r.utilization;
+        acc.idle_time += r.idle_time;
+        acc.failures += r.failures as f64;
+    }
+    let k = seeds.len() as f64;
+    acc.gridlock /= k;
+    acc.unsatisfied_at_batch /= k;
+    acc.mean_pool /= k;
+    acc.makespan /= k;
+    acc.utilization /= k;
+    acc.idle_time /= k;
+    acc.failures /= k;
+    acc
+}
+
+/// Compare several labeled schedules over the same seeds.
+pub fn compare_policies(
+    dag: &Dag,
+    policies: &[(String, Schedule)],
+    base: &SimConfig,
+    seeds: &[u64],
+) -> Vec<PolicySummary> {
+    policies
+        .iter()
+        .map(|(label, sched)| summarize_policy(label.clone(), dag, sched, base, seeds))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_dag::builder::from_arcs;
+    use ic_sched::heuristics::{schedule_with, Policy};
+
+    #[test]
+    fn averages_over_seeds() {
+        let g = from_arcs(6, &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5)]).unwrap();
+        let s = Schedule::in_id_order(&g);
+        let base = SimConfig::default();
+        let one = summarize_policy("x", &g, &s, &base, &[1]);
+        let many = summarize_policy("x", &g, &s, &base, &[1, 2, 3, 4]);
+        assert!(one.makespan > 0.0 && many.makespan > 0.0);
+        // Averaging changes the value unless all runs coincide.
+        assert_eq!(one.label, "x");
+        assert!(many.utilization > 0.0 && many.utilization <= 1.0);
+    }
+
+    #[test]
+    fn compares_multiple_policies() {
+        let g = from_arcs(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 4),
+                (3, 5),
+                (4, 6),
+                (5, 7),
+                (6, 7),
+            ],
+        )
+        .unwrap();
+        let policies: Vec<(String, Schedule)> = Policy::all(3)
+            .into_iter()
+            .map(|p| (p.name().to_string(), schedule_with(&g, p)))
+            .collect();
+        let rows = compare_policies(&g, &policies, &SimConfig::default(), &[5, 6]);
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.makespan > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seeds_panic() {
+        let g = from_arcs(2, &[(0, 1)]).unwrap();
+        let s = Schedule::in_id_order(&g);
+        let _ = summarize_policy("x", &g, &s, &SimConfig::default(), &[]);
+    }
+}

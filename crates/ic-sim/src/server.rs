@@ -1,0 +1,440 @@
+//! The event-driven server/client simulation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ic_dag::{Dag, NodeId};
+use ic_sched::eligibility::ExecState;
+use ic_sched::Schedule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::SimResult;
+
+/// Stochastic profile of the remote clients.
+#[derive(Debug, Clone)]
+pub struct ClientProfile {
+    /// Number of concurrent clients.
+    pub num_clients: usize,
+    /// Mean task service time (arbitrary time units).
+    pub mean_service: f64,
+    /// Uniform jitter fraction: service ~ U[mean·(1-j), mean·(1+j)].
+    pub jitter: f64,
+    /// Probability that a task *straggles*.
+    pub straggler_prob: f64,
+    /// Multiplier applied to a straggling task's service time.
+    pub straggler_factor: f64,
+    /// Probability that an allocated task *fails* (client crash or bad
+    /// result, cf. \[14\]): the work is lost after the service time and
+    /// the task returns to the ELIGIBLE pool for reallocation.
+    pub failure_prob: f64,
+    /// Communication cost per dag arc incident to a task (the paper's
+    /// future-work thrust 3): every allocation pays
+    /// `comm_cost_per_arc * (in_degree + out_degree)` on top of its
+    /// compute time — inputs arrive over the Internet, results return.
+    pub comm_cost_per_arc: f64,
+    /// Optional per-client speed factors (length `num_clients`): client
+    /// `i` finishes compute in `1 / speed_factors[i]` of the base time —
+    /// the heterogeneous volunteer hardware of real IC platforms.
+    pub speed_factors: Option<Vec<f64>>,
+}
+
+impl Default for ClientProfile {
+    fn default() -> Self {
+        ClientProfile {
+            num_clients: 4,
+            mean_service: 1.0,
+            jitter: 0.5,
+            straggler_prob: 0.05,
+            straggler_factor: 8.0,
+            failure_prob: 0.0,
+            comm_cost_per_arc: 0.0,
+            speed_factors: None,
+        }
+    }
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The client population.
+    pub clients: ClientProfile,
+    /// RNG seed (simulations are deterministic given the seed).
+    pub seed: u64,
+    /// Optional per-task compute weights (multiplier on the mean
+    /// service time), e.g. coarse-task granularities. Length must match
+    /// the dag when present.
+    pub task_weights: Option<Vec<f64>>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            clients: ClientProfile::default(),
+            seed: 0x1C5EED,
+            task_weights: None,
+        }
+    }
+}
+
+/// Totally-ordered f64 for the event queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Time(f64);
+impl Eq for Time {}
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Simulate executing `dag` under the allocation priorities of
+/// `schedule` with the client population of `cfg`.
+///
+/// All clients request work at time 0 (the paper's batch scenario);
+/// whenever a client finishes a task it immediately requests another.
+/// The server allocates, among currently ELIGIBLE *unallocated* tasks,
+/// the one `schedule` ranks earliest. A request that finds the pool
+/// empty while allocated tasks are still outstanding is a *gridlock
+/// event*; the client then idles until an allocation becomes possible.
+///
+/// ```
+/// use ic_dag::builder::from_arcs;
+/// use ic_sched::Schedule;
+/// use ic_sim::{simulate, SimConfig};
+/// let diamond = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+/// let r = simulate(&diamond, &Schedule::in_id_order(&diamond), &SimConfig::default());
+/// assert_eq!(r.completions, 4);
+/// assert!(r.makespan > 0.0);
+/// ```
+///
+/// # Panics
+/// Panics if `schedule` does not cover `dag` or `num_clients == 0`.
+pub fn simulate(dag: &Dag, schedule: &Schedule, cfg: &SimConfig) -> SimResult {
+    assert!(cfg.clients.num_clients > 0, "need at least one client");
+    assert_eq!(
+        schedule.len(),
+        dag.num_nodes(),
+        "schedule must cover the dag"
+    );
+    let n = dag.num_nodes();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Priority of each node = its position in the schedule.
+    let mut priority = vec![usize::MAX; n];
+    for (i, &v) in schedule.order().iter().enumerate() {
+        priority[v.index()] = i;
+    }
+
+    // ELIGIBLE-and-unallocated pool as a min-heap over priority.
+    let mut pool: BinaryHeap<Reverse<(usize, NodeId)>> = BinaryHeap::new();
+    let mut st = ExecState::new(dag);
+    for v in dag.sources() {
+        pool.push(Reverse((priority[v.index()], v)));
+    }
+
+    // Completion events: (time, client, node).
+    let mut events: BinaryHeap<Reverse<(Time, usize, NodeId)>> = BinaryHeap::new();
+    // Clients waiting for work, with the time they began waiting.
+    let mut waiting: Vec<(usize, f64)> = Vec::new();
+
+    let mut result = SimResult::new(cfg.clients.num_clients);
+    result.record_pool(0.0, pool.len());
+
+    if let Some(w) = &cfg.task_weights {
+        assert_eq!(w.len(), n, "task_weights must cover the dag");
+    }
+    if let Some(sp) = &cfg.clients.speed_factors {
+        assert_eq!(
+            sp.len(),
+            cfg.clients.num_clients,
+            "speed_factors must cover the clients"
+        );
+        assert!(
+            sp.iter().all(|&f| f > 0.0),
+            "speed factors must be positive"
+        );
+    }
+    let service = |rng: &mut StdRng, v: NodeId, client: usize| -> f64 {
+        let c = &cfg.clients;
+        let weight = cfg.task_weights.as_ref().map_or(1.0, |w| w[v.index()]);
+        let speed = c.speed_factors.as_ref().map_or(1.0, |sp| sp[client]);
+        let base =
+            c.mean_service * weight * (1.0 + c.jitter * (rng.gen::<f64>() * 2.0 - 1.0)) / speed;
+        let compute = if c.straggler_prob > 0.0 && rng.gen::<f64>() < c.straggler_prob {
+            base * c.straggler_factor
+        } else {
+            base
+        };
+        compute + c.comm_cost_per_arc * (dag.in_degree(v) + dag.out_degree(v)) as f64
+    };
+
+    let mut outstanding = 0usize;
+
+    // Initial batch of requests at t = 0.
+    for client in 0..cfg.clients.num_clients {
+        match pool.pop() {
+            Some(Reverse((_, v))) => {
+                let t = service(&mut rng, v, client);
+                events.push(Reverse((Time(t), client, v)));
+                outstanding += 1;
+                result.allocations += 1;
+            }
+            None => {
+                if result.completions < n {
+                    result.gridlock_events += 1;
+                }
+                result.unsatisfied_at_batch += 1;
+                waiting.push((client, 0.0));
+            }
+        }
+    }
+
+    let mut now = 0.0f64;
+    while let Some(Reverse((Time(t), client, v))) = events.pop() {
+        now = t;
+        outstanding -= 1;
+        if cfg.clients.failure_prob > 0.0 && rng.gen::<f64>() < cfg.clients.failure_prob {
+            // The client lost the task: it returns to the pool (its
+            // parents are all executed, so it is still ELIGIBLE).
+            result.failures += 1;
+            pool.push(Reverse((priority[v.index()], v)));
+        } else {
+            let newly = st
+                .execute(v)
+                .expect("simulation executes tasks in a valid order");
+            result.completions += 1;
+            for c in newly {
+                pool.push(Reverse((priority[c.index()], c)));
+            }
+        }
+        result.record_pool(now, pool.len());
+
+        // The finishing client requests again, after any already-waiting
+        // clients are served (FIFO among clients).
+        waiting.push((client, now));
+        let mut still_waiting = Vec::new();
+        for (cl, since) in waiting.drain(..) {
+            match pool.pop() {
+                Some(Reverse((_, w))) => {
+                    result.idle_time += now - since;
+                    let dt = service(&mut rng, w, cl);
+                    events.push(Reverse((Time(now + dt), cl, w)));
+                    outstanding += 1;
+                    result.allocations += 1;
+                }
+                None => {
+                    // A *fresh* request (made at this instant) hitting an
+                    // empty pool while allocated work is still
+                    // outstanding: gridlock.
+                    if since == now && outstanding > 0 && result.completions < n {
+                        result.gridlock_events += 1;
+                    }
+                    still_waiting.push((cl, since));
+                }
+            }
+        }
+        waiting = still_waiting;
+    }
+
+    // Any remaining waiting time is not idle (the computation is over).
+    result.makespan = now;
+    result.finalize(cfg.clients.num_clients, n);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_dag::builder::from_arcs;
+    use ic_sched::heuristics::{schedule_with, Policy};
+
+    fn diamond() -> Dag {
+        from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
+    }
+
+    fn quiet_cfg(seed: u64) -> SimConfig {
+        SimConfig {
+            clients: ClientProfile {
+                num_clients: 2,
+                mean_service: 1.0,
+                jitter: 0.0,
+                straggler_prob: 0.0,
+                straggler_factor: 1.0,
+                failure_prob: 0.0,
+                comm_cost_per_arc: 0.0,
+                speed_factors: None,
+            },
+            seed,
+            task_weights: None,
+        }
+    }
+
+    #[test]
+    fn completes_all_tasks() {
+        let g = diamond();
+        let s = Schedule::in_id_order(&g);
+        let r = simulate(&g, &s, &quiet_cfg(1));
+        assert_eq!(r.completions, 4);
+        assert_eq!(r.allocations, 4);
+        assert!(r.makespan > 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = diamond();
+        let s = Schedule::in_id_order(&g);
+        let a = simulate(&g, &s, &SimConfig::default());
+        let b = simulate(&g, &s, &SimConfig::default());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.gridlock_events, b.gridlock_events);
+    }
+
+    #[test]
+    fn chain_dag_serializes() {
+        // A pure chain can use only one client; with deterministic unit
+        // service the makespan is n.
+        let g = from_arcs(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let s = Schedule::in_id_order(&g);
+        let r = simulate(&g, &s, &quiet_cfg(7));
+        assert!((r.makespan - 5.0).abs() < 1e-9);
+        // The second client can never be served: batch shortfall of 1.
+        assert_eq!(r.unsatisfied_at_batch, 1);
+    }
+
+    #[test]
+    fn wide_dag_uses_both_clients() {
+        // Two independent chains of length 2: two clients finish in ~2.
+        let g = from_arcs(4, &[(0, 1), (2, 3)]).unwrap();
+        let s = Schedule::in_id_order(&g);
+        let r = simulate(&g, &s, &quiet_cfg(7));
+        assert!((r.makespan - 2.0).abs() < 1e-9);
+        assert!(r.utilization > 0.99);
+    }
+
+    #[test]
+    fn pool_trace_is_recorded() {
+        let g = diamond();
+        let s = Schedule::in_id_order(&g);
+        let r = simulate(&g, &s, &quiet_cfg(3));
+        assert!(!r.eligible_trace.is_empty());
+        assert_eq!(r.eligible_trace.last().unwrap().1, 0);
+    }
+
+    #[test]
+    fn failures_requeue_and_still_complete() {
+        let g = diamond();
+        let s = Schedule::in_id_order(&g);
+        let cfg = SimConfig {
+            clients: ClientProfile {
+                num_clients: 2,
+                mean_service: 1.0,
+                jitter: 0.0,
+                straggler_prob: 0.0,
+                straggler_factor: 1.0,
+                failure_prob: 0.4,
+                comm_cost_per_arc: 0.0,
+                speed_factors: None,
+            },
+            seed: 9,
+            task_weights: None,
+        };
+        let r = simulate(&g, &s, &cfg);
+        assert_eq!(r.completions, 4, "every task eventually completes");
+        assert!(r.failures > 0, "seed 9 at 40% should produce failures");
+        assert_eq!(r.allocations, r.completions + r.failures);
+    }
+
+    #[test]
+    fn failure_free_runs_have_equal_allocations_and_completions() {
+        let g = diamond();
+        let s = Schedule::in_id_order(&g);
+        let r = simulate(&g, &s, &quiet_cfg(4));
+        assert_eq!(r.failures, 0);
+        assert_eq!(r.allocations, r.completions);
+    }
+
+    #[test]
+    fn speed_factors_scale_per_client() {
+        // One fast client (4x) vs one slow: on a chain, only the
+        // allocation order decides who serves; with a single client at
+        // speed 2, makespan halves.
+        let g = from_arcs(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let s = Schedule::in_id_order(&g);
+        let mut base = quiet_cfg(1);
+        base.clients.num_clients = 1;
+        let slow = simulate(&g, &s, &base);
+        let mut fast_cfg = base.clone();
+        fast_cfg.clients.speed_factors = Some(vec![2.0]);
+        let fast = simulate(&g, &s, &fast_cfg);
+        assert!((slow.makespan - 2.0 * fast.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed_factors must cover")]
+    fn wrong_speed_factor_length_panics() {
+        let g = diamond();
+        let s = Schedule::in_id_order(&g);
+        let mut cfg = quiet_cfg(1);
+        cfg.clients.speed_factors = Some(vec![1.0]); // 2 clients expected
+        let _ = simulate(&g, &s, &cfg);
+    }
+
+    #[test]
+    fn comm_cost_lengthens_makespan() {
+        let g = diamond();
+        let s = Schedule::in_id_order(&g);
+        let base = simulate(&g, &s, &quiet_cfg(2));
+        let mut cfg = quiet_cfg(2);
+        cfg.clients.comm_cost_per_arc = 0.5;
+        let comm = simulate(&g, &s, &cfg);
+        // Diamond: 4 arcs * 2 endpoints = 8 arc-endpoints charged along
+        // the critical path; makespan strictly grows.
+        assert!(comm.makespan > base.makespan);
+        assert_eq!(comm.completions, 4);
+    }
+
+    #[test]
+    fn task_weights_scale_service() {
+        let g = from_arcs(2, &[]).unwrap(); // two independent tasks
+        let s = Schedule::in_id_order(&g);
+        let mut cfg = quiet_cfg(1);
+        cfg.clients.num_clients = 1; // serial, deterministic
+        cfg.task_weights = Some(vec![1.0, 3.0]);
+        let r = simulate(&g, &s, &cfg);
+        // Serial: 1 + 3 time units.
+        assert!((r.makespan - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "task_weights must cover")]
+    fn wrong_weight_length_panics() {
+        let g = diamond();
+        let s = Schedule::in_id_order(&g);
+        let mut cfg = quiet_cfg(1);
+        cfg.task_weights = Some(vec![1.0]);
+        let _ = simulate(&g, &s, &cfg);
+    }
+
+    #[test]
+    fn all_policies_complete_on_random_dag() {
+        let mut arcs = Vec::new();
+        for u in 0..12u32 {
+            for v in (u + 1)..12 {
+                if (u * 31 + v * 17) % 5 == 0 {
+                    arcs.push((u, v));
+                }
+            }
+        }
+        let g = from_arcs(12, &arcs).unwrap();
+        for p in Policy::all(5) {
+            let s = schedule_with(&g, p);
+            let r = simulate(&g, &s, &SimConfig::default());
+            assert_eq!(r.completions, 12, "{}", p.name());
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! The batched regimen of the paper's companion work [20]
+//! (Malewicz–Rosenberg, Euro-Par 2005): instead of allocating tasks one
+//! by one as they become ELIGIBLE, the server hands out *batches* each
+//! round. Batched optimality is always achievable — at a computational
+//! price. This example shows the round counts across batch widths and
+//! the exact-vs-greedy gap.
+//!
+//! ```text
+//! cargo run --example batched_allocation
+//! ```
+
+use ic_scheduling::dag::traversal::height;
+use ic_scheduling::families::diamond::diamond_from_out_tree;
+use ic_scheduling::families::mesh::out_mesh;
+use ic_scheduling::families::prefix::parallel_prefix;
+use ic_scheduling::families::trees::complete_out_tree;
+use ic_scheduling::sched::batched::{greedy_batches, min_rounds, optimal_batches};
+
+fn main() {
+    let workloads: Vec<(&str, ic_scheduling::dag::Dag)> = vec![
+        (
+            "diamond(2,2)",
+            diamond_from_out_tree(&complete_out_tree(2, 2)).unwrap().dag,
+        ),
+        ("mesh(6)", out_mesh(6)),
+        ("prefix(4)", parallel_prefix(4)),
+    ];
+    for (name, dag) in workloads {
+        println!(
+            "-- {name}: {} tasks, height {} (the unbounded-width lower bound) --",
+            dag.num_nodes(),
+            height(&dag)
+        );
+        println!(
+            "  {:<7} {:>11} {:>13} {:>14}",
+            "width", "min rounds", "exact sched", "greedy sched"
+        );
+        let prio: Vec<usize> = (0..dag.num_nodes()).collect();
+        for width in [1usize, 2, 3, 4, 8, dag.num_nodes()] {
+            let min = min_rounds(&dag, width).expect("small dag");
+            let exact = optimal_batches(&dag, width).expect("small dag");
+            let greedy = greedy_batches(&dag, width, &prio);
+            println!(
+                "  {:<7} {:>11} {:>13} {:>14}",
+                width,
+                min,
+                exact.num_rounds(),
+                greedy.num_rounds()
+            );
+        }
+        // Show one concrete optimal batch schedule.
+        let b = optimal_batches(&dag, 3).expect("small dag");
+        println!("  width-3 exact rounds ({}):", b.num_rounds());
+        for (i, batch) in b.batches().iter().enumerate() {
+            let names: Vec<String> = batch.iter().map(|v| v.to_string()).collect();
+            println!("    round {i}: tasks [{}]", names.join(", "));
+        }
+        println!("  batched profile: {:?}\n", b.profile(&dag));
+    }
+    println!(
+        "With unbounded width the minimum round count equals the dag's height\n\
+         — batched 'optimality is always possible' [20], but the exact search\n\
+         walks the whole down-set lattice (prohibitive beyond small dags);\n\
+         greedy gets the same counts on these workloads."
+    );
+}

@@ -1,0 +1,41 @@
+//! §3.2 of the paper: adaptive-quadrature numerical integration as an
+//! expansion-reduction computation.
+//!
+//! ```text
+//! cargo run --example numerical_integration
+//! ```
+
+use ic_scheduling::apps::integration::{integrate_adaptive, Rule};
+use ic_scheduling::dag::traversal::levels;
+
+type Case = (&'static str, fn(f64) -> f64, f64, f64, f64);
+
+fn main() {
+    let cases: Vec<Case> = vec![
+        ("∫₀^π sin x dx", f64::sin, 0.0, std::f64::consts::PI, 2.0),
+        ("∫₀¹ √x dx", f64::sqrt, 0.0, 1.0, 2.0 / 3.0),
+        ("∫₀¹ eˣ dx", f64::exp, 0.0, 1.0, std::f64::consts::E - 1.0),
+    ];
+    for (name, f, a, b, exact) in cases {
+        println!("-- {name} (exact {exact:.9}) --");
+        for rule in [Rule::Trapezoid, Rule::Simpson] {
+            let q = integrate_adaptive(f, a, b, 1e-7, 28, rule).expect("valid interval");
+            let depth = levels(&q.diamond.tree).into_iter().max().unwrap_or(0);
+            println!(
+                "  {rule:?}: value {:.9}  |err| {:.2e}  panels {}  tree {} nodes (depth {})  diamond {} nodes",
+                q.value,
+                (q.value - exact).abs(),
+                q.panels,
+                q.diamond.tree.num_nodes(),
+                depth,
+                q.diamond.dag.num_nodes(),
+            );
+        }
+        println!();
+    }
+    println!(
+        "The expansion out-tree splits intervals adaptively; its dual in-tree\n\
+         accumulates panel areas. The composite diamond dag is scheduled\n\
+         IC-optimally: all splitting first, then paired accumulation (§3)."
+    );
+}

@@ -1,0 +1,83 @@
+//! §5.2 of the paper: convolution (polynomial multiplication) through
+//! the butterfly-network FFT, scheduled IC-optimally.
+//!
+//! ```text
+//! cargo run --example polynomial_fft
+//! ```
+
+use ic_scheduling::apps::poly::{convolve_naive, poly_multiply};
+use ic_scheduling::families::butterfly::{butterfly, butterfly_schedule};
+use ic_scheduling::sched::optimal::is_ic_optimal;
+
+fn show(p: &[f64]) -> String {
+    let terms: Vec<String> = p
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.abs() > 1e-9)
+        .map(|(i, c)| match i {
+            0 => format!("{c:.0}"),
+            1 => format!("{c:.0}x"),
+            _ => format!("{c:.0}x^{i}"),
+        })
+        .collect();
+    terms.join(" + ")
+}
+
+fn main() {
+    // (1 + 2x + 3x²) · (4 + 5x) = 4 + 13x + 22x² + 15x³.
+    let a = vec![1.0, 2.0, 3.0];
+    let b = vec![4.0, 5.0];
+    let product = poly_multiply(&a, &b);
+    println!("({}) · ({}) = {}", show(&a), show(&b), show(&product));
+    let check = convolve_naive(&a, &b);
+    let err = product
+        .iter()
+        .zip(&check)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max);
+    println!("naive-convolution cross-check: max err {err:.2e}\n");
+
+    // The dependency structure behind the FFT: the butterfly network.
+    for d in 2..=4usize {
+        let dag = butterfly(d);
+        let sched = butterfly_schedule(d);
+        let note = if d <= 2 {
+            format!(
+                "IC-optimal (exhaustively verified): {}",
+                is_ic_optimal(&dag, &sched).expect("checkable")
+            )
+        } else {
+            "IC-optimal by §5.1 (pairs consecutive; B ▷ B composition)".to_string()
+        };
+        println!(
+            "B_{d}: {} nodes, {} arcs — paired-source schedule: {}",
+            dag.num_nodes(),
+            dag.num_arcs(),
+            note
+        );
+    }
+    println!(
+        "\nEach FFT butterfly applies y0 = x0 + ωx1, y1 = x0 − ωx1 (eq. 5.2);\n\
+         the dag schedule executes each block's two inputs consecutively —\n\
+         the §5.1 characterization of butterfly IC-optimality."
+    );
+
+    // A bigger random product as a stress check.
+    let big_a: Vec<f64> = (0..257)
+        .map(|i| ((i * 37 + 11) % 19) as f64 - 9.0)
+        .collect();
+    let big_b: Vec<f64> = (0..123)
+        .map(|i| ((i * 53 + 7) % 23) as f64 - 11.0)
+        .collect();
+    let fast = poly_multiply(&big_a, &big_b);
+    let slow = convolve_naive(&big_a, &big_b);
+    let err = fast
+        .iter()
+        .zip(&slow)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "\ndegree-256 × degree-122 product: {} coefficients, max err vs naive {err:.2e}",
+        fast.len()
+    );
+}

@@ -1,0 +1,86 @@
+//! Quickstart: build a dag, find its IC-optimal schedule, and see why
+//! IC-optimality matters.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use ic_scheduling::dag::DagBuilder;
+use ic_scheduling::sched::heuristics::{schedule_with, Policy};
+use ic_scheduling::sched::optimal::{find_ic_optimal, optimal_envelope};
+use ic_scheduling::sched::quality::area_under;
+
+fn main() {
+    // A small divide-and-conquer computation: split twice, then merge.
+    //
+    //         r
+    //        / \
+    //       a   b        (expansion)
+    //      / \ / \
+    //     c  d e  f      (leaves; d and e shared with the reduction)
+    //      \ / \ /
+    //       g   h        (reduction)
+    //        \ /
+    //         s
+    let mut b = DagBuilder::new();
+    let r = b.add_node("r");
+    let a1 = b.add_node("a");
+    let b1 = b.add_node("b");
+    let leaves: Vec<_> = ["c", "d", "e", "f"]
+        .iter()
+        .map(|l| b.add_node(*l))
+        .collect();
+    let g = b.add_node("g");
+    let h = b.add_node("h");
+    let s = b.add_node("s");
+    b.add_arc(r, a1).unwrap();
+    b.add_arc(r, b1).unwrap();
+    b.add_arc(a1, leaves[0]).unwrap();
+    b.add_arc(a1, leaves[1]).unwrap();
+    b.add_arc(b1, leaves[2]).unwrap();
+    b.add_arc(b1, leaves[3]).unwrap();
+    b.add_arc(leaves[0], g).unwrap();
+    b.add_arc(leaves[1], g).unwrap();
+    b.add_arc(leaves[2], h).unwrap();
+    b.add_arc(leaves[3], h).unwrap();
+    b.add_arc(g, s).unwrap();
+    b.add_arc(h, s).unwrap();
+    let dag = b.build().expect("acyclic");
+
+    println!(
+        "computation-dag: {} tasks, {} dependencies\n",
+        dag.num_nodes(),
+        dag.num_arcs()
+    );
+
+    // The optimal envelope: the best possible number of ELIGIBLE tasks
+    // after every execution step.
+    let envelope = optimal_envelope(&dag).expect("small dag");
+    println!("optimal envelope  E*(t) = {envelope:?}");
+
+    // Synthesize an IC-optimal schedule (this dag admits one).
+    let opt = find_ic_optimal(&dag)
+        .expect("small dag")
+        .expect("this dag admits an IC-optimal schedule");
+    let names: Vec<&str> = opt.order().iter().map(|&v| dag.label(v)).collect();
+    println!("IC-optimal order        = {names:?}");
+    println!("its profile       E(t)  = {:?}\n", opt.profile(&dag));
+
+    // Compare against the heuristics an IC server might use instead.
+    println!("{:<12} {:>6}  profile", "policy", "area");
+    println!(
+        "{:<12} {:>6}  {:?}",
+        "IC-OPTIMAL",
+        area_under(&opt.profile(&dag)),
+        opt.profile(&dag)
+    );
+    for p in Policy::all(1) {
+        let s = schedule_with(&dag, p);
+        let prof = s.profile(&dag);
+        println!("{:<12} {:>6}  {:?}", p.name(), area_under(&prof), prof);
+    }
+    println!(
+        "\nA larger E(t) at every t means the server always has more tasks\n\
+         ready to hand to remote clients — less gridlock, more parallelism."
+    );
+}

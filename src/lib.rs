@@ -1,0 +1,31 @@
+//! # `ic-scheduling` — umbrella crate
+//!
+//! A complete, executable reproduction of *Applying IC-Scheduling Theory
+//! to Familiar Classes of Computations* (Cordasco, Malewicz, Rosenberg;
+//! IPDPS 2007). Re-exports the workspace crates:
+//!
+//! * [`dag`] — the computation-dag substrate (representation, duality,
+//!   sums, the composition operation `⇑`, quotients, down-set
+//!   enumeration, DOT rendering);
+//! * [`sched`] — the theory core (eligibility semantics, IC-optimality,
+//!   the priority relation `▷`, Theorems 2.1/2.2/2.3, heuristic
+//!   baselines, quality metrics);
+//! * [`families`] — every dag family of the paper's Figures 1–17 and
+//!   Table 1, with closed-form IC-optimal schedules and coarsening;
+//! * [`apps`] — the applicative computations executed over their dags
+//!   (adaptive quadrature, bitonic sorting, FFT/convolution, parallel
+//!   prefix, DLT, graph paths, block matrix multiplication, wavefront
+//!   DP);
+//! * [`sim`] — the discrete-event IC server/client simulator;
+//! * [`exec`] — a multithreaded local executor driven by schedule
+//!   priorities.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every figure and table.
+
+pub use ic_apps as apps;
+pub use ic_dag as dag;
+pub use ic_exec as exec;
+pub use ic_families as families;
+pub use ic_sched as sched;
+pub use ic_sim as sim;

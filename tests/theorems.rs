@@ -1,0 +1,174 @@
+//! Cross-crate theorem checks: the paper's formal claims, verified over
+//! every dag family the workspace builds.
+
+use ic_scheduling::dag::{dual, Dag};
+use ic_scheduling::families::butterfly::{butterfly, butterfly_schedule};
+use ic_scheduling::families::diamond::diamond_from_out_tree;
+use ic_scheduling::families::dlt::{dlt_prefix, dlt_vee3};
+use ic_scheduling::families::matmul::{matmul_dag, theorem_schedule};
+use ic_scheduling::families::mesh::{in_mesh, in_mesh_schedule, out_mesh, out_mesh_schedule};
+use ic_scheduling::families::prefix::{parallel_prefix, prefix_schedule};
+use ic_scheduling::families::primitives::{
+    butterfly_block, cycle_dag, ic_schedule, lambda, lambda_d, n_dag, vee, vee_d, w_dag,
+};
+use ic_scheduling::families::sorting::{bitonic_network, bitonic_schedule};
+use ic_scheduling::families::trees::{complete_in_tree, complete_out_tree, in_tree_schedule};
+use ic_scheduling::sched::duality::dual_schedule;
+use ic_scheduling::sched::optimal::{is_ic_optimal, optimal_envelope};
+use ic_scheduling::sched::priority::has_priority;
+use ic_scheduling::sched::Schedule;
+
+/// Every closed-form family schedule that is exhaustively checkable is
+/// IC-optimal.
+#[test]
+fn family_schedules_attain_the_envelope() {
+    let cases: Vec<(&str, Dag, Schedule)> = vec![
+        ("V", vee(), ic_schedule(&vee())),
+        ("V3", vee_d(3), ic_schedule(&vee_d(3))),
+        ("Λ", lambda(), ic_schedule(&lambda())),
+        ("Λ4", lambda_d(4), ic_schedule(&lambda_d(4))),
+        ("B", butterfly_block(), ic_schedule(&butterfly_block())),
+        ("N5", n_dag(5), ic_schedule(&n_dag(5))),
+        ("W5", w_dag(5), ic_schedule(&w_dag(5))),
+        ("C5", cycle_dag(5), ic_schedule(&cycle_dag(5))),
+        ("mesh5", out_mesh(5), out_mesh_schedule(&out_mesh(5))),
+        ("B2", butterfly(2), butterfly_schedule(2)),
+        ("P4", parallel_prefix(4), prefix_schedule(4)),
+        ("M", matmul_dag(), theorem_schedule()),
+    ];
+    for (name, dag, sched) in cases {
+        assert!(
+            is_ic_optimal(&dag, &sched).unwrap(),
+            "{name}: closed-form schedule must attain the envelope"
+        );
+    }
+}
+
+/// Theorem 2.2 across families: dual schedules of IC-optimal schedules
+/// are IC-optimal on the dual dag.
+#[test]
+fn theorem_2_2_across_families() {
+    let cases: Vec<(&str, Dag, Schedule)> = vec![
+        ("mesh4", out_mesh(4), out_mesh_schedule(&out_mesh(4))),
+        ("B2", butterfly(2), butterfly_schedule(2)),
+        ("P4", parallel_prefix(4), prefix_schedule(4)),
+        ("W4", w_dag(4), ic_schedule(&w_dag(4))),
+        ("C4", cycle_dag(4), ic_schedule(&cycle_dag(4))),
+    ];
+    for (name, dag, sched) in cases {
+        assert!(is_ic_optimal(&dag, &sched).unwrap(), "{name} premise");
+        let ds = dual_schedule(&dag, &sched).unwrap();
+        let dd = dual(&dag);
+        assert!(is_ic_optimal(&dd, &ds).unwrap(), "{name}: Theorem 2.2");
+    }
+}
+
+/// Theorem 2.3 across families: `G1 ▷ G2 ⇔ dual(G2) ▷ dual(G1)`.
+#[test]
+fn theorem_2_3_across_families() {
+    let dags = [
+        vee(),
+        lambda(),
+        butterfly_block(),
+        n_dag(3),
+        w_dag(2),
+        cycle_dag(3),
+    ];
+    let scheds: Vec<Schedule> = dags.iter().map(ic_schedule).collect();
+    // IC-optimal schedules for the duals, found exhaustively.
+    let duals: Vec<Dag> = dags.iter().map(dual).collect();
+    let dual_scheds: Vec<Schedule> = duals
+        .iter()
+        .map(|d| {
+            ic_scheduling::sched::optimal::find_ic_optimal(d)
+                .unwrap()
+                .unwrap()
+        })
+        .collect();
+    for i in 0..dags.len() {
+        for j in 0..dags.len() {
+            let forward = has_priority(&dags[i], &scheds[i], &dags[j], &scheds[j]);
+            let backward = has_priority(&duals[j], &dual_scheds[j], &duals[i], &dual_scheds[i]);
+            assert_eq!(forward, backward, "Theorem 2.3 mismatch at pair ({i}, {j})");
+        }
+    }
+}
+
+/// The in-tree/out-tree duality pipeline (§3.1): complete in-trees of
+/// several arities are IC-optimally scheduled via the dual-packet
+/// construction.
+#[test]
+fn in_tree_schedules_via_duality() {
+    for (arity, depth) in [(2usize, 2usize), (2, 3), (3, 2), (4, 1)] {
+        let t = complete_in_tree(arity, depth);
+        let s = in_tree_schedule(&t).unwrap();
+        assert!(
+            is_ic_optimal(&t, &s).unwrap(),
+            "in-tree arity {arity} depth {depth}"
+        );
+    }
+}
+
+/// In- and out-meshes of equal size share their envelope *areas* by
+/// duality (profiles reverse role); both attain their envelopes.
+#[test]
+fn mesh_duality_envelopes() {
+    for levels in 2..=5usize {
+        let om = out_mesh(levels);
+        let im = in_mesh(levels);
+        assert!(is_ic_optimal(&om, &out_mesh_schedule(&om)).unwrap());
+        assert!(is_ic_optimal(&im, &in_mesh_schedule(&im).unwrap()).unwrap());
+    }
+}
+
+/// Composite dags spanning multiple crates end-to-end: every composite
+/// family's schedule is at minimum a valid execution order, and at
+/// exhaustively-checkable sizes attains the envelope.
+#[test]
+fn composite_families_end_to_end() {
+    // Diamond.
+    let d = diamond_from_out_tree(&complete_out_tree(2, 2)).unwrap();
+    assert!(is_ic_optimal(&d.dag, &d.ic_schedule().unwrap()).unwrap());
+    // DLT both ways.
+    let l4 = dlt_prefix(4);
+    assert!(is_ic_optimal(&l4.dag, &l4.ic_schedule().unwrap()).unwrap());
+    let lp4 = dlt_vee3(4);
+    assert!(is_ic_optimal(&lp4.dag, &lp4.ic_schedule().unwrap()).unwrap());
+    // Sorting network.
+    let (net, stages) = bitonic_network(4);
+    assert!(is_ic_optimal(&net, &bitonic_schedule(4, &stages)).unwrap());
+    // Large instances: schedules remain valid even beyond exhaustive reach.
+    let l64 = dlt_prefix(64);
+    let s = l64.ic_schedule().unwrap();
+    assert!(ic_scheduling::dag::traversal::is_topological(
+        &l64.dag,
+        s.order()
+    ));
+    let b6 = butterfly(6);
+    assert!(ic_scheduling::dag::traversal::is_topological(
+        &b6,
+        butterfly_schedule(6).order()
+    ));
+}
+
+/// The envelope itself is monotone in a weak sense: for every family,
+/// `opt(t) > 0` until the last step (connected dags keep something
+/// eligible).
+#[test]
+fn envelopes_stay_positive_on_connected_families() {
+    let dags = vec![
+        out_mesh(4),
+        butterfly(2),
+        parallel_prefix(4),
+        matmul_dag(),
+        diamond_from_out_tree(&complete_out_tree(2, 2)).unwrap().dag,
+    ];
+    for dag in dags {
+        let env = optimal_envelope(&dag).unwrap();
+        let n = dag.num_nodes();
+        assert_eq!(env[n], 0);
+        for (t, &e) in env.iter().enumerate().take(n) {
+            assert!(e > 0, "envelope must stay positive at step {t}");
+        }
+    }
+}
