@@ -119,8 +119,7 @@ fn network_sort<T: Ord + Clone>(xs: &[T], stages: &[Vec<Comparator>]) -> Vec<T> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ic_dag::rng::XorShift64;
 
     #[test]
     fn sorts_small_cases() {
@@ -134,9 +133,9 @@ mod tests {
 
     #[test]
     fn dag_execution_matches_array_execution() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = XorShift64::new(7);
         for n in [2usize, 4, 8, 16, 32] {
-            let xs: Vec<i64> = (0..n).map(|_| rng.gen_range(-100..100)).collect();
+            let xs: Vec<i64> = (0..n).map(|_| rng.gen_i64(-100, 100)).collect();
             let via_dag = bitonic_sort_via_dag(&xs);
             let via_array = bitonic_sort_array(&xs);
             let mut expect = xs.clone();
@@ -166,9 +165,9 @@ mod tests {
 
     #[test]
     fn odd_even_sorts_random_keys() {
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = XorShift64::new(21);
         for n in [2usize, 4, 8, 16, 32, 64] {
-            let xs: Vec<i64> = (0..n).map(|_| rng.gen_range(-50..50)).collect();
+            let xs: Vec<i64> = (0..n).map(|_| rng.gen_i64(-50, 50)).collect();
             let got = odd_even_sort_via_dag(&xs);
             let mut want = xs.clone();
             want.sort();
@@ -178,8 +177,8 @@ mod tests {
 
     #[test]
     fn odd_even_agrees_with_bitonic() {
-        let mut rng = StdRng::seed_from_u64(5);
-        let xs: Vec<u32> = (0..32).map(|_| rng.gen_range(0..1000)).collect();
+        let mut rng = XorShift64::new(5);
+        let xs: Vec<u32> = (0..32).map(|_| rng.gen_i64(0, 1000) as u32).collect();
         assert_eq!(odd_even_sort_via_dag(&xs), bitonic_sort_via_dag(&xs));
     }
 

@@ -1,0 +1,173 @@
+//! Diagnostic types and the stable code table.
+//!
+//! Every pass reports findings as [`Diagnostic`] values with a stable
+//! `ICxxxx` code, so downstream tooling (and the negative test suite)
+//! can match on the *specific* defect rather than on message text.
+//! Codes are grouped by pass family:
+//!
+//! | range  | pass family |
+//! |--------|-------------|
+//! | IC00xx | graph structure (raw edge lists) |
+//! | IC01xx | execution orders and envelopes |
+//! | IC02xx | ▷-priority chains |
+//! | IC03xx | Theorem 2.2 duality |
+
+use std::fmt;
+
+/// How serious a finding is. `Error` diagnostics fail the audit (and
+/// the `ic-prio audit` exit code); `Warning`s are advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: suspicious but not a claim violation.
+    Warning,
+    /// A violated invariant or paper claim.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A dag contains a dependency cycle (reported with a witness set).
+pub const CYCLE_DETECTED: &str = "IC0001";
+/// The same arc appears more than once in the edge list.
+pub const DUPLICATE_ARC: &str = "IC0002";
+/// A node participates in no arc at all — it cannot contribute to (or
+/// draw from) the computation and is usually a construction bug.
+pub const UNREACHABLE_NODE: &str = "IC0003";
+/// An execution order is not a topological order of its dag (missing
+/// nodes, duplicates, or a dependency executed after a dependent).
+pub const NOT_A_TOPOLOGICAL_ORDER: &str = "IC0101";
+/// The schedule's eligibility profile falls below the optimal envelope
+/// (or an asserted closed-form profile / (non-)existence claim fails).
+pub const ENVELOPE_GAP: &str = "IC0102";
+/// A claimed ▷-linear chain has an adjacent pair without priority.
+pub const PRIORITY_CHAIN_BROKEN: &str = "IC0201";
+/// A Theorem 2.2 duality claim fails: `dual(dual(G)) ≇ G`, or the
+/// reversed-packet schedule is not IC-optimal on the dual dag.
+pub const DUALITY_MISMATCH: &str = "IC0301";
+
+/// The full code table: `(code, name, one-line meaning)`. Kept in sync
+/// with DESIGN.md §"Diagnostic codes" (the negative test suite pins
+/// each row).
+pub const CODE_TABLE: &[(&str, &str, &str)] = &[
+    (
+        CYCLE_DETECTED,
+        "CycleDetected",
+        "the arcs contain a dependency cycle",
+    ),
+    (
+        DUPLICATE_ARC,
+        "DuplicateArc",
+        "an arc is listed more than once",
+    ),
+    (
+        UNREACHABLE_NODE,
+        "UnreachableNode",
+        "a node participates in no arc",
+    ),
+    (
+        NOT_A_TOPOLOGICAL_ORDER,
+        "NotATopologicalOrder",
+        "the order is not a topological order of the dag",
+    ),
+    (
+        ENVELOPE_GAP,
+        "EnvelopeGap",
+        "the eligibility profile falls below the optimal envelope",
+    ),
+    (
+        PRIORITY_CHAIN_BROKEN,
+        "PriorityChainBroken",
+        "an adjacent pair of a claimed \u{25b7}-chain lacks priority",
+    ),
+    (
+        DUALITY_MISMATCH,
+        "DualityMismatch",
+        "a Theorem 2.2 duality property fails",
+    ),
+];
+
+/// The human name of a diagnostic code (e.g. `"CycleDetected"`).
+pub fn code_name(code: &str) -> &'static str {
+    CODE_TABLE
+        .iter()
+        .find(|(c, _, _)| *c == code)
+        .map(|(_, name, _)| *name)
+        .unwrap_or("Unknown")
+}
+
+/// One finding from an audit pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"IC0101"`.
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Specific, instance-level description of the finding.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+        }
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{} {}]: {}",
+            self.severity,
+            self.code,
+            code_name(self.code),
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_table_is_complete_and_unique() {
+        let codes: Vec<&str> = CODE_TABLE.iter().map(|(c, _, _)| *c).collect();
+        assert_eq!(codes.len(), 7);
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), codes.len());
+        for c in codes {
+            assert_ne!(code_name(c), "Unknown");
+        }
+    }
+
+    #[test]
+    fn display_renders_code_and_name() {
+        let d = Diagnostic::error(CYCLE_DETECTED, "a -> b -> a");
+        assert_eq!(d.to_string(), "error[IC0001 CycleDetected]: a -> b -> a");
+        let w = Diagnostic::warning(UNREACHABLE_NODE, "node 3");
+        assert!(w.to_string().starts_with("warning[IC0003"));
+    }
+}

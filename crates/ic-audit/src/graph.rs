@@ -1,0 +1,168 @@
+//! Structural passes over **raw** edge lists (IC0001–IC0003).
+//!
+//! These passes deliberately take a plain `(num_nodes, arcs)` pair
+//! rather than a [`Dag`]: a `Dag` is acyclic and duplicate-free *by
+//! construction* (the builder rejects cycles and dedups arcs), so the
+//! defects these passes exist to catch can only be observed on input
+//! that has not yet passed through the builder — e.g. an edge-list file
+//! handed to `ic-prio audit --dag`.
+
+use std::collections::{HashSet, VecDeque};
+
+use ic_dag::Dag;
+
+use crate::diag::{Diagnostic, CYCLE_DETECTED, DUPLICATE_ARC, UNREACHABLE_NODE};
+
+/// Audit a raw edge list: duplicate arcs (IC0002), cycles including
+/// self-loops (IC0001), and isolated nodes (IC0003, warning).
+///
+/// Arc endpoints must be `< num_nodes`; out-of-range endpoints panic
+/// (they indicate a caller bug, not an input defect — callers intern
+/// names to dense indices first).
+pub fn audit_edges(num_nodes: usize, arcs: &[(usize, usize)]) -> Vec<Diagnostic> {
+    for &(u, v) in arcs {
+        assert!(
+            u < num_nodes && v < num_nodes,
+            "arc ({u}, {v}) out of range for {num_nodes} nodes"
+        );
+    }
+    let mut diags = Vec::new();
+
+    // IC0002: duplicate arcs. Report each duplicated pair once.
+    let mut seen: HashSet<(usize, usize)> = HashSet::with_capacity(arcs.len());
+    let mut reported: HashSet<(usize, usize)> = HashSet::new();
+    for &(u, v) in arcs {
+        if !seen.insert((u, v)) && reported.insert((u, v)) {
+            diags.push(Diagnostic::error(
+                DUPLICATE_ARC,
+                format!("arc {u} -> {v} is listed more than once"),
+            ));
+        }
+    }
+
+    // IC0001: self-loops are 1-cycles; report them directly, then run
+    // Kahn's algorithm on the remaining simple arcs. Whatever cannot be
+    // peeled lies on (or downstream of sources trapped in) a cycle; the
+    // witness set is the unpeeled nodes.
+    for &(u, v) in seen.iter() {
+        if u == v {
+            diags.push(Diagnostic::error(
+                CYCLE_DETECTED,
+                format!("node {u} depends on itself"),
+            ));
+        }
+    }
+    let simple: Vec<(usize, usize)> = seen.iter().copied().filter(|&(u, v)| u != v).collect();
+    let mut indeg = vec![0usize; num_nodes];
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+    for &(u, v) in &simple {
+        indeg[v] += 1;
+        children[u].push(v);
+    }
+    let mut queue: VecDeque<usize> = (0..num_nodes).filter(|&v| indeg[v] == 0).collect();
+    let mut peeled = 0usize;
+    while let Some(u) = queue.pop_front() {
+        peeled += 1;
+        for &v in &children[u] {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push_back(v);
+            }
+        }
+    }
+    if peeled < num_nodes {
+        let mut stuck: Vec<usize> = (0..num_nodes).filter(|&v| indeg[v] > 0).collect();
+        stuck.sort_unstable();
+        let shown: Vec<String> = stuck.iter().take(8).map(|v| v.to_string()).collect();
+        let suffix = if stuck.len() > 8 { ", \u{2026}" } else { "" };
+        diags.push(Diagnostic::error(
+            CYCLE_DETECTED,
+            format!(
+                "{} node(s) lie on or behind a dependency cycle: {{{}{}}}",
+                stuck.len(),
+                shown.join(", "),
+                suffix
+            ),
+        ));
+    }
+
+    // IC0003: isolated nodes (no arc in either direction). A
+    // single-node dag is legitimately arc-free; anything larger with an
+    // isolated node almost certainly dropped an arc on the floor.
+    if num_nodes > 1 {
+        let mut touched = vec![false; num_nodes];
+        for &(u, v) in arcs {
+            touched[u] = true;
+            touched[v] = true;
+        }
+        for v in (0..num_nodes).filter(|&v| !touched[v]) {
+            diags.push(Diagnostic::warning(
+                UNREACHABLE_NODE,
+                format!("node {v} participates in no arc"),
+            ));
+        }
+    }
+    diags
+}
+
+/// Audit a built [`Dag`] by re-extracting its arcs. The builder already
+/// guarantees acyclicity and dedup, so on a `Dag` this can only surface
+/// IC0003 — it exists so every audit entry point runs the same pass
+/// list.
+pub fn audit_dag(dag: &Dag) -> Vec<Diagnostic> {
+    let arcs: Vec<(usize, usize)> = dag.arcs().map(|(u, v)| (u.index(), v.index())).collect();
+    audit_edges(dag.num_nodes(), &arcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn clean_edge_list_is_clean() {
+        assert!(audit_edges(3, &[(0, 1), (1, 2)]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_arc_flagged_once() {
+        let diags = audit_edges(2, &[(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DUPLICATE_ARC);
+    }
+
+    #[test]
+    fn cycle_flagged_with_witness() {
+        let diags = audit_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, CYCLE_DETECTED);
+        assert!(
+            diags[0].message.contains("{0, 1, 2}"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let diags = audit_edges(2, &[(0, 0), (0, 1)]);
+        assert!(diags.iter().any(|d| d.code == CYCLE_DETECTED));
+    }
+
+    #[test]
+    fn isolated_node_is_a_warning() {
+        let diags = audit_edges(3, &[(0, 1)]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, UNREACHABLE_NODE);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(diags[0].message.contains("node 2"));
+        // A lone node is fine.
+        assert!(audit_edges(1, &[]).is_empty());
+    }
+
+    #[test]
+    fn built_dags_are_structurally_clean() {
+        let m = ic_families::mesh::out_mesh(4);
+        assert!(audit_dag(&m).is_empty());
+    }
+}

@@ -1,0 +1,38 @@
+//! # `ic-audit` — static verifier for dags, schedules, and paper claims
+//!
+//! A multi-pass analyzer over the workspace's IC-scheduling artifacts,
+//! emitting structured [`Diagnostic`]s with stable `ICxxxx` codes (see
+//! [`diag::CODE_TABLE`] and the table in `DESIGN.md`):
+//!
+//! * **graph passes** ([`graph`]) run on *raw* edge lists, where
+//!   cycles (IC0001), duplicate arcs (IC0002) and isolated nodes
+//!   (IC0003) can still be observed — a built [`ic_dag::Dag`] has
+//!   already rejected the first two;
+//! * **order passes** ([`order`]) check a candidate execution order for
+//!   topological validity (IC0101) and — separately, because "valid but
+//!   dominated" is a state the paper itself exhibits in §7.2 — for
+//!   envelope gaps against the exhaustively computed optimal
+//!   eligibility envelope (IC0102);
+//! * **claim passes** ([`claims`]) walk the [`ic_families::claims`]
+//!   registry and machine-check every registered paper claim:
+//!   IC-optimality or its asserted absence, closed-form profiles,
+//!   ▷-linear chains (IC0201), and Theorem 2.2 duality (IC0301).
+//!
+//! Instances up to [`order::EXHAUSTIVE_LIMIT`] nodes are certified by
+//! sweeping the down-set lattice; larger instances get structural
+//! certificates (exactly what their registration asserts). The
+//! `ic-prio audit` subcommand of `ic-cli` is a thin front-end over
+//! [`claims::run_all_claims`] and the graph/order passes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod claims;
+pub mod diag;
+pub mod graph;
+pub mod order;
+pub mod report;
+
+pub use claims::{audit_claim, run_all_claims};
+pub use diag::{Diagnostic, Severity};
+pub use report::AuditReport;

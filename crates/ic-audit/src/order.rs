@@ -1,0 +1,171 @@
+//! Execution-order passes (IC0101, IC0102).
+//!
+//! [`audit_order`] checks a raw candidate order for *validity* — is it
+//! a topological permutation of the dag? [`audit_envelope`] checks a
+//! valid order for *IC-optimality* — does its eligibility profile stay
+//! on the optimal envelope? They are separate passes because a schedule
+//! can be deliberately sub-optimal but valid (the paper's §7.2 product
+//! order for matrix multiplication is exactly that), and an auditor
+//! must be able to say "valid but dominated" without crying wolf.
+
+use ic_dag::{Dag, NodeId};
+use ic_sched::optimal::optimal_envelope;
+use ic_sched::Schedule;
+
+use crate::diag::{Diagnostic, ENVELOPE_GAP, NOT_A_TOPOLOGICAL_ORDER};
+
+/// Largest dag (in nodes) on which we run exhaustive envelope
+/// certification. Matches `ic_cli::commands::EXACT_LIMIT`: the down-set
+/// lattice sweep is exponential in the dag's width, and the paper's
+/// building-block instances all fit comfortably below this.
+pub const EXHAUSTIVE_LIMIT: usize = 22;
+
+/// Audit a raw execution order against `dag` (IC0101): every node
+/// exactly once, dependencies before dependents. Returns all coverage
+/// defects and the first precedence violation.
+pub fn audit_order(dag: &Dag, order: &[NodeId]) -> Vec<Diagnostic> {
+    let n = dag.num_nodes();
+    let mut diags = Vec::new();
+    if order.len() != n {
+        diags.push(Diagnostic::error(
+            NOT_A_TOPOLOGICAL_ORDER,
+            format!(
+                "order has {} step(s) but the dag has {} node(s)",
+                order.len(),
+                n
+            ),
+        ));
+    }
+    let mut pos: Vec<Option<usize>> = vec![None; n];
+    for (i, &v) in order.iter().enumerate() {
+        if v.index() >= n {
+            diags.push(Diagnostic::error(
+                NOT_A_TOPOLOGICAL_ORDER,
+                format!("step {i} executes node {} of a {n}-node dag", v.index()),
+            ));
+            continue;
+        }
+        if let Some(prev) = pos[v.index()] {
+            diags.push(Diagnostic::error(
+                NOT_A_TOPOLOGICAL_ORDER,
+                format!("node {} executed twice (steps {prev} and {i})", v.index()),
+            ));
+        } else {
+            pos[v.index()] = Some(i);
+        }
+    }
+    for (v, p) in pos.iter().enumerate() {
+        if p.is_none() {
+            diags.push(Diagnostic::error(
+                NOT_A_TOPOLOGICAL_ORDER,
+                format!("node {v} never executes"),
+            ));
+        }
+    }
+    if diags.is_empty() {
+        for (u, v) in dag.arcs() {
+            let (pu, pv) = (pos[u.index()].unwrap(), pos[v.index()].unwrap());
+            if pv < pu {
+                diags.push(Diagnostic::error(
+                    NOT_A_TOPOLOGICAL_ORDER,
+                    format!(
+                        "node {} (step {pv}) executes before its dependency {} (step {pu})",
+                        v.index(),
+                        u.index()
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+    diags
+}
+
+/// Audit a *valid* order for IC-optimality (IC0102): compare its
+/// eligibility profile to the optimal envelope and report the first
+/// step where it falls below. Call only after [`audit_order`] came back
+/// clean. Dags above [`EXHAUSTIVE_LIMIT`] nodes are skipped (returns
+/// `None`); small dags return `Some(diags)`.
+pub fn audit_envelope(dag: &Dag, order: &[NodeId]) -> Option<Vec<Diagnostic>> {
+    if dag.num_nodes() > EXHAUSTIVE_LIMIT {
+        return None;
+    }
+    let envelope = optimal_envelope(dag).expect("n <= 22 < 64");
+    let profile = Schedule::new_unchecked(order.to_vec()).profile(dag);
+    let mut diags = Vec::new();
+    if let Some(t) = (0..envelope.len()).find(|&t| profile[t] < envelope[t]) {
+        diags.push(Diagnostic::error(
+            ENVELOPE_GAP,
+            format!(
+                "after step {t} the profile has {} ELIGIBLE node(s) but the optimal envelope allows {}",
+                profile[t], envelope[t]
+            ),
+        ));
+    }
+    Some(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_families::primitives::{ic_schedule, vee};
+
+    fn ids(xs: &[usize]) -> Vec<NodeId> {
+        xs.iter().map(|&i| NodeId::new(i)).collect()
+    }
+
+    #[test]
+    fn valid_order_passes_both() {
+        let g = vee();
+        let s = ic_schedule(&g);
+        assert!(audit_order(&g, s.order()).is_empty());
+        assert!(audit_envelope(&g, s.order()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn coverage_defects_are_ic0101() {
+        let g = vee();
+        for bad in [ids(&[0, 1]), ids(&[0, 1, 1]), ids(&[0, 1, 2, 2])] {
+            let diags = audit_order(&g, &bad);
+            assert!(!diags.is_empty());
+            assert!(diags.iter().all(|d| d.code == NOT_A_TOPOLOGICAL_ORDER));
+        }
+    }
+
+    #[test]
+    fn precedence_violation_is_ic0101() {
+        let g = vee(); // 0 -> 1, 0 -> 2
+        let diags = audit_order(&g, &ids(&[1, 0, 2]));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, NOT_A_TOPOLOGICAL_ORDER);
+        assert!(diags[0].message.contains("before its dependency"));
+    }
+
+    #[test]
+    fn suboptimal_order_is_ic0102() {
+        // Two disjoint Vees under independent sources: executing a sink
+        // of the first Vee before the second source dents the envelope.
+        let g = ic_dag::builder::from_arcs(6, &[(0, 2), (0, 3), (1, 4), (1, 5)]).unwrap();
+        let good = ids(&[0, 1, 2, 3, 4, 5]);
+        assert!(audit_order(&g, &good).is_empty());
+        assert!(audit_envelope(&g, &good).unwrap().is_empty());
+        let sub = ids(&[0, 2, 1, 3, 4, 5]); // valid, but wastes step 2
+        assert!(audit_order(&g, &sub).is_empty());
+        let diags = audit_envelope(&g, &sub).unwrap();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, ENVELOPE_GAP);
+        assert!(
+            diags[0].message.contains("after step 2"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn big_dags_skip_exhaustive_certification() {
+        let g = ic_families::mesh::out_mesh(10); // 55 nodes
+        let s = ic_families::mesh::out_mesh_schedule(&g);
+        assert!(audit_order(&g, s.order()).is_empty());
+        assert!(audit_envelope(&g, s.order()).is_none());
+    }
+}

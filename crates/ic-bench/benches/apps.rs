@@ -1,20 +1,19 @@
-//! Criterion benches for the applicative computations: the §5.2
-//! FFT-vs-naive-DFT crossover, convolution, dag-driven sorting vs the
-//! standard library, scan, DLT, graph paths, adaptive quadrature, and
-//! block matrix multiplication.
+//! Benches for the applicative computations: the §5.2 FFT-vs-naive-DFT
+//! crossover, convolution, dag-driven sorting vs the standard library,
+//! scan, DLT, graph paths, adaptive quadrature, and block matrix
+//! multiplication.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use ic_apps::adder::add_u64;
 use ic_apps::dlt::{dlt_via_prefix, dlt_via_vee3};
-use ic_apps::fft::{dft_naive, fft_via_butterfly};
+use ic_apps::fft::{dft_naive, fft_via_butterfly, radix_r_fft};
 use ic_apps::graphpaths::all_path_lengths;
 use ic_apps::integration::{integrate_adaptive, Rule};
 use ic_apps::matmul::{multiply_recursive, Matrix};
 use ic_apps::numeric::{BoolMatrix, Complex};
 use ic_apps::poly::{convolve_fft, convolve_naive};
 use ic_apps::scan::scan_via_dag;
-use ic_apps::sorting::{bitonic_sort_array, bitonic_sort_via_dag};
+use ic_apps::sorting::{bitonic_sort_array, bitonic_sort_via_dag, odd_even_sort_via_dag};
+use ic_bench::harness::Runner;
 
 fn signal(n: usize) -> Vec<Complex> {
     (0..n)
@@ -25,84 +24,69 @@ fn signal(n: usize) -> Vec<Complex> {
 /// The paper's headline §5.2 claim rendered as a bench: FFT is
 /// Θ(n log n) against the naive Θ(n²) DFT; the crossover appears as n
 /// grows.
-fn bench_fft_crossover(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft_vs_naive_dft");
+fn bench_fft_crossover(r: &mut Runner) {
     for n in [16usize, 64, 256] {
         let xs = signal(n);
-        g.bench_with_input(BenchmarkId::new("butterfly_fft", n), &xs, |b, xs| {
-            b.iter(|| fft_via_butterfly(black_box(xs)))
+        r.bench("fft_vs_naive_dft", &format!("butterfly_fft_{n}"), || {
+            fft_via_butterfly(&xs)
         });
-        g.bench_with_input(BenchmarkId::new("naive_dft", n), &xs, |b, xs| {
-            b.iter(|| dft_naive(black_box(xs)))
+        r.bench("fft_vs_naive_dft", &format!("naive_dft_{n}"), || {
+            dft_naive(&xs)
         });
     }
-    g.finish();
 }
 
-fn bench_convolution(c: &mut Criterion) {
-    let mut g = c.benchmark_group("convolution");
+fn bench_convolution(r: &mut Runner) {
     for n in [32usize, 128, 512] {
         let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
-        let b_: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07).cos()).collect();
-        g.bench_with_input(BenchmarkId::new("fft", n), &n, |b, _| {
-            b.iter(|| convolve_fft(black_box(&a), black_box(&b_)))
-        });
-        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
-            b.iter(|| convolve_naive(black_box(&a), black_box(&b_)))
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07).cos()).collect();
+        r.bench("convolution", &format!("fft_{n}"), || convolve_fft(&a, &b));
+        r.bench("convolution", &format!("naive_{n}"), || {
+            convolve_naive(&a, &b)
         });
     }
-    g.finish();
 }
 
-fn bench_sorting(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sorting");
+fn bench_sorting(r: &mut Runner) {
     for n in [64usize, 256] {
         let xs: Vec<i64> = (0..n).map(|i| ((i * 2654435761) % 1000) as i64).collect();
-        g.bench_with_input(BenchmarkId::new("bitonic_array", n), &xs, |b, xs| {
-            b.iter(|| bitonic_sort_array(black_box(xs)))
+        r.bench("sorting", &format!("bitonic_array_{n}"), || {
+            bitonic_sort_array(&xs)
         });
-        g.bench_with_input(BenchmarkId::new("bitonic_dag", n), &xs, |b, xs| {
-            b.iter(|| bitonic_sort_via_dag(black_box(xs)))
+        r.bench("sorting", &format!("bitonic_dag_{n}"), || {
+            bitonic_sort_via_dag(&xs)
         });
-        g.bench_with_input(BenchmarkId::new("std_sort", n), &xs, |b, xs| {
-            b.iter(|| {
-                let mut v = xs.clone();
-                v.sort();
-                v
-            })
+        r.bench("sorting", &format!("std_sort_{n}"), || {
+            let mut v = xs.clone();
+            v.sort();
+            v
         });
     }
-    g.finish();
 }
 
-fn bench_scan(c: &mut Criterion) {
-    let mut g = c.benchmark_group("parallel_prefix_scan");
+fn bench_scan(r: &mut Runner) {
     for n in [64usize, 256, 1024] {
         let xs: Vec<i64> = (0..n as i64).collect();
-        g.bench_with_input(BenchmarkId::new("dag_scan", n), &xs, |b, xs| {
-            b.iter(|| scan_via_dag(black_box(xs), |a, b| a + b))
+        r.bench("parallel_prefix_scan", &format!("dag_scan_{n}"), || {
+            scan_via_dag(&xs, |a, b| a + b)
         });
     }
-    g.finish();
 }
 
-fn bench_dlt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dlt");
+fn bench_dlt(r: &mut Runner) {
     let omega = Complex::cis(0.43);
     for n in [16usize, 64] {
         let xs = signal(n);
-        g.bench_with_input(BenchmarkId::new("via_prefix", n), &xs, |b, xs| {
-            b.iter(|| dlt_via_prefix(black_box(xs), omega, 3))
+        r.bench("dlt", &format!("via_prefix_{n}"), || {
+            dlt_via_prefix(&xs, omega, 3)
         });
-        g.bench_with_input(BenchmarkId::new("via_vee3", n), &xs, |b, xs| {
-            b.iter(|| dlt_via_vee3(black_box(xs), omega, 3))
+        r.bench("dlt", &format!("via_vee3_{n}"), || {
+            dlt_via_vee3(&xs, omega, 3)
         });
     }
-    g.finish();
 }
 
-fn bench_graph_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("graph_paths");
+fn bench_graph_paths(r: &mut Runner) {
     for (nodes, k) in [(9usize, 8usize), (30, 8), (30, 16)] {
         let mut entries = Vec::new();
         for i in 0..nodes {
@@ -110,125 +94,91 @@ fn bench_graph_paths(c: &mut Criterion) {
             entries.push((i, (i + 3) % nodes));
         }
         let a = BoolMatrix::from_entries(nodes, &entries);
-        g.bench_with_input(BenchmarkId::new(format!("n{nodes}"), k), &a, |b, a| {
-            b.iter(|| all_path_lengths(black_box(a), k))
+        r.bench("graph_paths", &format!("n{nodes}_k{k}"), || {
+            all_path_lengths(&a, k)
         });
     }
-    g.finish();
 }
 
-fn bench_integration(c: &mut Criterion) {
-    let mut g = c.benchmark_group("adaptive_quadrature");
-    g.bench_function("sin_trapezoid", |b| {
-        b.iter(|| {
-            integrate_adaptive(
-                f64::sin,
-                0.0,
-                std::f64::consts::PI,
-                black_box(1e-5),
-                20,
-                Rule::Trapezoid,
-            )
+fn bench_integration(r: &mut Runner) {
+    r.bench("adaptive_quadrature", "sin_trapezoid", || {
+        integrate_adaptive(
+            f64::sin,
+            0.0,
+            std::f64::consts::PI,
+            1e-5,
+            20,
+            Rule::Trapezoid,
+        )
+        .unwrap()
+        .value
+    });
+    r.bench("adaptive_quadrature", "sin_simpson", || {
+        integrate_adaptive(f64::sin, 0.0, std::f64::consts::PI, 1e-8, 20, Rule::Simpson)
             .unwrap()
             .value
-        })
     });
-    g.bench_function("sin_simpson", |b| {
-        b.iter(|| {
-            integrate_adaptive(
-                f64::sin,
-                0.0,
-                std::f64::consts::PI,
-                black_box(1e-8),
-                20,
-                Rule::Simpson,
-            )
-            .unwrap()
-            .value
-        })
-    });
-    g.finish();
 }
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut g = c.benchmark_group("block_matmul");
+fn bench_matmul(r: &mut Runner) {
     for n in [32usize, 64] {
         let a = Matrix::from_fn(n, |i, j| ((i + j) as f64 * 0.01).sin());
-        let b_ = Matrix::from_fn(n, |i, j| ((i * j) as f64 * 0.02).cos());
-        g.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
-            b.iter(|| black_box(&a).multiply_naive(black_box(&b_)))
+        let b = Matrix::from_fn(n, |i, j| ((i * j) as f64 * 0.02).cos());
+        r.bench("block_matmul", &format!("naive_{n}"), || {
+            a.multiply_naive(&b)
         });
         for cutoff in [8usize, 16] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("recursive_cut{cutoff}"), n),
-                &n,
-                |b, _| b.iter(|| multiply_recursive(black_box(&a), black_box(&b_), cutoff)),
+            r.bench(
+                "block_matmul",
+                &format!("recursive_cut{cutoff}_{n}"),
+                || multiply_recursive(&a, &b, cutoff),
             );
         }
     }
-    g.finish();
 }
 
 /// Radix granularity of the FFT: the same transform at radices 2 and 4
 /// (coarser butterfly tasks) — the §5.1 granularity knob, timed.
-fn bench_radix_fft(c: &mut Criterion) {
-    use ic_apps::fft::radix_r_fft;
-    let mut g = c.benchmark_group("radix_fft");
+fn bench_radix_fft(r: &mut Runner) {
     for n in [64usize, 256] {
         let xs = signal(n);
-        g.bench_with_input(BenchmarkId::new("radix2", n), &xs, |b, xs| {
-            b.iter(|| radix_r_fft(2, black_box(xs)))
-        });
-        g.bench_with_input(BenchmarkId::new("radix4", n), &xs, |b, xs| {
-            b.iter(|| radix_r_fft(4, black_box(xs)))
-        });
+        r.bench("radix_fft", &format!("radix2_{n}"), || radix_r_fft(2, &xs));
+        r.bench("radix_fft", &format!("radix4_{n}"), || radix_r_fft(4, &xs));
     }
-    g.finish();
 }
 
 /// Odd-even vs bitonic, dag-driven: fewer comparators vs denser stages.
-fn bench_network_sorts(c: &mut Criterion) {
-    use ic_apps::sorting::odd_even_sort_via_dag;
-    let mut g = c.benchmark_group("network_sorts");
+fn bench_network_sorts(r: &mut Runner) {
     for n in [64usize, 256] {
         let xs: Vec<i64> = (0..n).map(|i| ((i * 2654435761) % 997) as i64).collect();
-        g.bench_with_input(BenchmarkId::new("bitonic_dag", n), &xs, |b, xs| {
-            b.iter(|| bitonic_sort_via_dag(black_box(xs)))
+        r.bench("network_sorts", &format!("bitonic_dag_{n}"), || {
+            bitonic_sort_via_dag(&xs)
         });
-        g.bench_with_input(BenchmarkId::new("odd_even_dag", n), &xs, |b, xs| {
-            b.iter(|| odd_even_sort_via_dag(black_box(xs)))
+        r.bench("network_sorts", &format!("odd_even_dag_{n}"), || {
+            odd_even_sort_via_dag(&xs)
         });
     }
-    g.finish();
 }
 
 /// The carry-lookahead adder through the prefix dag.
-fn bench_adder(c: &mut Criterion) {
-    use ic_apps::adder::add_u64;
-    let mut g = c.benchmark_group("carry_lookahead");
-    g.bench_function("add_u64", |b| {
-        b.iter(|| {
-            add_u64(
-                black_box(0xDEAD_BEEF_0123_4567),
-                black_box(0x0FED_CBA9_8765_4321),
-            )
-        })
+fn bench_adder(r: &mut Runner) {
+    r.bench("carry_lookahead", "add_u64", || {
+        add_u64(0xDEAD_BEEF_0123_4567, 0x0FED_CBA9_8765_4321)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fft_crossover,
-    bench_convolution,
-    bench_sorting,
-    bench_scan,
-    bench_dlt,
-    bench_graph_paths,
-    bench_integration,
-    bench_matmul,
-    bench_radix_fft,
-    bench_network_sorts,
-    bench_adder
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env();
+    bench_fft_crossover(&mut r);
+    bench_convolution(&mut r);
+    bench_sorting(&mut r);
+    bench_scan(&mut r);
+    bench_dlt(&mut r);
+    bench_graph_paths(&mut r);
+    bench_integration(&mut r);
+    bench_matmul(&mut r);
+    bench_radix_fft(&mut r);
+    bench_network_sorts(&mut r);
+    bench_adder(&mut r);
+    r.finish();
+}

@@ -1,12 +1,10 @@
-//! Criterion benches for the multithreaded executor: worker scaling on
-//! scan and wavefront workloads, and the coarse-vs-fine granularity
-//! trade the paper motivates.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+//! Benches for the multithreaded executor: worker scaling on scan and
+//! wavefront workloads, and the coarse-vs-fine granularity trade the
+//! paper motivates.
 
 use ic_apps::scan::scan_parallel;
 use ic_apps::wavefront::wavefront_parallel;
+use ic_bench::harness::Runner;
 use ic_dag::quotient;
 use ic_families::mesh::out_mesh;
 use ic_sched::Schedule;
@@ -20,67 +18,53 @@ fn spin(work: u32) -> u64 {
     acc
 }
 
-fn bench_scan_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("executor_scan");
-    g.sample_size(20);
+fn bench_scan_scaling(r: &mut Runner) {
     let xs: Vec<u64> = (0..256).collect();
     for workers in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
-            b.iter(|| {
-                scan_parallel(
-                    black_box(&xs),
-                    |a, b| {
-                        std::hint::black_box(spin(200));
-                        a.wrapping_add(*b)
-                    },
-                    w,
-                )
-            })
+        r.bench("executor_scan", &format!("workers_{workers}"), || {
+            scan_parallel(
+                &xs,
+                |a, b| {
+                    std::hint::black_box(spin(200));
+                    a.wrapping_add(*b)
+                },
+                workers,
+            )
         });
     }
-    g.finish();
 }
 
-fn bench_wavefront_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("executor_wavefront");
-    g.sample_size(20);
+fn bench_wavefront_scaling(r: &mut Runner) {
     for workers in [1usize, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
-            b.iter(|| {
-                wavefront_parallel(
-                    black_box(24),
-                    1u64,
-                    |_, _, up, left| {
-                        std::hint::black_box(spin(200));
-                        up.copied()
-                            .unwrap_or(0)
-                            .wrapping_add(left.copied().unwrap_or(0))
-                    },
-                    w,
-                )
-            })
+        r.bench("executor_wavefront", &format!("workers_{workers}"), || {
+            wavefront_parallel(
+                24,
+                1u64,
+                |_, _, up, left| {
+                    std::hint::black_box(spin(200));
+                    up.copied()
+                        .unwrap_or(0)
+                        .wrapping_add(left.copied().unwrap_or(0))
+                },
+                workers,
+            )
         });
     }
-    g.finish();
 }
 
 /// Coarse vs fine granularity: executing the fine mesh task-by-task vs
 /// its block quotient with the same total work — coarse tasks amortize
 /// the executor's per-task overhead (the paper's multi-granularity
 /// motivation, minus the network).
-fn bench_granularity(c: &mut Criterion) {
-    let mut g = c.benchmark_group("executor_granularity");
-    g.sample_size(20);
+fn bench_granularity(r: &mut Runner) {
     let levels = 24usize;
     let fine = out_mesh(levels);
     let fine_sched = Schedule::in_id_order(&fine);
     let per_cell = 60u32;
 
-    g.bench_function("fine_tasks", |b| {
-        b.iter(|| {
-            ic_exec::execute(black_box(&fine), &fine_sched, 4, |_| {
-                std::hint::black_box(spin(per_cell));
-            })
+    r.bench("executor_granularity", "fine_tasks", || {
+        ic_exec::execute(&fine, &fine_sched, 4, |_| {
+            std::hint::black_box(spin(per_cell));
         })
     });
 
@@ -89,10 +73,10 @@ fn bench_granularity(c: &mut Criterion) {
         let mut ids = std::collections::HashMap::new();
         let mut blocks: Vec<(usize, usize)> = coords
             .iter()
-            .map(|&(r, c)| (r / bsize, c / bsize))
+            .map(|&(row, col)| (row / bsize, col / bsize))
             .collect();
         let mut ordered = blocks.clone();
-        ordered.sort_by_key(|&(r, c)| (r + c, r));
+        ordered.sort_by_key(|&(row, col)| (row + col, row));
         ordered.dedup();
         for (i, blk) in ordered.iter().enumerate() {
             ids.insert(*blk, i as u32);
@@ -101,50 +85,39 @@ fn bench_granularity(c: &mut Criterion) {
         let q = quotient(&fine, &assignment).unwrap();
         let sizes: Vec<u32> = q.members.iter().map(|m| m.len() as u32).collect();
         let sched = Schedule::in_id_order(&q.dag);
-        g.bench_with_input(BenchmarkId::new("coarse_b", bsize), &bsize, |b, _| {
-            b.iter(|| {
-                ic_exec::execute(black_box(&q.dag), &sched, 4, |v| {
-                    // A coarse task does its whole block's work.
-                    std::hint::black_box(spin(per_cell * sizes[v.index()]));
-                })
+        r.bench("executor_granularity", &format!("coarse_b{bsize}"), || {
+            ic_exec::execute(&q.dag, &sched, 4, |v| {
+                // A coarse task does its whole block's work.
+                std::hint::black_box(spin(per_cell * sizes[v.index()]));
             })
         });
     }
-    g.finish();
 }
 
-/// Central locked queue vs crossbeam work-stealing on a wide butterfly
-/// workload: stealing trades strict priority order for lower hand-off
-/// overhead.
-fn bench_engines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("executor_engines");
-    g.sample_size(20);
+/// Central locked queue vs work-stealing on a wide butterfly workload:
+/// stealing trades strict priority order for lower hand-off overhead.
+fn bench_engines(r: &mut Runner) {
     let dag = ic_families::butterfly::butterfly(6); // 448 tasks
     let sched = ic_families::butterfly::butterfly_schedule(6);
     for workers in [2usize, 4] {
-        g.bench_with_input(BenchmarkId::new("locked", workers), &workers, |b, &w| {
-            b.iter(|| {
-                ic_exec::execute(black_box(&dag), &sched, w, |_| {
-                    std::hint::black_box(spin(80));
-                })
+        r.bench("executor_engines", &format!("locked_{workers}"), || {
+            ic_exec::execute(&dag, &sched, workers, |_| {
+                std::hint::black_box(spin(80));
             })
         });
-        g.bench_with_input(BenchmarkId::new("stealing", workers), &workers, |b, &w| {
-            b.iter(|| {
-                ic_exec::stealing::execute_stealing(black_box(&dag), &sched, w, |_| {
-                    std::hint::black_box(spin(80));
-                })
+        r.bench("executor_engines", &format!("stealing_{workers}"), || {
+            ic_exec::stealing::execute_stealing(&dag, &sched, workers, |_| {
+                std::hint::black_box(spin(80));
             })
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_scan_scaling,
-    bench_wavefront_scaling,
-    bench_granularity,
-    bench_engines
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env();
+    bench_scan_scaling(&mut r);
+    bench_wavefront_scaling(&mut r);
+    bench_granularity(&mut r);
+    bench_engines(&mut r);
+    r.finish();
+}

@@ -1,9 +1,7 @@
-//! Criterion benches for dag-family construction, composition, and
-//! coarsening — one group per paper family.
+//! Benches for dag-family construction, composition, and coarsening —
+//! one group per paper family.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use ic_bench::harness::Runner;
 use ic_families::butterfly::{butterfly, butterfly_as_block_chain, coarsen_butterfly};
 use ic_families::diamond::{diamond_chain, diamond_from_out_tree};
 use ic_families::dlt::{dlt_prefix, dlt_vee3};
@@ -13,96 +11,66 @@ use ic_families::prefix::{parallel_prefix, prefix_as_n_chain};
 use ic_families::sorting::bitonic_network;
 use ic_families::trees::{complete_out_tree, random_branching_out_tree};
 
-fn bench_trees_and_diamonds(c: &mut Criterion) {
-    let mut g = c.benchmark_group("diamonds");
+fn bench_trees_and_diamonds(r: &mut Runner) {
     for depth in [4usize, 6, 8] {
-        g.bench_with_input(BenchmarkId::new("complete", depth), &depth, |b, &d| {
-            b.iter(|| {
-                let t = complete_out_tree(2, d);
-                diamond_from_out_tree(black_box(&t)).unwrap()
-            })
+        r.bench("diamonds", &format!("complete_{depth}"), || {
+            let t = complete_out_tree(2, depth);
+            diamond_from_out_tree(&t).unwrap()
         });
     }
-    g.bench_function("random_tree_200", |b| {
-        b.iter(|| random_branching_out_tree(200, 2, black_box(7)))
+    r.bench("diamonds", "random_tree_200", || {
+        random_branching_out_tree(200, 2, 7)
     });
     let t = complete_out_tree(2, 3);
-    g.bench_function("chain_of_4", |b| {
-        b.iter(|| diamond_chain(black_box(&[&t, &t, &t, &t])).unwrap())
+    r.bench("diamonds", "chain_of_4", || {
+        diamond_chain(&[&t, &t, &t, &t]).unwrap()
     });
-    g.finish();
 }
 
-fn bench_meshes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("meshes");
+fn bench_meshes(r: &mut Runner) {
     for levels in [20usize, 40, 80] {
-        g.bench_with_input(BenchmarkId::new("direct", levels), &levels, |b, &l| {
-            b.iter(|| out_mesh(black_box(l)))
-        });
+        r.bench("meshes", &format!("direct_{levels}"), || out_mesh(levels));
     }
-    g.bench_function("w_chain_20", |b| {
-        b.iter(|| out_mesh_as_w_chain(black_box(20)))
-    });
-    g.bench_function("coarsen_40_by_4", |b| {
-        b.iter(|| coarsen_mesh(black_box(40), 4))
-    });
-    g.finish();
+    r.bench("meshes", "w_chain_20", || out_mesh_as_w_chain(20));
+    r.bench("meshes", "coarsen_40_by_4", || coarsen_mesh(40, 4));
 }
 
-fn bench_butterflies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("butterflies");
+fn bench_butterflies(r: &mut Runner) {
     for d in [4usize, 7, 10] {
-        g.bench_with_input(BenchmarkId::new("direct", d), &d, |b, &d| {
-            b.iter(|| butterfly(black_box(d)))
-        });
+        r.bench("butterflies", &format!("direct_{d}"), || butterfly(d));
     }
-    g.bench_function("block_chain_d4", |b| {
-        b.iter(|| butterfly_as_block_chain(black_box(4)))
+    r.bench("butterflies", "block_chain_d4", || {
+        butterfly_as_block_chain(4)
     });
-    g.bench_function("coarsen_d8_b2", |b| {
-        b.iter(|| coarsen_butterfly(black_box(8), 2))
-    });
-    g.finish();
+    r.bench("butterflies", "coarsen_d8_b2", || coarsen_butterfly(8, 2));
 }
 
-fn bench_prefix_family(c: &mut Criterion) {
-    let mut g = c.benchmark_group("prefix_dags");
+fn bench_prefix_family(r: &mut Runner) {
     for n in [64usize, 256, 1024] {
-        g.bench_with_input(BenchmarkId::new("direct", n), &n, |b, &n| {
-            b.iter(|| parallel_prefix(black_box(n)))
-        });
+        r.bench("prefix_dags", &format!("direct_{n}"), || parallel_prefix(n));
     }
-    g.bench_function("n_chain_64", |b| {
-        b.iter(|| prefix_as_n_chain(black_box(64)))
-    });
-    g.bench_function("dlt_prefix_64", |b| b.iter(|| dlt_prefix(black_box(64))));
-    g.bench_function("dlt_vee3_64", |b| b.iter(|| dlt_vee3(black_box(64))));
-    g.finish();
+    r.bench("prefix_dags", "n_chain_64", || prefix_as_n_chain(64));
+    r.bench("prefix_dags", "dlt_prefix_64", || dlt_prefix(64));
+    r.bench("prefix_dags", "dlt_vee3_64", || dlt_vee3(64));
 }
 
-fn bench_networks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("networks");
+fn bench_networks(r: &mut Runner) {
     for n in [16usize, 64, 256] {
-        g.bench_with_input(BenchmarkId::new("bitonic", n), &n, |b, &n| {
-            b.iter(|| bitonic_network(black_box(n)))
-        });
+        r.bench("networks", &format!("bitonic_{n}"), || bitonic_network(n));
     }
     for depth in [1usize, 2] {
-        g.bench_with_input(
-            BenchmarkId::new("recursive_matmul", depth),
-            &depth,
-            |b, &d| b.iter(|| recursive_matmul(black_box(d))),
-        );
+        r.bench("networks", &format!("recursive_matmul_{depth}"), || {
+            recursive_matmul(depth)
+        });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_trees_and_diamonds,
-    bench_meshes,
-    bench_butterflies,
-    bench_prefix_family,
-    bench_networks
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env();
+    bench_trees_and_diamonds(&mut r);
+    bench_meshes(&mut r);
+    bench_butterflies(&mut r);
+    bench_prefix_family(&mut r);
+    bench_networks(&mut r);
+    r.finish();
+}

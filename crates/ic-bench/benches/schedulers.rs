@@ -1,15 +1,13 @@
-//! Criterion benches for the scheduling core: envelope computation,
-//! IC-optimal schedule synthesis, the priority relation, heuristic
-//! schedulers, and the Theorem 2.1/2.2 constructions.
+//! Benches for the scheduling core: envelope computation, IC-optimal
+//! schedule synthesis, the priority relation, heuristic schedulers, and
+//! the Theorem 2.1/2.2 constructions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use ic_bench::harness::Runner;
 use ic_dag::dual;
 use ic_families::diamond::diamond_from_out_tree;
 use ic_families::mesh::{out_mesh, out_mesh_schedule};
 use ic_families::prefix::{parallel_prefix, prefix_schedule};
-use ic_families::primitives::{cycle_dag, ic_schedule, n_dag, w_dag};
+use ic_families::primitives::{cycle_dag, ic_schedule, lambda, n_dag, vee_d, w_dag};
 use ic_families::trees::complete_out_tree;
 use ic_sched::duality::dual_schedule;
 use ic_sched::heuristics::{schedule_with, Policy};
@@ -17,119 +15,108 @@ use ic_sched::optimal::{find_ic_optimal, optimal_envelope};
 use ic_sched::priority::has_priority;
 use ic_sched::Schedule;
 
-fn bench_envelope(c: &mut Criterion) {
-    let mut g = c.benchmark_group("optimal_envelope");
+fn bench_envelope(r: &mut Runner) {
     for levels in [3usize, 4, 5] {
         let m = out_mesh(levels);
-        g.bench_with_input(BenchmarkId::new("mesh", m.num_nodes()), &m, |b, m| {
-            b.iter(|| optimal_envelope(black_box(m)).unwrap())
-        });
+        r.bench(
+            "optimal_envelope",
+            &format!("mesh_{}", m.num_nodes()),
+            || optimal_envelope(&m).unwrap(),
+        );
     }
     for depth in [2usize, 3] {
         let d = diamond_from_out_tree(&complete_out_tree(2, depth)).unwrap();
-        g.bench_with_input(
-            BenchmarkId::new("diamond", d.dag.num_nodes()),
-            &d.dag,
-            |b, dag| b.iter(|| optimal_envelope(black_box(dag)).unwrap()),
+        r.bench(
+            "optimal_envelope",
+            &format!("diamond_{}", d.dag.num_nodes()),
+            || optimal_envelope(&d.dag).unwrap(),
         );
     }
-    g.finish();
 }
 
-fn bench_synthesis(c: &mut Criterion) {
-    let mut g = c.benchmark_group("find_ic_optimal");
+fn bench_synthesis(r: &mut Runner) {
     let m4 = out_mesh(4);
-    g.bench_function("mesh_4", |b| {
-        b.iter(|| find_ic_optimal(black_box(&m4)).unwrap())
+    r.bench("find_ic_optimal", "mesh_4", || {
+        find_ic_optimal(&m4).unwrap()
     });
     let p4 = parallel_prefix(4);
-    g.bench_function("prefix_4", |b| {
-        b.iter(|| find_ic_optimal(black_box(&p4)).unwrap())
+    r.bench("find_ic_optimal", "prefix_4", || {
+        find_ic_optimal(&p4).unwrap()
     });
-    g.finish();
 }
 
-fn bench_priority(c: &mut Criterion) {
-    let mut g = c.benchmark_group("priority_relation");
+fn bench_priority(r: &mut Runner) {
     for s in [8usize, 32, 128] {
         let (ws, wt) = (w_dag(s), w_dag(s + 1));
         let (ss, st) = (ic_schedule(&ws), ic_schedule(&wt));
-        g.bench_with_input(BenchmarkId::new("w_dags", s), &s, |b, _| {
-            b.iter(|| has_priority(black_box(&ws), &ss, black_box(&wt), &st))
+        r.bench("priority_relation", &format!("w_dags_{s}"), || {
+            has_priority(&ws, &ss, &wt, &st)
         });
         let (ns, nt) = (n_dag(s), cycle_dag(s));
         let (sn, sc) = (ic_schedule(&ns), ic_schedule(&nt));
-        g.bench_with_input(BenchmarkId::new("n_vs_cycle", s), &s, |b, _| {
-            b.iter(|| has_priority(black_box(&ns), &sn, black_box(&nt), &sc))
+        r.bench("priority_relation", &format!("n_vs_cycle_{s}"), || {
+            has_priority(&ns, &sn, &nt, &sc)
         });
     }
-    g.finish();
 }
 
-fn bench_heuristics(c: &mut Criterion) {
-    let mut g = c.benchmark_group("heuristic_schedulers");
+fn bench_heuristics(r: &mut Runner) {
     let mesh = out_mesh(40); // 820 nodes
     for p in Policy::all(7) {
-        g.bench_with_input(BenchmarkId::new(p.name(), mesh.num_nodes()), &p, |b, &p| {
-            b.iter(|| schedule_with(black_box(&mesh), p))
-        });
+        r.bench("heuristic_schedulers", p.name(), || schedule_with(&mesh, p));
     }
-    g.finish();
 }
 
-fn bench_duality(c: &mut Criterion) {
-    let mut g = c.benchmark_group("theorem_2_2_dual_schedule");
+fn bench_duality(r: &mut Runner) {
     for levels in [10usize, 20, 40] {
         let m = out_mesh(levels);
         let s = out_mesh_schedule(&m);
-        g.bench_with_input(BenchmarkId::new("mesh", m.num_nodes()), &m, |b, m| {
-            b.iter(|| dual_schedule(black_box(m), &s).unwrap())
-        });
+        r.bench(
+            "theorem_2_2_dual_schedule",
+            &format!("mesh_{}", m.num_nodes()),
+            || dual_schedule(&m, &s).unwrap(),
+        );
     }
-    g.finish();
 }
 
-fn bench_profiles(c: &mut Criterion) {
-    let mut g = c.benchmark_group("profile_evaluation");
+fn bench_profiles(r: &mut Runner) {
     for n in [64usize, 256, 1024] {
         let p = parallel_prefix(n);
         let s = prefix_schedule(n);
-        g.bench_with_input(BenchmarkId::new("prefix", p.num_nodes()), &p, |b, dag| {
-            b.iter(|| black_box(&s).profile(black_box(dag)))
-        });
+        r.bench(
+            "profile_evaluation",
+            &format!("prefix_{}", p.num_nodes()),
+            || s.profile(&p),
+        );
     }
     let m = out_mesh(40);
     let sm = Schedule::in_id_order(&m);
-    g.bench_function("mesh_820", |b| b.iter(|| sm.profile(black_box(&m))));
+    r.bench("profile_evaluation", "mesh_820", || sm.profile(&m));
     let d = dual(&m);
     let sd = Schedule::in_id_order(&d);
-    g.bench_function("in_mesh_820", |b| b.iter(|| sd.profile(black_box(&d))));
-    g.finish();
+    r.bench("profile_evaluation", "in_mesh_820", || sd.profile(&d));
 }
 
-fn bench_batched(c: &mut Criterion) {
-    let mut g = c.benchmark_group("batched_scheduling");
+fn bench_batched(r: &mut Runner) {
     let mesh = out_mesh(5);
     let prio: Vec<usize> = (0..mesh.num_nodes()).collect();
-    g.bench_function("greedy_mesh5_w3", |b| {
-        b.iter(|| ic_sched::batched::greedy_batches(black_box(&mesh), 3, &prio))
+    r.bench("batched_scheduling", "greedy_mesh5_w3", || {
+        ic_sched::batched::greedy_batches(&mesh, 3, &prio)
     });
-    g.bench_function("min_rounds_mesh5_w3", |b| {
-        b.iter(|| ic_sched::batched::min_rounds(black_box(&mesh), 3).unwrap())
+    r.bench("batched_scheduling", "min_rounds_mesh5_w3", || {
+        ic_sched::batched::min_rounds(&mesh, 3).unwrap()
     });
-    g.bench_function("optimal_mesh5_w3", |b| {
-        b.iter(|| ic_sched::batched::optimal_batches(black_box(&mesh), 3).unwrap())
+    r.bench("batched_scheduling", "optimal_mesh5_w3", || {
+        ic_sched::batched::optimal_batches(&mesh, 3).unwrap()
     });
     let big = out_mesh(30);
     let prio_big: Vec<usize> = (0..big.num_nodes()).collect();
-    g.bench_function("greedy_mesh30_w8", |b| {
-        b.iter(|| ic_sched::batched::greedy_batches(black_box(&big), 8, &prio_big))
+    r.bench("batched_scheduling", "greedy_mesh30_w8", || {
+        ic_sched::batched::greedy_batches(&big, 8, &prio_big)
     });
-    g.finish();
 }
 
-fn bench_almost(c: &mut Criterion) {
-    let mut g = c.benchmark_group("almost_optimal");
+fn bench_almost(r: &mut Runner) {
     // The certified non-admitter from the §3.1 analysis.
     let unary = {
         let mut arcs = vec![(0u32, 1), (1, 2), (0, 3)];
@@ -140,19 +127,16 @@ fn bench_almost(c: &mut Criterion) {
         arcs.push((3, 10));
         ic_dag::builder::from_arcs(11, &arcs).unwrap()
     };
-    g.bench_function("min_regret_unary_tree", |b| {
-        b.iter(|| ic_sched::almost::min_regret_schedule(black_box(&unary)).unwrap())
+    r.bench("almost_optimal", "min_regret_unary_tree", || {
+        ic_sched::almost::min_regret_schedule(&unary).unwrap()
     });
     let m4 = out_mesh(4);
-    g.bench_function("min_regret_mesh4", |b| {
-        b.iter(|| ic_sched::almost::min_regret_schedule(black_box(&m4)).unwrap())
+    r.bench("almost_optimal", "min_regret_mesh4", || {
+        ic_sched::almost::min_regret_schedule(&m4).unwrap()
     });
-    g.finish();
 }
 
-fn bench_linearize(c: &mut Criterion) {
-    use ic_families::primitives::{lambda, vee_d};
-    let mut g = c.benchmark_group("linearize");
+fn bench_linearize(r: &mut Runner) {
     let blocks_dags: Vec<ic_dag::Dag> = (0..8)
         .map(|i| {
             if i % 2 == 0 {
@@ -168,25 +152,24 @@ fn bench_linearize(c: &mut Criterion) {
         .zip(&scheds)
         .map(|(dag, schedule)| ic_sched::linearize::Block { dag, schedule })
         .collect();
-    g.bench_function("sort_8_blocks", |b| {
-        b.iter(|| ic_sched::linearize::linearize(black_box(&blocks)))
+    r.bench("linearize", "sort_8_blocks", || {
+        ic_sched::linearize::linearize(&blocks)
     });
-    g.bench_function("exhaustive_8_blocks", |b| {
-        b.iter(|| ic_sched::linearize::chain_exists_exhaustive(black_box(&blocks)))
+    r.bench("linearize", "exhaustive_8_blocks", || {
+        ic_sched::linearize::chain_exists_exhaustive(&blocks)
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_envelope,
-    bench_synthesis,
-    bench_priority,
-    bench_heuristics,
-    bench_duality,
-    bench_profiles,
-    bench_batched,
-    bench_almost,
-    bench_linearize
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env();
+    bench_envelope(&mut r);
+    bench_synthesis(&mut r);
+    bench_priority(&mut r);
+    bench_heuristics(&mut r);
+    bench_duality(&mut r);
+    bench_profiles(&mut r);
+    bench_batched(&mut r);
+    bench_almost(&mut r);
+    bench_linearize(&mut r);
+    r.finish();
+}

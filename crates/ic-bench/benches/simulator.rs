@@ -1,9 +1,7 @@
-//! Criterion benches for the IC server simulator: per-policy simulation
-//! cost across workload families and client populations.
+//! Benches for the IC server simulator: per-policy simulation cost
+//! across workload families and client populations.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use ic_bench::harness::Runner;
 use ic_families::butterfly::{butterfly, butterfly_schedule};
 use ic_families::mesh::{out_mesh, out_mesh_schedule};
 use ic_families::prefix::{parallel_prefix, prefix_schedule};
@@ -27,59 +25,57 @@ fn cfg(clients: usize) -> SimConfig {
     }
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_by_policy");
+fn bench_policies(r: &mut Runner) {
     let m = out_mesh(20); // 210 tasks
     let ic = out_mesh_schedule(&m);
-    g.bench_function("mesh20_ic_optimal", |b| {
-        b.iter(|| simulate(black_box(&m), &ic, &cfg(8)))
+    r.bench("simulate_by_policy", "mesh20_ic_optimal", || {
+        simulate(&m, &ic, &cfg(8))
     });
     for p in [Policy::Fifo, Policy::Lifo, Policy::GreedyEligibility] {
         let s = schedule_with(&m, p);
-        g.bench_with_input(BenchmarkId::new("mesh20", p.name()), &s, |b, s| {
-            b.iter(|| simulate(black_box(&m), s, &cfg(8)))
-        });
+        r.bench(
+            "simulate_by_policy",
+            &format!("mesh20_{}", p.name()),
+            || simulate(&m, &s, &cfg(8)),
+        );
     }
-    g.finish();
 }
 
-fn bench_workload_scale(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_scale");
+fn bench_workload_scale(r: &mut Runner) {
     for d in [4usize, 6, 8] {
         let bf = butterfly(d);
         let s = butterfly_schedule(d);
-        g.bench_with_input(
-            BenchmarkId::new("butterfly", bf.num_nodes()),
-            &bf,
-            |b, dag| b.iter(|| simulate(black_box(dag), &s, &cfg(8))),
+        r.bench(
+            "simulate_scale",
+            &format!("butterfly_{}", bf.num_nodes()),
+            || simulate(&bf, &s, &cfg(8)),
         );
     }
     for n in [64usize, 256] {
         let p = parallel_prefix(n);
         let s = prefix_schedule(n);
-        g.bench_with_input(BenchmarkId::new("prefix", p.num_nodes()), &p, |b, dag| {
-            b.iter(|| simulate(black_box(dag), &s, &cfg(8)))
-        });
+        r.bench(
+            "simulate_scale",
+            &format!("prefix_{}", p.num_nodes()),
+            || simulate(&p, &s, &cfg(8)),
+        );
     }
-    g.finish();
 }
 
-fn bench_client_counts(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_clients");
+fn bench_client_counts(r: &mut Runner) {
     let m = out_mesh(20);
     let s = out_mesh_schedule(&m);
     for clients in [2usize, 8, 32] {
-        g.bench_with_input(BenchmarkId::new("mesh20", clients), &clients, |b, &k| {
-            b.iter(|| simulate(black_box(&m), &s, &cfg(k)))
+        r.bench("simulate_clients", &format!("mesh20_{clients}"), || {
+            simulate(&m, &s, &cfg(clients))
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_policies,
-    bench_workload_scale,
-    bench_client_counts
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::from_env();
+    bench_policies(&mut r);
+    bench_workload_scale(&mut r);
+    bench_client_counts(&mut r);
+    r.finish();
+}

@@ -14,6 +14,11 @@ use crate::report::{table_row, Section};
 
 use super::Ctx;
 
+/// One averaged row of the policy table: label plus the seven metric
+/// columns (gridlock, batch-misses, mean pool, makespan, utilization,
+/// idle, burst-3).
+type PolicyRow = (String, f64, f64, f64, f64, f64, f64, f64);
+
 fn workloads() -> Vec<(&'static str, Dag, Schedule)> {
     let d = diamond_from_out_tree(&complete_out_tree(2, 4)).unwrap();
     let ds = d.ic_schedule().unwrap();
@@ -41,7 +46,7 @@ pub fn sim_comparison(_ctx: &Ctx) -> Section {
         "SIM",
         "IC server simulation: IC-optimal vs heuristic allocation",
     );
-    let seeds: Vec<u64> = (0..8).collect();
+    let seeds: Vec<u64> = (0..16).collect();
     let widths = [14usize, 11, 9, 10, 10, 9, 9, 9];
     for (name, dag, ic) in workloads() {
         s.line(format!(
@@ -61,7 +66,7 @@ pub fn sim_comparison(_ctx: &Ctx) -> Section {
             ],
             &widths,
         ));
-        let mut rows: Vec<(String, f64, f64, f64, f64, f64, f64, f64)> = Vec::new();
+        let mut rows: Vec<PolicyRow> = Vec::new();
         let mut run = |label: String, sched: &Schedule| {
             let mut acc = (0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64, 0.0f64);
             for &seed in &seeds {

@@ -1,0 +1,138 @@
+//! A minimal `std::time` micro-benchmark harness.
+//!
+//! The offline build cannot resolve `criterion`, so the `benches/`
+//! targets (which keep `harness = false`) drive their measurements
+//! through this module instead. The protocol per benchmark is the
+//! classic one: run the closure once to estimate its cost, pick an
+//! iteration count that fills a small time budget, run a few batches,
+//! and report the best (minimum) and mean per-iteration time. Results
+//! go to stdout as aligned text — no statistics machinery, no files.
+//!
+//! Environment knobs:
+//!
+//! * `IC_BENCH_MS` — per-benchmark time budget in milliseconds
+//!   (default 40; raise for more stable numbers);
+//! * `IC_BENCH_FILTER` — substring filter on `group/id` names, like
+//!   `cargo bench <filter>` (the bench mains also pass their first CLI
+//!   argument here).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Runs and reports benchmarks; construct once per bench binary.
+pub struct Runner {
+    budget: Duration,
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Runner {
+    /// A runner configured from the environment and CLI arguments (the
+    /// first non-flag argument, if any, becomes the name filter).
+    pub fn from_env() -> Self {
+        let ms = std::env::var("IC_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(40);
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .or_else(|| std::env::var("IC_BENCH_FILTER").ok());
+        Runner {
+            budget: Duration::from_millis(ms.max(1)),
+            filter,
+            ran: 0,
+        }
+    }
+
+    /// Measure `f`, reporting under `group/id`. The closure's result is
+    /// passed through [`black_box`] so the work cannot be optimized
+    /// away.
+    pub fn bench<R>(&mut self, group: &str, id: &str, mut f: impl FnMut() -> R) {
+        let name = format!("{group}/{id}");
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Estimate the cost of one call (running it at least once also
+        // warms caches and lazy initialization).
+        let t0 = Instant::now();
+        black_box(f());
+        let estimate = t0.elapsed().max(Duration::from_nanos(1));
+
+        // Pick iterations per batch so that ~5 batches fill the budget.
+        let per_batch = (self.budget.as_nanos() / 5 / estimate.as_nanos()).clamp(1, 1 << 20) as u64;
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let started = Instant::now();
+        while started.elapsed() < self.budget {
+            let b0 = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            let batch = b0.elapsed();
+            best = best.min(batch / per_batch as u32);
+            total += batch;
+            iters += per_batch;
+        }
+        let mean = total / iters.max(1) as u32;
+        println!(
+            "{name:<48} best {:>12}  mean {:>12}  ({iters} iters)",
+            fmt_duration(best),
+            fmt_duration(mean),
+        );
+        self.ran += 1;
+    }
+
+    /// Print a closing line (and warn when a filter matched nothing).
+    pub fn finish(self) {
+        if self.ran == 0 {
+            match self.filter {
+                Some(f) => println!("no benchmarks matched filter {f:?}"),
+                None => println!("no benchmarks ran"),
+            }
+        } else {
+            println!("{} benchmark(s) done", self.ran);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(5)), "5.00 s");
+    }
+
+    #[test]
+    fn runner_counts_and_filters() {
+        let mut r = Runner {
+            budget: Duration::from_millis(1),
+            filter: Some("match".into()),
+            ran: 0,
+        };
+        r.bench("group", "matching", || 1 + 1);
+        r.bench("group", "skipped", || 1 + 1);
+        assert_eq!(r.ran, 1);
+    }
+}

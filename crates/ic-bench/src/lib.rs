@@ -18,10 +18,12 @@
 //! Pass `--dot <dir>` to also write Graphviz renderings of every
 //! constructed figure.
 //!
-//! Criterion micro-benchmarks live under `benches/`.
+//! Micro-benchmarks live under `benches/`, driven by the dependency-free
+//! [`harness`] module (`cargo bench -p ic-bench`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod report;

@@ -167,6 +167,92 @@ pub fn dot(nd: &NamedDag) -> String {
     )
 }
 
+/// `audit --claims`: machine-check the whole paper-claims registry.
+/// Returns the report text and whether the audit passed.
+pub fn audit_claims(json: bool) -> (String, bool) {
+    let report = ic_audit::run_all_claims();
+    let text = if json {
+        report.render_json()
+    } else {
+        report.render_text()
+    };
+    let clean = report.is_clean();
+    (text, clean)
+}
+
+/// `audit --dag`: run the structural passes on a raw edge-list file
+/// and, when an order file is supplied, the order and envelope passes
+/// too. Returns the report text and whether the audit passed (no
+/// error-severity diagnostics).
+pub fn audit_dag_text(dag_text: &str, order_text: Option<&str>, json: bool) -> (String, bool) {
+    let raw = match crate::parse::parse_raw(dag_text) {
+        Ok(raw) => raw,
+        // Syntax errors precede any pass; report them plainly.
+        Err(e) => return (format!("error: {e}\n"), false),
+    };
+    let mut diags = ic_audit::graph::audit_edges(raw.names.len(), &raw.arcs);
+    let structurally_clean = diags
+        .iter()
+        .all(|d| d.severity != ic_audit::Severity::Error);
+
+    if structurally_clean {
+        if let Some(order_text) = order_text {
+            // The edge list is a dag; build it and audit the order.
+            let nd = crate::parse::parse_dag(dag_text).expect("structurally clean");
+            let mut order = Vec::new();
+            let mut unknown = false;
+            for (i, line) in order_text.lines().enumerate() {
+                let name = line.trim();
+                if name.is_empty() || name.starts_with('#') {
+                    continue;
+                }
+                match nd.by_name.get(name) {
+                    Some(&v) => order.push(v),
+                    None => {
+                        unknown = true;
+                        diags.push(ic_audit::Diagnostic::error(
+                            ic_audit::diag::NOT_A_TOPOLOGICAL_ORDER,
+                            format!("line {}: unknown task {name:?}", i + 1),
+                        ));
+                    }
+                }
+            }
+            if !unknown {
+                let order_diags = ic_audit::order::audit_order(&nd.dag, &order);
+                let order_ok = order_diags.is_empty();
+                diags.extend(order_diags);
+                if order_ok {
+                    if let Some(gap) = ic_audit::order::audit_envelope(&nd.dag, &order) {
+                        diags.extend(gap);
+                    }
+                }
+            }
+        }
+    }
+
+    let clean = diags
+        .iter()
+        .all(|d| d.severity != ic_audit::Severity::Error);
+    let text = if json {
+        let mut out = ic_audit::report::diagnostics_json(&diags);
+        out.push('\n');
+        out
+    } else {
+        let mut out = String::new();
+        for d in &diags {
+            let _ = writeln!(out, "{d}");
+        }
+        let _ = writeln!(
+            out,
+            "{} diagnostic(s), audit {}",
+            diags.len(),
+            if clean { "passed" } else { "FAILED" }
+        );
+        out
+    };
+    (text, clean)
+}
+
 fn join_names(nd: &NamedDag, it: impl Iterator<Item = ic_dag::NodeId>) -> String {
     it.map(|v| nd.name(v).to_string())
         .collect::<Vec<_>>()
@@ -272,6 +358,52 @@ mod tests {
         let text = dot(&nd);
         assert!(text.contains("digraph"));
         assert!(text.contains("package"));
+    }
+
+    #[test]
+    fn audit_claims_passes_and_renders_both_formats() {
+        let (text, ok) = audit_claims(false);
+        assert!(ok, "{text}");
+        assert!(text.contains("claims hold"));
+        let (json, ok) = audit_claims(true);
+        assert!(ok);
+        assert!(json.contains("\"passed\": true"));
+    }
+
+    #[test]
+    fn audit_dag_flags_structural_defects() {
+        let (text, ok) = audit_dag_text("a -> b\nb -> a\n", None, false);
+        assert!(!ok);
+        assert!(text.contains("IC0001"), "{text}");
+        let (text, ok) = audit_dag_text("a -> b\na -> b\n", None, false);
+        assert!(!ok);
+        assert!(text.contains("IC0002"), "{text}");
+        let (text, ok) = audit_dag_text("a -> b\nnode lone\n", None, false);
+        assert!(ok, "isolated nodes are warnings: {text}");
+        assert!(text.contains("IC0003"), "{text}");
+    }
+
+    #[test]
+    fn audit_dag_checks_orders() {
+        let dag = "a -> s1\nb -> s1\nc -> s2\nd -> s2\n";
+        let (text, ok) = audit_dag_text(dag, Some("a\nb\nc\nd\ns1\ns2\n"), false);
+        assert!(ok, "{text}");
+        let (text, ok) = audit_dag_text(dag, Some("s1\na\nb\nc\nd\ns2\n"), false);
+        assert!(!ok);
+        assert!(text.contains("IC0101"), "{text}");
+        let (text, ok) = audit_dag_text(dag, Some("a\nc\nb\nd\ns1\ns2\n"), true);
+        assert!(!ok);
+        assert!(text.contains("IC0102"), "{text}");
+        let (text, ok) = audit_dag_text(dag, Some("a\nmystery\n"), false);
+        assert!(!ok);
+        assert!(text.contains("unknown task"), "{text}");
+    }
+
+    #[test]
+    fn audit_dag_rejects_syntax_errors() {
+        let (text, ok) = audit_dag_text("a -> \n", None, false);
+        assert!(!ok);
+        assert!(text.contains("error"), "{text}");
     }
 
     #[test]

@@ -25,6 +25,8 @@
 //! ```text
 //! ic-prio order tasks.dag --policy auto     # priority order + profile
 //! ic-prio stats tasks.dag                   # structural summary
+//! ic-prio audit --claims                    # machine-check the paper claims
+//! ic-prio audit --dag tasks.dag             # IC0001/IC0002/IC0003 lint
 //! ic-prio dot tasks.dag                     # Graphviz rendering
 //! ```
 

@@ -4,6 +4,8 @@
 //! ic-prio order <file> [--policy auto|greedy|fifo]
 //! ic-prio stats <file>
 //! ic-prio check <file> <order-file>
+//! ic-prio audit --claims [--json]
+//! ic-prio audit --dag <file> [--order <order-file>] [--json]
 //! ic-prio dot <file>
 //! ic-prio export <file>
 //! ```
@@ -17,6 +19,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ic-prio order <file> [--policy auto|greedy|fifo]\n  \
          ic-prio stats <file>\n  ic-prio check <file> <order-file>\n  \
+         ic-prio audit --claims [--json]\n  \
+         ic-prio audit --dag <file> [--order <order-file>] [--json]\n  \
          ic-prio dot <file>\n  ic-prio export <file>"
     );
     ExitCode::from(2)
@@ -99,6 +103,44 @@ fn main() -> ExitCode {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE
                 }
+            }
+        }
+        "audit" => {
+            let rest: Vec<&str> = it.collect();
+            let json = rest.contains(&"--json");
+            let rest: Vec<&str> = rest.into_iter().filter(|a| *a != "--json").collect();
+            let (text, ok) = match rest.as_slice() {
+                ["--claims"] => commands::audit_claims(json),
+                ["--dag", path] => match std::fs::read_to_string(path) {
+                    Ok(t) => commands::audit_dag_text(&t, None, json),
+                    Err(e) => {
+                        eprintln!("error: cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                ["--dag", path, "--order", order_path] => {
+                    let dag_text = match std::fs::read_to_string(path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("error: cannot read {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match std::fs::read_to_string(order_path) {
+                        Ok(t) => commands::audit_dag_text(&dag_text, Some(&t), json),
+                        Err(e) => {
+                            eprintln!("error: cannot read {order_path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                _ => return usage(),
+            };
+            print!("{text}");
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
             }
         }
         "dot" => {

@@ -140,9 +140,70 @@ pub fn parse_dag(text: &str) -> Result<NamedDag, ParseError> {
     Ok(NamedDag { dag, by_name })
 }
 
+/// A *raw* parse of the edge-list format: names interned in order of
+/// first mention, arcs kept verbatim — duplicates, self-loops, and
+/// cycles included. This is the input the `audit` subcommand feeds to
+/// `ic-audit`'s graph passes, which exist precisely to flag the defects
+/// [`parse_dag`] would reject (or silently dedup).
+#[derive(Debug, Clone)]
+pub struct RawDag {
+    /// Task names, indexed by interned id.
+    pub names: Vec<String>,
+    /// Every arc as written, as `(from, to)` index pairs.
+    pub arcs: Vec<(usize, usize)>,
+}
+
+/// Parse the edge-list format without validation (see [`RawDag`]).
+/// Only *syntax* errors are rejected; structural defects are the
+/// auditor's job.
+pub fn parse_raw(text: &str) -> Result<RawDag, ParseError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let mut arcs: Vec<(usize, usize)> = Vec::new();
+    let intern = |names: &mut Vec<String>, index: &mut HashMap<String, usize>, name: &str| {
+        *index.entry(name.to_string()).or_insert_with(|| {
+            names.push(name.to_string());
+            names.len() - 1
+        })
+    };
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens.as_slice() {
+            ["node", name] => {
+                intern(&mut names, &mut index, name);
+            }
+            [from, "->", to] => {
+                let u = intern(&mut names, &mut index, from);
+                let v = intern(&mut names, &mut index, to);
+                arcs.push((u, v));
+            }
+            _ => {
+                return Err(ParseError::BadLine {
+                    line: lineno,
+                    text: line.to_string(),
+                });
+            }
+        }
+    }
+    Ok(RawDag { names, arcs })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn raw_parse_keeps_defects() {
+        let raw = parse_raw("a -> b\na -> b\nx -> x\nb -> a\nnode lone\n").unwrap();
+        assert_eq!(raw.names, ["a", "b", "x", "lone"]);
+        assert_eq!(raw.arcs, [(0, 1), (0, 1), (2, 2), (1, 0)]);
+        assert!(parse_raw("a -> ").is_err());
+    }
 
     #[test]
     fn parses_the_doc_example() {

@@ -54,8 +54,10 @@ pub mod error;
 pub mod ideals;
 pub mod iso;
 pub mod ops;
+pub mod rng;
 pub mod serialize;
 pub mod stats;
+pub mod testgen;
 pub mod traversal;
 
 pub use builder::DagBuilder;

@@ -1,0 +1,169 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! The build environment is fully offline, so the workspace carries no
+//! external RNG crate. Everything that needs randomness — the RANDOM
+//! scheduling heuristic, random tree constructors, the discrete-event
+//! simulator, and the deterministic property-test generators in
+//! [`crate::testgen`] — uses this xorshift64\* generator instead. It is
+//! *not* cryptographically secure and is not meant to be; it is fast,
+//! dependency-free, and fully reproducible from its seed, which is all
+//! the reproduction needs.
+
+/// A seeded xorshift64\* generator (Vigna, "An experimental exploration
+/// of Marsaglia's xorshift generators, scrambled").
+///
+/// Deterministic: the same seed always yields the same stream, on every
+/// platform.
+///
+/// ```
+/// use ic_dag::rng::XorShift64;
+/// let mut a = XorShift64::new(42);
+/// let mut b = XorShift64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Create a generator from `seed`. Any seed is valid (the seed is
+    /// first diffused through a splitmix64 round, so `0`, `1`, `2`, ...
+    /// produce unrelated streams).
+    pub fn new(seed: u64) -> Self {
+        // One splitmix64 step decorrelates small consecutive seeds and
+        // guarantees a nonzero xorshift state.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        XorShift64 { state: z | 1 }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn gen_range(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_range requires a nonempty range");
+        // Multiply-shift range reduction; the modulo bias is < 2^-64 * n,
+        // irrelevant for test-sized ranges.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// A uniform value in `[lo, hi)` as `i64`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn gen_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "gen_i64 requires lo < hi");
+        let span = hi.wrapping_sub(lo) as u64 as usize;
+        lo.wrapping_add(self.gen_range(span) as i64)
+    }
+
+    /// A uniform `f64` in `[0, 1)`, with 53 random bits.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A Bernoulli draw: `true` with probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffle of `xs` in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_streams() {
+        let mut a = XorShift64::new(7);
+        let mut b = XorShift64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = XorShift64::new(0);
+        let mut b = XorShift64::new(1);
+        // Astronomically unlikely to collide on the first draw.
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_is_in_range() {
+        let mut r = XorShift64::new(3);
+        for n in [1usize, 2, 7, 100] {
+            for _ in 0..200 {
+                assert!(r.gen_range(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut r = XorShift64::new(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[r.gen_range(5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_i64_respects_bounds() {
+        let mut r = XorShift64::new(5);
+        for _ in 0..500 {
+            let x = r.gen_i64(-100, 100);
+            assert!((-100..100).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_f64_is_unit_interval() {
+        let mut r = XorShift64::new(9);
+        for _ in 0..500 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = XorShift64::new(1);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = XorShift64::new(17);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -22,7 +22,13 @@ fn names(dag: &Dag) -> Vec<String> {
                     format!("t{}", v.index())
                 } else {
                     l.chars()
-                        .map(|c| if c.is_whitespace() || c == '#' { '_' } else { c })
+                        .map(|c| {
+                            if c.is_whitespace() || c == '#' {
+                                '_'
+                            } else {
+                                c
+                            }
+                        })
                         .collect()
                 }
             };

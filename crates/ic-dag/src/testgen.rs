@@ -1,0 +1,114 @@
+//! Deterministic random-dag generators for property-style tests.
+//!
+//! The seed repository used `proptest` for randomized coverage; that
+//! crate cannot be resolved in the offline build environment, so the
+//! property tests are driven by this small deterministic generator
+//! instead. Each helper is a pure function of its seed, so failures
+//! reproduce exactly, and the test suites simply loop over a seed range
+//! where proptest would have sampled cases.
+//!
+//! Generated dags use only *forward* arcs (`u < v`), so node ids are a
+//! topological order by construction and the arc set can never contain
+//! a cycle — the same shape the proptest strategies produced.
+
+use crate::builder::from_arcs;
+use crate::rng::XorShift64;
+use crate::Dag;
+
+/// A random dag with exactly `n` nodes: each forward pair `(u, v)`,
+/// `u < v`, becomes an arc with probability `density_pct / 100`.
+///
+/// # Panics
+/// Panics if `density_pct > 100`.
+pub fn random_dag(rng: &mut XorShift64, n: usize, density_pct: u32) -> Dag {
+    assert!(density_pct <= 100, "density is a percentage");
+    let mut arcs = Vec::new();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_range(100) < density_pct as usize {
+                arcs.push((u, v));
+            }
+        }
+    }
+    from_arcs(n, &arcs).expect("forward arcs cannot form cycles")
+}
+
+/// A batch of `cases` random dags with between 1 and `max_n` nodes at
+/// the given arc density, deterministically derived from `seed`. This is
+/// the drop-in replacement for a proptest `arb_dag` strategy: tests
+/// iterate the returned vector where they previously sampled.
+pub fn random_dags(seed: u64, cases: usize, max_n: usize, density_pct: u32) -> Vec<Dag> {
+    let mut rng = XorShift64::new(seed);
+    (0..cases)
+        .map(|_| {
+            let n = 1 + rng.gen_range(max_n);
+            random_dag(&mut rng, n, density_pct)
+        })
+        .collect()
+}
+
+/// A deterministic pseudo-random permutation of `0..n` derived from
+/// `seed` — used by relabeling/isomorphism tests.
+pub fn random_permutation(seed: u64, n: usize) -> Vec<usize> {
+    let mut rng = XorShift64::new(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut perm);
+    perm
+}
+
+/// A vector of `len` integers uniform in `[lo, hi)`, derived from
+/// `seed` — the replacement for proptest's integer-vector strategies.
+pub fn random_i64s(seed: u64, len: usize, lo: i64, hi: i64) -> Vec<i64> {
+    let mut rng = XorShift64::new(seed);
+    (0..len).map(|_| rng.gen_i64(lo, hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_topological;
+    use crate::traversal::topological_order;
+
+    #[test]
+    fn generated_dags_are_valid_and_reproducible() {
+        let a = random_dags(42, 20, 12, 40);
+        let b = random_dags(42, 20, 12, 40);
+        assert_eq!(a, b);
+        for g in &a {
+            assert!(g.num_nodes() >= 1 && g.num_nodes() <= 12);
+            let order = topological_order(g);
+            assert!(is_topological(g, &order));
+        }
+    }
+
+    #[test]
+    fn density_zero_yields_no_arcs() {
+        let mut rng = XorShift64::new(1);
+        let g = random_dag(&mut rng, 10, 0);
+        assert_eq!(g.num_arcs(), 0);
+    }
+
+    #[test]
+    fn density_hundred_yields_complete_order() {
+        let mut rng = XorShift64::new(1);
+        let g = random_dag(&mut rng, 8, 100);
+        assert_eq!(g.num_arcs(), 8 * 7 / 2);
+    }
+
+    #[test]
+    fn permutations_are_permutations() {
+        for seed in 0..5 {
+            let p = random_permutation(seed, 30);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..30).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn random_i64s_in_bounds() {
+        let xs = random_i64s(3, 100, -50, 50);
+        assert_eq!(xs.len(), 100);
+        assert!(xs.iter().all(|x| (-50..50).contains(x)));
+    }
+}

@@ -1,100 +1,102 @@
 //! Property tests for the dag algebra: composition, quotients, sums,
-//! duality, and down-set enumeration.
-
-use proptest::prelude::*;
+//! duality, and down-set enumeration — driven by the deterministic
+//! generators in `ic_dag::testgen` (see that module for why proptest is
+//! not used).
 
 use ic_dag::builder::from_arcs;
 use ic_dag::ideals::IdealEnumerator;
+use ic_dag::rng::XorShift64;
+use ic_dag::testgen::{random_dag, random_dags};
 use ic_dag::traversal::{height, is_topological, levels, topological_order};
-use ic_dag::{compose, dual, quotient, sum, Dag, NodeId};
+use ic_dag::{compose, dual, quotient, sum, NodeId};
 
-fn arb_dag(max_n: usize, density: u32) -> impl Strategy<Value = Dag> {
-    (1..=max_n).prop_flat_map(move |n| {
-        let pairs: Vec<(u32, u32)> = (0..n as u32)
-            .flat_map(|u| ((u + 1)..n as u32).map(move |v| (u, v)))
-            .collect();
-        let flags = proptest::collection::vec(0u32..100, pairs.len());
-        flags.prop_map(move |fs| {
-            let arcs: Vec<(u32, u32)> = pairs
-                .iter()
-                .zip(&fs)
-                .filter(|(_, &f)| f < density)
-                .map(|(&p, _)| p)
-                .collect();
-            from_arcs(n, &arcs).expect("forward arcs cannot form cycles")
-        })
-    })
+/// Sums preserve both operands' structure exactly.
+#[test]
+fn sum_preserves_structure() {
+    let lefts = random_dags(0xA1, 48, 10, 40);
+    let rights = random_dags(0xB2, 48, 10, 40);
+    for (a, b) in lefts.iter().zip(&rights) {
+        let s = sum(a, b);
+        assert_eq!(s.dag.num_nodes(), a.num_nodes() + b.num_nodes());
+        assert_eq!(s.dag.num_arcs(), a.num_arcs() + b.num_arcs());
+        for (u, v) in a.arcs() {
+            assert!(s.dag.has_arc(s.left_map[u.index()], s.left_map[v.index()]));
+        }
+        for (u, v) in b.arcs() {
+            assert!(s
+                .dag
+                .has_arc(s.right_map[u.index()], s.right_map[v.index()]));
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Sums preserve both operands' structure exactly.
-    #[test]
-    fn sum_preserves_structure(a in arb_dag(10, 40), b in arb_dag(10, 40)) {
-        let s = sum(&a, &b);
-        prop_assert_eq!(s.dag.num_nodes(), a.num_nodes() + b.num_nodes());
-        prop_assert_eq!(s.dag.num_arcs(), a.num_arcs() + b.num_arcs());
-        for (u, v) in a.arcs() {
-            prop_assert!(s.dag.has_arc(s.left_map[u.index()], s.left_map[v.index()]));
-        }
-        for (u, v) in b.arcs() {
-            prop_assert!(s.dag.has_arc(s.right_map[u.index()], s.right_map[v.index()]));
-        }
-    }
-
-    /// Composition merges exactly the paired nodes, preserves all arcs
-    /// under the provenance maps, and never creates cycles.
-    #[test]
-    fn compose_provenance_is_exact(a in arb_dag(10, 40), b in arb_dag(10, 40), k in 0usize..4) {
+/// Composition merges exactly the paired nodes, preserves all arcs
+/// under the provenance maps, and never creates cycles.
+#[test]
+fn compose_provenance_is_exact() {
+    let lefts = random_dags(0xC3, 48, 10, 40);
+    let rights = random_dags(0xD4, 48, 10, 40);
+    let mut rng = XorShift64::new(0xE5);
+    for (a, b) in lefts.iter().zip(&rights) {
         let sinks: Vec<NodeId> = a.sinks().collect();
         let sources: Vec<NodeId> = b.sources().collect();
-        let k = k.min(sinks.len()).min(sources.len());
-        let pairing: Vec<(NodeId, NodeId)> =
-            sinks.into_iter().take(k).zip(sources.into_iter().take(k)).collect();
-        let c = compose(&a, &b, &pairing).unwrap();
-        prop_assert_eq!(c.dag.num_nodes(), a.num_nodes() + b.num_nodes() - k);
+        let k = rng.gen_range(4).min(sinks.len()).min(sources.len());
+        let pairing: Vec<(NodeId, NodeId)> = sinks
+            .into_iter()
+            .take(k)
+            .zip(sources.into_iter().take(k))
+            .collect();
+        let c = compose(a, b, &pairing).unwrap();
+        assert_eq!(c.dag.num_nodes(), a.num_nodes() + b.num_nodes() - k);
         for (u, v) in a.arcs() {
-            prop_assert!(c.dag.has_arc(c.left_map[u.index()], c.left_map[v.index()]));
+            assert!(c.dag.has_arc(c.left_map[u.index()], c.left_map[v.index()]));
         }
         for (u, v) in b.arcs() {
-            prop_assert!(c.dag.has_arc(c.right_map[u.index()], c.right_map[v.index()]));
+            assert!(c
+                .dag
+                .has_arc(c.right_map[u.index()], c.right_map[v.index()]));
         }
         for &(s, t) in &pairing {
-            prop_assert_eq!(c.left_map[s.index()], c.right_map[t.index()]);
+            assert_eq!(c.left_map[s.index()], c.right_map[t.index()]);
         }
     }
+}
 
-    /// The dual reverses every arc, swaps degree roles, and preserves
-    /// heights.
-    #[test]
-    fn dual_reverses_arcs(g in arb_dag(12, 40)) {
+/// The dual reverses every arc, swaps degree roles, and preserves
+/// heights.
+#[test]
+fn dual_reverses_arcs() {
+    for g in random_dags(0xF6, 96, 12, 40) {
         let d = dual(&g);
         for (u, v) in g.arcs() {
-            prop_assert!(d.has_arc(v, u));
-            prop_assert!(!d.has_arc(u, v) || g.has_arc(v, u));
+            assert!(d.has_arc(v, u));
+            assert!(!d.has_arc(u, v) || g.has_arc(v, u));
         }
-        prop_assert_eq!(height(&d), height(&g));
+        assert_eq!(height(&d), height(&g));
     }
+}
 
-    /// Kahn's order is a topological order, and levels are consistent
-    /// with it (parents at strictly smaller levels).
-    #[test]
-    fn traversal_invariants(g in arb_dag(14, 40)) {
+/// Kahn's order is a topological order, and levels are consistent
+/// with it (parents at strictly smaller levels).
+#[test]
+fn traversal_invariants() {
+    for g in random_dags(0x17, 96, 14, 40) {
         let order = topological_order(&g);
-        prop_assert!(is_topological(&g, &order));
+        assert!(is_topological(&g, &order));
         let lvl = levels(&g);
         for (u, v) in g.arcs() {
-            prop_assert!(lvl[u.index()] < lvl[v.index()]);
+            assert!(lvl[u.index()] < lvl[v.index()]);
         }
         let h = height(&g);
-        prop_assert!(lvl.iter().all(|&l| l < h.max(1)));
+        assert!(lvl.iter().all(|&l| l < h.max(1)));
     }
+}
 
-    /// Down-set counts are bracketed by `n + 1` (a chain) and `2^n`
-    /// (an antichain), and every reported state is predecessor-closed.
-    #[test]
-    fn ideal_enumeration_is_sound(g in arb_dag(10, 40)) {
+/// Down-set counts are bracketed by `n + 1` (a chain) and `2^n`
+/// (an antichain), and every reported state is predecessor-closed.
+#[test]
+fn ideal_enumeration_is_sound() {
+    for g in random_dags(0x28, 64, 10, 40) {
         let n = g.num_nodes();
         let en = IdealEnumerator::new(&g).unwrap();
         let mut count = 0u64;
@@ -115,15 +117,21 @@ proptest! {
                 }
             }
         });
-        prop_assert!(sound, "an enumerated state was not a valid down-set");
-        prop_assert!(count > n as u64);
-        prop_assert!(count <= 1u64 << n);
+        assert!(sound, "an enumerated state was not a valid down-set");
+        assert!(count > n as u64);
+        assert!(count <= 1u64 << n);
     }
+}
 
-    /// Quotients by any contiguous monotone (level-based) clustering
-    /// partition the nodes and preserve inter-cluster reachability.
-    #[test]
-    fn quotient_partitions(g in arb_dag(12, 40), k in 1usize..5) {
+/// Quotients by any contiguous monotone (level-based) clustering
+/// partition the nodes and preserve inter-cluster reachability.
+#[test]
+fn quotient_partitions() {
+    let mut rng = XorShift64::new(0x39);
+    for case in 0..96 {
+        let n = 1 + rng.gen_range(12);
+        let g = random_dag(&mut rng, n, 40);
+        let k = 1 + rng.gen_range(4);
         let lvl = levels(&g);
         let assignment_raw: Vec<u32> = lvl.iter().map(|&l| (l / k) as u32).collect();
         let mut seen: Vec<u32> = assignment_raw.clone();
@@ -135,14 +143,28 @@ proptest! {
             .collect();
         let q = quotient(&g, &assignment).unwrap();
         let total: usize = q.members.iter().map(Vec::len).sum();
-        prop_assert_eq!(total, g.num_nodes());
+        assert_eq!(total, g.num_nodes(), "case {case}");
         // Every fine arc either stays inside a cluster or appears in the
         // quotient.
         for (u, v) in g.arcs() {
             let (cu, cv) = (q.assignment[u.index()], q.assignment[v.index()]);
             if cu != cv {
-                prop_assert!(q.dag.has_arc(NodeId(cu), NodeId(cv)));
+                assert!(q.dag.has_arc(NodeId(cu), NodeId(cv)));
             }
         }
+    }
+}
+
+/// Sanity: the generators themselves agree with `from_arcs` on the
+/// forward-arc invariant (ids are topological).
+#[test]
+fn generated_ids_are_topological() {
+    for g in random_dags(0x4A, 32, 16, 50) {
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        assert!(is_topological(&g, &ids));
+        // Round-trip through the raw arc list.
+        let arcs: Vec<(u32, u32)> = g.arcs().map(|(u, v)| (u.0, v.0)).collect();
+        let h = from_arcs(g.num_nodes(), &arcs).unwrap();
+        assert_eq!(h, g);
     }
 }

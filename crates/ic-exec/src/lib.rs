@@ -35,7 +35,7 @@ use std::time::{Duration, Instant};
 
 use ic_dag::{Dag, NodeId};
 use ic_sched::Schedule;
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 
 /// Outcome of a parallel dag execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,10 +119,10 @@ where
     });
     let wall_time = start.elapsed();
 
-    if let Some(payload) = panic_payload.lock().take() {
+    if let Some(payload) = panic_payload.lock().unwrap().take() {
         std::panic::resume_unwind(payload);
     }
-    let st = state.lock();
+    let st = state.lock().unwrap();
     debug_assert_eq!(st.remaining, 0, "all tasks must have run");
     ExecReport {
         tasks_run: n,
@@ -143,7 +143,7 @@ fn worker_loop<F>(
 {
     loop {
         let v = {
-            let mut st = state.lock();
+            let mut st = state.lock().unwrap();
             loop {
                 if st.remaining == 0 || st.poisoned {
                     return;
@@ -158,7 +158,7 @@ fn worker_loop<F>(
                 if st.running == 0 {
                     return;
                 }
-                work_available.wait(&mut st);
+                st = work_available.wait(st).unwrap();
             }
         };
 
@@ -166,15 +166,15 @@ fn worker_loop<F>(
         // then let `execute` re-raise on the caller's thread.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(v)));
         if let Err(payload) = outcome {
-            let mut st = state.lock();
+            let mut st = state.lock().unwrap();
             st.poisoned = true;
             st.running -= 1;
-            panic_payload.lock().get_or_insert(payload);
+            panic_payload.lock().unwrap().get_or_insert(payload);
             work_available.notify_all();
             return;
         }
 
-        let mut st = state.lock();
+        let mut st = state.lock().unwrap();
         st.running -= 1;
         st.remaining -= 1;
         let mut enabled = 0usize;
@@ -256,9 +256,9 @@ mod tests {
     fn single_worker_matches_schedule_order() {
         let g = from_arcs(5, &[(0, 1), (0, 2), (1, 3), (2, 4)]).unwrap();
         let s = Schedule::in_id_order(&g);
-        let order = parking_lot::Mutex::new(Vec::new());
-        execute(&g, &s, 1, |v| order.lock().push(v));
-        assert_eq!(&*order.lock(), s.order());
+        let order = Mutex::new(Vec::new());
+        execute(&g, &s, 1, |v| order.lock().unwrap().push(v));
+        assert_eq!(&*order.lock().unwrap(), s.order());
     }
 
     #[test]

@@ -1,24 +1,59 @@
-//! A work-stealing executor variant built on `crossbeam`'s deques.
+//! A work-stealing executor variant on per-worker deques.
 //!
 //! The central-queue executor in the crate root follows the schedule's
 //! priorities strictly but serializes all task hand-offs through one
 //! lock. This variant trades strict priority order for scalability:
 //! each worker owns a LIFO deque (locality: a task's enabled children
 //! run on the enabling worker), a global injector seeds the sources in
-//! schedule order, and idle workers steal. Dependencies are still
-//! enforced exactly — a node is pushed only when its last parent's
-//! worker decrements its counter to zero — and the `AcqRel` decrement
-//! gives the same happens-before guarantee as the locked executor, so
+//! schedule order, and idle workers steal from the *front* of their
+//! victims' deques (FIFO steals take the oldest, widest work, as in
+//! classic work-stealing runtimes). Dependencies are still enforced
+//! exactly — a node is pushed only when its last parent's worker
+//! decrements its counter to zero — and the `AcqRel` decrement gives
+//! the same happens-before guarantee as the locked executor, so
 //! `OnceLock` value flow remains sound.
+//!
+//! The deques are `Mutex<VecDeque>`s rather than lock-free
+//! Chase–Lev deques: the build environment is offline (no `crossbeam`),
+//! and the workspace forbids `unsafe`, so we keep the work-stealing
+//! *scheduling discipline* while paying one uncontended per-deque lock
+//! per push/pop — contention stays low because workers touch distinct
+//! deques except while stealing.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-use crossbeam::deque::{Injector, Stealer, Worker};
 use ic_dag::{Dag, NodeId};
 use ic_sched::Schedule;
-use parking_lot::Mutex;
 
 use crate::ExecReport;
+
+/// A stack of pending tasks owned by one worker: the owner pushes and
+/// pops at the back (LIFO, for locality); thieves steal from the front.
+struct Deque {
+    tasks: Mutex<VecDeque<NodeId>>,
+}
+
+impl Deque {
+    fn new() -> Self {
+        Deque {
+            tasks: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, v: NodeId) {
+        self.tasks.lock().expect("deque lock").push_back(v);
+    }
+
+    fn pop(&self) -> Option<NodeId> {
+        self.tasks.lock().expect("deque lock").pop_back()
+    }
+
+    fn steal(&self) -> Option<NodeId> {
+        self.tasks.lock().expect("deque lock").pop_front()
+    }
+}
 
 /// Execute every task of `dag` on `workers` threads with work-stealing
 /// scheduling. The schedule only orders the initial sources (and serves
@@ -40,7 +75,7 @@ where
     );
     let n = dag.num_nodes();
 
-    let injector: Injector<NodeId> = Injector::new();
+    let injector = Deque::new();
     for &v in schedule.order() {
         if dag.is_source(v) {
             injector.push(v);
@@ -56,14 +91,13 @@ where
     let poisoned = AtomicBool::new(false);
     let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
 
-    let locals: Vec<Worker<NodeId>> = (0..workers).map(|_| Worker::new_lifo()).collect();
-    let stealers: Vec<Stealer<NodeId>> = locals.iter().map(Worker::stealer).collect();
+    let locals: Vec<Deque> = (0..workers).map(|_| Deque::new()).collect();
 
     let start = std::time::Instant::now();
     std::thread::scope(|scope| {
-        for local in locals {
+        for me in 0..workers {
             let injector = &injector;
-            let stealers = &stealers;
+            let locals = &locals;
             let missing = &missing;
             let remaining = &remaining;
             let running = &running;
@@ -72,15 +106,18 @@ where
             let poisoned = &poisoned;
             let panic_payload = &panic_payload;
             scope.spawn(move || {
+                let local = &locals[me];
                 let mut backoff = 0u32;
                 loop {
                     if remaining.load(Ordering::Acquire) == 0 || poisoned.load(Ordering::Acquire) {
                         return;
                     }
-                    let found = local
-                        .pop()
-                        .or_else(|| injector.steal().success())
-                        .or_else(|| stealers.iter().find_map(|s| s.steal().success()));
+                    let found = local.pop().or_else(|| injector.steal()).or_else(|| {
+                        locals
+                            .iter()
+                            .enumerate()
+                            .find_map(|(i, d)| if i == me { None } else { d.steal() })
+                    });
                     let Some(v) = found else {
                         // Nothing visible: back off briefly and re-check.
                         backoff = (backoff + 1).min(6);
@@ -98,7 +135,10 @@ where
                     let outcome =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(v)));
                     if let Err(payload) = outcome {
-                        panic_payload.lock().get_or_insert(payload);
+                        panic_payload
+                            .lock()
+                            .expect("payload lock")
+                            .get_or_insert(payload);
                         poisoned.store(true, Ordering::Release);
                         running.fetch_sub(1, Ordering::Relaxed);
                         return;
@@ -119,7 +159,7 @@ where
     });
     let wall_time = start.elapsed();
 
-    if let Some(payload) = panic_payload.lock().take() {
+    if let Some(payload) = panic_payload.lock().expect("payload lock").take() {
         std::panic::resume_unwind(payload);
     }
     debug_assert_eq!(remaining.load(Ordering::Relaxed), 0);

@@ -264,6 +264,39 @@ pub fn butterfly_schedule_via_blocks(d: usize) -> Result<Schedule, SchedError> {
     linear_composition_schedule(&composite, &stages)
 }
 
+/// Registered paper claims for butterfly networks (Figs. 9\u{2013}10, \u{00a7}5.1):
+/// level-by-level scheduling is IC-optimal, built from B \u{25b7} B blocks.
+pub fn claims() -> Vec<crate::claims::Claim> {
+    use crate::claims::{Claim, Guarantee};
+    use crate::primitives::{butterfly_block, ic_schedule};
+    let block_chain: Vec<(Dag, Schedule)> = (0..2)
+        .map(|_| {
+            let b = butterfly_block();
+            let s = ic_schedule(&b);
+            (b, s)
+        })
+        .collect();
+    vec![
+        Claim::new(
+            "butterfly/butterfly-2",
+            "Figs. 9\u{2013}10, \u{00a7}5.1",
+            "the level-by-level schedule of the 2-dimensional butterfly is IC-optimal; B \u{25b7} B",
+            butterfly(2),
+            butterfly_schedule(2),
+            Guarantee::IcOptimal,
+        )
+        .with_priority_chain(block_chain),
+        Claim::new(
+            "butterfly/butterfly-5",
+            "\u{00a7}5.1",
+            "the level-by-level schedule stays a valid execution order at scale (192 nodes)",
+            butterfly(5),
+            butterfly_schedule(5),
+            Guarantee::ValidOrder,
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

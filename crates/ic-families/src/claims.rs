@@ -1,0 +1,143 @@
+//! The machine-checkable **claims registry**.
+//!
+//! Every family module of this crate registers the paper claims its
+//! constructors realize — "this dag with this closed-form schedule is
+//! IC-optimal (Figure/Theorem so-and-so)", "this family is a ▷-linear
+//! chain", "the dual construction preserves optimality" — as [`Claim`]
+//! values. The registry is *data*: the `ic-audit` crate walks it and
+//! machine-checks each claim (exhaustively at small sizes, structurally
+//! at scale), and `ic-prio audit --claims` reports the results. A claim
+//! that stops holding after a refactor is a regression in the
+//! reproduction, caught without any human rereading the paper.
+
+use ic_dag::Dag;
+use ic_sched::Schedule;
+
+/// The level of scheduling guarantee a claim asserts for its schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guarantee {
+    /// The schedule attains the optimal eligibility envelope — it is
+    /// IC-optimal. Certified exhaustively when the dag is small enough.
+    IcOptimal,
+    /// The dag admits **no** IC-optimal schedule at this parameter (the
+    /// paper's point is the obstruction itself); the registered
+    /// schedule is still a valid execution order.
+    NoIcOptimal,
+    /// Structural claim only: the schedule realizes the paper's
+    /// construction as a valid execution order (used for instances
+    /// beyond exhaustive certification size).
+    ValidOrder,
+}
+
+/// One registered paper claim: a family instance, its closed-form
+/// schedule, and what the paper asserts about the pair.
+pub struct Claim {
+    /// Stable registry key, e.g. `"mesh/out-mesh-5"`.
+    pub id: &'static str,
+    /// Where the claim lives in the paper, e.g. `"Fig. 5, §4"`.
+    pub source: &'static str,
+    /// One-line human statement of the claim.
+    pub title: &'static str,
+    /// The constructed dag instance.
+    pub dag: Dag,
+    /// The paper's closed-form schedule for it.
+    pub schedule: Schedule,
+    /// What the schedule is claimed to be.
+    pub guarantee: Guarantee,
+    /// Closed-form *nonsink* eligibility profile, when the paper gives
+    /// one (e.g. the flat `E(x) = s` of the N-dags).
+    pub expected_nonsink_profile: Option<Vec<usize>>,
+    /// Check Theorem 2.2 here: `dual(dual(G)) ≅ G`, and the reversed
+    /// packet schedule is IC-optimal on `dual(G)`.
+    pub check_duality: bool,
+    /// A claimed ▷-chain `G_1 ▷ G_2 ▷ …` (each stage with its
+    /// IC-optimal schedule), e.g. the W-chain of the mesh
+    /// decomposition. Empty when the claim makes no chain assertion.
+    pub priority_chain: Vec<(Dag, Schedule)>,
+}
+
+impl Claim {
+    /// A claim with no profile/duality/chain assertions; use the
+    /// builder methods to add them.
+    pub fn new(
+        id: &'static str,
+        source: &'static str,
+        title: &'static str,
+        dag: Dag,
+        schedule: Schedule,
+        guarantee: Guarantee,
+    ) -> Self {
+        Claim {
+            id,
+            source,
+            title,
+            dag,
+            schedule,
+            guarantee,
+            expected_nonsink_profile: None,
+            check_duality: false,
+            priority_chain: Vec::new(),
+        }
+    }
+
+    /// Assert the closed-form nonsink eligibility profile.
+    pub fn with_profile(mut self, profile: Vec<usize>) -> Self {
+        self.expected_nonsink_profile = Some(profile);
+        self
+    }
+
+    /// Assert the Theorem 2.2 duality properties on this instance.
+    pub fn with_duality(mut self) -> Self {
+        self.check_duality = true;
+        self
+    }
+
+    /// Assert a ▷-linear chain of stages.
+    pub fn with_priority_chain(mut self, chain: Vec<(Dag, Schedule)>) -> Self {
+        self.priority_chain = chain;
+        self
+    }
+}
+
+/// Every claim registered across all family modules, in paper order.
+pub fn all() -> Vec<Claim> {
+    let mut claims = Vec::new();
+    claims.extend(crate::primitives::claims());
+    claims.extend(crate::trees::claims());
+    claims.extend(crate::diamond::claims());
+    claims.extend(crate::mesh::claims());
+    claims.extend(crate::butterfly::claims());
+    claims.extend(crate::sorting::claims());
+    claims.extend(crate::prefix::claims());
+    claims.extend(crate::dlt::claims());
+    claims.extend(crate::paths::claims());
+    claims.extend(crate::matmul::claims());
+    claims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_populated_and_keys_are_unique() {
+        let claims = all();
+        assert!(
+            claims.len() >= 12,
+            "only {} claims registered",
+            claims.len()
+        );
+        let mut ids: Vec<&str> = claims.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(before, ids.len(), "duplicate claim ids");
+    }
+
+    #[test]
+    fn every_claim_schedule_covers_its_dag() {
+        for c in all() {
+            assert_eq!(c.schedule.len(), c.dag.num_nodes(), "claim {}", c.id);
+        }
+    }
+}

@@ -262,6 +262,23 @@ pub fn out_tree_tailed(trees: &[&Dag], tail: &Dag) -> Result<AlternatingChain, S
     alternating(comps)
 }
 
+/// Registered paper claims for expansion-reduction diamonds
+/// (Figs. 2\u{2013}4, \u{00a7}3.1).
+pub fn claims() -> Vec<crate::claims::Claim> {
+    use crate::claims::{Claim, Guarantee};
+    use crate::trees::complete_out_tree;
+    let d = diamond_from_out_tree(&complete_out_tree(2, 2)).expect("diamond builds");
+    let s = d.ic_schedule().expect("diamond schedule exists");
+    vec![Claim::new(
+        "diamond/complete-2-2",
+        "Figs. 2\u{2013}4, \u{00a7}3.1",
+        "tree-then-dual-tree order is IC-optimal on the diamond T \u{21d1} T\u{0303}",
+        d.dag,
+        s,
+        Guarantee::IcOptimal,
+    )]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

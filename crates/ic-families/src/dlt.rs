@@ -206,6 +206,43 @@ pub fn dlt_vee3(n: usize) -> DltDag {
     }
 }
 
+/// Registered paper claims for the Discrete Laplace Transform dags
+/// (Figs. 13 and 15, \u{00a7}6.2.1).
+pub fn claims() -> Vec<crate::claims::Claim> {
+    use crate::claims::{Claim, Guarantee};
+    use crate::primitives::{ic_schedule, lambda, vee_d};
+    let l4 = dlt_prefix(4);
+    let sl4 = l4.ic_schedule().expect("L_4 schedule exists");
+    let lp4 = dlt_vee3(4);
+    let slp4 = lp4.ic_schedule().expect("L'_4 schedule exists");
+    let v3_chain: Vec<(Dag, Schedule)> = vec![vee_d(3), vee_d(3), lambda(), lambda()]
+        .into_iter()
+        .map(|g| {
+            let s = ic_schedule(&g);
+            (g, s)
+        })
+        .collect();
+    vec![
+        Claim::new(
+            "dlt/l-4",
+            "Fig. 13, \u{00a7}6.2.1",
+            "the prefix-then-accumulate schedule of L\u{2084} is IC-optimal",
+            l4.dag,
+            sl4,
+            Guarantee::IcOptimal,
+        ),
+        Claim::new(
+            "dlt/l-prime-4",
+            "Fig. 15, \u{00a7}6.2.1",
+            "the V\u{2083}-built variant L'\u{2084} is IC-optimal; V\u{2083} \u{25b7} V\u{2083} \u{25b7} \u{039b} \u{25b7} \u{039b}",
+            lp4.dag,
+            slp4,
+            Guarantee::IcOptimal,
+        )
+        .with_priority_chain(v3_chain),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

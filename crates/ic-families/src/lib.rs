@@ -17,6 +17,7 @@
 //! | [`dlt`] | Figs 13, 15 (Discrete Laplace Transform dags, §6.2.1) |
 //! | [`paths`] | Fig 16 (graph-paths computation, §6.2.2) |
 //! | [`matmul`] | Fig 17 (matrix-multiplication dag, §7) |
+//! | [`claims`] | the machine-checkable registry of all the above claims |
 //!
 //! All constructors produce dags whose node ids follow the canonical
 //! layout documented per module; schedules are returned as
@@ -26,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod butterfly;
+pub mod claims;
 pub mod diamond;
 pub mod dlt;
 pub mod matmul;

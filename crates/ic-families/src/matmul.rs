@@ -177,6 +177,41 @@ fn build_product(b: &mut DagBuilder, x: NodeId, y: NodeId, depth: usize, tag: &s
     combine
 }
 
+/// Registered paper claims for the matrix-multiplication dag (Fig. 17,
+/// \u{00a7}7): the Theorem 2.1 order over C\u{2084} \u{21d1} C\u{2084} \u{21d1} \u{039b}\u{2074} is IC-optimal;
+/// the paper's own \u{00a7}7.2 product order is kept as a structural claim
+/// (its profile is dominated \u{2014} see EXPERIMENTS.md, F17).
+pub fn claims() -> Vec<crate::claims::Claim> {
+    use crate::claims::{Claim, Guarantee};
+    use crate::primitives::{cycle_dag, ic_schedule, lambda};
+    let c4_chain: Vec<(Dag, Schedule)> = vec![cycle_dag(4), cycle_dag(4), lambda(), lambda()]
+        .into_iter()
+        .map(|g| {
+            let s = ic_schedule(&g);
+            (g, s)
+        })
+        .collect();
+    vec![
+        Claim::new(
+            "matmul/theorem-order",
+            "Fig. 17, \u{00a7}7",
+            "the Theorem 2.1 order for C\u{2084} \u{21d1} C\u{2084} \u{21d1} \u{039b}\u{2074} is IC-optimal; C\u{2084} \u{25b7} C\u{2084} \u{25b7} \u{039b}",
+            matmul_dag(),
+            theorem_schedule(),
+            Guarantee::IcOptimal,
+        )
+        .with_priority_chain(c4_chain),
+        Claim::new(
+            "matmul/paper-order",
+            "\u{00a7}7.2",
+            "the paper's product order is a valid execution order (dominated profile; reproduction note)",
+            matmul_dag(),
+            paper_schedule(),
+            Guarantee::ValidOrder,
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

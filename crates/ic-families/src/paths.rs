@@ -23,6 +23,22 @@ pub fn graph_paths_dag(powers: usize) -> DltDag {
     dlt_prefix(powers)
 }
 
+/// Registered paper claim for the graph-paths computation (Fig. 16,
+/// \u{00a7}6.2.2): node-for-node the DLT dag with matrix-granular tasks.
+pub fn claims() -> Vec<crate::claims::Claim> {
+    use crate::claims::{Claim, Guarantee};
+    let g = graph_paths_dag(4);
+    let s = g.ic_schedule().expect("graph-paths schedule exists");
+    vec![Claim::new(
+        "paths/fig16-4",
+        "Fig. 16, \u{00a7}6.2.2",
+        "the L_4-shaped graph-paths dag is IC-optimal under the prefix schedule",
+        g.dag,
+        s,
+        Guarantee::IcOptimal,
+    )]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

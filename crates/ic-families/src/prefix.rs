@@ -151,6 +151,41 @@ pub fn n_dag_sizes(n: usize) -> Vec<usize> {
     sizes
 }
 
+/// Registered paper claims for parallel-prefix dags (Figs. 11\u{2013}12,
+/// \u{00a7}6.1): the row-by-row N-dag schedule is IC-optimal, and the
+/// constituent N-dags form a \u{25b7}-chain (Fact 1 of \u{00a7}6.2.1).
+pub fn claims() -> Vec<crate::claims::Claim> {
+    use crate::claims::{Claim, Guarantee};
+    use crate::primitives::{ic_schedule, n_dag};
+    let n_chain: Vec<(Dag, Schedule)> = [3usize, 2, 1]
+        .into_iter()
+        .map(|s| {
+            let g = n_dag(s);
+            let sch = ic_schedule(&g);
+            (g, sch)
+        })
+        .collect();
+    vec![
+        Claim::new(
+            "prefix/p-4",
+            "Figs. 11\u{2013}12, \u{00a7}6.1",
+            "the N-dag row schedule of P\u{2084} is IC-optimal; N_s \u{25b7} N_t for all s, t",
+            parallel_prefix(4),
+            prefix_schedule(4),
+            Guarantee::IcOptimal,
+        )
+        .with_priority_chain(n_chain),
+        Claim::new(
+            "prefix/p-64",
+            "\u{00a7}6.1",
+            "the N-dag row schedule stays a valid execution order at scale (448 nodes)",
+            parallel_prefix(64),
+            prefix_schedule(64),
+            Guarantee::ValidOrder,
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -155,6 +155,104 @@ pub fn ic_schedule(dag: &Dag) -> Schedule {
     Schedule::in_id_order(dag)
 }
 
+/// Registered paper claims for the primitive building blocks (Figs. 1,
+/// 6, 8, 12, 14; §7.2). These are the base cases every composite
+/// family's claim reduces to.
+pub fn claims() -> Vec<crate::claims::Claim> {
+    use crate::claims::{Claim, Guarantee};
+    let chain_of = |dags: Vec<Dag>| -> Vec<(Dag, Schedule)> {
+        dags.into_iter()
+            .map(|g| {
+                let s = ic_schedule(&g);
+                (g, s)
+            })
+            .collect()
+    };
+    let v = vee();
+    let sv = ic_schedule(&v);
+    let l = lambda();
+    let sl = ic_schedule(&l);
+    let v3 = vee_d(3);
+    let sv3 = ic_schedule(&v3);
+    let bb = butterfly_block();
+    let sbb = ic_schedule(&bb);
+    let n4 = n_dag(4);
+    let sn4 = ic_schedule(&n4);
+    let w3 = w_dag(3);
+    let sw3 = ic_schedule(&w3);
+    let c4 = cycle_dag(4);
+    let sc4 = ic_schedule(&c4);
+    vec![
+        Claim::new(
+            "primitives/vee",
+            "Fig. 1, \u{00a7}2.3.2",
+            "the Vee dag V is IC-optimally scheduled by source-first order, and V \u{25b7} \u{039b}",
+            v.clone(),
+            sv,
+            Guarantee::IcOptimal,
+        )
+        .with_duality()
+        .with_priority_chain(chain_of(vec![vee(), lambda()])),
+        Claim::new(
+            "primitives/lambda",
+            "Fig. 1, \u{00a7}2.3.2",
+            "the Lambda dag \u{039b} (dual of V) is IC-optimally scheduled by source-first order",
+            l,
+            sl,
+            Guarantee::IcOptimal,
+        ),
+        Claim::new(
+            "primitives/vee3",
+            "Fig. 14, \u{00a7}6.2.1",
+            "the 3-ary Vee V\u{2083} is IC-optimal and V\u{2083} \u{25b7} V\u{2083} \u{25b7} \u{039b} \u{25b7} \u{039b}",
+            v3,
+            sv3,
+            Guarantee::IcOptimal,
+        )
+        .with_priority_chain(chain_of(vec![vee_d(3), vee_d(3), lambda(), lambda()])),
+        Claim::new(
+            "primitives/butterfly-block",
+            "Fig. 8, \u{00a7}5.1",
+            "the butterfly block B has nonsink profile (2, 1, 2) and B \u{25b7} B",
+            bb,
+            sbb,
+            Guarantee::IcOptimal,
+        )
+        .with_profile(vec![2, 1, 2])
+        .with_priority_chain(chain_of(vec![butterfly_block(), butterfly_block()])),
+        Claim::new(
+            "primitives/n-dag-4",
+            "Fig. 12, \u{00a7}6.1",
+            "the anchored schedule of N\u{2084} keeps the flat envelope E(x) = 4, and N_s \u{25b7} N_t",
+            n4,
+            sn4,
+            Guarantee::IcOptimal,
+        )
+        .with_profile(vec![4; 5])
+        .with_priority_chain(chain_of(vec![n_dag(3), n_dag(2), n_dag(1)])),
+        Claim::new(
+            "primitives/w-dag-3",
+            "Fig. 6, \u{00a7}4",
+            "the consecutive-source schedule of W\u{2083} has profile (3, 3, 3, 4)",
+            w3,
+            sw3,
+            Guarantee::IcOptimal,
+        )
+        .with_profile(vec![3, 3, 3, 4])
+        .with_duality(),
+        Claim::new(
+            "primitives/cycle-dag-4",
+            "\u{00a7}7.2",
+            "the cycle-dag C\u{2084} is IC-optimal with profile (4, 3, 3, 3, 4), and C\u{2084} \u{25b7} C\u{2084} \u{25b7} \u{039b}",
+            c4,
+            sc4,
+            Guarantee::IcOptimal,
+        )
+        .with_profile(vec![4, 3, 3, 3, 4])
+        .with_priority_chain(chain_of(vec![cycle_dag(4), cycle_dag(4), lambda(), lambda()])),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

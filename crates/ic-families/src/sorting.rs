@@ -197,6 +197,36 @@ pub fn odd_even_network(n: usize) -> (Dag, Vec<Vec<Comparator>>) {
     (comparator_dag(n, &stages), stages)
 }
 
+/// Registered paper claims for comparator sorting networks (\u{00a7}5.2):
+/// the bitonic network schedules IC-optimally stage by stage, while the
+/// odd-even merge network admits no IC-optimal schedule at width 4 \u{2014}
+/// the paper's \u{201c}not every sorting network\u{201d} caveat, machine-checked.
+pub fn claims() -> Vec<crate::claims::Claim> {
+    use crate::claims::{Claim, Guarantee};
+    let (bd, bstages) = bitonic_network(4);
+    let bs = bitonic_schedule(4, &bstages);
+    let (od, ostages) = odd_even_network(4);
+    let os = comparator_schedule(4, &ostages);
+    vec![
+        Claim::new(
+            "sorting/bitonic-4",
+            "\u{00a7}5.2",
+            "the stage-by-stage schedule of the width-4 bitonic network is IC-optimal",
+            bd,
+            bs,
+            Guarantee::IcOptimal,
+        ),
+        Claim::new(
+            "sorting/odd-even-4",
+            "\u{00a7}5.2 (obstruction)",
+            "the width-4 odd-even merge network admits no IC-optimal schedule",
+            od,
+            os,
+            Guarantee::NoIcOptimal,
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

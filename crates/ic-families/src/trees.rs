@@ -8,11 +8,10 @@
 //! the Theorem 2.2 dual-packet construction, which realizes exactly
 //! that characterization.
 
+use ic_dag::rng::XorShift64;
 use ic_dag::{dual, Dag, DagBuilder, NodeId};
 use ic_sched::duality::dual_schedule;
 use ic_sched::{SchedError, Schedule};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// A complete `arity`-ary out-tree of the given `depth` (`depth = 0` is
 /// a single node). Nodes are numbered in BFS order: the root is `0`,
@@ -83,13 +82,13 @@ pub fn out_tree_from_parents(parents: &[Option<usize>]) -> Result<Dag, SchedErro
 /// Panics if `n == 0` or `max_arity == 0`.
 pub fn random_out_tree(n: usize, max_arity: usize, seed: u64) -> Dag {
     assert!(n > 0 && max_arity > 0);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::new(seed);
     let mut degree = vec![0usize; n];
     let mut parents: Vec<Option<usize>> = vec![None; n];
     for (i, slot) in parents.iter_mut().enumerate().skip(1) {
         // Rejection-free: collect candidates with capacity.
         let candidates: Vec<usize> = (0..i).filter(|&j| degree[j] < max_arity).collect();
-        let j = candidates[rng.gen_range(0..candidates.len())];
+        let j = candidates[rng.gen_range(candidates.len())];
         *slot = Some(j);
         degree[j] += 1;
     }
@@ -112,11 +111,11 @@ pub fn random_out_tree(n: usize, max_arity: usize, seed: u64) -> Dag {
 /// Panics if `arity < 2`.
 pub fn random_branching_out_tree(target_nodes: usize, arity: usize, seed: u64) -> Dag {
     assert!(arity >= 2, "branching trees need arity >= 2");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::new(seed);
     let mut parents: Vec<Option<usize>> = vec![None];
     let mut leaves: Vec<usize> = vec![0];
     while parents.len() < target_nodes {
-        let li = rng.gen_range(0..leaves.len());
+        let li = rng.gen_range(leaves.len());
         let v = leaves.swap_remove(li);
         for _ in 0..arity {
             leaves.push(parents.len());
@@ -182,6 +181,36 @@ pub fn executes_siblings_consecutively(tree: &Dag, schedule: &Schedule) -> bool 
         positions.sort_unstable();
         positions.windows(2).all(|w| w[1] == w[0] + 1)
     })
+}
+
+/// Registered paper claims for trees (\u{00a7}3.1): out-trees are scheduled
+/// IC-optimally by any order; in-trees by the Theorem 2.2 dual-packet
+/// construction.
+pub fn claims() -> Vec<crate::claims::Claim> {
+    use crate::claims::{Claim, Guarantee};
+    let t = complete_out_tree(2, 3);
+    let st = out_tree_schedule(&t);
+    let it = complete_in_tree(2, 3);
+    let sit = in_tree_schedule(&it).expect("in-tree schedule exists");
+    vec![
+        Claim::new(
+            "trees/out-tree-2-3",
+            "\u{00a7}3.1",
+            "every schedule of a branching out-tree is IC-optimal (id order shown)",
+            t,
+            st,
+            Guarantee::IcOptimal,
+        )
+        .with_duality(),
+        Claim::new(
+            "trees/in-tree-2-3",
+            "\u{00a7}3.1 + Thm 2.2",
+            "the dual-packet schedule executes sibling groups consecutively, hence IC-optimally",
+            it,
+            sit,
+            Guarantee::IcOptimal,
+        ),
+    ]
 }
 
 #[cfg(test)]

@@ -1,8 +1,9 @@
 //! Property tests over the dag families: size formulas, decomposition
-//! invariants, and schedule validity at randomized parameters.
+//! invariants, and schedule validity at randomized parameters — driven
+//! by deterministic parameter sweeps and `ic_dag::rng` seeds instead of
+//! proptest (see `ic_dag::testgen` for the rationale).
 
-use proptest::prelude::*;
-
+use ic_dag::rng::XorShift64;
 use ic_dag::traversal::{height, is_topological};
 use ic_families::butterfly::{butterfly, butterfly_schedule, radix_butterfly};
 use ic_families::diamond::diamond_from_out_tree;
@@ -13,74 +14,86 @@ use ic_families::primitives::{cycle_dag, ic_schedule, n_dag, w_dag};
 use ic_families::sorting::{bitonic_network, comparator_schedule, odd_even_network};
 use ic_families::trees::{is_branching_out_tree, random_branching_out_tree};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Primitive size formulas hold at every parameter.
-    #[test]
-    fn primitive_size_formulas(s in 1usize..40) {
+/// Primitive size formulas hold at every parameter.
+#[test]
+fn primitive_size_formulas() {
+    for s in 1usize..40 {
         let nd = n_dag(s);
-        prop_assert_eq!((nd.num_nodes(), nd.num_arcs()), (2 * s, 2 * s - 1));
+        assert_eq!((nd.num_nodes(), nd.num_arcs()), (2 * s, 2 * s - 1));
         let wd = w_dag(s);
-        prop_assert_eq!((wd.num_nodes(), wd.num_arcs()), (2 * s + 1, 2 * s));
+        assert_eq!((wd.num_nodes(), wd.num_arcs()), (2 * s + 1, 2 * s));
         if s >= 2 {
             let cd = cycle_dag(s);
-            prop_assert_eq!((cd.num_nodes(), cd.num_arcs()), (2 * s, 2 * s));
+            assert_eq!((cd.num_nodes(), cd.num_arcs()), (2 * s, 2 * s));
         }
         // Their canonical schedules are valid execution orders.
-        prop_assert!(is_topological(&nd, ic_schedule(&nd).order()));
-        prop_assert!(is_topological(&wd, ic_schedule(&wd).order()));
+        assert!(is_topological(&nd, ic_schedule(&nd).order()));
+        assert!(is_topological(&wd, ic_schedule(&wd).order()));
     }
+}
 
-    /// Mesh size formulas and schedule validity at every level count.
-    #[test]
-    fn mesh_formulas(levels in 1usize..25) {
+/// Mesh size formulas and schedule validity at every level count.
+#[test]
+fn mesh_formulas() {
+    for levels in 1usize..25 {
         let m = out_mesh(levels);
-        prop_assert_eq!(m.num_nodes(), levels * (levels + 1) / 2);
-        prop_assert_eq!(m.num_arcs(), levels * levels.saturating_sub(1));
-        prop_assert_eq!(height(&m), levels);
-        prop_assert!(is_topological(&m, out_mesh_schedule(&m).order()));
+        assert_eq!(m.num_nodes(), levels * (levels + 1) / 2);
+        assert_eq!(m.num_arcs(), levels * levels.saturating_sub(1));
+        assert_eq!(height(&m), levels);
+        assert!(is_topological(&m, out_mesh_schedule(&m).order()));
         let im = in_mesh(levels);
-        prop_assert_eq!(im.num_nodes(), m.num_nodes());
-        prop_assert_eq!(im.num_sinks(), 1);
+        assert_eq!(im.num_nodes(), m.num_nodes());
+        assert_eq!(im.num_sinks(), 1);
     }
+}
 
-    /// Mesh coarsening partitions the cells for any block size.
-    #[test]
-    fn mesh_coarsening_partitions(levels in 2usize..15, b in 1usize..6) {
-        let q = coarsen_mesh(levels, b);
-        let total: usize = q.members.iter().map(Vec::len).sum();
-        prop_assert_eq!(total, levels * (levels + 1) / 2);
-        // No coarse task exceeds b² cells.
-        prop_assert!(q.members.iter().all(|m| m.len() <= b * b));
+/// Mesh coarsening partitions the cells for any block size.
+#[test]
+fn mesh_coarsening_partitions() {
+    for levels in 2usize..15 {
+        for b in 1usize..6 {
+            let q = coarsen_mesh(levels, b);
+            let total: usize = q.members.iter().map(Vec::len).sum();
+            assert_eq!(total, levels * (levels + 1) / 2);
+            // No coarse task exceeds b² cells.
+            assert!(q.members.iter().all(|m| m.len() <= b * b));
+        }
     }
+}
 
-    /// Butterfly and radix-butterfly size formulas.
-    #[test]
-    fn butterfly_formulas(d in 1usize..8) {
+/// Butterfly and radix-butterfly size formulas.
+#[test]
+fn butterfly_formulas() {
+    for d in 1usize..8 {
         let b = butterfly(d);
-        prop_assert_eq!(b.num_nodes(), (d + 1) << d);
-        prop_assert_eq!(b.num_arcs(), d << (d + 1));
-        prop_assert!(is_topological(&b, butterfly_schedule(d).order()));
+        assert_eq!(b.num_nodes(), (d + 1) << d);
+        assert_eq!(b.num_arcs(), d << (d + 1));
+        assert!(is_topological(&b, butterfly_schedule(d).order()));
     }
+}
 
-    /// Radix-butterfly sizes: (d+1) r^d nodes, d r^{d+1} arcs.
-    #[test]
-    fn radix_butterfly_formulas(r in 2usize..5, d in 1usize..4) {
-        let g = radix_butterfly(r, d);
-        prop_assert_eq!(g.num_nodes(), (d + 1) * r.pow(d as u32));
-        prop_assert_eq!(g.num_arcs(), d * r.pow(d as u32 + 1));
-        prop_assert_eq!(g.num_sources(), r.pow(d as u32));
+/// Radix-butterfly sizes: (d+1) r^d nodes, d r^{d+1} arcs.
+#[test]
+fn radix_butterfly_formulas() {
+    for r in 2usize..5 {
+        for d in 1usize..4 {
+            let g = radix_butterfly(r, d);
+            assert_eq!(g.num_nodes(), (d + 1) * r.pow(d as u32));
+            assert_eq!(g.num_arcs(), d * r.pow(d as u32 + 1));
+            assert_eq!(g.num_sources(), r.pow(d as u32));
+        }
     }
+}
 
-    /// Prefix dag structure at arbitrary n: rows formula, N-dag stage
-    /// sizes sum to the nonsink count per row, schedule validity.
-    #[test]
-    fn prefix_structure(n in 2usize..70) {
+/// Prefix dag structure at arbitrary n: rows formula, N-dag stage
+/// sizes sum to the nonsink count per row, schedule validity.
+#[test]
+fn prefix_structure() {
+    for n in 2usize..70 {
         let p = parallel_prefix(n);
         let rows = prefix_rows(n);
-        prop_assert_eq!(p.num_nodes(), rows * n);
-        prop_assert!(is_topological(&p, prefix_schedule(n).order()));
+        assert_eq!(p.num_nodes(), rows * n);
+        assert!(is_topological(&p, prefix_schedule(n).order()));
         // Each row's N-dag source counts sum to n.
         let sizes = n_dag_sizes(n);
         let mut row_totals = vec![0usize; rows - 1];
@@ -92,55 +105,67 @@ proptest! {
                 idx += 1;
             }
         }
-        prop_assert!(row_totals.iter().all(|&t| t == n));
+        assert!(row_totals.iter().all(|&t| t == n));
     }
+}
 
-    /// Uniform-arity random trees are branching out-trees, and their
-    /// diamonds have the right size: `2 |T| - leaves`.
-    #[test]
-    fn diamonds_from_random_trees(target in 3usize..40, arity in 2usize..4, seed in any::<u64>()) {
+/// Uniform-arity random trees are branching out-trees, and their
+/// diamonds have the right size: `2 |T| - leaves`.
+#[test]
+fn diamonds_from_random_trees() {
+    let mut rng = XorShift64::new(0x5B);
+    for _ in 0..48 {
+        let target = 3 + rng.gen_range(37);
+        let arity = 2 + rng.gen_range(2);
+        let seed = rng.next_u64();
         let t = random_branching_out_tree(target, arity, seed);
-        prop_assert!(is_branching_out_tree(&t));
+        assert!(is_branching_out_tree(&t));
         let d = diamond_from_out_tree(&t).unwrap();
-        prop_assert_eq!(d.dag.num_nodes(), 2 * t.num_nodes() - t.num_sinks());
-        prop_assert_eq!(d.dag.num_sources(), 1);
-        prop_assert_eq!(d.dag.num_sinks(), 1);
+        assert_eq!(d.dag.num_nodes(), 2 * t.num_nodes() - t.num_sinks());
+        assert_eq!(d.dag.num_sources(), 1);
+        assert_eq!(d.dag.num_sinks(), 1);
         let s = d.ic_schedule().unwrap();
-        prop_assert!(is_topological(&d.dag, s.order()));
+        assert!(is_topological(&d.dag, s.order()));
     }
+}
 
-    /// DLT dag sizes for power-of-two inputs; both variants schedule.
-    #[test]
-    fn dlt_structure(p in 1usize..6) {
+/// DLT dag sizes for power-of-two inputs; both variants schedule.
+#[test]
+fn dlt_structure() {
+    for p in 1usize..6 {
         let n = 1usize << p;
         let l = dlt_prefix(n);
-        prop_assert_eq!(l.dag.num_nodes(), prefix_rows(n) * n + (n - 1));
-        prop_assert!(is_topological(&l.dag, l.ic_schedule().unwrap().order()));
+        assert_eq!(l.dag.num_nodes(), prefix_rows(n) * n + (n - 1));
+        assert!(is_topological(&l.dag, l.ic_schedule().unwrap().order()));
         let lp = dlt_vee3(n);
-        prop_assert_eq!(lp.dag.num_sinks(), 1);
-        prop_assert!(is_topological(&lp.dag, lp.ic_schedule().unwrap().order()));
+        assert_eq!(lp.dag.num_sinks(), 1);
+        assert!(is_topological(&lp.dag, lp.ic_schedule().unwrap().order()));
     }
+}
 
-    /// Ternary trees have the requested (odd) leaf count.
-    #[test]
-    fn ternary_tree_leaves(k in 0usize..30) {
+/// Ternary trees have the requested (odd) leaf count.
+#[test]
+fn ternary_tree_leaves() {
+    for k in 0usize..30 {
         let leaves = 2 * k + 1;
         let t = ternary_out_tree(leaves);
-        prop_assert_eq!(t.num_sinks(), leaves);
-        prop_assert_eq!(t.num_nodes(), 1 + 3 * k);
+        assert_eq!(t.num_sinks(), leaves);
+        assert_eq!(t.num_nodes(), 1 + 3 * k);
     }
+}
 
-    /// Both comparator networks are well-formed for every 2^k width,
-    /// and their paired schedules are valid.
-    #[test]
-    fn network_structure(k in 1usize..6) {
+/// Both comparator networks are well-formed for every 2^k width,
+/// and their paired schedules are valid.
+#[test]
+fn network_structure() {
+    for k in 1usize..6 {
         let n = 1usize << k;
         for (dag, stages) in [bitonic_network(n), odd_even_network(n)] {
-            prop_assert_eq!(dag.num_nodes(), (stages.len() + 1) * n);
-            prop_assert_eq!(dag.num_sources(), n);
-            prop_assert_eq!(dag.num_sinks(), n);
+            assert_eq!(dag.num_nodes(), (stages.len() + 1) * n);
+            assert_eq!(dag.num_sources(), n);
+            assert_eq!(dag.num_sinks(), n);
             let s = comparator_schedule(n, &stages);
-            prop_assert!(is_topological(&dag, s.order()));
+            assert!(is_topological(&dag, s.order()));
         }
     }
 }

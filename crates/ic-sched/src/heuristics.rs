@@ -7,10 +7,9 @@
 
 use std::collections::VecDeque;
 
+use ic_dag::rng::XorShift64;
 use ic_dag::traversal::levels;
 use ic_dag::{Dag, NodeId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::eligibility::ExecState;
 use crate::schedule::Schedule;
@@ -110,12 +109,12 @@ pub fn lifo(dag: &Dag) -> Schedule {
 
 /// Uniformly random ELIGIBLE node at every step (seeded, reproducible).
 pub fn random(dag: &Dag, seed: u64) -> Schedule {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::new(seed);
     let mut st = ExecState::new(dag);
     let mut pool: Vec<NodeId> = dag.sources().collect();
     let mut order = Vec::with_capacity(dag.num_nodes());
     while !pool.is_empty() {
-        let i = rng.gen_range(0..pool.len());
+        let i = rng.gen_range(pool.len());
         let v = pool.swap_remove(i);
         let newly = st.execute(v).expect("pool holds only ELIGIBLE nodes");
         order.push(v);

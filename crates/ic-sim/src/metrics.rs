@@ -58,7 +58,11 @@ impl SimResult {
     /// quantified.
     pub fn batch_service_fraction(&self, batch: usize) -> f64 {
         if self.eligible_trace.len() < 2 {
-            return if self.eligible_trace.first().is_some_and(|&(_, s)| s >= batch) {
+            return if self
+                .eligible_trace
+                .first()
+                .is_some_and(|&(_, s)| s >= batch)
+            {
                 1.0
             } else {
                 0.0

@@ -3,11 +3,10 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use ic_dag::rng::XorShift64;
 use ic_dag::{Dag, NodeId};
 use ic_sched::eligibility::ExecState;
 use ic_sched::Schedule;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::metrics::SimResult;
 
@@ -122,7 +121,7 @@ pub fn simulate(dag: &Dag, schedule: &Schedule, cfg: &SimConfig) -> SimResult {
         "schedule must cover the dag"
     );
     let n = dag.num_nodes();
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = XorShift64::new(cfg.seed);
 
     // Priority of each node = its position in the schedule.
     let mut priority = vec![usize::MAX; n];
@@ -159,13 +158,12 @@ pub fn simulate(dag: &Dag, schedule: &Schedule, cfg: &SimConfig) -> SimResult {
             "speed factors must be positive"
         );
     }
-    let service = |rng: &mut StdRng, v: NodeId, client: usize| -> f64 {
+    let service = |rng: &mut XorShift64, v: NodeId, client: usize| -> f64 {
         let c = &cfg.clients;
         let weight = cfg.task_weights.as_ref().map_or(1.0, |w| w[v.index()]);
         let speed = c.speed_factors.as_ref().map_or(1.0, |sp| sp[client]);
-        let base =
-            c.mean_service * weight * (1.0 + c.jitter * (rng.gen::<f64>() * 2.0 - 1.0)) / speed;
-        let compute = if c.straggler_prob > 0.0 && rng.gen::<f64>() < c.straggler_prob {
+        let base = c.mean_service * weight * (1.0 + c.jitter * (rng.gen_f64() * 2.0 - 1.0)) / speed;
+        let compute = if c.straggler_prob > 0.0 && rng.gen_f64() < c.straggler_prob {
             base * c.straggler_factor
         } else {
             base
@@ -198,7 +196,7 @@ pub fn simulate(dag: &Dag, schedule: &Schedule, cfg: &SimConfig) -> SimResult {
     while let Some(Reverse((Time(t), client, v))) = events.pop() {
         now = t;
         outstanding -= 1;
-        if cfg.clients.failure_prob > 0.0 && rng.gen::<f64>() < cfg.clients.failure_prob {
+        if cfg.clients.failure_prob > 0.0 && rng.gen_f64() < cfg.clients.failure_prob {
             // The client lost the task: it returns to the pool (its
             // parents are all executed, so it is still ELIGIBLE).
             result.failures += 1;

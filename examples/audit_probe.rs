@@ -1,25 +1,50 @@
-use ic_apps::numeric::{BoolMatrix, Complex};
-use ic_apps::fft::{fft_via_butterfly, radix_r_fft, dft_naive};
-use ic_apps::scan::{scan_via_dag, scan_sequential};
-use ic_apps::adder::add_lookahead;
-use ic_apps::dlt::{dlt_via_vee3, dlt_via_prefix, dlt_direct};
-use ic_apps::integration::{integrate_adaptive, Rule};
+//! A numerical cross-check probe: runs the applicative computations
+//! (FFT, radix FFT, scan, carry-lookahead adder, DLT, quadrature) at
+//! sizes beyond the unit tests and compares against reference
+//! implementations.
 
-fn close(a: &[Complex], b: &[Complex], tol: f64) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max).max(if a.len()==b.len() {0.0} else {f64::INFINITY})
+use ic_apps::adder::add_lookahead;
+use ic_apps::dlt::{dlt_direct, dlt_via_prefix, dlt_via_vee3};
+use ic_apps::fft::{dft_naive, fft_via_butterfly, radix_r_fft};
+use ic_apps::integration::{integrate_adaptive, Rule};
+use ic_apps::numeric::{BoolMatrix, Complex};
+use ic_apps::scan::{scan_sequential, scan_via_dag};
+
+fn close(a: &[Complex], b: &[Complex]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+        .max(if a.len() == b.len() {
+            0.0
+        } else {
+            f64::INFINITY
+        })
 }
 
 fn main() {
     // FFT large sizes
     for n in [128usize, 256, 512] {
-        let xs: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64*0.37).sin(), (i as f64*0.11).cos())).collect();
-        let e = close(&fft_via_butterfly(&xs), &dft_naive(&xs), 0.0);
+        let xs: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let e = close(&fft_via_butterfly(&xs), &dft_naive(&xs));
         println!("fft n={n} maxerr={e:.3e}");
     }
     // radix FFT untested radices/depths
-    for (r, n) in [(5usize, 25usize), (5, 125), (6, 36), (3, 81), (4, 256), (8, 64), (2, 128)] {
-        let xs: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64*0.23).cos(), (i as f64*0.51).sin())).collect();
-        let e = close(&radix_r_fft(r, &xs), &dft_naive(&xs), 0.0);
+    for (r, n) in [
+        (5usize, 25usize),
+        (5, 125),
+        (6, 36),
+        (3, 81),
+        (4, 256),
+        (8, 64),
+        (2, 128),
+    ] {
+        let xs: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.23).cos(), (i as f64 * 0.51).sin()))
+            .collect();
+        let e = close(&radix_r_fft(r, &xs), &dft_naive(&xs));
         println!("radix r={r} n={n} maxerr={e:.3e}");
     }
     // scan odd sizes, noncommutative, large
@@ -27,28 +52,40 @@ fn main() {
         let xs: Vec<String> = (0..n).map(|i| format!("{i},")).collect();
         let a = scan_via_dag(&xs, |x, y| format!("{x}{y}"));
         let b = scan_sequential(&xs, |x, y| format!("{x}{y}"));
-        if a != b { println!("SCAN MISMATCH n={n}"); } else { println!("scan n={n} ok"); }
+        if a != b {
+            println!("SCAN MISMATCH n={n}");
+        } else {
+            println!("scan n={n} ok");
+        }
     }
     // adder odd widths exhaustive small
     for w in 1..=6usize {
         let bits = |x: u32| (0..w).map(|i| x >> i & 1 == 1).collect::<Vec<_>>();
-        for a in 0..(1u32<<w) { for b in 0..(1u32<<w) {
-            let s = add_lookahead(&bits(a), &bits(b));
-            let v: u32 = s.iter().enumerate().fold(0, |acc,(i,&bt)| acc | (u32::from(bt)<<i));
-            assert_eq!(v, a+b, "adder w={w} {a}+{b}");
-        }}
+        for a in 0..(1u32 << w) {
+            for b in 0..(1u32 << w) {
+                let s = add_lookahead(&bits(a), &bits(b));
+                let v: u32 = s
+                    .iter()
+                    .enumerate()
+                    .fold(0, |acc, (i, &bt)| acc | (u32::from(bt) << i));
+                assert_eq!(v, a + b, "adder w={w} {a}+{b}");
+            }
+        }
     }
     println!("adder exhaustive ok");
     // dlt untested sizes
     for n in [2usize, 4, 32, 64] {
-        let xs: Vec<Complex> = (0..n).map(|i| Complex::new((i as f64*0.61).cos(), i as f64*0.25-1.0)).collect();
+        let xs: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.61).cos(), i as f64 * 0.25 - 1.0))
+            .collect();
         let omega = Complex::cis(0.37);
-        for k in [0usize, 1, n-1, 2*n+3] {
+        for k in [0usize, 1, n - 1, 2 * n + 3] {
             let d = dlt_direct(&xs, omega, k);
             let p = dlt_via_prefix(&xs, omega, k);
             let v = dlt_via_vee3(&xs, omega, k);
-            let ep = (p-d).abs(); let ev = (v-d).abs();
-            if ep > 1e-6*(1.0+d.abs()) || ev > 1e-6*(1.0+d.abs()) {
+            let ep = (p - d).abs();
+            let ev = (v - d).abs();
+            if ep > 1e-6 * (1.0 + d.abs()) || ev > 1e-6 * (1.0 + d.abs()) {
                 println!("DLT MISMATCH n={n} k={k} ep={ep:.3e} ev={ev:.3e}");
             }
         }
@@ -57,30 +94,66 @@ fn main() {
     // BoolMatrix: dense random n=130, compare logical_mul vs naive
     let n = 130;
     let mut s = 0x12345u64;
-    let mut rnd = move || { s ^= s<<13; s ^= s>>7; s ^= s<<17; s };
-    let mut a = BoolMatrix::zero(n); let mut b = BoolMatrix::zero(n);
-    for i in 0..n { for j in 0..n {
-        if rnd() % 3 == 0 { a.set(i, j, true); }
-        if rnd() % 3 == 0 { b.set(i, j, true); }
-    }}
+    let mut rnd = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut a = BoolMatrix::zero(n);
+    let mut b = BoolMatrix::zero(n);
+    for i in 0..n {
+        for j in 0..n {
+            if rnd() % 3 == 0 {
+                a.set(i, j, true);
+            }
+            if rnd() % 3 == 0 {
+                b.set(i, j, true);
+            }
+        }
+    }
     let c = a.logical_mul(&b);
     let mut bad = 0;
-    for i in 0..n { for j in 0..n {
-        let mut expect = false;
-        for k in 0..n { if a.get(i,k) && b.get(k,j) { expect = true; break; } }
-        if c.get(i,j) != expect { bad += 1; }
-    }}
+    for i in 0..n {
+        for j in 0..n {
+            let mut expect = false;
+            for k in 0..n {
+                if a.get(i, k) && b.get(k, j) {
+                    expect = true;
+                    break;
+                }
+            }
+            if c.get(i, j) != expect {
+                bad += 1;
+            }
+        }
+    }
     println!("boolmatrix n=130 mismatches={bad}");
     // integration: error vs requested tol for a nasty integrand
     for tol in [1e-3, 1e-5, 1e-7] {
-        let q = integrate_adaptive(|x: f64| (20.0*x).sin()/(0.01+x*x), 0.0, 1.0, tol, 40, Rule::Simpson).unwrap();
+        let q = integrate_adaptive(
+            |x: f64| (20.0 * x).sin() / (0.01 + x * x),
+            0.0,
+            1.0,
+            tol,
+            40,
+            Rule::Simpson,
+        )
+        .unwrap();
         // reference by fine fixed Simpson
         let m = 2_000_000usize;
-        let h = 1.0/m as f64;
-        let f = |x: f64| (20.0*x).sin()/(0.01+x*x);
+        let h = 1.0 / m as f64;
+        let f = |x: f64| (20.0 * x).sin() / (0.01 + x * x);
         let mut acc = 0.0;
-        for i in 0..m { let a0 = i as f64*h; acc += (f(a0)+4.0*f(a0+0.5*h)+f(a0+h))*h/6.0; }
-        println!("integration tol={tol:.0e} err={:.3e} panels={}", (q.value-acc).abs(), q.panels);
+        for i in 0..m {
+            let a0 = i as f64 * h;
+            acc += (f(a0) + 4.0 * f(a0 + 0.5 * h) + f(a0 + h)) * h / 6.0;
+        }
+        println!(
+            "integration tol={tol:.0e} err={:.3e} panels={}",
+            (q.value - acc).abs(),
+            q.panels
+        );
     }
     println!("ALL PROBES DONE");
 }

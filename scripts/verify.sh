@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-shot offline verification gate: formatting, lints, build, tests,
+# and the machine-checked paper-claims audit. Every step runs with
+# --offline; the workspace has zero external dependencies, so nothing
+# here ever touches the network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+# Plain `cargo build` would build only the umbrella package; the
+# workspace flag pulls in ic-cli (the `ic-prio` binary) and friends.
+cargo build --offline --workspace --release
+
+echo "==> cargo test"
+cargo test --offline --workspace --quiet
+
+echo "==> ic-prio audit --claims"
+./target/release/ic-prio audit --claims
+
+echo "verify: all green"

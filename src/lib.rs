@@ -18,12 +18,16 @@
 //!   DP);
 //! * [`sim`] — the discrete-event IC server/client simulator;
 //! * [`exec`] — a multithreaded local executor driven by schedule
-//!   priorities.
+//!   priorities;
+//! * [`audit`] — the static verifier: structured `ICxxxx` diagnostics
+//!   over dags, schedules, and the machine-checked paper-claims
+//!   registry (`ic-prio audit --claims`).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every figure and table.
 
 pub use ic_apps as apps;
+pub use ic_audit as audit;
 pub use ic_dag as dag;
 pub use ic_exec as exec;
 pub use ic_families as families;

@@ -1,0 +1,222 @@
+//! The auditor's negative suite: take *known-good* dags and schedules
+//! from the paper families, break them in controlled ways, and assert
+//! that `ic-audit` flags each mutation with its **specific** diagnostic
+//! code — not merely "something failed". This pins the code table of
+//! DESIGN.md: a pass that starts mis-classifying defects fails here
+//! even if it still rejects them.
+
+use ic_scheduling::audit::diag::{
+    CYCLE_DETECTED, DUPLICATE_ARC, ENVELOPE_GAP, NOT_A_TOPOLOGICAL_ORDER, PRIORITY_CHAIN_BROKEN,
+    UNREACHABLE_NODE,
+};
+use ic_scheduling::audit::graph::audit_edges;
+use ic_scheduling::audit::order::{audit_envelope, audit_order};
+use ic_scheduling::audit::Diagnostic;
+use ic_scheduling::dag::{Dag, NodeId};
+use ic_scheduling::families::{butterfly, dlt, matmul, mesh, prefix, primitives, sorting, trees};
+use ic_scheduling::sched::Schedule;
+
+/// Known-good (dag, IC-optimal schedule) instances, one per family —
+/// the fixtures every mutation below starts from.
+fn fixtures() -> Vec<(&'static str, Dag, Schedule)> {
+    let m = mesh::out_mesh(4);
+    let sm = mesh::out_mesh_schedule(&m);
+    let im = mesh::in_mesh(4);
+    let sim = mesh::in_mesh_schedule(&im).unwrap();
+    let it = trees::complete_in_tree(2, 2);
+    let sit = trees::in_tree_schedule(&it).unwrap();
+    let l4 = dlt::dlt_prefix(4);
+    let sl4 = l4.ic_schedule().unwrap();
+    let (bit, bstages) = sorting::bitonic_network(4);
+    let sbit = sorting::bitonic_schedule(4, &bstages);
+    vec![
+        ("primitives/w3", primitives::w_dag(3), {
+            let g = primitives::w_dag(3);
+            primitives::ic_schedule(&g)
+        }),
+        ("trees/in-tree", it, sit),
+        ("mesh/out", m, sm),
+        ("mesh/in", im, sim),
+        (
+            "butterfly",
+            butterfly::butterfly(2),
+            butterfly::butterfly_schedule(2),
+        ),
+        (
+            "prefix",
+            prefix::parallel_prefix(4),
+            prefix::prefix_schedule(4),
+        ),
+        ("dlt", l4.dag, sl4),
+        ("sorting/bitonic", bit, sbit),
+        ("matmul", matmul::matmul_dag(), matmul::theorem_schedule()),
+    ]
+}
+
+fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+/// Dropping the last step leaves a node unexecuted: IC0101, and only
+/// IC0101.
+#[test]
+fn dropped_step_is_not_a_topological_order() {
+    for (name, dag, sched) in fixtures() {
+        let mut order = sched.order().to_vec();
+        order.pop();
+        let diags = audit_order(&dag, &order);
+        assert!(!diags.is_empty(), "{name}: mutation not flagged");
+        assert!(
+            diags.iter().all(|d| d.code == NOT_A_TOPOLOGICAL_ORDER),
+            "{name}: wrong codes {:?}",
+            codes(&diags)
+        );
+    }
+}
+
+/// Replacing the last step with a repeat of the first executes one node
+/// twice and another never: IC0101.
+#[test]
+fn duplicated_node_is_not_a_topological_order() {
+    for (name, dag, sched) in fixtures() {
+        let mut order = sched.order().to_vec();
+        let n = order.len();
+        order[n - 1] = order[0];
+        let diags = audit_order(&dag, &order);
+        assert!(!diags.is_empty(), "{name}: mutation not flagged");
+        assert!(
+            diags.iter().all(|d| d.code == NOT_A_TOPOLOGICAL_ORDER),
+            "{name}: wrong codes {:?}",
+            codes(&diags)
+        );
+    }
+}
+
+/// Moving the final step (always a sink here) to the front executes a
+/// dependent before its dependency: IC0101.
+#[test]
+fn rotated_order_is_not_a_topological_order() {
+    for (name, dag, sched) in fixtures() {
+        let mut order = sched.order().to_vec();
+        let last = order.pop().unwrap();
+        order.insert(0, last);
+        let diags = audit_order(&dag, &order);
+        assert!(!diags.is_empty(), "{name}: mutation not flagged");
+        assert_eq!(codes(&diags), vec![NOT_A_TOPOLOGICAL_ORDER], "{name}");
+        assert!(
+            diags[0].message.contains("before its dependency"),
+            "{name}: {}",
+            diags[0].message
+        );
+    }
+}
+
+/// For every order-sensitive family there is a swap of two steps that
+/// stays a *valid* topological order but dents the eligibility profile:
+/// the auditor must then report IC0102 (envelope gap), not IC0101.
+#[test]
+fn valid_but_suboptimal_swap_is_an_envelope_gap() {
+    for (name, dag, sched) in fixtures() {
+        if dag.num_nodes() > ic_scheduling::audit::order::EXHAUSTIVE_LIMIT {
+            continue;
+        }
+        let base = sched.order().to_vec();
+        let mut found_gap = false;
+        'search: for i in 0..base.len() {
+            for j in i + 1..base.len() {
+                let mut order = base.clone();
+                order.swap(i, j);
+                if !audit_order(&dag, &order).is_empty() {
+                    continue; // not a valid order; covered by IC0101 tests
+                }
+                let diags = audit_envelope(&dag, &order).expect("within exhaustive limit");
+                if !diags.is_empty() {
+                    assert_eq!(codes(&diags), vec![ENVELOPE_GAP], "{name}");
+                    found_gap = true;
+                    break 'search;
+                }
+            }
+        }
+        // Families whose *every* valid order is IC-optimal (e.g. pure
+        // out-trees) legitimately have no such swap; all fixtures here
+        // are order-sensitive.
+        assert!(found_gap, "{name}: no valid suboptimal swap found");
+    }
+}
+
+/// Graph-level mutations on real family edge lists: a duplicated arc is
+/// IC0002, a back-arc is IC0001, an extra arc-free node is IC0003.
+#[test]
+fn graph_mutations_get_structural_codes() {
+    for (name, dag, _) in fixtures() {
+        let arcs: Vec<(usize, usize)> = dag.arcs().map(|(u, v)| (u.index(), v.index())).collect();
+        assert!(audit_edges(dag.num_nodes(), &arcs).is_empty(), "{name}");
+
+        let mut dup = arcs.clone();
+        dup.push(arcs[0]);
+        assert_eq!(
+            codes(&audit_edges(dag.num_nodes(), &dup)),
+            vec![DUPLICATE_ARC],
+            "{name}"
+        );
+
+        let mut cyc = arcs.clone();
+        cyc.push((arcs[0].1, arcs[0].0));
+        let diags = audit_edges(dag.num_nodes(), &cyc);
+        assert!(
+            diags.iter().any(|d| d.code == CYCLE_DETECTED),
+            "{name}: {:?}",
+            codes(&diags)
+        );
+
+        assert_eq!(
+            codes(&audit_edges(dag.num_nodes() + 1, &arcs)),
+            vec![UNREACHABLE_NODE],
+            "{name}"
+        );
+    }
+}
+
+/// Reversing a true ▷-chain breaks it: W₁ ▷ W₂ holds (small-over-large,
+/// the mesh decomposition), W₂ ▷ W₁ does not — IC0201 with the failing
+/// stage named.
+#[test]
+fn reversed_w_chain_is_broken() {
+    let stage = |s: usize| {
+        let g = primitives::w_dag(s);
+        let sch = primitives::ic_schedule(&g);
+        (g, sch)
+    };
+    let good = vec![stage(1), stage(2), stage(3)];
+    assert!(ic_scheduling::audit::claims::audit_priority_chain(&good).is_empty());
+    let bad = vec![stage(3), stage(2), stage(1)];
+    let diags = ic_scheduling::audit::claims::audit_priority_chain(&bad);
+    assert!(!diags.is_empty());
+    assert!(diags.iter().all(|d| d.code == PRIORITY_CHAIN_BROKEN));
+    assert!(diags[0].message.contains("stage 0"), "{}", diags[0].message);
+}
+
+/// Feeding a *suboptimal* schedule into the duality pass violates the
+/// Theorem 2.2 contract: the reversed-packet schedule is no longer
+/// IC-optimal on the dual — IC0301.
+#[test]
+fn suboptimal_schedule_breaks_duality() {
+    // W₃'s IC-optimal schedules execute the sources consecutively
+    // left-to-right; starting from the middle source is a valid order
+    // whose packet-reversal is *not* IC-optimal on the dual M-dag.
+    let g = primitives::w_dag(3);
+    let ids: Vec<NodeId> = [1usize, 0, 2, 3, 4, 5, 6]
+        .iter()
+        .map(|&i| NodeId::new(i))
+        .collect();
+    let sub = Schedule::new(&g, ids).unwrap();
+    let diags = ic_scheduling::audit::claims::audit_duality(&g, &sub);
+    assert!(!diags.is_empty(), "expected IC0301");
+    assert!(diags
+        .iter()
+        .all(|d| d.code == ic_scheduling::audit::diag::DUALITY_MISMATCH));
+
+    // The consecutive-source schedule keeps the theorem intact.
+    let good = primitives::ic_schedule(&g);
+    assert!(ic_scheduling::audit::claims::audit_duality(&g, &good).is_empty());
+}
