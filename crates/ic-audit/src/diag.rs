@@ -11,6 +11,7 @@
 //! | IC01xx | execution orders and envelopes |
 //! | IC02xx | ▷-priority chains |
 //! | IC03xx | Theorem 2.2 duality |
+//! | IC04xx | execution-trace replay |
 
 use std::fmt;
 
@@ -51,6 +52,23 @@ pub const PRIORITY_CHAIN_BROKEN: &str = "IC0201";
 /// A Theorem 2.2 duality claim fails: `dual(dual(G)) ≇ G`, or the
 /// reversed-packet schedule is not IC-optimal on the dual dag.
 pub const DUALITY_MISMATCH: &str = "IC0301";
+/// A trace allocates a task that is not in the ELIGIBLE pool at that
+/// point of the replay (an unexecuted parent remains, the task is
+/// already allocated, or the id is out of range).
+pub const NON_ELIGIBLE_ALLOCATION: &str = "IC0401";
+/// A trace completes (or fails) a task that was never allocated — or
+/// completes the same task twice.
+pub const COMPLETION_BEFORE_ALLOCATION: &str = "IC0402";
+/// A recorded ELIGIBLE-pool size disagrees with the size reconstructed
+/// by replaying the trace against its dag.
+pub const POOL_SIZE_MISMATCH: &str = "IC0403";
+/// The traced execution's eligibility profile falls below the optimal
+/// envelope (exhaustive for small dags, closed-form for recognized
+/// family instances). A warning: multi-client stochastic runs may
+/// legitimately realize sub-optimal orders.
+pub const ENVELOPE_DEPARTURE: &str = "IC0404";
+/// The trace ends before every dag node has completed.
+pub const TRACE_TRUNCATED: &str = "IC0405";
 
 /// The full code table: `(code, name, one-line meaning)`. Kept in sync
 /// with DESIGN.md §"Diagnostic codes" (the negative test suite pins
@@ -90,6 +108,31 @@ pub const CODE_TABLE: &[(&str, &str, &str)] = &[
         DUALITY_MISMATCH,
         "DualityMismatch",
         "a Theorem 2.2 duality property fails",
+    ),
+    (
+        NON_ELIGIBLE_ALLOCATION,
+        "NonEligibleAllocation",
+        "a trace allocates a task that is not ELIGIBLE",
+    ),
+    (
+        COMPLETION_BEFORE_ALLOCATION,
+        "CompletionBeforeAllocation",
+        "a trace completes a task that was never allocated",
+    ),
+    (
+        POOL_SIZE_MISMATCH,
+        "PoolSizeMismatch",
+        "a recorded ELIGIBLE-pool size disagrees with replay",
+    ),
+    (
+        ENVELOPE_DEPARTURE,
+        "EnvelopeDeparture",
+        "the traced eligibility profile falls below the optimal envelope",
+    ),
+    (
+        TRACE_TRUNCATED,
+        "TraceTruncated",
+        "the trace ends before the computation completes",
     ),
 ];
 
@@ -133,6 +176,20 @@ impl Diagnostic {
     }
 }
 
+/// Escalate every diagnostic carrying `code` to [`Severity::Error`]
+/// (the engine behind `ic-prio audit --deny <code-name>`). Returns how
+/// many findings were escalated.
+pub fn deny(diags: &mut [Diagnostic], code: &str) -> usize {
+    let mut n = 0;
+    for d in diags.iter_mut() {
+        if d.code == code && d.severity != Severity::Error {
+            d.severity = Severity::Error;
+            n += 1;
+        }
+    }
+    n
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -153,7 +210,7 @@ mod tests {
     #[test]
     fn code_table_is_complete_and_unique() {
         let codes: Vec<&str> = CODE_TABLE.iter().map(|(c, _, _)| *c).collect();
-        assert_eq!(codes.len(), 7);
+        assert_eq!(codes.len(), 12);
         let mut sorted = codes.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -161,6 +218,20 @@ mod tests {
         for c in codes {
             assert_ne!(code_name(c), "Unknown");
         }
+    }
+
+    #[test]
+    fn deny_escalates_only_matching_warnings() {
+        let mut diags = vec![
+            Diagnostic::warning(UNREACHABLE_NODE, "node 3"),
+            Diagnostic::warning(ENVELOPE_DEPARTURE, "step 2"),
+            Diagnostic::error(CYCLE_DETECTED, "a -> a"),
+        ];
+        assert_eq!(deny(&mut diags, UNREACHABLE_NODE), 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[1].severity, Severity::Warning);
+        // Already-error findings are not double counted.
+        assert_eq!(deny(&mut diags, CYCLE_DETECTED), 0);
     }
 
     #[test]

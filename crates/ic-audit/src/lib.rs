@@ -13,6 +13,13 @@
 //!   dominated" is a state the paper itself exhibits in §7.2 — for
 //!   envelope gaps against the exhaustively computed optimal
 //!   eligibility envelope (IC0102);
+//! * **trace passes** ([`trace`]) replay a recorded execution trace
+//!   ([`ic_sim::trace`]) against the dag in its header: non-ELIGIBLE
+//!   allocations (IC0401), completions without allocation (IC0402),
+//!   pool-size divergence (IC0403), envelope departures (IC0404, a
+//!   warning — certified exhaustively for small dags and symbolically,
+//!   via [`ic_families::symbolic`], for large canonical family
+//!   instances), and truncated traces (IC0405);
 //! * **claim passes** ([`claims`]) walk the [`ic_families::claims`]
 //!   registry and machine-check every registered paper claim:
 //!   IC-optimality or its asserted absence, closed-form profiles,
@@ -32,7 +39,9 @@ pub mod diag;
 pub mod graph;
 pub mod order;
 pub mod report;
+pub mod trace;
 
 pub use claims::{audit_claim, run_all_claims};
 pub use diag::{Diagnostic, Severity};
 pub use report::AuditReport;
+pub use trace::audit_trace;

@@ -1,0 +1,427 @@
+//! Trace-replay passes (IC0401–IC0405).
+//!
+//! [`audit_trace`] replays a recorded execution trace (see
+//! [`ic_sim::trace`]) against the dag embedded in its header and checks
+//! the server invariants the paper's model assumes:
+//!
+//! * every allocation hands out a task that is ELIGIBLE *at that point
+//!   of the replay* (IC0401);
+//! * every completion was preceded by an allocation, once (IC0402);
+//! * recorded ELIGIBLE-pool sizes match the replayed pool (IC0403);
+//! * the realized execution order stays on the optimal eligibility
+//!   envelope (IC0404, a warning) — certified exhaustively for dags up
+//!   to [`EXHAUSTIVE_LIMIT`] nodes, and *symbolically* for larger dags
+//!   that [`ic_families::symbolic::certify`] recognizes as canonical
+//!   family instances with closed-form IC-optimal schedules;
+//! * the trace covers the whole computation (IC0405).
+//!
+//! The replay is best-effort after a finding: a flagged allocation is
+//! still applied so one defect does not cascade into dozens, but pool
+//! comparison stops at the first divergence (the reconstructed pool is
+//! no longer trustworthy).
+
+use ic_dag::Dag;
+use ic_sched::optimal::optimal_envelope;
+use ic_sched::Schedule;
+use ic_sim::trace::{Trace, TraceEvent};
+
+use crate::diag::{
+    Diagnostic, Severity, COMPLETION_BEFORE_ALLOCATION, ENVELOPE_DEPARTURE,
+    NON_ELIGIBLE_ALLOCATION, POOL_SIZE_MISMATCH, TRACE_TRUNCATED,
+};
+use crate::graph::audit_edges;
+use crate::order::EXHAUSTIVE_LIMIT;
+
+/// Replay `trace` against its own dag and report every violated server
+/// invariant. Structural defects in the embedded arc list (IC00xx) are
+/// reported first and stop the replay; IC0003 orphan warnings are kept
+/// but do not.
+pub fn audit_trace(trace: &Trace) -> Vec<Diagnostic> {
+    let n = trace.header.nodes;
+    let arcs: Vec<(usize, usize)> = trace
+        .header
+        .arcs
+        .iter()
+        .map(|&(u, v)| (u as usize, v as usize))
+        .collect();
+    let mut diags = audit_edges(n, &arcs);
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        return diags;
+    }
+    let dag = match trace.dag() {
+        Ok(d) => d,
+        Err(e) => {
+            diags.push(Diagnostic::error(
+                NON_ELIGIBLE_ALLOCATION,
+                format!("the trace header does not describe a dag: {e}"),
+            ));
+            return diags;
+        }
+    };
+    diags.extend(replay(&dag, trace));
+    diags
+}
+
+fn replay(dag: &Dag, trace: &Trace) -> Vec<Diagnostic> {
+    let n = dag.num_nodes();
+    let mut diags = Vec::new();
+    // Unexecuted-parent counters: a task is ELIGIBLE once this hits 0.
+    let mut missing: Vec<usize> = (0..n)
+        .map(|v| dag.in_degree(ic_dag::NodeId::new(v)))
+        .collect();
+    let mut allocated = vec![false; n];
+    let mut completed = vec![false; n];
+    // Replayed ELIGIBLE-pool size: eligible and not currently allocated.
+    let mut pool = dag.num_sources();
+    let mut pool_trusted = true;
+    let mut completions = 0usize;
+
+    let check_pool = |pool_trusted: &mut bool,
+                      diags: &mut Vec<Diagnostic>,
+                      step: u64,
+                      recorded: Option<usize>,
+                      replayed: usize| {
+        if let Some(rec) = recorded {
+            if *pool_trusted && rec != replayed {
+                diags.push(Diagnostic::error(
+                    POOL_SIZE_MISMATCH,
+                    format!(
+                        "step {step} records an ELIGIBLE pool of {rec} but replay \
+                         reconstructs {replayed}"
+                    ),
+                ));
+                *pool_trusted = false;
+            }
+        }
+    };
+
+    for ev in &trace.events {
+        match *ev {
+            TraceEvent::Allocated {
+                step,
+                client,
+                task,
+                pool: rec,
+                ..
+            } => {
+                let t = task.index();
+                if t >= n {
+                    diags.push(Diagnostic::error(
+                        NON_ELIGIBLE_ALLOCATION,
+                        format!(
+                            "step {step}: client {client} is allocated node {t} of a {n}-node dag"
+                        ),
+                    ));
+                    pool_trusted = false;
+                    continue;
+                }
+                if allocated[t] {
+                    diags.push(Diagnostic::error(
+                        NON_ELIGIBLE_ALLOCATION,
+                        format!("step {step}: task {t} is allocated to client {client} while already allocated"),
+                    ));
+                    pool_trusted = false;
+                } else if missing[t] > 0 {
+                    let parent = dag
+                        .parents(task)
+                        .iter()
+                        .find(|&&p| !completed[p.index()])
+                        .map(|p| p.index())
+                        .unwrap_or(t);
+                    diags.push(Diagnostic::error(
+                        NON_ELIGIBLE_ALLOCATION,
+                        format!(
+                            "step {step}: task {t} is allocated to client {client} before its \
+                             parent {parent} completed"
+                        ),
+                    ));
+                    pool_trusted = false;
+                    allocated[t] = true; // best-effort: keep replaying
+                } else {
+                    allocated[t] = true;
+                    pool -= 1;
+                    check_pool(&mut pool_trusted, &mut diags, step, rec, pool);
+                }
+            }
+            TraceEvent::Completed {
+                step,
+                client,
+                task,
+                pool: rec,
+                ..
+            } => {
+                let t = task.index();
+                if t >= n || !allocated[t] || completed[t] {
+                    let why = if t >= n {
+                        "an out-of-range node id"
+                    } else if completed[t] {
+                        "already completed"
+                    } else {
+                        "never allocated"
+                    };
+                    diags.push(Diagnostic::error(
+                        COMPLETION_BEFORE_ALLOCATION,
+                        format!("step {step}: client {client} completes task {t}, which is {why}"),
+                    ));
+                    pool_trusted = false;
+                    continue;
+                }
+                completed[t] = true;
+                completions += 1;
+                for c in dag.children(task) {
+                    missing[c.index()] -= 1;
+                    if missing[c.index()] == 0 {
+                        pool += 1;
+                    }
+                }
+                check_pool(&mut pool_trusted, &mut diags, step, rec, pool);
+            }
+            TraceEvent::Failed {
+                step,
+                client,
+                task,
+                pool: rec,
+                ..
+            } => {
+                let t = task.index();
+                if t >= n || !allocated[t] || completed[t] {
+                    diags.push(Diagnostic::error(
+                        COMPLETION_BEFORE_ALLOCATION,
+                        format!(
+                            "step {step}: client {client} fails task {t}, which was not \
+                             outstanding"
+                        ),
+                    ));
+                    pool_trusted = false;
+                    continue;
+                }
+                // The task returns to the ELIGIBLE pool.
+                allocated[t] = false;
+                pool += 1;
+                check_pool(&mut pool_trusted, &mut diags, step, rec, pool);
+            }
+            TraceEvent::Idle { .. } => {}
+        }
+    }
+
+    if completions < n {
+        diags.push(Diagnostic::error(
+            TRACE_TRUNCATED,
+            format!("the trace completes {completions} of {n} task(s)"),
+        ));
+    }
+
+    if diags.iter().all(|d| d.severity != Severity::Error) {
+        diags.extend(audit_trace_envelope(dag, trace));
+    }
+    diags
+}
+
+/// IC0404: compare the eligibility profile of the realized completion
+/// order against the optimal envelope. Exhaustive up to
+/// [`EXHAUSTIVE_LIMIT`] nodes; symbolic (closed-form family envelope)
+/// beyond it; silently skipped for large unrecognized dags.
+fn audit_trace_envelope(dag: &Dag, trace: &Trace) -> Vec<Diagnostic> {
+    let order = trace.completion_order();
+    let (envelope, authority) = if dag.num_nodes() <= EXHAUSTIVE_LIMIT {
+        let env = optimal_envelope(dag).expect("n <= 22 < 64");
+        (env, "exhaustive".to_string())
+    } else {
+        match ic_families::symbolic::certify(dag) {
+            Some(cert) => {
+                let label = format!("closed-form {} envelope, {}", cert.family, cert.source);
+                (cert.envelope, label)
+            }
+            None => return Vec::new(),
+        }
+    };
+    let profile = Schedule::new_unchecked(order).profile(dag);
+    let mut diags = Vec::new();
+    if let Some(t) = (0..envelope.len()).find(|&t| profile[t] < envelope[t]) {
+        diags.push(Diagnostic::warning(
+            ENVELOPE_DEPARTURE,
+            format!(
+                "after completion {t} the run left {} task(s) ELIGIBLE but the optimal \
+                 envelope ({authority}) allows {}",
+                profile[t], envelope[t]
+            ),
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_dag::NodeId;
+    use ic_sched::heuristics::Policy;
+    use ic_sim::trace::MemorySink;
+    use ic_sim::{simulate_traced, ClientProfile, SimConfig};
+
+    fn clean_trace(dag: &Dag, clients: usize, seed: u64) -> Trace {
+        let cfg = SimConfig {
+            clients: ClientProfile {
+                num_clients: clients,
+                ..ClientProfile::default()
+            },
+            seed,
+            ..SimConfig::default()
+        };
+        let mut sink = MemorySink::new();
+        simulate_traced(dag, &Policy::Fifo, &cfg, &mut sink);
+        sink.into_trace().expect("header recorded")
+    }
+
+    fn vee() -> Dag {
+        ic_dag::builder::from_arcs(3, &[(0, 1), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn clean_simulator_trace_audits_clean() {
+        // Multi-client stochastic runs may realize sub-envelope orders
+        // (IC0404 is a warning for exactly this reason) but must never
+        // violate a replay invariant.
+        let g = ic_families::mesh::out_mesh(5);
+        let trace = clean_trace(&g, 3, 7);
+        let diags = audit_trace(&trace);
+        assert!(
+            diags.iter().all(|d| d.severity != Severity::Error),
+            "{diags:?}"
+        );
+        // A single client replaying the IC-optimal schedule realizes
+        // the envelope exactly: fully clean.
+        let s = ic_families::mesh::out_mesh_schedule(&g);
+        let cfg = SimConfig {
+            clients: ClientProfile {
+                num_clients: 1,
+                ..ClientProfile::default()
+            },
+            ..SimConfig::default()
+        };
+        let mut sink = MemorySink::new();
+        simulate_traced(&g, &s, &cfg, &mut sink);
+        let diags = audit_trace(&sink.into_trace().unwrap());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn non_eligible_allocation_is_ic0401() {
+        let g = vee();
+        let mut trace = clean_trace(&g, 1, 1);
+        // Retarget the first allocation at a non-source.
+        if let TraceEvent::Allocated { task, .. } = &mut trace.events[0] {
+            *task = NodeId::new(1);
+        } else {
+            panic!("first event is an allocation");
+        }
+        let diags = audit_trace(&trace);
+        assert!(diags.iter().any(|d| d.code == NON_ELIGIBLE_ALLOCATION));
+    }
+
+    #[test]
+    fn completion_before_allocation_is_ic0402() {
+        let g = vee();
+        let mut trace = clean_trace(&g, 1, 1);
+        // Drop the first allocation; its completion now dangles.
+        trace.events.remove(0);
+        let diags = audit_trace(&trace);
+        assert!(diags.iter().any(|d| d.code == COMPLETION_BEFORE_ALLOCATION));
+    }
+
+    #[test]
+    fn pool_mismatch_is_ic0403_and_reported_once() {
+        let g = ic_families::mesh::out_mesh(4);
+        let mut trace = clean_trace(&g, 2, 3);
+        for ev in &mut trace.events {
+            if let TraceEvent::Completed { pool, .. } = ev {
+                *pool = pool.map(|p| p + 1);
+            }
+        }
+        let diags = audit_trace(&trace);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == POOL_SIZE_MISMATCH)
+            .collect();
+        assert_eq!(hits.len(), 1, "pool checking stops after divergence");
+    }
+
+    #[test]
+    fn truncated_trace_is_ic0405() {
+        let g = vee();
+        let mut trace = clean_trace(&g, 1, 1);
+        // Cut the trace just before its last completion (trailing idle
+        // requests may follow it).
+        let last = trace
+            .events
+            .iter()
+            .rposition(|ev| matches!(ev, TraceEvent::Completed { .. }))
+            .unwrap();
+        trace.events.truncate(last);
+        let diags = audit_trace(&trace);
+        assert!(diags.iter().any(|d| d.code == TRACE_TRUNCATED));
+    }
+
+    #[test]
+    fn sub_envelope_order_is_ic0404_warning() {
+        // Two disjoint Vees: completing a sink before the second source
+        // dents the envelope. Single client, so completion order ==
+        // allocation order == the (deliberately bad) replayed order.
+        let g = ic_dag::builder::from_arcs(6, &[(0, 2), (0, 3), (1, 4), (1, 5)]).unwrap();
+        let bad = ic_sim::ReplayPolicy::new([0usize, 2, 1, 3, 4, 5].map(NodeId::new).to_vec());
+        let cfg = SimConfig {
+            clients: ClientProfile {
+                num_clients: 1,
+                ..ClientProfile::default()
+            },
+            ..SimConfig::default()
+        };
+        let mut sink = MemorySink::new();
+        simulate_traced(&g, &bad, &cfg, &mut sink);
+        let trace = sink.into_trace().unwrap();
+        let diags = audit_trace(&trace);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, ENVELOPE_DEPARTURE);
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn large_family_dag_is_certified_symbolically() {
+        // 55 nodes: past EXHAUSTIVE_LIMIT, but a canonical out-mesh.
+        let g = ic_families::mesh::out_mesh(10);
+        let s = ic_families::mesh::out_mesh_schedule(&g);
+        let cfg = SimConfig {
+            clients: ClientProfile {
+                num_clients: 1,
+                ..ClientProfile::default()
+            },
+            ..SimConfig::default()
+        };
+        let mut sink = MemorySink::new();
+        simulate_traced(&g, &s, &cfg, &mut sink);
+        let trace = sink.into_trace().unwrap();
+        // The IC-optimal schedule under one client realizes the
+        // envelope exactly: clean.
+        assert!(audit_trace(&trace).is_empty());
+
+        // LIFO under one client departs from it — and the departure is
+        // only detectable because the mesh is certified symbolically.
+        let lifo = {
+            let cfg = SimConfig {
+                clients: ClientProfile {
+                    num_clients: 1,
+                    ..ClientProfile::default()
+                },
+                seed: 2,
+                ..SimConfig::default()
+            };
+            let mut sink = MemorySink::new();
+            simulate_traced(&g, &Policy::Lifo, &cfg, &mut sink);
+            sink.into_trace().unwrap()
+        };
+        let diags = audit_trace(&lifo);
+        assert!(
+            diags.iter().any(|d| d.code == ENVELOPE_DEPARTURE),
+            "{diags:?}"
+        );
+    }
+}

@@ -63,7 +63,9 @@ fn bench_priority(r: &mut Runner) {
 fn bench_heuristics(r: &mut Runner) {
     let mesh = out_mesh(40); // 820 nodes
     for p in Policy::all(7) {
-        r.bench("heuristic_schedulers", p.name(), || schedule_with(&mesh, p));
+        r.bench("heuristic_schedulers", p.name(), || {
+            schedule_with(&mesh, &p)
+        });
     }
 }
 

@@ -32,7 +32,7 @@ fn bench_policies(r: &mut Runner) {
         simulate(&m, &ic, &cfg(8))
     });
     for p in [Policy::Fifo, Policy::Lifo, Policy::GreedyEligibility] {
-        let s = schedule_with(&m, p);
+        let s = schedule_with(&m, &p);
         r.bench(
             "simulate_by_policy",
             &format!("mesh20_{}", p.name()),

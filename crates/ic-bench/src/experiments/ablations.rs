@@ -169,7 +169,7 @@ pub fn ab3_almost_optimal(_ctx: &Ctx) -> Section {
         ));
         let mut best_heur = u64::MAX;
         for p in Policy::all(7) {
-            let r = regret(&dag, &schedule_with(&dag, p)).unwrap();
+            let r = regret(&dag, &schedule_with(&dag, &p)).unwrap();
             best_heur = best_heur.min(r);
         }
         s.check(

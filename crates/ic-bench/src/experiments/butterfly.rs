@@ -56,7 +56,7 @@ pub fn fig09_networks(ctx: &Ctx) -> Section {
     // Heuristic contrast on B_2.
     let opt = s2.profile(&b2);
     for p in Policy::all(23) {
-        let hp = schedule_with(&b2, p).profile(&b2);
+        let hp = schedule_with(&b2, &p).profile(&b2);
         s.line(format!(
             "  {:<10} area {:>3} (optimal {:>3}) dominated: {}",
             p.name(),

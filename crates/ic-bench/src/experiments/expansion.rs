@@ -39,7 +39,7 @@ pub fn fig02_diamond(ctx: &Ctx) -> Section {
     ));
     s.check("phase schedule is IC-optimal", profile == envelope);
     for p in Policy::all(17) {
-        let hp = schedule_with(&d.dag, p).profile(&d.dag);
+        let hp = schedule_with(&d.dag, &p).profile(&d.dag);
         s.check(
             &format!(
                 "IC-optimal dominates {} (area {} vs {})",

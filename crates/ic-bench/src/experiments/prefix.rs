@@ -100,7 +100,7 @@ pub fn fig12_n_dag_decomposition(ctx: &Ctx) -> Section {
     let opt8 = sched8.profile(&composite);
     s.line(format!("  P_8 schedule profile = {}", fmt_profile(&opt8)));
     for p in Policy::all(29) {
-        let hp = schedule_with(&composite, p).profile(&composite);
+        let hp = schedule_with(&composite, &p).profile(&composite);
         s.line(format!(
             "  {:<10} area {:>4} (ours {:>4}) dominated: {}",
             p.name(),

@@ -107,7 +107,7 @@ pub fn sim_comparison(_ctx: &Ctx) -> Section {
         };
         run("IC-OPTIMAL".into(), &ic);
         for p in Policy::all(99) {
-            let sched = schedule_with(&dag, p);
+            let sched = schedule_with(&dag, &p);
             run(p.name().to_string(), &sched);
         }
         for (label, g, b, mp, mk, u, idle, burst) in &rows {

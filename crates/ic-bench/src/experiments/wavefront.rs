@@ -85,7 +85,7 @@ pub fn fig06_w_decomposition(ctx: &Ctx) -> Section {
     let opt = out_mesh_schedule(&direct).profile(&direct);
     s.line(format!("  envelope      = {}", fmt_profile(&envelope)));
     for p in [Policy::Fifo, Policy::Lifo, Policy::Random(3)] {
-        let hp = schedule_with(&direct, p).profile(&direct);
+        let hp = schedule_with(&direct, &p).profile(&direct);
         s.line(format!(
             "  {:<9} area {} vs optimal {} — dominated: {}",
             p.name(),

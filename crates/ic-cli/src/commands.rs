@@ -1,5 +1,10 @@
-//! The tool's commands, as pure functions returning the report text
-//! (so they are unit-testable without process plumbing).
+//! The tool's commands, as pure functions returning a [`CmdOutput`]
+//! envelope (so they are unit-testable without process plumbing).
+//!
+//! Functions returning `Result<CmdOutput, String>` reserve the `Err`
+//! arm for parse/usage errors that prevent the command from running —
+//! the binary maps those to exit code `2`, while a `CmdOutput` with
+//! findings exits `1`.
 
 use std::fmt::Write as _;
 
@@ -7,8 +12,10 @@ use ic_dag::dot::{to_dot, DotOptions};
 use ic_dag::stats::stats;
 use ic_sched::heuristics::{schedule_with, Policy};
 use ic_sched::quality::{area_under, summarize};
-use ic_sched::Schedule;
+use ic_sim::trace::MemorySink;
+use ic_sim::{simulate_traced, ClientProfile, SimConfig, Trace};
 
+use crate::output::{json_num_array, json_str_array, CmdOutput};
 use crate::parse::NamedDag;
 
 /// How to choose the priority order.
@@ -36,17 +43,31 @@ impl OrderPolicy {
     }
 }
 
+/// Parse a `sim --policy` value into a server allocation policy.
+/// `random` draws from `seed`.
+pub fn sim_policy_from_flag(s: &str, seed: u64) -> Option<Policy> {
+    match s {
+        "fifo" => Some(Policy::Fifo),
+        "lifo" => Some(Policy::Lifo),
+        "random" => Some(Policy::Random(seed)),
+        "greedy" => Some(Policy::GreedyEligibility),
+        "maxout" => Some(Policy::MaxOutDegree),
+        "mindepth" => Some(Policy::MinDepth),
+        _ => None,
+    }
+}
+
 /// Exhaustive machinery is engaged up to this many tasks.
 pub const EXACT_LIMIT: usize = 22;
 
 /// `order`: compute and report a priority order.
-pub fn order(nd: &NamedDag, policy: OrderPolicy) -> String {
+pub fn order(nd: &NamedDag, policy: OrderPolicy) -> CmdOutput {
     let dag = &nd.dag;
     let n = dag.num_nodes();
     let (schedule, how) = match policy {
-        OrderPolicy::Fifo => (schedule_with(dag, Policy::Fifo), "FIFO".to_string()),
+        OrderPolicy::Fifo => (schedule_with(dag, &Policy::Fifo), "FIFO".to_string()),
         OrderPolicy::Greedy => (
-            schedule_with(dag, Policy::GreedyEligibility),
+            schedule_with(dag, &Policy::GreedyEligibility),
             "greedy lookahead".to_string(),
         ),
         OrderPolicy::Auto => {
@@ -64,13 +85,13 @@ pub fn order(nd: &NamedDag, policy: OrderPolicy) -> String {
                         )
                     }
                     Err(_) => (
-                        schedule_with(dag, Policy::GreedyEligibility),
+                        schedule_with(dag, &Policy::GreedyEligibility),
                         "greedy lookahead (dag too large for exact)".to_string(),
                     ),
                 }
             } else {
                 (
-                    schedule_with(dag, Policy::GreedyEligibility),
+                    schedule_with(dag, &Policy::GreedyEligibility),
                     format!("greedy lookahead ({n} tasks > exact limit {EXACT_LIMIT})"),
                 )
             }
@@ -105,22 +126,38 @@ pub fn order(nd: &NamedDag, policy: OrderPolicy) -> String {
     for (i, &v) in schedule.order().iter().enumerate() {
         let _ = writeln!(out, "{i:>4}  {}", nd.name(v));
     }
-    out
+
+    let data = format!(
+        "{{\"how\": {}, \"order\": {}, \"profile\": {}}}",
+        ic_audit::report::json_string(&how),
+        json_str_array(schedule.order().iter().map(|&v| nd.name(v))),
+        json_num_array(profile.iter().copied()),
+    );
+    CmdOutput::success("order", out).with_data(data)
 }
 
-/// `stats`: structural summary plus per-task degrees.
-pub fn stats_report(nd: &NamedDag) -> String {
+/// `stats`: structural summary plus sources and sinks.
+pub fn stats_report(nd: &NamedDag) -> CmdOutput {
     let dag = &nd.dag;
     let mut out = String::new();
     let _ = writeln!(out, "{}", stats(dag));
     let _ = writeln!(out, "sources: {}", join_names(nd, dag.sources()));
     let _ = writeln!(out, "sinks:   {}", join_names(nd, dag.sinks()));
-    out
+    let data = format!(
+        "{{\"nodes\": {}, \"arcs\": {}, \"sources\": {}, \"sinks\": {}}}",
+        dag.num_nodes(),
+        dag.num_arcs(),
+        json_str_array(dag.sources().map(|v| nd.name(v).to_string())),
+        json_str_array(dag.sinks().map(|v| nd.name(v).to_string())),
+    );
+    CmdOutput::success("stats", out).with_data(data)
 }
 
 /// `check`: validate a proposed order (task names, one per line) and
 /// report its profile against the exact envelope where feasible.
-pub fn check(nd: &NamedDag, order_text: &str) -> Result<String, String> {
+/// Unknown task names are parse errors (`Err`); coverage and
+/// precedence violations are IC0101 findings.
+pub fn check(nd: &NamedDag, order_text: &str) -> Result<CmdOutput, String> {
     let dag = &nd.dag;
     let mut ids = Vec::new();
     for (i, raw) in order_text.lines().enumerate() {
@@ -133,21 +170,35 @@ pub fn check(nd: &NamedDag, order_text: &str) -> Result<String, String> {
             None => return Err(format!("line {}: unknown task {name:?}", i + 1)),
         }
     }
-    let schedule = Schedule::new(dag, ids)
-        .map_err(|_| "the order violates the dependencies (or misses tasks)".to_string())?;
+    let diags = ic_audit::order::audit_order(dag, &ids);
+    if !diags.is_empty() {
+        let out = CmdOutput::success("check", "invalid order\n")
+            .with_data("{\"valid\": false}")
+            .with_diagnostics(diags);
+        return Ok(out);
+    }
+    let schedule = ic_sched::Schedule::new_unchecked(ids);
     let profile = schedule.profile(dag);
     let mut out = String::new();
     let _ = writeln!(out, "valid order over {} tasks", dag.num_nodes());
     let _ = writeln!(out, "profile: {profile:?}");
+    let mut optimal = String::from("null");
+    let mut regret = String::from("null");
     if dag.num_nodes() <= EXACT_LIMIT {
         let opt = ic_sched::optimal::is_ic_optimal(dag, &schedule).map_err(|e| e.to_string())?;
         let _ = writeln!(out, "IC-optimal: {opt}");
+        optimal = opt.to_string();
         if !opt {
-            let regret = ic_sched::almost::regret(dag, &schedule).map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "regret vs envelope: {regret}");
+            let r = ic_sched::almost::regret(dag, &schedule).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "regret vs envelope: {r}");
+            regret = r.to_string();
         }
     }
-    Ok(out)
+    let data = format!(
+        "{{\"valid\": true, \"profile\": {}, \"ic_optimal\": {optimal}, \"regret\": {regret}}}",
+        json_num_array(profile.iter().copied()),
+    );
+    Ok(CmdOutput::success("check", out).with_data(data))
 }
 
 /// `export`: re-serialize to the canonical edge-list format (stable,
@@ -167,29 +218,79 @@ pub fn dot(nd: &NamedDag) -> String {
     )
 }
 
-/// `audit --claims`: machine-check the whole paper-claims registry.
-/// Returns the report text and whether the audit passed.
-pub fn audit_claims(json: bool) -> (String, bool) {
-    let report = ic_audit::run_all_claims();
-    let text = if json {
-        report.render_json()
-    } else {
-        report.render_text()
+/// `sim`: run the discrete-event server simulation and report its
+/// trace-derived metrics. Returns the envelope and the full execution
+/// trace (the binary writes it out under `--trace`).
+pub fn sim_run(nd: &NamedDag, policy: &Policy, clients: usize, seed: u64) -> (CmdOutput, Trace) {
+    let cfg = SimConfig {
+        clients: ClientProfile {
+            num_clients: clients,
+            ..ClientProfile::default()
+        },
+        seed,
+        ..SimConfig::default()
     };
+    let mut sink = MemorySink::new();
+    let r = simulate_traced(&nd.dag, policy, &cfg, &mut sink);
+    let trace = sink.into_trace().expect("simulate_traced records a header");
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} tasks, {} client(s), policy {}, seed {seed}",
+        nd.dag.num_nodes(),
+        clients,
+        policy.name()
+    );
+    let _ = writeln!(out, "makespan:     {:.3}", r.makespan);
+    let _ = writeln!(out, "utilization:  {:.3}", r.utilization);
+    let _ = writeln!(out, "idle time:    {:.3}", r.idle_time);
+    let _ = writeln!(out, "mean pool:    {:.3}", r.mean_pool());
+    let _ = writeln!(out, "gridlock:     {}", r.gridlock_events);
+    let _ = writeln!(out, "unsatisfied:  {}", r.unsatisfied_at_batch);
+    let _ = writeln!(out, "failures:     {}", r.failures);
+    let _ = writeln!(out, "events:       {}", trace.events.len());
+
+    let data = format!(
+        "{{\"policy\": {}, \"clients\": {clients}, \"seed\": \"{seed}\", \
+         \"makespan\": {}, \"utilization\": {}, \"idle_time\": {}, \"mean_pool\": {}, \
+         \"gridlock\": {}, \"unsatisfied_at_batch\": {}, \"failures\": {}, \"events\": {}}}",
+        ic_audit::report::json_string(policy.name()),
+        r.makespan,
+        r.utilization,
+        r.idle_time,
+        r.mean_pool(),
+        r.gridlock_events,
+        r.unsatisfied_at_batch,
+        r.failures,
+        trace.events.len(),
+    );
+    (CmdOutput::success("sim", out).with_data(data), trace)
+}
+
+/// `audit --claims`: machine-check the whole paper-claims registry.
+pub fn audit_claims() -> CmdOutput {
+    let report = ic_audit::run_all_claims();
     let clean = report.is_clean();
-    (text, clean)
+    CmdOutput {
+        command: "audit",
+        ok: clean,
+        text: report.render_text(),
+        data: Some(report.render_json()),
+        diagnostics: Vec::new(),
+    }
 }
 
 /// `audit --dag`: run the structural passes on a raw edge-list file
 /// and, when an order file is supplied, the order and envelope passes
-/// too. Returns the report text and whether the audit passed (no
-/// error-severity diagnostics).
-pub fn audit_dag_text(dag_text: &str, order_text: Option<&str>, json: bool) -> (String, bool) {
-    let raw = match crate::parse::parse_raw(dag_text) {
-        Ok(raw) => raw,
-        // Syntax errors precede any pass; report them plainly.
-        Err(e) => return (format!("error: {e}\n"), false),
-    };
+/// too. Codes listed in `deny` are escalated to errors. `Err` means
+/// the file did not parse.
+pub fn audit_dag_text(
+    dag_text: &str,
+    order_text: Option<&str>,
+    deny: &[&'static str],
+) -> Result<CmdOutput, String> {
+    let raw = crate::parse::parse_raw(dag_text).map_err(|e| e.to_string())?;
     let mut diags = ic_audit::graph::audit_edges(raw.names.len(), &raw.arcs);
     let structurally_clean = diags
         .iter()
@@ -230,27 +331,41 @@ pub fn audit_dag_text(dag_text: &str, order_text: Option<&str>, json: bool) -> (
         }
     }
 
+    Ok(finish_audit(diags, deny))
+}
+
+/// `audit --schedule`: replay a JSONL execution trace (IC0401–IC0405).
+/// `Err` means the trace did not parse.
+pub fn audit_trace_text(jsonl: &str, deny: &[&'static str]) -> Result<CmdOutput, String> {
+    let trace = Trace::from_jsonl(jsonl).map_err(|e| e.to_string())?;
+    let diags = ic_audit::audit_trace(&trace);
+    let data = format!(
+        "{{\"nodes\": {}, \"clients\": {}, \"policy\": {}, \"events\": {}}}",
+        trace.header.nodes,
+        trace.header.clients,
+        ic_audit::report::json_string(&trace.header.policy),
+        trace.events.len(),
+    );
+    let mut out = finish_audit(diags, deny);
+    out.data = Some(data);
+    Ok(out)
+}
+
+/// Apply `--deny` escalations, render the diagnostic summary, and
+/// compute the verdict.
+fn finish_audit(mut diags: Vec<ic_audit::Diagnostic>, deny: &[&'static str]) -> CmdOutput {
+    for code in deny {
+        ic_audit::diag::deny(&mut diags, code);
+    }
     let clean = diags
         .iter()
         .all(|d| d.severity != ic_audit::Severity::Error);
-    let text = if json {
-        let mut out = ic_audit::report::diagnostics_json(&diags);
-        out.push('\n');
-        out
-    } else {
-        let mut out = String::new();
-        for d in &diags {
-            let _ = writeln!(out, "{d}");
-        }
-        let _ = writeln!(
-            out,
-            "{} diagnostic(s), audit {}",
-            diags.len(),
-            if clean { "passed" } else { "FAILED" }
-        );
-        out
-    };
-    (text, clean)
+    let text = format!(
+        "{} diagnostic(s), audit {}\n",
+        diags.len(),
+        if clean { "passed" } else { "FAILED" }
+    );
+    CmdOutput::success("audit", text).with_diagnostics(diags)
 }
 
 fn join_names(nd: &NamedDag, it: impl Iterator<Item = ic_dag::NodeId>) -> String {
@@ -263,6 +378,7 @@ fn join_names(nd: &NamedDag, it: impl Iterator<Item = ic_dag::NodeId>) -> String
 mod tests {
     use super::*;
     use crate::parse::parse_dag;
+    use ic_audit::diag::UNREACHABLE_NODE;
 
     fn pipeline() -> NamedDag {
         parse_dag("build_a -> test_a\nbuild_b -> test_b\ntest_a -> package\ntest_b -> package\n")
@@ -272,20 +388,24 @@ mod tests {
     #[test]
     fn order_auto_reports_exact_on_small_dags() {
         let nd = pipeline();
-        let report = order(&nd, OrderPolicy::Auto);
-        assert!(report.contains("exact IC-optimal"), "{report}");
-        assert!(report.contains("package"));
+        let out = order(&nd, OrderPolicy::Auto);
+        assert!(out.ok);
+        assert!(out.text.contains("exact IC-optimal"), "{}", out.text);
+        assert!(out.text.contains("package"));
         // Every task appears exactly once.
         for name in ["build_a", "build_b", "test_a", "test_b", "package"] {
-            assert!(report.matches(name).count() >= 1, "{name}");
+            assert!(out.text.matches(name).count() >= 1, "{name}");
         }
+        let json = out.render_json();
+        assert!(json.contains("\"command\": \"order\""), "{json}");
+        assert!(json.contains("\"profile\": [2,"), "{json}");
     }
 
     #[test]
     fn order_fifo_and_greedy_work() {
         let nd = pipeline();
-        assert!(order(&nd, OrderPolicy::Fifo).contains("FIFO"));
-        assert!(order(&nd, OrderPolicy::Greedy).contains("greedy"));
+        assert!(order(&nd, OrderPolicy::Fifo).text.contains("FIFO"));
+        assert!(order(&nd, OrderPolicy::Greedy).text.contains("greedy"));
     }
 
     #[test]
@@ -297,47 +417,57 @@ mod tests {
         }
         text.push_str("w -> w0\nw -> w1\n");
         let nd = parse_dag(&text).unwrap();
-        let report = order(&nd, OrderPolicy::Auto);
-        assert!(report.contains("minimum-regret"), "{report}");
+        let out = order(&nd, OrderPolicy::Auto);
+        assert!(out.text.contains("minimum-regret"), "{}", out.text);
     }
 
     #[test]
     fn stats_lists_sources_and_sinks() {
         let nd = pipeline();
-        let report = stats_report(&nd);
-        assert!(report.contains("5 nodes"));
-        assert!(report.contains("build_a"));
-        assert!(report.contains("package"));
+        let out = stats_report(&nd);
+        assert!(out.text.contains("5 nodes"));
+        assert!(out.text.contains("build_a"));
+        assert!(out.text.contains("package"));
+        assert!(out.render_json().contains("\"sources\": [\"build_a\""));
     }
 
     #[test]
     fn check_accepts_valid_orders() {
         let nd = pipeline();
-        let report = check(&nd, "build_a\nbuild_b\ntest_a\ntest_b\npackage\n").unwrap();
-        assert!(report.contains("valid order"));
-        assert!(report.contains("IC-optimal: true"));
+        let out = check(&nd, "build_a\nbuild_b\ntest_a\ntest_b\npackage\n").unwrap();
+        assert!(out.ok);
+        assert!(out.text.contains("valid order"));
+        assert!(out.text.contains("IC-optimal: true"));
+        assert!(out.render_json().contains("\"ic_optimal\": true"));
     }
 
     #[test]
-    fn check_rejects_bad_orders() {
+    fn check_flags_bad_orders_with_ic0101() {
         let nd = pipeline();
-        // Dependency violation.
-        assert!(check(&nd, "test_a\nbuild_a\nbuild_b\ntest_b\npackage\n").is_err());
-        // Unknown task.
+        // Dependency violation: a finding, not a parse error.
+        let out = check(&nd, "test_a\nbuild_a\nbuild_b\ntest_b\npackage\n").unwrap();
+        assert!(!out.ok);
+        assert_eq!(out.exit_code(), 1);
+        assert!(out
+            .diagnostics
+            .iter()
+            .all(|d| d.code == ic_audit::diag::NOT_A_TOPOLOGICAL_ORDER));
+        // Unknown task: a parse error.
         assert!(check(&nd, "ship_it\n")
             .unwrap_err()
             .contains("unknown task"));
-        // Missing tasks.
-        assert!(check(&nd, "build_a\n").is_err());
+        // Missing tasks: a finding.
+        assert!(!check(&nd, "build_a\n").unwrap().ok);
     }
 
     #[test]
     fn check_reports_regret_for_suboptimal_orders() {
         // Two disjoint Lambdas: interleaving the pairs is suboptimal.
         let nd = parse_dag("a -> s1\nb -> s1\nc -> s2\nd -> s2\n").unwrap();
-        let report = check(&nd, "a\nc\nb\nd\ns1\ns2\n").unwrap();
-        assert!(report.contains("IC-optimal: false"), "{report}");
-        assert!(report.contains("regret"), "{report}");
+        let out = check(&nd, "a\nc\nb\nd\ns1\ns2\n").unwrap();
+        assert!(out.ok, "suboptimal is informational");
+        assert!(out.text.contains("IC-optimal: false"), "{}", out.text);
+        assert!(out.text.contains("regret"), "{}", out.text);
     }
 
     #[test]
@@ -362,48 +492,85 @@ mod tests {
 
     #[test]
     fn audit_claims_passes_and_renders_both_formats() {
-        let (text, ok) = audit_claims(false);
-        assert!(ok, "{text}");
-        assert!(text.contains("claims hold"));
-        let (json, ok) = audit_claims(true);
-        assert!(ok);
+        let out = audit_claims();
+        assert!(out.ok, "{}", out.text);
+        assert!(out.text.contains("claims hold"));
+        let json = out.render_json();
+        assert!(json.contains("\"ok\": true"));
         assert!(json.contains("\"passed\": true"));
     }
 
     #[test]
     fn audit_dag_flags_structural_defects() {
-        let (text, ok) = audit_dag_text("a -> b\nb -> a\n", None, false);
-        assert!(!ok);
-        assert!(text.contains("IC0001"), "{text}");
-        let (text, ok) = audit_dag_text("a -> b\na -> b\n", None, false);
-        assert!(!ok);
-        assert!(text.contains("IC0002"), "{text}");
-        let (text, ok) = audit_dag_text("a -> b\nnode lone\n", None, false);
-        assert!(ok, "isolated nodes are warnings: {text}");
-        assert!(text.contains("IC0003"), "{text}");
+        let out = audit_dag_text("a -> b\nb -> a\n", None, &[]).unwrap();
+        assert!(!out.ok);
+        assert!(out.render_text().contains("IC0001"));
+        let out = audit_dag_text("a -> b\na -> b\n", None, &[]).unwrap();
+        assert!(!out.ok);
+        assert!(out.render_text().contains("IC0002"));
+        let out = audit_dag_text("a -> b\nnode lone\n", None, &[]).unwrap();
+        assert!(out.ok, "isolated nodes are warnings");
+        assert!(out.render_text().contains("IC0003"));
+    }
+
+    #[test]
+    fn deny_orphans_escalates_ic0003() {
+        let out = audit_dag_text("a -> b\nnode lone\n", None, &[UNREACHABLE_NODE]).unwrap();
+        assert!(!out.ok, "denied orphans fail the audit");
+        assert_eq!(out.exit_code(), 1);
+        assert!(out.render_json().contains("\"severity\": \"error\""));
     }
 
     #[test]
     fn audit_dag_checks_orders() {
         let dag = "a -> s1\nb -> s1\nc -> s2\nd -> s2\n";
-        let (text, ok) = audit_dag_text(dag, Some("a\nb\nc\nd\ns1\ns2\n"), false);
-        assert!(ok, "{text}");
-        let (text, ok) = audit_dag_text(dag, Some("s1\na\nb\nc\nd\ns2\n"), false);
-        assert!(!ok);
-        assert!(text.contains("IC0101"), "{text}");
-        let (text, ok) = audit_dag_text(dag, Some("a\nc\nb\nd\ns1\ns2\n"), true);
-        assert!(!ok);
-        assert!(text.contains("IC0102"), "{text}");
-        let (text, ok) = audit_dag_text(dag, Some("a\nmystery\n"), false);
-        assert!(!ok);
-        assert!(text.contains("unknown task"), "{text}");
+        let out = audit_dag_text(dag, Some("a\nb\nc\nd\ns1\ns2\n"), &[]).unwrap();
+        assert!(out.ok, "{}", out.render_text());
+        let out = audit_dag_text(dag, Some("s1\na\nb\nc\nd\ns2\n"), &[]).unwrap();
+        assert!(!out.ok);
+        assert!(out.render_text().contains("IC0101"));
+        let out = audit_dag_text(dag, Some("a\nc\nb\nd\ns1\ns2\n"), &[]).unwrap();
+        assert!(!out.ok);
+        assert!(out.render_json().contains("IC0102"));
+        let out = audit_dag_text(dag, Some("a\nmystery\n"), &[]).unwrap();
+        assert!(!out.ok);
+        assert!(out.render_text().contains("unknown task"));
     }
 
     #[test]
     fn audit_dag_rejects_syntax_errors() {
-        let (text, ok) = audit_dag_text("a -> \n", None, false);
-        assert!(!ok);
-        assert!(text.contains("error"), "{text}");
+        assert!(audit_dag_text("a -> \n", None, &[]).is_err());
+    }
+
+    #[test]
+    fn sim_produces_an_auditable_trace() {
+        let nd = pipeline();
+        let (out, trace) = sim_run(&nd, &Policy::GreedyEligibility, 2, 42);
+        assert!(out.ok);
+        assert!(out.text.contains("makespan"));
+        assert!(out.render_json().contains("\"seed\": \"42\""));
+        let jsonl = trace.to_jsonl();
+        let audited = audit_trace_text(&jsonl, &[]).unwrap();
+        assert!(audited.ok, "{}", audited.render_text());
+        assert!(audited.render_json().contains("\"command\": \"audit\""));
+    }
+
+    #[test]
+    fn audit_trace_flags_defects_and_rejects_garbage() {
+        let nd = pipeline();
+        let (_, trace) = sim_run(&nd, &Policy::Fifo, 1, 7);
+        let mut lines: Vec<&str> = Vec::new();
+        let jsonl = trace.to_jsonl();
+        lines.extend(jsonl.lines());
+        // Drop the first allocation line: its completion dangles.
+        let alloc = lines.iter().position(|l| l.contains("\"alloc\"")).unwrap();
+        lines.remove(alloc);
+        let broken = lines.join("\n");
+        let out = audit_trace_text(&broken, &[]).unwrap();
+        assert!(!out.ok);
+        assert!(out.render_text().contains("IC040"), "{}", out.render_text());
+        // Garbage is a parse error, not a finding.
+        assert!(audit_trace_text("not json\n", &[]).is_err());
     }
 
     #[test]
@@ -412,5 +579,8 @@ mod tests {
         assert_eq!(OrderPolicy::from_flag("fifo"), Some(OrderPolicy::Fifo));
         assert_eq!(OrderPolicy::from_flag("greedy"), Some(OrderPolicy::Greedy));
         assert_eq!(OrderPolicy::from_flag("bogus"), None);
+        assert_eq!(sim_policy_from_flag("lifo", 0), Some(Policy::Lifo));
+        assert_eq!(sim_policy_from_flag("random", 9), Some(Policy::Random(9)));
+        assert_eq!(sim_policy_from_flag("bogus", 0), None);
     }
 }

@@ -25,15 +25,23 @@
 //! ```text
 //! ic-prio order tasks.dag --policy auto     # priority order + profile
 //! ic-prio stats tasks.dag                   # structural summary
+//! ic-prio sim tasks.dag --trace run.jsonl   # simulate; record the trace
 //! ic-prio audit --claims                    # machine-check the paper claims
 //! ic-prio audit --dag tasks.dag             # IC0001/IC0002/IC0003 lint
+//! ic-prio audit --schedule run.jsonl        # replay a trace (IC04xx)
 //! ic-prio dot tasks.dag                     # Graphviz rendering
 //! ```
+//!
+//! Every data-producing command accepts `--json` and emits the one
+//! envelope documented in [`output`]; exit codes are `0` (ok), `1`
+//! (findings), `2` (usage/parse errors).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod commands;
+pub mod output;
 pub mod parse;
 
+pub use output::CmdOutput;
 pub use parse::{parse_dag, NamedDag, ParseError};

@@ -1,40 +1,80 @@
 //! `ic-prio` — compute IC-scheduling priorities for a task dag.
 //!
 //! ```text
-//! ic-prio order <file> [--policy auto|greedy|fifo]
-//! ic-prio stats <file>
-//! ic-prio check <file> <order-file>
+//! ic-prio order <file> [--policy auto|greedy|fifo] [--json]
+//! ic-prio stats <file> [--json]
+//! ic-prio check <file> <order-file> [--json]
+//! ic-prio sim <file> [--policy P] [--clients N] [--seed S] [--trace out.jsonl] [--json]
 //! ic-prio audit --claims [--json]
-//! ic-prio audit --dag <file> [--order <order-file>] [--json]
+//! ic-prio audit --dag <file> [--order <order-file>] [--deny orphans] [--json]
+//! ic-prio audit --schedule <trace.jsonl> [--deny <code-name>] [--json]
 //! ic-prio dot <file>
 //! ic-prio export <file>
 //! ```
+//!
+//! Exit codes: `0` success, `1` the command ran but found problems,
+//! `2` usage, file, or parse errors.
 
 use std::process::ExitCode;
 
 use ic_cli::commands::{self, OrderPolicy};
+use ic_cli::output::CmdOutput;
 use ic_cli::parse_dag;
+
+const USAGE_EXIT: u8 = 2;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  ic-prio order <file> [--policy auto|greedy|fifo]\n  \
-         ic-prio stats <file>\n  ic-prio check <file> <order-file>\n  \
+        "usage:\n  ic-prio order <file> [--policy auto|greedy|fifo] [--json]\n  \
+         ic-prio stats <file> [--json]\n  ic-prio check <file> <order-file> [--json]\n  \
+         ic-prio sim <file> [--policy fifo|lifo|random|greedy|maxout|mindepth]\n              \
+         [--clients N] [--seed S] [--trace out.jsonl] [--json]\n  \
          ic-prio audit --claims [--json]\n  \
-         ic-prio audit --dag <file> [--order <order-file>] [--json]\n  \
+         ic-prio audit --dag <file> [--order <order-file>] [--deny orphans] [--json]\n  \
+         ic-prio audit --schedule <trace.jsonl> [--deny <code-name>] [--json]\n  \
          ic-prio dot <file>\n  ic-prio export <file>"
     );
-    ExitCode::from(2)
+    ExitCode::from(USAGE_EXIT)
 }
 
 fn load(path: &str) -> Result<ic_cli::NamedDag, ExitCode> {
-    let text = std::fs::read_to_string(path).map_err(|e| {
-        eprintln!("error: cannot read {path}: {e}");
-        ExitCode::FAILURE
-    })?;
+    let text = read(path)?;
     parse_dag(&text).map_err(|e| {
         eprintln!("error: {path}: {e}");
-        ExitCode::FAILURE
+        ExitCode::from(USAGE_EXIT)
     })
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        ExitCode::from(USAGE_EXIT)
+    })
+}
+
+/// Render `out` and map it to the process exit code.
+fn emit(out: &CmdOutput, json: bool) -> ExitCode {
+    print!("{}", out.render(json));
+    ExitCode::from(out.exit_code())
+}
+
+/// Split off the `--json` flag.
+fn take_json(args: Vec<&str>) -> (Vec<&str>, bool) {
+    let json = args.contains(&"--json");
+    (args.into_iter().filter(|a| *a != "--json").collect(), json)
+}
+
+/// Resolve `--deny` names to diagnostic codes. `orphans` is the
+/// ergonomic alias for IC0003; any `ICxxxx` code name from the table
+/// works too (e.g. `EnvelopeDeparture`).
+fn deny_code(name: &str) -> Option<&'static str> {
+    if name == "orphans" {
+        return Some(ic_audit::diag::UNREACHABLE_NODE);
+    }
+    ic_audit::diag::CODE_TABLE
+        .iter()
+        .find(|(code, table_name, _)| *code == name || *table_name == name)
+        .map(|(code, _, _)| *code)
 }
 
 fn main() -> ExitCode {
@@ -46,8 +86,8 @@ fn main() -> ExitCode {
             let Some(path) = it.next() else {
                 return usage();
             };
+            let (rest, json) = take_json(it.collect());
             let mut policy = OrderPolicy::Auto;
-            let rest: Vec<&str> = it.collect();
             match rest.as_slice() {
                 [] => {}
                 ["--policy", p] => match OrderPolicy::from_flag(p) {
@@ -60,10 +100,7 @@ fn main() -> ExitCode {
                 _ => return usage(),
             }
             match load(path) {
-                Ok(nd) => {
-                    print!("{}", commands::order(&nd, policy));
-                    ExitCode::SUCCESS
-                }
+                Ok(nd) => emit(&commands::order(&nd, policy), json),
                 Err(c) => c,
             }
         }
@@ -71,11 +108,12 @@ fn main() -> ExitCode {
             let Some(path) = it.next() else {
                 return usage();
             };
+            let (rest, json) = take_json(it.collect());
+            if !rest.is_empty() {
+                return usage();
+            }
             match load(path) {
-                Ok(nd) => {
-                    print!("{}", commands::stats_report(&nd));
-                    ExitCode::SUCCESS
-                }
+                Ok(nd) => emit(&commands::stats_report(&nd), json),
                 Err(c) => c,
             }
         }
@@ -83,64 +121,129 @@ fn main() -> ExitCode {
             let (Some(path), Some(order_path)) = (it.next(), it.next()) else {
                 return usage();
             };
+            let (rest, json) = take_json(it.collect());
+            if !rest.is_empty() {
+                return usage();
+            }
             let nd = match load(path) {
                 Ok(nd) => nd,
                 Err(c) => return c,
             };
-            let order_text = match std::fs::read_to_string(order_path) {
+            let order_text = match read(order_path) {
                 Ok(t) => t,
-                Err(e) => {
-                    eprintln!("error: cannot read {order_path}: {e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(c) => return c,
             };
             match commands::check(&nd, &order_text) {
-                Ok(report) => {
-                    print!("{report}");
-                    ExitCode::SUCCESS
-                }
+                Ok(out) => emit(&out, json),
                 Err(e) => {
                     eprintln!("error: {e}");
-                    ExitCode::FAILURE
+                    ExitCode::from(USAGE_EXIT)
                 }
             }
         }
+        "sim" => {
+            let Some(path) = it.next() else {
+                return usage();
+            };
+            let (rest, json) = take_json(it.collect());
+            let mut policy_flag = "greedy";
+            let mut clients = 4usize;
+            let mut seed = 0x1C5EEDu64;
+            let mut trace_path: Option<&str> = None;
+            let mut flags = rest.as_slice();
+            while let [flag, value, tail @ ..] = flags {
+                match *flag {
+                    "--policy" => policy_flag = value,
+                    "--clients" => match value.parse() {
+                        Ok(c) if c > 0 => clients = c,
+                        _ => {
+                            eprintln!("error: --clients takes a positive integer");
+                            return usage();
+                        }
+                    },
+                    "--seed" => match value.parse() {
+                        Ok(s) => seed = s,
+                        Err(_) => {
+                            eprintln!("error: --seed takes an integer");
+                            return usage();
+                        }
+                    },
+                    "--trace" => trace_path = Some(value),
+                    _ => return usage(),
+                }
+                flags = tail;
+            }
+            if !flags.is_empty() {
+                return usage();
+            }
+            let Some(policy) = commands::sim_policy_from_flag(policy_flag, seed) else {
+                eprintln!("error: unknown sim policy {policy_flag:?}");
+                return usage();
+            };
+            let nd = match load(path) {
+                Ok(nd) => nd,
+                Err(c) => return c,
+            };
+            let (out, trace) = commands::sim_run(&nd, &policy, clients, seed);
+            if let Some(tp) = trace_path {
+                if let Err(e) = std::fs::write(tp, trace.to_jsonl()) {
+                    eprintln!("error: cannot write {tp}: {e}");
+                    return ExitCode::from(USAGE_EXIT);
+                }
+            }
+            emit(&out, json)
+        }
         "audit" => {
-            let rest: Vec<&str> = it.collect();
-            let json = rest.contains(&"--json");
-            let rest: Vec<&str> = rest.into_iter().filter(|a| *a != "--json").collect();
-            let (text, ok) = match rest.as_slice() {
-                ["--claims"] => commands::audit_claims(json),
-                ["--dag", path] => match std::fs::read_to_string(path) {
-                    Ok(t) => commands::audit_dag_text(&t, None, json),
-                    Err(e) => {
-                        eprintln!("error: cannot read {path}: {e}");
-                        return ExitCode::FAILURE;
+            let (rest, json) = take_json(it.collect());
+            let mut deny: Vec<&'static str> = Vec::new();
+            let mut modal: Vec<&str> = Vec::new();
+            let mut flags = rest.as_slice();
+            while let [flag, tail @ ..] = flags {
+                if *flag == "--deny" {
+                    let [value, tail @ ..] = tail else {
+                        return usage();
+                    };
+                    match deny_code(value) {
+                        Some(code) => deny.push(code),
+                        None => {
+                            eprintln!("error: unknown --deny code {value:?}");
+                            return usage();
+                        }
                     }
+                    flags = tail;
+                } else {
+                    modal.push(flag);
+                    flags = tail;
+                }
+            }
+            let result = match modal.as_slice() {
+                ["--claims"] => Ok(commands::audit_claims()),
+                ["--dag", path] => match read(path) {
+                    Ok(t) => commands::audit_dag_text(&t, None, &deny),
+                    Err(c) => return c,
                 },
                 ["--dag", path, "--order", order_path] => {
-                    let dag_text = match std::fs::read_to_string(path) {
+                    let dag_text = match read(path) {
                         Ok(t) => t,
-                        Err(e) => {
-                            eprintln!("error: cannot read {path}: {e}");
-                            return ExitCode::FAILURE;
-                        }
+                        Err(c) => return c,
                     };
-                    match std::fs::read_to_string(order_path) {
-                        Ok(t) => commands::audit_dag_text(&dag_text, Some(&t), json),
-                        Err(e) => {
-                            eprintln!("error: cannot read {order_path}: {e}");
-                            return ExitCode::FAILURE;
-                        }
+                    match read(order_path) {
+                        Ok(t) => commands::audit_dag_text(&dag_text, Some(&t), &deny),
+                        Err(c) => return c,
                     }
                 }
+                ["--schedule", path] => match read(path) {
+                    Ok(t) => commands::audit_trace_text(&t, &deny),
+                    Err(c) => return c,
+                },
                 _ => return usage(),
             };
-            print!("{text}");
-            if ok {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
+            match result {
+                Ok(out) => emit(&out, json),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(USAGE_EXIT)
+                }
             }
         }
         "dot" => {

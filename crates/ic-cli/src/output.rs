@@ -1,0 +1,169 @@
+//! The uniform command envelope.
+//!
+//! Every data-producing `ic-prio` subcommand builds a [`CmdOutput`];
+//! the binary renders it as plain text or — under `--json` — as one
+//! stable envelope shared by `order`, `stats`, `check`, `sim`, and
+//! every `audit` mode:
+//!
+//! ```json
+//! {"ok": true, "command": "order", "data": {...}, "diagnostics": []}
+//! ```
+//!
+//! Exit codes follow the envelope: `0` when `ok`, `1` when a command
+//! ran but produced findings (`ok: false`), `2` for usage, file, and
+//! parse errors (the command never ran).
+
+use ic_audit::report::{diagnostics_json, json_string};
+use ic_audit::{Diagnostic, Severity};
+
+/// The outcome of one subcommand, renderable as text or JSON.
+#[derive(Debug)]
+pub struct CmdOutput {
+    /// Subcommand name, e.g. `"order"` or `"audit"`.
+    pub command: &'static str,
+    /// Did the command succeed with no error-severity findings?
+    pub ok: bool,
+    /// Human-readable report (the non-`--json` rendering).
+    pub text: String,
+    /// Pre-rendered JSON value for the envelope's `"data"` field;
+    /// `None` renders as `null`.
+    pub data: Option<String>,
+    /// Structured findings, rendered into the envelope and appended
+    /// (as `Display` lines) to the text rendering.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl CmdOutput {
+    /// A finding-free success carrying only report text.
+    pub fn success(command: &'static str, text: impl Into<String>) -> Self {
+        CmdOutput {
+            command,
+            ok: true,
+            text: text.into(),
+            data: None,
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Attach the envelope's `"data"` value (must already be JSON).
+    pub fn with_data(mut self, data: impl Into<String>) -> Self {
+        self.data = Some(data.into());
+        self
+    }
+
+    /// Attach findings and recompute `ok` (error severity ⇒ failed).
+    pub fn with_diagnostics(mut self, diags: Vec<Diagnostic>) -> Self {
+        self.ok = self.ok && diags.iter().all(|d| d.severity != Severity::Error);
+        self.diagnostics = diags;
+        self
+    }
+
+    /// The process exit code this outcome maps to (`0` or `1`; code
+    /// `2` is reserved for errors that prevent a command from running).
+    pub fn exit_code(&self) -> u8 {
+        u8::from(!self.ok)
+    }
+
+    /// Render for the terminal: the report text, then one line per
+    /// diagnostic.
+    pub fn render_text(&self) -> String {
+        let mut out = self.text.clone();
+        if !out.is_empty() && !out.ends_with('\n') {
+            out.push('\n');
+        }
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the stable `--json` envelope (one line).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"ok\": {}, \"command\": {}, \"data\": {}, \"diagnostics\": {}}}\n",
+            self.ok,
+            json_string(self.command),
+            self.data.as_deref().unwrap_or("null"),
+            diagnostics_json(&self.diagnostics)
+        )
+    }
+
+    /// Render according to the `--json` flag.
+    pub fn render(&self, json: bool) -> String {
+        if json {
+            self.render_json()
+        } else {
+            self.render_text()
+        }
+    }
+}
+
+/// Build a JSON array of strings.
+pub fn json_str_array<S: AsRef<str>>(items: impl IntoIterator<Item = S>) -> String {
+    let mut out = String::from("[");
+    for (i, s) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_string(s.as_ref()));
+    }
+    out.push(']');
+    out
+}
+
+/// Build a JSON array of numbers.
+pub fn json_num_array<T: std::fmt::Display>(items: impl IntoIterator<Item = T>) -> String {
+    let mut out = String::from("[");
+    for (i, v) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_audit::diag::UNREACHABLE_NODE;
+
+    #[test]
+    fn envelope_shape_is_stable() {
+        let out = CmdOutput::success("stats", "5 nodes\n").with_data("{\"nodes\": 5}");
+        assert_eq!(out.exit_code(), 0);
+        assert_eq!(
+            out.render_json(),
+            "{\"ok\": true, \"command\": \"stats\", \"data\": {\"nodes\": 5}, \
+             \"diagnostics\": []}\n"
+        );
+        assert_eq!(out.render_text(), "5 nodes\n");
+    }
+
+    #[test]
+    fn error_diagnostics_flip_ok_and_exit_code() {
+        let out = CmdOutput::success("audit", "")
+            .with_diagnostics(vec![Diagnostic::error("IC0001", "a -> a")]);
+        assert!(!out.ok);
+        assert_eq!(out.exit_code(), 1);
+        assert!(out.render_json().starts_with("{\"ok\": false"));
+        assert!(out.render_text().contains("IC0001"));
+    }
+
+    #[test]
+    fn warnings_keep_ok_true() {
+        let out = CmdOutput::success("audit", "")
+            .with_diagnostics(vec![Diagnostic::warning(UNREACHABLE_NODE, "node 3")]);
+        assert!(out.ok);
+        assert_eq!(out.exit_code(), 0);
+    }
+
+    #[test]
+    fn array_helpers() {
+        assert_eq!(json_str_array(["a", "b\""]), "[\"a\", \"b\\\"\"]");
+        assert_eq!(json_num_array([1, 2, 3]), "[1, 2, 3]");
+        assert_eq!(json_num_array(Vec::<usize>::new()), "[]");
+    }
+}

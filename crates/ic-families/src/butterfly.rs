@@ -349,7 +349,7 @@ mod tests {
         use ic_sched::heuristics::{schedule_with, Policy};
         let g = butterfly(2);
         for p in Policy::all(11) {
-            let s = schedule_with(&g, p);
+            let s = schedule_with(&g, &p);
             // Normalize: the characterization concerns nonsink order;
             // heuristics may interleave sinks, which can only lower the
             // profile. Compare directly on the raw schedule.

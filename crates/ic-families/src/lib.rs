@@ -18,6 +18,7 @@
 //! | [`paths`] | Fig 16 (graph-paths computation, §6.2.2) |
 //! | [`matmul`] | Fig 17 (matrix-multiplication dag, §7) |
 //! | [`claims`] | the machine-checkable registry of all the above claims |
+//! | [`symbolic`] | closed-form optimal-envelope certificates for large family instances |
 //!
 //! All constructors produce dags whose node ids follow the canonical
 //! layout documented per module; schedules are returned as
@@ -36,4 +37,5 @@ pub mod paths;
 pub mod prefix;
 pub mod primitives;
 pub mod sorting;
+pub mod symbolic;
 pub mod trees;

@@ -306,7 +306,7 @@ mod tests {
         assert_eq!(r.num_sinks(), 4);
         // Heuristics can schedule it.
         use ic_sched::heuristics::{schedule_with, Policy};
-        let s = schedule_with(&r, Policy::Fifo);
+        let s = schedule_with(&r, &Policy::Fifo);
         assert_eq!(s.len(), r.num_nodes());
     }
 }

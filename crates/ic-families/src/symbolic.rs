@@ -1,0 +1,256 @@
+//! Symbolic envelope certification for large family instances.
+//!
+//! Exhaustive envelope computation (the down-set lattice walked by
+//! `ic_sched::optimal`) is only feasible up to a couple dozen nodes.
+//! The paper's families, however, come with *closed-form* IC-optimal
+//! schedules valid at every size — the very claims the registry in
+//! [`crate::claims`] pins and `ic-audit` verifies exhaustively on small
+//! instances. This module closes the loop for big instances: it
+//! recognizes a dag as a member of one of those families (by exact
+//! arc-set equality against the canonical constructor's output) and
+//! returns the family schedule's eligibility profile as the certified
+//! optimal envelope.
+//!
+//! Recognition is deliberately strict: node ids must follow the
+//! family's canonical numbering, i.e. the dag must have been produced
+//! by (or serialized from) the constructors in this crate. An
+//! isomorphic relabeling is *not* recognized — certifying one would
+//! require a graph-isomorphism search this crate does not attempt.
+
+use ic_dag::Dag;
+
+use crate::prefix::prefix_rows;
+use crate::{butterfly, dlt, mesh, prefix, trees};
+
+/// A closed-form optimal envelope for a recognized family instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicEnvelope {
+    /// Human-readable family instance, e.g. `"out-mesh(10)"`.
+    pub family: String,
+    /// Where the paper states the family's IC-optimal schedule.
+    pub source: &'static str,
+    /// The full eligibility profile `E(0..=n)` of the family's
+    /// IC-optimal schedule — pointwise maximal by IC-optimality.
+    pub envelope: Vec<usize>,
+}
+
+/// Largest constructor parameter any recognizer will try. Generous: an
+/// out-mesh at this limit has ~8M nodes, far past simulation scale.
+const MAX_PARAM: usize = 4096;
+
+/// Recognize `dag` as a canonical family instance and return the
+/// closed-form optimal envelope, or `None` if no family matches.
+///
+/// Families tried: out-/in-meshes (§4), butterflies (§5),
+/// parallel-prefix dags (§6.1), DLT dags (§6.2.1), and complete
+/// out-/in-trees of arity 2–8 (§3.1).
+///
+/// ```
+/// use ic_families::mesh::out_mesh;
+/// use ic_families::symbolic::certify;
+///
+/// let m = out_mesh(10); // 55 nodes: past the exhaustive limit
+/// let cert = certify(&m).expect("canonical mesh is recognized");
+/// assert_eq!(cert.family, "out-mesh(10)");
+/// assert_eq!(cert.envelope.len(), m.num_nodes() + 1);
+/// ```
+pub fn certify(dag: &Dag) -> Option<SymbolicEnvelope> {
+    certify_mesh(dag)
+        .or_else(|| certify_butterfly(dag))
+        .or_else(|| certify_prefix(dag))
+        .or_else(|| certify_dlt(dag))
+        .or_else(|| certify_trees(dag))
+}
+
+/// Exact structural equality: same node count and identical arc sets
+/// under the same node numbering.
+fn same_dag(dag: &Dag, candidate: &Dag) -> bool {
+    if dag.num_nodes() != candidate.num_nodes() || dag.num_arcs() != candidate.num_arcs() {
+        return false;
+    }
+    let mut a: Vec<_> = dag.arcs().collect();
+    let mut b: Vec<_> = candidate.arcs().collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    a == b
+}
+
+fn certify_mesh(dag: &Dag) -> Option<SymbolicEnvelope> {
+    let n = dag.num_nodes();
+    // An L-level triangular mesh has L(L+1)/2 nodes.
+    let levels = (1..=MAX_PARAM).find(|&l| l * (l + 1) / 2 >= n)?;
+    if levels * (levels + 1) / 2 != n {
+        return None;
+    }
+    let out = mesh::out_mesh(levels);
+    if same_dag(dag, &out) {
+        return Some(SymbolicEnvelope {
+            family: format!("out-mesh({levels})"),
+            source: "§4, Fig. 5",
+            envelope: mesh::out_mesh_schedule(&out).profile(dag),
+        });
+    }
+    let inm = mesh::in_mesh(levels);
+    if same_dag(dag, &inm) {
+        return Some(SymbolicEnvelope {
+            family: format!("in-mesh({levels})"),
+            source: "§4 (dual of Fig. 5)",
+            envelope: mesh::in_mesh_schedule(&inm).ok()?.profile(dag),
+        });
+    }
+    None
+}
+
+fn certify_butterfly(dag: &Dag) -> Option<SymbolicEnvelope> {
+    let n = dag.num_nodes();
+    // B_d has (d+1) * 2^d nodes.
+    let d = (1..=48).find(|&d| (d + 1) << d >= n)?;
+    if (d + 1) << d != n {
+        return None;
+    }
+    let b = butterfly::butterfly(d);
+    same_dag(dag, &b).then(|| SymbolicEnvelope {
+        family: format!("butterfly({d})"),
+        source: "§5, Fig. 10",
+        envelope: butterfly::butterfly_schedule(d).profile(dag),
+    })
+}
+
+fn certify_prefix(dag: &Dag) -> Option<SymbolicEnvelope> {
+    let n = dag.num_nodes();
+    // P_k has prefix_rows(k) * k nodes.
+    let k = (1..=MAX_PARAM).find(|&k| prefix_rows(k) * k >= n)?;
+    if prefix_rows(k) * k != n {
+        return None;
+    }
+    let p = prefix::parallel_prefix(k);
+    same_dag(dag, &p).then(|| SymbolicEnvelope {
+        family: format!("parallel-prefix({k})"),
+        source: "§6.1, Figs. 11–12",
+        envelope: prefix::prefix_schedule(k).profile(dag),
+    })
+}
+
+fn certify_dlt(dag: &Dag) -> Option<SymbolicEnvelope> {
+    let n = dag.num_nodes();
+    // L_k (k a power of two) merges P_k's sinks with T_k's sources:
+    // prefix_rows(k)*k + (2k - 1) - k nodes.
+    let k = (1..=12)
+        .map(|p| 1usize << p)
+        .find(|&k| prefix_rows(k) * k + k > n)?;
+    if prefix_rows(k) * k + k - 1 != n {
+        return None;
+    }
+    let l = dlt::dlt_prefix(k);
+    if !same_dag(dag, &l.dag) {
+        return None;
+    }
+    Some(SymbolicEnvelope {
+        family: format!("dlt-prefix({k})"),
+        source: "§6.2.1, Fig. 13",
+        envelope: l.ic_schedule().ok()?.profile(dag),
+    })
+}
+
+fn certify_trees(dag: &Dag) -> Option<SymbolicEnvelope> {
+    let n = dag.num_nodes();
+    for arity in 2..=8usize {
+        // A complete arity-ary tree of depth h has 1 + a + … + a^h nodes.
+        let mut count = 1usize;
+        let mut level = 1usize;
+        let mut depth = 0usize;
+        while count < n {
+            level = level.saturating_mul(arity);
+            count = count.saturating_add(level);
+            depth += 1;
+        }
+        if count != n || depth == 0 {
+            continue;
+        }
+        let out = trees::complete_out_tree(arity, depth);
+        if same_dag(dag, &out) {
+            return Some(SymbolicEnvelope {
+                family: format!("out-tree({arity}, depth {depth})"),
+                source: "§3.1",
+                envelope: trees::out_tree_schedule(&out).profile(dag),
+            });
+        }
+        let int = trees::complete_in_tree(arity, depth);
+        if same_dag(dag, &int) {
+            return Some(SymbolicEnvelope {
+                family: format!("in-tree({arity}, depth {depth})"),
+                source: "§3.1",
+                envelope: trees::in_tree_schedule(&int).ok()?.profile(dag),
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_dag::builder::from_arcs;
+
+    #[test]
+    fn recognizes_large_meshes() {
+        let m = mesh::out_mesh(10);
+        let cert = certify(&m).expect("out-mesh");
+        assert_eq!(cert.family, "out-mesh(10)");
+        assert_eq!(cert.envelope.len(), 56);
+        assert_eq!(cert.envelope[0], 1);
+        assert_eq!(*cert.envelope.last().unwrap(), 0);
+
+        let im = mesh::in_mesh(9);
+        assert_eq!(certify(&im).expect("in-mesh").family, "in-mesh(9)");
+    }
+
+    #[test]
+    fn recognizes_butterfly_prefix_dlt_and_trees() {
+        assert_eq!(
+            certify(&butterfly::butterfly(3)).expect("butterfly").family,
+            "butterfly(3)"
+        );
+        assert_eq!(
+            certify(&prefix::parallel_prefix(8)).expect("prefix").family,
+            "parallel-prefix(8)"
+        );
+        assert_eq!(
+            certify(&dlt::dlt_prefix(8).dag).expect("dlt").family,
+            "dlt-prefix(8)"
+        );
+        assert_eq!(
+            certify(&trees::complete_out_tree(3, 3))
+                .expect("out-tree")
+                .family,
+            "out-tree(3, depth 3)"
+        );
+        assert_eq!(
+            certify(&trees::complete_in_tree(2, 4))
+                .expect("in-tree")
+                .family,
+            "in-tree(2, depth 4)"
+        );
+    }
+
+    #[test]
+    fn envelope_matches_schedule_profile() {
+        let b = butterfly::butterfly(2);
+        let cert = certify(&b).unwrap();
+        assert_eq!(cert.envelope, butterfly::butterfly_schedule(2).profile(&b));
+    }
+
+    #[test]
+    fn rejects_perturbed_and_foreign_dags() {
+        // An out-mesh with one arc removed has the node count of a mesh
+        // but not its arc set.
+        let m = mesh::out_mesh(10);
+        let arcs: Vec<(u32, u32)> = m.arcs().skip(1).map(|(u, v)| (u.0, v.0)).collect();
+        let perturbed = from_arcs(m.num_nodes(), &arcs).unwrap();
+        assert!(certify(&perturbed).is_none());
+
+        // An arbitrary diamond is no family instance.
+        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        assert!(certify(&g).is_none());
+    }
+}

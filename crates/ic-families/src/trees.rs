@@ -304,7 +304,7 @@ mod tests {
         let t = complete_in_tree(2, 2); // 7 nodes, sinks last... ids: root 0 is sink
         use ic_sched::heuristics::{schedule_with, Policy};
         for p in Policy::all(3) {
-            let s = schedule_with(&t, p);
+            let s = schedule_with(&t, &p);
             let optimal = is_ic_optimal(&t, &s).unwrap();
             let consecutive = executes_siblings_consecutively(&t, &s);
             assert_eq!(

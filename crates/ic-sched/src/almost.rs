@@ -122,7 +122,7 @@ pub fn min_regret_schedule(dag: &Dag) -> Result<(u64, Schedule), SchedError> {
 /// *measured*, not guaranteed; compare against [`min_regret_schedule`]
 /// where feasible.
 pub fn greedy_regret_schedule(dag: &Dag) -> Schedule {
-    crate::heuristics::schedule_with(dag, crate::heuristics::Policy::GreedyEligibility)
+    crate::heuristics::schedule_with(dag, &crate::heuristics::Policy::GreedyEligibility)
 }
 
 #[cfg(test)]
@@ -188,7 +188,7 @@ mod tests {
         let g = unary_tree();
         let (min, _) = min_regret_schedule(&g).unwrap();
         for p in crate::heuristics::Policy::all(3) {
-            let s = crate::heuristics::schedule_with(&g, p);
+            let s = crate::heuristics::schedule_with(&g, &p);
             assert!(regret(&g, &s).unwrap() >= min, "{}", p.name());
         }
         assert!(regret(&g, &Schedule::in_id_order(&g)).unwrap() >= min);

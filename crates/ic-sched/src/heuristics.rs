@@ -4,17 +4,23 @@
 //! paper) compare its schedules against natural heuristics, including
 //! the "FIFO" policy used by Condor's DAGMan. These serve as the
 //! comparators in our simulator and benchmark harness.
-
-use std::collections::VecDeque;
+//!
+//! Each heuristic is a variant of [`Policy`], which implements
+//! [`AllocationPolicy`]; [`schedule_with`] drives any policy to a
+//! complete static [`Schedule`], and `ic-sim` drives the same policies
+//! dynamically against a stochastic client population.
 
 use ic_dag::rng::XorShift64;
 use ic_dag::traversal::levels;
 use ic_dag::{Dag, NodeId};
 
 use crate::eligibility::ExecState;
+use crate::policy::{AllocationPolicy, PolicyContext};
 use crate::schedule::Schedule;
 
-/// A named scheduling policy over the ELIGIBLE pool.
+/// The baseline allocation heuristics, as one enum for easy sweeping
+/// ([`Policy::all`]). Custom policies implement [`AllocationPolicy`]
+/// directly instead of extending this list.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Policy {
     /// Execute ELIGIBLE nodes in the order they became ELIGIBLE
@@ -61,127 +67,108 @@ impl Policy {
     }
 }
 
-/// Produce the complete schedule that `policy` yields on `dag`.
-pub fn schedule_with(dag: &Dag, policy: Policy) -> Schedule {
-    match policy {
-        Policy::Fifo => fifo(dag),
-        Policy::Lifo => lifo(dag),
-        Policy::Random(seed) => random(dag, seed),
-        Policy::MaxOutDegree => {
-            select_best(dag, |d, _st, v| (d.out_degree(v) as i64, -(v.0 as i64)))
+/// Index of the pool entry maximizing `key` (keys are unique per node
+/// whenever they end in `-id`, so scan order does not matter).
+fn argmax<K: Ord>(pool: &[NodeId], key: impl Fn(NodeId) -> K) -> usize {
+    let (mut best_i, mut best) = (0usize, key(pool[0]));
+    for (i, &v) in pool.iter().enumerate().skip(1) {
+        let k = key(v);
+        if k > best {
+            best_i = i;
+            best = k;
         }
-        Policy::MinDepth => {
-            let lvl = levels(dag);
-            select_best(dag, move |_d, _st, v| {
-                (-(lvl[v.index()] as i64), -(v.0 as i64))
-            })
-        }
-        Policy::GreedyEligibility => greedy_eligibility(dag),
     }
+    best_i
+}
+
+/// How many children of `v` become ELIGIBLE the moment `v` executes.
+fn eligibility_gain(dag: &Dag, st: &ExecState<'_>, v: NodeId) -> i64 {
+    dag.children(v)
+        .iter()
+        .filter(|&&c| {
+            // c becomes eligible iff v is its only unexecuted parent.
+            dag.parents(c).iter().all(|&p| p == v || st.is_executed(p))
+        })
+        .count() as i64
+}
+
+impl AllocationPolicy for Policy {
+    fn name(&self) -> String {
+        Policy::name(self).into()
+    }
+
+    fn choose(&self, ctx: &PolicyContext<'_, '_>, pool: &[NodeId]) -> usize {
+        match *self {
+            Policy::Fifo => 0,
+            Policy::Lifo => pool.len() - 1,
+            // Stateless randomness: the stream is a pure function of
+            // (seed, step), so the policy replays identically without
+            // interior mutability.
+            Policy::Random(seed) => {
+                let mix = (ctx.step as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                XorShift64::new(seed ^ mix).gen_range(pool.len())
+            }
+            Policy::MaxOutDegree => argmax(pool, |v| (ctx.dag.out_degree(v) as i64, -(v.0 as i64))),
+            Policy::MinDepth => {
+                let lvl = levels(ctx.dag);
+                argmax(pool, |v| (-(lvl[v.index()] as i64), -(v.0 as i64)))
+            }
+            Policy::GreedyEligibility => argmax(pool, |v| {
+                (
+                    eligibility_gain(ctx.dag, ctx.state, v),
+                    ctx.dag.out_degree(v) as i64,
+                    -(v.0 as i64),
+                )
+            }),
+        }
+    }
+}
+
+/// Produce the complete schedule that `policy` yields on `dag`: drive
+/// the policy over the ELIGIBLE pool (kept in became-ELIGIBLE order,
+/// with newly enabled nodes appended in id order) one task at a time.
+///
+/// # Panics
+/// Panics if `policy.choose` returns an out-of-range index or the
+/// policy's [`AllocationPolicy::prepare`] rejects the dag.
+pub fn schedule_with(dag: &Dag, policy: &dyn AllocationPolicy) -> Schedule {
+    policy.prepare(dag);
+    let mut st = ExecState::new(dag);
+    let mut pool: Vec<NodeId> = dag.sources().collect();
+    let mut order = Vec::with_capacity(dag.num_nodes());
+    let mut step = 0usize;
+    while !pool.is_empty() {
+        let i = policy.choose(
+            &PolicyContext {
+                dag,
+                state: &st,
+                step,
+            },
+            &pool,
+        );
+        let v = pool.remove(i);
+        let newly = st.execute(v).expect("pool holds only ELIGIBLE nodes");
+        order.push(v);
+        pool.extend(newly);
+        step += 1;
+    }
+    Schedule::new_unchecked(order)
 }
 
 /// FIFO over the ELIGIBLE pool: sources enter in id order; newly
 /// ELIGIBLE nodes are appended in id order.
 pub fn fifo(dag: &Dag) -> Schedule {
-    let mut st = ExecState::new(dag);
-    let mut queue: VecDeque<NodeId> = dag.sources().collect();
-    let mut order = Vec::with_capacity(dag.num_nodes());
-    while let Some(v) = queue.pop_front() {
-        let newly = st.execute(v).expect("FIFO only executes ELIGIBLE nodes");
-        order.push(v);
-        queue.extend(newly);
-    }
-    Schedule::new_unchecked(order)
+    schedule_with(dag, &Policy::Fifo)
 }
 
 /// LIFO over the ELIGIBLE pool: most recently enabled first.
 pub fn lifo(dag: &Dag) -> Schedule {
-    let mut st = ExecState::new(dag);
-    let mut stack: Vec<NodeId> = dag.sources().collect();
-    let mut order = Vec::with_capacity(dag.num_nodes());
-    while let Some(v) = stack.pop() {
-        let newly = st.execute(v).expect("LIFO only executes ELIGIBLE nodes");
-        order.push(v);
-        stack.extend(newly);
-    }
-    Schedule::new_unchecked(order)
+    schedule_with(dag, &Policy::Lifo)
 }
 
 /// Uniformly random ELIGIBLE node at every step (seeded, reproducible).
 pub fn random(dag: &Dag, seed: u64) -> Schedule {
-    let mut rng = XorShift64::new(seed);
-    let mut st = ExecState::new(dag);
-    let mut pool: Vec<NodeId> = dag.sources().collect();
-    let mut order = Vec::with_capacity(dag.num_nodes());
-    while !pool.is_empty() {
-        let i = rng.gen_range(pool.len());
-        let v = pool.swap_remove(i);
-        let newly = st.execute(v).expect("pool holds only ELIGIBLE nodes");
-        order.push(v);
-        pool.extend(newly);
-    }
-    Schedule::new_unchecked(order)
-}
-
-/// Generic "pick the ELIGIBLE node maximizing a key" scheduler.
-fn select_best(dag: &Dag, key: impl Fn(&Dag, &ExecState<'_>, NodeId) -> (i64, i64)) -> Schedule {
-    let mut st = ExecState::new(dag);
-    let mut pool: Vec<NodeId> = dag.sources().collect();
-    let mut order = Vec::with_capacity(dag.num_nodes());
-    while !pool.is_empty() {
-        let (mut best_i, mut best_key) = (0usize, key(dag, &st, pool[0]));
-        for (i, &v) in pool.iter().enumerate().skip(1) {
-            let k = key(dag, &st, v);
-            if k > best_key {
-                best_i = i;
-                best_key = k;
-            }
-        }
-        let v = pool.swap_remove(best_i);
-        let newly = st.execute(v).expect("pool holds only ELIGIBLE nodes");
-        order.push(v);
-        pool.extend(newly);
-    }
-    Schedule::new_unchecked(order)
-}
-
-/// One-step lookahead: maximize the number of children whose last
-/// missing parent would be the executed node.
-fn greedy_eligibility(dag: &Dag) -> Schedule {
-    let mut st = ExecState::new(dag);
-    let mut pool: Vec<NodeId> = dag.sources().collect();
-    let mut order = Vec::with_capacity(dag.num_nodes());
-    while !pool.is_empty() {
-        let gain = |st: &ExecState<'_>, v: NodeId| -> i64 {
-            dag.children(v)
-                .iter()
-                .filter(|&&c| {
-                    // c becomes eligible iff v is its only unexecuted parent.
-                    dag.parents(c).iter().all(|&p| p == v || st.is_executed(p))
-                })
-                .count() as i64
-        };
-        let (mut best_i, mut best) = (
-            0usize,
-            (
-                gain(&st, pool[0]),
-                dag.out_degree(pool[0]) as i64,
-                -(pool[0].0 as i64),
-            ),
-        );
-        for (i, &v) in pool.iter().enumerate().skip(1) {
-            let k = (gain(&st, v), dag.out_degree(v) as i64, -(v.0 as i64));
-            if k > best {
-                best_i = i;
-                best = k;
-            }
-        }
-        let v = pool.swap_remove(best_i);
-        let newly = st.execute(v).expect("pool holds only ELIGIBLE nodes");
-        order.push(v);
-        pool.extend(newly);
-    }
-    Schedule::new_unchecked(order)
+    schedule_with(dag, &Policy::Random(seed))
 }
 
 #[cfg(test)]
@@ -211,7 +198,7 @@ mod tests {
     fn all_policies_yield_valid_schedules() {
         let g = sample();
         for p in Policy::all(42) {
-            let s = schedule_with(&g, p);
+            let s = schedule_with(&g, &p);
             assert!(
                 is_topological(&g, s.order()),
                 "{} produced an invalid order",
@@ -244,10 +231,18 @@ mod tests {
     }
 
     #[test]
+    fn random_seeds_differ() {
+        let g = sample();
+        // Not a hard guarantee for arbitrary seeds, but these two must
+        // differ or the (seed, step) mixing is broken.
+        assert_ne!(random(&g, 1).order(), random(&g, 0xDEAD_BEEF).order());
+    }
+
+    #[test]
     fn max_outdegree_prefers_hubs() {
         // Two sources: node 0 with 3 children, node 1 with 1 child.
         let g = from_arcs(6, &[(0, 2), (0, 3), (0, 4), (1, 5)]).unwrap();
-        let s = schedule_with(&g, Policy::MaxOutDegree);
+        let s = schedule_with(&g, &Policy::MaxOutDegree);
         assert_eq!(s.order()[0], NodeId(0));
     }
 
@@ -256,14 +251,14 @@ mod tests {
         // Source 0 enables nothing immediately (child 3 needs 1 too);
         // source 2 immediately enables its private child 4.
         let g = from_arcs(5, &[(0, 3), (1, 3), (2, 4)]).unwrap();
-        let s = schedule_with(&g, Policy::GreedyEligibility);
+        let s = schedule_with(&g, &Policy::GreedyEligibility);
         assert_eq!(s.order()[0], NodeId(2));
     }
 
     #[test]
     fn min_depth_is_levelwise() {
         let g = from_arcs(4, &[(0, 1), (1, 2), (0, 3)]).unwrap();
-        let s = schedule_with(&g, Policy::MinDepth);
+        let s = schedule_with(&g, &Policy::MinDepth);
         // Level 0: {0}; level 1: {1, 3}; level 2: {2}.
         assert_eq!(s.order(), &[0, 1, 3, 2].map(NodeId));
     }
@@ -272,5 +267,13 @@ mod tests {
     fn policy_names_are_distinct() {
         let names: std::collections::HashSet<_> = Policy::all(0).iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn schedule_as_policy_reproduces_itself() {
+        let g = sample();
+        let s = fifo(&g);
+        let replayed = schedule_with(&g, &s);
+        assert_eq!(replayed.order(), s.order());
     }
 }

@@ -49,10 +49,12 @@ pub mod error;
 pub mod heuristics;
 pub mod linearize;
 pub mod optimal;
+pub mod policy;
 pub mod priority;
 pub mod quality;
 pub mod schedule;
 
 pub use error::SchedError;
+pub use policy::{AllocationPolicy, PolicyContext};
 pub use priority::has_priority;
 pub use schedule::Schedule;

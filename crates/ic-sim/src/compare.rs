@@ -2,7 +2,7 @@
 //! and the examples both report.
 
 use ic_dag::Dag;
-use ic_sched::Schedule;
+use ic_sched::AllocationPolicy;
 
 use crate::server::{simulate, SimConfig};
 
@@ -27,15 +27,16 @@ pub struct PolicySummary {
     pub failures: f64,
 }
 
-/// Run `schedule` as the allocation policy over every seed in `seeds`
-/// (varying only the RNG seed of `base`) and average the metrics.
+/// Run `policy` over every seed in `seeds` (varying only the RNG seed
+/// of `base`) and average the metrics. Any [`AllocationPolicy`] works:
+/// a precomputed `Schedule`, a baseline heuristic, or a dynamic policy.
 ///
 /// # Panics
 /// Panics if `seeds` is empty.
 pub fn summarize_policy(
     label: impl Into<String>,
     dag: &Dag,
-    schedule: &Schedule,
+    policy: &dyn AllocationPolicy,
     base: &SimConfig,
     seeds: &[u64],
 ) -> PolicySummary {
@@ -55,7 +56,7 @@ pub fn summarize_policy(
             seed,
             ..base.clone()
         };
-        let r = simulate(dag, schedule, &cfg);
+        let r = simulate(dag, policy, &cfg);
         acc.gridlock += r.gridlock_events as f64;
         acc.unsatisfied_at_batch += r.unsatisfied_at_batch as f64;
         acc.mean_pool += r.mean_pool();
@@ -75,16 +76,16 @@ pub fn summarize_policy(
     acc
 }
 
-/// Compare several labeled schedules over the same seeds.
+/// Compare several labeled policies over the same seeds.
 pub fn compare_policies(
     dag: &Dag,
-    policies: &[(String, Schedule)],
+    policies: &[(String, &dyn AllocationPolicy)],
     base: &SimConfig,
     seeds: &[u64],
 ) -> Vec<PolicySummary> {
     policies
         .iter()
-        .map(|(label, sched)| summarize_policy(label.clone(), dag, sched, base, seeds))
+        .map(|(label, policy)| summarize_policy(label.clone(), dag, *policy, base, seeds))
         .collect()
 }
 
@@ -92,7 +93,8 @@ pub fn compare_policies(
 mod tests {
     use super::*;
     use ic_dag::builder::from_arcs;
-    use ic_sched::heuristics::{schedule_with, Policy};
+    use ic_sched::heuristics::Policy;
+    use ic_sched::Schedule;
 
     #[test]
     fn averages_over_seeds() {
@@ -123,9 +125,10 @@ mod tests {
             ],
         )
         .unwrap();
-        let policies: Vec<(String, Schedule)> = Policy::all(3)
-            .into_iter()
-            .map(|p| (p.name().to_string(), schedule_with(&g, p)))
+        let owned = Policy::all(3);
+        let policies: Vec<(String, &dyn AllocationPolicy)> = owned
+            .iter()
+            .map(|p| (p.name().to_string(), p as &dyn AllocationPolicy))
             .collect();
         let rows = compare_policies(&g, &policies, &SimConfig::default(), &[5, 6]);
         assert_eq!(rows.len(), 6);

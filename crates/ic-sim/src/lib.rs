@@ -16,17 +16,29 @@
 //! testbed; the paper's companion evaluations [15, 19] are simulations
 //! of the same kind): heterogeneous clients with stochastic service
 //! times and optional stragglers repeatedly request tasks; the server
-//! allocates the ELIGIBLE task that a given [`ic_sched::Schedule`]
-//! ranks first. Reported metrics: makespan, gridlock events, client
-//! idle time, utilization, and the ELIGIBLE-pool trace.
+//! allocates the ELIGIBLE task chosen by any
+//! [`ic_sched::AllocationPolicy`] — a precomputed
+//! [`ic_sched::Schedule`] acts as a static priority list. Reported
+//! metrics: makespan, gridlock events, client idle time, utilization,
+//! and the ELIGIBLE-pool trace.
+//!
+//! Every run can stream its full event history — allocations,
+//! completions, failures, idle requests — through a
+//! [`trace::TraceSink`]; the [`trace`] module defines the JSONL trace
+//! format that `ic-prio audit --schedule` replays, and every metric in
+//! [`SimResult`] is derived from that same event stream (one source of
+//! truth; see [`SimResult::from_trace`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compare;
+mod json;
 pub mod metrics;
 pub mod server;
+pub mod trace;
 
 pub use compare::{compare_policies, summarize_policy, PolicySummary};
 pub use metrics::SimResult;
-pub use server::{simulate, ClientProfile, SimConfig};
+pub use server::{simulate, simulate_traced, ClientProfile, SimConfig};
+pub use trace::{MemorySink, NullSink, ReplayPolicy, Trace, TraceEvent, TraceHeader, TraceSink};

@@ -1,4 +1,12 @@
-//! Simulation metrics.
+//! Simulation metrics — derived from the execution trace.
+//!
+//! Every metric in [`SimResult`] is a fold over the run's
+//! [`TraceEvent`] stream ([`MetricsFold`]): the simulator feeds events
+//! through the fold as it emits them, and [`SimResult::from_trace`]
+//! recomputes the same numbers from a captured [`Trace`]. One source of
+//! truth: what the auditor replays is exactly what the reports count.
+
+use crate::trace::{Trace, TraceEvent};
 
 /// The outcome of one simulated execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,6 +94,28 @@ impl SimResult {
         }
     }
 
+    /// Recompute the metrics of a captured trace — the same fold the
+    /// simulator applies while emitting events, so this agrees exactly
+    /// with the `SimResult` the original run returned.
+    ///
+    /// Executor traces (which do not track the pool) yield a degenerate
+    /// `eligible_trace` of the initial sample only.
+    pub fn from_trace(trace: &Trace) -> SimResult {
+        let n = trace.header.nodes;
+        let mut has_parent = vec![false; n];
+        for &(_, v) in &trace.header.arcs {
+            if (v as usize) < n {
+                has_parent[v as usize] = true;
+            }
+        }
+        let num_sources = has_parent.iter().filter(|&&p| !p).count();
+        let mut fold = MetricsFold::new(n, num_sources, trace.header.clients);
+        for ev in &trace.events {
+            fold.apply(ev);
+        }
+        fold.finish()
+    }
+
     /// Mean ELIGIBLE-pool size over the recorded trace (time-weighted).
     pub fn mean_pool(&self) -> f64 {
         if self.eligible_trace.len() < 2 {
@@ -103,6 +133,98 @@ impl SimResult {
         } else {
             0.0
         }
+    }
+}
+
+/// The incremental fold from trace events to a [`SimResult`].
+///
+/// The fold reproduces the pre-trace metric definitions exactly:
+///
+/// * `eligible_trace` starts at `(0, #sources)` and gains one sample
+///   per completion/failure (the pool after newly enabled tasks joined
+///   or the lost task re-entered, before re-allocation);
+/// * an [`TraceEvent::Idle`] among the first `clients` events is an
+///   initial-batch shortfall;
+/// * an idle request while allocated work is outstanding (and the
+///   computation unfinished) is a gridlock event;
+/// * `idle_time` accrues per client from its previous
+///   completion/failure (or time 0) to its next allocation, which
+///   excludes the tail after the computation ends.
+pub(crate) struct MetricsFold {
+    res: SimResult,
+    n: usize,
+    clients: usize,
+    /// Per client: the time of its most recent work request.
+    request_time: Vec<f64>,
+    events_seen: usize,
+    last_time: f64,
+}
+
+impl MetricsFold {
+    pub(crate) fn new(n: usize, num_sources: usize, clients: usize) -> MetricsFold {
+        let mut res = SimResult::new(clients);
+        res.record_pool(0.0, num_sources);
+        MetricsFold {
+            res,
+            n,
+            clients,
+            request_time: vec![0.0; clients],
+            events_seen: 0,
+            last_time: 0.0,
+        }
+    }
+
+    pub(crate) fn apply(&mut self, ev: &TraceEvent) {
+        self.last_time = self.last_time.max(ev.time());
+        match *ev {
+            TraceEvent::Allocated { time, client, .. } => {
+                self.res.allocations += 1;
+                if client < self.clients {
+                    self.res.idle_time += time - self.request_time[client];
+                }
+            }
+            TraceEvent::Completed {
+                time, client, pool, ..
+            } => {
+                self.res.completions += 1;
+                if client < self.clients {
+                    self.request_time[client] = time;
+                }
+                if let Some(p) = pool {
+                    self.res.record_pool(time, p);
+                }
+            }
+            TraceEvent::Failed {
+                time, client, pool, ..
+            } => {
+                self.res.failures += 1;
+                if client < self.clients {
+                    self.request_time[client] = time;
+                }
+                if let Some(p) = pool {
+                    self.res.record_pool(time, p);
+                }
+            }
+            TraceEvent::Idle { .. } => {
+                let outstanding = self
+                    .res
+                    .allocations
+                    .saturating_sub(self.res.completions + self.res.failures);
+                if outstanding > 0 && self.res.completions < self.n {
+                    self.res.gridlock_events += 1;
+                }
+                if self.events_seen < self.clients {
+                    self.res.unsatisfied_at_batch += 1;
+                }
+            }
+        }
+        self.events_seen += 1;
+    }
+
+    pub(crate) fn finish(mut self) -> SimResult {
+        self.res.makespan = self.last_time;
+        self.res.finalize(self.clients, self.n);
+        self.res
     }
 }
 

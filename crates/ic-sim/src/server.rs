@@ -6,9 +6,10 @@ use std::collections::BinaryHeap;
 use ic_dag::rng::XorShift64;
 use ic_dag::{Dag, NodeId};
 use ic_sched::eligibility::ExecState;
-use ic_sched::Schedule;
+use ic_sched::policy::{AllocationPolicy, PolicyContext};
 
-use crate::metrics::SimResult;
+use crate::metrics::{MetricsFold, SimResult};
+use crate::trace::{NullSink, TraceEvent, TraceHeader, TraceSink};
 
 /// Stochastic profile of the remote clients.
 #[derive(Debug, Clone)]
@@ -91,15 +92,19 @@ impl Ord for Time {
     }
 }
 
-/// Simulate executing `dag` under the allocation priorities of
-/// `schedule` with the client population of `cfg`.
+/// Simulate executing `dag` under `policy` with the client population
+/// of `cfg`. Equivalent to [`simulate_traced`] with the trace
+/// discarded.
 ///
 /// All clients request work at time 0 (the paper's batch scenario);
 /// whenever a client finishes a task it immediately requests another.
 /// The server allocates, among currently ELIGIBLE *unallocated* tasks,
-/// the one `schedule` ranks earliest. A request that finds the pool
-/// empty while allocated tasks are still outstanding is a *gridlock
-/// event*; the client then idles until an allocation becomes possible.
+/// the one `policy` chooses — a precomputed [`ic_sched::Schedule`]
+/// serves as a static priority list, and any
+/// [`ic_sched::AllocationPolicy`] can decide dynamically. A request
+/// that finds the pool empty while allocated tasks are still
+/// outstanding is a *gridlock event*; the client then idles until an
+/// allocation becomes possible.
 ///
 /// ```
 /// use ic_dag::builder::from_arcs;
@@ -112,52 +117,65 @@ impl Ord for Time {
 /// ```
 ///
 /// # Panics
-/// Panics if `schedule` does not cover `dag` or `num_clients == 0`.
-pub fn simulate(dag: &Dag, schedule: &Schedule, cfg: &SimConfig) -> SimResult {
+/// Panics if the policy rejects the dag (e.g. a `Schedule` that does
+/// not cover it) or `num_clients == 0`.
+pub fn simulate(dag: &Dag, policy: &dyn AllocationPolicy, cfg: &SimConfig) -> SimResult {
+    simulate_traced(dag, policy, cfg, &mut NullSink)
+}
+
+/// [`simulate`], additionally streaming the run's execution trace into
+/// `sink` (header first, then every event in server order). The
+/// returned metrics are the fold of exactly that event stream, so a
+/// captured trace reproduces them via [`SimResult::from_trace`].
+///
+/// # Panics
+/// Panics if the policy rejects the dag or `num_clients == 0`.
+pub fn simulate_traced(
+    dag: &Dag,
+    policy: &dyn AllocationPolicy,
+    cfg: &SimConfig,
+    sink: &mut dyn TraceSink,
+) -> SimResult {
     assert!(cfg.clients.num_clients > 0, "need at least one client");
-    assert_eq!(
-        schedule.len(),
-        dag.num_nodes(),
-        "schedule must cover the dag"
-    );
+    policy.prepare(dag);
     let n = dag.num_nodes();
+    let clients = cfg.clients.num_clients;
     let mut rng = XorShift64::new(cfg.seed);
 
-    // Priority of each node = its position in the schedule.
-    let mut priority = vec![usize::MAX; n];
-    for (i, &v) in schedule.order().iter().enumerate() {
-        priority[v.index()] = i;
+    if let Some(w) = &cfg.task_weights {
+        assert_eq!(w.len(), n, "task_weights must cover the dag");
+    }
+    if let Some(sp) = &cfg.clients.speed_factors {
+        assert_eq!(sp.len(), clients, "speed_factors must cover the clients");
+        assert!(
+            sp.iter().all(|&f| f > 0.0),
+            "speed factors must be positive"
+        );
     }
 
-    // ELIGIBLE-and-unallocated pool as a min-heap over priority.
-    let mut pool: BinaryHeap<Reverse<(usize, NodeId)>> = BinaryHeap::new();
+    // ELIGIBLE-and-unallocated pool, in became-ELIGIBLE order.
     let mut st = ExecState::new(dag);
-    for v in dag.sources() {
-        pool.push(Reverse((priority[v.index()], v)));
-    }
+    let mut pool: Vec<NodeId> = dag.sources().collect();
+
+    sink.header(&TraceHeader::for_run(
+        dag,
+        clients,
+        cfg.seed,
+        &policy.name(),
+    ));
+    let mut fold = MetricsFold::new(n, pool.len(), clients);
+    let mut step = 0u64;
+    // Metrics and sink see the identical stream, in emission order.
+    let mut emit = |fold: &mut MetricsFold, ev: TraceEvent| {
+        fold.apply(&ev);
+        sink.record(&ev);
+    };
 
     // Completion events: (time, client, node).
     let mut events: BinaryHeap<Reverse<(Time, usize, NodeId)>> = BinaryHeap::new();
     // Clients waiting for work, with the time they began waiting.
     let mut waiting: Vec<(usize, f64)> = Vec::new();
 
-    let mut result = SimResult::new(cfg.clients.num_clients);
-    result.record_pool(0.0, pool.len());
-
-    if let Some(w) = &cfg.task_weights {
-        assert_eq!(w.len(), n, "task_weights must cover the dag");
-    }
-    if let Some(sp) = &cfg.clients.speed_factors {
-        assert_eq!(
-            sp.len(),
-            cfg.clients.num_clients,
-            "speed_factors must cover the clients"
-        );
-        assert!(
-            sp.iter().all(|&f| f > 0.0),
-            "speed factors must be positive"
-        );
-    }
     let service = |rng: &mut XorShift64, v: NodeId, client: usize| -> f64 {
         let c = &cfg.clients;
         let weight = cfg.task_weights.as_ref().map_or(1.0, |w| w[v.index()]);
@@ -171,78 +189,128 @@ pub fn simulate(dag: &Dag, schedule: &Schedule, cfg: &SimConfig) -> SimResult {
         compute + c.comm_cost_per_arc * (dag.in_degree(v) + dag.out_degree(v)) as f64
     };
 
-    let mut outstanding = 0usize;
+    let mut allocation_steps = 0usize;
+    let mut allocate = |rng: &mut XorShift64,
+                        st: &ExecState<'_>,
+                        pool: &mut Vec<NodeId>,
+                        client: usize,
+                        now: f64|
+     -> (NodeId, f64) {
+        let ctx = PolicyContext {
+            dag,
+            state: st,
+            step: allocation_steps,
+        };
+        let i = policy.choose(&ctx, pool);
+        let v = pool.remove(i);
+        allocation_steps += 1;
+        (v, now + service(rng, v, client))
+    };
 
     // Initial batch of requests at t = 0.
-    for client in 0..cfg.clients.num_clients {
-        match pool.pop() {
-            Some(Reverse((_, v))) => {
-                let t = service(&mut rng, v, client);
-                events.push(Reverse((Time(t), client, v)));
-                outstanding += 1;
-                result.allocations += 1;
-            }
-            None => {
-                if result.completions < n {
-                    result.gridlock_events += 1;
-                }
-                result.unsatisfied_at_batch += 1;
-                waiting.push((client, 0.0));
-            }
+    for client in 0..clients {
+        if pool.is_empty() {
+            emit(
+                &mut fold,
+                TraceEvent::Idle {
+                    step,
+                    time: 0.0,
+                    client,
+                },
+            );
+            step += 1;
+            waiting.push((client, 0.0));
+        } else {
+            let (v, done) = allocate(&mut rng, &st, &mut pool, client, 0.0);
+            events.push(Reverse((Time(done), client, v)));
+            emit(
+                &mut fold,
+                TraceEvent::Allocated {
+                    step,
+                    time: 0.0,
+                    client,
+                    task: v,
+                    pool: Some(pool.len()),
+                },
+            );
+            step += 1;
         }
     }
 
-    let mut now = 0.0f64;
-    while let Some(Reverse((Time(t), client, v))) = events.pop() {
-        now = t;
-        outstanding -= 1;
+    while let Some(Reverse((Time(now), client, v))) = events.pop() {
         if cfg.clients.failure_prob > 0.0 && rng.gen_f64() < cfg.clients.failure_prob {
             // The client lost the task: it returns to the pool (its
             // parents are all executed, so it is still ELIGIBLE).
-            result.failures += 1;
-            pool.push(Reverse((priority[v.index()], v)));
+            pool.push(v);
+            emit(
+                &mut fold,
+                TraceEvent::Failed {
+                    step,
+                    time: now,
+                    client,
+                    task: v,
+                    pool: Some(pool.len()),
+                },
+            );
         } else {
             let newly = st
                 .execute(v)
                 .expect("simulation executes tasks in a valid order");
-            result.completions += 1;
-            for c in newly {
-                pool.push(Reverse((priority[c.index()], c)));
-            }
+            pool.extend(newly);
+            emit(
+                &mut fold,
+                TraceEvent::Completed {
+                    step,
+                    time: now,
+                    client,
+                    task: v,
+                    pool: Some(pool.len()),
+                },
+            );
         }
-        result.record_pool(now, pool.len());
+        step += 1;
 
         // The finishing client requests again, after any already-waiting
         // clients are served (FIFO among clients).
         waiting.push((client, now));
         let mut still_waiting = Vec::new();
         for (cl, since) in waiting.drain(..) {
-            match pool.pop() {
-                Some(Reverse((_, w))) => {
-                    result.idle_time += now - since;
-                    let dt = service(&mut rng, w, cl);
-                    events.push(Reverse((Time(now + dt), cl, w)));
-                    outstanding += 1;
-                    result.allocations += 1;
+            if pool.is_empty() {
+                // A *fresh* request (made at this instant) hitting an
+                // empty pool: the metrics fold counts it as gridlock
+                // when allocated work is still outstanding.
+                if since == now {
+                    emit(
+                        &mut fold,
+                        TraceEvent::Idle {
+                            step,
+                            time: now,
+                            client: cl,
+                        },
+                    );
+                    step += 1;
                 }
-                None => {
-                    // A *fresh* request (made at this instant) hitting an
-                    // empty pool while allocated work is still
-                    // outstanding: gridlock.
-                    if since == now && outstanding > 0 && result.completions < n {
-                        result.gridlock_events += 1;
-                    }
-                    still_waiting.push((cl, since));
-                }
+                still_waiting.push((cl, since));
+            } else {
+                let (w, done) = allocate(&mut rng, &st, &mut pool, cl, now);
+                events.push(Reverse((Time(done), cl, w)));
+                emit(
+                    &mut fold,
+                    TraceEvent::Allocated {
+                        step,
+                        time: now,
+                        client: cl,
+                        task: w,
+                        pool: Some(pool.len()),
+                    },
+                );
+                step += 1;
             }
         }
         waiting = still_waiting;
     }
 
-    // Any remaining waiting time is not idle (the computation is over).
-    result.makespan = now;
-    result.finalize(cfg.clients.num_clients, n);
-    result
+    fold.finish()
 }
 
 #[cfg(test)]
@@ -250,6 +318,7 @@ mod tests {
     use super::*;
     use ic_dag::builder::from_arcs;
     use ic_sched::heuristics::{schedule_with, Policy};
+    use ic_sched::Schedule;
 
     fn diamond() -> Dag {
         from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap()
@@ -430,9 +499,52 @@ mod tests {
         }
         let g = from_arcs(12, &arcs).unwrap();
         for p in Policy::all(5) {
-            let s = schedule_with(&g, p);
+            let s = schedule_with(&g, &p);
             let r = simulate(&g, &s, &SimConfig::default());
             assert_eq!(r.completions, 12, "{}", p.name());
+            // The same policy can also drive the server dynamically.
+            let d = simulate(&g, &p, &SimConfig::default());
+            assert_eq!(d.completions, 12, "dynamic {}", p.name());
         }
+    }
+
+    #[test]
+    fn traced_run_metrics_match_trace_fold() {
+        use crate::trace::MemorySink;
+        let g = diamond();
+        let s = Schedule::in_id_order(&g);
+        let mut sink = MemorySink::new();
+        let r = simulate_traced(&g, &s, &SimConfig::default(), &mut sink);
+        let trace = sink.into_trace().expect("header recorded");
+        assert_eq!(trace.header.nodes, 4);
+        assert_eq!(trace.header.policy, "SCHEDULE");
+        let refolded = SimResult::from_trace(&trace);
+        assert_eq!(r, refolded, "metrics are a pure fold of the trace");
+        assert_eq!(trace.completion_order().len(), 4);
+    }
+
+    #[test]
+    fn traced_and_plain_runs_agree() {
+        let g = diamond();
+        let s = Schedule::in_id_order(&g);
+        let plain = simulate(&g, &s, &SimConfig::default());
+        let mut sink = crate::trace::MemorySink::new();
+        let traced = simulate_traced(&g, &s, &SimConfig::default(), &mut sink);
+        assert_eq!(plain, traced);
+    }
+
+    #[test]
+    fn replay_policy_reproduces_a_run() {
+        use crate::trace::{MemorySink, ReplayPolicy};
+        let g = diamond();
+        let s = Schedule::in_id_order(&g);
+        let mut sink = MemorySink::new();
+        let cfg = SimConfig::default();
+        let original = simulate_traced(&g, &s, &cfg, &mut sink);
+        let trace = sink.into_trace().unwrap();
+        let replay = ReplayPolicy::from_trace(&trace);
+        let replayed = simulate(&g, &replay, &cfg);
+        assert_eq!(original.makespan, replayed.makespan);
+        assert_eq!(original.completions, replayed.completions);
     }
 }

@@ -1,0 +1,608 @@
+//! The shared execution-trace model.
+//!
+//! Every run of the discrete-event simulator ([`crate::simulate_traced`])
+//! and of the `ic-exec` work-stealing executor can emit its event
+//! history through a [`TraceSink`]: one [`TraceHeader`] carrying the
+//! dag (so a trace file is self-contained), then a stream of
+//! [`TraceEvent`]s — task allocated, task completed, allocation failed,
+//! client idle — in the order the server processed them. Traces
+//! serialize to line-oriented JSONL (one object per line, in the style
+//! of `ic_dag::serialize`: deterministic, diffable, zero external
+//! deps), and `ic-audit` replays them against the embedded dag to
+//! verify that the *run* — not just a static order — respected
+//! eligibility and tracked the optimal envelope.
+
+use std::cell::Cell;
+use std::fmt;
+
+use ic_dag::builder::from_arcs;
+use ic_dag::error::DagError;
+use ic_dag::{Dag, NodeId};
+use ic_sched::policy::{AllocationPolicy, PolicyContext};
+
+use crate::json::{self, Json};
+
+/// Current trace-format version, written into every header.
+pub const TRACE_VERSION: u32 = 1;
+
+/// The first line of a trace: run parameters plus the dag itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHeader {
+    /// Trace-format version ([`TRACE_VERSION`]).
+    pub version: u32,
+    /// Number of dag nodes.
+    pub nodes: usize,
+    /// The dag's arcs as `(parent, child)` id pairs.
+    pub arcs: Vec<(u32, u32)>,
+    /// Number of simulated clients (workers, for executor traces).
+    pub clients: usize,
+    /// RNG seed of the run (0 for the real executor).
+    pub seed: u64,
+    /// Name of the allocation policy that drove the run.
+    pub policy: String,
+}
+
+impl TraceHeader {
+    /// Build a header for a run of `dag`.
+    pub fn for_run(dag: &Dag, clients: usize, seed: u64, policy: &str) -> TraceHeader {
+        TraceHeader {
+            version: TRACE_VERSION,
+            nodes: dag.num_nodes(),
+            arcs: dag.arcs().map(|(u, v)| (u.0, v.0)).collect(),
+            clients,
+            seed,
+            policy: policy.to_string(),
+        }
+    }
+}
+
+/// One step of an execution, with its logical timestamp.
+///
+/// `step` is the global event index (0-based, monotone); `time` is the
+/// run's clock — simulated time units for `ic-sim`, elapsed seconds for
+/// `ic-exec`. `pool` is the size of the ELIGIBLE-and-unallocated pool
+/// *after* the event applied, when the emitter tracks it (`None` for
+/// the real executor, whose pool is sharded across worker deques).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// The server allocated `task` to `client`.
+    Allocated {
+        /// Global event index.
+        step: u64,
+        /// Event timestamp.
+        time: f64,
+        /// Receiving client.
+        client: usize,
+        /// Allocated task.
+        task: NodeId,
+        /// ELIGIBLE-pool size after the allocation, if tracked.
+        pool: Option<usize>,
+    },
+    /// `client` returned a completed `task`.
+    Completed {
+        /// Global event index.
+        step: u64,
+        /// Event timestamp.
+        time: f64,
+        /// Reporting client.
+        client: usize,
+        /// Completed task.
+        task: NodeId,
+        /// ELIGIBLE-pool size after newly enabled tasks joined, if tracked.
+        pool: Option<usize>,
+    },
+    /// `client` lost `task` (crash or bad result); the task returned to
+    /// the ELIGIBLE pool.
+    Failed {
+        /// Global event index.
+        step: u64,
+        /// Event timestamp.
+        time: f64,
+        /// Failing client.
+        client: usize,
+        /// Lost task.
+        task: NodeId,
+        /// ELIGIBLE-pool size after the task re-entered, if tracked.
+        pool: Option<usize>,
+    },
+    /// `client` requested work and none could be allocated — the
+    /// paper's gridlock scenario when allocated work is outstanding.
+    Idle {
+        /// Global event index.
+        step: u64,
+        /// Event timestamp.
+        time: f64,
+        /// Unserved client.
+        client: usize,
+    },
+}
+
+impl TraceEvent {
+    /// Global event index.
+    pub fn step(&self) -> u64 {
+        match *self {
+            TraceEvent::Allocated { step, .. }
+            | TraceEvent::Completed { step, .. }
+            | TraceEvent::Failed { step, .. }
+            | TraceEvent::Idle { step, .. } => step,
+        }
+    }
+
+    /// Event timestamp.
+    pub fn time(&self) -> f64 {
+        match *self {
+            TraceEvent::Allocated { time, .. }
+            | TraceEvent::Completed { time, .. }
+            | TraceEvent::Failed { time, .. }
+            | TraceEvent::Idle { time, .. } => time,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Allocated { .. } => "alloc",
+            TraceEvent::Completed { .. } => "complete",
+            TraceEvent::Failed { .. } => "fail",
+            TraceEvent::Idle { .. } => "idle",
+        }
+    }
+}
+
+/// Receives the event stream of one run.
+///
+/// Sinks observe events in server order; emitters call [`header`]
+/// exactly once, before any [`record`].
+///
+/// [`header`]: TraceSink::header
+/// [`record`]: TraceSink::record
+pub trait TraceSink {
+    /// Called once at the start of the run. Default: ignore.
+    fn header(&mut self, header: &TraceHeader) {
+        let _ = header;
+    }
+
+    /// Called for every event, in order.
+    fn record(&mut self, event: &TraceEvent);
+}
+
+/// Discards every event — tracing off.
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// Buffers the run in memory; [`MemorySink::into_trace`] yields the
+/// complete [`Trace`].
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    header: Option<TraceHeader>,
+    events: Vec<TraceEvent>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// The buffered trace, or `None` if no header was ever recorded.
+    pub fn into_trace(self) -> Option<Trace> {
+        Some(Trace {
+            header: self.header?,
+            events: self.events,
+        })
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn header(&mut self, header: &TraceHeader) {
+        self.header = Some(header.clone());
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// A complete captured run: header plus event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Run parameters and the dag.
+    pub header: TraceHeader,
+    /// The events, in server order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// A malformed trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceParseError {
+    /// 1-based line number of the offending line (0 for file-level
+    /// problems such as a missing header).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "trace line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "trace: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> TraceParseError {
+    TraceParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl Trace {
+    /// Reconstruct the dag embedded in the header.
+    pub fn dag(&self) -> Result<Dag, DagError> {
+        from_arcs(self.header.nodes, &self.header.arcs)
+    }
+
+    /// The tasks in allocation order (failures reallocate, so a task
+    /// may appear more than once).
+    pub fn allocation_order(&self) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .filter_map(|ev| match *ev {
+                TraceEvent::Allocated { task, .. } => Some(task),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The tasks in completion order — the execution order the run
+    /// actually realized, comparable against the optimal envelope.
+    pub fn completion_order(&self) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .filter_map(|ev| match *ev {
+                TraceEvent::Completed { task, .. } => Some(task),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Serialize to JSONL: the header line, then one line per event.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let h = &self.header;
+        let arcs = h
+            .arcs
+            .iter()
+            .map(|&(u, v)| format!("[{u},{v}]"))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "{{\"type\":\"header\",\"version\":{},\"nodes\":{},\"clients\":{},\"seed\":\"{}\",\"policy\":{},\"arcs\":[{}]}}\n",
+            h.version,
+            h.nodes,
+            h.clients,
+            h.seed,
+            json::json_string(&h.policy),
+            arcs
+        ));
+        for ev in &self.events {
+            let mut line = format!(
+                "{{\"type\":\"{}\",\"step\":{},\"t\":{},\"client\":{}",
+                ev.kind(),
+                ev.step(),
+                ev.time(),
+                match *ev {
+                    TraceEvent::Allocated { client, .. }
+                    | TraceEvent::Completed { client, .. }
+                    | TraceEvent::Failed { client, .. }
+                    | TraceEvent::Idle { client, .. } => client,
+                }
+            );
+            match *ev {
+                TraceEvent::Allocated { task, pool, .. }
+                | TraceEvent::Completed { task, pool, .. }
+                | TraceEvent::Failed { task, pool, .. } => {
+                    line.push_str(&format!(",\"task\":{}", task.0));
+                    if let Some(p) = pool {
+                        line.push_str(&format!(",\"pool\":{p}"));
+                    }
+                }
+                TraceEvent::Idle { .. } => {}
+            }
+            line.push_str("}\n");
+            out.push_str(&line);
+        }
+        out
+    }
+
+    /// Parse a JSONL trace. Blank lines are ignored; the first
+    /// non-blank line must be the header.
+    pub fn from_jsonl(text: &str) -> Result<Trace, TraceParseError> {
+        let mut header: Option<TraceHeader> = None;
+        let mut events = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = json::parse(line).map_err(|e| err(lineno, e))?;
+            let kind = v
+                .get("type")
+                .and_then(Json::as_str)
+                .ok_or_else(|| err(lineno, "missing \"type\" field"))?
+                .to_string();
+            if header.is_none() {
+                if kind != "header" {
+                    return Err(err(lineno, "first line must be the trace header"));
+                }
+                header = Some(parse_header(&v, lineno)?);
+                continue;
+            }
+            if kind == "header" {
+                return Err(err(lineno, "duplicate header"));
+            }
+            events.push(parse_event(&kind, &v, lineno)?);
+        }
+        Ok(Trace {
+            header: header.ok_or_else(|| err(0, "empty trace (no header line)"))?,
+            events,
+        })
+    }
+}
+
+fn field<'a>(v: &'a Json, key: &str, lineno: usize) -> Result<&'a Json, TraceParseError> {
+    v.get(key)
+        .ok_or_else(|| err(lineno, format!("missing \"{key}\" field")))
+}
+
+fn parse_header(v: &Json, lineno: usize) -> Result<TraceHeader, TraceParseError> {
+    let bad = |key: &str| err(lineno, format!("invalid \"{key}\" field"));
+    let version = field(v, "version", lineno)?
+        .as_u64()
+        .ok_or_else(|| bad("version"))? as u32;
+    let nodes = field(v, "nodes", lineno)?
+        .as_usize()
+        .ok_or_else(|| bad("nodes"))?;
+    let clients = field(v, "clients", lineno)?
+        .as_usize()
+        .ok_or_else(|| bad("clients"))?;
+    let seed = field(v, "seed", lineno)?
+        .as_u64()
+        .ok_or_else(|| bad("seed"))?;
+    let policy = field(v, "policy", lineno)?
+        .as_str()
+        .ok_or_else(|| bad("policy"))?
+        .to_string();
+    let mut arcs = Vec::new();
+    for pair in field(v, "arcs", lineno)?
+        .as_arr()
+        .ok_or_else(|| bad("arcs"))?
+    {
+        let pair = pair
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| err(lineno, "each arc must be a [parent, child] pair"))?;
+        let u = pair[0].as_u64().ok_or_else(|| bad("arcs"))? as u32;
+        let w = pair[1].as_u64().ok_or_else(|| bad("arcs"))? as u32;
+        arcs.push((u, w));
+    }
+    Ok(TraceHeader {
+        version,
+        nodes,
+        arcs,
+        clients,
+        seed,
+        policy,
+    })
+}
+
+fn parse_event(kind: &str, v: &Json, lineno: usize) -> Result<TraceEvent, TraceParseError> {
+    let bad = |key: &str| err(lineno, format!("invalid \"{key}\" field"));
+    let step = field(v, "step", lineno)?
+        .as_u64()
+        .ok_or_else(|| bad("step"))?;
+    let time = field(v, "t", lineno)?.as_f64().ok_or_else(|| bad("t"))?;
+    let client = field(v, "client", lineno)?
+        .as_usize()
+        .ok_or_else(|| bad("client"))?;
+    if kind == "idle" {
+        return Ok(TraceEvent::Idle { step, time, client });
+    }
+    if !matches!(kind, "alloc" | "complete" | "fail") {
+        return Err(err(lineno, format!("unknown event type \"{kind}\"")));
+    }
+    let task = NodeId(
+        field(v, "task", lineno)?
+            .as_u64()
+            .ok_or_else(|| bad("task"))? as u32,
+    );
+    let pool = match v.get("pool") {
+        Some(p) => Some(p.as_usize().ok_or_else(|| bad("pool"))?),
+        None => None,
+    };
+    match kind {
+        "alloc" => Ok(TraceEvent::Allocated {
+            step,
+            time,
+            client,
+            task,
+            pool,
+        }),
+        "complete" => Ok(TraceEvent::Completed {
+            step,
+            time,
+            client,
+            task,
+            pool,
+        }),
+        _ => Ok(TraceEvent::Failed {
+            step,
+            time,
+            client,
+            task,
+            pool,
+        }),
+    }
+}
+
+/// Replays a fixed allocation order as a dynamic [`AllocationPolicy`]:
+/// the k-th choice is the k-th task of the order. Built from a captured
+/// [`Trace`], this re-drives the simulator along the same allocation
+/// sequence — the canonical example of a policy the closed `Policy`
+/// enum could not express.
+#[derive(Debug)]
+pub struct ReplayPolicy {
+    order: Vec<NodeId>,
+    cursor: Cell<usize>,
+}
+
+impl ReplayPolicy {
+    /// Replay an explicit allocation order.
+    pub fn new(order: Vec<NodeId>) -> ReplayPolicy {
+        ReplayPolicy {
+            order,
+            cursor: Cell::new(0),
+        }
+    }
+
+    /// Replay the allocation order of a captured trace.
+    pub fn from_trace(trace: &Trace) -> ReplayPolicy {
+        ReplayPolicy::new(trace.allocation_order())
+    }
+}
+
+impl AllocationPolicy for ReplayPolicy {
+    fn name(&self) -> String {
+        "REPLAY".into()
+    }
+
+    fn prepare(&self, _dag: &Dag) {
+        self.cursor.set(0);
+    }
+
+    /// # Panics
+    /// Panics if the replayed order is exhausted or its next task is
+    /// not in the pool — i.e. the run being driven diverged from the
+    /// run that produced the order (different dag, config, or seed).
+    fn choose(&self, _ctx: &PolicyContext<'_, '_>, pool: &[NodeId]) -> usize {
+        let k = self.cursor.get();
+        self.cursor.set(k + 1);
+        assert!(
+            k < self.order.len(),
+            "replayed allocation order exhausted after {k} steps"
+        );
+        let target = self.order[k];
+        pool.iter().position(|&v| v == target).unwrap_or_else(|| {
+            panic!(
+                "replayed allocation #{k} ({target:?}) is not in the ELIGIBLE pool; \
+                 the run diverged from the recorded one"
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_dag::builder::from_arcs as build;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            header: TraceHeader {
+                version: TRACE_VERSION,
+                nodes: 3,
+                arcs: vec![(0, 1), (0, 2)],
+                clients: 2,
+                seed: u64::MAX,
+                policy: "FIFO \"quoted\"".into(),
+            },
+            events: vec![
+                TraceEvent::Allocated {
+                    step: 0,
+                    time: 0.0,
+                    client: 0,
+                    task: NodeId(0),
+                    pool: Some(0),
+                },
+                TraceEvent::Idle {
+                    step: 1,
+                    time: 0.0,
+                    client: 1,
+                },
+                TraceEvent::Completed {
+                    step: 2,
+                    time: 1.25,
+                    client: 0,
+                    task: NodeId(0),
+                    pool: Some(2),
+                },
+                TraceEvent::Failed {
+                    step: 3,
+                    time: 2.5,
+                    client: 1,
+                    task: NodeId(2),
+                    pool: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let t = sample_trace();
+        let text = t.to_jsonl();
+        let back = Trace::from_jsonl(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn dag_rebuilds_from_header() {
+        let t = sample_trace();
+        let g = t.dag().unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.arcs().count(), 2);
+    }
+
+    #[test]
+    fn orders_extract() {
+        let t = sample_trace();
+        assert_eq!(t.allocation_order(), vec![NodeId(0)]);
+        assert_eq!(t.completion_order(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = Trace::from_jsonl("").unwrap_err();
+        assert_eq!(e.line, 0);
+        let e = Trace::from_jsonl("{\"type\":\"alloc\"}\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let good = sample_trace().to_jsonl();
+        let bad = format!("{good}{{\"type\":\"warp\",\"step\":9,\"t\":0,\"client\":0}}\n");
+        let e = Trace::from_jsonl(&bad).unwrap_err();
+        assert!(e.message.contains("unknown event type"), "{e}");
+    }
+
+    #[test]
+    fn replay_policy_follows_order() {
+        let g = build(3, &[(0, 1), (0, 2)]).unwrap();
+        let p = ReplayPolicy::new(vec![NodeId(0), NodeId(2), NodeId(1)]);
+        let s = ic_sched::heuristics::schedule_with(&g, &p);
+        assert_eq!(s.order(), &[NodeId(0), NodeId(2), NodeId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the ELIGIBLE pool")]
+    fn replay_policy_detects_divergence() {
+        let g = build(3, &[(0, 1), (0, 2)]).unwrap();
+        let p = ReplayPolicy::new(vec![NodeId(1), NodeId(0), NodeId(2)]);
+        let _ = ic_sched::heuristics::schedule_with(&g, &p);
+    }
+}

@@ -75,7 +75,7 @@ fn main() {
         opt.profile(&dag)
     );
     for p in Policy::all(1) {
-        let s = schedule_with(&dag, p);
+        let s = schedule_with(&dag, &p);
         let prof = s.profile(&dag);
         println!("{:<12} {:>6}  {:?}", p.name(), area_under(&prof), prof);
     }

@@ -62,7 +62,7 @@ fn main() {
     };
     run("IC-OPTIMAL", &ic);
     for p in Policy::all(77) {
-        let s = schedule_with(&l.dag, p);
+        let s = schedule_with(&l.dag, &p);
         run(p.name(), &s);
     }
     println!(

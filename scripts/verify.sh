@@ -23,4 +23,21 @@ cargo test --offline --workspace --quiet
 echo "==> ic-prio audit --claims"
 ./target/release/ic-prio audit --claims
 
+echo "==> ic-prio sim | audit --schedule (trace round trip)"
+# End-to-end through the trace pipeline: simulate a freshly written dag,
+# record the execution trace, and replay-audit it. The audit must exit 0
+# (warnings such as IC0404 are advisory; any IC04xx error fails here).
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cat > "$tmpdir/tasks.dag" <<'DAG'
+build_a -> test_a
+build_b -> test_b
+test_a -> package
+test_b -> package
+DAG
+./target/release/ic-prio sim "$tmpdir/tasks.dag" --clients 3 --seed 11 \
+    --trace "$tmpdir/run.jsonl" > /dev/null
+./target/release/ic-prio audit --schedule "$tmpdir/run.jsonl" --json \
+    | grep -q '"ok": true'
+
 echo "verify: all green"

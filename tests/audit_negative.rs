@@ -6,8 +6,9 @@
 //! even if it still rejects them.
 
 use ic_scheduling::audit::diag::{
-    CYCLE_DETECTED, DUPLICATE_ARC, ENVELOPE_GAP, NOT_A_TOPOLOGICAL_ORDER, PRIORITY_CHAIN_BROKEN,
-    UNREACHABLE_NODE,
+    COMPLETION_BEFORE_ALLOCATION, CYCLE_DETECTED, DUPLICATE_ARC, ENVELOPE_DEPARTURE, ENVELOPE_GAP,
+    NON_ELIGIBLE_ALLOCATION, NOT_A_TOPOLOGICAL_ORDER, POOL_SIZE_MISMATCH, PRIORITY_CHAIN_BROKEN,
+    TRACE_TRUNCATED, UNREACHABLE_NODE,
 };
 use ic_scheduling::audit::graph::audit_edges;
 use ic_scheduling::audit::order::{audit_envelope, audit_order};
@@ -219,4 +220,141 @@ fn suboptimal_schedule_breaks_duality() {
     // The consecutive-source schedule keeps the theorem intact.
     let good = primitives::ic_schedule(&g);
     assert!(ic_scheduling::audit::claims::audit_duality(&g, &good).is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Trace-replay mutations (IC0401–IC0405): record a known-good run per
+// family fixture, break the trace in one controlled way, and pin the
+// specific code the replay pass reports.
+
+/// Record a clean single-client trace of `sched` replayed on `dag`.
+fn traced(dag: &Dag, sched: &Schedule) -> ic_scheduling::sim::Trace {
+    use ic_scheduling::sim::trace::MemorySink;
+    let cfg = ic_scheduling::sim::SimConfig {
+        clients: ic_scheduling::sim::ClientProfile {
+            num_clients: 1,
+            ..ic_scheduling::sim::ClientProfile::default()
+        },
+        ..ic_scheduling::sim::SimConfig::default()
+    };
+    let mut sink = MemorySink::new();
+    ic_scheduling::sim::simulate_traced(dag, sched, &cfg, &mut sink);
+    sink.into_trace().unwrap()
+}
+
+/// Retargeting an allocation at a task whose parent has not completed
+/// is IC0401, on every family fixture.
+#[test]
+fn non_eligible_allocation_is_ic0401_across_families() {
+    use ic_scheduling::sim::TraceEvent;
+    for (name, dag, sched) in fixtures() {
+        let mut trace = traced(&dag, &sched);
+        // Point the first allocation at the last-scheduled task — a
+        // sink (or at least a non-source) in every fixture.
+        let victim = *sched.order().last().unwrap();
+        let TraceEvent::Allocated { task, .. } = &mut trace.events[0] else {
+            panic!("{name}: first event is an allocation");
+        };
+        *task = victim;
+        let diags = ic_scheduling::audit::audit_trace(&trace);
+        assert!(
+            codes(&diags).contains(&NON_ELIGIBLE_ALLOCATION),
+            "{name}: {diags:?}"
+        );
+    }
+}
+
+/// Deleting an allocation leaves its completion dangling: IC0402.
+#[test]
+fn dangling_completion_is_ic0402() {
+    use ic_scheduling::sim::TraceEvent;
+    for (name, dag, sched) in fixtures() {
+        let mut trace = traced(&dag, &sched);
+        let i = trace
+            .events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::Allocated { .. }))
+            .unwrap();
+        trace.events.remove(i);
+        let diags = ic_scheduling::audit::audit_trace(&trace);
+        assert!(
+            codes(&diags).contains(&COMPLETION_BEFORE_ALLOCATION),
+            "{name}: {diags:?}"
+        );
+    }
+}
+
+/// Inflating a recorded pool size is IC0403 — reported once, at the
+/// first divergence.
+#[test]
+fn inflated_pool_is_ic0403() {
+    use ic_scheduling::sim::TraceEvent;
+    let (name, dag, sched) = fixtures().remove(2);
+    let mut trace = traced(&dag, &sched);
+    for ev in &mut trace.events {
+        if let TraceEvent::Completed { pool, .. } = ev {
+            *pool = pool.map(|p| p + 2);
+        }
+    }
+    let diags = ic_scheduling::audit::audit_trace(&trace);
+    let hits = codes(&diags)
+        .iter()
+        .filter(|&&c| c == POOL_SIZE_MISMATCH)
+        .count();
+    assert_eq!(hits, 1, "{name}: {diags:?}");
+}
+
+/// Cutting the trace before its last completion is IC0405.
+#[test]
+fn truncated_trace_is_ic0405() {
+    use ic_scheduling::sim::TraceEvent;
+    for (name, dag, sched) in fixtures() {
+        let mut trace = traced(&dag, &sched);
+        let last = trace
+            .events
+            .iter()
+            .rposition(|e| matches!(e, TraceEvent::Completed { .. }))
+            .unwrap();
+        trace.events.truncate(last);
+        let diags = ic_scheduling::audit::audit_trace(&trace);
+        assert!(
+            codes(&diags).contains(&TRACE_TRUNCATED),
+            "{name}: {diags:?}"
+        );
+    }
+}
+
+/// A single-client run that leaves the optimal envelope is IC0404 — a
+/// warning, including past the exhaustive limit where the envelope
+/// comes from the symbolic family certificate.
+#[test]
+fn sub_envelope_replay_is_ic0404_even_symbolically() {
+    use ic_scheduling::sched::heuristics::{schedule_with, Policy};
+    // Small (exhaustive) case.
+    let g = mesh::out_mesh(4);
+    let lifo = schedule_with(&g, &Policy::Lifo);
+    let diags = ic_scheduling::audit::audit_trace(&traced(&g, &lifo));
+    assert!(codes(&diags).contains(&ENVELOPE_DEPARTURE), "{diags:?}");
+    // Large (symbolic) case: 55 nodes.
+    let g = mesh::out_mesh(10);
+    let lifo = schedule_with(&g, &Policy::Lifo);
+    let diags = ic_scheduling::audit::audit_trace(&traced(&g, &lifo));
+    assert!(codes(&diags).contains(&ENVELOPE_DEPARTURE), "{diags:?}");
+    assert!(diags
+        .iter()
+        .all(|d| d.severity == ic_scheduling::audit::Severity::Warning));
+}
+
+/// IC0003 stays a warning by default and fails the audit only under
+/// `--deny orphans` escalation.
+#[test]
+fn deny_escalates_orphans_to_errors() {
+    use ic_scheduling::audit::diag::deny;
+    use ic_scheduling::audit::Severity;
+    // Node 3 participates in no arc.
+    let mut diags = audit_edges(4, &[(0, 1), (1, 2)]);
+    assert_eq!(codes(&diags), vec![UNREACHABLE_NODE]);
+    assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+    assert_eq!(deny(&mut diags, UNREACHABLE_NODE), 1);
+    assert!(diags.iter().all(|d| d.severity == Severity::Error));
 }

@@ -66,7 +66,7 @@ fn ic_optimal_area_dominates_heuristics_on_families() {
     for (name, dag, ic) in workloads {
         let opt_area = area_under(&ic.profile(&dag));
         for p in Policy::all(3) {
-            let area = area_under(&schedule_with(&dag, p).profile(&dag));
+            let area = area_under(&schedule_with(&dag, &p).profile(&dag));
             assert!(
                 opt_area >= area,
                 "{name}: {} area {area} exceeds IC-optimal {opt_area}",
@@ -94,7 +94,7 @@ fn simulator_completes_across_families_and_policies() {
     }
     let m = out_mesh(6);
     for p in Policy::all(9) {
-        let s = schedule_with(&m, p);
+        let s = schedule_with(&m, &p);
         let r = simulate(&m, &s, &cfg(4, 11));
         assert_eq!(r.completions, m.num_nodes(), "{}", p.name());
     }

@@ -38,7 +38,7 @@ fn heuristics_yield_valid_schedules() {
     for dag in random_dags(0x33, 64, 14, 35) {
         let seed = rng.next_u64();
         for p in Policy::all(seed) {
-            let s = schedule_with(&dag, p);
+            let s = schedule_with(&dag, &p);
             assert!(is_topological(&dag, s.order()), "{}", p.name());
             let prof = s.profile(&dag);
             assert_eq!(prof[0], dag.num_sources());
@@ -69,7 +69,7 @@ fn ic_optimal_dominates_everything() {
             assert!(is_ic_optimal(&dag, &opt).unwrap());
             let po = opt.profile(&dag);
             for p in Policy::all(seed) {
-                let hp = schedule_with(&dag, p).profile(&dag);
+                let hp = schedule_with(&dag, &p).profile(&dag);
                 assert!(dominates(&po, &hp), "{} not dominated", p.name());
             }
         }
