@@ -385,6 +385,126 @@ mod tests {
     }
 
     #[test]
+    fn flaky_run_reallocations_are_tolerated_not_flagged() {
+        // 40% task failure: the trace is full of Failed → re-Allocated
+        // sequences, which are legal server behaviour, not violations.
+        let g = ic_families::mesh::out_mesh(6);
+        let cfg = SimConfig {
+            clients: ClientProfile {
+                num_clients: 3,
+                failure_prob: 0.4,
+                ..ClientProfile::default()
+            },
+            seed: 11,
+            ..SimConfig::default()
+        };
+        let mut sink = MemorySink::new();
+        let r = simulate_traced(&g, &Policy::Fifo, &cfg, &mut sink);
+        assert!(r.failures > 0, "seed 11 at 40% should produce failures");
+        let trace = sink.into_trace().unwrap();
+        let errors: Vec<_> = audit_trace(&trace)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn backoff_deferred_tasks_count_as_in_pool() {
+        // A hand-built trace in the live server's accounting: a failed
+        // task sits out a backoff window (still ELIGIBLE, still
+        // unallocated — so still in the recorded pool) while other work
+        // proceeds, then is re-allocated and completes.
+        let g = ic_dag::builder::from_arcs(3, &[(0, 2), (1, 2)]).unwrap();
+        let header = ic_sim::TraceHeader::for_run(&g, 3, 1, "SCHEDULE");
+        let ev = |i: u64| i as f64;
+        let trace = Trace {
+            header,
+            events: vec![
+                TraceEvent::Allocated {
+                    step: 0,
+                    time: ev(0),
+                    client: 0,
+                    task: NodeId::new(0),
+                    pool: Some(1),
+                },
+                TraceEvent::Allocated {
+                    step: 1,
+                    time: ev(1),
+                    client: 1,
+                    task: NodeId::new(1),
+                    pool: Some(0),
+                },
+                // Client 0's lease expires: task 0 is deferred but
+                // remains in the recorded pool.
+                TraceEvent::Failed {
+                    step: 2,
+                    time: ev(2),
+                    client: 0,
+                    task: NodeId::new(0),
+                    pool: Some(1),
+                },
+                TraceEvent::Completed {
+                    step: 3,
+                    time: ev(3),
+                    client: 1,
+                    task: NodeId::new(1),
+                    pool: Some(1),
+                },
+                // Backoff over: task 0 goes to a different worker.
+                TraceEvent::Allocated {
+                    step: 4,
+                    time: ev(4),
+                    client: 2,
+                    task: NodeId::new(0),
+                    pool: Some(0),
+                },
+                TraceEvent::Completed {
+                    step: 5,
+                    time: ev(5),
+                    client: 2,
+                    task: NodeId::new(0),
+                    pool: Some(1),
+                },
+                TraceEvent::Allocated {
+                    step: 6,
+                    time: ev(6),
+                    client: 0,
+                    task: NodeId::new(2),
+                    pool: Some(0),
+                },
+                TraceEvent::Completed {
+                    step: 7,
+                    time: ev(7),
+                    client: 0,
+                    task: NodeId::new(2),
+                    pool: Some(0),
+                },
+            ],
+        };
+        let diags = audit_trace(&trace);
+        assert!(
+            diags.iter().all(|d| d.severity != Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn reallocation_tolerance_does_not_mask_double_allocation() {
+        // Two Allocated events for the same task with no intervening
+        // Failed is still IC0401: tolerance is for failures only.
+        let g = vee();
+        let mut trace = clean_trace(&g, 1, 1);
+        let first = trace.events[0].clone();
+        trace.events.insert(1, first);
+        let diags = audit_trace(&trace);
+        assert!(
+            diags.iter().any(|d| d.code == NON_ELIGIBLE_ALLOCATION),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
     fn large_family_dag_is_certified_symbolically() {
         // 55 nodes: past EXHAUSTIVE_LIMIT, but a canonical out-mesh.
         let g = ic_families::mesh::out_mesh(10);

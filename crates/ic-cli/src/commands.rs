@@ -368,6 +368,182 @@ fn finish_audit(mut diags: Vec<ic_audit::Diagnostic>, deny: &[&'static str]) -> 
     CmdOutput::success("audit", text).with_diagnostics(diags)
 }
 
+/// Parse a `--family` spec (`mesh:11`, `outtree:2:5`, `butterfly:3`,
+/// ...) into a label, the dag, and — when the family carries one — its
+/// closed-form IC-optimal schedule from the paper.
+pub fn family_dag(spec: &str) -> Result<(String, ic_dag::Dag, Option<ic_sched::Schedule>), String> {
+    const MAX_NODES: usize = 1 << 20;
+    let parts: Vec<&str> = spec.split(':').collect();
+    let arg = |i: usize| -> Result<usize, String> {
+        parts
+            .get(i)
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .ok_or_else(|| format!("family spec {spec:?}: expected a positive integer parameter"))
+    };
+    let (dag, sched) = match (parts.first().copied(), parts.len()) {
+        (Some("mesh"), 2) => {
+            let mesh = ic_families::mesh::out_mesh(arg(1)?);
+            let s = ic_families::mesh::out_mesh_schedule(&mesh);
+            (mesh, Some(s))
+        }
+        (Some("inmesh"), 2) => {
+            let mesh = ic_families::mesh::in_mesh(arg(1)?);
+            let s = ic_families::mesh::in_mesh_schedule(&mesh).ok();
+            (mesh, s)
+        }
+        (Some("outtree"), 3) => {
+            let t = ic_families::trees::complete_out_tree(arg(1)?, arg(2)?);
+            let s = ic_families::trees::out_tree_schedule(&t);
+            (t, Some(s))
+        }
+        (Some("intree"), 3) => {
+            let t = ic_families::trees::complete_in_tree(arg(1)?, arg(2)?);
+            let s = ic_families::trees::in_tree_schedule(&t).ok();
+            (t, s)
+        }
+        (Some("butterfly"), 2) => {
+            let d = arg(1)?;
+            (
+                ic_families::butterfly::butterfly(d),
+                Some(ic_families::butterfly::butterfly_schedule(d)),
+            )
+        }
+        _ => {
+            return Err(format!(
+                "unknown family spec {spec:?} (try mesh:L, inmesh:L, outtree:A:D, \
+                 intree:A:D, or butterfly:D)"
+            ))
+        }
+    };
+    if dag.num_nodes() > MAX_NODES {
+        return Err(format!(
+            "family {spec:?} has {} nodes; the server caps at {MAX_NODES}",
+            dag.num_nodes()
+        ));
+    }
+    Ok((spec.to_string(), dag, sched))
+}
+
+/// Resolve a `serve --policy` flag into an allocation policy. The sim
+/// heuristics all work; `optimal` uses the family's closed-form
+/// schedule when one is known, the exact machinery on small dags, and
+/// greedy lookahead otherwise.
+pub fn serve_policy(
+    dag: &ic_dag::Dag,
+    flag: &str,
+    seed: u64,
+    family_schedule: Option<ic_sched::Schedule>,
+) -> Result<Box<dyn ic_sched::policy::AllocationPolicy>, String> {
+    if flag == "optimal" {
+        if let Some(s) = family_schedule {
+            return Ok(Box::new(s));
+        }
+        let s = if dag.num_nodes() <= EXACT_LIMIT {
+            match ic_sched::optimal::find_ic_optimal(dag).map_err(|e| e.to_string())? {
+                Some(s) => s,
+                None => {
+                    ic_sched::almost::min_regret_schedule(dag)
+                        .map_err(|e| e.to_string())?
+                        .1
+                }
+            }
+        } else {
+            schedule_with(dag, &Policy::GreedyEligibility)
+        };
+        return Ok(Box::new(s));
+    }
+    sim_policy_from_flag(flag, seed)
+        .map(|p| Box::new(p) as Box<dyn ic_sched::policy::AllocationPolicy>)
+        .ok_or_else(|| format!("unknown serve policy {flag:?}"))
+}
+
+/// `serve`: run the live TCP task server until the dag completes,
+/// streaming the trace to `trace_path` (JSONL, flushed per event) when
+/// given. `port_file` receives the bound address once listening — the
+/// hook scripts use to find an ephemeral port.
+pub fn serve_run(
+    dag_label: &str,
+    dag: &ic_dag::Dag,
+    policy: &dyn ic_sched::policy::AllocationPolicy,
+    listen: &str,
+    net_cfg: ic_net::ServerConfig,
+    trace_path: Option<&str>,
+    port_file: Option<&str>,
+) -> Result<CmdOutput, String> {
+    let server = ic_net::Server::bind(listen, dag, policy, net_cfg)
+        .map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    if let Some(pf) = port_file {
+        std::fs::write(pf, format!("{addr}\n")).map_err(|e| format!("cannot write {pf}: {e}"))?;
+    }
+    let report = match trace_path {
+        Some(p) => {
+            let mut sink =
+                ic_sim::FileSink::create(p).map_err(|e| format!("cannot create {p}: {e}"))?;
+            let report = server.run(&mut sink).map_err(|e| e.to_string())?;
+            sink.finish()
+                .map_err(|e| format!("cannot flush {p}: {e}"))?;
+            report
+        }
+        None => server
+            .run(&mut ic_sim::trace::NullSink)
+            .map_err(|e| e.to_string())?,
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# served {dag_label} ({} tasks) on {addr}, policy {}",
+        dag.num_nodes(),
+        policy.name()
+    );
+    let _ = writeln!(out, "completions:  {}", report.completions);
+    let _ = writeln!(out, "failures:     {}", report.failures);
+    let _ = writeln!(out, "allocations:  {}", report.allocations);
+    let _ = writeln!(out, "workers:      {}", report.workers_registered);
+    let _ = writeln!(out, "makespan:     {:.3}s", report.makespan);
+    let data = format!(
+        "{{\"addr\": {}, \"policy\": {}, \"completions\": {}, \"failures\": {}, \
+         \"allocations\": {}, \"workers\": {}, \"makespan\": {}}}",
+        ic_audit::report::json_string(&addr.to_string()),
+        ic_audit::report::json_string(&policy.name()),
+        report.completions,
+        report.failures,
+        report.allocations,
+        report.workers_registered,
+        report.makespan,
+    );
+    Ok(CmdOutput::success("serve", out).with_data(data))
+}
+
+/// `work`: run one worker against a server until drained (or until its
+/// fault plan kills it — a planned death still exits 0; the point of
+/// `--flaky` is that the *server* must survive it).
+pub fn work_run(connect: &str, cfg: &ic_net::WorkerConfig) -> Result<CmdOutput, String> {
+    let report = ic_net::run_worker(connect, cfg)
+        .map_err(|e| format!("worker cannot serve {connect}: {e}"))?;
+    let out = format!(
+        "# worker {} ({}) on {connect}\ncompleted: {}\n{}\n",
+        report.worker,
+        cfg.id,
+        report.completed,
+        if report.died {
+            "exited: by fault plan"
+        } else {
+            "exited: drained"
+        }
+    );
+    let data = format!(
+        "{{\"worker\": {}, \"id\": {}, \"completed\": {}, \"died\": {}}}",
+        report.worker,
+        ic_audit::report::json_string(&cfg.id),
+        report.completed,
+        report.died,
+    );
+    Ok(CmdOutput::success("work", out).with_data(data))
+}
+
 fn join_names(nd: &NamedDag, it: impl Iterator<Item = ic_dag::NodeId>) -> String {
     it.map(|v| nd.name(v).to_string())
         .collect::<Vec<_>>()
@@ -582,5 +758,90 @@ mod tests {
         assert_eq!(sim_policy_from_flag("lifo", 0), Some(Policy::Lifo));
         assert_eq!(sim_policy_from_flag("random", 9), Some(Policy::Random(9)));
         assert_eq!(sim_policy_from_flag("bogus", 0), None);
+    }
+
+    #[test]
+    fn family_specs_parse_and_bad_ones_do_not() {
+        let (label, mesh, sched) = family_dag("mesh:11").unwrap();
+        assert_eq!(label, "mesh:11");
+        assert_eq!(mesh.num_nodes(), 66);
+        assert!(sched.is_some());
+        assert!(family_dag("butterfly:3").is_ok());
+        assert!(family_dag("outtree:2:4").is_ok());
+        for bad in ["mesh", "mesh:0", "mesh:x", "nope:3", "mesh:3:4", ""] {
+            assert!(family_dag(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn serve_policy_resolves_optimal_and_heuristics() {
+        let nd = pipeline();
+        let p = serve_policy(&nd.dag, "optimal", 0, None).unwrap();
+        assert_eq!(p.name(), "SCHEDULE");
+        let p = serve_policy(&nd.dag, "fifo", 0, None).unwrap();
+        assert_eq!(p.name(), "FIFO");
+        assert!(serve_policy(&nd.dag, "bogus", 0, None).is_err());
+    }
+
+    #[test]
+    fn serve_and_work_complete_a_family_over_localhost() {
+        let dir = std::env::temp_dir().join(format!("ic-cli-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("port");
+        let trace_file = dir.join("trace.jsonl");
+
+        let (label, dag, sched) = family_dag("outtree:2:3").unwrap();
+        let n = dag.num_nodes();
+        let policy = serve_policy(&dag, "optimal", 5, sched).unwrap();
+        let net_cfg = ic_net::ServerConfig {
+            lease_ms: 300,
+            expect_workers: 1,
+            seed: 5,
+            ..ic_net::ServerConfig::default()
+        };
+
+        let (serve_out, work_out) = std::thread::scope(|s| {
+            let pf = port_file.clone();
+            let worker = s.spawn(move || {
+                let addr = loop {
+                    match std::fs::read_to_string(&pf) {
+                        Ok(t) if !t.trim().is_empty() => break t.trim().to_string(),
+                        _ => std::thread::sleep(std::time::Duration::from_millis(5)),
+                    }
+                };
+                let wcfg = ic_net::WorkerConfig {
+                    id: "cli-worker".into(),
+                    mean_ms: 1,
+                    ..ic_net::WorkerConfig::default()
+                };
+                work_run(&addr, &wcfg).unwrap()
+            });
+            let serve_out = serve_run(
+                &label,
+                &dag,
+                policy.as_ref(),
+                "127.0.0.1:0",
+                net_cfg,
+                trace_file.to_str(),
+                port_file.to_str(),
+            )
+            .unwrap();
+            (serve_out, worker.join().unwrap())
+        });
+
+        assert!(serve_out.ok);
+        assert!(
+            serve_out.text.contains(&format!("completions:  {n}")),
+            "{}",
+            serve_out.text
+        );
+        assert!(work_out.ok);
+        assert!(work_out.text.contains("drained"), "{}", work_out.text);
+
+        // The streamed trace parses and replays clean.
+        let trace_text = std::fs::read_to_string(&trace_file).unwrap();
+        let audit = audit_trace_text(&trace_text, &[]).unwrap();
+        assert!(audit.ok, "{}", audit.render_text());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -8,6 +8,11 @@
 //! ic-prio audit --claims [--json]
 //! ic-prio audit --dag <file> [--order <order-file>] [--deny orphans] [--json]
 //! ic-prio audit --schedule <trace.jsonl> [--deny <code-name>] [--json]
+//! ic-prio serve (--dag <file> | --family <spec>) [--policy optimal|fifo|...]
+//!          [--listen addr] [--trace out.jsonl] [--lease-ms N] [--expect N]
+//!          [--port-file p] [--seed S] [--json]
+//! ic-prio work --connect <addr> [--id s] [--speed f] [--mean-ms N]
+//!          [--flaky p | --die-after K | --stall-after K] [--seed S] [--json]
 //! ic-prio dot <file>
 //! ic-prio export <file>
 //! ```
@@ -32,6 +37,11 @@ fn usage() -> ExitCode {
          ic-prio audit --claims [--json]\n  \
          ic-prio audit --dag <file> [--order <order-file>] [--deny orphans] [--json]\n  \
          ic-prio audit --schedule <trace.jsonl> [--deny <code-name>] [--json]\n  \
+         ic-prio serve (--dag <file> | --family mesh:11|outtree:2:5|butterfly:3)\n              \
+         [--policy optimal|fifo|lifo|random|greedy|maxout|mindepth] [--listen addr]\n              \
+         [--trace out.jsonl] [--lease-ms N] [--expect N] [--port-file p] [--seed S] [--json]\n  \
+         ic-prio work --connect <addr> [--id s] [--speed f] [--mean-ms N]\n              \
+         [--flaky p | --die-after K | --stall-after K] [--seed S] [--json]\n  \
          ic-prio dot <file>\n  ic-prio export <file>"
     );
     ExitCode::from(USAGE_EXIT)
@@ -239,6 +249,172 @@ fn main() -> ExitCode {
                 _ => return usage(),
             };
             match result {
+                Ok(out) => emit(&out, json),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(USAGE_EXIT)
+                }
+            }
+        }
+        "serve" => {
+            let (rest, json) = take_json(it.collect());
+            let mut dag_path: Option<&str> = None;
+            let mut family: Option<&str> = None;
+            let mut policy_flag = "optimal";
+            let mut listen = "127.0.0.1:0";
+            let mut trace_path: Option<&str> = None;
+            let mut port_file: Option<&str> = None;
+            let mut lease_ms = 500u64;
+            let mut expect = 0usize;
+            let mut seed = 0x1C5EEDu64;
+            let mut flags = rest.as_slice();
+            while let [flag, value, tail @ ..] = flags {
+                match *flag {
+                    "--dag" => dag_path = Some(value),
+                    "--family" => family = Some(value),
+                    "--policy" => policy_flag = value,
+                    "--listen" => listen = value,
+                    "--trace" => trace_path = Some(value),
+                    "--port-file" => port_file = Some(value),
+                    "--lease-ms" => match value.parse() {
+                        Ok(ms) if ms > 0 => lease_ms = ms,
+                        _ => {
+                            eprintln!("error: --lease-ms takes a positive integer");
+                            return usage();
+                        }
+                    },
+                    "--expect" => match value.parse() {
+                        Ok(n) => expect = n,
+                        Err(_) => {
+                            eprintln!("error: --expect takes an integer");
+                            return usage();
+                        }
+                    },
+                    "--seed" => match value.parse() {
+                        Ok(s) => seed = s,
+                        Err(_) => {
+                            eprintln!("error: --seed takes an integer");
+                            return usage();
+                        }
+                    },
+                    _ => return usage(),
+                }
+                flags = tail;
+            }
+            if !flags.is_empty() {
+                return usage();
+            }
+            let (label, dag, family_schedule) = match (dag_path, family) {
+                (Some(path), None) => match load(path) {
+                    Ok(nd) => (path.to_string(), nd.dag, None),
+                    Err(c) => return c,
+                },
+                (None, Some(spec)) => match commands::family_dag(spec) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return usage();
+                    }
+                },
+                _ => {
+                    eprintln!("error: serve needs exactly one of --dag or --family");
+                    return usage();
+                }
+            };
+            let policy = match commands::serve_policy(&dag, policy_flag, seed, family_schedule) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return usage();
+                }
+            };
+            let net_cfg = ic_net::ServerConfig {
+                lease_ms,
+                expect_workers: expect,
+                seed,
+                ..ic_net::ServerConfig::default()
+            };
+            match commands::serve_run(
+                &label,
+                &dag,
+                policy.as_ref(),
+                listen,
+                net_cfg,
+                trace_path,
+                port_file,
+            ) {
+                Ok(out) => emit(&out, json),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(USAGE_EXIT)
+                }
+            }
+        }
+        "work" => {
+            let (rest, json) = take_json(it.collect());
+            let mut connect: Option<&str> = None;
+            let mut wcfg = ic_net::WorkerConfig::default();
+            let mut flags = rest.as_slice();
+            while let [flag, value, tail @ ..] = flags {
+                match *flag {
+                    "--connect" => connect = Some(value),
+                    "--id" => wcfg.id = value.to_string(),
+                    "--speed" => match value.parse() {
+                        Ok(f) if f > 0.0 => wcfg.speed = f,
+                        _ => {
+                            eprintln!("error: --speed takes a positive number");
+                            return usage();
+                        }
+                    },
+                    "--mean-ms" => match value.parse() {
+                        Ok(ms) => wcfg.mean_ms = ms,
+                        Err(_) => {
+                            eprintln!("error: --mean-ms takes an integer");
+                            return usage();
+                        }
+                    },
+                    "--flaky" => match value.parse() {
+                        Ok(p) if (0.0..=1.0).contains(&p) => {
+                            wcfg.fault = ic_net::FaultPlan::Random(p);
+                        }
+                        _ => {
+                            eprintln!("error: --flaky takes a probability in [0, 1]");
+                            return usage();
+                        }
+                    },
+                    "--die-after" => match value.parse() {
+                        Ok(k) => wcfg.fault = ic_net::FaultPlan::DieAfter(k),
+                        Err(_) => {
+                            eprintln!("error: --die-after takes an integer");
+                            return usage();
+                        }
+                    },
+                    "--stall-after" => match value.parse() {
+                        Ok(k) => wcfg.fault = ic_net::FaultPlan::StallAfter(k),
+                        Err(_) => {
+                            eprintln!("error: --stall-after takes an integer");
+                            return usage();
+                        }
+                    },
+                    "--seed" => match value.parse() {
+                        Ok(s) => wcfg.seed = s,
+                        Err(_) => {
+                            eprintln!("error: --seed takes an integer");
+                            return usage();
+                        }
+                    },
+                    _ => return usage(),
+                }
+                flags = tail;
+            }
+            if !flags.is_empty() {
+                return usage();
+            }
+            let Some(addr) = connect else {
+                eprintln!("error: work needs --connect <addr>");
+                return usage();
+            };
+            match commands::work_run(addr, &wcfg) {
                 Ok(out) => emit(&out, json),
                 Err(e) => {
                     eprintln!("error: {e}");

@@ -1,0 +1,38 @@
+//! # `ic-net` — the IC task server, for real this time
+//!
+//! The paper's entire setting is a server that allocates ELIGIBLE tasks
+//! of a computation-dag to remote clients it does not control: they
+//! may be slow, may die, and may never return results. `ic-sim`
+//! studies that server in a discrete-event vacuum; this crate *is* the
+//! server — a multithreaded TCP service (plus the matching worker
+//! client) built entirely on `std::net`, keeping the workspace's
+//! zero-external-dependency rule.
+//!
+//! * [`wire`] — the length-prefixed JSON frame protocol, encoded with
+//!   the in-repo parser ([`ic_sim::json`]); every decoding failure is a
+//!   typed error, never a panic.
+//! * [`server`] — the coordinator: leases with heartbeat timeouts,
+//!   exponential-backoff reallocation of lost tasks, duplicate-result
+//!   resolution, graceful drain, and allocation through any
+//!   [`ic_sched::AllocationPolicy`] — an IC-optimal
+//!   [`ic_sched::Schedule`] and the FIFO/greedy heuristics plug in
+//!   interchangeably.
+//! * [`worker`] — the volatile client, with fault-injection plans
+//!   (random death, death after `k` tasks, silent stalls) for
+//!   exercising the server's reallocation machinery.
+//!
+//! Every server decision streams through the [`ic_sim::trace`] event
+//! model, so a finished run's JSONL trace replays clean under
+//! `ic-prio audit --schedule` — the server, the trace format, and the
+//! auditor form one closed loop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod server;
+pub mod wire;
+pub mod worker;
+
+pub use server::{ServeReport, Server, ServerConfig};
+pub use wire::{read_msg, write_msg, Message, WireError, MAX_FRAME};
+pub use worker::{run_worker, FaultPlan, WorkerConfig, WorkerReport};

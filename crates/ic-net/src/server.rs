@@ -1,0 +1,649 @@
+//! The networked IC task server.
+//!
+//! [`Server`] is the live counterpart of the `ic-sim` event loop: it
+//! listens on TCP, registers volatile workers, and allocates ELIGIBLE
+//! tasks of one dag through any [`AllocationPolicy`] until the dag
+//! completes. The volatile-client reality the paper's server faces
+//! (§1: clients "may be slow, may die") is handled with three
+//! mechanisms:
+//!
+//! * **leases** — an allocated task must be completed or heartbeat
+//!   within `lease_ms`, or the server declares it lost and reallocates;
+//! * **exponential-backoff reallocation** — a task failed `k` times
+//!   waits `backoff_base_ms · 2^min(k-1, 6)` before re-entering the
+//!   pool, so a poison task cannot monopolize allocations;
+//! * **duplicate-result resolution** — a late or duplicate report (the
+//!   lease already expired, or another worker already completed the
+//!   task) is acknowledged with `accepted = false` and changes nothing.
+//!
+//! Every decision is emitted through the [`TraceSink`] event model in
+//! server order, so a finished run's JSONL trace replays clean under
+//! `ic-prio audit --schedule`: a lease expiry or failure report is a
+//! `Failed` event (the task legally re-enters the pool), rejected
+//! duplicates emit nothing, and the recorded pool size counts tasks
+//! waiting out their backoff (they are ELIGIBLE and unallocated —
+//! exactly what the auditor reconstructs).
+//!
+//! # Threading
+//!
+//! One handler thread per connection speaks the wire protocol and
+//! forwards each request over an mpsc channel to the *coordinator*,
+//! which runs inline in [`Server::run`] on the caller's thread (so the
+//! trace sink needs neither `Send` nor `'static`). All scheduling
+//! state — the [`ExecState`], the pool, leases, backoff queue — lives
+//! only in the coordinator; handler threads are dumb pipes.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+use ic_dag::{Dag, NodeId};
+use ic_sched::eligibility::ExecState;
+use ic_sched::policy::{AllocationPolicy, PolicyContext};
+use ic_sim::trace::{TraceEvent, TraceHeader, TraceSink, WorkerParams};
+
+use crate::wire::{read_msg, write_msg, Message};
+
+/// Tunables of a serving run.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Lease duration: a leased task neither completed nor heartbeat
+    /// within this window is declared lost and reallocated.
+    pub lease_ms: u64,
+    /// Base backoff before a failed task re-enters the pool; doubles
+    /// per failure up to `2^6` times this value.
+    pub backoff_base_ms: u64,
+    /// Registration barrier: serving (and the trace header) waits until
+    /// this many workers have said hello, so the header records their
+    /// declared parameters. `0` starts serving immediately.
+    pub expect_workers: usize,
+    /// Suggested retry delay sent with `Wait` replies.
+    pub wait_ms: u64,
+    /// Seed recorded in the trace header (the server itself draws no
+    /// randomness).
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            lease_ms: 500,
+            backoff_base_ms: 25,
+            expect_workers: 0,
+            wait_ms: 25,
+            seed: 0x1C5EED,
+        }
+    }
+}
+
+/// Summary of a completed serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Tasks completed (equals the dag's node count on success).
+    pub completions: usize,
+    /// Reallocation events: lease expiries, worker-reported failures,
+    /// and mid-lease disconnects.
+    pub failures: usize,
+    /// Allocation decisions made (`completions + failures`).
+    pub allocations: usize,
+    /// Workers that registered over the run's lifetime.
+    pub workers_registered: usize,
+    /// Wall-clock seconds from serving start to dag completion.
+    pub makespan: f64,
+}
+
+/// What a handler thread asks the coordinator to do. Each carries a
+/// reply channel; `Gone` is fire-and-forget.
+enum Req {
+    Register {
+        id: String,
+        speed: f64,
+        reply: Sender<Message>,
+    },
+    Want {
+        worker: usize,
+        reply: Sender<Message>,
+    },
+    Done {
+        worker: usize,
+        task: u64,
+        ok: bool,
+        reply: Sender<Message>,
+    },
+    Beat {
+        worker: usize,
+        task: u64,
+        reply: Sender<Message>,
+    },
+    Gone {
+        worker: usize,
+    },
+}
+
+/// A bound, not-yet-running IC task server.
+pub struct Server<'a> {
+    dag: &'a Dag,
+    policy: &'a dyn AllocationPolicy,
+    cfg: ServerConfig,
+    listener: TcpListener,
+}
+
+impl<'a> Server<'a> {
+    /// Bind a listener. The dag and policy are borrowed for the
+    /// server's lifetime; [`Server::run`] drives everything inline.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        dag: &'a Dag,
+        policy: &'a dyn AllocationPolicy,
+        cfg: ServerConfig,
+    ) -> io::Result<Server<'a>> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            dag,
+            policy,
+            cfg,
+            listener,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until the dag completes, streaming every decision into
+    /// `sink` (header first, then events in server order). Returns once
+    /// all tasks are executed and connected workers have had a drain
+    /// grace period to pick up their `Drain` replies.
+    ///
+    /// # Panics
+    /// Panics if the policy rejects the dag in
+    /// [`AllocationPolicy::prepare`].
+    pub fn run(self, sink: &mut dyn TraceSink) -> io::Result<ServeReport> {
+        self.policy.prepare(self.dag);
+        self.listener.set_nonblocking(true)?;
+        let (tx, rx) = channel::<Req>();
+        let mut coord = Coordinator::new(self.dag, self.policy, &self.cfg, sink);
+
+        let read_timeout = Duration::from_millis(self.cfg.lease_ms.saturating_mul(4).max(2_000));
+        let lease_ms = self.cfg.lease_ms;
+        let drain_grace = Duration::from_millis(lease_ms.max(250));
+        let mut done_at: Option<Instant> = None;
+
+        loop {
+            // Admit new connections (non-blocking).
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        let tx = tx.clone();
+                        std::thread::spawn(move || {
+                            handle_conn(stream, tx, read_timeout);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // Serve queued requests; park briefly when idle.
+            match rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(req) => {
+                    coord.serve(req);
+                    while let Ok(req) = rx.try_recv() {
+                        coord.serve(req);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => unreachable!("coordinator holds a sender"),
+            }
+
+            coord.expire_leases();
+
+            if coord.is_complete() {
+                let now = Instant::now();
+                let reached = *done_at.get_or_insert(now);
+                if coord.connected == 0 || now.duration_since(reached) >= drain_grace {
+                    break;
+                }
+            }
+        }
+        Ok(coord.into_report())
+    }
+}
+
+/// Per-worker registration record.
+struct Worker {
+    id: String,
+    speed: f64,
+    /// Whether the worker's latest request already saw an empty pool
+    /// (suppresses repeated `Idle` events while it polls).
+    waiting: bool,
+}
+
+/// All scheduling state, single-threaded inside [`Server::run`].
+struct Coordinator<'a, 'd> {
+    dag: &'d Dag,
+    policy: &'a dyn AllocationPolicy,
+    cfg: &'a ServerConfig,
+    sink: &'a mut dyn TraceSink,
+    state: ExecState<'d>,
+    /// ELIGIBLE, unallocated, not backing off — allocatable now.
+    pool: Vec<NodeId>,
+    /// Failed tasks waiting out their backoff: `(ready_at, task)`.
+    deferred: Vec<(Instant, NodeId)>,
+    /// Active leases: worker → (task, deadline).
+    leases: HashMap<usize, (NodeId, Instant)>,
+    /// Per-node failure counts, surfaced to policies via
+    /// [`PolicyContext::retries`].
+    failures: Vec<u32>,
+    workers: Vec<Worker>,
+    connected: usize,
+    header_written: bool,
+    start: Instant,
+    step: u64,
+    allocation_steps: usize,
+    completions: usize,
+    failure_events: usize,
+    completed_at: Option<Instant>,
+}
+
+impl<'a, 'd> Coordinator<'a, 'd> {
+    fn new(
+        dag: &'d Dag,
+        policy: &'a dyn AllocationPolicy,
+        cfg: &'a ServerConfig,
+        sink: &'a mut dyn TraceSink,
+    ) -> Coordinator<'a, 'd> {
+        let state = ExecState::new(dag);
+        let pool = dag.sources().collect();
+        let mut coord = Coordinator {
+            dag,
+            policy,
+            cfg,
+            sink,
+            state,
+            pool,
+            deferred: Vec::new(),
+            leases: HashMap::new(),
+            failures: vec![0; dag.num_nodes()],
+            workers: Vec::new(),
+            connected: 0,
+            header_written: false,
+            start: Instant::now(),
+            step: 0,
+            allocation_steps: 0,
+            completions: 0,
+            failure_events: 0,
+            completed_at: None,
+        };
+        if cfg.expect_workers == 0 {
+            coord.write_header();
+        }
+        coord
+    }
+
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Pool size as the trace records it: allocatable now, plus tasks
+    /// waiting out a backoff — both are ELIGIBLE and unallocated, which
+    /// is what the auditor's replay reconstructs.
+    fn recorded_pool(&self) -> usize {
+        self.pool.len() + self.deferred.len()
+    }
+
+    fn is_complete(&self) -> bool {
+        self.state.num_executed() == self.dag.num_nodes()
+    }
+
+    fn emit(&mut self, ev: TraceEvent) {
+        debug_assert!(self.header_written, "events only after the header");
+        self.sink.record(&ev);
+        self.step += 1;
+    }
+
+    /// Write the trace header recording every worker registered so far
+    /// with its declared parameters. Called when the registration
+    /// barrier is met (or immediately with no barrier); workers joining
+    /// later appear in events but not in the header.
+    fn write_header(&mut self) {
+        debug_assert!(!self.header_written);
+        let params: Vec<WorkerParams> = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| WorkerParams {
+                client: i,
+                id: w.id.clone(),
+                speed: w.speed,
+            })
+            .collect();
+        let clients = self.workers.len().max(self.cfg.expect_workers).max(1);
+        let header = TraceHeader::for_run(self.dag, clients, self.cfg.seed, &self.policy.name())
+            .with_workers(params);
+        self.sink.header(&header);
+        self.header_written = true;
+        // Serving time starts when serving can actually start.
+        self.start = Instant::now();
+    }
+
+    /// Move deferred tasks whose backoff elapsed back into the pool.
+    fn promote_deferred(&mut self) {
+        let now = Instant::now();
+        let mut i = 0;
+        while i < self.deferred.len() {
+            if self.deferred[i].0 <= now {
+                let (_, v) = self.deferred.swap_remove(i);
+                self.pool.push(v);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Declare a leased task lost: emit `Failed`, bump its failure
+    /// count, and park it in the backoff queue.
+    fn lose_task(&mut self, worker: usize, v: NodeId) {
+        self.failures[v.index()] += 1;
+        let fails = self.failures[v.index()];
+        let backoff = self
+            .cfg
+            .backoff_base_ms
+            .saturating_mul(1 << (fails - 1).min(6));
+        self.deferred
+            .push((Instant::now() + Duration::from_millis(backoff), v));
+        self.failure_events += 1;
+        let ev = TraceEvent::Failed {
+            step: self.step,
+            time: self.now(),
+            client: worker,
+            task: v,
+            pool: Some(self.recorded_pool()),
+        };
+        self.emit(ev);
+    }
+
+    /// Reallocate every lease whose deadline passed.
+    fn expire_leases(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<(usize, NodeId)> = self
+            .leases
+            .iter()
+            .filter(|(_, (_, deadline))| *deadline <= now)
+            .map(|(&w, &(v, _))| (w, v))
+            .collect();
+        for (w, v) in expired {
+            self.leases.remove(&w);
+            self.lose_task(w, v);
+        }
+    }
+
+    fn serve(&mut self, req: Req) {
+        match req {
+            Req::Register { id, speed, reply } => {
+                let worker = self.workers.len();
+                self.workers.push(Worker {
+                    id,
+                    speed,
+                    waiting: false,
+                });
+                self.connected += 1;
+                if !self.header_written && self.workers.len() >= self.cfg.expect_workers {
+                    self.write_header();
+                }
+                let _ = reply.send(Message::Welcome {
+                    worker: worker as u64,
+                    lease_ms: self.cfg.lease_ms,
+                });
+            }
+            Req::Want { worker, reply } => {
+                let msg = self.allocate_for(worker);
+                let _ = reply.send(msg);
+            }
+            Req::Done {
+                worker,
+                task,
+                ok,
+                reply,
+            } => {
+                let accepted = self.report(worker, task, ok);
+                let _ = reply.send(Message::Ack { task, accepted });
+            }
+            Req::Beat {
+                worker,
+                task,
+                reply,
+            } => {
+                let accepted = match self.leases.get_mut(&worker) {
+                    Some((v, deadline)) if v.index() as u64 == task => {
+                        *deadline = Instant::now() + Duration::from_millis(self.cfg.lease_ms);
+                        true
+                    }
+                    _ => false,
+                };
+                let _ = reply.send(Message::Ack { task, accepted });
+            }
+            Req::Gone { worker } => {
+                self.connected = self.connected.saturating_sub(1);
+                // A mid-lease disconnect is an immediate loss — no need
+                // to wait out the lease.
+                if let Some((v, _)) = self.leases.remove(&worker) {
+                    self.lose_task(worker, v);
+                }
+            }
+        }
+    }
+
+    /// Answer a work request: `Assign` when the pool has a task,
+    /// `Drain` when the dag is complete, `Wait` otherwise.
+    fn allocate_for(&mut self, worker: usize) -> Message {
+        if self.is_complete() {
+            return Message::Drain;
+        }
+        if !self.header_written {
+            // Registration barrier not met: no events before the header.
+            return Message::Wait {
+                ms: self.cfg.wait_ms,
+            };
+        }
+        self.promote_deferred();
+        if self.pool.is_empty() {
+            // First unsatisfied request since this worker's last
+            // allocation is a gridlock event; its polling retries are
+            // not.
+            if let Some(w) = self.workers.get_mut(worker) {
+                if !w.waiting {
+                    w.waiting = true;
+                    let ev = TraceEvent::Idle {
+                        step: self.step,
+                        time: self.now(),
+                        client: worker,
+                    };
+                    self.emit(ev);
+                }
+            }
+            return Message::Wait {
+                ms: self.cfg.wait_ms,
+            };
+        }
+        let ctx = PolicyContext {
+            dag: self.dag,
+            state: &self.state,
+            step: self.allocation_steps,
+            retries: Some(&self.failures),
+        };
+        let i = self.policy.choose(&ctx, &self.pool);
+        assert!(
+            i < self.pool.len(),
+            "policy chose an out-of-range pool index"
+        );
+        let v = self.pool.remove(i);
+        self.allocation_steps += 1;
+        self.leases.insert(
+            worker,
+            (v, Instant::now() + Duration::from_millis(self.cfg.lease_ms)),
+        );
+        if let Some(w) = self.workers.get_mut(worker) {
+            w.waiting = false;
+        }
+        let ev = TraceEvent::Allocated {
+            step: self.step,
+            time: self.now(),
+            client: worker,
+            task: v,
+            pool: Some(self.recorded_pool()),
+        };
+        self.emit(ev);
+        Message::Assign {
+            task: v.index() as u64,
+        }
+    }
+
+    /// Apply a worker's outcome report. Returns whether it was
+    /// accepted; late or duplicate reports are discarded without a
+    /// trace event (the lease expiry already recorded the loss, or the
+    /// task is already executed).
+    fn report(&mut self, worker: usize, task: u64, ok: bool) -> bool {
+        match self.leases.get(&worker) {
+            Some(&(v, _)) if v.index() as u64 == task => {
+                self.leases.remove(&worker);
+                if ok {
+                    let newly = self
+                        .state
+                        .execute(v)
+                        .expect("leased tasks are ELIGIBLE by construction");
+                    self.pool.extend(newly);
+                    self.completions += 1;
+                    let ev = TraceEvent::Completed {
+                        step: self.step,
+                        time: self.now(),
+                        client: worker,
+                        task: v,
+                        pool: Some(self.recorded_pool()),
+                    };
+                    self.emit(ev);
+                    if self.is_complete() {
+                        self.completed_at = Some(Instant::now());
+                    }
+                } else {
+                    self.lose_task(worker, v);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn into_report(self) -> ServeReport {
+        let makespan = self
+            .completed_at
+            .map_or_else(|| self.start.elapsed(), |t| t.duration_since(self.start))
+            .as_secs_f64();
+        ServeReport {
+            completions: self.completions,
+            failures: self.failure_events,
+            allocations: self.allocation_steps,
+            workers_registered: self.workers.len(),
+            makespan,
+        }
+    }
+}
+
+/// Per-connection handler: speaks the wire protocol, forwards every
+/// request to the coordinator, and relays the reply. Any protocol
+/// violation gets an `Error` frame and closes the connection; EOF and
+/// read timeouts count the worker as gone.
+fn handle_conn(stream: TcpStream, tx: Sender<Req>, read_timeout: Duration) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut r = BufReader::new(stream);
+    let mut w = BufWriter::new(write_stream);
+    let (reply_tx, reply_rx) = channel::<Message>();
+
+    // The conversation must open with a registration.
+    let worker = match read_msg(&mut r) {
+        Ok(Message::Hello { id, speed }) if speed.is_finite() && speed > 0.0 => {
+            if tx
+                .send(Req::Register {
+                    id,
+                    speed,
+                    reply: reply_tx.clone(),
+                })
+                .is_err()
+            {
+                return;
+            }
+            let Ok(welcome @ Message::Welcome { worker, .. }) = reply_rx.recv() else {
+                return;
+            };
+            if write_msg(&mut w, &welcome).is_err() {
+                return;
+            }
+            worker as usize
+        }
+        Ok(_) => {
+            let _ = write_msg(
+                &mut w,
+                &Message::Error {
+                    msg: "expected hello with a positive finite speed".into(),
+                },
+            );
+            return;
+        }
+        Err(_) => return,
+    };
+
+    loop {
+        let req = match read_msg(&mut r) {
+            Ok(Message::Request) => Req::Want {
+                worker,
+                reply: reply_tx.clone(),
+            },
+            Ok(Message::Done { task, ok }) => Req::Done {
+                worker,
+                task,
+                ok,
+                reply: reply_tx.clone(),
+            },
+            Ok(Message::Heartbeat { task }) => Req::Beat {
+                worker,
+                task,
+                reply: reply_tx.clone(),
+            },
+            Ok(Message::Bye) | Err(_) => {
+                let _ = tx.send(Req::Gone { worker });
+                return;
+            }
+            Ok(_) => {
+                let _ = write_msg(
+                    &mut w,
+                    &Message::Error {
+                        msg: "unexpected server-side message from a worker".into(),
+                    },
+                );
+                let _ = tx.send(Req::Gone { worker });
+                return;
+            }
+        };
+        if tx.send(req).is_err() {
+            return;
+        }
+        let Ok(reply) = reply_rx.recv() else { return };
+        let draining = reply == Message::Drain;
+        if write_msg(&mut w, &reply).is_err() {
+            let _ = tx.send(Req::Gone { worker });
+            return;
+        }
+        if draining {
+            let _ = tx.send(Req::Gone { worker });
+            return;
+        }
+    }
+}

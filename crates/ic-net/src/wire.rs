@@ -1,0 +1,419 @@
+//! The length-prefixed JSON wire protocol.
+//!
+//! Every message on the wire is one *frame*: a 4-byte big-endian byte
+//! length followed by that many bytes of UTF-8 JSON encoding a single
+//! [`Message`]. Frames are bounded by [`MAX_FRAME`] so a corrupt or
+//! hostile length prefix cannot make the peer allocate unbounded
+//! memory; every decoding failure is a typed [`WireError`], never a
+//! panic — a server must survive garbage from the network.
+//!
+//! The JSON layer is the workspace's own parser ([`ic_sim::json`]): the
+//! protocol adds no external dependencies, and traces, frames, and CLI
+//! output all share one encoder. Each message is an object whose
+//! `"type"` field selects the variant, e.g.
+//!
+//! ```text
+//! {"type":"hello","id":"worker-3","speed":2.0}
+//! {"type":"assign","task":17}
+//! ```
+
+use std::io::{Read, Write};
+
+use ic_sim::json::{self, json_string, Json};
+
+/// Upper bound on a frame's JSON payload, in bytes (1 MiB). A length
+/// prefix above this is rejected before any allocation.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Every message either side may send. Client→server: [`Hello`],
+/// [`Request`], [`Done`], [`Heartbeat`], [`Bye`]. Server→client:
+/// [`Welcome`], [`Assign`], [`Wait`], [`Drain`], [`Ack`], [`Error`].
+///
+/// [`Hello`]: Message::Hello
+/// [`Request`]: Message::Request
+/// [`Done`]: Message::Done
+/// [`Heartbeat`]: Message::Heartbeat
+/// [`Bye`]: Message::Bye
+/// [`Welcome`]: Message::Welcome
+/// [`Assign`]: Message::Assign
+/// [`Wait`]: Message::Wait
+/// [`Drain`]: Message::Drain
+/// [`Ack`]: Message::Ack
+/// [`Error`]: Message::Error
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker registration: a display id and the worker's declared
+    /// speed factor (recorded in the trace header).
+    Hello {
+        /// Worker-chosen display id.
+        id: String,
+        /// Declared speed factor (1.0 = baseline).
+        speed: f64,
+    },
+    /// Worker asks for a task.
+    Request,
+    /// Worker reports the outcome of its leased task. `ok = false`
+    /// voluntarily returns the task for reallocation.
+    Done {
+        /// The task's node index.
+        task: u64,
+        /// Whether the task was computed successfully.
+        ok: bool,
+    },
+    /// Worker renews the lease on a long-running task.
+    Heartbeat {
+        /// The task's node index.
+        task: u64,
+    },
+    /// Worker disconnects deliberately.
+    Bye,
+    /// Server accepts a registration.
+    Welcome {
+        /// The worker index the server assigned (the `client` field of
+        /// subsequent trace events).
+        worker: u64,
+        /// Lease duration: a leased task whose worker neither reports
+        /// nor heartbeats within this window is reallocated.
+        lease_ms: u64,
+    },
+    /// Server allocates a task to the requesting worker.
+    Assign {
+        /// The task's node index.
+        task: u64,
+    },
+    /// No task is allocatable right now; ask again after `ms`.
+    Wait {
+        /// Suggested retry delay in milliseconds.
+        ms: u64,
+    },
+    /// The dag is complete (or completing without needing this worker);
+    /// the worker should disconnect.
+    Drain,
+    /// Server acknowledges a `Done` or `Heartbeat`. `accepted = false`
+    /// means the report was late or duplicate and was discarded.
+    Ack {
+        /// The task's node index.
+        task: u64,
+        /// Whether the report was applied.
+        accepted: bool,
+    },
+    /// Protocol error; the server closes the connection after sending.
+    Error {
+        /// Human-readable reason.
+        msg: String,
+    },
+}
+
+impl Message {
+    /// Encode as the JSON object body of a frame.
+    pub fn to_json(&self) -> String {
+        match self {
+            Message::Hello { id, speed } => {
+                format!(
+                    "{{\"type\":\"hello\",\"id\":{},\"speed\":{}}}",
+                    json_string(id),
+                    fmt_f64(*speed)
+                )
+            }
+            Message::Request => "{\"type\":\"request\"}".into(),
+            Message::Done { task, ok } => {
+                format!("{{\"type\":\"done\",\"task\":{task},\"ok\":{ok}}}")
+            }
+            Message::Heartbeat { task } => {
+                format!("{{\"type\":\"heartbeat\",\"task\":{task}}}")
+            }
+            Message::Bye => "{\"type\":\"bye\"}".into(),
+            Message::Welcome { worker, lease_ms } => {
+                format!("{{\"type\":\"welcome\",\"worker\":{worker},\"lease_ms\":{lease_ms}}}")
+            }
+            Message::Assign { task } => format!("{{\"type\":\"assign\",\"task\":{task}}}"),
+            Message::Wait { ms } => format!("{{\"type\":\"wait\",\"ms\":{ms}}}"),
+            Message::Drain => "{\"type\":\"drain\"}".into(),
+            Message::Ack { task, accepted } => {
+                format!("{{\"type\":\"ack\",\"task\":{task},\"accepted\":{accepted}}}")
+            }
+            Message::Error { msg } => {
+                format!("{{\"type\":\"error\",\"msg\":{}}}", json_string(msg))
+            }
+        }
+    }
+
+    /// Decode a frame body. Any structural problem — not an object, an
+    /// unknown `"type"`, a missing or mistyped field — is
+    /// [`WireError::Malformed`].
+    pub fn from_json(v: &Json) -> Result<Message, WireError> {
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| malformed("message has no \"type\" field"))?;
+        let task = || {
+            v.get("task")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| malformed("missing numeric \"task\""))
+        };
+        match kind {
+            "hello" => Ok(Message::Hello {
+                id: v
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| malformed("hello without string \"id\""))?
+                    .to_string(),
+                speed: v
+                    .get("speed")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| malformed("hello without numeric \"speed\""))?,
+            }),
+            "request" => Ok(Message::Request),
+            "done" => Ok(Message::Done {
+                task: task()?,
+                ok: match v.get("ok") {
+                    Some(Json::Bool(b)) => *b,
+                    _ => return Err(malformed("done without boolean \"ok\"")),
+                },
+            }),
+            "heartbeat" => Ok(Message::Heartbeat { task: task()? }),
+            "bye" => Ok(Message::Bye),
+            "welcome" => Ok(Message::Welcome {
+                worker: v
+                    .get("worker")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| malformed("welcome without numeric \"worker\""))?,
+                lease_ms: v
+                    .get("lease_ms")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| malformed("welcome without numeric \"lease_ms\""))?,
+            }),
+            "assign" => Ok(Message::Assign { task: task()? }),
+            "wait" => Ok(Message::Wait {
+                ms: v
+                    .get("ms")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| malformed("wait without numeric \"ms\""))?,
+            }),
+            "drain" => Ok(Message::Drain),
+            "ack" => Ok(Message::Ack {
+                task: task()?,
+                accepted: match v.get("accepted") {
+                    Some(Json::Bool(b)) => *b,
+                    _ => return Err(malformed("ack without boolean \"accepted\"")),
+                },
+            }),
+            "error" => Ok(Message::Error {
+                msg: v
+                    .get("msg")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            }),
+            other => Err(malformed(&format!("unknown message type \"{other}\""))),
+        }
+    }
+}
+
+/// `f64` in a form the JSON parser reads back exactly (Rust's shortest
+/// round-trip `Display`, with a forced `.0` for integral values so the
+/// output is unambiguously a number with a fraction).
+fn fmt_f64(x: f64) -> String {
+    let s = format!("{x}");
+    if s.contains(['.', 'e', 'E']) || s == "NaN" || s.contains("inf") {
+        // NaN/inf are not valid JSON; callers never send them (speeds
+        // are validated positive finite), but keep the encoder total.
+        if x.is_finite() {
+            s
+        } else {
+            "0".into()
+        }
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn malformed(msg: &str) -> WireError {
+    WireError::Malformed(msg.to_string())
+}
+
+/// Everything that can go wrong reading a frame. `Io` with
+/// `UnexpectedEof` mid-frame means the peer hung up; the rest are
+/// protocol violations the reader survives without panicking.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying transport failed (includes truncation:
+    /// `UnexpectedEof` inside a frame).
+    Io(std::io::Error),
+    /// The length prefix exceeds [`MAX_FRAME`].
+    Oversized(usize),
+    /// The payload is not valid JSON (or not valid UTF-8).
+    Garbage(String),
+    /// The payload is JSON but not a protocol message.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+            WireError::Oversized(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME}-byte limit")
+            }
+            WireError::Garbage(e) => write!(f, "frame is not JSON: {e}"),
+            WireError::Malformed(e) => write!(f, "frame is not a protocol message: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl WireError {
+    /// True when the error means the peer closed the connection cleanly
+    /// between frames (EOF on the length prefix) — the normal end of a
+    /// conversation, as opposed to a protocol violation.
+    pub fn is_clean_eof(&self) -> bool {
+        matches!(self, WireError::Io(e) if e.kind() == std::io::ErrorKind::UnexpectedEof)
+    }
+}
+
+/// Write `msg` as one frame and flush it.
+pub fn write_msg(w: &mut impl Write, msg: &Message) -> std::io::Result<()> {
+    let body = msg.to_json();
+    debug_assert!(body.len() <= MAX_FRAME, "outgoing frame within bounds");
+    let len = body.len() as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(body.as_bytes())?;
+    w.flush()
+}
+
+/// Read one frame and decode it. Never panics on hostile input: an
+/// oversized prefix, a truncated body, non-UTF-8 bytes, broken JSON,
+/// and well-formed-but-foreign JSON each map to their [`WireError`]
+/// variant.
+pub fn read_msg(r: &mut impl Read) -> Result<Message, WireError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(WireError::Oversized(len));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let text = String::from_utf8(body).map_err(|e| WireError::Garbage(e.to_string()))?;
+    let v = json::parse(&text).map_err(WireError::Garbage)?;
+    Message::from_json(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_round_trips_through_a_frame() {
+        let msgs = [
+            Message::Hello {
+                id: "worker \"zero\"".into(),
+                speed: 2.5,
+            },
+            Message::Request,
+            Message::Done { task: 17, ok: true },
+            Message::Done { task: 0, ok: false },
+            Message::Heartbeat { task: 3 },
+            Message::Bye,
+            Message::Welcome {
+                worker: 4,
+                lease_ms: 500,
+            },
+            Message::Assign { task: 65 },
+            Message::Wait { ms: 50 },
+            Message::Drain,
+            Message::Ack {
+                task: 9,
+                accepted: false,
+            },
+            Message::Error {
+                msg: "tab\there".into(),
+            },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_msg(&mut buf, m).unwrap();
+        }
+        let mut r = &buf[..];
+        for m in &msgs {
+            assert_eq!(&read_msg(&mut r).unwrap(), m);
+        }
+        // And the stream is exactly consumed.
+        assert!(read_msg(&mut r).unwrap_err().is_clean_eof());
+    }
+
+    #[test]
+    fn integral_speed_survives_the_round_trip() {
+        let m = Message::Hello {
+            id: "w".into(),
+            speed: 3.0,
+        };
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &m).unwrap();
+        assert_eq!(read_msg(&mut &buf[..]).unwrap(), m);
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        buf.extend_from_slice(b"ignored");
+        match read_msg(&mut &buf[..]) {
+            Err(WireError::Oversized(n)) => assert_eq!(n, MAX_FRAME + 1),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &Message::Request).unwrap();
+        buf.truncate(buf.len() - 2);
+        match read_msg(&mut &buf[..]) {
+            Err(WireError::Io(e)) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof);
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_payload_is_a_garbage_error() {
+        for body in [&b"not json"[..], b"{\"type\":", b"\xff\xfe"] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+            buf.extend_from_slice(body);
+            assert!(
+                matches!(read_msg(&mut &buf[..]), Err(WireError::Garbage(_))),
+                "{body:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_json_is_malformed_not_a_panic() {
+        for body in [
+            "{\"type\":\"frobnicate\"}",
+            "{\"no_type\":1}",
+            "[1,2,3]",
+            "{\"type\":\"assign\"}",
+            "{\"type\":\"done\",\"task\":1}",
+            "{\"type\":\"hello\",\"id\":7,\"speed\":1.0}",
+        ] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+            buf.extend_from_slice(body.as_bytes());
+            assert!(
+                matches!(read_msg(&mut &buf[..]), Err(WireError::Malformed(_))),
+                "{body}"
+            );
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! The worker client: the volatile remote "client" of the paper.
+//!
+//! [`run_worker`] connects to a server, registers, and loops
+//! request → compute → report until the server drains it. "Compute" is
+//! simulated (a sleep scaled by the declared speed, with deterministic
+//! jitter from the worker's seed); what matters to the server — and
+//! what the fault plans exercise — is the *protocol* behaviour: a
+//! worker may die without reporting, may stall past its lease, or may
+//! honestly report a failure, and the server must reallocate in every
+//! case.
+//!
+//! Long tasks heartbeat at a third of the lease interval so a slow but
+//! healthy worker is never mistaken for a dead one.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use ic_dag::rng::XorShift64;
+
+use crate::wire::{read_msg, write_msg, Message, WireError};
+
+/// How (whether) a worker misbehaves — the `--flaky` fault-injection
+/// surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlan {
+    /// Reliable: computes every task and reports honestly.
+    None,
+    /// Before each task's report, dies with this probability (drops the
+    /// connection without reporting, losing the work).
+    Random(f64),
+    /// Completes this many tasks, then dies on the next assignment.
+    DieAfter(usize),
+    /// Completes this many tasks, then holds its next task without
+    /// reporting or heartbeating until the lease is long gone, then
+    /// exits — the slow-silent failure mode leases exist for.
+    StallAfter(usize),
+}
+
+/// Worker identity and behaviour.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Display id sent at registration (recorded in the trace header).
+    pub id: String,
+    /// Declared speed factor: compute time is divided by this.
+    pub speed: f64,
+    /// Mean simulated compute per task, in milliseconds.
+    pub mean_ms: u64,
+    /// Fault injection plan.
+    pub fault: FaultPlan,
+    /// Seed for the worker's private jitter/fault randomness.
+    pub seed: u64,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            id: "worker".into(),
+            speed: 1.0,
+            mean_ms: 10,
+            fault: FaultPlan::None,
+            seed: 1,
+        }
+    }
+}
+
+/// What a worker did before disconnecting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// The index the server assigned this worker (the `client` field of
+    /// its trace events).
+    pub worker: u64,
+    /// Tasks completed and accepted.
+    pub completed: usize,
+    /// True when the worker exited through its fault plan rather than a
+    /// server `Drain`.
+    pub died: bool,
+}
+
+/// Connect to `addr`, register, and work until drained (or until the
+/// fault plan kills the worker). Returns the worker's own account of
+/// the run; a worker that dies *by plan* still returns `Ok` (with
+/// `died = true`) — only transport and protocol errors are `Err`.
+pub fn run_worker(addr: impl ToSocketAddrs, cfg: &WorkerConfig) -> io::Result<WorkerReport> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let write_stream = stream.try_clone()?;
+    let mut r = BufReader::new(stream);
+    let mut w = BufWriter::new(write_stream);
+    let mut rng = XorShift64::new(cfg.seed);
+
+    write_msg(
+        &mut w,
+        &Message::Hello {
+            id: cfg.id.clone(),
+            speed: cfg.speed,
+        },
+    )?;
+    let (worker, lease_ms) = match read_msg(&mut r).map_err(to_io)? {
+        Message::Welcome { worker, lease_ms } => (worker, lease_ms),
+        Message::Error { msg } => return Err(io::Error::other(msg)),
+        other => return Err(io::Error::other(format!("expected welcome, got {other:?}"))),
+    };
+
+    let mut completed = 0usize;
+    loop {
+        write_msg(&mut w, &Message::Request)?;
+        match read_msg(&mut r).map_err(to_io)? {
+            Message::Assign { task } => {
+                match plan_action(cfg.fault, completed, &mut rng) {
+                    Action::Die => {
+                        // Drop the connection mid-lease: the server's
+                        // lease (or the disconnect itself) reallocates.
+                        return Ok(WorkerReport {
+                            worker,
+                            completed,
+                            died: true,
+                        });
+                    }
+                    Action::Stall => {
+                        // Hold the task silently past several lease
+                        // windows, then give up without reporting.
+                        std::thread::sleep(Duration::from_millis(lease_ms.saturating_mul(4)));
+                        let _ = write_msg(&mut w, &Message::Bye);
+                        return Ok(WorkerReport {
+                            worker,
+                            completed,
+                            died: true,
+                        });
+                    }
+                    Action::Compute => {
+                        compute(cfg, lease_ms, &mut rng, task, &mut r, &mut w)?;
+                        match read_msg(&mut r).map_err(to_io)? {
+                            Message::Ack { accepted, .. } => {
+                                if accepted {
+                                    completed += 1;
+                                }
+                            }
+                            other => {
+                                return Err(io::Error::other(format!(
+                                    "expected ack, got {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                }
+            }
+            Message::Wait { ms } => std::thread::sleep(Duration::from_millis(ms.max(1))),
+            Message::Drain => {
+                let _ = write_msg(&mut w, &Message::Bye);
+                return Ok(WorkerReport {
+                    worker,
+                    completed,
+                    died: false,
+                });
+            }
+            Message::Error { msg } => return Err(io::Error::other(msg)),
+            other => return Err(io::Error::other(format!("unexpected reply {other:?}"))),
+        }
+    }
+}
+
+enum Action {
+    Compute,
+    Die,
+    Stall,
+}
+
+fn plan_action(fault: FaultPlan, completed: usize, rng: &mut XorShift64) -> Action {
+    match fault {
+        FaultPlan::None => Action::Compute,
+        FaultPlan::Random(p) => {
+            if rng.gen_bool(p) {
+                Action::Die
+            } else {
+                Action::Compute
+            }
+        }
+        FaultPlan::DieAfter(k) => {
+            if completed >= k {
+                Action::Die
+            } else {
+                Action::Compute
+            }
+        }
+        FaultPlan::StallAfter(k) => {
+            if completed >= k {
+                Action::Stall
+            } else {
+                Action::Compute
+            }
+        }
+    }
+}
+
+/// Simulate the task's compute time (jittered mean, scaled by declared
+/// speed), heartbeating at a third of the lease so the server keeps the
+/// lease alive, then report success.
+fn compute(
+    cfg: &WorkerConfig,
+    lease_ms: u64,
+    rng: &mut XorShift64,
+    task: u64,
+    r: &mut BufReader<TcpStream>,
+    w: &mut BufWriter<TcpStream>,
+) -> io::Result<()> {
+    let jitter = 0.5 + rng.gen_f64(); // U[0.5, 1.5)
+    let mut left = ((cfg.mean_ms as f64) * jitter / cfg.speed).round() as u64;
+    let beat_every = (lease_ms / 3).max(1);
+    while left > beat_every {
+        std::thread::sleep(Duration::from_millis(beat_every));
+        left -= beat_every;
+        write_msg(w, &Message::Heartbeat { task })?;
+        match read_msg(r).map_err(to_io)? {
+            Message::Ack { .. } => {}
+            other => return Err(io::Error::other(format!("expected ack, got {other:?}"))),
+        }
+    }
+    std::thread::sleep(Duration::from_millis(left));
+    write_msg(w, &Message::Done { task, ok: true })
+}
+
+fn to_io(e: WireError) -> io::Error {
+    match e {
+        WireError::Io(e) => e,
+        other => io::Error::other(other.to_string()),
+    }
+}

@@ -1,0 +1,330 @@
+//! End-to-end tests over real localhost TCP: a server and a population
+//! of worker threads, including workers that die mid-lease and workers
+//! that stall silently, must still complete the dag — and the trace the
+//! server emits must replay clean under the ic-audit verifier
+//! (reallocations tolerated, no IC0401/IC0402/IC0403).
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use ic_audit::{audit_trace, Severity};
+use ic_dag::builder::from_arcs;
+use ic_families::mesh::{out_mesh, out_mesh_schedule};
+use ic_net::{
+    read_msg, run_worker, write_msg, FaultPlan, Message, ServeReport, Server, ServerConfig,
+    WorkerConfig,
+};
+use ic_sim::{MemorySink, Trace};
+
+fn assert_audit_clean(trace: &Trace) {
+    let errors: Vec<_> = audit_trace(trace)
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    assert!(errors.is_empty(), "trace must replay clean: {errors:?}");
+}
+
+/// The acceptance-criteria run: a 66-node evolving out-mesh served to
+/// six workers over localhost — two die mid-run, one stalls past its
+/// lease — and the dag completes with an audit-clean trace.
+#[test]
+fn flaky_workers_complete_a_mesh_with_an_audit_clean_trace() {
+    let mesh = out_mesh(11); // 66 nodes
+    assert!(mesh.num_nodes() >= 60);
+    let sched = out_mesh_schedule(&mesh); // the IC-optimal priority list
+    let cfg = ServerConfig {
+        lease_ms: 300,
+        backoff_base_ms: 5,
+        expect_workers: 6,
+        wait_ms: 5,
+        seed: 42,
+    };
+    let server = Server::bind("127.0.0.1:0", &mesh, &sched, cfg).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let plans = [
+        ("steady-a", FaultPlan::None, 1.0),
+        ("steady-b", FaultPlan::None, 1.5),
+        ("steady-c", FaultPlan::None, 2.0),
+        ("dies-early", FaultPlan::DieAfter(2), 1.0),
+        ("dies-randomly", FaultPlan::Random(0.3), 1.0),
+        ("stalls", FaultPlan::StallAfter(1), 1.0),
+    ];
+
+    let mut sink = MemorySink::new();
+    let (report, worker_reports) = std::thread::scope(|s| {
+        let handles: Vec<_> = plans
+            .iter()
+            .enumerate()
+            .map(|(i, (id, fault, speed))| {
+                let cfg = WorkerConfig {
+                    id: (*id).into(),
+                    speed: *speed,
+                    mean_ms: 2,
+                    fault: *fault,
+                    seed: 100 + i as u64,
+                };
+                s.spawn(move || run_worker(addr, &cfg))
+            })
+            .collect();
+        let report = server.run(&mut sink).unwrap();
+        let worker_reports: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        (report, worker_reports)
+    });
+
+    assert_eq!(report.completions, 66, "every task completes: {report:?}");
+    assert!(
+        report.failures >= 1,
+        "the die-after-2 worker guarantees at least one reallocation: {report:?}"
+    );
+    assert_eq!(report.allocations, report.completions + report.failures);
+    assert_eq!(report.workers_registered, 6);
+
+    let trace = sink.into_trace().expect("header written");
+    assert_eq!(trace.header.workers.len(), 6, "all six declared in header");
+    assert_eq!(trace.header.workers[3].id, "dies-early");
+    assert_eq!(trace.header.workers[2].speed, 2.0);
+    assert_eq!(trace.completion_order().len(), 66);
+    assert!(
+        worker_reports.iter().filter(|r| r.died).count() >= 2,
+        "the deterministic faulty workers died: {worker_reports:?}"
+    );
+    let steady_total: usize = worker_reports.iter().take(3).map(|r| r.completed).sum();
+    assert!(steady_total > 0, "steady workers did work");
+    assert_audit_clean(&trace);
+}
+
+/// Speak the protocol by hand: duplicate and foreign task reports must
+/// be acknowledged-but-rejected without corrupting the run or the
+/// trace, and heartbeats on a held lease must be accepted.
+#[test]
+fn duplicate_and_foreign_reports_are_rejected_without_trace_damage() {
+    let dag = from_arcs(2, &[]).unwrap(); // two independent tasks
+    let policy = ic_sched::Schedule::in_id_order(&dag);
+    let cfg = ServerConfig {
+        lease_ms: 400,
+        backoff_base_ms: 5,
+        expect_workers: 1,
+        wait_ms: 5,
+        seed: 7,
+    };
+    let server = Server::bind("127.0.0.1:0", &dag, &policy, cfg).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let mut sink = MemorySink::new();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            let mut w = BufWriter::new(stream);
+            let send = |w: &mut BufWriter<TcpStream>, m: &Message| write_msg(w, m).unwrap();
+            let recv = |r: &mut BufReader<TcpStream>| read_msg(r).unwrap();
+
+            send(
+                &mut w,
+                &Message::Hello {
+                    id: "manual".into(),
+                    speed: 1.0,
+                },
+            );
+            assert!(matches!(recv(&mut r), Message::Welcome { worker: 0, .. }));
+
+            send(&mut w, &Message::Request);
+            let Message::Assign { task: first } = recv(&mut r) else {
+                panic!("expected an assignment");
+            };
+            // A report for a task we don't hold is rejected.
+            send(
+                &mut w,
+                &Message::Done {
+                    task: first + 1,
+                    ok: true,
+                },
+            );
+            assert!(matches!(
+                recv(&mut r),
+                Message::Ack {
+                    accepted: false,
+                    ..
+                }
+            ));
+            // A heartbeat on the held lease is accepted.
+            send(&mut w, &Message::Heartbeat { task: first });
+            assert!(matches!(recv(&mut r), Message::Ack { accepted: true, .. }));
+            // The real report lands...
+            send(
+                &mut w,
+                &Message::Done {
+                    task: first,
+                    ok: true,
+                },
+            );
+            assert!(matches!(recv(&mut r), Message::Ack { accepted: true, .. }));
+            // ...and reporting it again is a duplicate.
+            send(
+                &mut w,
+                &Message::Done {
+                    task: first,
+                    ok: true,
+                },
+            );
+            assert!(matches!(
+                recv(&mut r),
+                Message::Ack {
+                    accepted: false,
+                    ..
+                }
+            ));
+
+            send(&mut w, &Message::Request);
+            let Message::Assign { task: second } = recv(&mut r) else {
+                panic!("expected the second assignment");
+            };
+            send(
+                &mut w,
+                &Message::Done {
+                    task: second,
+                    ok: true,
+                },
+            );
+            assert!(matches!(recv(&mut r), Message::Ack { accepted: true, .. }));
+            send(&mut w, &Message::Request);
+            assert!(matches!(recv(&mut r), Message::Drain));
+            send(&mut w, &Message::Bye);
+        });
+        server.run(&mut sink).unwrap();
+    });
+
+    let trace = sink.into_trace().unwrap();
+    // Exactly two allocations and two completions: the rejected reports
+    // left no mark on the trace.
+    assert_eq!(trace.events.len(), 4);
+    assert_audit_clean(&trace);
+}
+
+/// A lease that expires is reallocated (with a `Failed` event), and the
+/// original worker's late report is rejected — then the rerun completes
+/// and the whole Failed→realloc trace audits clean.
+#[test]
+fn expired_lease_reallocates_and_late_report_is_rejected() {
+    let dag = from_arcs(1, &[]).unwrap();
+    let policy = ic_sched::Schedule::in_id_order(&dag);
+    let cfg = ServerConfig {
+        lease_ms: 60,
+        backoff_base_ms: 1,
+        expect_workers: 1,
+        wait_ms: 5,
+        seed: 7,
+    };
+    let server = Server::bind("127.0.0.1:0", &dag, &policy, cfg).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let mut sink = MemorySink::new();
+    let report: ServeReport = std::thread::scope(|s| {
+        s.spawn(|| {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            let mut w = BufWriter::new(stream);
+
+            write_msg(
+                &mut w,
+                &Message::Hello {
+                    id: "late".into(),
+                    speed: 1.0,
+                },
+            )
+            .unwrap();
+            assert!(matches!(read_msg(&mut r).unwrap(), Message::Welcome { .. }));
+            write_msg(&mut w, &Message::Request).unwrap();
+            let Message::Assign { task } = read_msg(&mut r).unwrap() else {
+                panic!("expected an assignment");
+            };
+            // Sit on the task well past the lease, without heartbeating.
+            std::thread::sleep(Duration::from_millis(250));
+            write_msg(&mut w, &Message::Done { task, ok: true }).unwrap();
+            assert!(
+                matches!(
+                    read_msg(&mut r).unwrap(),
+                    Message::Ack {
+                        accepted: false,
+                        ..
+                    }
+                ),
+                "the lease expired; the late report must be rejected"
+            );
+            // Ask again: the task comes back to us, and this time we
+            // report in time.
+            loop {
+                write_msg(&mut w, &Message::Request).unwrap();
+                match read_msg(&mut r).unwrap() {
+                    Message::Assign { task } => {
+                        write_msg(&mut w, &Message::Done { task, ok: true }).unwrap();
+                        assert!(matches!(
+                            read_msg(&mut r).unwrap(),
+                            Message::Ack { accepted: true, .. }
+                        ));
+                    }
+                    Message::Wait { ms } => {
+                        std::thread::sleep(Duration::from_millis(ms));
+                    }
+                    Message::Drain => break,
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+            write_msg(&mut w, &Message::Bye).unwrap();
+        });
+        server.run(&mut sink).unwrap()
+    });
+
+    assert_eq!(report.completions, 1);
+    assert_eq!(report.failures, 1, "exactly the lease expiry");
+    let trace = sink.into_trace().unwrap();
+    let fails = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e, ic_sim::TraceEvent::Failed { .. }))
+        .count();
+    assert_eq!(fails, 1, "trace records the expiry");
+    assert_audit_clean(&trace);
+}
+
+/// A connection that opens with anything but `hello` gets a protocol
+/// error and is dropped; the server keeps serving real workers.
+#[test]
+fn non_hello_opening_is_rejected_with_a_protocol_error() {
+    let dag = from_arcs(1, &[]).unwrap();
+    let policy = ic_sched::Schedule::in_id_order(&dag);
+    let cfg = ServerConfig {
+        expect_workers: 1,
+        wait_ms: 5,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", &dag, &policy, cfg).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let mut sink = MemorySink::new();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            // Rude connection: demands work without registering.
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            let mut w = BufWriter::new(stream);
+            write_msg(&mut w, &Message::Request).unwrap();
+            assert!(matches!(read_msg(&mut r).unwrap(), Message::Error { .. }));
+            // A real worker still finishes the dag.
+            let worker = WorkerConfig {
+                id: "real".into(),
+                ..WorkerConfig::default()
+            };
+            let report = run_worker(addr, &worker).unwrap();
+            assert_eq!(report.completed, 1);
+            assert!(!report.died);
+        });
+        server.run(&mut sink).unwrap();
+    });
+    assert_audit_clean(&sink.into_trace().unwrap());
+}

@@ -143,6 +143,7 @@ pub fn schedule_with(dag: &Dag, policy: &dyn AllocationPolicy) -> Schedule {
                 dag,
                 state: &st,
                 step,
+                retries: None,
             },
             &pool,
         );

@@ -23,6 +23,12 @@ pub struct PolicyContext<'d, 's> {
     pub state: &'s ExecState<'d>,
     /// Number of allocation decisions made so far in this run.
     pub step: usize,
+    /// Per-node failure counts (`retries[v.index()]` = how many times
+    /// task `v` was allocated and lost), when the driver tracks them —
+    /// the live `ic-net` server does; the simulator and the offline
+    /// schedulers pass `None`. Lets a policy deprioritize
+    /// chronically-failing tasks without changing the trait surface.
+    pub retries: Option<&'s [u32]>,
 }
 
 /// A (possibly dynamic) rule for allocating ELIGIBLE tasks.
@@ -87,6 +93,7 @@ mod tests {
             dag: &g,
             state: &st,
             step: 0,
+            retries: None,
         };
         // Pool {1, 2}: the schedule ranks 2 before 1.
         assert_eq!(s.choose(&ctx, &[NodeId(1), NodeId(2)]), 1);

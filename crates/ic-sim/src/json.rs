@@ -1,13 +1,15 @@
-//! A minimal hand-rolled JSON reader/writer for the trace format.
+//! A minimal hand-rolled JSON reader/writer for the trace format and
+//! the `ic-net` wire protocol.
 //!
 //! The workspace is zero-external-deps by design, so the JSONL trace
-//! files are parsed with a small recursive-descent parser. Numbers keep
+//! files (and the length-prefixed frames `ic-net` exchanges over TCP)
+//! are parsed with a small recursive-descent parser. Numbers keep
 //! their raw text so `u64` seeds and `f64` timestamps both round-trip
 //! exactly through the shortest `Display` form Rust emits.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Json {
+pub enum Json {
     /// `null`.
     Null,
     /// `true` / `false`.
@@ -23,28 +25,33 @@ pub(crate) enum Json {
 }
 
 impl Json {
-    pub(crate) fn get(&self, key: &str) -> Option<&Json> {
+    /// Field `key` of an object; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    pub(crate) fn as_f64(&self) -> Option<f64> {
+    /// The numeric value as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(raw) => raw.parse().ok(),
             _ => None,
         }
     }
 
-    pub(crate) fn as_u64(&self) -> Option<u64> {
+    /// The value as `u64`: a number, or a numeric string (large seeds
+    /// are written as strings so they survive `f64` readers).
+    pub fn as_u64(&self) -> Option<u64> {
         match self {
             // Seeds are written as strings (they may exceed 2^53); plain
             // numbers are accepted too.
@@ -54,11 +61,13 @@ impl Json {
         }
     }
 
-    pub(crate) fn as_usize(&self) -> Option<usize> {
+    /// [`Json::as_u64`], narrowed to `usize`.
+    pub fn as_usize(&self) -> Option<usize> {
         self.as_u64().and_then(|v| usize::try_from(v).ok())
     }
 
-    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+    /// The items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
@@ -67,7 +76,7 @@ impl Json {
 }
 
 /// Escape `s` as a JSON string literal, quotes included (RFC 8259).
-pub(crate) fn json_string(s: &str) -> String {
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -86,7 +95,7 @@ pub(crate) fn json_string(s: &str) -> String {
 }
 
 /// Parse a complete JSON document; trailing non-whitespace is an error.
-pub(crate) fn parse(text: &str) -> Result<Json, String> {
+pub fn parse(text: &str) -> Result<Json, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,

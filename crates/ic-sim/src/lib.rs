@@ -33,7 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod compare;
-mod json;
+pub mod json;
 pub mod metrics;
 pub mod server;
 pub mod trace;
@@ -41,4 +41,7 @@ pub mod trace;
 pub use compare::{compare_policies, summarize_policy, PolicySummary};
 pub use metrics::SimResult;
 pub use server::{simulate, simulate_traced, ClientProfile, SimConfig};
-pub use trace::{MemorySink, NullSink, ReplayPolicy, Trace, TraceEvent, TraceHeader, TraceSink};
+pub use trace::{
+    FileSink, MemorySink, NullSink, ReplayPolicy, Trace, TraceEvent, TraceHeader, TraceSink,
+    WorkerParams,
+};

@@ -14,6 +14,8 @@
 
 use std::cell::Cell;
 use std::fmt;
+use std::io::{self, Write as _};
+use std::path::Path;
 
 use ic_dag::builder::from_arcs;
 use ic_dag::error::DagError;
@@ -22,8 +24,28 @@ use ic_sched::policy::{AllocationPolicy, PolicyContext};
 
 use crate::json::{self, Json};
 
-/// Current trace-format version, written into every header.
-pub const TRACE_VERSION: u32 = 1;
+/// Current trace-format version, written into every header. Version 2
+/// added the optional per-client `workers` service parameters; version
+/// 1 traces (no `workers` field) still parse.
+pub const TRACE_VERSION: u32 = 2;
+
+/// Declared service parameters of one client, recorded in the trace
+/// header so a replay can reproduce the run's *timing*, not just its
+/// order: [`crate::SimConfig::for_replay`] rebuilds a client population
+/// from these, and observed per-task service times are recoverable from
+/// the event stream via [`Trace::observed_service_times`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerParams {
+    /// The client slot this worker occupies (the `client` of its
+    /// events).
+    pub client: usize,
+    /// Self-declared worker identity (`"client-N"` for simulated
+    /// clients; whatever the remote worker announced for `ic-net`).
+    pub id: String,
+    /// Declared speed factor: the worker finishes compute in
+    /// `1 / speed` of the base service time.
+    pub speed: f64,
+}
 
 /// The first line of a trace: run parameters plus the dag itself.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +62,10 @@ pub struct TraceHeader {
     pub seed: u64,
     /// Name of the allocation policy that drove the run.
     pub policy: String,
+    /// Per-client declared service parameters, when the emitter knows
+    /// them at run start (empty otherwise; version-1 traces parse as
+    /// empty).
+    pub workers: Vec<WorkerParams>,
 }
 
 impl TraceHeader {
@@ -52,7 +78,50 @@ impl TraceHeader {
             clients,
             seed,
             policy: policy.to_string(),
+            workers: Vec::new(),
         }
+    }
+
+    /// Attach per-client service parameters.
+    pub fn with_workers(mut self, workers: Vec<WorkerParams>) -> TraceHeader {
+        self.workers = workers;
+        self
+    }
+
+    /// Serialize as the JSONL header line (newline included).
+    pub fn to_json_line(&self) -> String {
+        let arcs = self
+            .arcs
+            .iter()
+            .map(|&(u, v)| format!("[{u},{v}]"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut line = format!(
+            "{{\"type\":\"header\",\"version\":{},\"nodes\":{},\"clients\":{},\"seed\":\"{}\",\"policy\":{},\"arcs\":[{}]",
+            self.version,
+            self.nodes,
+            self.clients,
+            self.seed,
+            json::json_string(&self.policy),
+            arcs
+        );
+        if !self.workers.is_empty() {
+            line.push_str(",\"workers\":[");
+            for (i, w) in self.workers.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!(
+                    "{{\"client\":{},\"id\":{},\"speed\":{}}}",
+                    w.client,
+                    json::json_string(&w.id),
+                    w.speed
+                ));
+            }
+            line.push(']');
+        }
+        line.push_str("}\n");
+        line
     }
 }
 
@@ -146,6 +215,35 @@ impl TraceEvent {
             TraceEvent::Idle { .. } => "idle",
         }
     }
+
+    /// Serialize as one JSONL event line (newline included).
+    pub fn to_json_line(&self) -> String {
+        let mut line = format!(
+            "{{\"type\":\"{}\",\"step\":{},\"t\":{},\"client\":{}",
+            self.kind(),
+            self.step(),
+            self.time(),
+            match *self {
+                TraceEvent::Allocated { client, .. }
+                | TraceEvent::Completed { client, .. }
+                | TraceEvent::Failed { client, .. }
+                | TraceEvent::Idle { client, .. } => client,
+            }
+        );
+        match *self {
+            TraceEvent::Allocated { task, pool, .. }
+            | TraceEvent::Completed { task, pool, .. }
+            | TraceEvent::Failed { task, pool, .. } => {
+                line.push_str(&format!(",\"task\":{}", task.0));
+                if let Some(p) = pool {
+                    line.push_str(&format!(",\"pool\":{p}"));
+                }
+            }
+            TraceEvent::Idle { .. } => {}
+        }
+        line.push_str("}\n");
+        line
+    }
 }
 
 /// Receives the event stream of one run.
@@ -202,6 +300,62 @@ impl TraceSink for MemorySink {
 
     fn record(&mut self, event: &TraceEvent) {
         self.events.push(event.clone());
+    }
+}
+
+/// Streams a run's trace to a JSONL file *incrementally*: the header
+/// line is written by [`TraceSink::header`], and every event line is
+/// written and flushed as it is recorded. Long server runs therefore
+/// never buffer their trace in memory, and a killed process loses at
+/// most the event in flight — the file on disk is a valid (possibly
+/// IC0405-truncated) trace at every instant.
+///
+/// I/O errors are sticky: the first one is kept and every later write
+/// is skipped; [`FileSink::finish`] surfaces it.
+#[derive(Debug)]
+pub struct FileSink {
+    out: io::BufWriter<std::fs::File>,
+    err: Option<io::Error>,
+}
+
+impl FileSink {
+    /// Create (truncating) the trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<FileSink> {
+        Ok(FileSink {
+            out: io::BufWriter::new(std::fs::File::create(path)?),
+            err: None,
+        })
+    }
+
+    fn write_line(&mut self, line: &str) {
+        if self.err.is_some() {
+            return;
+        }
+        let r = self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.flush());
+        if let Err(e) = r {
+            self.err = Some(e);
+        }
+    }
+
+    /// Flush and close, surfacing the first write error if any.
+    pub fn finish(mut self) -> io::Result<()> {
+        match self.err.take() {
+            Some(e) => Err(e),
+            None => self.out.flush(),
+        }
+    }
+}
+
+impl TraceSink for FileSink {
+    fn header(&mut self, header: &TraceHeader) {
+        self.write_line(&header.to_json_line());
+    }
+
+    fn record(&mut self, event: &TraceEvent) {
+        self.write_line(&event.to_json_line());
     }
 }
 
@@ -273,51 +427,49 @@ impl Trace {
             .collect()
     }
 
-    /// Serialize to JSONL: the header line, then one line per event.
-    pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
-        let h = &self.header;
-        let arcs = h
-            .arcs
-            .iter()
-            .map(|&(u, v)| format!("[{u},{v}]"))
-            .collect::<Vec<_>>()
-            .join(",");
-        out.push_str(&format!(
-            "{{\"type\":\"header\",\"version\":{},\"nodes\":{},\"clients\":{},\"seed\":\"{}\",\"policy\":{},\"arcs\":[{}]}}\n",
-            h.version,
-            h.nodes,
-            h.clients,
-            h.seed,
-            json::json_string(&h.policy),
-            arcs
-        ));
+    /// Per-client *observed* service times: for every client slot, the
+    /// allocation→outcome duration of each task it served (completions
+    /// and failures alike, in event order). Together with the declared
+    /// [`TraceHeader::workers`] parameters this is what a replay needs
+    /// to reproduce the run's timing, not just its order.
+    pub fn observed_service_times(&self) -> Vec<Vec<f64>> {
+        let mut out = vec![Vec::new(); self.header.clients];
+        let mut open: Vec<(usize, NodeId, f64)> = Vec::new();
         for ev in &self.events {
-            let mut line = format!(
-                "{{\"type\":\"{}\",\"step\":{},\"t\":{},\"client\":{}",
-                ev.kind(),
-                ev.step(),
-                ev.time(),
-                match *ev {
-                    TraceEvent::Allocated { client, .. }
-                    | TraceEvent::Completed { client, .. }
-                    | TraceEvent::Failed { client, .. }
-                    | TraceEvent::Idle { client, .. } => client,
-                }
-            );
             match *ev {
-                TraceEvent::Allocated { task, pool, .. }
-                | TraceEvent::Completed { task, pool, .. }
-                | TraceEvent::Failed { task, pool, .. } => {
-                    line.push_str(&format!(",\"task\":{}", task.0));
-                    if let Some(p) = pool {
-                        line.push_str(&format!(",\"pool\":{p}"));
+                TraceEvent::Allocated {
+                    client, task, time, ..
+                } => {
+                    if client >= out.len() {
+                        out.resize(client + 1, Vec::new());
+                    }
+                    open.push((client, task, time));
+                }
+                TraceEvent::Completed {
+                    client, task, time, ..
+                }
+                | TraceEvent::Failed {
+                    client, task, time, ..
+                } => {
+                    if let Some(i) = open.iter().position(|&(c, t, _)| c == client && t == task) {
+                        let (_, _, start) = open.swap_remove(i);
+                        if client >= out.len() {
+                            out.resize(client + 1, Vec::new());
+                        }
+                        out[client].push(time - start);
                     }
                 }
                 TraceEvent::Idle { .. } => {}
             }
-            line.push_str("}\n");
-            out.push_str(&line);
+        }
+        out
+    }
+
+    /// Serialize to JSONL: the header line, then one line per event.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = self.header.to_json_line();
+        for ev in &self.events {
+            out.push_str(&ev.to_json_line());
         }
         out
     }
@@ -394,6 +546,24 @@ fn parse_header(v: &Json, lineno: usize) -> Result<TraceHeader, TraceParseError>
         let w = pair[1].as_u64().ok_or_else(|| bad("arcs"))? as u32;
         arcs.push((u, w));
     }
+    // Optional since version 2; version-1 traces parse as empty.
+    let mut workers = Vec::new();
+    if let Some(list) = v.get("workers") {
+        for w in list.as_arr().ok_or_else(|| bad("workers"))? {
+            workers.push(WorkerParams {
+                client: field(w, "client", lineno)?
+                    .as_usize()
+                    .ok_or_else(|| bad("workers"))?,
+                id: field(w, "id", lineno)?
+                    .as_str()
+                    .ok_or_else(|| bad("workers"))?
+                    .to_string(),
+                speed: field(w, "speed", lineno)?
+                    .as_f64()
+                    .ok_or_else(|| bad("workers"))?,
+            });
+        }
+    }
     Ok(TraceHeader {
         version,
         nodes,
@@ -401,6 +571,7 @@ fn parse_header(v: &Json, lineno: usize) -> Result<TraceHeader, TraceParseError>
         clients,
         seed,
         policy,
+        workers,
     })
 }
 
@@ -490,22 +661,31 @@ impl AllocationPolicy for ReplayPolicy {
 
     /// # Panics
     /// Panics if the replayed order is exhausted or its next task is
-    /// not in the pool — i.e. the run being driven diverged from the
-    /// run that produced the order (different dag, config, or seed).
-    fn choose(&self, _ctx: &PolicyContext<'_, '_>, pool: &[NodeId]) -> usize {
-        let k = self.cursor.get();
-        self.cursor.set(k + 1);
-        assert!(
-            k < self.order.len(),
-            "replayed allocation order exhausted after {k} steps"
-        );
-        let target = self.order[k];
-        pool.iter().position(|&v| v == target).unwrap_or_else(|| {
-            panic!(
+    /// not in the pool *and was never executed* — i.e. the run being
+    /// driven genuinely diverged from the run that produced the order
+    /// (different dag, config, or seed). Entries whose task this run
+    /// already executed are skipped instead: a recorded run that lost
+    /// tasks to client failures legally re-allocates them later, and a
+    /// replay that does not fail the same way must not be flagged for
+    /// that divergence.
+    fn choose(&self, ctx: &PolicyContext<'_, '_>, pool: &[NodeId]) -> usize {
+        loop {
+            let k = self.cursor.get();
+            assert!(
+                k < self.order.len(),
+                "replayed allocation order exhausted after {k} steps"
+            );
+            self.cursor.set(k + 1);
+            let target = self.order[k];
+            if let Some(i) = pool.iter().position(|&v| v == target) {
+                return i;
+            }
+            assert!(
+                ctx.state.is_executed(target),
                 "replayed allocation #{k} ({target:?}) is not in the ELIGIBLE pool; \
                  the run diverged from the recorded one"
-            )
-        })
+            );
+        }
     }
 }
 
@@ -523,6 +703,18 @@ mod tests {
                 clients: 2,
                 seed: u64::MAX,
                 policy: "FIFO \"quoted\"".into(),
+                workers: vec![
+                    WorkerParams {
+                        client: 0,
+                        id: "client-0".into(),
+                        speed: 1.0,
+                    },
+                    WorkerParams {
+                        client: 1,
+                        id: "w \"fast\"".into(),
+                        speed: 2.5,
+                    },
+                ],
             },
             events: vec![
                 TraceEvent::Allocated {
@@ -561,6 +753,42 @@ mod tests {
         let text = t.to_jsonl();
         let back = Trace::from_jsonl(&text).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn version1_headers_parse_with_empty_workers() {
+        let v1 = "{\"type\":\"header\",\"version\":1,\"nodes\":2,\"clients\":1,\
+                  \"seed\":\"7\",\"policy\":\"FIFO\",\"arcs\":[[0,1]]}\n";
+        let t = Trace::from_jsonl(v1).unwrap();
+        assert!(t.header.workers.is_empty());
+        assert_eq!(t.header.nodes, 2);
+    }
+
+    #[test]
+    fn file_sink_streams_a_parseable_trace() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("ic-sim-filesink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+        let mut sink = FileSink::create(&path).unwrap();
+        sink.header(&t.header);
+        for ev in &t.events {
+            sink.record(ev);
+        }
+        sink.finish().unwrap();
+        let back = Trace::from_jsonl(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn observed_service_times_measure_alloc_to_outcome() {
+        let t = sample_trace();
+        let obs = t.observed_service_times();
+        // Client 0: allocated task 0 at t=0, completed at t=1.25.
+        assert_eq!(obs[0], vec![1.25]);
+        // Client 1: only a dangling failure (no matching allocation).
+        assert!(obs[1].is_empty());
     }
 
     #[test]
@@ -604,5 +832,16 @@ mod tests {
         let g = build(3, &[(0, 1), (0, 2)]).unwrap();
         let p = ReplayPolicy::new(vec![NodeId(1), NodeId(0), NodeId(2)]);
         let _ = ic_sched::heuristics::schedule_with(&g, &p);
+    }
+
+    #[test]
+    fn replay_policy_skips_recorded_reallocations() {
+        // The recorded run lost task 0 once: its allocation order holds
+        // a duplicate. A failure-free replay executes 0 on first sight
+        // and must skip the stale re-allocation entry, not panic.
+        let g = build(3, &[(0, 1), (0, 2)]).unwrap();
+        let p = ReplayPolicy::new(vec![NodeId(0), NodeId(0), NodeId(2), NodeId(1)]);
+        let s = ic_sched::heuristics::schedule_with(&g, &p);
+        assert_eq!(s.order(), &[NodeId(0), NodeId(2), NodeId(1)]);
     }
 }

@@ -40,4 +40,31 @@ DAG
 ./target/release/ic-prio audit --schedule "$tmpdir/run.jsonl" --json \
     | grep -q '"ok": true'
 
+echo "==> ic-prio serve | work | audit --schedule (live localhost round trip)"
+# The real thing: a TCP server on an ephemeral localhost port, three
+# workers (one of them dying mid-run to force a lease reallocation),
+# and a replay-audit of the streamed trace. `timeout` bounds every
+# long-running step so a protocol hang fails fast instead of wedging CI.
+timeout 60 ./target/release/ic-prio serve --family mesh:8 --policy optimal \
+    --listen 127.0.0.1:0 --expect 3 --lease-ms 300 \
+    --trace "$tmpdir/serve.jsonl" --port-file "$tmpdir/port" --json \
+    > "$tmpdir/serve.json" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tmpdir/port" ] && break
+    sleep 0.1
+done
+[ -s "$tmpdir/port" ] || { echo "server never wrote its port file"; exit 1; }
+addr="$(tr -d '[:space:]' < "$tmpdir/port")"
+timeout 60 ./target/release/ic-prio work --connect "$addr" --id drone-1 \
+    --mean-ms 2 > /dev/null &
+timeout 60 ./target/release/ic-prio work --connect "$addr" --id drone-2 \
+    --mean-ms 2 --speed 2 > /dev/null &
+timeout 60 ./target/release/ic-prio work --connect "$addr" --id deserter \
+    --mean-ms 2 --die-after 2 > /dev/null
+wait "$serve_pid"
+grep -q '"completions": 36' "$tmpdir/serve.json"
+./target/release/ic-prio audit --schedule "$tmpdir/serve.jsonl" --json \
+    | grep -q '"ok": true'
+
 echo "verify: all green"

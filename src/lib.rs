@@ -31,5 +31,6 @@ pub use ic_audit as audit;
 pub use ic_dag as dag;
 pub use ic_exec as exec;
 pub use ic_families as families;
+pub use ic_net as net;
 pub use ic_sched as sched;
 pub use ic_sim as sim;
