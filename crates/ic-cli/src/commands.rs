@@ -381,29 +381,71 @@ pub fn family_dag(spec: &str) -> Result<(String, ic_dag::Dag, Option<ic_sched::S
             .filter(|&v| v > 0)
             .ok_or_else(|| format!("family spec {spec:?}: expected a positive integer parameter"))
     };
+    // Reject oversized specs from the closed-form node count *before*
+    // constructing the dag — `outtree:10:9` must error, not attempt a
+    // ~10^9-node allocation. `None` means the count overflows usize.
+    let cap = |count: Option<usize>| -> Result<(), String> {
+        match count {
+            Some(n) if n <= MAX_NODES => Ok(()),
+            _ => Err(format!(
+                "family {spec:?} would have {} nodes; the server caps at {MAX_NODES}",
+                count.map_or_else(|| "over 2^64".to_string(), |n| n.to_string())
+            )),
+        }
+    };
+    // Complete-tree node count: sum of arity^l for l in 0..=depth.
+    let tree_nodes = |arity: usize, depth: usize| -> Option<usize> {
+        let mut count = 1usize;
+        let mut level = 1usize;
+        for _ in 0..depth {
+            level = level.checked_mul(arity)?;
+            count = count.checked_add(level)?;
+        }
+        Some(count)
+    };
+    let mesh_nodes = |levels: usize| {
+        levels
+            .checked_add(1)
+            .and_then(|p| levels.checked_mul(p))
+            .map(|v| v / 2)
+    };
+    let butterfly_nodes = |d: usize| {
+        1usize
+            .checked_shl(u32::try_from(d).ok()?)
+            .and_then(|rows| rows.checked_mul(d + 1))
+    };
     let (dag, sched) = match (parts.first().copied(), parts.len()) {
         (Some("mesh"), 2) => {
-            let mesh = ic_families::mesh::out_mesh(arg(1)?);
+            let l = arg(1)?;
+            cap(mesh_nodes(l))?;
+            let mesh = ic_families::mesh::out_mesh(l);
             let s = ic_families::mesh::out_mesh_schedule(&mesh);
             (mesh, Some(s))
         }
         (Some("inmesh"), 2) => {
-            let mesh = ic_families::mesh::in_mesh(arg(1)?);
+            let l = arg(1)?;
+            cap(mesh_nodes(l))?;
+            let mesh = ic_families::mesh::in_mesh(l);
             let s = ic_families::mesh::in_mesh_schedule(&mesh).ok();
             (mesh, s)
         }
         (Some("outtree"), 3) => {
-            let t = ic_families::trees::complete_out_tree(arg(1)?, arg(2)?);
+            let (a, d) = (arg(1)?, arg(2)?);
+            cap(tree_nodes(a, d))?;
+            let t = ic_families::trees::complete_out_tree(a, d);
             let s = ic_families::trees::out_tree_schedule(&t);
             (t, Some(s))
         }
         (Some("intree"), 3) => {
-            let t = ic_families::trees::complete_in_tree(arg(1)?, arg(2)?);
+            let (a, d) = (arg(1)?, arg(2)?);
+            cap(tree_nodes(a, d))?;
+            let t = ic_families::trees::complete_in_tree(a, d);
             let s = ic_families::trees::in_tree_schedule(&t).ok();
             (t, s)
         }
         (Some("butterfly"), 2) => {
             let d = arg(1)?;
+            cap(butterfly_nodes(d))?;
             (
                 ic_families::butterfly::butterfly(d),
                 Some(ic_families::butterfly::butterfly_schedule(d)),
@@ -416,12 +458,7 @@ pub fn family_dag(spec: &str) -> Result<(String, ic_dag::Dag, Option<ic_sched::S
             ))
         }
     };
-    if dag.num_nodes() > MAX_NODES {
-        return Err(format!(
-            "family {spec:?} has {} nodes; the server caps at {MAX_NODES}",
-            dag.num_nodes()
-        ));
-    }
+    debug_assert!(dag.num_nodes() <= MAX_NODES);
     Ok((spec.to_string(), dag, sched))
 }
 
@@ -503,15 +540,25 @@ pub fn serve_run(
     let _ = writeln!(out, "allocations:  {}", report.allocations);
     let _ = writeln!(out, "workers:      {}", report.workers_registered);
     let _ = writeln!(out, "makespan:     {:.3}s", report.makespan);
+    if report.late_workers > 0 && trace_path.is_some() {
+        let _ = writeln!(
+            out,
+            "# warning: {} worker(s) registered after the trace header was written; \
+             their parameters are missing from the header, so the trace replays order \
+             but not timing. Pass --expect {} to hold the header for all workers.",
+            report.late_workers, report.workers_registered
+        );
+    }
     let data = format!(
         "{{\"addr\": {}, \"policy\": {}, \"completions\": {}, \"failures\": {}, \
-         \"allocations\": {}, \"workers\": {}, \"makespan\": {}}}",
+         \"allocations\": {}, \"workers\": {}, \"late_workers\": {}, \"makespan\": {}}}",
         ic_audit::report::json_string(&addr.to_string()),
         ic_audit::report::json_string(&policy.name()),
         report.completions,
         report.failures,
         report.allocations,
         report.workers_registered,
+        report.late_workers,
         report.makespan,
     );
     Ok(CmdOutput::success("serve", out).with_data(data))
@@ -771,6 +818,28 @@ mod tests {
         for bad in ["mesh", "mesh:0", "mesh:x", "nope:3", "mesh:3:4", ""] {
             assert!(family_dag(bad).is_err(), "{bad:?}");
         }
+    }
+
+    /// Oversized specs are rejected from the closed-form node count
+    /// before construction — these must error instantly, not attempt a
+    /// billion-node (or usize-overflowing) allocation.
+    #[test]
+    fn oversized_family_specs_are_rejected_before_construction() {
+        for big in [
+            "outtree:10:9",
+            "intree:10:9",
+            "outtree:2:64",
+            "mesh:100000",
+            "inmesh:18446744073709551615",
+            "butterfly:40",
+            "butterfly:200",
+        ] {
+            let err = family_dag(big).unwrap_err();
+            assert!(err.contains("caps"), "{big:?}: {err}");
+        }
+        // Boundary: 1447·1448/2 ≤ 2^20 builds, 1448·1449/2 > 2^20 does not.
+        assert!(family_dag("mesh:1447").is_ok());
+        assert!(family_dag("mesh:1448").is_err());
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub struct ServerConfig {
     pub backoff_base_ms: u64,
     /// Registration barrier: serving (and the trace header) waits until
     /// this many workers have said hello, so the header records their
-    /// declared parameters. `0` starts serving immediately.
+    /// declared parameters. `0` starts serving immediately — the header
+    /// is then written before anyone registers, so it carries no worker
+    /// parameters and replay timing from the header is unavailable
+    /// (see [`ServeReport::late_workers`]).
     pub expect_workers: usize,
     /// Suggested retry delay sent with `Wait` replies.
     pub wait_ms: u64,
@@ -90,6 +93,12 @@ pub struct ServeReport {
     pub allocations: usize,
     /// Workers that registered over the run's lifetime.
     pub workers_registered: usize,
+    /// Workers that registered *after* the trace header was written
+    /// (always all of them when `expect_workers` is 0, since the header
+    /// then goes out before serving). They appear in events but not in
+    /// the header's `workers` list, so header-based replay timing is
+    /// incomplete — set `expect_workers` to avoid this.
+    pub late_workers: usize,
     /// Wall-clock seconds from serving start to dag completion.
     pub makespan: f64,
 }
@@ -241,6 +250,7 @@ struct Coordinator<'a, 'd> {
     failures: Vec<u32>,
     workers: Vec<Worker>,
     connected: usize,
+    late_workers: usize,
     header_written: bool,
     start: Instant,
     step: u64,
@@ -271,6 +281,7 @@ impl<'a, 'd> Coordinator<'a, 'd> {
             failures: vec![0; dag.num_nodes()],
             workers: Vec::new(),
             connected: 0,
+            late_workers: 0,
             header_written: false,
             start: Instant::now(),
             step: 0,
@@ -392,7 +403,9 @@ impl<'a, 'd> Coordinator<'a, 'd> {
                     waiting: false,
                 });
                 self.connected += 1;
-                if !self.header_written && self.workers.len() >= self.cfg.expect_workers {
+                if self.header_written {
+                    self.late_workers += 1;
+                } else if self.workers.len() >= self.cfg.expect_workers {
                     self.write_header();
                 }
                 let _ = reply.send(Message::Welcome {
@@ -440,6 +453,11 @@ impl<'a, 'd> Coordinator<'a, 'd> {
 
     /// Answer a work request: `Assign` when the pool has a task,
     /// `Drain` when the dag is complete, `Wait` otherwise.
+    ///
+    /// A worker requesting while it still holds a lease forfeits the
+    /// leased task (same as a mid-lease disconnect) — otherwise the
+    /// new lease would overwrite the map entry and the old task,
+    /// belonging to no queue, could never be reallocated.
     fn allocate_for(&mut self, worker: usize) -> Message {
         if self.is_complete() {
             return Message::Drain;
@@ -449,6 +467,9 @@ impl<'a, 'd> Coordinator<'a, 'd> {
             return Message::Wait {
                 ms: self.cfg.wait_ms,
             };
+        }
+        if let Some((abandoned, _)) = self.leases.remove(&worker) {
+            self.lose_task(worker, abandoned);
         }
         self.promote_deferred();
         if self.pool.is_empty() {
@@ -548,6 +569,7 @@ impl<'a, 'd> Coordinator<'a, 'd> {
             failures: self.failure_events,
             allocations: self.allocation_steps,
             workers_registered: self.workers.len(),
+            late_workers: self.late_workers,
             makespan,
         }
     }
@@ -584,6 +606,12 @@ fn handle_conn(stream: TcpStream, tx: Sender<Req>, read_timeout: Duration) {
                 return;
             };
             if write_msg(&mut w, &welcome).is_err() {
+                // Registration already counted this worker as
+                // connected; undo it so drain doesn't wait on a
+                // connection that never got its welcome.
+                let _ = tx.send(Req::Gone {
+                    worker: worker as usize,
+                });
                 return;
             }
             worker as usize

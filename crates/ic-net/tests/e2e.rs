@@ -292,6 +292,105 @@ fn expired_lease_reallocates_and_late_report_is_rejected() {
     assert_audit_clean(&trace);
 }
 
+/// A worker that asks for more work while still holding a lease
+/// forfeits the leased task: the server records a `Failed` event and
+/// the task re-enters the pool to be reallocated, rather than being
+/// orphaned by the new lease overwriting the old (which would wedge the
+/// run forever).
+#[test]
+fn request_while_leased_forfeits_the_old_task() {
+    let dag = from_arcs(2, &[]).unwrap(); // two independent tasks
+    let policy = ic_sched::Schedule::in_id_order(&dag);
+    let cfg = ServerConfig {
+        // Leases never expire on their own here: only the forfeit path
+        // can recover the abandoned task.
+        lease_ms: 10_000,
+        backoff_base_ms: 1,
+        expect_workers: 1,
+        wait_ms: 5,
+        seed: 7,
+    };
+    let server = Server::bind("127.0.0.1:0", &dag, &policy, cfg).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let mut sink = MemorySink::new();
+    let report: ServeReport = std::thread::scope(|s| {
+        s.spawn(|| {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            let mut w = BufWriter::new(stream);
+
+            write_msg(
+                &mut w,
+                &Message::Hello {
+                    id: "greedy".into(),
+                    speed: 1.0,
+                },
+            )
+            .unwrap();
+            assert!(matches!(read_msg(&mut r).unwrap(), Message::Welcome { .. }));
+            write_msg(&mut w, &Message::Request).unwrap();
+            let Message::Assign { task: first } = read_msg(&mut r).unwrap() else {
+                panic!("expected an assignment");
+            };
+            // Ask again without completing: the held task is forfeited
+            // and the *other* task is assigned (the forfeit is backing
+            // off).
+            write_msg(&mut w, &Message::Request).unwrap();
+            let Message::Assign { task: second } = read_msg(&mut r).unwrap() else {
+                panic!("expected a second assignment");
+            };
+            assert_ne!(
+                second, first,
+                "the forfeited task must not be re-leased yet"
+            );
+            write_msg(
+                &mut w,
+                &Message::Done {
+                    task: second,
+                    ok: true,
+                },
+            )
+            .unwrap();
+            assert!(matches!(
+                read_msg(&mut r).unwrap(),
+                Message::Ack { accepted: true, .. }
+            ));
+            // The forfeited task comes back after its backoff.
+            loop {
+                write_msg(&mut w, &Message::Request).unwrap();
+                match read_msg(&mut r).unwrap() {
+                    Message::Assign { task } => {
+                        assert_eq!(task, first, "only the forfeited task remains");
+                        write_msg(&mut w, &Message::Done { task, ok: true }).unwrap();
+                        assert!(matches!(
+                            read_msg(&mut r).unwrap(),
+                            Message::Ack { accepted: true, .. }
+                        ));
+                    }
+                    Message::Wait { ms } => std::thread::sleep(Duration::from_millis(ms)),
+                    Message::Drain => break,
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+            write_msg(&mut w, &Message::Bye).unwrap();
+        });
+        server.run(&mut sink).unwrap()
+    });
+
+    assert_eq!(report.completions, 2);
+    assert_eq!(report.failures, 1, "exactly the forfeit");
+    assert_eq!(report.allocations, 3);
+    let trace = sink.into_trace().unwrap();
+    let fails = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e, ic_sim::TraceEvent::Failed { .. }))
+        .count();
+    assert_eq!(fails, 1, "trace records the forfeit");
+    assert_audit_clean(&trace);
+}
+
 /// A connection that opens with anything but `hello` gets a protocol
 /// error and is dropped; the server keeps serving real workers.
 #[test]
