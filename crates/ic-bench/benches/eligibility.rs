@@ -1,0 +1,98 @@
+//! Benches for the eligibility engine.
+//!
+//! * `envelope` — full optimal-envelope sweeps through the incremental
+//!   and layer-parallel enumerator, on the paper's families near the
+//!   64-node lattice cap and on `testgen` random dags;
+//! * `envelope-naive` — the *same* sweeps through the retained naive
+//!   reference walk (`IdealEnumerator::for_each_reference`, which
+//!   recomputes every eligible set from scratch), in the same binary,
+//!   so `BENCH.json` carries a like-for-like speedup baseline;
+//! * `exec-state` — full-run allocation through the dense eligible
+//!   pool: pop + execute every node of large out-meshes, so the
+//!   per-allocation cost (and its independence from dag size) is
+//!   visible in the per-node numbers.
+
+use ic_bench::harness::Runner;
+use ic_dag::ideals::IdealEnumerator;
+use ic_dag::testgen::random_dags;
+use ic_dag::Dag;
+use ic_families::butterfly::butterfly;
+use ic_families::diamond::diamond_from_out_tree;
+use ic_families::mesh::out_mesh;
+use ic_families::trees::complete_out_tree;
+use ic_sched::heuristics::{schedule_with, Policy};
+use ic_sched::optimal::optimal_envelope;
+
+/// The optimal envelope via the naive reference walk: every state's
+/// eligible set recomputed from scratch, single-threaded.
+fn naive_envelope(dag: &Dag) -> Vec<usize> {
+    let en = IdealEnumerator::new(dag).expect("dags here fit the 64-node cap");
+    let mut env = vec![0usize; dag.num_nodes() + 1];
+    en.for_each_reference(|_, size, eligible| {
+        let c = eligible.count_ones() as usize;
+        let slot = &mut env[size as usize];
+        if c > *slot {
+            *slot = c;
+        }
+    });
+    env
+}
+
+fn bench_envelope(r: &mut Runner) {
+    let mut subjects: Vec<(String, Dag)> = Vec::new();
+    let mesh = out_mesh(10); // 55 nodes
+    subjects.push((format!("mesh_{}", mesh.num_nodes()), mesh));
+    let bfly = butterfly(3); // 32 nodes
+    subjects.push((format!("butterfly_{}", bfly.num_nodes()), bfly));
+    let dia = diamond_from_out_tree(&complete_out_tree(2, 3))
+        .expect("the complete binary tree generates a diamond")
+        .dag;
+    subjects.push((format!("diamond_{}", dia.num_nodes()), dia));
+    // Random subjects big enough that the sweep, not fixed overhead,
+    // is what gets measured.
+    for (i, g) in random_dags(0x1C5EED, 12, 26, 30)
+        .into_iter()
+        .filter(|g| g.num_nodes() >= 16)
+        .take(3)
+        .enumerate()
+    {
+        subjects.push((format!("random{}_{}", i, g.num_nodes()), g));
+    }
+
+    for (id, g) in &subjects {
+        let n = g.num_nodes();
+        r.bench_n("envelope", id, n, || optimal_envelope(g).unwrap());
+        r.bench_n("envelope-naive", id, n, || naive_envelope(g));
+    }
+
+    // Sanity: the two walks must agree, or the speedup is meaningless.
+    for (id, g) in &subjects {
+        assert_eq!(
+            optimal_envelope(g).unwrap(),
+            naive_envelope(g),
+            "envelope mismatch on {id}"
+        );
+    }
+}
+
+fn bench_exec_state(r: &mut Runner) {
+    for levels in [20usize, 140] {
+        let m = out_mesh(levels); // levels*(levels+1)/2 nodes
+        let n = m.num_nodes();
+        r.bench_n("exec-state", &format!("fifo_mesh_{n}"), n, || {
+            schedule_with(&m, &Policy::Fifo)
+        });
+    }
+    let big = out_mesh(140); // 9870 nodes
+    let n = big.num_nodes();
+    r.bench_n("exec-state", &format!("lifo_mesh_{n}"), n, || {
+        schedule_with(&big, &Policy::Lifo)
+    });
+}
+
+fn main() {
+    let mut r = Runner::from_env();
+    bench_envelope(&mut r);
+    bench_exec_state(&mut r);
+    r.finish();
+}

@@ -1,0 +1,120 @@
+//! `bench-check` — validator for the machine-readable bench report.
+//!
+//! Reads a `BENCH.json` written by the harness (`IC_BENCH_JSON`),
+//! verifies it structurally — correct schema tag, well-formed records,
+//! every required bench group present — and prints a speedup table for
+//! ids measured under both `envelope` and `envelope-naive`. Exits
+//! nonzero on any violation, so `scripts/verify.sh` can gate on it.
+//!
+//! Usage: `bench-check <path> [required-group ...]`
+//! (path defaults to `$IC_BENCH_JSON`; groups default to
+//! `envelope envelope-naive exec-state`).
+
+use std::process::ExitCode;
+
+use ic_sim::json::{parse, Json};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench-check: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let path = match args.next().or_else(|| std::env::var("IC_BENCH_JSON").ok()) {
+        Some(p) => p,
+        None => return fail("no report path (pass one or set IC_BENCH_JSON)"),
+    };
+    let required: Vec<String> = {
+        let rest: Vec<String> = args.collect();
+        if rest.is_empty() {
+            ["envelope", "envelope-naive", "exec-state"]
+                .map(String::from)
+                .to_vec()
+        } else {
+            rest
+        }
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("{path} is not valid JSON: {e}")),
+    };
+
+    if doc.get("schema").and_then(Json::as_str) != Some("ic-bench/1") {
+        return fail(&format!("{path}: missing or wrong \"schema\" tag"));
+    }
+    if doc.get("budget_ms").and_then(Json::as_u64).is_none() {
+        return fail(&format!("{path}: missing numeric \"budget_ms\""));
+    }
+    let Some(results) = doc.get("results").and_then(Json::as_arr) else {
+        return fail(&format!("{path}: missing \"results\" array"));
+    };
+    if results.is_empty() {
+        return fail(&format!("{path}: empty \"results\" array"));
+    }
+
+    // (group, id, nodes, best_ns) per record, after field validation.
+    let mut rows: Vec<(String, String, Option<u64>, u64)> = Vec::new();
+    for (i, rec) in results.iter().enumerate() {
+        let Some(group) = rec.get("group").and_then(Json::as_str) else {
+            return fail(&format!("{path}: results[{i}] has no string \"group\""));
+        };
+        let Some(id) = rec.get("id").and_then(Json::as_str) else {
+            return fail(&format!("{path}: results[{i}] has no string \"id\""));
+        };
+        let nodes = match rec.get("nodes") {
+            Some(Json::Null) => None,
+            Some(v) => match v.as_u64() {
+                Some(n) => Some(n),
+                None => {
+                    return fail(&format!("{path}: results[{i}] has malformed \"nodes\""));
+                }
+            },
+            None => return fail(&format!("{path}: results[{i}] has no \"nodes\" field")),
+        };
+        let Some(best) = rec.get("best_ns").and_then(Json::as_u64) else {
+            return fail(&format!("{path}: results[{i}] has no numeric \"best_ns\""));
+        };
+        if rec.get("mean_ns").and_then(Json::as_u64).is_none() {
+            return fail(&format!("{path}: results[{i}] has no numeric \"mean_ns\""));
+        }
+        match rec.get("iters").and_then(Json::as_u64) {
+            Some(it) if it >= 1 => {}
+            _ => return fail(&format!("{path}: results[{i}] has no positive \"iters\"")),
+        }
+        rows.push((group.to_string(), id.to_string(), nodes, best));
+    }
+
+    for group in &required {
+        if !rows.iter().any(|(g, ..)| g == group) {
+            return fail(&format!("{path}: required bench group {group:?} is absent"));
+        }
+    }
+
+    // Informational speedup table: ids present under both the new and
+    // the naive envelope walk.
+    for (g, id, _, best) in &rows {
+        if g != "envelope" {
+            continue;
+        }
+        if let Some((.., naive_best)) = rows
+            .iter()
+            .find(|(ng, nid, ..)| ng == "envelope-naive" && nid == id)
+        {
+            let speedup = *naive_best as f64 / (*best).max(1) as f64;
+            println!("envelope/{id:<24} {speedup:>6.2}x vs naive");
+        }
+    }
+
+    println!(
+        "bench-check: {path} OK ({} records, groups: {})",
+        rows.len(),
+        required.join(", ")
+    );
+    ExitCode::SUCCESS
+}

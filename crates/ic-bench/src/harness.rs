@@ -6,7 +6,9 @@
 //! classic one: run the closure once to estimate its cost, pick an
 //! iteration count that fills a small time budget, run a few batches,
 //! and report the best (minimum) and mean per-iteration time. Results
-//! go to stdout as aligned text — no statistics machinery, no files.
+//! go to stdout as aligned text, and optionally to a machine-readable
+//! JSON file for regression tracking (see `IC_BENCH_JSON` below and
+//! the `bench-check` validator binary).
 //!
 //! Environment knobs:
 //!
@@ -14,16 +16,57 @@
 //!   (default 40; raise for more stable numbers);
 //! * `IC_BENCH_FILTER` — substring filter on `group/id` names, like
 //!   `cargo bench <filter>` (the bench mains also pass their first CLI
-//!   argument here).
+//!   argument here);
+//! * `IC_BENCH_JSON` — when set, [`Runner::finish`] writes every
+//!   result to this path as a single JSON document:
+//!
+//!   ```json
+//!   {"schema": "ic-bench/1", "budget_ms": 40, "results": [
+//!     {"group": "envelope", "id": "mesh_55", "nodes": 55,
+//!      "best_ns": 1200, "mean_ns": 1900, "iters": 4096}, ...]}
+//!   ```
+//!
+//!   `nodes` is the benchmarked dag's node count (`null` for
+//!   benchmarks without one). Times are per-iteration nanoseconds.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+use ic_sim::json::json_string;
+
+/// One measured benchmark, as serialized into the JSON report.
+struct Record {
+    group: String,
+    id: String,
+    nodes: Option<usize>,
+    best_ns: u128,
+    mean_ns: u128,
+    iters: u64,
+}
+
+impl Record {
+    fn to_json(&self) -> String {
+        let nodes = self
+            .nodes
+            .map_or_else(|| "null".to_string(), |n| n.to_string());
+        format!(
+            "{{\"group\": {}, \"id\": {}, \"nodes\": {}, \"best_ns\": {}, \"mean_ns\": {}, \"iters\": {}}}",
+            json_string(&self.group),
+            json_string(&self.id),
+            nodes,
+            self.best_ns,
+            self.mean_ns,
+            self.iters,
+        )
+    }
+}
 
 /// Runs and reports benchmarks; construct once per bench binary.
 pub struct Runner {
     budget: Duration,
     filter: Option<String>,
-    ran: usize,
+    json_path: Option<String>,
+    records: Vec<Record>,
 }
 
 impl Runner {
@@ -38,17 +81,37 @@ impl Runner {
             .skip(1)
             .find(|a| !a.starts_with('-'))
             .or_else(|| std::env::var("IC_BENCH_FILTER").ok());
+        let json_path = std::env::var("IC_BENCH_JSON")
+            .ok()
+            .filter(|p| !p.is_empty());
         Runner {
             budget: Duration::from_millis(ms.max(1)),
             filter,
-            ran: 0,
+            json_path,
+            records: Vec::new(),
         }
     }
 
     /// Measure `f`, reporting under `group/id`. The closure's result is
     /// passed through [`black_box`] so the work cannot be optimized
     /// away.
-    pub fn bench<R>(&mut self, group: &str, id: &str, mut f: impl FnMut() -> R) {
+    pub fn bench<R>(&mut self, group: &str, id: &str, f: impl FnMut() -> R) {
+        self.bench_impl(group, id, None, f);
+    }
+
+    /// [`Runner::bench`] with the benchmarked dag's node count attached
+    /// to the JSON record (for per-node cost comparisons downstream).
+    pub fn bench_n<R>(&mut self, group: &str, id: &str, nodes: usize, f: impl FnMut() -> R) {
+        self.bench_impl(group, id, Some(nodes), f);
+    }
+
+    fn bench_impl<R>(
+        &mut self,
+        group: &str,
+        id: &str,
+        nodes: Option<usize>,
+        mut f: impl FnMut() -> R,
+    ) {
         let name = format!("{group}/{id}");
         if let Some(filter) = &self.filter {
             if !name.contains(filter.as_str()) {
@@ -83,18 +146,43 @@ impl Runner {
             fmt_duration(best),
             fmt_duration(mean),
         );
-        self.ran += 1;
+        self.records.push(Record {
+            group: group.to_string(),
+            id: id.to_string(),
+            nodes,
+            best_ns: best.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            iters,
+        });
     }
 
-    /// Print a closing line (and warn when a filter matched nothing).
+    /// Print a closing line (and warn when a filter matched nothing);
+    /// when `IC_BENCH_JSON` is set, write the JSON report there.
+    ///
+    /// # Panics
+    /// Panics if the JSON report cannot be written.
     pub fn finish(self) {
-        if self.ran == 0 {
-            match self.filter {
+        if self.records.is_empty() {
+            match &self.filter {
                 Some(f) => println!("no benchmarks matched filter {f:?}"),
                 None => println!("no benchmarks ran"),
             }
         } else {
-            println!("{} benchmark(s) done", self.ran);
+            println!("{} benchmark(s) done", self.records.len());
+        }
+        if let Some(path) = &self.json_path {
+            let body: Vec<String> = self
+                .records
+                .iter()
+                .map(|r| format!("  {}", r.to_json()))
+                .collect();
+            let doc = format!(
+                "{{\"schema\": \"ic-bench/1\", \"budget_ms\": {}, \"results\": [\n{}\n]}}\n",
+                self.budget.as_millis(),
+                body.join(",\n"),
+            );
+            std::fs::write(path, doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            println!("wrote {path}");
         }
     }
 }
@@ -129,10 +217,42 @@ mod tests {
         let mut r = Runner {
             budget: Duration::from_millis(1),
             filter: Some("match".into()),
-            ran: 0,
+            json_path: None,
+            records: Vec::new(),
         };
         r.bench("group", "matching", || 1 + 1);
         r.bench("group", "skipped", || 1 + 1);
-        assert_eq!(r.ran, 1);
+        assert_eq!(r.records.len(), 1);
+    }
+
+    #[test]
+    fn records_round_trip_through_the_json_parser() {
+        let mut r = Runner {
+            budget: Duration::from_millis(1),
+            filter: None,
+            json_path: None,
+            records: Vec::new(),
+        };
+        r.bench_n("g", "with \"quotes\"", 42, || 1 + 1);
+        r.bench("g", "no_nodes", || 1 + 1);
+        let body: Vec<String> = r.records.iter().map(Record::to_json).collect();
+        let doc = format!(
+            "{{\"schema\": \"ic-bench/1\", \"budget_ms\": 1, \"results\": [{}]}}",
+            body.join(",")
+        );
+        let json = ic_sim::json::parse(&doc).expect("report parses");
+        assert_eq!(
+            json.get("schema").and_then(|s| s.as_str()),
+            Some("ic-bench/1")
+        );
+        let results = json.get("results").and_then(|r| r.as_arr()).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("id").and_then(|s| s.as_str()),
+            Some("with \"quotes\"")
+        );
+        assert_eq!(results[0].get("nodes").and_then(|n| n.as_usize()), Some(42));
+        assert_eq!(results[1].get("nodes"), Some(&ic_sim::json::Json::Null));
+        assert!(results[0].get("iters").and_then(|n| n.as_u64()).unwrap() >= 1);
     }
 }

@@ -296,10 +296,26 @@ pub fn audit_dag_text(
         .iter()
         .all(|d| d.severity != ic_audit::Severity::Error);
 
+    let mut data = None;
     if structurally_clean {
+        // The edge list is a dag; build it once for the lattice count
+        // and (when an order is supplied) the order passes.
+        let nd = crate::parse::parse_dag(dag_text).expect("structurally clean");
+        // Size of the down-set lattice (the schedule-state space), when
+        // small enough to walk: `null` past the cap or the 64-node
+        // bitmask limit. A 64-node antichain has 2^64 states, so the
+        // count must be bounded, not merely computed.
+        const STATE_CAP: u64 = 1 << 20;
+        let states = ic_dag::ideals::IdealEnumerator::new(&nd.dag)
+            .ok()
+            .and_then(|en| en.count_up_to(STATE_CAP));
+        data = Some(format!(
+            "{{\"nodes\": {}, \"arcs\": {}, \"states\": {}}}",
+            nd.dag.num_nodes(),
+            raw.arcs.len(),
+            states.map_or_else(|| "null".to_string(), |c| c.to_string()),
+        ));
         if let Some(order_text) = order_text {
-            // The edge list is a dag; build it and audit the order.
-            let nd = crate::parse::parse_dag(dag_text).expect("structurally clean");
             let mut order = Vec::new();
             let mut unknown = false;
             for (i, line) in order_text.lines().enumerate() {
@@ -331,7 +347,11 @@ pub fn audit_dag_text(
         }
     }
 
-    Ok(finish_audit(diags, deny))
+    let mut out = finish_audit(diags, deny);
+    if data.is_some() {
+        out.data = data;
+    }
+    Ok(out)
 }
 
 /// `audit --schedule`: replay a JSONL execution trace (IC0401–IC0405).
@@ -763,6 +783,35 @@ mod tests {
     #[test]
     fn audit_dag_rejects_syntax_errors() {
         assert!(audit_dag_text("a -> \n", None, &[]).is_err());
+    }
+
+    #[test]
+    fn audit_dag_reports_the_lattice_size() {
+        // Diamond: 6 down-sets.
+        let out = audit_dag_text("a -> b\na -> c\nb -> d\nc -> d\n", None, &[]).unwrap();
+        assert!(out.ok);
+        let data = out.data.as_deref().unwrap();
+        assert!(data.contains("\"nodes\": 4"), "{data}");
+        assert!(data.contains("\"arcs\": 4"), "{data}");
+        assert!(data.contains("\"states\": 6"), "{data}");
+
+        // 21 isolated nodes: 2^21 down-sets, past the reporting cap.
+        let big: String = (0..21).fold(String::new(), |mut s, i| {
+            use std::fmt::Write;
+            let _ = writeln!(s, "node n{i}");
+            s
+        });
+        let out = audit_dag_text(&big, None, &[]).unwrap();
+        assert!(out.ok);
+        assert!(
+            out.data.as_deref().unwrap().contains("\"states\": null"),
+            "{:?}",
+            out.data
+        );
+
+        // A structurally broken edge list reports no dag data.
+        let out = audit_dag_text("a -> b\nb -> a\n", None, &[]).unwrap();
+        assert!(out.data.is_none());
     }
 
     #[test]

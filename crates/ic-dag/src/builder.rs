@@ -114,13 +114,13 @@ impl DagBuilder {
             cursor[v.index()] += 1;
         }
 
-        let dag = Dag {
+        let dag = Dag::from_csr(
             children_off,
             children_flat,
             parents_off,
             parents_flat,
-            labels: self.labels,
-        };
+            self.labels,
+        );
 
         // Kahn's algorithm to detect cycles.
         let mut indeg: Vec<u32> = (0..n)

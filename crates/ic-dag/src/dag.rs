@@ -63,9 +63,79 @@ pub struct Dag {
     pub(crate) parents_flat: Vec<NodeId>,
     /// Human-readable labels; empty string when unnamed.
     pub(crate) labels: Vec<String>,
+    /// Node-role summary (source/sink counts and bitmasks), computed once
+    /// at construction. A pure function of the CSR arrays, so the derived
+    /// `PartialEq` stays structural.
+    pub(crate) roles: RoleCache,
+}
+
+/// Cached node-role summary of a [`Dag`].
+///
+/// The bitmask fields are meaningful only when the dag has at most 64
+/// nodes (the same cap as the down-set lattice machinery); for larger
+/// dags they are zero and the `Option` accessors on [`Dag`] return
+/// `None`.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub(crate) struct RoleCache {
+    pub(crate) num_sources: u32,
+    pub(crate) num_sinks: u32,
+    pub(crate) sources_mask: u64,
+    pub(crate) sinks_mask: u64,
+}
+
+impl RoleCache {
+    fn compute(
+        dag_nodes: usize,
+        in_deg: impl Fn(usize) -> usize,
+        out_deg: impl Fn(usize) -> usize,
+    ) -> RoleCache {
+        let mut roles = RoleCache::default();
+        for i in 0..dag_nodes {
+            if in_deg(i) == 0 {
+                roles.num_sources += 1;
+                if dag_nodes <= 64 {
+                    roles.sources_mask |= 1u64 << i;
+                }
+            }
+            if out_deg(i) == 0 {
+                roles.num_sinks += 1;
+                if dag_nodes <= 64 {
+                    roles.sinks_mask |= 1u64 << i;
+                }
+            }
+        }
+        roles
+    }
 }
 
 impl Dag {
+    /// Seal CSR arrays into a `Dag`, computing the role cache.
+    ///
+    /// All construction sites (builder, dual, sum) funnel through here so
+    /// the cached counts and masks can never go stale.
+    pub(crate) fn from_csr(
+        children_off: Vec<u32>,
+        children_flat: Vec<NodeId>,
+        parents_off: Vec<u32>,
+        parents_flat: Vec<NodeId>,
+        labels: Vec<String>,
+    ) -> Dag {
+        let n = labels.len();
+        let roles = RoleCache::compute(
+            n,
+            |i| (parents_off[i + 1] - parents_off[i]) as usize,
+            |i| (children_off[i + 1] - children_off[i]) as usize,
+        );
+        Dag {
+            children_off,
+            children_flat,
+            parents_off,
+            parents_flat,
+            labels,
+            roles,
+        }
+    }
+
     /// Number of nodes (tasks).
     #[inline]
     pub fn num_nodes(&self) -> usize {
@@ -143,14 +213,56 @@ impl Dag {
         self.node_ids().filter(move |&v| !self.is_source(v))
     }
 
-    /// Number of sources.
+    /// Number of sources. Cached at construction, `O(1)`.
+    #[inline]
     pub fn num_sources(&self) -> usize {
-        self.sources().count()
+        self.roles.num_sources as usize
     }
 
-    /// Number of sinks.
+    /// Number of sinks. Cached at construction, `O(1)`.
+    #[inline]
     pub fn num_sinks(&self) -> usize {
-        self.sinks().count()
+        self.roles.num_sinks as usize
+    }
+
+    /// Bitmask over all node ids: `Some` iff the dag fits the 64-node
+    /// down-set lattice cap (`1` in every position `0..n`).
+    #[inline]
+    pub fn full_mask(&self) -> Option<u64> {
+        let n = self.num_nodes();
+        match n {
+            0..=63 => Some((1u64 << n) - 1),
+            64 => Some(u64::MAX),
+            _ => None,
+        }
+    }
+
+    /// Bitmask of the sources, cached at construction. `None` when the
+    /// dag exceeds 64 nodes.
+    #[inline]
+    pub fn sources_mask(&self) -> Option<u64> {
+        self.full_mask().map(|_| self.roles.sources_mask)
+    }
+
+    /// Bitmask of the sinks, cached at construction. `None` when the
+    /// dag exceeds 64 nodes.
+    #[inline]
+    pub fn sinks_mask(&self) -> Option<u64> {
+        self.full_mask().map(|_| self.roles.sinks_mask)
+    }
+
+    /// Bitmask of the nonsinks (derived from the cached sink mask).
+    /// `None` when the dag exceeds 64 nodes.
+    #[inline]
+    pub fn nonsinks_mask(&self) -> Option<u64> {
+        self.full_mask().map(|full| full & !self.roles.sinks_mask)
+    }
+
+    /// Bitmask of the nonsources (derived from the cached source mask).
+    /// `None` when the dag exceeds 64 nodes.
+    #[inline]
+    pub fn nonsources_mask(&self) -> Option<u64> {
+        self.full_mask().map(|full| full & !self.roles.sources_mask)
     }
 
     /// Number of nonsinks. In IC-Scheduling Theory this is the length of
@@ -280,6 +392,32 @@ mod tests {
         assert_eq!(g.num_nodes(), 0);
         assert_eq!(g.num_arcs(), 0);
         assert_eq!(g.sources().count(), 0);
+    }
+
+    #[test]
+    fn cached_role_masks_match_iterators() {
+        // Diamond plus an isolated node: exercises source, sink, both, neither.
+        let g = crate::builder::from_arcs(5, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let fold =
+            |it: &mut dyn Iterator<Item = NodeId>| it.fold(0u64, |m, v| m | (1u64 << v.index()));
+        assert_eq!(g.full_mask(), Some(0b11111));
+        assert_eq!(g.sources_mask(), Some(fold(&mut g.sources())));
+        assert_eq!(g.sinks_mask(), Some(fold(&mut g.sinks())));
+        assert_eq!(g.nonsinks_mask(), Some(fold(&mut g.nonsinks())));
+        assert_eq!(g.nonsources_mask(), Some(fold(&mut g.nonsources())));
+        assert_eq!(g.num_sources(), 2); // node 0 and the isolated node 4
+        assert_eq!(g.num_sinks(), 2); // node 3 and the isolated node 4
+    }
+
+    #[test]
+    fn role_masks_unavailable_past_the_lattice_cap() {
+        let mut b = DagBuilder::new();
+        b.add_nodes(65);
+        let g = b.build().unwrap();
+        assert_eq!(g.full_mask(), None);
+        assert_eq!(g.sources_mask(), None);
+        assert_eq!(g.nonsinks_mask(), None);
+        assert_eq!(g.num_sources(), 65);
     }
 
     #[test]

@@ -21,13 +21,13 @@ use crate::dag::Dag;
 /// ```
 pub fn dual(dag: &Dag) -> Dag {
     // Swapping the two CSR halves *is* arc reversal.
-    Dag {
-        children_off: dag.parents_off.clone(),
-        children_flat: dag.parents_flat.clone(),
-        parents_off: dag.children_off.clone(),
-        parents_flat: dag.children_flat.clone(),
-        labels: dag.labels.clone(),
-    }
+    Dag::from_csr(
+        dag.parents_off.clone(),
+        dag.parents_flat.clone(),
+        dag.children_off.clone(),
+        dag.children_flat.clone(),
+        dag.labels.clone(),
+    )
 }
 
 #[cfg(test)]

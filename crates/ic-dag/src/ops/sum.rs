@@ -47,13 +47,13 @@ pub fn sum(g1: &Dag, g2: &Dag) -> Sum {
     labels.extend(g2.labels.iter().cloned());
 
     Sum {
-        dag: Dag {
+        dag: Dag::from_csr(
             children_off,
             children_flat,
             parents_off,
             parents_flat,
             labels,
-        },
+        ),
         left_map: (0..n1).map(NodeId::new).collect(),
         right_map: (0..n2).map(|i| NodeId::new(i + n1)).collect(),
     }

@@ -238,10 +238,12 @@ struct Coordinator<'a, 'd> {
     policy: &'a dyn AllocationPolicy,
     cfg: &'a ServerConfig,
     sink: &'a mut dyn TraceSink,
+    /// Execution state; its dense pool holds the ELIGIBLE, unleased,
+    /// not-backing-off tasks — allocatable now. Leased and deferred
+    /// tasks are *claimed* (ELIGIBLE but out of the pool).
     state: ExecState<'d>,
-    /// ELIGIBLE, unallocated, not backing off — allocatable now.
-    pool: Vec<NodeId>,
     /// Failed tasks waiting out their backoff: `(ready_at, task)`.
+    /// They stay claimed in `state` until promoted back to the pool.
     deferred: Vec<(Instant, NodeId)>,
     /// Active leases: worker → (task, deadline).
     leases: HashMap<usize, (NodeId, Instant)>,
@@ -268,14 +270,12 @@ impl<'a, 'd> Coordinator<'a, 'd> {
         sink: &'a mut dyn TraceSink,
     ) -> Coordinator<'a, 'd> {
         let state = ExecState::new(dag);
-        let pool = dag.sources().collect();
         let mut coord = Coordinator {
             dag,
             policy,
             cfg,
             sink,
             state,
-            pool,
             deferred: Vec::new(),
             leases: HashMap::new(),
             failures: vec![0; dag.num_nodes()],
@@ -304,7 +304,7 @@ impl<'a, 'd> Coordinator<'a, 'd> {
     /// waiting out a backoff — both are ELIGIBLE and unallocated, which
     /// is what the auditor's replay reconstructs.
     fn recorded_pool(&self) -> usize {
-        self.pool.len() + self.deferred.len()
+        self.state.pool_len() + self.deferred.len()
     }
 
     fn is_complete(&self) -> bool {
@@ -343,13 +343,17 @@ impl<'a, 'd> Coordinator<'a, 'd> {
     }
 
     /// Move deferred tasks whose backoff elapsed back into the pool.
+    /// Unclaiming stamps them as the pool's newest arrivals, so FIFO
+    /// policies treat a reallocated task as freshly eligible.
     fn promote_deferred(&mut self) {
         let now = Instant::now();
         let mut i = 0;
         while i < self.deferred.len() {
             if self.deferred[i].0 <= now {
                 let (_, v) = self.deferred.swap_remove(i);
-                self.pool.push(v);
+                self.state
+                    .unclaim(v)
+                    .expect("deferred tasks are claimed ELIGIBLE nodes");
             } else {
                 i += 1;
             }
@@ -472,7 +476,7 @@ impl<'a, 'd> Coordinator<'a, 'd> {
             self.lose_task(worker, abandoned);
         }
         self.promote_deferred();
-        if self.pool.is_empty() {
+        if self.state.pool_len() == 0 {
             // First unsatisfied request since this worker's last
             // allocation is a gridlock event; its polling retries are
             // not.
@@ -491,18 +495,22 @@ impl<'a, 'd> Coordinator<'a, 'd> {
                 ms: self.cfg.wait_ms,
             };
         }
-        let ctx = PolicyContext {
-            dag: self.dag,
-            state: &self.state,
-            step: self.allocation_steps,
-            retries: Some(&self.failures),
+        let i = {
+            let ctx = PolicyContext {
+                dag: self.dag,
+                state: &self.state,
+                step: self.allocation_steps,
+                retries: Some(&self.failures),
+            };
+            self.policy.choose(&ctx, self.state.pool())
         };
-        let i = self.policy.choose(&ctx, &self.pool);
         assert!(
-            i < self.pool.len(),
+            i < self.state.pool_len(),
             "policy chose an out-of-range pool index"
         );
-        let v = self.pool.remove(i);
+        // Claiming removes the task from the pool but keeps it ELIGIBLE
+        // until the lease resolves (completion, failure, or expiry).
+        let v = self.state.claim_at(i);
         self.allocation_steps += 1;
         self.leases.insert(
             worker,
@@ -533,11 +541,11 @@ impl<'a, 'd> Coordinator<'a, 'd> {
             Some(&(v, _)) if v.index() as u64 == task => {
                 self.leases.remove(&worker);
                 if ok {
-                    let newly = self
-                        .state
-                        .execute(v)
+                    // Newly ELIGIBLE children enter the pool inside
+                    // `execute_counting` (in id order).
+                    self.state
+                        .execute_counting(v)
                         .expect("leased tasks are ELIGIBLE by construction");
-                    self.pool.extend(newly);
                     self.completions += 1;
                     let ev = TraceEvent::Completed {
                         step: self.step,
@@ -673,5 +681,160 @@ fn handle_conn(stream: TcpStream, tx: Sender<Req>, read_timeout: Duration) {
             let _ = tx.send(Req::Gone { worker });
             return;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_audit::{audit_trace, Severity};
+    use ic_dag::builder::from_arcs;
+    use ic_sched::heuristics::Policy;
+    use ic_sim::MemorySink;
+
+    /// The coordinator's accounting invariant: every ELIGIBLE task is
+    /// in exactly one place — the allocatable pool, the backoff queue,
+    /// or out on a lease — and only pooled tasks are unclaimed.
+    fn assert_accounting(coord: &Coordinator<'_, '_>) {
+        let mut eligible = coord.state.eligible_nodes();
+        eligible.sort_unstable_by_key(|v| v.0);
+        let mut tracked: Vec<NodeId> = coord.state.pool().to_vec();
+        tracked.extend(coord.deferred.iter().map(|&(_, v)| v));
+        tracked.extend(coord.leases.values().map(|&(v, _)| v));
+        tracked.sort_unstable_by_key(|v| v.0);
+        assert_eq!(
+            tracked, eligible,
+            "pool ∪ deferred ∪ leased must equal the ELIGIBLE set"
+        );
+        for &(_, v) in &coord.deferred {
+            assert!(!coord.state.is_pooled(v), "deferred task {v} stays claimed");
+        }
+        for &(v, _) in coord.leases.values() {
+            assert!(!coord.state.is_pooled(v), "leased task {v} stays claimed");
+        }
+        assert_eq!(
+            coord.recorded_pool(),
+            coord.state.pool_len() + coord.deferred.len()
+        );
+    }
+
+    /// Regression test for the failure-reallocation lifecycle: a task
+    /// that is leased, forfeited, parked in backoff, and re-leased must
+    /// keep the pool and `deferred` accounting consistent at every
+    /// step, and the finished trace must replay clean.
+    #[test]
+    fn failure_reallocation_keeps_pool_accounting_consistent() {
+        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let policy = Policy::Fifo;
+        let cfg = ServerConfig {
+            lease_ms: 10_000,
+            backoff_base_ms: 15,
+            expect_workers: 0,
+            ..ServerConfig::default()
+        };
+        let mut sink = MemorySink::new();
+        let mut coord = Coordinator::new(&g, &policy, &cfg, &mut sink);
+        assert_accounting(&coord);
+
+        // Lease the lone source, then have the worker report failure:
+        // the task parks in the backoff queue, still claimed.
+        let Message::Assign { task } = coord.allocate_for(0) else {
+            panic!("the source must be allocatable");
+        };
+        assert_eq!(task, 0);
+        assert_accounting(&coord);
+        assert!(coord.report(0, task, false));
+        assert_eq!((coord.deferred.len(), coord.leases.len()), (1, 0));
+        assert_eq!(
+            coord.recorded_pool(),
+            1,
+            "a backing-off task still counts in the recorded pool"
+        );
+        assert_accounting(&coord);
+
+        // While the backoff runs, the pool is empty: requests wait.
+        assert!(matches!(coord.allocate_for(0), Message::Wait { .. }));
+        assert_accounting(&coord);
+
+        // After the backoff elapses the task is re-leased...
+        std::thread::sleep(Duration::from_millis(30));
+        let Message::Assign { task } = coord.allocate_for(0) else {
+            panic!("the backoff elapsed; the task must be reallocatable");
+        };
+        assert_eq!(task, 0);
+        assert_eq!(coord.failures[0], 1);
+        assert_accounting(&coord);
+
+        // ...and a request from a worker still holding a lease forfeits
+        // it back into the backoff queue instead of leaking it.
+        assert!(matches!(coord.allocate_for(0), Message::Wait { .. }));
+        assert_eq!((coord.deferred.len(), coord.leases.len()), (1, 0));
+        assert_eq!(coord.failures[0], 2);
+        assert_accounting(&coord);
+
+        // Wait out the doubled backoff and drive the dag to completion,
+        // checking the invariant around every decision.
+        std::thread::sleep(Duration::from_millis(60));
+        let mut guard = 0;
+        while !coord.is_complete() {
+            match coord.allocate_for(0) {
+                Message::Assign { task } => {
+                    assert_accounting(&coord);
+                    assert!(coord.report(0, task, true));
+                }
+                Message::Wait { .. } => std::thread::sleep(Duration::from_millis(5)),
+                other => panic!("unexpected reply mid-run: {other:?}"),
+            }
+            assert_accounting(&coord);
+            guard += 1;
+            assert!(guard < 1_000, "run failed to converge");
+        }
+        assert!(matches!(coord.allocate_for(0), Message::Drain));
+
+        let report = coord.into_report();
+        assert_eq!(report.completions, 4);
+        assert_eq!(report.failures, 2);
+        assert_eq!(report.allocations, 6);
+
+        let trace = sink.into_trace().expect("header written");
+        let errors: Vec<_> = audit_trace(&trace)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "trace must replay clean: {errors:?}");
+    }
+
+    /// A mid-lease disconnect reallocates the held task through the
+    /// same claimed-while-deferred path as a failure report.
+    #[test]
+    fn disconnect_reallocation_keeps_pool_accounting_consistent() {
+        let g = from_arcs(3, &[(0, 1), (0, 2)]).unwrap();
+        let policy = Policy::Fifo;
+        let cfg = ServerConfig {
+            lease_ms: 10_000,
+            backoff_base_ms: 0,
+            expect_workers: 0,
+            ..ServerConfig::default()
+        };
+        let mut sink = MemorySink::new();
+        let mut coord = Coordinator::new(&g, &policy, &cfg, &mut sink);
+
+        let Message::Assign { task } = coord.allocate_for(0) else {
+            panic!("the source must be allocatable");
+        };
+        assert_accounting(&coord);
+        coord.serve(Req::Gone { worker: 0 });
+        assert_eq!((coord.deferred.len(), coord.leases.len()), (1, 0));
+        assert_accounting(&coord);
+
+        // Zero backoff: another worker picks the task right back up.
+        let Message::Assign { task: retry } = coord.allocate_for(1) else {
+            panic!("the lost task must be immediately reallocatable");
+        };
+        assert_eq!(retry, task);
+        assert_accounting(&coord);
+        assert!(coord.report(1, retry, true));
+        assert_eq!(coord.state.pool_len(), 2, "both children became ELIGIBLE");
+        assert_accounting(&coord);
     }
 }

@@ -63,12 +63,14 @@ pub fn min_regret_schedule(dag: &Dag) -> Result<(u64, Schedule), SchedError> {
     let envelope = optimal_envelope(dag)?;
     let en = IdealEnumerator::new(dag)?;
 
-    // States in decreasing popcount order; value = min future regret
-    // from this state to completion (the state's own shortfall is
-    // charged on arrival).
-    let mut states: Vec<u64> = Vec::new();
-    en.for_each(|s, _, _| states.push(s));
-    states.sort_by_key(|s| std::cmp::Reverse(s.count_ones()));
+    // Layers of (state, eligible) pairs from the incremental sweep;
+    // the DP walks them in decreasing popcount order, so a state's
+    // successors (one layer up) are always solved first. Successor
+    // eligible masks come from the O(out-degree) incremental update —
+    // nothing is recomputed from scratch.
+    let mut layers: Vec<Vec<(u64, u64)>> = Vec::with_capacity(n + 1);
+    en.for_each_layer(|_, layer| layers.push(layer.to_vec()));
+    let total_states: usize = layers.iter().map(Vec::len).sum();
 
     let full: u64 = if n == 0 {
         0
@@ -80,29 +82,33 @@ pub fn min_regret_schedule(dag: &Dag) -> Result<(u64, Schedule), SchedError> {
     // best[state] = (min regret accumulated from state's *successors*
     //                to the end, plus those successors' shortfalls,
     //                best next node).
-    let mut best: HashMap<u64, (u64, Option<NodeId>)> = HashMap::with_capacity(states.len());
-    for &s in &states {
-        if s == full {
-            best.insert(s, (0, None));
-            continue;
-        }
-        let t = s.count_ones() as usize;
-        let mut rest = en.eligible_mask(s);
-        let mut entry: Option<(u64, NodeId)> = None;
-        while rest != 0 {
-            let bit = rest & rest.wrapping_neg();
-            rest ^= bit;
-            let ns = s | bit;
-            let shortfall = (envelope[t + 1] - en.eligible_mask(ns).count_ones() as usize) as u64;
-            let (future, _) = best[&ns];
-            let total = shortfall + future;
-            let v = NodeId(bit.trailing_zeros());
-            if entry.is_none_or(|(b, _)| total < b) {
-                entry = Some((total, v));
+    let mut best: HashMap<u64, (u64, Option<NodeId>)> = HashMap::with_capacity(total_states);
+    for layer in layers.iter().rev() {
+        for &(s, elig) in layer {
+            if s == full {
+                best.insert(s, (0, None));
+                continue;
             }
+            let t = s.count_ones() as usize;
+            let mut rest = elig;
+            let mut entry: Option<(u64, NodeId)> = None;
+            while rest != 0 {
+                let bit = rest & rest.wrapping_neg();
+                rest ^= bit;
+                let b = bit.trailing_zeros();
+                let ns = s | bit;
+                let ns_elig = en.eligible_after(s, elig, b);
+                let shortfall = (envelope[t + 1] - ns_elig.count_ones() as usize) as u64;
+                let (future, _) = best[&ns];
+                let total = shortfall + future;
+                let v = NodeId(b);
+                if entry.is_none_or(|(b, _)| total < b) {
+                    entry = Some((total, v));
+                }
+            }
+            let (cost, node) = entry.expect("non-full down-sets have eligible nodes");
+            best.insert(s, (cost, Some(node)));
         }
-        let (cost, node) = entry.expect("non-full down-sets have eligible nodes");
-        best.insert(s, (cost, Some(node)));
     }
 
     // Walk the optimal policy forward.

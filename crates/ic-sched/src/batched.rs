@@ -18,7 +18,7 @@
 //! minimum-round computation walks the full down-set lattice and is
 //! meant for small dags; [`greedy_batches`] is the practical heuristic.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use ic_dag::ideals::IdealEnumerator;
 use ic_dag::{Dag, NodeId};
@@ -104,15 +104,33 @@ pub fn greedy_batches(dag: &Dag, width: usize, priority: &[usize]) -> BatchSched
     let mut st = ExecState::new(dag);
     let mut batches = Vec::new();
     while !st.is_complete() {
-        let mut eligible = st.eligible_nodes();
-        eligible.sort_by_key(|v| priority.get(v.index()).copied().unwrap_or(usize::MAX));
+        // This driver never claims, so the pool *is* the ELIGIBLE set.
+        // The pool's order is arbitrary; ties break by id so the result
+        // matches the historical id-ordered scan.
+        let mut eligible: Vec<NodeId> = st.pool().to_vec();
+        eligible.sort_by_key(|v| (priority.get(v.index()).copied().unwrap_or(usize::MAX), v.0));
         let batch: Vec<NodeId> = eligible.into_iter().take(width).collect();
         for &v in &batch {
-            st.execute(v).expect("drawn from the eligible set");
+            st.execute_counting(v).expect("drawn from the eligible set");
         }
         batches.push(batch);
     }
     BatchSchedule { batches }
+}
+
+/// The eligible mask after executing the whole batch `mask` from
+/// `(state, eligible)`, by chaining the incremental per-node update.
+/// Every batch member is ELIGIBLE at round start and executions of
+/// co-members never revoke eligibility, so the chain is well-defined.
+fn advance(en: &IdealEnumerator, mut state: u64, mut eligible: u64, mask: u64) -> u64 {
+    let mut rest = mask;
+    while rest != 0 {
+        let bit = rest & rest.wrapping_neg();
+        rest ^= bit;
+        eligible = en.eligible_after(state, eligible, bit.trailing_zeros());
+        state |= bit;
+    }
+    eligible
 }
 
 /// The minimum number of rounds needed to execute `dag` with batches of
@@ -127,22 +145,23 @@ pub fn min_rounds(dag: &Dag, width: usize) -> Result<usize, SchedError> {
     }
     let en = IdealEnumerator::new(dag)?;
     let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-    let mut layer: Vec<u64> = vec![0];
-    let mut seen: HashMap<u64, ()> = HashMap::new();
-    seen.insert(0, ());
+    // Each frontier entry carries its eligible mask, so successor masks
+    // come from the O(out-degree) incremental update.
+    let mut layer: Vec<(u64, u64)> = vec![(0, en.eligible_mask(0))];
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(0);
     let mut rounds = 0usize;
     while !layer.is_empty() {
-        if layer.contains(&full) {
+        if layer.iter().any(|&(s, _)| s == full) {
             return Ok(rounds);
         }
         rounds += 1;
         let mut next = Vec::new();
-        for &state in &layer {
-            let elig = en.eligible_mask(state);
+        for &(state, elig) in &layer {
             for mask in subsets_up_to(elig, width) {
                 let ns = state | mask;
-                if seen.insert(ns, ()).is_none() {
-                    next.push(ns);
+                if seen.insert(ns) {
+                    next.push((ns, advance(&en, state, elig, mask)));
                 }
             }
         }
@@ -165,50 +184,50 @@ pub fn optimal_batches(dag: &Dag, width: usize) -> Result<BatchSchedule, SchedEr
     let en = IdealEnumerator::new(dag)?;
     let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
 
-    // Phase 1: rounds-to-go for every reachable state (backward BFS is
-    // awkward on the lattice; do forward BFS recording depth, then a
-    // second BFS from the full state over reversed batch moves is also
-    // costly — instead compute rounds-to-go by dynamic programming over
-    // states in decreasing popcount order).
-    let mut states: Vec<u64> = Vec::new();
-    en.for_each(|s, _, _| states.push(s));
-    states.sort_by_key(|s| std::cmp::Reverse(s.count_ones()));
-    let mut togo: HashMap<u64, usize> = HashMap::with_capacity(states.len());
-    for &s in &states {
-        if s == full {
-            togo.insert(s, 0);
-            continue;
-        }
-        let elig = en.eligible_mask(s);
-        let mut best = usize::MAX;
-        for mask in subsets_up_to(elig, width) {
-            if let Some(&t) = togo.get(&(s | mask)) {
-                best = best.min(t.saturating_add(1));
+    // Phase 1: rounds-to-go for every reachable state, by dynamic
+    // programming over states in decreasing popcount order. The layered
+    // sweep hands over each size class with eligible masks attached, so
+    // nothing is recomputed per state; a state's batch successors have
+    // strictly larger popcount, hence are already solved when the DP
+    // (walking layers largest-first) reaches it. `info` records
+    // (rounds-to-go, eligible count) per state for phase 2's scoring.
+    let mut layers: Vec<Vec<(u64, u64)>> = Vec::with_capacity(n + 1);
+    en.for_each_layer(|_, layer| layers.push(layer.to_vec()));
+    let total: usize = layers.iter().map(Vec::len).sum();
+    let mut info: HashMap<u64, (usize, u32)> = HashMap::with_capacity(total);
+    for layer in layers.iter().rev() {
+        for &(s, elig) in layer {
+            if s == full {
+                info.insert(s, (0, 0));
+                continue;
             }
+            let mut best = usize::MAX;
+            for mask in subsets_up_to(elig, width) {
+                if let Some(&(t, _)) = info.get(&(s | mask)) {
+                    best = best.min(t.saturating_add(1));
+                }
+            }
+            info.insert(s, (best, elig.count_ones()));
         }
-        togo.insert(s, best);
     }
 
     // Phase 2: walk forward, each round choosing the batch that (a)
     // stays on a minimum-round trajectory and (b) maximizes the
     // post-round eligible count (ties: lexicographically smallest mask,
-    // for determinism).
+    // for determinism). The walk carries its eligible mask incrementally.
     let mut state = 0u64;
+    let mut elig = en.eligible_mask(0);
     let mut batches = Vec::new();
     while state != full {
-        let elig = en.eligible_mask(state);
-        let need = togo[&state];
+        let need = info[&state].0;
         let mut best: Option<(usize, std::cmp::Reverse<u64>, u64)> = None;
         for mask in subsets_up_to(elig, width) {
             let ns = state | mask;
-            if togo[&ns] + 1 != need {
+            let (togo, elig_count) = info[&ns];
+            if togo + 1 != need {
                 continue;
             }
-            let score = (
-                en.eligible_mask(ns).count_ones() as usize,
-                std::cmp::Reverse(mask),
-                mask,
-            );
+            let score = (elig_count as usize, std::cmp::Reverse(mask), mask);
             if best.as_ref().is_none_or(|b| score > *b) {
                 best = Some(score);
             }
@@ -221,6 +240,7 @@ pub fn optimal_batches(dag: &Dag, width: usize) -> Result<BatchSchedule, SchedEr
             rest ^= bit;
             batch.push(NodeId(bit.trailing_zeros()));
         }
+        elig = advance(&en, state, elig, mask);
         state |= mask;
         batches.push(batch);
     }

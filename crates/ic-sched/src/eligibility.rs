@@ -5,13 +5,37 @@
 //! ELIGIBLE); executing a node removes its ELIGIBLE status permanently
 //! and may render children ELIGIBLE. Time is event-driven: it advances
 //! by one per node execution.
+//!
+//! # The allocation pool
+//!
+//! Besides the boolean ELIGIBLE flags, [`ExecState`] maintains a *dense
+//! pool* of the ELIGIBLE nodes that have not been handed to a worker: a
+//! swap-remove index vector plus a position map, so allocation-time
+//! operations are `O(1)` and never scale with the dag:
+//!
+//! * [`ExecState::pool`] — borrow the candidates as a slice, `O(1)`;
+//! * [`ExecState::claim_at`] / [`ExecState::claim`] — take a node out of
+//!   the pool (allocated to a worker, still ELIGIBLE), `O(1)`;
+//! * [`ExecState::unclaim`] — put a claimed node back (worker failed or
+//!   the lease was forfeited), `O(1)`;
+//! * [`ExecState::execute`] — complete a node (pooled or claimed); newly
+//!   ELIGIBLE children enter the pool in increasing id order.
+//!
+//! Swap-removal perturbs the pool's order, so policies that care about
+//! *when* a node became available (FIFO/LIFO) order by
+//! [`ExecState::pool_seq`], a monotone stamp assigned each time a node
+//! enters the pool.
 
 use ic_dag::{Dag, NodeId};
 
 use crate::error::SchedError;
 
-/// Mutable execution state of a dag: which nodes have been executed and
-/// which are currently ELIGIBLE.
+/// Sentinel for "not in the pool" in the position map.
+const NOT_POOLED: u32 = u32::MAX;
+
+/// Mutable execution state of a dag: which nodes have been executed,
+/// which are currently ELIGIBLE, and which of those are still in the
+/// allocation pool.
 ///
 /// ```
 /// use ic_dag::builder::from_arcs;
@@ -24,6 +48,7 @@ use crate::error::SchedError;
 /// let newly = st.execute(NodeId(0)).unwrap();
 /// assert_eq!(newly, vec![NodeId(1), NodeId(2)]);
 /// assert_eq!(st.eligible_count(), 2);
+/// assert_eq!(st.pool(), &[NodeId(1), NodeId(2)]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ExecState<'a> {
@@ -34,30 +59,42 @@ pub struct ExecState<'a> {
     missing_parents: Vec<u32>,
     num_executed: usize,
     eligible_count: usize,
+    /// ELIGIBLE nodes not claimed by a worker; order is arbitrary
+    /// (swap-remove) but [`ExecState::pool_seq`] recovers arrival order.
+    pool: Vec<NodeId>,
+    /// `pos[v]` = index of `v` in `pool`, or [`NOT_POOLED`].
+    pos: Vec<u32>,
+    /// `seq[v]` = stamp of `v`'s latest pool entry (monotone counter).
+    seq: Vec<u64>,
+    next_seq: u64,
 }
 
 impl<'a> ExecState<'a> {
-    /// Fresh state: nothing executed, exactly the sources ELIGIBLE.
+    /// Fresh state: nothing executed, exactly the sources ELIGIBLE and
+    /// pooled (in increasing id order).
     pub fn new(dag: &'a Dag) -> Self {
         let n = dag.num_nodes();
-        let mut eligible = vec![false; n];
-        let mut eligible_count = 0;
-        let mut missing_parents = vec![0u32; n];
-        for v in dag.node_ids() {
-            missing_parents[v.index()] = dag.in_degree(v) as u32;
-            if dag.is_source(v) {
-                eligible[v.index()] = true;
-                eligible_count += 1;
-            }
-        }
-        ExecState {
+        let mut st = ExecState {
             dag,
             executed: vec![false; n],
-            eligible,
-            missing_parents,
+            eligible: vec![false; n],
+            missing_parents: vec![0u32; n],
             num_executed: 0,
-            eligible_count,
+            eligible_count: 0,
+            pool: Vec::new(),
+            pos: vec![NOT_POOLED; n],
+            seq: vec![0u64; n],
+            next_seq: 0,
+        };
+        for v in dag.node_ids() {
+            st.missing_parents[v.index()] = dag.in_degree(v) as u32;
+            if dag.is_source(v) {
+                st.eligible[v.index()] = true;
+                st.eligible_count += 1;
+                st.push_pool(v);
+            }
         }
+        st
     }
 
     /// The dag being executed.
@@ -72,13 +109,20 @@ impl<'a> ExecState<'a> {
     }
 
     /// Is `v` currently ELIGIBLE (unexecuted, all parents executed)?
+    /// Claimed nodes remain ELIGIBLE until executed or unclaimed.
     #[inline]
     pub fn is_eligible(&self, v: NodeId) -> bool {
         self.eligible[v.index()]
     }
 
+    /// Is `v` in the allocation pool (ELIGIBLE and not claimed)?
+    #[inline]
+    pub fn is_pooled(&self, v: NodeId) -> bool {
+        self.pos[v.index()] != NOT_POOLED
+    }
+
     /// Number of currently ELIGIBLE nodes — the paper's quality measure
-    /// at this instant.
+    /// at this instant. Includes claimed nodes.
     #[inline]
     pub fn eligible_count(&self) -> usize {
         self.eligible_count
@@ -95,7 +139,32 @@ impl<'a> ExecState<'a> {
         self.num_executed == self.dag.num_nodes()
     }
 
-    /// The currently ELIGIBLE nodes, in increasing id order.
+    /// The allocation pool: ELIGIBLE nodes not claimed by any worker, as
+    /// an `O(1)` slice borrow. The order is an artifact of swap-removal;
+    /// use [`ExecState::pool_seq`] to order by arrival.
+    #[inline]
+    pub fn pool(&self) -> &[NodeId] {
+        &self.pool
+    }
+
+    /// Number of pooled nodes.
+    #[inline]
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Monotone stamp of `v`'s latest entry into the pool: of two pooled
+    /// nodes, the one with the smaller stamp became available earlier.
+    /// Meaningful only while `v` is pooled or claimed.
+    #[inline]
+    pub fn pool_seq(&self, v: NodeId) -> u64 {
+        self.seq[v.index()]
+    }
+
+    /// The currently ELIGIBLE nodes, in increasing id order. Includes
+    /// claimed nodes — this is the paper's ELIGIBLE set, not the pool.
+    /// `O(n)` filter + allocation; hot paths should borrow
+    /// [`ExecState::pool`] instead.
     pub fn eligible_nodes(&self) -> Vec<NodeId> {
         self.dag
             .node_ids()
@@ -103,32 +172,131 @@ impl<'a> ExecState<'a> {
             .collect()
     }
 
-    /// Execute `v`. Returns the nodes *newly rendered ELIGIBLE* by this
-    /// execution (those whose last missing parent was `v`), in
-    /// increasing id order.
+    /// Claim the pooled node at pool index `i` for a worker: removes it
+    /// from the pool in `O(1)` (swap-remove) and returns it. The node
+    /// stays ELIGIBLE. This is the allocation fast path — policies pick
+    /// an index into [`ExecState::pool`] and the driver claims it.
     ///
-    /// Errors if `v` is already executed or not ELIGIBLE.
-    pub fn execute(&mut self, v: NodeId) -> Result<Vec<NodeId>, SchedError> {
+    /// # Panics
+    /// Panics if `i` is out of bounds, like slice indexing.
+    pub fn claim_at(&mut self, i: usize) -> NodeId {
+        let v = self.pool[i];
+        self.remove_pool_at(i);
+        v
+    }
+
+    /// Claim a specific pooled node for a worker. `O(1)`.
+    ///
+    /// Errors if `v` is not ELIGIBLE, or is ELIGIBLE but already claimed.
+    pub fn claim(&mut self, v: NodeId) -> Result<(), SchedError> {
         if self.executed[v.index()] {
             return Err(SchedError::AlreadyExecuted(v));
         }
         if !self.eligible[v.index()] {
             return Err(SchedError::NotEligible(v));
         }
+        let i = self.pos[v.index()];
+        if i == NOT_POOLED {
+            return Err(SchedError::NotPooled(v));
+        }
+        self.remove_pool_at(i as usize);
+        Ok(())
+    }
+
+    /// Return a claimed node to the pool (its worker failed, or the
+    /// coordinator forfeited the lease). The node receives a fresh
+    /// [`ExecState::pool_seq`] stamp — it re-enters the queue as the
+    /// newest arrival. `O(1)`.
+    ///
+    /// Errors if `v` is not ELIGIBLE (never claimed, or already executed)
+    /// or is already pooled.
+    pub fn unclaim(&mut self, v: NodeId) -> Result<(), SchedError> {
+        if self.executed[v.index()] {
+            return Err(SchedError::AlreadyExecuted(v));
+        }
+        if !self.eligible[v.index()] {
+            return Err(SchedError::NotEligible(v));
+        }
+        if self.pos[v.index()] != NOT_POOLED {
+            return Err(SchedError::AlreadyPooled(v));
+        }
+        self.push_pool(v);
+        Ok(())
+    }
+
+    /// Execute `v` (pooled or claimed). Returns the nodes *newly rendered
+    /// ELIGIBLE* by this execution (those whose last missing parent was
+    /// `v`), in increasing id order; they enter the pool in that order.
+    ///
+    /// Errors if `v` is already executed or not ELIGIBLE.
+    pub fn execute(&mut self, v: NodeId) -> Result<Vec<NodeId>, SchedError> {
+        let mut newly = Vec::new();
+        self.execute_with(v, |c| newly.push(c))?;
+        Ok(newly)
+    }
+
+    /// Allocation-free variant of [`ExecState::execute`]: returns only
+    /// *how many* nodes this execution rendered ELIGIBLE. Drivers that
+    /// read the pool afterwards (everything is auto-pooled) should prefer
+    /// this on hot paths.
+    pub fn execute_counting(&mut self, v: NodeId) -> Result<usize, SchedError> {
+        let mut k = 0usize;
+        self.execute_with(v, |_| k += 1)?;
+        Ok(k)
+    }
+
+    /// Shared execution core: validates, flips flags, pools newly
+    /// ELIGIBLE children in increasing id order, and reports each to
+    /// `on_newly`.
+    fn execute_with(
+        &mut self,
+        v: NodeId,
+        mut on_newly: impl FnMut(NodeId),
+    ) -> Result<(), SchedError> {
+        if self.executed[v.index()] {
+            return Err(SchedError::AlreadyExecuted(v));
+        }
+        if !self.eligible[v.index()] {
+            return Err(SchedError::NotEligible(v));
+        }
+        let i = self.pos[v.index()];
+        if i != NOT_POOLED {
+            self.remove_pool_at(i as usize);
+        }
         self.executed[v.index()] = true;
         self.eligible[v.index()] = false;
         self.eligible_count -= 1;
         self.num_executed += 1;
-        let mut newly = Vec::new();
-        for &c in self.dag.children(v) {
+        // Children slices are sorted by id, so arrivals are in id order.
+        for ci in 0..self.dag.children(v).len() {
+            let c = self.dag.children(v)[ci];
             self.missing_parents[c.index()] -= 1;
             if self.missing_parents[c.index()] == 0 {
                 self.eligible[c.index()] = true;
                 self.eligible_count += 1;
-                newly.push(c);
+                self.push_pool(c);
+                on_newly(c);
             }
         }
-        Ok(newly)
+        Ok(())
+    }
+
+    /// Append `v` to the pool with a fresh arrival stamp.
+    fn push_pool(&mut self, v: NodeId) {
+        self.pos[v.index()] = self.pool.len() as u32;
+        self.seq[v.index()] = self.next_seq;
+        self.next_seq += 1;
+        self.pool.push(v);
+    }
+
+    /// Swap-remove the pool entry at index `i`, fixing up the position
+    /// map of the displaced last element.
+    fn remove_pool_at(&mut self, i: usize) {
+        let v = self.pool.swap_remove(i);
+        self.pos[v.index()] = NOT_POOLED;
+        if let Some(&moved) = self.pool.get(i) {
+            self.pos[moved.index()] = i as u32;
+        }
     }
 }
 
@@ -142,6 +310,7 @@ mod tests {
         let g = from_arcs(5, &[(0, 2), (1, 2), (2, 3), (2, 4)]).unwrap();
         let st = ExecState::new(&g);
         assert_eq!(st.eligible_nodes(), vec![NodeId(0), NodeId(1)]);
+        assert_eq!(st.pool(), &[NodeId(0), NodeId(1)]);
         assert_eq!(st.eligible_count(), 2);
         assert_eq!(st.num_executed(), 0);
         assert!(!st.is_complete());
@@ -176,6 +345,7 @@ mod tests {
         assert!(!st.is_eligible(NodeId(2)));
         assert_eq!(st.execute(NodeId(1)).unwrap(), vec![NodeId(2)]);
         assert!(st.is_eligible(NodeId(2)));
+        assert!(st.is_pooled(NodeId(2)));
     }
 
     #[test]
@@ -187,6 +357,7 @@ mod tests {
         }
         assert!(st.is_complete());
         assert_eq!(st.eligible_count(), 0);
+        assert!(st.pool().is_empty());
     }
 
     #[test]
@@ -198,5 +369,88 @@ mod tests {
         assert!(!st.is_eligible(NodeId(0)));
         assert!(st.is_executed(NodeId(0)));
         assert_eq!(st.eligible_count(), 1);
+    }
+
+    #[test]
+    fn claim_removes_from_pool_but_not_eligibility() {
+        let g = from_arcs(3, &[(0, 1), (0, 2)]).unwrap();
+        let mut st = ExecState::new(&g);
+        st.execute(NodeId(0)).unwrap();
+        assert_eq!(st.pool_len(), 2);
+        st.claim(NodeId(1)).unwrap();
+        assert!(st.is_eligible(NodeId(1)));
+        assert!(!st.is_pooled(NodeId(1)));
+        assert_eq!(st.pool(), &[NodeId(2)]);
+        // ELIGIBLE set still counts the claimed node.
+        assert_eq!(st.eligible_count(), 2);
+        assert_eq!(st.eligible_nodes(), vec![NodeId(1), NodeId(2)]);
+        // Double-claim is rejected; executing the claimed node works.
+        assert_eq!(st.claim(NodeId(1)), Err(SchedError::NotPooled(NodeId(1))));
+        st.execute(NodeId(1)).unwrap();
+        assert!(st.is_executed(NodeId(1)));
+    }
+
+    #[test]
+    fn unclaim_restamps_as_newest() {
+        let g = from_arcs(3, &[]).unwrap();
+        let mut st = ExecState::new(&g);
+        let s0 = st.pool_seq(NodeId(0));
+        assert!(s0 < st.pool_seq(NodeId(1)));
+        st.claim(NodeId(0)).unwrap();
+        st.unclaim(NodeId(0)).unwrap();
+        // Returned node is now the newest arrival.
+        assert!(st.pool_seq(NodeId(0)) > st.pool_seq(NodeId(2)));
+        assert_eq!(st.pool_len(), 3);
+        assert_eq!(
+            st.unclaim(NodeId(0)),
+            Err(SchedError::AlreadyPooled(NodeId(0)))
+        );
+        assert_eq!(
+            st.unclaim(NodeId(1)),
+            Err(SchedError::AlreadyPooled(NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn claim_at_pops_by_index() {
+        let g = from_arcs(4, &[]).unwrap();
+        let mut st = ExecState::new(&g);
+        let v = st.claim_at(1);
+        assert_eq!(v, NodeId(1));
+        assert_eq!(st.pool_len(), 3);
+        assert!(!st.is_pooled(v));
+        // Swap-remove moved the last entry into slot 1; position map must
+        // still agree with the pool vector.
+        for (i, &w) in st.pool().iter().enumerate() {
+            assert_eq!(st.pos[w.index()], i as u32);
+        }
+    }
+
+    #[test]
+    fn execute_counting_matches_execute() {
+        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let mut a = ExecState::new(&g);
+        let mut b = ExecState::new(&g);
+        for v in [0u32, 1, 2, 3] {
+            let newly = a.execute(NodeId(v)).unwrap();
+            let k = b.execute_counting(NodeId(v)).unwrap();
+            assert_eq!(newly.len(), k);
+            assert_eq!(a.pool(), b.pool());
+        }
+    }
+
+    #[test]
+    fn unclaim_rejects_unexecutable_nodes() {
+        let g = from_arcs(2, &[(0, 1)]).unwrap();
+        let mut st = ExecState::new(&g);
+        assert_eq!(
+            st.unclaim(NodeId(1)),
+            Err(SchedError::NotEligible(NodeId(1)))
+        );
+        st.execute(NodeId(0)).unwrap();
+        assert_eq!(
+            st.unclaim(NodeId(0)),
+            Err(SchedError::AlreadyExecuted(NodeId(0)))
+        );
     }
 }

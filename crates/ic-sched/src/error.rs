@@ -23,6 +23,12 @@ pub enum SchedError {
     },
     /// The dag admits no IC-optimal schedule.
     NoIcOptimalSchedule,
+    /// The node is ELIGIBLE but not in the allocation pool (it is
+    /// claimed by a worker), so it cannot be claimed again.
+    NotPooled(NodeId),
+    /// The node is already in the allocation pool, so it cannot be
+    /// returned to it.
+    AlreadyPooled(NodeId),
     /// An underlying dag error (e.g. too large for exhaustive checking).
     Dag(DagError),
 }
@@ -40,6 +46,12 @@ impl fmt::Display for SchedError {
                 )
             }
             SchedError::NoIcOptimalSchedule => write!(f, "dag admits no IC-optimal schedule"),
+            SchedError::NotPooled(v) => {
+                write!(f, "node {v} is not in the eligible pool (already claimed)")
+            }
+            SchedError::AlreadyPooled(v) => {
+                write!(f, "node {v} is already in the eligible pool")
+            }
             SchedError::Dag(e) => write!(f, "dag error: {e}"),
         }
     }

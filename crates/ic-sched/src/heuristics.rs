@@ -99,8 +99,11 @@ impl AllocationPolicy for Policy {
 
     fn choose(&self, ctx: &PolicyContext<'_, '_>, pool: &[NodeId]) -> usize {
         match *self {
-            Policy::Fifo => 0,
-            Policy::Lifo => pool.len() - 1,
+            // The pool is maintained by swap-removal, so positional order
+            // no longer encodes arrival order; the per-entry arrival
+            // stamp does. Stamps are unique, so both picks are exact.
+            Policy::Fifo => argmax(pool, |v| std::cmp::Reverse(ctx.state.pool_seq(v))),
+            Policy::Lifo => argmax(pool, |v| ctx.state.pool_seq(v)),
             // Stateless randomness: the stream is a pure function of
             // (seed, step), so the policy replays identically without
             // interior mutability.
@@ -125,8 +128,9 @@ impl AllocationPolicy for Policy {
 }
 
 /// Produce the complete schedule that `policy` yields on `dag`: drive
-/// the policy over the ELIGIBLE pool (kept in became-ELIGIBLE order,
-/// with newly enabled nodes appended in id order) one task at a time.
+/// the policy over [`ExecState`]'s built-in eligible pool (newly enabled
+/// nodes enter in id order; arrival stamps preserve became-ELIGIBLE
+/// order) one task at a time.
 ///
 /// # Panics
 /// Panics if `policy.choose` returns an out-of-range index or the
@@ -134,10 +138,9 @@ impl AllocationPolicy for Policy {
 pub fn schedule_with(dag: &Dag, policy: &dyn AllocationPolicy) -> Schedule {
     policy.prepare(dag);
     let mut st = ExecState::new(dag);
-    let mut pool: Vec<NodeId> = dag.sources().collect();
     let mut order = Vec::with_capacity(dag.num_nodes());
     let mut step = 0usize;
-    while !pool.is_empty() {
+    while st.pool_len() > 0 {
         let i = policy.choose(
             &PolicyContext {
                 dag,
@@ -145,12 +148,12 @@ pub fn schedule_with(dag: &Dag, policy: &dyn AllocationPolicy) -> Schedule {
                 step,
                 retries: None,
             },
-            &pool,
+            st.pool(),
         );
-        let v = pool.remove(i);
-        let newly = st.execute(v).expect("pool holds only ELIGIBLE nodes");
+        let v = st.pool()[i];
+        st.execute_counting(v)
+            .expect("pool holds only ELIGIBLE nodes");
         order.push(v);
-        pool.extend(newly);
         step += 1;
     }
     Schedule::new_unchecked(order)

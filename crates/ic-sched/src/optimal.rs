@@ -82,7 +82,9 @@ pub fn every_schedule_ic_optimal(dag: &Dag) -> Result<bool, SchedError> {
 pub fn nonsink_envelope_bounds(dag: &Dag) -> Result<(Vec<usize>, Vec<usize>), SchedError> {
     let n1 = dag.num_nonsinks();
     let en = IdealEnumerator::new(dag)?;
-    let nonsink_mask = dag.nonsinks().fold(0u64, |m, v| m | (1u64 << v.index()));
+    let nonsink_mask = dag
+        .nonsinks_mask()
+        .expect("the enumerator already enforced the 64-node cap");
     let mut lo = vec![usize::MAX; n1 + 1];
     let mut hi = vec![0usize; n1 + 1];
     en.for_each_within(nonsink_mask, |_, size, elig| {
@@ -122,7 +124,8 @@ pub fn find_ic_optimal(dag: &Dag) -> Result<Option<Schedule>, SchedError> {
     // on the envelope; dead states are memoized.
     let mut dead: HashSet<u64> = HashSet::new();
     let mut order: Vec<NodeId> = Vec::with_capacity(n);
-    if dfs(&en, &envelope, n, 0u64, 0, &mut order, &mut dead) {
+    let eligible0 = en.eligible_mask(0);
+    if dfs(&en, &envelope, n, 0u64, eligible0, 0, &mut order, &mut dead) {
         Ok(Some(Schedule::new(dag, order)?))
     } else {
         Ok(None)
@@ -134,11 +137,16 @@ pub fn admits_ic_optimal(dag: &Dag) -> Result<bool, SchedError> {
     Ok(find_ic_optimal(dag)?.is_some())
 }
 
+/// The eligible mask rides along with the state, so each candidate step
+/// costs `O(out-degree)` via the incremental update instead of two
+/// from-scratch `eligible_mask` recomputations.
+#[allow(clippy::too_many_arguments)]
 fn dfs(
     en: &IdealEnumerator,
     envelope: &[usize],
     n: usize,
     state: u64,
+    eligible: u64,
     t: usize,
     order: &mut Vec<NodeId>,
     dead: &mut HashSet<u64>,
@@ -149,14 +157,24 @@ fn dfs(
     if dead.contains(&state) {
         return false;
     }
-    let mut rest = en.eligible_mask(state);
+    let mut rest = eligible;
     while rest != 0 {
         let bit = rest & rest.wrapping_neg();
         rest ^= bit;
-        let next = state | bit;
-        if (en.eligible_mask(next).count_ones() as usize) == envelope[t + 1] {
-            order.push(NodeId(bit.trailing_zeros()));
-            if dfs(en, envelope, n, next, t + 1, order, dead) {
+        let b = bit.trailing_zeros();
+        let next_eligible = en.eligible_after(state, eligible, b);
+        if (next_eligible.count_ones() as usize) == envelope[t + 1] {
+            order.push(NodeId(b));
+            if dfs(
+                en,
+                envelope,
+                n,
+                state | bit,
+                next_eligible,
+                t + 1,
+                order,
+                dead,
+            ) {
                 return true;
             }
             order.pop();

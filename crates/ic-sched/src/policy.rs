@@ -46,9 +46,12 @@ pub trait AllocationPolicy {
     fn prepare(&self, _dag: &Dag) {}
 
     /// The index into `pool` of the task to allocate next. `pool` lists
-    /// the ELIGIBLE-and-unallocated tasks in the order they became
-    /// ELIGIBLE and is never empty. The returned index must be in
-    /// range; the drivers panic otherwise.
+    /// the ELIGIBLE-and-unallocated tasks and is never empty; it is the
+    /// `O(1)` slice borrowed from [`ExecState::pool`], so its *positional*
+    /// order is arbitrary (swap-removal) — policies that care about
+    /// arrival order rank entries by [`ExecState::pool_seq`] via
+    /// `ctx.state`. The returned index must be in range; the drivers
+    /// panic otherwise.
     fn choose(&self, ctx: &PolicyContext<'_, '_>, pool: &[NodeId]) -> usize;
 }
 

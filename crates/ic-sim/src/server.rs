@@ -188,9 +188,10 @@ pub fn simulate_traced(
         );
     }
 
-    // ELIGIBLE-and-unallocated pool, in became-ELIGIBLE order.
+    // The ELIGIBLE-and-unallocated pool lives inside ExecState: claims
+    // and returns are O(1) swap-removals, so allocation cost per event
+    // no longer scales with the dag.
     let mut st = ExecState::new(dag);
-    let mut pool: Vec<NodeId> = dag.sources().collect();
 
     // Per-client declared service parameters, so replays can rebuild
     // the client population from the header alone.
@@ -204,7 +205,7 @@ pub fn simulate_traced(
     sink.header(
         &TraceHeader::for_run(dag, clients, cfg.seed, &policy.name()).with_workers(worker_params),
     );
-    let mut fold = MetricsFold::new(n, pool.len(), clients);
+    let mut fold = MetricsFold::new(n, st.pool_len(), clients);
     let mut step = 0u64;
     // Metrics and sink see the identical stream, in emission order.
     let mut emit = |fold: &mut MetricsFold, ev: TraceEvent| {
@@ -231,27 +232,23 @@ pub fn simulate_traced(
     };
 
     let mut allocation_steps = 0usize;
-    let mut allocate = |rng: &mut XorShift64,
-                        st: &ExecState<'_>,
-                        pool: &mut Vec<NodeId>,
-                        client: usize,
-                        now: f64|
-     -> (NodeId, f64) {
-        let ctx = PolicyContext {
-            dag,
-            state: st,
-            step: allocation_steps,
-            retries: None,
+    let mut allocate =
+        |rng: &mut XorShift64, st: &mut ExecState<'_>, client: usize, now: f64| -> (NodeId, f64) {
+            let ctx = PolicyContext {
+                dag,
+                state: st,
+                step: allocation_steps,
+                retries: None,
+            };
+            let i = policy.choose(&ctx, st.pool());
+            let v = st.claim_at(i);
+            allocation_steps += 1;
+            (v, now + service(rng, v, client))
         };
-        let i = policy.choose(&ctx, pool);
-        let v = pool.remove(i);
-        allocation_steps += 1;
-        (v, now + service(rng, v, client))
-    };
 
     // Initial batch of requests at t = 0.
     for client in 0..clients {
-        if pool.is_empty() {
+        if st.pool_len() == 0 {
             emit(
                 &mut fold,
                 TraceEvent::Idle {
@@ -263,7 +260,7 @@ pub fn simulate_traced(
             step += 1;
             waiting.push((client, 0.0));
         } else {
-            let (v, done) = allocate(&mut rng, &st, &mut pool, client, 0.0);
+            let (v, done) = allocate(&mut rng, &mut st, client, 0.0);
             events.push(Reverse((Time(done), client, v)));
             emit(
                 &mut fold,
@@ -272,7 +269,7 @@ pub fn simulate_traced(
                     time: 0.0,
                     client,
                     task: v,
-                    pool: Some(pool.len()),
+                    pool: Some(st.pool_len()),
                 },
             );
             step += 1;
@@ -283,7 +280,8 @@ pub fn simulate_traced(
         if cfg.clients.failure_prob > 0.0 && rng.gen_f64() < cfg.clients.failure_prob {
             // The client lost the task: it returns to the pool (its
             // parents are all executed, so it is still ELIGIBLE).
-            pool.push(v);
+            st.unclaim(v)
+                .expect("a lost task was claimed, hence ELIGIBLE and unpooled");
             emit(
                 &mut fold,
                 TraceEvent::Failed {
@@ -291,14 +289,14 @@ pub fn simulate_traced(
                     time: now,
                     client,
                     task: v,
-                    pool: Some(pool.len()),
+                    pool: Some(st.pool_len()),
                 },
             );
         } else {
-            let newly = st
-                .execute(v)
+            // Executing a claimed task auto-pools its newly ELIGIBLE
+            // children in id order.
+            st.execute_counting(v)
                 .expect("simulation executes tasks in a valid order");
-            pool.extend(newly);
             emit(
                 &mut fold,
                 TraceEvent::Completed {
@@ -306,7 +304,7 @@ pub fn simulate_traced(
                     time: now,
                     client,
                     task: v,
-                    pool: Some(pool.len()),
+                    pool: Some(st.pool_len()),
                 },
             );
         }
@@ -317,7 +315,7 @@ pub fn simulate_traced(
         waiting.push((client, now));
         let mut still_waiting = Vec::new();
         for (cl, since) in waiting.drain(..) {
-            if pool.is_empty() {
+            if st.pool_len() == 0 {
                 // A *fresh* request (made at this instant) hitting an
                 // empty pool: the metrics fold counts it as gridlock
                 // when allocated work is still outstanding.
@@ -334,7 +332,7 @@ pub fn simulate_traced(
                 }
                 still_waiting.push((cl, since));
             } else {
-                let (w, done) = allocate(&mut rng, &st, &mut pool, cl, now);
+                let (w, done) = allocate(&mut rng, &mut st, cl, now);
                 events.push(Reverse((Time(done), cl, w)));
                 emit(
                     &mut fold,
@@ -343,7 +341,7 @@ pub fn simulate_traced(
                         time: now,
                         client: cl,
                         task: w,
-                        pool: Some(pool.len()),
+                        pool: Some(st.pool_len()),
                     },
                 );
                 step += 1;

@@ -20,6 +20,17 @@ cargo build --offline --workspace --release
 echo "==> cargo test"
 cargo test --offline --workspace --quiet
 
+echo "==> bench smoke (eligibility group, machine-readable report)"
+# A tiny-budget run of the eligibility benches proves the bench binary,
+# the JSON report, and its validator stay wired together. bench-check
+# exits nonzero on malformed JSON or a missing bench group; the numbers
+# themselves are not gated (5 ms budgets are noise).
+mkdir -p target/verify
+# Absolute path: cargo runs bench binaries from the package directory.
+IC_BENCH_MS=5 IC_BENCH_JSON="$PWD/target/verify/BENCH.json" \
+    cargo bench --offline -p ic-bench --bench eligibility > /dev/null
+./target/release/bench-check target/verify/BENCH.json
+
 echo "==> ic-prio audit --claims"
 ./target/release/ic-prio audit --claims
 

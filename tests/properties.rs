@@ -305,3 +305,106 @@ fn odd_even_network_sorts() {
         assert_eq!(got, want);
     }
 }
+
+/// Differential test for the eligibility-engine overhaul: the envelope
+/// bounds computed through the incremental + layer-parallel sweep must
+/// equal those recomputed through the retained naive reference walk,
+/// for both the unrestricted and the nonsinks-only lattice.
+#[test]
+fn envelope_bounds_match_the_naive_reference() {
+    use ic_scheduling::dag::ideals::IdealEnumerator;
+    use ic_scheduling::sched::optimal::{envelope_bounds, nonsink_envelope_bounds};
+    for dag in random_dags(0x178, 48, 14, 35) {
+        let n = dag.num_nodes();
+        let en = IdealEnumerator::new(&dag).unwrap();
+
+        let mut lo = vec![usize::MAX; n + 1];
+        let mut hi = vec![0usize; n + 1];
+        en.for_each_reference(|_, size, elig| {
+            let e = elig.count_ones() as usize;
+            lo[size as usize] = lo[size as usize].min(e);
+            hi[size as usize] = hi[size as usize].max(e);
+        });
+        assert_eq!(envelope_bounds(&dag).unwrap(), (lo, hi));
+
+        // Nonsinks-only: filter the reference walk to states made of
+        // nonsinks; a state's size then counts executed nonsinks.
+        let mask = dag
+            .node_ids()
+            .filter(|&v| !dag.children(v).is_empty())
+            .fold(0u64, |m, v| m | (1u64 << v.index()));
+        let n1 = mask.count_ones() as usize;
+        let mut lo1 = vec![usize::MAX; n1 + 1];
+        let mut hi1 = vec![0usize; n1 + 1];
+        en.for_each_reference(|s, size, elig| {
+            if s & !mask == 0 {
+                let e = elig.count_ones() as usize;
+                lo1[size as usize] = lo1[size as usize].min(e);
+                hi1[size as usize] = hi1[size as usize].max(e);
+            }
+        });
+        assert_eq!(nonsink_envelope_bounds(&dag).unwrap(), (lo1, hi1));
+    }
+}
+
+/// Property test for the dense eligible pool: mid-run, under arbitrary
+/// interleavings of claim / unclaim / execute, the pool plus the
+/// claimed tasks always equals the filter-based ELIGIBLE definition
+/// (unexecuted, all parents executed).
+#[test]
+fn exec_state_pool_matches_the_eligible_definition() {
+    use ic_scheduling::sched::eligibility::ExecState;
+    let mut rng = XorShift64::new(0x189);
+    for dag in random_dags(0x19A, 32, 14, 35) {
+        let mut st = ExecState::new(&dag);
+        let mut claimed: Vec<ic_scheduling::dag::NodeId> = Vec::new();
+        loop {
+            // The filter-based definition, recomputed from scratch.
+            let mut defined: Vec<ic_scheduling::dag::NodeId> = dag
+                .node_ids()
+                .filter(|&v| {
+                    !st.is_executed(v) && dag.parents(v).iter().all(|&p| st.is_executed(p))
+                })
+                .collect();
+            defined.sort_unstable_by_key(|v| v.0);
+
+            let mut tracked: Vec<ic_scheduling::dag::NodeId> = st.pool().to_vec();
+            tracked.extend(claimed.iter().copied());
+            tracked.sort_unstable_by_key(|v| v.0);
+            assert_eq!(
+                tracked, defined,
+                "pool ∪ claimed diverged from the definition"
+            );
+            for &v in st.pool() {
+                assert!(st.is_pooled(v) && st.is_eligible(v));
+            }
+            for &v in &claimed {
+                assert!(!st.is_pooled(v) && st.is_eligible(v));
+            }
+
+            if defined.is_empty() {
+                break;
+            }
+            match rng.gen_range(4) {
+                // Claim a pooled task (if any).
+                0 if st.pool_len() > 0 => {
+                    let v = st.pool()[rng.gen_range(st.pool_len())];
+                    st.claim(v).unwrap();
+                    claimed.push(v);
+                }
+                // Return a claimed task to the pool.
+                1 if !claimed.is_empty() => {
+                    let v = claimed.swap_remove(rng.gen_range(claimed.len()));
+                    st.unclaim(v).unwrap();
+                }
+                // Execute any ELIGIBLE task — pooled or claimed.
+                _ => {
+                    let v = defined[rng.gen_range(defined.len())];
+                    claimed.retain(|&c| c != v);
+                    st.execute_counting(v).unwrap();
+                }
+            }
+        }
+        assert_eq!(st.num_executed(), dag.num_nodes());
+    }
+}
