@@ -69,6 +69,20 @@ pub const POOL_SIZE_MISMATCH: &str = "IC0403";
 pub const ENVELOPE_DEPARTURE: &str = "IC0404";
 /// The trace ends before every dag node has completed.
 pub const TRACE_TRUNCATED: &str = "IC0405";
+/// A `resume` event restores a lease the client does not hold: the
+/// task is unallocated, completed, or held by someone else.
+pub const RESUME_WITHOUT_LEASE: &str = "IC0410";
+/// A `spec` event grants a speculative duplicate lease illegally: the
+/// task is not in flight, is already completed, or the client already
+/// holds a lease on it.
+pub const SPECULATION_WITHOUT_LEASE: &str = "IC0411";
+/// A `revoke` event cancels a lease that cannot be a stale duplicate:
+/// the task is not completed, or the client holds no lease on it.
+pub const REVOKE_WITHOUT_COMPLETION: &str = "IC0412";
+/// A speculative lease was granted while unallocated ELIGIBLE tasks
+/// remained — stealing should only happen at the drain barrier. A
+/// warning: it wastes no correctness, only duplicated work.
+pub const SPECULATION_BEFORE_BARRIER: &str = "IC0413";
 
 /// The full code table: `(code, name, one-line meaning)`. Kept in sync
 /// with DESIGN.md §"Diagnostic codes" (the negative test suite pins
@@ -133,6 +147,26 @@ pub const CODE_TABLE: &[(&str, &str, &str)] = &[
         TRACE_TRUNCATED,
         "TraceTruncated",
         "the trace ends before the computation completes",
+    ),
+    (
+        RESUME_WITHOUT_LEASE,
+        "ResumeWithoutLease",
+        "a trace resumes a lease the client does not hold",
+    ),
+    (
+        SPECULATION_WITHOUT_LEASE,
+        "SpeculationWithoutLease",
+        "a speculative lease duplicates nothing in flight",
+    ),
+    (
+        REVOKE_WITHOUT_COMPLETION,
+        "RevokeWithoutCompletion",
+        "a revoke cancels a lease that is not a stale duplicate",
+    ),
+    (
+        SPECULATION_BEFORE_BARRIER,
+        "SpeculationBeforeBarrier",
+        "a speculative lease was granted before the drain barrier",
     ),
 ];
 
@@ -210,7 +244,7 @@ mod tests {
     #[test]
     fn code_table_is_complete_and_unique() {
         let codes: Vec<&str> = CODE_TABLE.iter().map(|(c, _, _)| *c).collect();
-        assert_eq!(codes.len(), 12);
+        assert_eq!(codes.len(), 16);
         let mut sorted = codes.clone();
         sorted.sort_unstable();
         sorted.dedup();

@@ -1,4 +1,4 @@
-//! Trace-replay passes (IC0401–IC0405).
+//! Trace-replay passes (IC0401–IC0413).
 //!
 //! [`audit_trace`] replays a recorded execution trace (see
 //! [`ic_sim::trace`]) against the dag embedded in its header and checks
@@ -13,7 +13,19 @@
 //!   to [`EXHAUSTIVE_LIMIT`] nodes, and *symbolically* for larger dags
 //!   that [`ic_families::symbolic::certify`] recognizes as canonical
 //!   family instances with closed-form IC-optimal schedules;
-//! * the trace covers the whole computation (IC0405).
+//! * the trace covers the whole computation (IC0405);
+//! * the v3 lease-lifecycle events are coherent: a `resume` restores a
+//!   lease its client actually holds (IC0410), a speculative duplicate
+//!   lease shadows a task genuinely in flight (IC0411) and only at the
+//!   drain barrier (IC0413, a warning), and a `revoke` cancels only
+//!   stale duplicates of a completed task (IC0412).
+//!
+//! The replay tracks, per task, the *set* of clients holding a lease —
+//! plural since v3's speculative duplicates — so the pool accounting
+//! stays exact under work stealing: a speculative lease never shrinks
+//! the pool (its task already left on first allocation), a failure of
+//! one holder returns the task only when it was the last, and a
+//! completion closes every remaining duplicate via explicit revokes.
 //!
 //! The replay is best-effort after a finding: a flagged allocation is
 //! still applied so one defect does not cascade into dozens, but pool
@@ -27,7 +39,8 @@ use ic_sim::trace::{Trace, TraceEvent};
 
 use crate::diag::{
     Diagnostic, Severity, COMPLETION_BEFORE_ALLOCATION, ENVELOPE_DEPARTURE,
-    NON_ELIGIBLE_ALLOCATION, POOL_SIZE_MISMATCH, TRACE_TRUNCATED,
+    NON_ELIGIBLE_ALLOCATION, POOL_SIZE_MISMATCH, RESUME_WITHOUT_LEASE, REVOKE_WITHOUT_COMPLETION,
+    SPECULATION_BEFORE_BARRIER, SPECULATION_WITHOUT_LEASE, TRACE_TRUNCATED,
 };
 use crate::graph::audit_edges;
 use crate::order::EXHAUSTIVE_LIMIT;
@@ -69,12 +82,27 @@ fn replay(dag: &Dag, trace: &Trace) -> Vec<Diagnostic> {
     let mut missing: Vec<usize> = (0..n)
         .map(|v| dag.in_degree(ic_dag::NodeId::new(v)))
         .collect();
-    let mut allocated = vec![false; n];
+    // Per task: the clients currently holding a lease on it. More than
+    // one only through v3 speculative duplicates; the first entry came
+    // through a real allocation, so only it moved the pool.
+    let mut holders: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut completed = vec![false; n];
     // Replayed ELIGIBLE-pool size: eligible and not currently allocated.
     let mut pool = dag.num_sources();
     let mut pool_trusted = true;
     let mut completions = 0usize;
+
+    // Pre-v3 emitters did not tag outcome events with lease-holding
+    // clients, so a mismatched client releases *some* holder rather
+    // than being flagged; v3 events (resume/spec/revoke) are always
+    // client-exact and checked strictly.
+    fn release(holders: &mut Vec<usize>, client: usize) {
+        if let Some(i) = holders.iter().position(|&c| c == client) {
+            holders.swap_remove(i);
+        } else {
+            holders.pop();
+        }
+    }
 
     let check_pool = |pool_trusted: &mut bool,
                       diags: &mut Vec<Diagnostic>,
@@ -115,10 +143,17 @@ fn replay(dag: &Dag, trace: &Trace) -> Vec<Diagnostic> {
                     pool_trusted = false;
                     continue;
                 }
-                if allocated[t] {
+                if completed[t] || !holders[t].is_empty() {
+                    let why = if completed[t] {
+                        "already completed"
+                    } else {
+                        "already allocated"
+                    };
                     diags.push(Diagnostic::error(
                         NON_ELIGIBLE_ALLOCATION,
-                        format!("step {step}: task {t} is allocated to client {client} while already allocated"),
+                        format!(
+                            "step {step}: task {t} is allocated to client {client} while {why}"
+                        ),
                     ));
                     pool_trusted = false;
                 } else if missing[t] > 0 {
@@ -136,9 +171,9 @@ fn replay(dag: &Dag, trace: &Trace) -> Vec<Diagnostic> {
                         ),
                     ));
                     pool_trusted = false;
-                    allocated[t] = true; // best-effort: keep replaying
+                    holders[t].push(client); // best-effort: keep replaying
                 } else {
-                    allocated[t] = true;
+                    holders[t].push(client);
                     pool -= 1;
                     check_pool(&mut pool_trusted, &mut diags, step, rec, pool);
                 }
@@ -151,7 +186,7 @@ fn replay(dag: &Dag, trace: &Trace) -> Vec<Diagnostic> {
                 ..
             } => {
                 let t = task.index();
-                if t >= n || !allocated[t] || completed[t] {
+                if t >= n || holders[t].is_empty() || completed[t] {
                     let why = if t >= n {
                         "an out-of-range node id"
                     } else if completed[t] {
@@ -166,6 +201,7 @@ fn replay(dag: &Dag, trace: &Trace) -> Vec<Diagnostic> {
                     pool_trusted = false;
                     continue;
                 }
+                release(&mut holders[t], client);
                 completed[t] = true;
                 completions += 1;
                 for c in dag.children(task) {
@@ -174,6 +210,8 @@ fn replay(dag: &Dag, trace: &Trace) -> Vec<Diagnostic> {
                         pool += 1;
                     }
                 }
+                // Remaining holders are stale duplicates: the emitter
+                // must close each with an explicit `revoke` event.
                 check_pool(&mut pool_trusted, &mut diags, step, rec, pool);
             }
             TraceEvent::Failed {
@@ -184,7 +222,7 @@ fn replay(dag: &Dag, trace: &Trace) -> Vec<Diagnostic> {
                 ..
             } => {
                 let t = task.index();
-                if t >= n || !allocated[t] || completed[t] {
+                if t >= n || holders[t].is_empty() || completed[t] {
                     diags.push(Diagnostic::error(
                         COMPLETION_BEFORE_ALLOCATION,
                         format!(
@@ -195,10 +233,100 @@ fn replay(dag: &Dag, trace: &Trace) -> Vec<Diagnostic> {
                     pool_trusted = false;
                     continue;
                 }
-                // The task returns to the ELIGIBLE pool.
-                allocated[t] = false;
-                pool += 1;
+                release(&mut holders[t], client);
+                // The task returns to the ELIGIBLE pool only when its
+                // last lease fell; a surviving duplicate keeps it in
+                // flight.
+                if holders[t].is_empty() {
+                    pool += 1;
+                }
                 check_pool(&mut pool_trusted, &mut diags, step, rec, pool);
+            }
+            TraceEvent::Resumed {
+                step, client, task, ..
+            } => {
+                let t = task.index();
+                if t >= n || completed[t] || !holders[t].contains(&client) {
+                    diags.push(Diagnostic::error(
+                        RESUME_WITHOUT_LEASE,
+                        format!(
+                            "step {step}: client {client} resumes a lease on task {t} it does \
+                             not hold"
+                        ),
+                    ));
+                }
+                // A legal resume changes nothing: the allocation is
+                // still open, the pool untouched.
+            }
+            TraceEvent::Speculated {
+                step,
+                client,
+                task,
+                pool: rec,
+                ..
+            } => {
+                let t = task.index();
+                if t >= n || completed[t] || holders[t].is_empty() {
+                    let why = if t >= n {
+                        "an out-of-range node id"
+                    } else if completed[t] {
+                        "already completed"
+                    } else {
+                        "not in flight"
+                    };
+                    diags.push(Diagnostic::error(
+                        SPECULATION_WITHOUT_LEASE,
+                        format!(
+                            "step {step}: client {client} gets a speculative lease on task {t}, \
+                             which is {why}"
+                        ),
+                    ));
+                    pool_trusted = false;
+                    continue;
+                }
+                if holders[t].contains(&client) {
+                    diags.push(Diagnostic::error(
+                        SPECULATION_WITHOUT_LEASE,
+                        format!(
+                            "step {step}: client {client} speculates on task {t}, which it \
+                             already holds"
+                        ),
+                    ));
+                    continue;
+                }
+                if pool_trusted && pool > 0 {
+                    diags.push(Diagnostic::warning(
+                        SPECULATION_BEFORE_BARRIER,
+                        format!(
+                            "step {step}: task {t} is speculated to client {client} while \
+                             {pool} unallocated ELIGIBLE task(s) remain"
+                        ),
+                    ));
+                }
+                // A duplicate lease: the task already left the pool on
+                // first allocation, so the pool does not move.
+                holders[t].push(client);
+                check_pool(&mut pool_trusted, &mut diags, step, rec, pool);
+            }
+            TraceEvent::Revoked {
+                step, client, task, ..
+            } => {
+                let t = task.index();
+                if t >= n || !completed[t] || !holders[t].contains(&client) {
+                    let why = if t >= n {
+                        "an out-of-range node id"
+                    } else if !completed[t] {
+                        "not completed — only stale duplicates may be revoked"
+                    } else {
+                        "not leased to that client"
+                    };
+                    diags.push(Diagnostic::error(
+                        REVOKE_WITHOUT_COMPLETION,
+                        format!("step {step}: client {client}'s lease on task {t} is revoked, but the task is {why}"),
+                    ));
+                    continue;
+                }
+                release(&mut holders[t], client);
             }
             TraceEvent::Idle { .. } => {}
         }
@@ -485,6 +613,243 @@ mod tests {
         let diags = audit_trace(&trace);
         assert!(
             diags.iter().all(|d| d.severity != Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    /// A hand-built v3 steal trace on the chain 0→1: client 0 leases
+    /// task 0 and stalls, client 1 gets a speculative duplicate at the
+    /// drain barrier, client 0 reconnects and resumes, client 1 wins,
+    /// client 0's duplicate is revoked.
+    fn steal_trace() -> Trace {
+        let g = ic_dag::builder::from_arcs(2, &[(0, 1)]).unwrap();
+        let header = ic_sim::TraceHeader::for_run(&g, 2, 1, "FIFO");
+        Trace {
+            header,
+            events: vec![
+                TraceEvent::Allocated {
+                    step: 0,
+                    time: 0.0,
+                    client: 0,
+                    task: NodeId::new(0),
+                    pool: Some(0),
+                },
+                TraceEvent::Speculated {
+                    step: 1,
+                    time: 1.0,
+                    client: 1,
+                    task: NodeId::new(0),
+                    pool: Some(0),
+                },
+                TraceEvent::Resumed {
+                    step: 2,
+                    time: 1.5,
+                    client: 0,
+                    task: NodeId::new(0),
+                },
+                TraceEvent::Completed {
+                    step: 3,
+                    time: 2.0,
+                    client: 1,
+                    task: NodeId::new(0),
+                    pool: Some(1),
+                },
+                TraceEvent::Revoked {
+                    step: 4,
+                    time: 2.1,
+                    client: 0,
+                    task: NodeId::new(0),
+                },
+                TraceEvent::Allocated {
+                    step: 5,
+                    time: 2.2,
+                    client: 1,
+                    task: NodeId::new(1),
+                    pool: Some(0),
+                },
+                TraceEvent::Completed {
+                    step: 6,
+                    time: 3.0,
+                    client: 1,
+                    task: NodeId::new(1),
+                    pool: Some(0),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_steal_trace_audits_clean() {
+        let diags = audit_trace(&steal_trace());
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn failed_duplicate_lease_keeps_the_task_in_flight() {
+        // The speculating client fails, but the original holder is
+        // still on the task: the pool must NOT regain it.
+        let mut t = steal_trace();
+        t.events[3] = TraceEvent::Failed {
+            step: 3,
+            time: 2.0,
+            client: 1,
+            task: NodeId::new(0),
+            pool: Some(0),
+        };
+        // The original holder then completes; no revoke needed.
+        t.events[4] = TraceEvent::Completed {
+            step: 4,
+            time: 2.1,
+            client: 0,
+            task: NodeId::new(0),
+            pool: Some(1),
+        };
+        let diags = audit_trace(&t);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn resume_without_lease_is_ic0410() {
+        let mut t = steal_trace();
+        // Client 1 never held task 1's lease at that point.
+        t.events[2] = TraceEvent::Resumed {
+            step: 2,
+            time: 1.5,
+            client: 1,
+            task: NodeId::new(1),
+        };
+        let diags = audit_trace(&t);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == RESUME_WITHOUT_LEASE && d.severity == Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn speculation_on_an_idle_task_is_ic0411() {
+        let mut t = steal_trace();
+        // Speculate before any allocation: nothing is in flight.
+        t.events.remove(0);
+        let diags = audit_trace(&t);
+        assert!(
+            diags.iter().any(|d| d.code == SPECULATION_WITHOUT_LEASE),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn self_speculation_is_ic0411() {
+        let mut t = steal_trace();
+        if let TraceEvent::Speculated { client, .. } = &mut t.events[1] {
+            *client = 0; // the holder speculates on its own task
+        } else {
+            panic!("event 1 is the speculation");
+        }
+        // The revoke target also shifts to keep the tail consistent.
+        let diags = audit_trace(&t);
+        assert!(
+            diags.iter().any(|d| d.code == SPECULATION_WITHOUT_LEASE),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn revoke_of_an_uncompleted_task_is_ic0412() {
+        let mut t = steal_trace();
+        // Revoke before the winner completes.
+        t.events.swap(3, 4);
+        let diags = audit_trace(&t);
+        assert!(
+            diags.iter().any(|d| d.code == REVOKE_WITHOUT_COMPLETION),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn speculation_before_the_barrier_is_ic0413_warning() {
+        // Two independent sources: speculating while task 1 is still
+        // unallocated in the pool draws the warning.
+        let g = ic_dag::builder::from_arcs(2, &[]).unwrap();
+        let header = ic_sim::TraceHeader::for_run(&g, 2, 1, "FIFO");
+        let t = Trace {
+            header,
+            events: vec![
+                TraceEvent::Allocated {
+                    step: 0,
+                    time: 0.0,
+                    client: 0,
+                    task: NodeId::new(0),
+                    pool: Some(1),
+                },
+                TraceEvent::Speculated {
+                    step: 1,
+                    time: 0.5,
+                    client: 1,
+                    task: NodeId::new(0),
+                    pool: Some(1),
+                },
+                TraceEvent::Completed {
+                    step: 2,
+                    time: 1.0,
+                    client: 0,
+                    task: NodeId::new(0),
+                    pool: Some(1),
+                },
+                TraceEvent::Revoked {
+                    step: 3,
+                    time: 1.1,
+                    client: 1,
+                    task: NodeId::new(0),
+                },
+                TraceEvent::Allocated {
+                    step: 4,
+                    time: 1.2,
+                    client: 1,
+                    task: NodeId::new(1),
+                    pool: Some(0),
+                },
+                TraceEvent::Completed {
+                    step: 5,
+                    time: 2.0,
+                    client: 1,
+                    task: NodeId::new(1),
+                    pool: Some(0),
+                },
+            ],
+        };
+        let diags = audit_trace(&t);
+        let warn: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == SPECULATION_BEFORE_BARRIER)
+            .collect();
+        assert_eq!(warn.len(), 1, "{diags:?}");
+        assert_eq!(warn[0].severity, Severity::Warning);
+        assert!(
+            diags.iter().all(|d| d.severity != Severity::Error),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_completion_after_a_win_is_still_ic0402() {
+        // A server must reject the loser's late `done` without a trace
+        // event; a trace that *does* record it is flagged.
+        let mut t = steal_trace();
+        t.events.insert(
+            5,
+            TraceEvent::Completed {
+                step: 5,
+                time: 2.15,
+                client: 0,
+                task: NodeId::new(0),
+                pool: Some(1),
+            },
+        );
+        let diags = audit_trace(&t);
+        assert!(
+            diags.iter().any(|d| d.code == COMPLETION_BEFORE_ALLOCATION),
             "{diags:?}"
         );
     }

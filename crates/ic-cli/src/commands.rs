@@ -388,98 +388,24 @@ fn finish_audit(mut diags: Vec<ic_audit::Diagnostic>, deny: &[&'static str]) -> 
     CmdOutput::success("audit", text).with_diagnostics(diags)
 }
 
-/// Parse a `--family` spec (`mesh:11`, `outtree:2:5`, `butterfly:3`,
-/// ...) into a label, the dag, and — when the family carries one — its
-/// closed-form IC-optimal schedule from the paper.
-pub fn family_dag(spec: &str) -> Result<(String, ic_dag::Dag, Option<ic_sched::Schedule>), String> {
-    const MAX_NODES: usize = 1 << 20;
-    let parts: Vec<&str> = spec.split(':').collect();
-    let arg = |i: usize| -> Result<usize, String> {
-        parts
-            .get(i)
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&v| v > 0)
-            .ok_or_else(|| format!("family spec {spec:?}: expected a positive integer parameter"))
-    };
-    // Reject oversized specs from the closed-form node count *before*
-    // constructing the dag — `outtree:10:9` must error, not attempt a
-    // ~10^9-node allocation. `None` means the count overflows usize.
-    let cap = |count: Option<usize>| -> Result<(), String> {
-        match count {
-            Some(n) if n <= MAX_NODES => Ok(()),
-            _ => Err(format!(
-                "family {spec:?} would have {} nodes; the server caps at {MAX_NODES}",
-                count.map_or_else(|| "over 2^64".to_string(), |n| n.to_string())
-            )),
-        }
-    };
-    // Complete-tree node count: sum of arity^l for l in 0..=depth.
-    let tree_nodes = |arity: usize, depth: usize| -> Option<usize> {
-        let mut count = 1usize;
-        let mut level = 1usize;
-        for _ in 0..depth {
-            level = level.checked_mul(arity)?;
-            count = count.checked_add(level)?;
-        }
-        Some(count)
-    };
-    let mesh_nodes = |levels: usize| {
-        levels
-            .checked_add(1)
-            .and_then(|p| levels.checked_mul(p))
-            .map(|v| v / 2)
-    };
-    let butterfly_nodes = |d: usize| {
-        1usize
-            .checked_shl(u32::try_from(d).ok()?)
-            .and_then(|rows| rows.checked_mul(d + 1))
-    };
-    let (dag, sched) = match (parts.first().copied(), parts.len()) {
-        (Some("mesh"), 2) => {
-            let l = arg(1)?;
-            cap(mesh_nodes(l))?;
-            let mesh = ic_families::mesh::out_mesh(l);
-            let s = ic_families::mesh::out_mesh_schedule(&mesh);
-            (mesh, Some(s))
-        }
-        (Some("inmesh"), 2) => {
-            let l = arg(1)?;
-            cap(mesh_nodes(l))?;
-            let mesh = ic_families::mesh::in_mesh(l);
-            let s = ic_families::mesh::in_mesh_schedule(&mesh).ok();
-            (mesh, s)
-        }
-        (Some("outtree"), 3) => {
-            let (a, d) = (arg(1)?, arg(2)?);
-            cap(tree_nodes(a, d))?;
-            let t = ic_families::trees::complete_out_tree(a, d);
-            let s = ic_families::trees::out_tree_schedule(&t);
-            (t, Some(s))
-        }
-        (Some("intree"), 3) => {
-            let (a, d) = (arg(1)?, arg(2)?);
-            cap(tree_nodes(a, d))?;
-            let t = ic_families::trees::complete_in_tree(a, d);
-            let s = ic_families::trees::in_tree_schedule(&t).ok();
-            (t, s)
-        }
-        (Some("butterfly"), 2) => {
-            let d = arg(1)?;
-            cap(butterfly_nodes(d))?;
-            (
-                ic_families::butterfly::butterfly(d),
-                Some(ic_families::butterfly::butterfly_schedule(d)),
-            )
-        }
-        _ => {
-            return Err(format!(
-                "unknown family spec {spec:?} (try mesh:L, inmesh:L, outtree:A:D, \
-                 intree:A:D, or butterfly:D)"
-            ))
-        }
-    };
-    debug_assert!(dag.num_nodes() <= MAX_NODES);
-    Ok((spec.to_string(), dag, sched))
+pub use crate::parse::{family_dag, named_family_dag};
+
+/// `audit --family`: generate a paper-family instance, serialize it,
+/// and run the structural passes on the edge list; when the family
+/// carries a closed-form IC-optimal schedule, audit that schedule as
+/// an order too (topology + envelope). `Err` means the spec is bad.
+pub fn audit_family(spec: &str, deny: &[&'static str]) -> Result<CmdOutput, String> {
+    let (_, dag, sched) = family_dag(spec)?;
+    let text = ic_dag::serialize::to_edge_list(&dag);
+    let order_text = sched.map(|s| {
+        let names = ic_dag::serialize::edge_list_names(&dag);
+        s.order()
+            .iter()
+            .map(|v| names[v.index()].as_str())
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+    audit_dag_text(&text, order_text.as_deref(), deny)
 }
 
 /// Resolve a `serve --policy` flag into an allocation policy. The sim
@@ -558,6 +484,9 @@ pub fn serve_run(
     let _ = writeln!(out, "completions:  {}", report.completions);
     let _ = writeln!(out, "failures:     {}", report.failures);
     let _ = writeln!(out, "allocations:  {}", report.allocations);
+    let _ = writeln!(out, "resumes:      {}", report.resumes);
+    let _ = writeln!(out, "steals:       {}", report.steals);
+    let _ = writeln!(out, "revokes:      {}", report.revokes);
     let _ = writeln!(out, "workers:      {}", report.workers_registered);
     let _ = writeln!(out, "makespan:     {:.3}s", report.makespan);
     if report.late_workers > 0 && trace_path.is_some() {
@@ -571,12 +500,17 @@ pub fn serve_run(
     }
     let data = format!(
         "{{\"addr\": {}, \"policy\": {}, \"completions\": {}, \"failures\": {}, \
-         \"allocations\": {}, \"workers\": {}, \"late_workers\": {}, \"makespan\": {}}}",
+         \"reallocations\": {}, \"allocations\": {}, \"resumes\": {}, \"steals\": {}, \
+         \"revokes\": {}, \"workers\": {}, \"late_workers\": {}, \"makespan\": {}}}",
         ic_audit::report::json_string(&addr.to_string()),
         ic_audit::report::json_string(&policy.name()),
         report.completions,
         report.failures,
+        report.failures,
         report.allocations,
+        report.resumes,
+        report.steals,
+        report.revokes,
         report.workers_registered,
         report.late_workers,
         report.makespan,
@@ -591,10 +525,11 @@ pub fn work_run(connect: &str, cfg: &ic_net::WorkerConfig) -> Result<CmdOutput, 
     let report = ic_net::run_worker(connect, cfg)
         .map_err(|e| format!("worker cannot serve {connect}: {e}"))?;
     let out = format!(
-        "# worker {} ({}) on {connect}\ncompleted: {}\n{}\n",
+        "# worker {} ({}) on {connect}\ncompleted: {}\nresumes: {}\n{}\n",
         report.worker,
         cfg.id,
         report.completed,
+        report.resumes,
         if report.died {
             "exited: by fault plan"
         } else {
@@ -602,10 +537,11 @@ pub fn work_run(connect: &str, cfg: &ic_net::WorkerConfig) -> Result<CmdOutput, 
         }
     );
     let data = format!(
-        "{{\"worker\": {}, \"id\": {}, \"completed\": {}, \"died\": {}}}",
+        "{{\"worker\": {}, \"id\": {}, \"completed\": {}, \"resumes\": {}, \"died\": {}}}",
         report.worker,
         ic_audit::report::json_string(&cfg.id),
         report.completed,
+        report.resumes,
         report.died,
     );
     Ok(CmdOutput::success("work", out).with_data(data))
@@ -911,12 +847,11 @@ mod tests {
         let (label, dag, sched) = family_dag("outtree:2:3").unwrap();
         let n = dag.num_nodes();
         let policy = serve_policy(&dag, "optimal", 5, sched).unwrap();
-        let net_cfg = ic_net::ServerConfig {
-            lease_ms: 300,
-            expect_workers: 1,
-            seed: 5,
-            ..ic_net::ServerConfig::default()
-        };
+        let net_cfg = ic_net::ServerConfig::builder()
+            .lease_ms(300)
+            .expect_workers(1)
+            .seed(5)
+            .build();
 
         let (serve_out, work_out) = std::thread::scope(|s| {
             let pf = port_file.clone();
@@ -927,11 +862,10 @@ mod tests {
                         _ => std::thread::sleep(std::time::Duration::from_millis(5)),
                     }
                 };
-                let wcfg = ic_net::WorkerConfig {
-                    id: "cli-worker".into(),
-                    mean_ms: 1,
-                    ..ic_net::WorkerConfig::default()
-                };
+                let wcfg = ic_net::WorkerConfig::builder()
+                    .id("cli-worker")
+                    .mean_ms(1)
+                    .build();
                 work_run(&addr, &wcfg).unwrap()
             });
             let serve_out = serve_run(

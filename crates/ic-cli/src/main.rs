@@ -4,15 +4,20 @@
 //! ic-prio order <file> [--policy auto|greedy|fifo] [--json]
 //! ic-prio stats <file> [--json]
 //! ic-prio check <file> <order-file> [--json]
-//! ic-prio sim <file> [--policy P] [--clients N] [--seed S] [--trace out.jsonl] [--json]
+//! ic-prio sim (<file> | --family <spec>) [--policy P] [--clients N] [--seed S]
+//!          [--trace out.jsonl] [--json]
 //! ic-prio audit --claims [--json]
 //! ic-prio audit --dag <file> [--order <order-file>] [--deny orphans] [--json]
+//! ic-prio audit --family <spec> [--deny <code-name>] [--json]
 //! ic-prio audit --schedule <trace.jsonl> [--deny <code-name>] [--json]
 //! ic-prio serve (--dag <file> | --family <spec>) [--policy optimal|fifo|...]
 //!          [--listen addr] [--trace out.jsonl] [--lease-ms N] [--expect N]
+//!          [--batch N] [--steal-after MS] [--min-proto V]
 //!          [--port-file p] [--seed S] [--json]
-//! ic-prio work --connect <addr> [--id s] [--speed f] [--mean-ms N]
-//!          [--flaky p | --die-after K | --stall-after K] [--seed S] [--json]
+//! ic-prio work --connect <addr> [--id s] [--speed f] [--mean-ms N] [--batch N]
+//!          [--proto V] [--no-reconnect]
+//!          [--flaky p | --die-after K | --stall-after K | --sever-after K]
+//!          [--seed S] [--json]
 //! ic-prio dot <file>
 //! ic-prio export <file>
 //! ```
@@ -32,16 +37,19 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ic-prio order <file> [--policy auto|greedy|fifo] [--json]\n  \
          ic-prio stats <file> [--json]\n  ic-prio check <file> <order-file> [--json]\n  \
-         ic-prio sim <file> [--policy fifo|lifo|random|greedy|maxout|mindepth]\n              \
+         ic-prio sim (<file> | --family <spec>) [--policy fifo|lifo|random|greedy|maxout|mindepth]\n              \
          [--clients N] [--seed S] [--trace out.jsonl] [--json]\n  \
          ic-prio audit --claims [--json]\n  \
          ic-prio audit --dag <file> [--order <order-file>] [--deny orphans] [--json]\n  \
+         ic-prio audit --family <spec> [--deny <code-name>] [--json]\n  \
          ic-prio audit --schedule <trace.jsonl> [--deny <code-name>] [--json]\n  \
          ic-prio serve (--dag <file> | --family mesh:11|outtree:2:5|butterfly:3)\n              \
          [--policy optimal|fifo|lifo|random|greedy|maxout|mindepth] [--listen addr]\n              \
-         [--trace out.jsonl] [--lease-ms N] [--expect N] [--port-file p] [--seed S] [--json]\n  \
-         ic-prio work --connect <addr> [--id s] [--speed f] [--mean-ms N]\n              \
-         [--flaky p | --die-after K | --stall-after K] [--seed S] [--json]\n  \
+         [--trace out.jsonl] [--lease-ms N] [--expect N] [--batch N] [--steal-after MS]\n              \
+         [--min-proto V] [--port-file p] [--seed S] [--json]\n  \
+         ic-prio work --connect <addr> [--id s] [--speed f] [--mean-ms N] [--batch N]\n              \
+         [--proto V] [--no-reconnect]\n              \
+         [--flaky p | --die-after K | --stall-after K | --sever-after K] [--seed S] [--json]\n  \
          ic-prio dot <file>\n  ic-prio export <file>"
     );
     ExitCode::from(USAGE_EXIT)
@@ -152,8 +160,16 @@ fn main() -> ExitCode {
             }
         }
         "sim" => {
-            let Some(path) = it.next() else {
+            let Some(first) = it.next() else {
                 return usage();
+            };
+            let (path, family) = if first == "--family" {
+                match it.next() {
+                    Some(spec) => (None, Some(spec)),
+                    None => return usage(),
+                }
+            } else {
+                (Some(first), None)
             };
             let (rest, json) = take_json(it.collect());
             let mut policy_flag = "greedy";
@@ -190,9 +206,19 @@ fn main() -> ExitCode {
                 eprintln!("error: unknown sim policy {policy_flag:?}");
                 return usage();
             };
-            let nd = match load(path) {
-                Ok(nd) => nd,
-                Err(c) => return c,
+            let nd = match (path, family) {
+                (Some(path), None) => match load(path) {
+                    Ok(nd) => nd,
+                    Err(c) => return c,
+                },
+                (None, Some(spec)) => match commands::named_family_dag(spec) {
+                    Ok((_, nd, _)) => nd,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return usage();
+                    }
+                },
+                _ => unreachable!("sim takes exactly one of <file> or --family"),
             };
             let (out, trace) = commands::sim_run(&nd, &policy, clients, seed);
             if let Some(tp) = trace_path {
@@ -242,6 +268,7 @@ fn main() -> ExitCode {
                         Err(c) => return c,
                     }
                 }
+                ["--family", spec] => commands::audit_family(spec, &deny),
                 ["--schedule", path] => match read(path) {
                     Ok(t) => commands::audit_trace_text(&t, &deny),
                     Err(c) => return c,
@@ -267,6 +294,9 @@ fn main() -> ExitCode {
             let mut lease_ms = 500u64;
             let mut expect = 0usize;
             let mut seed = 0x1C5EEDu64;
+            let mut batch = 1usize;
+            let mut steal_after: Option<u64> = None;
+            let mut min_proto = ic_net::PROTO_V1;
             let mut flags = rest.as_slice();
             while let [flag, value, tail @ ..] = flags {
                 match *flag {
@@ -287,6 +317,31 @@ fn main() -> ExitCode {
                         Ok(n) => expect = n,
                         Err(_) => {
                             eprintln!("error: --expect takes an integer");
+                            return usage();
+                        }
+                    },
+                    "--batch" => match value.parse() {
+                        Ok(n) if n > 0 => batch = n,
+                        _ => {
+                            eprintln!("error: --batch takes a positive integer");
+                            return usage();
+                        }
+                    },
+                    "--steal-after" => match value.parse() {
+                        Ok(ms) => steal_after = Some(ms),
+                        Err(_) => {
+                            eprintln!("error: --steal-after takes milliseconds");
+                            return usage();
+                        }
+                    },
+                    "--min-proto" => match value.parse() {
+                        Ok(v @ (ic_net::PROTO_V1 | ic_net::PROTO_V2)) => min_proto = v,
+                        _ => {
+                            eprintln!(
+                                "error: --min-proto takes {} or {}",
+                                ic_net::PROTO_V1,
+                                ic_net::PROTO_V2
+                            );
                             return usage();
                         }
                     },
@@ -328,12 +383,16 @@ fn main() -> ExitCode {
                     return usage();
                 }
             };
-            let net_cfg = ic_net::ServerConfig {
-                lease_ms,
-                expect_workers: expect,
-                seed,
-                ..ic_net::ServerConfig::default()
-            };
+            let mut builder = ic_net::ServerConfig::builder()
+                .lease_ms(lease_ms)
+                .expect_workers(expect)
+                .seed(seed)
+                .batch(batch)
+                .min_proto(min_proto);
+            if let Some(ms) = steal_after {
+                builder = builder.steal_after(ms);
+            }
+            let net_cfg = builder.build();
             match commands::serve_run(
                 &label,
                 &dag,
@@ -352,30 +411,53 @@ fn main() -> ExitCode {
         }
         "work" => {
             let (rest, json) = take_json(it.collect());
+            let reconnect = !rest.contains(&"--no-reconnect");
+            let rest: Vec<&str> = rest
+                .into_iter()
+                .filter(|a| *a != "--no-reconnect")
+                .collect();
             let mut connect: Option<&str> = None;
-            let mut wcfg = ic_net::WorkerConfig::default();
+            let mut bld = ic_net::WorkerConfig::builder().reconnect(reconnect);
             let mut flags = rest.as_slice();
             while let [flag, value, tail @ ..] = flags {
                 match *flag {
                     "--connect" => connect = Some(value),
-                    "--id" => wcfg.id = value.to_string(),
+                    "--id" => bld = bld.id(*value),
                     "--speed" => match value.parse() {
-                        Ok(f) if f > 0.0 => wcfg.speed = f,
+                        Ok(f) if f > 0.0 => bld = bld.speed(f),
                         _ => {
                             eprintln!("error: --speed takes a positive number");
                             return usage();
                         }
                     },
                     "--mean-ms" => match value.parse() {
-                        Ok(ms) => wcfg.mean_ms = ms,
+                        Ok(ms) => bld = bld.mean_ms(ms),
                         Err(_) => {
                             eprintln!("error: --mean-ms takes an integer");
                             return usage();
                         }
                     },
+                    "--batch" => match value.parse() {
+                        Ok(n) if n > 0 => bld = bld.batch(n),
+                        _ => {
+                            eprintln!("error: --batch takes a positive integer");
+                            return usage();
+                        }
+                    },
+                    "--proto" => match value.parse() {
+                        Ok(v @ (ic_net::PROTO_V1 | ic_net::PROTO_V2)) => bld = bld.proto(v),
+                        _ => {
+                            eprintln!(
+                                "error: --proto takes {} or {}",
+                                ic_net::PROTO_V1,
+                                ic_net::PROTO_V2
+                            );
+                            return usage();
+                        }
+                    },
                     "--flaky" => match value.parse() {
                         Ok(p) if (0.0..=1.0).contains(&p) => {
-                            wcfg.fault = ic_net::FaultPlan::Random(p);
+                            bld = bld.fault(ic_net::FaultPlan::Random(p));
                         }
                         _ => {
                             eprintln!("error: --flaky takes a probability in [0, 1]");
@@ -383,21 +465,28 @@ fn main() -> ExitCode {
                         }
                     },
                     "--die-after" => match value.parse() {
-                        Ok(k) => wcfg.fault = ic_net::FaultPlan::DieAfter(k),
+                        Ok(k) => bld = bld.fault(ic_net::FaultPlan::DieAfter(k)),
                         Err(_) => {
                             eprintln!("error: --die-after takes an integer");
                             return usage();
                         }
                     },
                     "--stall-after" => match value.parse() {
-                        Ok(k) => wcfg.fault = ic_net::FaultPlan::StallAfter(k),
+                        Ok(k) => bld = bld.fault(ic_net::FaultPlan::StallAfter(k)),
                         Err(_) => {
                             eprintln!("error: --stall-after takes an integer");
                             return usage();
                         }
                     },
+                    "--sever-after" => match value.parse() {
+                        Ok(k) => bld = bld.fault(ic_net::FaultPlan::SeverAfter(k)),
+                        Err(_) => {
+                            eprintln!("error: --sever-after takes an integer");
+                            return usage();
+                        }
+                    },
                     "--seed" => match value.parse() {
-                        Ok(s) => wcfg.seed = s,
+                        Ok(s) => bld = bld.seed(s),
                         Err(_) => {
                             eprintln!("error: --seed takes an integer");
                             return usage();
@@ -414,6 +503,7 @@ fn main() -> ExitCode {
                 eprintln!("error: work needs --connect <addr>");
                 return usage();
             };
+            let wcfg = bld.build();
             match commands::work_run(addr, &wcfg) {
                 Ok(out) => emit(&out, json),
                 Err(e) => {

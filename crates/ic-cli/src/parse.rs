@@ -1,4 +1,5 @@
-//! The edge-list dag format.
+//! The edge-list dag format, and the `--family` spec shared by
+//! `serve`, `sim`, and `audit`.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -18,6 +19,16 @@ impl NamedDag {
     /// The name of node `v`.
     pub fn name(&self, v: NodeId) -> &str {
         self.dag.label(v)
+    }
+
+    /// Wrap a constructed dag (e.g. a paper-family instance), naming
+    /// its nodes exactly as [`ic_dag::serialize::to_edge_list`] would —
+    /// so names round-trip between in-memory use and serialized files.
+    pub fn from_dag(dag: Dag) -> NamedDag {
+        let names = ic_dag::serialize::edge_list_names(&dag);
+        let by_name: HashMap<String, NodeId> =
+            dag.node_ids().zip(names).map(|(v, n)| (n, v)).collect();
+        NamedDag { dag, by_name }
     }
 }
 
@@ -193,9 +204,131 @@ pub fn parse_raw(text: &str) -> Result<RawDag, ParseError> {
     Ok(RawDag { names, arcs })
 }
 
+/// Parse a `--family` spec (`mesh:11`, `outtree:2:5`, `butterfly:3`,
+/// ...) into a label, the dag, and — when the family carries one — its
+/// closed-form IC-optimal schedule from the paper. Shared by `serve`,
+/// `sim`, and `audit` so every subcommand accepts the same specs.
+pub fn family_dag(spec: &str) -> Result<(String, Dag, Option<ic_sched::Schedule>), String> {
+    const MAX_NODES: usize = 1 << 20;
+    let parts: Vec<&str> = spec.split(':').collect();
+    let arg = |i: usize| -> Result<usize, String> {
+        parts
+            .get(i)
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .ok_or_else(|| format!("family spec {spec:?}: expected a positive integer parameter"))
+    };
+    // Reject oversized specs from the closed-form node count *before*
+    // constructing the dag — `outtree:10:9` must error, not attempt a
+    // ~10^9-node allocation. `None` means the count overflows usize.
+    let cap = |count: Option<usize>| -> Result<(), String> {
+        match count {
+            Some(n) if n <= MAX_NODES => Ok(()),
+            _ => Err(format!(
+                "family {spec:?} would have {} nodes; the server caps at {MAX_NODES}",
+                count.map_or_else(|| "over 2^64".to_string(), |n| n.to_string())
+            )),
+        }
+    };
+    // Complete-tree node count: sum of arity^l for l in 0..=depth.
+    let tree_nodes = |arity: usize, depth: usize| -> Option<usize> {
+        let mut count = 1usize;
+        let mut level = 1usize;
+        for _ in 0..depth {
+            level = level.checked_mul(arity)?;
+            count = count.checked_add(level)?;
+        }
+        Some(count)
+    };
+    let mesh_nodes = |levels: usize| {
+        levels
+            .checked_add(1)
+            .and_then(|p| levels.checked_mul(p))
+            .map(|v| v / 2)
+    };
+    let butterfly_nodes = |d: usize| {
+        1usize
+            .checked_shl(u32::try_from(d).ok()?)
+            .and_then(|rows| rows.checked_mul(d + 1))
+    };
+    let (dag, sched) = match (parts.first().copied(), parts.len()) {
+        (Some("mesh"), 2) => {
+            let l = arg(1)?;
+            cap(mesh_nodes(l))?;
+            let mesh = ic_families::mesh::out_mesh(l);
+            let s = ic_families::mesh::out_mesh_schedule(&mesh);
+            (mesh, Some(s))
+        }
+        (Some("inmesh"), 2) => {
+            let l = arg(1)?;
+            cap(mesh_nodes(l))?;
+            let mesh = ic_families::mesh::in_mesh(l);
+            let s = ic_families::mesh::in_mesh_schedule(&mesh).ok();
+            (mesh, s)
+        }
+        (Some("outtree"), 3) => {
+            let (a, d) = (arg(1)?, arg(2)?);
+            cap(tree_nodes(a, d))?;
+            let t = ic_families::trees::complete_out_tree(a, d);
+            let s = ic_families::trees::out_tree_schedule(&t);
+            (t, Some(s))
+        }
+        (Some("intree"), 3) => {
+            let (a, d) = (arg(1)?, arg(2)?);
+            cap(tree_nodes(a, d))?;
+            let t = ic_families::trees::complete_in_tree(a, d);
+            let s = ic_families::trees::in_tree_schedule(&t).ok();
+            (t, s)
+        }
+        (Some("butterfly"), 2) => {
+            let d = arg(1)?;
+            cap(butterfly_nodes(d))?;
+            (
+                ic_families::butterfly::butterfly(d),
+                Some(ic_families::butterfly::butterfly_schedule(d)),
+            )
+        }
+        _ => {
+            return Err(format!(
+                "unknown family spec {spec:?} (try mesh:L, inmesh:L, outtree:A:D, \
+                 intree:A:D, or butterfly:D)"
+            ))
+        }
+    };
+    debug_assert!(dag.num_nodes() <= MAX_NODES);
+    Ok((spec.to_string(), dag, sched))
+}
+
+/// A `--family` spec as a [`NamedDag`] (names as the serializer would
+/// write them) — what `sim --family` runs and `audit --family` lints.
+pub fn named_family_dag(
+    spec: &str,
+) -> Result<(String, NamedDag, Option<ic_sched::Schedule>), String> {
+    let (label, dag, sched) = family_dag(spec)?;
+    Ok((label, NamedDag::from_dag(dag), sched))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn named_family_dags_have_unique_serializer_names() {
+        let (label, nd, sched) = named_family_dag("mesh:4").unwrap();
+        assert_eq!(label, "mesh:4");
+        assert_eq!(nd.by_name.len(), nd.dag.num_nodes());
+        let sched = sched.expect("out-meshes carry a closed-form schedule");
+        for &v in sched.order() {
+            let name = nd
+                .dag
+                .node_ids()
+                .zip(ic_dag::serialize::edge_list_names(&nd.dag))
+                .find(|&(u, _)| u == v)
+                .map(|(_, n)| n)
+                .unwrap();
+            assert_eq!(nd.by_name[&name], v, "names must round-trip");
+        }
+    }
 
     #[test]
     fn raw_parse_keeps_defects() {

@@ -8,18 +8,23 @@
 //! client) built entirely on `std::net`, keeping the workspace's
 //! zero-external-dependency rule.
 //!
-//! * [`wire`] — the length-prefixed JSON frame protocol, encoded with
-//!   the in-repo parser ([`ic_sim::json`]); every decoding failure is a
-//!   typed error, never a panic.
+//! * [`wire`] — the *versioned* length-prefixed JSON frame protocol,
+//!   encoded with the in-repo parser ([`ic_sim::json`]); every decoding
+//!   failure is a typed error, never a panic. `hello`/`welcome`
+//!   negotiate the protocol version; v2 adds resume tokens, batched
+//!   assignment, and lease revocation.
 //! * [`server`] — the coordinator: leases with heartbeat timeouts,
-//!   exponential-backoff reallocation of lost tasks, duplicate-result
-//!   resolution, graceful drain, and allocation through any
+//!   exponential-backoff reallocation of lost tasks, resumable leases
+//!   across reconnects, speculative straggler re-lease at the drain
+//!   barrier, batched allocation, duplicate-result resolution, graceful
+//!   drain, and allocation through any
 //!   [`ic_sched::AllocationPolicy`] — an IC-optimal
 //!   [`ic_sched::Schedule`] and the FIFO/greedy heuristics plug in
 //!   interchangeably.
 //! * [`worker`] — the volatile client, with fault-injection plans
-//!   (random death, death after `k` tasks, silent stalls) for
-//!   exercising the server's reallocation machinery.
+//!   (random death, death after `k` tasks, silent stalls, severed
+//!   connections that resume) for exercising the server's reallocation
+//!   and resumption machinery.
 //!
 //! Every server decision streams through the [`ic_sim::trace`] event
 //! model, so a finished run's JSONL trace replays clean under
@@ -33,6 +38,9 @@ pub mod server;
 pub mod wire;
 pub mod worker;
 
-pub use server::{ServeReport, Server, ServerConfig};
-pub use wire::{read_msg, write_msg, Message, WireError, MAX_FRAME};
-pub use worker::{run_worker, FaultPlan, WorkerConfig, WorkerReport};
+pub use server::{ServeReport, Server, ServerConfig, ServerConfigBuilder};
+pub use wire::{
+    read_msg, write_msg, Message, WireError, ERR_BAD_RESUME, ERR_UNSUPPORTED, MAX_FRAME,
+    PROTO_CURRENT, PROTO_V1, PROTO_V2,
+};
+pub use worker::{run_worker, FaultPlan, WorkerConfig, WorkerConfigBuilder, WorkerReport};

@@ -13,9 +13,28 @@
 //! `"type"` field selects the variant, e.g.
 //!
 //! ```text
-//! {"type":"hello","id":"worker-3","speed":2.0}
+//! {"type":"hello","id":"worker-3","speed":2.0,"proto":2}
 //! {"type":"assign","task":17}
 //! ```
+//!
+//! # Protocol versions
+//!
+//! The wire format is *versioned*, negotiated at registration: `hello`
+//! carries the client's highest supported version ([`PROTO_CURRENT`]),
+//! `welcome` answers with the negotiated one (the minimum of the two).
+//! Version 1 is the original protocol; version 2 added
+//!
+//! * resume tokens (`hello.resume` / `welcome.resume`, and the
+//!   `welcome.tasks` list of leases restored on a resume);
+//! * batched allocation (`request.max`, multi-task `assign`);
+//! * the `revoke` frame cancelling a speculative duplicate lease;
+//! * the machine-readable `error.code` field.
+//!
+//! Every v2 field is *additive*: a v1 decoder that ignores unknown JSON
+//! fields still parses v2 `hello`/`welcome` frames, and the encoder
+//! emits a single-task `assign` in the v1 shape (`"task":N`). Frames a
+//! v1 peer cannot express degrade safely: the decoder defaults
+//! `proto` to 1, `request.max` to 1, and `error.code` to `""`.
 
 use std::io::{Read, Write};
 
@@ -25,9 +44,30 @@ use ic_sim::json::{self, json_string, Json};
 /// prefix above this is rejected before any allocation.
 pub const MAX_FRAME: usize = 1 << 20;
 
+/// The original wire protocol: single-task assigns, no resume, no
+/// revoke.
+pub const PROTO_V1: u32 = 1;
+
+/// Protocol 2: resume tokens, batched `assign`, `revoke`, typed error
+/// codes.
+pub const PROTO_V2: u32 = 2;
+
+/// The highest protocol version this build speaks.
+pub const PROTO_CURRENT: u32 = PROTO_V2;
+
+/// The machine-readable [`Message::Error`] code sent when version
+/// negotiation fails (the peer's protocol is below the server's
+/// minimum, or zero).
+pub const ERR_UNSUPPORTED: &str = "unsupported";
+
+/// The [`Message::Error`] code sent when a resume token is unknown or
+/// already superseded — the worker must register fresh.
+pub const ERR_BAD_RESUME: &str = "bad-resume";
+
 /// Every message either side may send. Client→server: [`Hello`],
 /// [`Request`], [`Done`], [`Heartbeat`], [`Bye`]. Server→client:
-/// [`Welcome`], [`Assign`], [`Wait`], [`Drain`], [`Ack`], [`Error`].
+/// [`Welcome`], [`Assign`], [`Wait`], [`Drain`], [`Ack`], [`Revoke`],
+/// [`Error`].
 ///
 /// [`Hello`]: Message::Hello
 /// [`Request`]: Message::Request
@@ -39,6 +79,7 @@ pub const MAX_FRAME: usize = 1 << 20;
 /// [`Wait`]: Message::Wait
 /// [`Drain`]: Message::Drain
 /// [`Ack`]: Message::Ack
+/// [`Revoke`]: Message::Revoke
 /// [`Error`]: Message::Error
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -49,10 +90,22 @@ pub enum Message {
         id: String,
         /// Declared speed factor (1.0 = baseline).
         speed: f64,
+        /// Highest protocol version the worker speaks. Decodes as
+        /// [`PROTO_V1`] when absent, so v1 peers need no change.
+        proto: u32,
+        /// Resume token from a previous `welcome`: reconnect to the
+        /// same worker slot, keeping its leases (v2).
+        resume: Option<String>,
     },
-    /// Worker asks for a task.
-    Request,
-    /// Worker reports the outcome of its leased task. `ok = false`
+    /// Worker asks for work.
+    Request {
+        /// Maximum number of tasks the worker will accept in one
+        /// `assign` (its batch appetite). Decodes as 1 when absent; a
+        /// server never sends a multi-task `assign` unless the worker
+        /// asked for more than one.
+        max: u64,
+    },
+    /// Worker reports the outcome of one leased task. `ok = false`
     /// voluntarily returns the task for reallocation.
     Done {
         /// The task's node index.
@@ -67,7 +120,7 @@ pub enum Message {
     },
     /// Worker disconnects deliberately.
     Bye,
-    /// Server accepts a registration.
+    /// Server accepts a registration (or a resume).
     Welcome {
         /// The worker index the server assigned (the `client` field of
         /// subsequent trace events).
@@ -75,11 +128,23 @@ pub enum Message {
         /// Lease duration: a leased task whose worker neither reports
         /// nor heartbeats within this window is reallocated.
         lease_ms: u64,
+        /// Negotiated protocol version (min of both sides'). Decodes
+        /// as [`PROTO_V1`] when absent.
+        proto: u32,
+        /// Fresh resume token for this connection (v2; rotated on
+        /// every reconnect, so a stale token cannot hijack the slot).
+        resume: Option<String>,
+        /// On a resume: the tasks this worker still holds leases on
+        /// (heartbeat clocks restored). Empty on a fresh registration.
+        tasks: Vec<u64>,
     },
-    /// Server allocates a task to the requesting worker.
+    /// Server allocates one or more tasks to the requesting worker. A
+    /// single task is encoded in the v1 shape (`"task":N`); more than
+    /// one uses the v2 `"tasks":[...]` list and is only ever sent to a
+    /// worker that requested `max > 1`.
     Assign {
-        /// The task's node index.
-        task: u64,
+        /// The leased tasks' node indices (never empty).
+        tasks: Vec<u64>,
     },
     /// No task is allocatable right now; ask again after `ms`.
     Wait {
@@ -97,25 +162,83 @@ pub enum Message {
         /// Whether the report was applied.
         accepted: bool,
     },
+    /// Server cancels the worker's (speculative) lease on `task`:
+    /// another worker already completed it. The worker abandons the
+    /// task without reporting (v2 only).
+    Revoke {
+        /// The task's node index.
+        task: u64,
+    },
     /// Protocol error; the server closes the connection after sending.
     Error {
+        /// Machine-readable code (e.g. [`ERR_UNSUPPORTED`]); empty for
+        /// generic protocol violations and on frames from v1 peers.
+        code: String,
         /// Human-readable reason.
         msg: String,
     },
 }
 
 impl Message {
+    /// A v1-compatible `hello` (current protocol, no resume token).
+    pub fn hello(id: impl Into<String>, speed: f64) -> Message {
+        Message::Hello {
+            id: id.into(),
+            speed,
+            proto: PROTO_CURRENT,
+            resume: None,
+        }
+    }
+
+    /// A single-task `request` (every protocol version).
+    pub fn request() -> Message {
+        Message::Request { max: 1 }
+    }
+
+    /// A single-task `assign` (encoded in the v1 wire shape).
+    pub fn assign(task: u64) -> Message {
+        Message::Assign { tasks: vec![task] }
+    }
+
+    /// An `error` frame with no machine-readable code.
+    pub fn error(msg: impl Into<String>) -> Message {
+        Message::Error {
+            code: String::new(),
+            msg: msg.into(),
+        }
+    }
+
     /// Encode as the JSON object body of a frame.
     pub fn to_json(&self) -> String {
         match self {
-            Message::Hello { id, speed } => {
-                format!(
-                    "{{\"type\":\"hello\",\"id\":{},\"speed\":{}}}",
+            Message::Hello {
+                id,
+                speed,
+                proto,
+                resume,
+            } => {
+                let mut s = format!(
+                    "{{\"type\":\"hello\",\"id\":{},\"speed\":{}",
                     json_string(id),
                     fmt_f64(*speed)
-                )
+                );
+                // Omitting `proto` at 1 keeps the v1 frame byte-stable.
+                if *proto != PROTO_V1 {
+                    s.push_str(&format!(",\"proto\":{proto}"));
+                }
+                if let Some(tok) = resume {
+                    s.push_str(&format!(",\"resume\":{}", json_string(tok)));
+                }
+                s.push('}');
+                s
             }
-            Message::Request => "{\"type\":\"request\"}".into(),
+            Message::Request { max } => {
+                if *max <= 1 {
+                    "{\"type\":\"request\"}".into()
+                } else {
+                    format!("{{\"type\":\"request\",\"max\":{max}}}")
+                }
+            }
             Message::Done { task, ok } => {
                 format!("{{\"type\":\"done\",\"task\":{task},\"ok\":{ok}}}")
             }
@@ -123,24 +246,71 @@ impl Message {
                 format!("{{\"type\":\"heartbeat\",\"task\":{task}}}")
             }
             Message::Bye => "{\"type\":\"bye\"}".into(),
-            Message::Welcome { worker, lease_ms } => {
-                format!("{{\"type\":\"welcome\",\"worker\":{worker},\"lease_ms\":{lease_ms}}}")
+            Message::Welcome {
+                worker,
+                lease_ms,
+                proto,
+                resume,
+                tasks,
+            } => {
+                let mut s =
+                    format!("{{\"type\":\"welcome\",\"worker\":{worker},\"lease_ms\":{lease_ms}");
+                if *proto != PROTO_V1 {
+                    s.push_str(&format!(",\"proto\":{proto}"));
+                }
+                if let Some(tok) = resume {
+                    s.push_str(&format!(",\"resume\":{}", json_string(tok)));
+                }
+                if !tasks.is_empty() {
+                    s.push_str(",\"tasks\":[");
+                    for (i, t) in tasks.iter().enumerate() {
+                        if i > 0 {
+                            s.push(',');
+                        }
+                        s.push_str(&t.to_string());
+                    }
+                    s.push(']');
+                }
+                s.push('}');
+                s
             }
-            Message::Assign { task } => format!("{{\"type\":\"assign\",\"task\":{task}}}"),
+            Message::Assign { tasks } => {
+                debug_assert!(!tasks.is_empty(), "assign carries at least one task");
+                if tasks.len() == 1 {
+                    format!("{{\"type\":\"assign\",\"task\":{}}}", tasks[0])
+                } else {
+                    let list = tasks
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",");
+                    format!("{{\"type\":\"assign\",\"tasks\":[{list}]}}")
+                }
+            }
             Message::Wait { ms } => format!("{{\"type\":\"wait\",\"ms\":{ms}}}"),
             Message::Drain => "{\"type\":\"drain\"}".into(),
             Message::Ack { task, accepted } => {
                 format!("{{\"type\":\"ack\",\"task\":{task},\"accepted\":{accepted}}}")
             }
-            Message::Error { msg } => {
-                format!("{{\"type\":\"error\",\"msg\":{}}}", json_string(msg))
+            Message::Revoke { task } => format!("{{\"type\":\"revoke\",\"task\":{task}}}"),
+            Message::Error { code, msg } => {
+                if code.is_empty() {
+                    format!("{{\"type\":\"error\",\"msg\":{}}}", json_string(msg))
+                } else {
+                    format!(
+                        "{{\"type\":\"error\",\"code\":{},\"msg\":{}}}",
+                        json_string(code),
+                        json_string(msg)
+                    )
+                }
             }
         }
     }
 
     /// Decode a frame body. Any structural problem — not an object, an
     /// unknown `"type"`, a missing or mistyped field — is
-    /// [`WireError::Malformed`].
+    /// [`WireError::Malformed`]. Optional v2 fields default to their
+    /// v1 meaning when absent.
     pub fn from_json(v: &Json) -> Result<Message, WireError> {
         let kind = v
             .get("type")
@@ -150,6 +320,22 @@ impl Message {
             v.get("task")
                 .and_then(Json::as_u64)
                 .ok_or_else(|| malformed("missing numeric \"task\""))
+        };
+        // Optional `proto`: absent means v1; present but mistyped is
+        // malformed (a peer that writes the field must write it right).
+        let proto = || match v.get("proto") {
+            None => Ok(PROTO_V1),
+            Some(p) => p
+                .as_u64()
+                .map(|p| p as u32)
+                .ok_or_else(|| malformed("non-numeric \"proto\"")),
+        };
+        let resume = || match v.get("resume") {
+            None => Ok(None),
+            Some(t) => t
+                .as_str()
+                .map(|s| Some(s.to_string()))
+                .ok_or_else(|| malformed("non-string \"resume\"")),
         };
         match kind {
             "hello" => Ok(Message::Hello {
@@ -162,8 +348,18 @@ impl Message {
                     .get("speed")
                     .and_then(Json::as_f64)
                     .ok_or_else(|| malformed("hello without numeric \"speed\""))?,
+                proto: proto()?,
+                resume: resume()?,
             }),
-            "request" => Ok(Message::Request),
+            "request" => Ok(Message::Request {
+                max: match v.get("max") {
+                    None => 1,
+                    Some(m) => m
+                        .as_u64()
+                        .filter(|&m| m >= 1)
+                        .ok_or_else(|| malformed("request with invalid \"max\""))?,
+                },
+            }),
             "done" => Ok(Message::Done {
                 task: task()?,
                 ok: match v.get("ok") {
@@ -182,8 +378,32 @@ impl Message {
                     .get("lease_ms")
                     .and_then(Json::as_u64)
                     .ok_or_else(|| malformed("welcome without numeric \"lease_ms\""))?,
+                proto: proto()?,
+                resume: resume()?,
+                tasks: match v.get("tasks") {
+                    None => Vec::new(),
+                    Some(list) => task_list(list)?,
+                },
             }),
-            "assign" => Ok(Message::Assign { task: task()? }),
+            "assign" => {
+                // One task in the v1 shape, or a non-empty v2 list;
+                // both at once is ambiguous and rejected.
+                match (v.get("task"), v.get("tasks")) {
+                    (Some(t), None) => Ok(Message::Assign {
+                        tasks: vec![t
+                            .as_u64()
+                            .ok_or_else(|| malformed("missing numeric \"task\""))?],
+                    }),
+                    (None, Some(list)) => {
+                        let tasks = task_list(list)?;
+                        if tasks.is_empty() {
+                            return Err(malformed("assign with an empty \"tasks\" list"));
+                        }
+                        Ok(Message::Assign { tasks })
+                    }
+                    _ => Err(malformed("assign needs \"task\" or a \"tasks\" list")),
+                }
+            }
             "wait" => Ok(Message::Wait {
                 ms: v
                     .get("ms")
@@ -198,7 +418,13 @@ impl Message {
                     _ => return Err(malformed("ack without boolean \"accepted\"")),
                 },
             }),
+            "revoke" => Ok(Message::Revoke { task: task()? }),
             "error" => Ok(Message::Error {
+                code: v
+                    .get("code")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
                 msg: v
                     .get("msg")
                     .and_then(Json::as_str)
@@ -208,6 +434,17 @@ impl Message {
             other => Err(malformed(&format!("unknown message type \"{other}\""))),
         }
     }
+}
+
+fn task_list(list: &Json) -> Result<Vec<u64>, WireError> {
+    list.as_arr()
+        .ok_or_else(|| malformed("\"tasks\" is not a list"))?
+        .iter()
+        .map(|t| {
+            t.as_u64()
+                .ok_or_else(|| malformed("non-numeric entry in \"tasks\""))
+        })
+        .collect()
 }
 
 /// `f64` in a form the JSON parser reads back exactly (Rust's shortest
@@ -316,8 +553,12 @@ mod tests {
             Message::Hello {
                 id: "worker \"zero\"".into(),
                 speed: 2.5,
+                proto: PROTO_V2,
+                resume: Some("tok-42".into()),
             },
-            Message::Request,
+            Message::hello("plain", 1.0),
+            Message::request(),
+            Message::Request { max: 4 },
             Message::Done { task: 17, ok: true },
             Message::Done { task: 0, ok: false },
             Message::Heartbeat { task: 3 },
@@ -325,17 +566,33 @@ mod tests {
             Message::Welcome {
                 worker: 4,
                 lease_ms: 500,
+                proto: PROTO_V2,
+                resume: Some("tok \"x\"".into()),
+                tasks: vec![7, 9],
             },
-            Message::Assign { task: 65 },
+            Message::Welcome {
+                worker: 0,
+                lease_ms: 250,
+                proto: PROTO_V1,
+                resume: None,
+                tasks: Vec::new(),
+            },
+            Message::assign(65),
+            Message::Assign {
+                tasks: vec![1, 2, 3, 4],
+            },
             Message::Wait { ms: 50 },
             Message::Drain,
             Message::Ack {
                 task: 9,
                 accepted: false,
             },
+            Message::Revoke { task: 12 },
             Message::Error {
+                code: ERR_UNSUPPORTED.into(),
                 msg: "tab\there".into(),
             },
+            Message::error("no code"),
         ];
         let mut buf = Vec::new();
         for m in &msgs {
@@ -350,11 +607,57 @@ mod tests {
     }
 
     #[test]
+    fn v1_frames_decode_with_default_v2_fields() {
+        // Frames as a v1 peer writes them: no proto, no max, no code.
+        let cases: &[(&str, Message)] = &[
+            (
+                "{\"type\":\"hello\",\"id\":\"w\",\"speed\":1.0}",
+                Message::Hello {
+                    id: "w".into(),
+                    speed: 1.0,
+                    proto: PROTO_V1,
+                    resume: None,
+                },
+            ),
+            ("{\"type\":\"request\"}", Message::request()),
+            (
+                "{\"type\":\"welcome\",\"worker\":2,\"lease_ms\":500}",
+                Message::Welcome {
+                    worker: 2,
+                    lease_ms: 500,
+                    proto: PROTO_V1,
+                    resume: None,
+                    tasks: Vec::new(),
+                },
+            ),
+            ("{\"type\":\"assign\",\"task\":5}", Message::assign(5)),
+            (
+                "{\"type\":\"error\",\"msg\":\"boom\"}",
+                Message::error("boom"),
+            ),
+        ];
+        for (body, want) in cases {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&(body.len() as u32).to_be_bytes());
+            buf.extend_from_slice(body.as_bytes());
+            assert_eq!(&read_msg(&mut &buf[..]).unwrap(), want, "{body}");
+        }
+    }
+
+    #[test]
+    fn single_task_assign_keeps_the_v1_wire_shape() {
+        assert_eq!(
+            Message::assign(5).to_json(),
+            "{\"type\":\"assign\",\"task\":5}"
+        );
+        // So does a default request and a plain hello.
+        assert_eq!(Message::request().to_json(), "{\"type\":\"request\"}");
+        assert!(!Message::request().to_json().contains("max"));
+    }
+
+    #[test]
     fn integral_speed_survives_the_round_trip() {
-        let m = Message::Hello {
-            id: "w".into(),
-            speed: 3.0,
-        };
+        let m = Message::hello("w", 3.0);
         let mut buf = Vec::new();
         write_msg(&mut buf, &m).unwrap();
         assert_eq!(read_msg(&mut &buf[..]).unwrap(), m);
@@ -374,7 +677,7 @@ mod tests {
     #[test]
     fn truncated_body_is_an_io_error() {
         let mut buf = Vec::new();
-        write_msg(&mut buf, &Message::Request).unwrap();
+        write_msg(&mut buf, &Message::request()).unwrap();
         buf.truncate(buf.len() - 2);
         match read_msg(&mut &buf[..]) {
             Err(WireError::Io(e)) => {
@@ -404,8 +707,15 @@ mod tests {
             "{\"no_type\":1}",
             "[1,2,3]",
             "{\"type\":\"assign\"}",
+            "{\"type\":\"assign\",\"tasks\":[]}",
+            "{\"type\":\"assign\",\"task\":1,\"tasks\":[2]}",
+            "{\"type\":\"assign\",\"tasks\":[1,\"two\"]}",
             "{\"type\":\"done\",\"task\":1}",
             "{\"type\":\"hello\",\"id\":7,\"speed\":1.0}",
+            "{\"type\":\"hello\",\"id\":\"w\",\"speed\":1.0,\"proto\":\"two\"}",
+            "{\"type\":\"hello\",\"id\":\"w\",\"speed\":1.0,\"resume\":7}",
+            "{\"type\":\"request\",\"max\":0}",
+            "{\"type\":\"revoke\"}",
         ] {
             let mut buf = Vec::new();
             buf.extend_from_slice(&(body.len() as u32).to_be_bytes());

@@ -5,20 +5,27 @@
 //! simulated (a sleep scaled by the declared speed, with deterministic
 //! jitter from the worker's seed); what matters to the server — and
 //! what the fault plans exercise — is the *protocol* behaviour: a
-//! worker may die without reporting, may stall past its lease, or may
-//! honestly report a failure, and the server must reallocate in every
-//! case.
+//! worker may die without reporting, may stall past its lease, may
+//! honestly report a failure — or (v2) may lose its TCP connection
+//! mid-lease and reconnect with the resume token from its `welcome`,
+//! keeping its leases.
 //!
-//! Long tasks heartbeat at a third of the lease interval so a slow but
-//! healthy worker is never mistaken for a dead one.
+//! A v2 worker may request up to [`WorkerConfig::batch`] tasks per
+//! `request`; it computes them in assignment order, heartbeating
+//! *every* held lease at a third of the lease interval so a slow but
+//! healthy worker is never mistaken for a dead one. A `revoke` reply
+//! to a heartbeat means another worker already completed that task
+//! (the speculative-lease race was lost): the task is abandoned
+//! without a report.
 
+use std::collections::VecDeque;
 use std::io::{self, BufReader, BufWriter};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use ic_dag::rng::XorShift64;
 
-use crate::wire::{read_msg, write_msg, Message, WireError};
+use crate::wire::{read_msg, write_msg, Message, WireError, PROTO_CURRENT, PROTO_V2};
 
 /// How (whether) a worker misbehaves — the `--flaky` fault-injection
 /// surface.
@@ -35,10 +42,18 @@ pub enum FaultPlan {
     /// reporting or heartbeating until the lease is long gone, then
     /// exits — the slow-silent failure mode leases exist for.
     StallAfter(usize),
+    /// Completes this many tasks, then severs its TCP connection while
+    /// holding an assignment — and (if reconnecting is enabled and the
+    /// server issued a resume token) reconnects with `hello{resume}`
+    /// to pick its leases back up. The sever happens once.
+    SeverAfter(usize),
 }
 
-/// Worker identity and behaviour.
+/// Worker identity and behaviour. Construct with
+/// [`WorkerConfig::builder`] (the struct is `#[non_exhaustive]`: new
+/// knobs may appear without a breaking change).
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct WorkerConfig {
     /// Display id sent at registration (recorded in the trace header).
     pub id: String,
@@ -50,6 +65,15 @@ pub struct WorkerConfig {
     pub fault: FaultPlan,
     /// Seed for the worker's private jitter/fault randomness.
     pub seed: u64,
+    /// Highest protocol version to offer in `hello`.
+    pub proto: u32,
+    /// Batch appetite: the `max` sent with each `request` (only
+    /// honoured on v2 connections; clamped to at least 1).
+    pub batch: u64,
+    /// Whether a severed connection is re-established with the resume
+    /// token. Disabled, [`FaultPlan::SeverAfter`] behaves like
+    /// [`FaultPlan::DieAfter`].
+    pub reconnect: bool,
 }
 
 impl Default for WorkerConfig {
@@ -60,21 +84,160 @@ impl Default for WorkerConfig {
             mean_ms: 10,
             fault: FaultPlan::None,
             seed: 1,
+            proto: PROTO_CURRENT,
+            batch: 1,
+            reconnect: true,
         }
+    }
+}
+
+impl WorkerConfig {
+    /// A builder starting from [`WorkerConfig::default`].
+    pub fn builder() -> WorkerConfigBuilder {
+        WorkerConfigBuilder {
+            cfg: WorkerConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`WorkerConfig`]; every knob defaults as in
+/// [`WorkerConfig::default`].
+#[derive(Debug, Clone)]
+pub struct WorkerConfigBuilder {
+    cfg: WorkerConfig,
+}
+
+impl WorkerConfigBuilder {
+    /// Display id sent at registration.
+    pub fn id(mut self, id: impl Into<String>) -> Self {
+        self.cfg.id = id.into();
+        self
+    }
+
+    /// Declared speed factor.
+    pub fn speed(mut self, speed: f64) -> Self {
+        self.cfg.speed = speed;
+        self
+    }
+
+    /// Mean simulated compute per task, in milliseconds.
+    pub fn mean_ms(mut self, ms: u64) -> Self {
+        self.cfg.mean_ms = ms;
+        self
+    }
+
+    /// Fault injection plan.
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.cfg.fault = fault;
+        self
+    }
+
+    /// Jitter/fault seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Highest protocol version to offer.
+    pub fn proto(mut self, proto: u32) -> Self {
+        self.cfg.proto = proto;
+        self
+    }
+
+    /// Batch appetite (clamped to at least 1).
+    pub fn batch(mut self, batch: u64) -> Self {
+        self.cfg.batch = batch.max(1);
+        self
+    }
+
+    /// Whether to resume after a severed connection.
+    pub fn reconnect(mut self, yes: bool) -> Self {
+        self.cfg.reconnect = yes;
+        self
+    }
+
+    /// Finish the build.
+    pub fn build(self) -> WorkerConfig {
+        self.cfg
     }
 }
 
 /// What a worker did before disconnecting.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct WorkerReport {
     /// The index the server assigned this worker (the `client` field of
     /// its trace events).
     pub worker: u64,
     /// Tasks completed and accepted.
     pub completed: usize,
+    /// Successful resumes: connections re-established with the resume
+    /// token, leases intact.
+    pub resumes: usize,
     /// True when the worker exited through its fault plan rather than a
     /// server `Drain`.
     pub died: bool,
+}
+
+/// One live connection to the server (plus what its `welcome` said).
+struct Session {
+    r: BufReader<TcpStream>,
+    w: BufWriter<TcpStream>,
+    worker: u64,
+    lease_ms: u64,
+    /// Negotiated protocol version (the minimum of both sides').
+    proto: u32,
+    /// Resume token, when the (v2) server issued one.
+    token: Option<String>,
+}
+
+/// Connect and register (fresh or with a resume token). Returns the
+/// session and the tasks the server says we still hold (non-empty only
+/// on a resume).
+fn open(
+    addr: SocketAddr,
+    cfg: &WorkerConfig,
+    resume: Option<String>,
+) -> io::Result<(Session, Vec<u64>)> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let write_stream = stream.try_clone()?;
+    let mut r = BufReader::new(stream);
+    let mut w = BufWriter::new(write_stream);
+    write_msg(
+        &mut w,
+        &Message::Hello {
+            id: cfg.id.clone(),
+            speed: cfg.speed,
+            proto: cfg.proto,
+            resume,
+        },
+    )?;
+    match read_msg(&mut r).map_err(to_io)? {
+        Message::Welcome {
+            worker,
+            lease_ms,
+            proto,
+            resume,
+            tasks,
+        } => Ok((
+            Session {
+                r,
+                w,
+                worker,
+                lease_ms,
+                proto,
+                token: resume,
+            },
+            tasks,
+        )),
+        Message::Error { code, msg } => Err(io::Error::other(if code.is_empty() {
+            msg
+        } else {
+            format!("{code}: {msg}")
+        })),
+        other => Err(io::Error::other(format!("expected welcome, got {other:?}"))),
+    }
 }
 
 /// Connect to `addr`, register, and work until drained (or until the
@@ -82,80 +245,97 @@ pub struct WorkerReport {
 /// the run; a worker that dies *by plan* still returns `Ok` (with
 /// `died = true`) — only transport and protocol errors are `Err`.
 pub fn run_worker(addr: impl ToSocketAddrs, cfg: &WorkerConfig) -> io::Result<WorkerReport> {
-    let stream = TcpStream::connect(addr)?;
-    let _ = stream.set_nodelay(true);
-    let write_stream = stream.try_clone()?;
-    let mut r = BufReader::new(stream);
-    let mut w = BufWriter::new(write_stream);
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::other("address resolved to nothing"))?;
     let mut rng = XorShift64::new(cfg.seed);
-
-    write_msg(
-        &mut w,
-        &Message::Hello {
-            id: cfg.id.clone(),
-            speed: cfg.speed,
-        },
-    )?;
-    let (worker, lease_ms) = match read_msg(&mut r).map_err(to_io)? {
-        Message::Welcome { worker, lease_ms } => (worker, lease_ms),
-        Message::Error { msg } => return Err(io::Error::other(msg)),
-        other => return Err(io::Error::other(format!("expected welcome, got {other:?}"))),
-    };
-
+    let (mut sess, held) = open(addr, cfg, None)?;
+    let mut held: VecDeque<u64> = held.into();
     let mut completed = 0usize;
+    let mut resumes = 0usize;
+    let mut severed = false;
+
     loop {
-        write_msg(&mut w, &Message::Request)?;
-        match read_msg(&mut r).map_err(to_io)? {
-            Message::Assign { task } => {
-                match plan_action(cfg.fault, completed, &mut rng) {
-                    Action::Die => {
-                        // Drop the connection mid-lease: the server's
-                        // lease (or the disconnect itself) reallocates.
-                        return Ok(WorkerReport {
-                            worker,
-                            completed,
-                            died: true,
-                        });
-                    }
-                    Action::Stall => {
-                        // Hold the task silently past several lease
-                        // windows, then give up without reporting.
-                        std::thread::sleep(Duration::from_millis(lease_ms.saturating_mul(4)));
-                        let _ = write_msg(&mut w, &Message::Bye);
-                        return Ok(WorkerReport {
-                            worker,
-                            completed,
-                            died: true,
-                        });
-                    }
-                    Action::Compute => {
-                        compute(cfg, lease_ms, &mut rng, task, &mut r, &mut w)?;
-                        match read_msg(&mut r).map_err(to_io)? {
-                            Message::Ack { accepted, .. } => {
-                                if accepted {
-                                    completed += 1;
-                                }
-                            }
-                            other => {
-                                return Err(io::Error::other(format!(
-                                    "expected ack, got {other:?}"
-                                )))
-                            }
-                        }
-                    }
+        if held.is_empty() {
+            let max = if sess.proto >= PROTO_V2 {
+                cfg.batch.max(1)
+            } else {
+                1
+            };
+            write_msg(&mut sess.w, &Message::Request { max })?;
+            match read_msg(&mut sess.r).map_err(to_io)? {
+                Message::Assign { tasks } => held.extend(tasks),
+                Message::Wait { ms } => {
+                    std::thread::sleep(Duration::from_millis(ms.max(1)));
+                    continue;
                 }
+                Message::Drain => {
+                    let _ = write_msg(&mut sess.w, &Message::Bye);
+                    return Ok(WorkerReport {
+                        worker: sess.worker,
+                        completed,
+                        resumes,
+                        died: false,
+                    });
+                }
+                Message::Error { msg, .. } => return Err(io::Error::other(msg)),
+                other => return Err(io::Error::other(format!("unexpected reply {other:?}"))),
             }
-            Message::Wait { ms } => std::thread::sleep(Duration::from_millis(ms.max(1))),
-            Message::Drain => {
-                let _ = write_msg(&mut w, &Message::Bye);
+        }
+
+        match plan_action(cfg.fault, completed, severed, &mut rng) {
+            Action::Die => {
+                // Drop the connection mid-lease: the server's lease
+                // (or the disconnect itself) reallocates.
                 return Ok(WorkerReport {
-                    worker,
+                    worker: sess.worker,
                     completed,
-                    died: false,
+                    resumes,
+                    died: true,
                 });
             }
-            Message::Error { msg } => return Err(io::Error::other(msg)),
-            other => return Err(io::Error::other(format!("unexpected reply {other:?}"))),
+            Action::Stall => {
+                // Hold the task silently past several lease windows,
+                // then give up without reporting.
+                std::thread::sleep(Duration::from_millis(sess.lease_ms.saturating_mul(4)));
+                let _ = write_msg(&mut sess.w, &Message::Bye);
+                return Ok(WorkerReport {
+                    worker: sess.worker,
+                    completed,
+                    resumes,
+                    died: true,
+                });
+            }
+            Action::Sever => {
+                severed = true;
+                let token = if cfg.reconnect {
+                    sess.token.take()
+                } else {
+                    None
+                };
+                let Some(token) = token else {
+                    // No token (v1 session) or reconnecting disabled:
+                    // the sever is just a death.
+                    return Ok(WorkerReport {
+                        worker: sess.worker,
+                        completed,
+                        resumes,
+                        died: true,
+                    });
+                };
+                // Sever without a word — the leases stay with the
+                // slot — then come back with the resume token.
+                drop(sess);
+                let (next, restored) = open(addr, cfg, Some(token))?;
+                sess = next;
+                resumes += 1;
+                held = restored.into();
+            }
+            Action::Compute => match compute_front(cfg, &mut sess, &mut held, &mut rng)? {
+                TaskOutcome::Accepted => completed += 1,
+                TaskOutcome::Rejected | TaskOutcome::Revoked => {}
+            },
         }
     }
 }
@@ -164,9 +344,10 @@ enum Action {
     Compute,
     Die,
     Stall,
+    Sever,
 }
 
-fn plan_action(fault: FaultPlan, completed: usize, rng: &mut XorShift64) -> Action {
+fn plan_action(fault: FaultPlan, completed: usize, severed: bool, rng: &mut XorShift64) -> Action {
     match fault {
         FaultPlan::None => Action::Compute,
         FaultPlan::Random(p) => {
@@ -190,34 +371,71 @@ fn plan_action(fault: FaultPlan, completed: usize, rng: &mut XorShift64) -> Acti
                 Action::Compute
             }
         }
+        FaultPlan::SeverAfter(k) => {
+            if completed >= k && !severed {
+                Action::Sever
+            } else {
+                Action::Compute
+            }
+        }
     }
 }
 
-/// Simulate the task's compute time (jittered mean, scaled by declared
-/// speed), heartbeating at a third of the lease so the server keeps the
-/// lease alive, then report success.
-fn compute(
+/// How computing one task ended.
+enum TaskOutcome {
+    /// Reported and accepted by the server.
+    Accepted,
+    /// Reported but rejected (late or duplicate).
+    Rejected,
+    /// Revoked mid-compute: another worker completed it first.
+    Revoked,
+}
+
+/// Simulate the front task's compute time (jittered mean, scaled by
+/// declared speed), heartbeating *every* held lease at a third of the
+/// lease interval, then report success. A `revoke` reply drops that
+/// task from the held queue; if the task being computed is revoked,
+/// the work is abandoned without a report.
+fn compute_front(
     cfg: &WorkerConfig,
-    lease_ms: u64,
+    sess: &mut Session,
+    held: &mut VecDeque<u64>,
     rng: &mut XorShift64,
-    task: u64,
-    r: &mut BufReader<TcpStream>,
-    w: &mut BufWriter<TcpStream>,
-) -> io::Result<()> {
+) -> io::Result<TaskOutcome> {
+    let task = held[0];
     let jitter = 0.5 + rng.gen_f64(); // U[0.5, 1.5)
     let mut left = ((cfg.mean_ms as f64) * jitter / cfg.speed).round() as u64;
-    let beat_every = (lease_ms / 3).max(1);
+    let beat_every = (sess.lease_ms / 3).max(1);
     while left > beat_every {
         std::thread::sleep(Duration::from_millis(beat_every));
         left -= beat_every;
-        write_msg(w, &Message::Heartbeat { task })?;
-        match read_msg(r).map_err(to_io)? {
-            Message::Ack { .. } => {}
-            other => return Err(io::Error::other(format!("expected ack, got {other:?}"))),
+        let mut i = 0;
+        while i < held.len() {
+            let t = held[i];
+            write_msg(&mut sess.w, &Message::Heartbeat { task: t })?;
+            match read_msg(&mut sess.r).map_err(to_io)? {
+                Message::Ack { .. } => i += 1,
+                Message::Revoke { task: revoked } if revoked == t => {
+                    held.remove(i);
+                }
+                other => return Err(io::Error::other(format!("expected ack, got {other:?}"))),
+            }
+        }
+        if held.front() != Some(&task) {
+            return Ok(TaskOutcome::Revoked);
         }
     }
     std::thread::sleep(Duration::from_millis(left));
-    write_msg(w, &Message::Done { task, ok: true })
+    write_msg(&mut sess.w, &Message::Done { task, ok: true })?;
+    held.pop_front();
+    match read_msg(&mut sess.r).map_err(to_io)? {
+        Message::Ack { accepted, .. } => Ok(if accepted {
+            TaskOutcome::Accepted
+        } else {
+            TaskOutcome::Rejected
+        }),
+        other => Err(io::Error::other(format!("expected ack, got {other:?}"))),
+    }
 }
 
 fn to_io(e: WireError) -> io::Error {

@@ -1,8 +1,10 @@
 //! End-to-end tests over real localhost TCP: a server and a population
-//! of worker threads, including workers that die mid-lease and workers
-//! that stall silently, must still complete the dag — and the trace the
-//! server emits must replay clean under the ic-audit verifier
-//! (reallocations tolerated, no IC0401/IC0402/IC0403).
+//! of worker threads, including workers that die mid-lease, workers
+//! that stall silently, and workers whose connections are severed and
+//! resumed, must still complete the dag — and the trace the server
+//! emits must replay clean under the ic-audit verifier (reallocations
+//! tolerated, no IC0401/IC0402/IC0403; resumes and speculative
+//! re-leases tolerated, no IC0410-IC0412).
 
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
@@ -13,7 +15,7 @@ use ic_dag::builder::from_arcs;
 use ic_families::mesh::{out_mesh, out_mesh_schedule};
 use ic_net::{
     read_msg, run_worker, write_msg, FaultPlan, Message, ServeReport, Server, ServerConfig,
-    WorkerConfig,
+    WorkerConfig, ERR_UNSUPPORTED, PROTO_V1, PROTO_V2,
 };
 use ic_sim::{MemorySink, Trace};
 
@@ -33,13 +35,13 @@ fn flaky_workers_complete_a_mesh_with_an_audit_clean_trace() {
     let mesh = out_mesh(11); // 66 nodes
     assert!(mesh.num_nodes() >= 60);
     let sched = out_mesh_schedule(&mesh); // the IC-optimal priority list
-    let cfg = ServerConfig {
-        lease_ms: 300,
-        backoff_base_ms: 5,
-        expect_workers: 6,
-        wait_ms: 5,
-        seed: 42,
-    };
+    let cfg = ServerConfig::builder()
+        .lease_ms(300)
+        .backoff_base_ms(5)
+        .expect_workers(6)
+        .wait_ms(5)
+        .seed(42)
+        .build();
     let server = Server::bind("127.0.0.1:0", &mesh, &sched, cfg).unwrap();
     let addr = server.local_addr().unwrap();
 
@@ -58,13 +60,13 @@ fn flaky_workers_complete_a_mesh_with_an_audit_clean_trace() {
             .iter()
             .enumerate()
             .map(|(i, (id, fault, speed))| {
-                let cfg = WorkerConfig {
-                    id: (*id).into(),
-                    speed: *speed,
-                    mean_ms: 2,
-                    fault: *fault,
-                    seed: 100 + i as u64,
-                };
+                let cfg = WorkerConfig::builder()
+                    .id(*id)
+                    .speed(*speed)
+                    .mean_ms(2)
+                    .fault(*fault)
+                    .seed(100 + i as u64)
+                    .build();
                 s.spawn(move || run_worker(addr, &cfg))
             })
             .collect();
@@ -98,6 +100,248 @@ fn flaky_workers_complete_a_mesh_with_an_audit_clean_trace() {
     assert_audit_clean(&trace);
 }
 
+/// The tentpole acceptance run: a worker whose TCP connection is
+/// severed mid-lease reconnects with its resume token and keeps its
+/// lease — the run finishes with zero reallocations, the server counts
+/// one resume, and the trace (with its `resume` event) replays clean.
+#[test]
+fn severed_connection_resumes_mid_lease_without_reallocation() {
+    let mesh = out_mesh(4); // 10 nodes
+    let n = mesh.num_nodes();
+    let sched = out_mesh_schedule(&mesh);
+    let cfg = ServerConfig::builder()
+        // Generous lease: only a *resume* can explain survival, and a
+        // failed resume would show up as an expiry/failure instead.
+        .lease_ms(5_000)
+        .backoff_base_ms(5)
+        .expect_workers(1)
+        .wait_ms(5)
+        .seed(9)
+        .build();
+    let server = Server::bind("127.0.0.1:0", &mesh, &sched, cfg).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let mut sink = MemorySink::new();
+    let (report, wreport) = std::thread::scope(|s| {
+        let h = s.spawn(move || {
+            let cfg = WorkerConfig::builder()
+                .id("severed")
+                .mean_ms(2)
+                .fault(FaultPlan::SeverAfter(2))
+                .seed(3)
+                .build();
+            run_worker(addr, &cfg).unwrap()
+        });
+        let report = server.run(&mut sink).unwrap();
+        (report, h.join().unwrap())
+    });
+
+    assert_eq!(report.completions, n, "the dag completes: {report:?}");
+    assert_eq!(report.failures, 0, "no spurious reallocations: {report:?}");
+    assert_eq!(report.resumes, 1, "exactly the one reconnect: {report:?}");
+    assert_eq!(wreport.resumes, 1, "the worker resumed once: {wreport:?}");
+    assert!(!wreport.died);
+    assert_eq!(wreport.completed, n);
+
+    let trace = sink.into_trace().unwrap();
+    let resumed = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e, ic_sim::TraceEvent::Resumed { .. }))
+        .count();
+    assert_eq!(resumed, 1, "trace records the resume");
+    assert_audit_clean(&trace);
+}
+
+/// The drain-barrier steal, scripted by hand: with one task left leased
+/// to a slow worker, an idle worker is given a speculative duplicate
+/// lease after `steal_after`; its completion wins, the straggler's late
+/// report is rejected *without a trace event*, and its next heartbeat
+/// is answered with `revoke`.
+#[test]
+fn drain_barrier_steal_first_completion_wins_and_loser_is_revoked() {
+    let dag = from_arcs(1, &[]).unwrap();
+    let policy = ic_sched::Schedule::in_id_order(&dag);
+    let cfg = ServerConfig::builder()
+        .lease_ms(10_000) // never expires: only the steal can duplicate
+        .backoff_base_ms(5)
+        .expect_workers(2)
+        .wait_ms(5)
+        .seed(11)
+        .steal_after(30)
+        .build();
+    let server = Server::bind("127.0.0.1:0", &dag, &policy, cfg).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let mut sink = MemorySink::new();
+    let report: ServeReport = std::thread::scope(|s| {
+        s.spawn(|| {
+            let open = |id: &str| {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut r = BufReader::new(stream.try_clone().unwrap());
+                let mut w = BufWriter::new(stream);
+                write_msg(&mut w, &Message::hello(id, 1.0)).unwrap();
+                assert!(matches!(
+                    read_msg(&mut r).unwrap(),
+                    Message::Welcome {
+                        proto: PROTO_V2,
+                        ..
+                    }
+                ));
+                (r, w)
+            };
+            // Register both before requesting: the server holds the
+            // trace header (and so all assignments) for `expect = 2`.
+            let (mut ar, mut aw) = open("straggler");
+            let (mut br, mut bw) = open("thief");
+            write_msg(&mut aw, &Message::request()).unwrap();
+            let Message::Assign { tasks } = read_msg(&mut ar).unwrap() else {
+                panic!("straggler expected the only task");
+            };
+            assert_eq!(tasks, vec![0]);
+
+            // The thief arrives at the drain barrier: the pool is empty
+            // but the lease is outstanding. After `steal_after`, its
+            // request is answered with a speculative duplicate.
+            let stolen = loop {
+                write_msg(&mut bw, &Message::request()).unwrap();
+                match read_msg(&mut br).unwrap() {
+                    Message::Assign { tasks } => break tasks[0],
+                    Message::Wait { ms } => std::thread::sleep(Duration::from_millis(ms.max(1))),
+                    other => panic!("thief expected assign or wait, got {other:?}"),
+                }
+            };
+            assert_eq!(stolen, 0, "the straggler's task is re-leased");
+
+            // First completion wins...
+            write_msg(
+                &mut bw,
+                &Message::Done {
+                    task: stolen,
+                    ok: true,
+                },
+            )
+            .unwrap();
+            assert!(matches!(
+                read_msg(&mut br).unwrap(),
+                Message::Ack { accepted: true, .. }
+            ));
+            // ...the straggler's duplicate report is rejected...
+            write_msg(&mut aw, &Message::Done { task: 0, ok: true }).unwrap();
+            assert!(matches!(
+                read_msg(&mut ar).unwrap(),
+                Message::Ack {
+                    accepted: false,
+                    ..
+                }
+            ));
+            // ...and a heartbeat on the lost lease is answered with the
+            // v2 `revoke` frame, not an ack.
+            write_msg(&mut aw, &Message::Heartbeat { task: 0 }).unwrap();
+            assert!(matches!(
+                read_msg(&mut ar).unwrap(),
+                Message::Revoke { task: 0 }
+            ));
+
+            for (r, w) in [(&mut ar, &mut aw), (&mut br, &mut bw)] {
+                write_msg(w, &Message::request()).unwrap();
+                assert!(matches!(read_msg(r).unwrap(), Message::Drain));
+                write_msg(w, &Message::Bye).unwrap();
+            }
+        });
+        server.run(&mut sink).unwrap()
+    });
+
+    assert_eq!(report.completions, 1);
+    assert_eq!(report.failures, 0, "a steal is not a failure: {report:?}");
+    assert_eq!(report.steals, 1, "{report:?}");
+    assert_eq!(report.revokes, 1, "the straggler's lease was revoked");
+
+    let trace = sink.into_trace().unwrap();
+    let kind_counts = |want: &str| {
+        trace
+            .events
+            .iter()
+            .filter(|e| match e {
+                ic_sim::TraceEvent::Speculated { .. } => want == "spec",
+                ic_sim::TraceEvent::Revoked { .. } => want == "revoke",
+                ic_sim::TraceEvent::Completed { .. } => want == "complete",
+                _ => false,
+            })
+            .count()
+    };
+    assert_eq!(kind_counts("spec"), 1, "the steal is in the trace");
+    assert_eq!(kind_counts("revoke"), 1, "so is the revocation");
+    // The duplicate completion left no event: one allocation, the
+    // thief's idle tick at the barrier, one speculation, one
+    // completion, one revocation — nothing else.
+    assert_eq!(kind_counts("complete"), 1);
+    assert_eq!(trace.events.len(), 5, "{:?}", trace.events);
+    assert_audit_clean(&trace);
+}
+
+/// Batched allocation over the real wire reproduces `ic_sched::batched`
+/// exactly: a lone v2 worker requesting `max = 4` and completing each
+/// batch before the next request sees precisely the offline
+/// batch-schedule rounds.
+#[test]
+fn batched_allocation_over_tcp_matches_the_offline_batch_schedule() {
+    let mesh = out_mesh(4); // 10 nodes
+    let policy = ic_sched::heuristics::Policy::Fifo;
+    let offline = ic_sched::batched::batches_with(&mesh, 4, &policy);
+    let cfg = ServerConfig::builder()
+        .lease_ms(5_000)
+        .expect_workers(1)
+        .wait_ms(5)
+        .seed(2)
+        .batch(4)
+        .build();
+    let server = Server::bind("127.0.0.1:0", &mesh, &policy, cfg).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let mut sink = MemorySink::new();
+    let rounds: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let h = s.spawn(|| {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            let mut w = BufWriter::new(stream);
+            write_msg(&mut w, &Message::hello("batcher", 1.0)).unwrap();
+            assert!(matches!(read_msg(&mut r).unwrap(), Message::Welcome { .. }));
+            let mut rounds = Vec::new();
+            loop {
+                write_msg(&mut w, &Message::Request { max: 4 }).unwrap();
+                match read_msg(&mut r).unwrap() {
+                    Message::Assign { tasks } => {
+                        for &t in &tasks {
+                            write_msg(&mut w, &Message::Done { task: t, ok: true }).unwrap();
+                            assert!(matches!(
+                                read_msg(&mut r).unwrap(),
+                                Message::Ack { accepted: true, .. }
+                            ));
+                        }
+                        rounds.push(tasks);
+                    }
+                    Message::Wait { ms } => std::thread::sleep(Duration::from_millis(ms.max(1))),
+                    Message::Drain => break,
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+            write_msg(&mut w, &Message::Bye).unwrap();
+            rounds
+        });
+        server.run(&mut sink).unwrap();
+        h.join().unwrap()
+    });
+
+    let want: Vec<Vec<u64>> = offline
+        .batches()
+        .iter()
+        .map(|b| b.iter().map(|v| v.index() as u64).collect())
+        .collect();
+    assert_eq!(rounds, want, "online rounds replay the offline schedule");
+    assert_audit_clean(&sink.into_trace().unwrap());
+}
+
 /// Speak the protocol by hand: duplicate and foreign task reports must
 /// be acknowledged-but-rejected without corrupting the run or the
 /// trace, and heartbeats on a held lease must be accepted.
@@ -105,13 +349,13 @@ fn flaky_workers_complete_a_mesh_with_an_audit_clean_trace() {
 fn duplicate_and_foreign_reports_are_rejected_without_trace_damage() {
     let dag = from_arcs(2, &[]).unwrap(); // two independent tasks
     let policy = ic_sched::Schedule::in_id_order(&dag);
-    let cfg = ServerConfig {
-        lease_ms: 400,
-        backoff_base_ms: 5,
-        expect_workers: 1,
-        wait_ms: 5,
-        seed: 7,
-    };
+    let cfg = ServerConfig::builder()
+        .lease_ms(400)
+        .backoff_base_ms(5)
+        .expect_workers(1)
+        .wait_ms(5)
+        .seed(7)
+        .build();
     let server = Server::bind("127.0.0.1:0", &dag, &policy, cfg).unwrap();
     let addr = server.local_addr().unwrap();
 
@@ -124,19 +368,14 @@ fn duplicate_and_foreign_reports_are_rejected_without_trace_damage() {
             let send = |w: &mut BufWriter<TcpStream>, m: &Message| write_msg(w, m).unwrap();
             let recv = |r: &mut BufReader<TcpStream>| read_msg(r).unwrap();
 
-            send(
-                &mut w,
-                &Message::Hello {
-                    id: "manual".into(),
-                    speed: 1.0,
-                },
-            );
+            send(&mut w, &Message::hello("manual", 1.0));
             assert!(matches!(recv(&mut r), Message::Welcome { worker: 0, .. }));
 
-            send(&mut w, &Message::Request);
-            let Message::Assign { task: first } = recv(&mut r) else {
+            send(&mut w, &Message::request());
+            let Message::Assign { tasks } = recv(&mut r) else {
                 panic!("expected an assignment");
             };
+            let first = tasks[0];
             // A report for a task we don't hold is rejected.
             send(
                 &mut w,
@@ -180,19 +419,19 @@ fn duplicate_and_foreign_reports_are_rejected_without_trace_damage() {
                 }
             ));
 
-            send(&mut w, &Message::Request);
-            let Message::Assign { task: second } = recv(&mut r) else {
+            send(&mut w, &Message::request());
+            let Message::Assign { tasks } = recv(&mut r) else {
                 panic!("expected the second assignment");
             };
             send(
                 &mut w,
                 &Message::Done {
-                    task: second,
+                    task: tasks[0],
                     ok: true,
                 },
             );
             assert!(matches!(recv(&mut r), Message::Ack { accepted: true, .. }));
-            send(&mut w, &Message::Request);
+            send(&mut w, &Message::request());
             assert!(matches!(recv(&mut r), Message::Drain));
             send(&mut w, &Message::Bye);
         });
@@ -213,13 +452,13 @@ fn duplicate_and_foreign_reports_are_rejected_without_trace_damage() {
 fn expired_lease_reallocates_and_late_report_is_rejected() {
     let dag = from_arcs(1, &[]).unwrap();
     let policy = ic_sched::Schedule::in_id_order(&dag);
-    let cfg = ServerConfig {
-        lease_ms: 60,
-        backoff_base_ms: 1,
-        expect_workers: 1,
-        wait_ms: 5,
-        seed: 7,
-    };
+    let cfg = ServerConfig::builder()
+        .lease_ms(60)
+        .backoff_base_ms(1)
+        .expect_workers(1)
+        .wait_ms(5)
+        .seed(7)
+        .build();
     let server = Server::bind("127.0.0.1:0", &dag, &policy, cfg).unwrap();
     let addr = server.local_addr().unwrap();
 
@@ -230,19 +469,13 @@ fn expired_lease_reallocates_and_late_report_is_rejected() {
             let mut r = BufReader::new(stream.try_clone().unwrap());
             let mut w = BufWriter::new(stream);
 
-            write_msg(
-                &mut w,
-                &Message::Hello {
-                    id: "late".into(),
-                    speed: 1.0,
-                },
-            )
-            .unwrap();
+            write_msg(&mut w, &Message::hello("late", 1.0)).unwrap();
             assert!(matches!(read_msg(&mut r).unwrap(), Message::Welcome { .. }));
-            write_msg(&mut w, &Message::Request).unwrap();
-            let Message::Assign { task } = read_msg(&mut r).unwrap() else {
+            write_msg(&mut w, &Message::request()).unwrap();
+            let Message::Assign { tasks } = read_msg(&mut r).unwrap() else {
                 panic!("expected an assignment");
             };
+            let task = tasks[0];
             // Sit on the task well past the lease, without heartbeating.
             std::thread::sleep(Duration::from_millis(250));
             write_msg(&mut w, &Message::Done { task, ok: true }).unwrap();
@@ -259,9 +492,10 @@ fn expired_lease_reallocates_and_late_report_is_rejected() {
             // Ask again: the task comes back to us, and this time we
             // report in time.
             loop {
-                write_msg(&mut w, &Message::Request).unwrap();
+                write_msg(&mut w, &Message::request()).unwrap();
                 match read_msg(&mut r).unwrap() {
-                    Message::Assign { task } => {
+                    Message::Assign { tasks } => {
+                        let task = tasks[0];
                         write_msg(&mut w, &Message::Done { task, ok: true }).unwrap();
                         assert!(matches!(
                             read_msg(&mut r).unwrap(),
@@ -301,15 +535,15 @@ fn expired_lease_reallocates_and_late_report_is_rejected() {
 fn request_while_leased_forfeits_the_old_task() {
     let dag = from_arcs(2, &[]).unwrap(); // two independent tasks
     let policy = ic_sched::Schedule::in_id_order(&dag);
-    let cfg = ServerConfig {
+    let cfg = ServerConfig::builder()
         // Leases never expire on their own here: only the forfeit path
         // can recover the abandoned task.
-        lease_ms: 10_000,
-        backoff_base_ms: 1,
-        expect_workers: 1,
-        wait_ms: 5,
-        seed: 7,
-    };
+        .lease_ms(10_000)
+        .backoff_base_ms(1)
+        .expect_workers(1)
+        .wait_ms(5)
+        .seed(7)
+        .build();
     let server = Server::bind("127.0.0.1:0", &dag, &policy, cfg).unwrap();
     let addr = server.local_addr().unwrap();
 
@@ -320,26 +554,21 @@ fn request_while_leased_forfeits_the_old_task() {
             let mut r = BufReader::new(stream.try_clone().unwrap());
             let mut w = BufWriter::new(stream);
 
-            write_msg(
-                &mut w,
-                &Message::Hello {
-                    id: "greedy".into(),
-                    speed: 1.0,
-                },
-            )
-            .unwrap();
+            write_msg(&mut w, &Message::hello("greedy", 1.0)).unwrap();
             assert!(matches!(read_msg(&mut r).unwrap(), Message::Welcome { .. }));
-            write_msg(&mut w, &Message::Request).unwrap();
-            let Message::Assign { task: first } = read_msg(&mut r).unwrap() else {
+            write_msg(&mut w, &Message::request()).unwrap();
+            let Message::Assign { tasks } = read_msg(&mut r).unwrap() else {
                 panic!("expected an assignment");
             };
+            let first = tasks[0];
             // Ask again without completing: the held task is forfeited
             // and the *other* task is assigned (the forfeit is backing
             // off).
-            write_msg(&mut w, &Message::Request).unwrap();
-            let Message::Assign { task: second } = read_msg(&mut r).unwrap() else {
+            write_msg(&mut w, &Message::request()).unwrap();
+            let Message::Assign { tasks } = read_msg(&mut r).unwrap() else {
                 panic!("expected a second assignment");
             };
+            let second = tasks[0];
             assert_ne!(
                 second, first,
                 "the forfeited task must not be re-leased yet"
@@ -358,9 +587,10 @@ fn request_while_leased_forfeits_the_old_task() {
             ));
             // The forfeited task comes back after its backoff.
             loop {
-                write_msg(&mut w, &Message::Request).unwrap();
+                write_msg(&mut w, &Message::request()).unwrap();
                 match read_msg(&mut r).unwrap() {
-                    Message::Assign { task } => {
+                    Message::Assign { tasks } => {
+                        let task = tasks[0];
                         assert_eq!(task, first, "only the forfeited task remains");
                         write_msg(&mut w, &Message::Done { task, ok: true }).unwrap();
                         assert!(matches!(
@@ -397,11 +627,7 @@ fn request_while_leased_forfeits_the_old_task() {
 fn non_hello_opening_is_rejected_with_a_protocol_error() {
     let dag = from_arcs(1, &[]).unwrap();
     let policy = ic_sched::Schedule::in_id_order(&dag);
-    let cfg = ServerConfig {
-        expect_workers: 1,
-        wait_ms: 5,
-        ..ServerConfig::default()
-    };
+    let cfg = ServerConfig::builder().expect_workers(1).wait_ms(5).build();
     let server = Server::bind("127.0.0.1:0", &dag, &policy, cfg).unwrap();
     let addr = server.local_addr().unwrap();
 
@@ -412,16 +638,61 @@ fn non_hello_opening_is_rejected_with_a_protocol_error() {
             let stream = TcpStream::connect(addr).unwrap();
             let mut r = BufReader::new(stream.try_clone().unwrap());
             let mut w = BufWriter::new(stream);
-            write_msg(&mut w, &Message::Request).unwrap();
+            write_msg(&mut w, &Message::request()).unwrap();
             assert!(matches!(read_msg(&mut r).unwrap(), Message::Error { .. }));
             // A real worker still finishes the dag.
-            let worker = WorkerConfig {
-                id: "real".into(),
-                ..WorkerConfig::default()
-            };
+            let worker = WorkerConfig::builder().id("real").build();
             let report = run_worker(addr, &worker).unwrap();
             assert_eq!(report.completed, 1);
             assert!(!report.died);
+        });
+        server.run(&mut sink).unwrap();
+    });
+    assert_audit_clean(&sink.into_trace().unwrap());
+}
+
+/// A v1 `hello` against a server that requires protocol 2 is refused
+/// with the typed `error{unsupported}` frame — never a panic, never a
+/// misparse — and the server goes on to serve a v2 worker normally.
+#[test]
+fn v1_hello_against_a_v2_only_server_gets_a_typed_error_frame() {
+    let dag = from_arcs(1, &[]).unwrap();
+    let policy = ic_sched::Schedule::in_id_order(&dag);
+    let cfg = ServerConfig::builder()
+        .expect_workers(1)
+        .wait_ms(5)
+        .min_proto(PROTO_V2)
+        .build();
+    let server = Server::bind("127.0.0.1:0", &dag, &policy, cfg).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let mut sink = MemorySink::new();
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            // A v1 peer: its hello carries no proto field at all.
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            let mut w = BufWriter::new(stream);
+            write_msg(
+                &mut w,
+                &Message::Hello {
+                    id: "ancient".into(),
+                    speed: 1.0,
+                    proto: PROTO_V1,
+                    resume: None,
+                },
+            )
+            .unwrap();
+            match read_msg(&mut r).unwrap() {
+                Message::Error { code, msg } => {
+                    assert_eq!(code, ERR_UNSUPPORTED, "typed code, not prose: {msg}");
+                }
+                other => panic!("expected the unsupported error frame, got {other:?}"),
+            }
+            // A current-protocol worker is still served.
+            let worker = WorkerConfig::builder().id("modern").build();
+            let report = run_worker(addr, &worker).unwrap();
+            assert_eq!(report.completed, 1);
         });
         server.run(&mut sink).unwrap();
     });

@@ -17,13 +17,20 @@ fn random_message(rng: &mut XorShift64) -> Message {
             .map(|_| alphabet[rng.gen_range(alphabet.len())])
             .collect()
     }
-    match rng.gen_range(11) {
+    fn random_resume(rng: &mut XorShift64) -> Option<String> {
+        rng.gen_bool(0.5).then(|| random_string(rng))
+    }
+    match rng.gen_range(12) {
         0 => Message::Hello {
             id: random_string(rng),
             // Positive, finite, with both integral and fractional cases.
             speed: (1 + rng.gen_range(400)) as f64 / 4.0,
+            proto: 1 + rng.gen_range(2) as u32,
+            resume: random_resume(rng),
         },
-        1 => Message::Request,
+        1 => Message::Request {
+            max: 1 + rng.next_u64() % 16,
+        },
         2 => Message::Done {
             task: rng.next_u64() >> 16,
             ok: rng.gen_bool(0.5),
@@ -35,9 +42,16 @@ fn random_message(rng: &mut XorShift64) -> Message {
         5 => Message::Welcome {
             worker: rng.next_u64() >> 32,
             lease_ms: rng.next_u64() >> 32,
+            proto: 1 + rng.gen_range(2) as u32,
+            resume: random_resume(rng),
+            tasks: (0..rng.gen_range(5))
+                .map(|_| rng.next_u64() >> 16)
+                .collect(),
         },
         6 => Message::Assign {
-            task: rng.next_u64() >> 16,
+            tasks: (0..1 + rng.gen_range(6))
+                .map(|_| rng.next_u64() >> 16)
+                .collect(),
         },
         7 => Message::Wait {
             ms: rng.next_u64() >> 40,
@@ -47,7 +61,17 @@ fn random_message(rng: &mut XorShift64) -> Message {
             task: rng.next_u64() >> 16,
             accepted: rng.gen_bool(0.5),
         },
+        10 => Message::Revoke {
+            task: rng.next_u64() >> 16,
+        },
         _ => Message::Error {
+            // An empty code must encode like a v1 error frame and
+            // round-trip; non-empty codes exercise the v2 field.
+            code: if rng.gen_bool(0.5) {
+                String::new()
+            } else {
+                random_string(rng)
+            },
             msg: random_string(rng),
         },
     }

@@ -25,6 +25,7 @@ use ic_dag::{Dag, NodeId};
 
 use crate::eligibility::ExecState;
 use crate::error::SchedError;
+use crate::policy::{AllocationPolicy, PolicyContext};
 
 /// A batch schedule: a sequence of batches, each a set of tasks that
 /// are simultaneously ELIGIBLE when their round starts.
@@ -112,6 +113,80 @@ pub fn greedy_batches(dag: &Dag, width: usize, priority: &[usize]) -> BatchSched
         let batch: Vec<NodeId> = eligible.into_iter().take(width).collect();
         for &v in &batch {
             st.execute_counting(v).expect("drawn from the eligible set");
+        }
+        batches.push(batch);
+    }
+    BatchSchedule { batches }
+}
+
+/// Claim up to `width` tasks from `state`'s pool for one allocation
+/// round, each chosen by `policy` against the pool as it shrinks.
+/// The round's tasks are returned in choice order and stay *claimed*
+/// (ELIGIBLE but out of the pool) — the caller decides what a round
+/// means: [`batches_with`] executes them synchronously, the `ic-net`
+/// server leases them to a worker and executes on report.
+///
+/// `step0` is the number of allocation decisions made before this
+/// round ([`PolicyContext::step`] counts on from it); `retries` is
+/// passed through to the context. Stops early when the pool drains.
+///
+/// # Panics
+/// Panics if the policy returns an out-of-range pool index.
+pub fn fill_round(
+    state: &mut ExecState<'_>,
+    dag: &Dag,
+    policy: &dyn AllocationPolicy,
+    width: usize,
+    step0: usize,
+    retries: Option<&[u32]>,
+) -> Vec<NodeId> {
+    let mut round = Vec::new();
+    while round.len() < width && state.pool_len() > 0 {
+        let i = {
+            let ctx = PolicyContext {
+                dag,
+                state,
+                step: step0 + round.len(),
+                retries,
+            };
+            policy.choose(&ctx, state.pool())
+        };
+        assert!(
+            i < state.pool_len(),
+            "policy chose an out-of-range pool index"
+        );
+        round.push(state.claim_at(i));
+    }
+    round
+}
+
+/// Batched execution of `dag` driven by an arbitrary
+/// [`AllocationPolicy`]: each synchronous round claims up to `width`
+/// tasks via [`fill_round`], then executes them all before the next
+/// round. With a [`crate::Schedule`] policy this is the batched \[20\]
+/// regimen of that schedule's priorities — the same per-round choices
+/// the `ic-net` server makes with `--batch width`, which is what lets
+/// a live batched run be compared against this offline reference.
+///
+/// # Panics
+/// Panics if `width == 0` or if the policy rejects the dag in
+/// [`AllocationPolicy::prepare`].
+pub fn batches_with(dag: &Dag, width: usize, policy: &dyn AllocationPolicy) -> BatchSchedule {
+    assert!(width > 0, "batch width must be positive");
+    policy.prepare(dag);
+    let mut st = ExecState::new(dag);
+    let mut batches = Vec::new();
+    let mut step = 0usize;
+    while !st.is_complete() {
+        let batch = fill_round(&mut st, dag, policy, width, step, None);
+        assert!(
+            !batch.is_empty(),
+            "an incomplete dag always has an ELIGIBLE task"
+        );
+        step += batch.len();
+        for &v in &batch {
+            st.execute_counting(v)
+                .expect("round members are claimed ELIGIBLE tasks");
         }
         batches.push(batch);
     }
@@ -416,6 +491,62 @@ mod tests {
         assert_eq!(prof.len(), opt.num_rounds() + 1);
         assert_eq!(prof[0], 1);
         assert_eq!(*prof.last().unwrap(), 0);
+    }
+
+    #[test]
+    fn batches_with_schedule_matches_greedy_priorities() {
+        // A Schedule policy ranks pool tasks by schedule position —
+        // exactly greedy_batches with the schedule's ranks as priority.
+        let g = from_arcs(
+            8,
+            &[
+                (0, 3),
+                (1, 3),
+                (1, 4),
+                (2, 4),
+                (3, 5),
+                (4, 6),
+                (5, 7),
+                (6, 7),
+            ],
+        )
+        .unwrap();
+        let order: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let sched = crate::Schedule::new(&g, order).unwrap();
+        let mut prio = vec![0usize; 8];
+        for (i, v) in sched.order().iter().enumerate() {
+            prio[v.index()] = i;
+        }
+        for width in 1..=4usize {
+            let by_policy = batches_with(&g, width, &sched);
+            let by_prio = greedy_batches(&g, width, &prio);
+            assert_eq!(by_policy, by_prio, "width {width}");
+            assert!(BatchSchedule::new(&g, by_policy.batches().to_vec(), width).is_ok());
+        }
+    }
+
+    #[test]
+    fn batches_with_width_one_is_the_sequential_schedule() {
+        let g = diamond();
+        let sched = crate::Schedule::new(&g, (0..4).map(NodeId).collect()).unwrap();
+        let b = batches_with(&g, 1, &sched);
+        let flat: Vec<NodeId> = b.batches().iter().flatten().copied().collect();
+        assert_eq!(&flat, sched.order());
+    }
+
+    #[test]
+    fn fill_round_leaves_claimed_tasks_out_of_the_pool() {
+        let g = from_arcs(3, &[]).unwrap();
+        let sched = crate::Schedule::new(&g, (0..3).map(NodeId).collect()).unwrap();
+        let mut st = ExecState::new(&g);
+        let round = fill_round(&mut st, &g, &sched, 2, 0, None);
+        assert_eq!(round, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(st.pool_len(), 1, "claimed tasks leave the pool");
+        assert!(st.is_eligible(NodeId(0)), "claimed tasks stay ELIGIBLE");
+        // A short pool ends the round early.
+        let rest = fill_round(&mut st, &g, &sched, 5, 2, None);
+        assert_eq!(rest, vec![NodeId(2)]);
+        assert_eq!(st.pool_len(), 0);
     }
 
     #[test]

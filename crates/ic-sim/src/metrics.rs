@@ -217,6 +217,22 @@ impl MetricsFold {
                     self.res.unsatisfied_at_batch += 1;
                 }
             }
+            // v3 lease-lifecycle events from the networked server. A
+            // resume changes no metric (the original allocation is
+            // still open); a speculative duplicate lease occupies its
+            // client like an allocation; a revoke frees the client
+            // without being a completion or failure.
+            TraceEvent::Resumed { .. } => {}
+            TraceEvent::Speculated { time, client, .. } => {
+                if client < self.clients {
+                    self.res.idle_time += time - self.request_time[client];
+                }
+            }
+            TraceEvent::Revoked { time, client, .. } => {
+                if client < self.clients {
+                    self.request_time[client] = time;
+                }
+            }
         }
         self.events_seen += 1;
     }

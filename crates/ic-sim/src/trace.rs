@@ -26,8 +26,12 @@ use crate::json::{self, Json};
 
 /// Current trace-format version, written into every header. Version 2
 /// added the optional per-client `workers` service parameters; version
-/// 1 traces (no `workers` field) still parse.
-pub const TRACE_VERSION: u32 = 2;
+/// 3 added the lease-lifecycle events of the networked server —
+/// `resume` (a reconnecting worker kept its lease), `spec` (a
+/// speculative duplicate lease at the drain barrier), and `revoke` (a
+/// duplicate lease cancelled because another worker completed first).
+/// Older traces still parse.
+pub const TRACE_VERSION: u32 = 3;
 
 /// Declared service parameters of one client, recorded in the trace
 /// header so a replay can reproduce the run's *timing*, not just its
@@ -184,6 +188,48 @@ pub enum TraceEvent {
         /// Unserved client.
         client: usize,
     },
+    /// `client` reconnected (resume token) and kept its lease on
+    /// `task`: the allocation stays open, nothing re-enters the pool.
+    /// Emitted once per lease the resume restored (v3).
+    Resumed {
+        /// Global event index.
+        step: u64,
+        /// Event timestamp.
+        time: f64,
+        /// Reconnecting client.
+        client: usize,
+        /// The task whose lease survived the reconnect.
+        task: NodeId,
+    },
+    /// `client` received a *speculative* duplicate lease on an
+    /// in-flight `task` (drain-barrier work stealing). The task was
+    /// already allocated, so the pool does not shrink (v3).
+    Speculated {
+        /// Global event index.
+        step: u64,
+        /// Event timestamp.
+        time: f64,
+        /// The idle client stealing the in-flight task.
+        client: usize,
+        /// The duplicated task.
+        task: NodeId,
+        /// ELIGIBLE-pool size after the event (unchanged by it), if
+        /// tracked.
+        pool: Option<usize>,
+    },
+    /// `client`'s duplicate lease on `task` was cancelled: another
+    /// holder completed it first. Not a failure — the work was simply
+    /// redundant (v3).
+    Revoked {
+        /// Global event index.
+        step: u64,
+        /// Event timestamp.
+        time: f64,
+        /// The client losing its duplicate lease.
+        client: usize,
+        /// The already-completed task.
+        task: NodeId,
+    },
 }
 
 impl TraceEvent {
@@ -193,7 +239,10 @@ impl TraceEvent {
             TraceEvent::Allocated { step, .. }
             | TraceEvent::Completed { step, .. }
             | TraceEvent::Failed { step, .. }
-            | TraceEvent::Idle { step, .. } => step,
+            | TraceEvent::Idle { step, .. }
+            | TraceEvent::Resumed { step, .. }
+            | TraceEvent::Speculated { step, .. }
+            | TraceEvent::Revoked { step, .. } => step,
         }
     }
 
@@ -203,7 +252,10 @@ impl TraceEvent {
             TraceEvent::Allocated { time, .. }
             | TraceEvent::Completed { time, .. }
             | TraceEvent::Failed { time, .. }
-            | TraceEvent::Idle { time, .. } => time,
+            | TraceEvent::Idle { time, .. }
+            | TraceEvent::Resumed { time, .. }
+            | TraceEvent::Speculated { time, .. }
+            | TraceEvent::Revoked { time, .. } => time,
         }
     }
 
@@ -213,6 +265,9 @@ impl TraceEvent {
             TraceEvent::Completed { .. } => "complete",
             TraceEvent::Failed { .. } => "fail",
             TraceEvent::Idle { .. } => "idle",
+            TraceEvent::Resumed { .. } => "resume",
+            TraceEvent::Speculated { .. } => "spec",
+            TraceEvent::Revoked { .. } => "revoke",
         }
     }
 
@@ -227,17 +282,24 @@ impl TraceEvent {
                 TraceEvent::Allocated { client, .. }
                 | TraceEvent::Completed { client, .. }
                 | TraceEvent::Failed { client, .. }
-                | TraceEvent::Idle { client, .. } => client,
+                | TraceEvent::Idle { client, .. }
+                | TraceEvent::Resumed { client, .. }
+                | TraceEvent::Speculated { client, .. }
+                | TraceEvent::Revoked { client, .. } => client,
             }
         );
         match *self {
             TraceEvent::Allocated { task, pool, .. }
             | TraceEvent::Completed { task, pool, .. }
-            | TraceEvent::Failed { task, pool, .. } => {
+            | TraceEvent::Failed { task, pool, .. }
+            | TraceEvent::Speculated { task, pool, .. } => {
                 line.push_str(&format!(",\"task\":{}", task.0));
                 if let Some(p) = pool {
                     line.push_str(&format!(",\"pool\":{p}"));
                 }
+            }
+            TraceEvent::Resumed { task, .. } | TraceEvent::Revoked { task, .. } => {
+                line.push_str(&format!(",\"task\":{}", task.0));
             }
             TraceEvent::Idle { .. } => {}
         }
@@ -404,7 +466,9 @@ impl Trace {
     }
 
     /// The tasks in allocation order (failures reallocate, so a task
-    /// may appear more than once).
+    /// may appear more than once). Speculative duplicate leases
+    /// (`spec` events) are *not* allocations in the scheduling sense —
+    /// their task was already counted — so they are excluded.
     pub fn allocation_order(&self) -> Vec<NodeId> {
         self.events
             .iter()
@@ -445,6 +509,16 @@ impl Trace {
                     }
                     open.push((client, task, time));
                 }
+                TraceEvent::Speculated {
+                    client, task, time, ..
+                } => {
+                    // A speculative duplicate lease opens a service
+                    // interval of its own for the stealing client.
+                    if client >= out.len() {
+                        out.resize(client + 1, Vec::new());
+                    }
+                    open.push((client, task, time));
+                }
                 TraceEvent::Completed {
                     client, task, time, ..
                 }
@@ -459,7 +533,14 @@ impl Trace {
                         out[client].push(time - start);
                     }
                 }
-                TraceEvent::Idle { .. } => {}
+                TraceEvent::Revoked { client, task, .. } => {
+                    // A revoked duplicate produced no outcome: close
+                    // the open interval without recording a sample.
+                    if let Some(i) = open.iter().position(|&(c, t, _)| c == client && t == task) {
+                        open.swap_remove(i);
+                    }
+                }
+                TraceEvent::Idle { .. } | TraceEvent::Resumed { .. } => {}
             }
         }
         out
@@ -587,7 +668,10 @@ fn parse_event(kind: &str, v: &Json, lineno: usize) -> Result<TraceEvent, TraceP
     if kind == "idle" {
         return Ok(TraceEvent::Idle { step, time, client });
     }
-    if !matches!(kind, "alloc" | "complete" | "fail") {
+    if !matches!(
+        kind,
+        "alloc" | "complete" | "fail" | "resume" | "spec" | "revoke"
+    ) {
         return Err(err(lineno, format!("unknown event type \"{kind}\"")));
     }
     let task = NodeId(
@@ -613,6 +697,25 @@ fn parse_event(kind: &str, v: &Json, lineno: usize) -> Result<TraceEvent, TraceP
             client,
             task,
             pool,
+        }),
+        "resume" => Ok(TraceEvent::Resumed {
+            step,
+            time,
+            client,
+            task,
+        }),
+        "spec" => Ok(TraceEvent::Speculated {
+            step,
+            time,
+            client,
+            task,
+            pool,
+        }),
+        "revoke" => Ok(TraceEvent::Revoked {
+            step,
+            time,
+            client,
+            task,
         }),
         _ => Ok(TraceEvent::Failed {
             step,
@@ -753,6 +856,86 @@ mod tests {
         let text = t.to_jsonl();
         let back = Trace::from_jsonl(&text).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn v3_lease_events_round_trip_and_stay_out_of_the_orders() {
+        let mut t = sample_trace();
+        t.events.extend([
+            TraceEvent::Resumed {
+                step: 4,
+                time: 3.0,
+                client: 0,
+                task: NodeId(1),
+            },
+            TraceEvent::Speculated {
+                step: 5,
+                time: 3.5,
+                client: 1,
+                task: NodeId(1),
+                pool: Some(0),
+            },
+            TraceEvent::Speculated {
+                step: 6,
+                time: 3.75,
+                client: 0,
+                task: NodeId(2),
+                pool: None,
+            },
+            TraceEvent::Revoked {
+                step: 7,
+                time: 4.0,
+                client: 1,
+                task: NodeId(1),
+            },
+        ]);
+        let back = Trace::from_jsonl(&t.to_jsonl()).unwrap();
+        assert_eq!(back, t);
+        // Lease-lifecycle events are not allocations or completions.
+        assert_eq!(t.allocation_order(), vec![NodeId(0)]);
+        assert_eq!(t.completion_order(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn revoked_speculation_records_no_service_time() {
+        let mut t = sample_trace();
+        t.events.extend([
+            TraceEvent::Speculated {
+                step: 4,
+                time: 3.0,
+                client: 1,
+                task: NodeId(1),
+                pool: Some(0),
+            },
+            TraceEvent::Revoked {
+                step: 5,
+                time: 4.0,
+                client: 1,
+                task: NodeId(1),
+            },
+        ]);
+        let obs = t.observed_service_times();
+        assert!(obs[1].is_empty(), "revoked work yields no sample");
+
+        // An accepted speculative completion does yield one.
+        let mut t2 = sample_trace();
+        t2.events.extend([
+            TraceEvent::Speculated {
+                step: 4,
+                time: 3.0,
+                client: 1,
+                task: NodeId(1),
+                pool: Some(0),
+            },
+            TraceEvent::Completed {
+                step: 5,
+                time: 4.5,
+                client: 1,
+                task: NodeId(1),
+                pool: Some(0),
+            },
+        ]);
+        assert_eq!(t2.observed_service_times()[1], vec![1.5]);
     }
 
     #[test]

@@ -78,4 +78,34 @@ grep -q '"completions": 36' "$tmpdir/serve.json"
 ./target/release/ic-prio audit --schedule "$tmpdir/serve.jsonl" --json \
     | grep -q '"ok": true'
 
+echo "==> ic-prio serve | work --sever-after | audit --schedule (reconnect round trip)"
+# Resumable leases over real processes: the lone worker severs its TCP
+# socket mid-lease (the process stays up) and reconnects with its
+# resume token. The server must count one resume and zero
+# reallocations, and the trace — resume event included — must replay
+# clean. Generous lease so only a real resume can explain the clean run.
+timeout 60 ./target/release/ic-prio serve --family outtree:2:3 --policy optimal \
+    --listen 127.0.0.1:0 --expect 1 --lease-ms 5000 \
+    --trace "$tmpdir/resume.jsonl" --port-file "$tmpdir/rport" --json \
+    > "$tmpdir/resume.json" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$tmpdir/rport" ] && break
+    sleep 0.1
+done
+[ -s "$tmpdir/rport" ] || { echo "server never wrote its port file"; exit 1; }
+addr="$(tr -d '[:space:]' < "$tmpdir/rport")"
+timeout 60 ./target/release/ic-prio work --connect "$addr" --id comeback \
+    --mean-ms 2 --sever-after 2 --json > "$tmpdir/work.json"
+wait "$serve_pid"
+grep -q '"completions": 15' "$tmpdir/resume.json"
+grep -q '"resumes": 1' "$tmpdir/resume.json"
+grep -q '"failures": 0' "$tmpdir/resume.json"
+grep -q '"resumes": 1' "$tmpdir/work.json"
+./target/release/ic-prio audit --schedule "$tmpdir/resume.jsonl" --json \
+    | grep -q '"ok": true'
+# Keep the audited traces where CI can pick them up as artifacts.
+cp "$tmpdir/serve.jsonl" target/verify/serve-trace.jsonl
+cp "$tmpdir/resume.jsonl" target/verify/resume-trace.jsonl
+
 echo "verify: all green"
