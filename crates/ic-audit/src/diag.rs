@@ -12,6 +12,7 @@
 //! | IC02xx | ▷-priority chains |
 //! | IC03xx | Theorem 2.2 duality |
 //! | IC04xx | execution-trace replay |
+//! | IC05xx | model-checked lease-protocol invariants (`ic-check`) |
 
 use std::fmt;
 
@@ -83,6 +84,34 @@ pub const REVOKE_WITHOUT_COMPLETION: &str = "IC0412";
 /// remained — stealing should only happen at the drain barrier. A
 /// warning: it wastes no correctness, only duplicated work.
 pub const SPECULATION_BEFORE_BARRIER: &str = "IC0413";
+/// Model checker: the lease machine allocated (leased) a task that is
+/// not ELIGIBLE under the definition-level oracle — an unexecuted
+/// parent remains, or the task is already executed. This is the
+/// paper's core property; a violation breaks IC-optimality outright.
+pub const MODEL_NON_ELIGIBLE_ALLOCATION: &str = "IC0501";
+/// Model checker: a task completed twice — two `Completed` trace
+/// events for the same node, or the executed count exceeds the node
+/// count.
+pub const MODEL_DUPLICATE_COMPLETION: &str = "IC0502";
+/// Model checker: a task's lease multiplicity is illegal — more than
+/// one primary (non-speculative) lease, more than one speculative
+/// duplicate, or a duplicate pair on one worker.
+pub const MODEL_LEASE_MULTIPLICITY: &str = "IC0503";
+/// Model checker: a worker slot's registration epoch regressed, or a
+/// stale-epoch `Sever` from a superseded connection disturbed a
+/// resumed slot.
+pub const MODEL_EPOCH_REGRESSION: &str = "IC0504";
+/// Model checker: the machine's recorded pool size (pool + backoff
+/// queue) disagrees with the oracle reconstruction (ELIGIBLE minus
+/// leased tasks).
+pub const MODEL_RECORDED_POOL_MISMATCH: &str = "IC0505";
+/// Model checker: pool ∪ deferred ∪ leased ≠ the ELIGIBLE set — a
+/// task leaked out of every queue (it could never be allocated again)
+/// or appears in two places at once.
+pub const MODEL_ELIGIBLE_PARTITION_VIOLATION: &str = "IC0506";
+/// Model checker: the machine answered `Drain` (or claims completion)
+/// while unexecuted tasks remain.
+pub const MODEL_PREMATURE_DRAIN: &str = "IC0507";
 
 /// The full code table: `(code, name, one-line meaning)`. Kept in sync
 /// with DESIGN.md §"Diagnostic codes" (the negative test suite pins
@@ -168,6 +197,41 @@ pub const CODE_TABLE: &[(&str, &str, &str)] = &[
         "SpeculationBeforeBarrier",
         "a speculative lease was granted before the drain barrier",
     ),
+    (
+        MODEL_NON_ELIGIBLE_ALLOCATION,
+        "ModelNonEligibleAllocation",
+        "the lease machine leased a task that is not ELIGIBLE",
+    ),
+    (
+        MODEL_DUPLICATE_COMPLETION,
+        "ModelDuplicateCompletion",
+        "a task completed twice",
+    ),
+    (
+        MODEL_LEASE_MULTIPLICITY,
+        "ModelLeaseMultiplicity",
+        "a task's lease multiplicity is illegal",
+    ),
+    (
+        MODEL_EPOCH_REGRESSION,
+        "ModelEpochRegression",
+        "a slot epoch regressed or a stale sever disturbed a resumed slot",
+    ),
+    (
+        MODEL_RECORDED_POOL_MISMATCH,
+        "ModelRecordedPoolMismatch",
+        "the recorded pool size disagrees with the oracle reconstruction",
+    ),
+    (
+        MODEL_ELIGIBLE_PARTITION_VIOLATION,
+        "ModelEligiblePartitionViolation",
+        "pool, backoff queue, and leases do not partition the ELIGIBLE set",
+    ),
+    (
+        MODEL_PREMATURE_DRAIN,
+        "ModelPrematureDrain",
+        "drain was answered while unexecuted tasks remain",
+    ),
 ];
 
 /// The human name of a diagnostic code (e.g. `"CycleDetected"`).
@@ -244,7 +308,7 @@ mod tests {
     #[test]
     fn code_table_is_complete_and_unique() {
         let codes: Vec<&str> = CODE_TABLE.iter().map(|(c, _, _)| *c).collect();
-        assert_eq!(codes.len(), 16);
+        assert_eq!(codes.len(), 23);
         let mut sorted = codes.clone();
         sorted.sort_unstable();
         sorted.dedup();

@@ -14,6 +14,14 @@ use std::process::ExitCode;
 
 use ic_sim::json::{parse, Json};
 
+/// One validated record of the report.
+struct Row {
+    group: String,
+    id: String,
+    states: Option<u64>,
+    best: u64,
+}
+
 fn fail(msg: &str) -> ExitCode {
     eprintln!("bench-check: {msg}");
     ExitCode::FAILURE
@@ -58,8 +66,7 @@ fn main() -> ExitCode {
         return fail(&format!("{path}: empty \"results\" array"));
     }
 
-    // (group, id, nodes, best_ns) per record, after field validation.
-    let mut rows: Vec<(String, String, Option<u64>, u64)> = Vec::new();
+    let mut rows: Vec<Row> = Vec::new();
     for (i, rec) in results.iter().enumerate() {
         let Some(group) = rec.get("group").and_then(Json::as_str) else {
             return fail(&format!("{path}: results[{i}] has no string \"group\""));
@@ -67,15 +74,24 @@ fn main() -> ExitCode {
         let Some(id) = rec.get("id").and_then(Json::as_str) else {
             return fail(&format!("{path}: results[{i}] has no string \"id\""));
         };
-        let nodes = match rec.get("nodes") {
-            Some(Json::Null) => None,
+        match rec.get("nodes") {
+            Some(Json::Null) => {}
+            Some(v) if v.as_u64().is_some() => {}
+            Some(_) => {
+                return fail(&format!("{path}: results[{i}] has malformed \"nodes\""));
+            }
+            None => return fail(&format!("{path}: results[{i}] has no \"nodes\" field")),
+        }
+        // Optional (older reports predate it): per-run work-unit count
+        // for throughput benchmarks. Present but mistyped is an error.
+        let states = match rec.get("states") {
+            None | Some(Json::Null) => None,
             Some(v) => match v.as_u64() {
-                Some(n) => Some(n),
+                Some(s) => Some(s),
                 None => {
-                    return fail(&format!("{path}: results[{i}] has malformed \"nodes\""));
+                    return fail(&format!("{path}: results[{i}] has malformed \"states\""));
                 }
             },
-            None => return fail(&format!("{path}: results[{i}] has no \"nodes\" field")),
         };
         let Some(best) = rec.get("best_ns").and_then(Json::as_u64) else {
             return fail(&format!("{path}: results[{i}] has no numeric \"best_ns\""));
@@ -87,27 +103,44 @@ fn main() -> ExitCode {
             Some(it) if it >= 1 => {}
             _ => return fail(&format!("{path}: results[{i}] has no positive \"iters\"")),
         }
-        rows.push((group.to_string(), id.to_string(), nodes, best));
+        rows.push(Row {
+            group: group.to_string(),
+            id: id.to_string(),
+            states,
+            best,
+        });
     }
 
     for group in &required {
-        if !rows.iter().any(|(g, ..)| g == group) {
+        if !rows.iter().any(|r| &r.group == group) {
             return fail(&format!("{path}: required bench group {group:?} is absent"));
         }
     }
 
     // Informational speedup table: ids present under both the new and
     // the naive envelope walk.
-    for (g, id, _, best) in &rows {
-        if g != "envelope" {
+    for row in &rows {
+        if row.group != "envelope" {
             continue;
         }
-        if let Some((.., naive_best)) = rows
+        if let Some(naive) = rows
             .iter()
-            .find(|(ng, nid, ..)| ng == "envelope-naive" && nid == id)
+            .find(|r| r.group == "envelope-naive" && r.id == row.id)
         {
-            let speedup = *naive_best as f64 / (*best).max(1) as f64;
-            println!("envelope/{id:<24} {speedup:>6.2}x vs naive");
+            let speedup = naive.best as f64 / row.best.max(1) as f64;
+            println!("envelope/{:<24} {speedup:>6.2}x vs naive", row.id);
+        }
+    }
+
+    // Informational throughput table: any record carrying a work-unit
+    // count reports its rate (e.g. model-checker states per second).
+    for row in &rows {
+        if let Some(s) = row.states {
+            let rate = s as f64 * 1e9 / row.best.max(1) as f64;
+            println!(
+                "{}/{:<24} {s:>8} states, {rate:>12.0} states/s",
+                row.group, row.id
+            );
         }
     }
 

@@ -22,12 +22,17 @@
 //!
 //!   ```json
 //!   {"schema": "ic-bench/1", "budget_ms": 40, "results": [
-//!     {"group": "envelope", "id": "mesh_55", "nodes": 55,
+//!     {"group": "envelope", "id": "mesh_55", "nodes": 55, "states": null,
 //!      "best_ns": 1200, "mean_ns": 1900, "iters": 4096}, ...]}
 //!   ```
 //!
-//!   `nodes` is the benchmarked dag's node count (`null` for
-//!   benchmarks without one). Times are per-iteration nanoseconds.
+//!   `nodes` is the benchmarked dag's node count and `states` the
+//!   per-run work-unit count of a throughput benchmark (both `null`
+//!   for benchmarks without one). Times are per-iteration
+//!   nanoseconds.
+//! * `IC_BENCH_APPEND` — when set (and not `0`), merge into an
+//!   existing `IC_BENCH_JSON` report instead of overwriting it, so
+//!   several bench binaries can share one file.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -39,6 +44,9 @@ struct Record {
     group: String,
     id: String,
     nodes: Option<usize>,
+    /// Work-unit count for throughput benchmarks (e.g. model-checker
+    /// states explored per run); `None` for plain timing records.
+    states: Option<u64>,
     best_ns: u128,
     mean_ns: u128,
     iters: u64,
@@ -49,11 +57,15 @@ impl Record {
         let nodes = self
             .nodes
             .map_or_else(|| "null".to_string(), |n| n.to_string());
+        let states = self
+            .states
+            .map_or_else(|| "null".to_string(), |s| s.to_string());
         format!(
-            "{{\"group\": {}, \"id\": {}, \"nodes\": {}, \"best_ns\": {}, \"mean_ns\": {}, \"iters\": {}}}",
+            "{{\"group\": {}, \"id\": {}, \"nodes\": {}, \"states\": {}, \"best_ns\": {}, \"mean_ns\": {}, \"iters\": {}}}",
             json_string(&self.group),
             json_string(&self.id),
             nodes,
+            states,
             self.best_ns,
             self.mean_ns,
             self.iters,
@@ -96,13 +108,27 @@ impl Runner {
     /// passed through [`black_box`] so the work cannot be optimized
     /// away.
     pub fn bench<R>(&mut self, group: &str, id: &str, f: impl FnMut() -> R) {
-        self.bench_impl(group, id, None, f);
+        self.bench_impl(group, id, None, None, f);
     }
 
     /// [`Runner::bench`] with the benchmarked dag's node count attached
     /// to the JSON record (for per-node cost comparisons downstream).
     pub fn bench_n<R>(&mut self, group: &str, id: &str, nodes: usize, f: impl FnMut() -> R) {
-        self.bench_impl(group, id, Some(nodes), f);
+        self.bench_impl(group, id, Some(nodes), None, f);
+    }
+
+    /// [`Runner::bench_n`] with a per-run work-unit count attached (for
+    /// throughput benchmarks: `bench-check` reports `states / best_ns`
+    /// as a rate).
+    pub fn bench_states<R>(
+        &mut self,
+        group: &str,
+        id: &str,
+        nodes: usize,
+        states: u64,
+        f: impl FnMut() -> R,
+    ) {
+        self.bench_impl(group, id, Some(nodes), Some(states), f);
     }
 
     fn bench_impl<R>(
@@ -110,6 +136,7 @@ impl Runner {
         group: &str,
         id: &str,
         nodes: Option<usize>,
+        states: Option<u64>,
         mut f: impl FnMut() -> R,
     ) {
         let name = format!("{group}/{id}");
@@ -150,6 +177,7 @@ impl Runner {
             group: group.to_string(),
             id: id.to_string(),
             nodes,
+            states,
             best_ns: best.as_nanos(),
             mean_ns: mean.as_nanos(),
             iters,
@@ -171,9 +199,28 @@ impl Runner {
             println!("{} benchmark(s) done", self.records.len());
         }
         if let Some(path) = &self.json_path {
-            let body: Vec<String> = self
-                .records
+            // `IC_BENCH_APPEND=1` merges into an existing report
+            // instead of overwriting it: records from other bench
+            // binaries are kept, records with the same group/id are
+            // replaced. This is how the several `[[bench]]` targets
+            // share one `BENCH.json`.
+            let mut kept: Vec<Record> = Vec::new();
+            if std::env::var("IC_BENCH_APPEND").is_ok_and(|v| !v.is_empty() && v != "0") {
+                if let Ok(old) = std::fs::read_to_string(path) {
+                    kept = parse_records(&old)
+                        .into_iter()
+                        .filter(|o| {
+                            !self
+                                .records
+                                .iter()
+                                .any(|r| r.group == o.group && r.id == o.id)
+                        })
+                        .collect();
+                }
+            }
+            let body: Vec<String> = kept
                 .iter()
+                .chain(self.records.iter())
                 .map(|r| format!("  {}", r.to_json()))
                 .collect();
             let doc = format!(
@@ -185,6 +232,36 @@ impl Runner {
             println!("wrote {path}");
         }
     }
+}
+
+/// Parse the records of an existing report (for `IC_BENCH_APPEND`).
+/// Malformed entries are dropped — the `bench-check` validator, not
+/// this best-effort reader, is the gate on report shape.
+fn parse_records(text: &str) -> Vec<Record> {
+    use ic_sim::json::{parse, Json};
+    let Ok(doc) = parse(text) else {
+        return Vec::new();
+    };
+    let Some(results) = doc.get("results").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    results
+        .iter()
+        .filter_map(|rec| {
+            Some(Record {
+                group: rec.get("group")?.as_str()?.to_string(),
+                id: rec.get("id")?.as_str()?.to_string(),
+                nodes: rec
+                    .get("nodes")
+                    .and_then(Json::as_u64)
+                    .and_then(|n| usize::try_from(n).ok()),
+                states: rec.get("states").and_then(Json::as_u64),
+                best_ns: u128::from(rec.get("best_ns")?.as_u64()?),
+                mean_ns: u128::from(rec.get("mean_ns")?.as_u64()?),
+                iters: rec.get("iters")?.as_u64()?,
+            })
+        })
+        .collect()
 }
 
 fn fmt_duration(d: Duration) -> String {

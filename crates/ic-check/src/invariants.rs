@@ -1,0 +1,197 @@
+//! The safety invariants checked at every explored state.
+//!
+//! Each check compares the machine's bookkeeping against a
+//! *definition-level oracle*: eligibility is recomputed from scratch
+//! out of the executed set via
+//! [`ic_sched::eligibility::eligible_from_executed`], never read back
+//! from the pool the machine maintains incrementally. A violation is
+//! reported as an [`ic_audit::diag::Diagnostic`] with a stable
+//! `IC05xx` code:
+//!
+//! | code   | invariant |
+//! |--------|-----------|
+//! | IC0501 | every leased task is ELIGIBLE given the executed set |
+//! | IC0502 | no task's `Completed` trace event fires twice |
+//! | IC0503 | per task: at most one primary lease and at most one speculative lease, on distinct workers |
+//! | IC0504 | a live resumed worker's slot agrees with the machine (connected, same epoch) |
+//! | IC0505 | the recorded pool size equals pool + deferred |
+//! | IC0506 | pool ⊎ deferred ⊎ leased partitions the ELIGIBLE set |
+//! | IC0507 | a `Drain` reply implies every task executed |
+
+use std::collections::BTreeSet;
+
+use ic_audit::diag::{
+    Diagnostic, MODEL_DUPLICATE_COMPLETION, MODEL_ELIGIBLE_PARTITION_VIOLATION,
+    MODEL_EPOCH_REGRESSION, MODEL_LEASE_MULTIPLICITY, MODEL_NON_ELIGIBLE_ALLOCATION,
+    MODEL_PREMATURE_DRAIN, MODEL_RECORDED_POOL_MISMATCH,
+};
+use ic_dag::Dag;
+use ic_net::{Effect, Message};
+use ic_sched::eligibility::eligible_from_executed;
+
+use crate::scenario::{Fleet, Phase};
+
+/// Scan the state reached after a transition and return the first
+/// violated invariant, if any.
+pub fn violation(dag: &Dag, fleet: &Fleet<'_, '_>) -> Option<Diagnostic> {
+    let m = &fleet.machine;
+    let executed: Vec<bool> = dag.node_ids().map(|v| m.exec().is_executed(v)).collect();
+    let eligible: BTreeSet<u64> = eligible_from_executed(dag, &executed)
+        .into_iter()
+        .map(|v| v.index() as u64)
+        .collect();
+    let leases = m.lease_views();
+
+    // IC0501: every allocation was ELIGIBLE under the oracle.
+    for l in &leases {
+        let t = l.task.index() as u64;
+        if !eligible.contains(&t) {
+            return Some(Diagnostic::error(
+                MODEL_NON_ELIGIBLE_ALLOCATION,
+                format!(
+                    "task t{t} is leased to worker {} but is not ELIGIBLE \
+                     given the executed set ({} executed)",
+                    l.worker,
+                    m.exec().num_executed()
+                ),
+            ));
+        }
+    }
+
+    // IC0502: no task completes twice (counted off the trace stream).
+    for (t, &n) in fleet.completions.iter().enumerate() {
+        if n > 1 {
+            return Some(Diagnostic::error(
+                MODEL_DUPLICATE_COMPLETION,
+                format!("task t{t} emitted {n} Completed trace events"),
+            ));
+        }
+    }
+
+    // IC0503: per-task lease multiplicity — at most one primary, at
+    // most one speculative, never the same worker twice.
+    for l in &leases {
+        let t = l.task;
+        let primaries = leases
+            .iter()
+            .filter(|o| o.task == t && !o.speculative)
+            .count();
+        let specs = leases
+            .iter()
+            .filter(|o| o.task == t && o.speculative)
+            .count();
+        let same_worker = leases
+            .iter()
+            .filter(|o| o.task == t && o.worker == l.worker)
+            .count();
+        if primaries > 1 || specs > 1 || same_worker > 1 {
+            return Some(Diagnostic::error(
+                MODEL_LEASE_MULTIPLICITY,
+                format!(
+                    "task t{} holds {primaries} primary and {specs} speculative \
+                     leases (worker {} appears {same_worker} times)",
+                    t.index(),
+                    l.worker
+                ),
+            ));
+        }
+    }
+
+    // IC0504: a worker that believes it is live must agree with the
+    // machine — slot connected, epochs equal. A stale `Gone` honored
+    // against a resumed slot breaks exactly this.
+    for (i, w) in fleet.workers.iter().enumerate() {
+        if w.phase != Phase::Live {
+            continue;
+        }
+        if !m.worker_connected(w.slot) {
+            return Some(Diagnostic::error(
+                MODEL_EPOCH_REGRESSION,
+                format!(
+                    "worker w{i} (slot {}) is live at epoch {} but the machine \
+                     marked the slot disconnected — a stale Gone was honored",
+                    w.slot, w.epoch
+                ),
+            ));
+        }
+        if m.worker_epoch(w.slot) != Some(w.epoch) {
+            return Some(Diagnostic::error(
+                MODEL_EPOCH_REGRESSION,
+                format!(
+                    "worker w{i} (slot {}) is live at epoch {} but the machine \
+                     records epoch {:?}",
+                    w.slot,
+                    w.epoch,
+                    m.worker_epoch(w.slot)
+                ),
+            ));
+        }
+    }
+
+    // IC0505: the recorded pool (what traces report) must equal
+    // pool + deferred.
+    let pool: BTreeSet<u64> = m.exec().pool().iter().map(|v| v.index() as u64).collect();
+    let deferred: BTreeSet<u64> = m
+        .deferred_tasks()
+        .into_iter()
+        .map(|v| v.index() as u64)
+        .collect();
+    if m.recorded_pool() != pool.len() + deferred.len() {
+        return Some(Diagnostic::error(
+            MODEL_RECORDED_POOL_MISMATCH,
+            format!(
+                "recorded pool is {} but pool has {} and deferred {}",
+                m.recorded_pool(),
+                pool.len(),
+                deferred.len()
+            ),
+        ));
+    }
+
+    // IC0506: pool, deferred, and leased tasks partition ELIGIBLE —
+    // pairwise disjoint and jointly exhaustive. A task that silently
+    // leaves all three (the PR 3 lease-overwrite bug) is caught here.
+    let leased: BTreeSet<u64> = leases.iter().map(|l| l.task.index() as u64).collect();
+    if !pool.is_disjoint(&deferred) || !pool.is_disjoint(&leased) || !deferred.is_disjoint(&leased)
+    {
+        return Some(Diagnostic::error(
+            MODEL_ELIGIBLE_PARTITION_VIOLATION,
+            format!("pool {pool:?}, deferred {deferred:?}, leased {leased:?} overlap"),
+        ));
+    }
+    let mut union = pool.clone();
+    union.extend(&deferred);
+    union.extend(&leased);
+    if union != eligible {
+        let lost: Vec<u64> = eligible.difference(&union).copied().collect();
+        let extra: Vec<u64> = union.difference(&eligible).copied().collect();
+        return Some(Diagnostic::error(
+            MODEL_ELIGIBLE_PARTITION_VIOLATION,
+            format!(
+                "pool ∪ deferred ∪ leased ≠ ELIGIBLE: lost {lost:?}, extra {extra:?} \
+                 (pool {pool:?}, deferred {deferred:?}, leased {leased:?})"
+            ),
+        ));
+    }
+
+    None
+}
+
+/// Check the effects of the transition that just ran: a `Drain` reply
+/// is only legal once every task has executed (IC0507).
+pub fn drain_violation(fleet: &Fleet<'_, '_>, fx: &[Effect]) -> Option<Diagnostic> {
+    for e in fx {
+        if let Effect::Reply(Message::Drain) = e {
+            if !fleet.machine.is_complete() {
+                return Some(Diagnostic::error(
+                    MODEL_PREMATURE_DRAIN,
+                    format!(
+                        "Drain replied with only {} tasks executed",
+                        fleet.machine.exec().num_executed()
+                    ),
+                ));
+            }
+        }
+    }
+    None
+}

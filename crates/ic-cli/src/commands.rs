@@ -201,6 +201,99 @@ pub fn check(nd: &NamedDag, order_text: &str) -> Result<CmdOutput, String> {
     Ok(CmdOutput::success("check", out).with_data(data))
 }
 
+/// `check --family ...`: model-check the lease protocol by exhaustive
+/// interleaving exploration (see the `ic-check` crate). A violation
+/// surfaces as an error-severity diagnostic with its `IC05xx` code and
+/// the minimized counterexample in the text body, flipping the exit
+/// code to `1`.
+pub fn model_check(
+    spec: &str,
+    workers: usize,
+    depth: usize,
+    max_states: usize,
+    steal: bool,
+) -> Result<CmdOutput, String> {
+    if !(1..=8).contains(&workers) {
+        return Err("--workers takes 1..=8 for exhaustive exploration".to_string());
+    }
+    let (label, dag, _) = crate::parse::family_dag(spec)?;
+    if dag.num_nodes() > 16 {
+        return Err(format!(
+            "family {label} has {} nodes; exhaustive checking caps at 16 \
+             (use a smaller instance)",
+            dag.num_nodes()
+        ));
+    }
+    let mut fleet = ic_check::FleetSpec::of(workers);
+    if steal {
+        fleet = fleet.with_steal();
+    }
+    let cfg = ic_check::CheckConfig {
+        max_depth: depth,
+        max_states,
+        minimize: true,
+    };
+    let outcome = ic_check::check(
+        &dag,
+        &Policy::Fifo,
+        &fleet,
+        &cfg,
+        ic_net::machine::SeededBugs::default(),
+    );
+    let stats = outcome.stats();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "model-checked {label} with {workers} worker(s): {} states, {} transitions \
+         ({} visited-pruned, {} slept), {} complete runs, deepest {}",
+        stats.states,
+        stats.transitions,
+        stats.visited_pruned,
+        stats.sleep_pruned,
+        stats.complete_runs,
+        stats.deepest
+    );
+    if !stats.exhaustive() {
+        let _ = writeln!(
+            out,
+            "bounded: exploration truncated by {}",
+            if stats.state_capped {
+                "--max-states"
+            } else {
+                "--depth"
+            }
+        );
+    }
+    let data = format!(
+        "{{\"family\": \"{label}\", \"workers\": {workers}, \"states\": {}, \
+         \"transitions\": {}, \"visited_pruned\": {}, \"sleep_pruned\": {}, \
+         \"complete_runs\": {}, \"deepest\": {}, \"exhaustive\": {}, \"clean\": {}}}",
+        stats.states,
+        stats.transitions,
+        stats.visited_pruned,
+        stats.sleep_pruned,
+        stats.complete_runs,
+        stats.deepest,
+        stats.exhaustive(),
+        outcome.is_clean(),
+    );
+    match outcome {
+        ic_check::CheckOutcome::Clean(_) => {
+            let _ = writeln!(out, "all invariants hold on every explored state");
+            Ok(CmdOutput::success("check", out).with_data(data))
+        }
+        ic_check::CheckOutcome::Violation(v) => {
+            let _ = writeln!(out, "counterexample ({} events):", v.trace.len());
+            for (i, ev) in v.trace.iter().enumerate() {
+                let _ = writeln!(out, "  {:>3}. {ev}", i + 1);
+            }
+            Ok(CmdOutput::success("check", out)
+                .with_data(data)
+                .with_diagnostics(vec![v.diag.clone()]))
+        }
+    }
+}
+
 /// `export`: re-serialize to the canonical edge-list format (stable,
 /// diffable; round-trips through [`crate::parse_dag`]).
 pub fn export(nd: &NamedDag) -> String {

@@ -4,6 +4,8 @@
 //! ic-prio order <file> [--policy auto|greedy|fifo] [--json]
 //! ic-prio stats <file> [--json]
 //! ic-prio check <file> <order-file> [--json]
+//! ic-prio check --family <spec> [--workers N] [--depth D] [--max-states N]
+//!          [--steal] [--json]
 //! ic-prio sim (<file> | --family <spec>) [--policy P] [--clients N] [--seed S]
 //!          [--trace out.jsonl] [--json]
 //! ic-prio audit --claims [--json]
@@ -37,6 +39,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  ic-prio order <file> [--policy auto|greedy|fifo] [--json]\n  \
          ic-prio stats <file> [--json]\n  ic-prio check <file> <order-file> [--json]\n  \
+         ic-prio check --family <spec> [--workers N] [--depth D] [--max-states N]\n              \
+         [--steal] [--json]\n  \
          ic-prio sim (<file> | --family <spec>) [--policy fifo|lifo|random|greedy|maxout|mindepth]\n              \
          [--clients N] [--seed S] [--trace out.jsonl] [--json]\n  \
          ic-prio audit --claims [--json]\n  \
@@ -95,6 +99,61 @@ fn deny_code(name: &str) -> Option<&'static str> {
         .map(|(code, _, _)| *code)
 }
 
+/// `check --family <spec> [--workers N] [--depth D] [--max-states N]
+/// [--steal] [--json]` — the model-checker mode of the `check` verb.
+fn model_check(args: Vec<&str>) -> ExitCode {
+    let (rest, json) = take_json(args);
+    let steal = rest.contains(&"--steal");
+    let rest: Vec<&str> = rest.into_iter().filter(|a| *a != "--steal").collect();
+    let mut family: Option<&str> = None;
+    let mut workers = 2usize;
+    let mut depth = 48usize;
+    let mut max_states = 200_000usize;
+    let mut flags = rest.as_slice();
+    while let [flag, value, tail @ ..] = flags {
+        match *flag {
+            "--family" => family = Some(value),
+            "--workers" => match value.parse() {
+                Ok(n) if n > 0 => workers = n,
+                _ => {
+                    eprintln!("error: --workers takes a positive integer");
+                    return usage();
+                }
+            },
+            "--depth" => match value.parse() {
+                Ok(d) if d > 0 => depth = d,
+                _ => {
+                    eprintln!("error: --depth takes a positive integer");
+                    return usage();
+                }
+            },
+            "--max-states" => match value.parse() {
+                Ok(n) if n > 0 => max_states = n,
+                _ => {
+                    eprintln!("error: --max-states takes a positive integer");
+                    return usage();
+                }
+            },
+            _ => return usage(),
+        }
+        flags = tail;
+    }
+    if !flags.is_empty() {
+        return usage();
+    }
+    let Some(spec) = family else {
+        eprintln!("error: check --family <spec> is required in model-checker mode");
+        return usage();
+    };
+    match commands::model_check(spec, workers, depth, max_states, steal) {
+        Ok(out) => emit(&out, json),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(USAGE_EXIT)
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter().map(String::as_str);
@@ -136,6 +195,15 @@ fn main() -> ExitCode {
             }
         }
         "check" => {
+            let args: Vec<&str> = it.collect();
+            // Two modes share the verb: the positional form
+            // `check <file> <order-file>` validates a priority order;
+            // the flag form `check --family ...` model-checks the
+            // lease protocol by exhaustive interleaving exploration.
+            if args.first().is_some_and(|a| a.starts_with("--")) {
+                return model_check(args);
+            }
+            let mut it = args.into_iter();
             let (Some(path), Some(order_path)) = (it.next(), it.next()) else {
                 return usage();
             };

@@ -13,6 +13,11 @@
 //!   failure is a typed error, never a panic. `hello`/`welcome`
 //!   negotiate the protocol version; v2 adds resume tokens, batched
 //!   assignment, and lease revocation.
+//! * [`machine`] — the *pure* lease-protocol state machine:
+//!   `LeaseMachine::step(Event) -> Vec<Effect>` with no clock, socket,
+//!   or sink of its own, so the `ic-check` model checker can
+//!   exhaustively enumerate event interleavings over the exact code
+//!   the server runs.
 //! * [`server`] — the coordinator: leases with heartbeat timeouts,
 //!   exponential-backoff reallocation of lost tasks, resumable leases
 //!   across reconnects, speculative straggler re-lease at the drain
@@ -34,10 +39,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod machine;
 pub mod server;
 pub mod wire;
 pub mod worker;
 
+pub use machine::{Effect, Event, LeaseMachine, LeaseView};
 pub use server::{ServeReport, Server, ServerConfig, ServerConfigBuilder};
 pub use wire::{
     read_msg, write_msg, Message, WireError, ERR_BAD_RESUME, ERR_UNSUPPORTED, MAX_FRAME,

@@ -1,0 +1,1733 @@
+//! The pure lease-protocol state machine behind the TCP server.
+//!
+//! [`LeaseMachine`] is the coordinator of [`crate::server`] with every
+//! side effect factored out: one call to [`LeaseMachine::step`] applies
+//! one [`Event`] and returns the complete list of [`Effect`]s the
+//! caller must perform — trace records to sink, wire frames to send.
+//! The machine itself touches no clock, no socket, and no sink:
+//!
+//! * **time** is a `u64` microsecond count carried *in* each event
+//!   (`now_us`), interpreted against whatever epoch the driver chose.
+//!   The TCP driver feeds wall-clock micros; the `ic-check` model
+//!   checker freezes the clock at zero and drives lease expiry with
+//!   explicit [`Event::Expire`] events instead;
+//! * **randomness** is the one seeded [`XorShift64`] stream the old
+//!   coordinator already used (resume tokens only), so a machine is a
+//!   deterministic function of its config and event sequence;
+//! * **observability** is the returned effect list: [`Effect::Trace`]
+//!   in server order (the JSONL trace replays clean under
+//!   `ic-prio audit`), [`Effect::Reply`] for the requesting
+//!   connection, [`Effect::Registered`] answering a `hello`, and
+//!   [`Effect::Header`] exactly once when the registration barrier is
+//!   met.
+//!
+//! The protocol semantics — leases, exponential-backoff reallocation,
+//! resume tokens, epoch-guarded `Gone`, speculative straggler
+//! re-lease, duplicate-result resolution — are documented on
+//! [`crate::server`] and unchanged here; this module only separates
+//! *deciding* from *doing*. Because the machine is `Clone` and its
+//! [`LeaseMachine::fingerprint`] hashes exactly the
+//! scheduling-relevant state, `ic-check` can DFS-enumerate event
+//! interleavings over it directly.
+
+use std::hash::{Hash, Hasher};
+
+use ic_dag::rng::XorShift64;
+use ic_dag::{Dag, NodeId};
+use ic_sched::batched::fill_round;
+use ic_sched::eligibility::ExecState;
+use ic_sched::policy::AllocationPolicy;
+use ic_sim::trace::{TraceEvent, TraceHeader, WorkerParams};
+
+use crate::server::{ServeReport, ServerConfig};
+use crate::wire::{Message, ERR_BAD_RESUME, ERR_UNSUPPORTED, PROTO_CURRENT, PROTO_V2};
+
+/// One input to the machine. Times are microseconds on the driver's
+/// clock; the machine never reads a clock of its own.
+///
+/// The wire surface maps onto events as follows: `hello` (fresh or
+/// with a resume token) is [`Event::Hello`]; `request` is
+/// [`Event::Request`] (a `Drain` reply is the machine saying the dag
+/// is complete — drain is an *output*, not an input); `done` is
+/// [`Event::Done`]; `heartbeat` is [`Event::Heartbeat`]; a dropped
+/// connection is [`Event::Sever`]. Lease expiry and the steal timer
+/// are not messages at all — the driver turns the passage of time into
+/// [`Event::Expire`] events (see [`LeaseMachine::expired`]), and the
+/// steal timer is evaluated inside [`Event::Request`] against the
+/// event's own `now_us`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A worker registers — fresh, or resuming a slot with a token.
+    Hello {
+        /// Self-reported worker id (informational).
+        id: String,
+        /// Self-reported relative speed (recorded in the header).
+        speed: f64,
+        /// Highest protocol version the worker speaks.
+        proto: u32,
+        /// Resume token from a previous `welcome`, if reconnecting.
+        resume: Option<String>,
+        /// Event time in driver microseconds.
+        now_us: u64,
+    },
+    /// A registered worker asks for up to `max` tasks.
+    Request {
+        /// The worker's slot index.
+        worker: usize,
+        /// Most tasks the worker will accept in one `assign`.
+        max: u64,
+        /// Event time in driver microseconds.
+        now_us: u64,
+    },
+    /// A worker reports the outcome of a leased task.
+    Done {
+        /// The worker's slot index.
+        worker: usize,
+        /// The task id being reported.
+        task: u64,
+        /// Whether the task succeeded.
+        ok: bool,
+        /// Event time in driver microseconds.
+        now_us: u64,
+    },
+    /// A worker heartbeats a lease to extend its deadline.
+    Heartbeat {
+        /// The worker's slot index.
+        worker: usize,
+        /// The task id being heartbeat.
+        task: u64,
+        /// Event time in driver microseconds.
+        now_us: u64,
+    },
+    /// A worker's connection is gone (EOF, timeout, `bye`). Carries
+    /// the registration epoch so a superseded connection — the worker
+    /// already resumed on a new socket — cannot disturb the slot.
+    Sever {
+        /// The worker's slot index.
+        worker: usize,
+        /// The registration epoch of the closing connection.
+        epoch: u64,
+        /// Event time in driver microseconds.
+        now_us: u64,
+    },
+    /// A specific lease's heartbeat deadline has passed. Only a lease
+    /// on `(worker, task)` whose recorded deadline is `<= now_us` is
+    /// forfeited; otherwise the event is a no-op (the lease was
+    /// renewed, resolved, or never existed).
+    Expire {
+        /// The lease holder's slot index.
+        worker: usize,
+        /// The leased task id.
+        task: u64,
+        /// Event time in driver microseconds.
+        now_us: u64,
+    },
+}
+
+/// One output of [`LeaseMachine::step`]: something the driver must do,
+/// in order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Write the trace header (emitted exactly once, before any
+    /// [`Effect::Trace`]).
+    Header(TraceHeader),
+    /// Record a trace event (server order; replays clean under audit).
+    Trace(TraceEvent),
+    /// Send this frame to the connection that raised the event.
+    Reply(Message),
+    /// Answer a [`Event::Hello`]: the frame to relay plus the slot and
+    /// epoch the connection handler needs for its eventual
+    /// [`Event::Sever`]. `worker` is `usize::MAX` when refused.
+    Registered {
+        /// The `welcome` or typed `error` frame.
+        msg: Message,
+        /// The slot index granted (or `usize::MAX` if refused).
+        worker: usize,
+        /// The slot's registration epoch.
+        epoch: u64,
+    },
+}
+
+/// Deliberately re-introducible historical bugs, used by the
+/// `ic-check` negative suite to prove the checker catches each one
+/// with a stable diagnostic code and a minimal counterexample. All
+/// flags default to off; production drivers never set them. (They are
+/// runtime flags rather than `#[cfg(test)]` items because the negative
+/// suite lives in another crate — the same reasoning that makes
+/// [`crate::worker::FaultPlan`] a runtime value.)
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeededBugs {
+    /// PR 3's orphaning bug: a request from a worker still holding
+    /// leases silently discards them instead of forfeiting them, so
+    /// the held tasks — claimed, but on no queue — can never be
+    /// reallocated. Caught as IC0506 (eligible-partition violation).
+    pub orphan_on_request: bool,
+    /// Accept a duplicate `done` for an already-executed task and emit
+    /// a second `Completed` trace event. Caught as IC0502.
+    pub double_completion_event: bool,
+    /// Skip the epoch guard on [`Event::Sever`], so a stale `Gone`
+    /// from a superseded connection disturbs the resumed slot. Caught
+    /// as IC0504.
+    pub honor_stale_gone: bool,
+}
+
+/// Per-worker registration record. The slot outlives its TCP
+/// connection: a v2 worker that disconnects mid-lease can reclaim it
+/// with the resume token.
+#[derive(Debug, Clone)]
+struct WorkerSlot {
+    id: String,
+    speed: f64,
+    /// Whether the worker's latest request already saw an empty pool
+    /// (suppresses repeated `Idle` events while it polls).
+    waiting: bool,
+    /// Negotiated protocol version for this slot's current connection.
+    proto: u32,
+    /// Current resume token (v2 slots only; rotated on every resume so
+    /// a stale token cannot hijack the slot).
+    token: Option<String>,
+    /// Bumped on every resume; a `Sever` carrying an older epoch comes
+    /// from a superseded connection and is ignored.
+    epoch: u64,
+    /// Whether a live connection currently owns the slot.
+    connected: bool,
+}
+
+/// One entry of the lease table. A task can appear in several entries
+/// at once: one primary lease plus speculative duplicates granted at
+/// the drain barrier.
+#[derive(Debug, Clone, Copy)]
+struct Lease {
+    worker: usize,
+    task: NodeId,
+    /// Heartbeat deadline in driver microseconds; passing it forfeits
+    /// the lease.
+    deadline_us: u64,
+    /// Grant time in driver microseconds — the straggler clock for
+    /// stealing.
+    granted_us: u64,
+    /// A duplicate granted at the drain barrier (loses ties: its
+    /// completion only counts if it arrives first).
+    speculative: bool,
+}
+
+/// A read-only view of one lease-table entry, for drivers, tests, and
+/// the model checker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseView {
+    /// The holding worker's slot index.
+    pub worker: usize,
+    /// The leased task.
+    pub task: NodeId,
+    /// Whether this is a speculative drain-barrier duplicate.
+    pub speculative: bool,
+}
+
+/// The pure lease-protocol coordinator: all scheduling state, no side
+/// effects. See the [module docs](self) for the contract.
+#[derive(Clone)]
+pub struct LeaseMachine<'a, 'd> {
+    dag: &'d Dag,
+    policy: &'a dyn AllocationPolicy,
+    cfg: ServerConfig,
+    /// Execution state; its dense pool holds the ELIGIBLE, unleased,
+    /// not-backing-off tasks — allocatable now. Leased and deferred
+    /// tasks are *claimed* (ELIGIBLE but out of the pool).
+    state: ExecState<'d>,
+    /// Failed tasks waiting out their backoff: `(ready_at_us, task)`.
+    /// They stay claimed in `state` until promoted back to the pool.
+    deferred: Vec<(u64, NodeId)>,
+    /// The lease table. Linear scans throughout: the table never holds
+    /// more entries than there are connected workers.
+    leases: Vec<Lease>,
+    /// Per-node failure counts, surfaced to policies via
+    /// [`ic_sched::policy::PolicyContext::retries`].
+    failures: Vec<u32>,
+    workers: Vec<WorkerSlot>,
+    connected: usize,
+    late_workers: usize,
+    header_written: bool,
+    /// Driver time when the header was written; trace timestamps and
+    /// the makespan count from here.
+    origin_us: u64,
+    step: u64,
+    allocation_steps: usize,
+    completions: usize,
+    failure_events: usize,
+    resumes: usize,
+    steals: usize,
+    revokes: usize,
+    completed_at_us: Option<u64>,
+    /// Resume-token source, seeded from the config (keeps the machine
+    /// deterministic given its inputs).
+    rng: XorShift64,
+    bugs: SeededBugs,
+}
+
+impl<'a, 'd> LeaseMachine<'a, 'd> {
+    /// Build a machine over `dag` allocating through `policy`.
+    ///
+    /// # Panics
+    /// Panics if the policy rejects the dag in
+    /// [`AllocationPolicy::prepare`].
+    pub fn new(dag: &'d Dag, policy: &'a dyn AllocationPolicy, cfg: ServerConfig) -> Self {
+        policy.prepare(dag);
+        let state = ExecState::new(dag);
+        let failures = vec![0; dag.num_nodes()];
+        let rng = XorShift64::new(cfg.seed ^ 0x7EA5_E0CE);
+        LeaseMachine {
+            dag,
+            policy,
+            cfg,
+            state,
+            deferred: Vec::new(),
+            leases: Vec::new(),
+            failures,
+            workers: Vec::new(),
+            connected: 0,
+            late_workers: 0,
+            header_written: false,
+            origin_us: 0,
+            step: 0,
+            allocation_steps: 0,
+            completions: 0,
+            failure_events: 0,
+            resumes: 0,
+            steals: 0,
+            revokes: 0,
+            completed_at_us: None,
+            rng,
+            bugs: SeededBugs::default(),
+        }
+    }
+
+    /// Start the run: with no registration barrier
+    /// (`expect_workers == 0`) the trace header goes out immediately,
+    /// before anyone registers. With a barrier this is a no-op — the
+    /// header is emitted by the `Hello` that meets the barrier.
+    pub fn boot(&mut self, now_us: u64) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        if self.cfg.expect_workers == 0 && !self.header_written {
+            self.write_header(now_us, &mut fx);
+        }
+        fx
+    }
+
+    /// Re-introduce a seeded historical bug (negative testing only).
+    #[doc(hidden)]
+    pub fn seed_bugs(&mut self, bugs: SeededBugs) {
+        self.bugs = bugs;
+    }
+
+    /// Apply one event, returning the effects in the order the driver
+    /// must perform them.
+    pub fn step(&mut self, ev: Event) -> Vec<Effect> {
+        let mut fx = Vec::new();
+        match ev {
+            Event::Hello {
+                id,
+                speed,
+                proto,
+                resume,
+                now_us,
+            } => self.register(id, speed, proto, resume, now_us, &mut fx),
+            Event::Request {
+                worker,
+                max,
+                now_us,
+            } => {
+                let msg = self.allocate_for(worker, max, now_us, &mut fx);
+                fx.push(Effect::Reply(msg));
+            }
+            Event::Done {
+                worker,
+                task,
+                ok,
+                now_us,
+            } => {
+                let accepted = self.report(worker, task, ok, now_us, &mut fx);
+                fx.push(Effect::Reply(Message::Ack { task, accepted }));
+            }
+            Event::Heartbeat {
+                worker,
+                task,
+                now_us,
+            } => {
+                let deadline = self.lease_deadline(now_us);
+                let mut held = false;
+                for l in self
+                    .leases
+                    .iter_mut()
+                    .filter(|l| l.worker == worker && l.task.index() as u64 == task)
+                {
+                    l.deadline_us = deadline;
+                    held = true;
+                }
+                let msg = if held {
+                    Message::Ack {
+                        task,
+                        accepted: true,
+                    }
+                } else if self.worker_proto(worker) >= PROTO_V2 {
+                    // The lease is gone (expired, forfeited, or revoked
+                    // after a losing race): tell a v2 worker to abandon
+                    // the task instead of finishing doomed work.
+                    Message::Revoke { task }
+                } else {
+                    Message::Ack {
+                        task,
+                        accepted: false,
+                    }
+                };
+                fx.push(Effect::Reply(msg));
+            }
+            Event::Sever {
+                worker,
+                epoch,
+                now_us,
+            } => self.sever(worker, epoch, now_us, &mut fx),
+            Event::Expire {
+                worker,
+                task,
+                now_us,
+            } => {
+                if let Some(pos) = self.leases.iter().position(|l| {
+                    l.worker == worker && l.task.index() as u64 == task && l.deadline_us <= now_us
+                }) {
+                    let lease = self.leases.swap_remove(pos);
+                    self.lose_lease(lease, now_us, &mut fx);
+                }
+            }
+        }
+        fx
+    }
+
+    /// Every lease whose heartbeat deadline has passed at `now_us`, as
+    /// `(worker, task)` pairs ready to feed back as [`Event::Expire`].
+    pub fn expired(&self, now_us: u64) -> Vec<(usize, u64)> {
+        self.leases
+            .iter()
+            .filter(|l| l.deadline_us <= now_us)
+            .map(|l| (l.worker, l.task.index() as u64))
+            .collect()
+    }
+
+    /// Whether every task of the dag has executed.
+    pub fn is_complete(&self) -> bool {
+        self.state.num_executed() == self.dag.num_nodes()
+    }
+
+    /// Workers with a live connection right now.
+    pub fn connected(&self) -> usize {
+        self.connected
+    }
+
+    /// Pool size as the trace records it: allocatable now, plus tasks
+    /// waiting out a backoff — both are ELIGIBLE and unallocated,
+    /// which is what the auditor's replay reconstructs.
+    pub fn recorded_pool(&self) -> usize {
+        self.state.pool_len() + self.deferred.len()
+    }
+
+    /// The execution state (read-only).
+    pub fn exec(&self) -> &ExecState<'d> {
+        &self.state
+    }
+
+    /// The lease table (read-only views, in table order).
+    pub fn lease_views(&self) -> Vec<LeaseView> {
+        self.leases
+            .iter()
+            .map(|l| LeaseView {
+                worker: l.worker,
+                task: l.task,
+                speculative: l.speculative,
+            })
+            .collect()
+    }
+
+    /// Tasks parked in the backoff queue (unordered).
+    pub fn deferred_tasks(&self) -> Vec<NodeId> {
+        self.deferred.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// How many workers ever registered.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A slot's current registration epoch, if the slot exists.
+    pub fn worker_epoch(&self, worker: usize) -> Option<u64> {
+        self.workers.get(worker).map(|w| w.epoch)
+    }
+
+    /// Whether a live connection currently owns the slot.
+    pub fn worker_connected(&self, worker: usize) -> bool {
+        self.workers.get(worker).is_some_and(|w| w.connected)
+    }
+
+    /// Failure count of one task (lease expiries, forfeits, reported
+    /// failures).
+    pub fn failure_count(&self, v: NodeId) -> u32 {
+        self.failures.get(v.index()).copied().unwrap_or(0)
+    }
+
+    /// Trace events emitted so far.
+    pub fn trace_steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Summarize the run as the driver's [`ServeReport`]; `now_us` is
+    /// the fallback makespan endpoint if the dag never completed.
+    pub fn summary(&self, now_us: u64) -> ServeReport {
+        let end = self.completed_at_us.unwrap_or(now_us);
+        let makespan = end.saturating_sub(self.origin_us) as f64 * 1e-6;
+        ServeReport {
+            completions: self.completions,
+            failures: self.failure_events,
+            allocations: self.allocation_steps,
+            workers_registered: self.workers.len(),
+            late_workers: self.late_workers,
+            resumes: self.resumes,
+            steals: self.steals,
+            revokes: self.revokes,
+            makespan,
+        }
+    }
+
+    /// Hash the scheduling-relevant state: executed set, pool (in
+    /// arrival order — FIFO policies depend on it), backoff queue,
+    /// lease table (sorted; grant times and deadlines excluded), slot
+    /// states, and failure counts. Token strings, the rng, trace step
+    /// counters, and all timestamps are excluded, so two states that
+    /// can only diverge in timing or cosmetics collide — exactly what
+    /// a frozen-clock model checker wants for its visited set.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.fingerprint_into(&mut h);
+        h.finish()
+    }
+
+    /// [`LeaseMachine::fingerprint`] into a caller-chosen hasher.
+    pub fn fingerprint_into(&self, h: &mut impl Hasher) {
+        self.header_written.hash(h);
+        for v in self.dag.node_ids() {
+            self.state.is_executed(v).hash(h);
+        }
+        let mut pool: Vec<NodeId> = self.state.pool().to_vec();
+        pool.sort_unstable_by_key(|&v| self.state.pool_seq(v));
+        0xA1u8.hash(h);
+        for v in &pool {
+            v.index().hash(h);
+        }
+        0xA2u8.hash(h);
+        for &(_, v) in &self.deferred {
+            v.index().hash(h);
+        }
+        0xA3u8.hash(h);
+        let mut leases: Vec<(usize, usize, bool)> = self
+            .leases
+            .iter()
+            .map(|l| (l.worker, l.task.index(), l.speculative))
+            .collect();
+        leases.sort_unstable();
+        for l in &leases {
+            l.hash(h);
+        }
+        0xA4u8.hash(h);
+        for w in &self.workers {
+            (w.proto, w.epoch, w.connected, w.waiting, w.token.is_some()).hash(h);
+        }
+        0xA5u8.hash(h);
+        self.failures.hash(h);
+    }
+
+    // ------------------------------------------------------------------
+    // Internals (straight ports of the old coordinator, with `Instant`
+    // arithmetic replaced by event-supplied microseconds).
+    // ------------------------------------------------------------------
+
+    /// Trace timestamp for an event happening at `now_us`.
+    fn t(&self, now_us: u64) -> f64 {
+        now_us.saturating_sub(self.origin_us) as f64 * 1e-6
+    }
+
+    fn emit(&mut self, fx: &mut Vec<Effect>, ev: TraceEvent) {
+        debug_assert!(self.header_written, "events only after the header");
+        fx.push(Effect::Trace(ev));
+        self.step += 1;
+    }
+
+    /// Write the trace header recording every worker registered so far
+    /// with its declared parameters. Called when the registration
+    /// barrier is met (or at boot with no barrier); workers joining
+    /// later appear in events but not in the header.
+    fn write_header(&mut self, now_us: u64, fx: &mut Vec<Effect>) {
+        debug_assert!(!self.header_written);
+        let params: Vec<WorkerParams> = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| WorkerParams {
+                client: i,
+                id: w.id.clone(),
+                speed: w.speed,
+            })
+            .collect();
+        let clients = self.workers.len().max(self.cfg.expect_workers).max(1);
+        let header = TraceHeader::for_run(self.dag, clients, self.cfg.seed, &self.policy.name())
+            .with_workers(params);
+        fx.push(Effect::Header(header));
+        self.header_written = true;
+        // Serving time starts when serving can actually start.
+        self.origin_us = now_us;
+    }
+
+    /// Move deferred tasks whose backoff elapsed back into the pool.
+    /// Unclaiming stamps them as the pool's newest arrivals, so FIFO
+    /// policies treat a reallocated task as freshly eligible.
+    fn promote_deferred(&mut self, now_us: u64) {
+        let mut i = 0;
+        while i < self.deferred.len() {
+            if self.deferred[i].0 <= now_us {
+                let (_, v) = self.deferred.swap_remove(i);
+                let unclaimed = self.state.unclaim(v).is_ok();
+                debug_assert!(unclaimed, "deferred tasks are claimed ELIGIBLE nodes");
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn fresh_token(&mut self) -> String {
+        format!("{:016x}{:016x}", self.rng.next_u64(), self.rng.next_u64())
+    }
+
+    /// Lease deadline for a grant or renewal at `now_us`.
+    fn lease_deadline(&self, now_us: u64) -> u64 {
+        now_us.saturating_add(self.cfg.lease_ms.saturating_mul(1_000))
+    }
+
+    /// Declare a (removed) lease lost: emit `Failed` and bump the
+    /// task's failure count. Only when the *last* holder falls does
+    /// the task park in the backoff queue — while duplicates remain,
+    /// the task is still in flight and must not re-enter the pool.
+    fn lose_lease(&mut self, lease: Lease, now_us: u64, fx: &mut Vec<Effect>) {
+        let v = lease.task;
+        self.failures[v.index()] += 1;
+        let last_holder = !self.leases.iter().any(|l| l.task == v);
+        if last_holder {
+            let fails = self.failures[v.index()];
+            let backoff_us = self
+                .cfg
+                .backoff_base_ms
+                .saturating_mul(1 << (fails - 1).min(6))
+                .saturating_mul(1_000);
+            self.deferred.push((now_us.saturating_add(backoff_us), v));
+        }
+        self.failure_events += 1;
+        let ev = TraceEvent::Failed {
+            step: self.step,
+            time: self.t(now_us),
+            client: lease.worker,
+            task: v,
+            pool: Some(self.recorded_pool()),
+        };
+        self.emit(fx, ev);
+    }
+
+    /// Remove and lose every lease held by `worker`.
+    fn drop_worker_leases(&mut self, worker: usize, now_us: u64, fx: &mut Vec<Effect>) {
+        let mut i = 0;
+        while i < self.leases.len() {
+            if self.leases[i].worker == worker {
+                let lease = self.leases.swap_remove(i);
+                self.lose_lease(lease, now_us, fx);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Register a fresh worker or resume an existing slot; pushes the
+    /// [`Effect::Registered`] answer (after any header or trace
+    /// effects the registration itself produced).
+    fn register(
+        &mut self,
+        id: String,
+        speed: f64,
+        proto: u32,
+        resume: Option<String>,
+        now_us: u64,
+        fx: &mut Vec<Effect>,
+    ) {
+        let refused = |fx: &mut Vec<Effect>, msg: Message| {
+            fx.push(Effect::Registered {
+                msg,
+                worker: usize::MAX,
+                epoch: 0,
+            });
+        };
+        if proto < self.cfg.min_proto {
+            return refused(
+                fx,
+                Message::Error {
+                    code: ERR_UNSUPPORTED.into(),
+                    msg: format!(
+                        "protocol {proto} not supported: this server requires at least {}",
+                        self.cfg.min_proto
+                    ),
+                },
+            );
+        }
+        let negotiated = proto.min(PROTO_CURRENT);
+        if let Some(token) = resume {
+            if negotiated < PROTO_V2 {
+                return refused(
+                    fx,
+                    Message::Error {
+                        code: ERR_UNSUPPORTED.into(),
+                        msg: "resume requires protocol 2".into(),
+                    },
+                );
+            }
+            return self.resume_slot(&token, negotiated, now_us, fx);
+        }
+        let worker = self.workers.len();
+        let token = (negotiated >= PROTO_V2).then(|| self.fresh_token());
+        self.workers.push(WorkerSlot {
+            id,
+            speed,
+            waiting: false,
+            proto: negotiated,
+            token: token.clone(),
+            epoch: 0,
+            connected: true,
+        });
+        self.connected += 1;
+        if self.header_written {
+            self.late_workers += 1;
+        } else if self.workers.len() >= self.cfg.expect_workers {
+            self.write_header(now_us, fx);
+        }
+        fx.push(Effect::Registered {
+            msg: Message::Welcome {
+                worker: worker as u64,
+                lease_ms: self.cfg.lease_ms,
+                proto: negotiated,
+                resume: token,
+                tasks: Vec::new(),
+            },
+            worker,
+            epoch: 0,
+        });
+    }
+
+    /// Reattach a reconnecting worker to its slot: rotate the token,
+    /// bump the epoch (so the dead connection's `Sever` is ignored),
+    /// and restore the heartbeat clock of every lease it still holds.
+    fn resume_slot(&mut self, token: &str, negotiated: u32, now_us: u64, fx: &mut Vec<Effect>) {
+        let Some(worker) = self
+            .workers
+            .iter()
+            .position(|w| w.token.as_deref() == Some(token))
+        else {
+            fx.push(Effect::Registered {
+                msg: Message::Error {
+                    code: ERR_BAD_RESUME.into(),
+                    msg: "unknown or stale resume token".into(),
+                },
+                worker: usize::MAX,
+                epoch: 0,
+            });
+            return;
+        };
+        let fresh = self.fresh_token();
+        let deadline = self.lease_deadline(now_us);
+        let slot = &mut self.workers[worker];
+        slot.epoch += 1;
+        slot.token = Some(fresh.clone());
+        slot.proto = negotiated;
+        slot.waiting = false;
+        if !slot.connected {
+            slot.connected = true;
+            self.connected += 1;
+        }
+        let epoch = slot.epoch;
+        let mut held: Vec<NodeId> = Vec::new();
+        for l in self.leases.iter_mut().filter(|l| l.worker == worker) {
+            l.deadline_us = deadline;
+            held.push(l.task);
+        }
+        self.resumes += 1;
+        for &v in &held {
+            let ev = TraceEvent::Resumed {
+                step: self.step,
+                time: self.t(now_us),
+                client: worker,
+                task: v,
+            };
+            self.emit(fx, ev);
+        }
+        fx.push(Effect::Registered {
+            msg: Message::Welcome {
+                worker: worker as u64,
+                lease_ms: self.cfg.lease_ms,
+                proto: negotiated,
+                resume: Some(fresh),
+                tasks: held.iter().map(|v| v.index() as u64).collect(),
+            },
+            worker,
+            epoch,
+        });
+    }
+
+    /// A worker's connection dropped (with its registration epoch).
+    fn sever(&mut self, worker: usize, epoch: u64, now_us: u64, fx: &mut Vec<Effect>) {
+        match self.workers.get_mut(worker) {
+            Some(slot) => {
+                if slot.epoch != epoch && !self.bugs.honor_stale_gone {
+                    // A superseded connection: the worker already
+                    // resumed on a new socket.
+                    return;
+                }
+                if slot.connected {
+                    slot.connected = false;
+                    self.connected = self.connected.saturating_sub(1);
+                }
+                if slot.proto >= PROTO_V2 && slot.token.is_some() {
+                    // v2: keep the leases — the worker may resume.
+                    // Lease expiry is the fallback if it never does.
+                } else {
+                    self.drop_worker_leases(worker, now_us, fx);
+                }
+            }
+            None => {
+                // Never fully registered (e.g. the welcome write
+                // failed): v1 semantics, lose everything.
+                self.connected = self.connected.saturating_sub(1);
+                self.drop_worker_leases(worker, now_us, fx);
+            }
+        }
+    }
+
+    fn worker_proto(&self, worker: usize) -> u32 {
+        self.workers
+            .get(worker)
+            .map_or(crate::wire::PROTO_V1, |w| w.proto)
+    }
+
+    /// Answer a work request: `Assign` when the pool has tasks,
+    /// `Drain` when the dag is complete, a speculative duplicate at
+    /// the drain barrier if stealing is enabled, `Wait` otherwise.
+    ///
+    /// A worker requesting while it still holds leases forfeits them
+    /// (same as a mid-lease disconnect) — otherwise the held tasks,
+    /// belonging to no queue, could never be reallocated.
+    fn allocate_for(
+        &mut self,
+        worker: usize,
+        max: u64,
+        now_us: u64,
+        fx: &mut Vec<Effect>,
+    ) -> Message {
+        if self.is_complete() {
+            return Message::Drain;
+        }
+        if !self.header_written {
+            // Registration barrier not met: no events before the header.
+            return Message::Wait {
+                ms: self.cfg.wait_ms,
+            };
+        }
+        if self.bugs.orphan_on_request {
+            // The seeded PR 3 bug: silently discard the held leases —
+            // their tasks stay claimed but belong to no queue.
+            self.leases.retain(|l| l.worker != worker);
+        } else {
+            self.drop_worker_leases(worker, now_us, fx);
+        }
+        self.promote_deferred(now_us);
+        if self.state.pool_len() == 0 {
+            if let Some(msg) = self.try_steal(worker, now_us, fx) {
+                return msg;
+            }
+            // First unsatisfied request since this worker's last
+            // allocation is a gridlock event; its polling retries are
+            // not.
+            if let Some(w) = self.workers.get_mut(worker) {
+                if !w.waiting {
+                    w.waiting = true;
+                    let ev = TraceEvent::Idle {
+                        step: self.step,
+                        time: self.t(now_us),
+                        client: worker,
+                    };
+                    self.emit(fx, ev);
+                }
+            }
+            return Message::Wait {
+                ms: self.cfg.wait_ms,
+            };
+        }
+        let width = if self.worker_proto(worker) >= PROTO_V2 {
+            max.clamp(1, self.cfg.batch.max(1) as u64) as usize
+        } else {
+            1
+        };
+        // Claiming removes each task from the pool but keeps it
+        // ELIGIBLE until the lease resolves (completion, failure, or
+        // expiry). The round is chosen exactly as the offline
+        // `ic_sched::batched::batches_with` would choose it.
+        let tasks = fill_round(
+            &mut self.state,
+            self.dag,
+            self.policy,
+            width,
+            self.allocation_steps,
+            Some(&self.failures),
+        );
+        self.allocation_steps += tasks.len();
+        let deadline = self.lease_deadline(now_us);
+        // The trace shows one `alloc` per task; event `i` of `k`
+        // records the pool as it stood after that single allocation.
+        let base = self.recorded_pool();
+        let k = tasks.len();
+        for (i, &v) in tasks.iter().enumerate() {
+            self.leases.push(Lease {
+                worker,
+                task: v,
+                deadline_us: deadline,
+                granted_us: now_us,
+                speculative: false,
+            });
+            let ev = TraceEvent::Allocated {
+                step: self.step,
+                time: self.t(now_us),
+                client: worker,
+                task: v,
+                pool: Some(base + (k - 1 - i)),
+            };
+            self.emit(fx, ev);
+        }
+        if let Some(w) = self.workers.get_mut(worker) {
+            w.waiting = false;
+        }
+        Message::Assign {
+            tasks: tasks.iter().map(|v| v.index() as u64).collect(),
+        }
+    }
+
+    /// At the drain barrier (empty pool, nothing deferred, leases
+    /// outstanding), grant an idle v2 worker a speculative duplicate
+    /// of the longest-outstanding primary lease — if stealing is
+    /// enabled, that lease is old enough, and the task has no
+    /// duplicate yet.
+    fn try_steal(&mut self, worker: usize, now_us: u64, fx: &mut Vec<Effect>) -> Option<Message> {
+        let after_us = self.cfg.steal_after_ms?.saturating_mul(1_000);
+        if !self.deferred.is_empty() || self.worker_proto(worker) < PROTO_V2 {
+            return None;
+        }
+        let mut straggler: Option<(u64, NodeId)> = None;
+        for l in &self.leases {
+            if l.speculative || l.worker == worker {
+                continue;
+            }
+            if now_us.saturating_sub(l.granted_us) < after_us {
+                continue;
+            }
+            let task = l.task;
+            if self.leases.iter().any(|x| x.task == task && x.speculative) {
+                continue;
+            }
+            if straggler.is_none_or(|(g, _)| l.granted_us < g) {
+                straggler = Some((l.granted_us, task));
+            }
+        }
+        let (_, v) = straggler?;
+        self.steals += 1;
+        self.leases.push(Lease {
+            worker,
+            task: v,
+            deadline_us: self.lease_deadline(now_us),
+            granted_us: now_us,
+            speculative: true,
+        });
+        // The pool does not shrink: the task was already allocated.
+        let ev = TraceEvent::Speculated {
+            step: self.step,
+            time: self.t(now_us),
+            client: worker,
+            task: v,
+            pool: Some(self.recorded_pool()),
+        };
+        self.emit(fx, ev);
+        if let Some(w) = self.workers.get_mut(worker) {
+            w.waiting = false;
+        }
+        Some(Message::assign(v.index() as u64))
+    }
+
+    /// Apply a worker's outcome report. Returns whether it was
+    /// accepted; late or duplicate reports are discarded without a
+    /// trace event (the lease expiry already recorded the loss, or the
+    /// task is already executed).
+    ///
+    /// First completion wins: the winner's `Completed` is followed by
+    /// a `Revoked` for every remaining duplicate holder, whose
+    /// eventual report then finds no lease and is rejected.
+    fn report(
+        &mut self,
+        worker: usize,
+        task: u64,
+        ok: bool,
+        now_us: u64,
+        fx: &mut Vec<Effect>,
+    ) -> bool {
+        let Some(pos) = self
+            .leases
+            .iter()
+            .position(|l| l.worker == worker && l.task.index() as u64 == task)
+        else {
+            if self.bugs.double_completion_event && ok {
+                // The seeded duplicate-completion bug: a late report
+                // for an already-executed task is accepted again and
+                // re-emits `Completed`.
+                if let Some(v) = self.dag.node_ids().find(|v| v.index() as u64 == task) {
+                    if self.state.is_executed(v) {
+                        self.completions += 1;
+                        let ev = TraceEvent::Completed {
+                            step: self.step,
+                            time: self.t(now_us),
+                            client: worker,
+                            task: v,
+                            pool: Some(self.recorded_pool()),
+                        };
+                        self.emit(fx, ev);
+                        return true;
+                    }
+                }
+            }
+            return false;
+        };
+        let lease = self.leases.swap_remove(pos);
+        let v = lease.task;
+        if ok {
+            // Newly ELIGIBLE children enter the pool inside
+            // `execute_counting` (in id order). A leased task is
+            // ELIGIBLE by construction — `ic-check` proves exactly
+            // this invariant exhaustively — so failure is refused
+            // defensively rather than unwrapped.
+            if self.state.execute_counting(v).is_err() {
+                debug_assert!(false, "leased task {v} was not ELIGIBLE");
+                self.leases.push(lease);
+                return false;
+            }
+            self.completions += 1;
+            let ev = TraceEvent::Completed {
+                step: self.step,
+                time: self.t(now_us),
+                client: worker,
+                task: v,
+                pool: Some(self.recorded_pool()),
+            };
+            self.emit(fx, ev);
+            // Cancel the stale duplicates (if any): their leases are
+            // removed now; their workers learn via the `Revoke` reply
+            // to their next heartbeat or the rejected `Done`.
+            let mut i = 0;
+            while i < self.leases.len() {
+                if self.leases[i].task == v {
+                    let dup = self.leases.swap_remove(i);
+                    self.revokes += 1;
+                    let ev = TraceEvent::Revoked {
+                        step: self.step,
+                        time: self.t(now_us),
+                        client: dup.worker,
+                        task: dup.task,
+                    };
+                    self.emit(fx, ev);
+                } else {
+                    i += 1;
+                }
+            }
+            if self.is_complete() {
+                self.completed_at_us = Some(now_us);
+            }
+        } else {
+            self.lose_lease(lease, now_us, fx);
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for LeaseMachine<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaseMachine")
+            .field("executed", &self.state.num_executed())
+            .field("pool", &self.state.pool_len())
+            .field("deferred", &self.deferred.len())
+            .field("leases", &self.leases.len())
+            .field("workers", &self.workers.len())
+            .field("connected", &self.connected)
+            .field("complete", &self.is_complete())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::PROTO_V1;
+    use ic_audit::{audit_trace, Severity};
+    use ic_dag::builder::from_arcs;
+    use ic_sched::batched::batches_with;
+    use ic_sched::heuristics::Policy;
+    use ic_sim::trace::TraceSink;
+    use ic_sim::MemorySink;
+
+    /// Feed one event, route trace effects into the sink, and return
+    /// the wire-visible replies (both `Reply` and `Registered` frames).
+    fn drive(m: &mut LeaseMachine<'_, '_>, sink: &mut MemorySink, ev: Event) -> Vec<Message> {
+        let mut replies = Vec::new();
+        for e in m.step(ev) {
+            match e {
+                Effect::Header(h) => sink.header(&h),
+                Effect::Trace(t) => sink.record(&t),
+                Effect::Reply(msg) => replies.push(msg),
+                Effect::Registered { msg, .. } => replies.push(msg),
+            }
+        }
+        replies
+    }
+
+    fn boot(m: &mut LeaseMachine<'_, '_>, sink: &mut MemorySink) {
+        for e in m.boot(0) {
+            match e {
+                Effect::Header(h) => sink.header(&h),
+                Effect::Trace(t) => sink.record(&t),
+                _ => panic!("boot only writes the header"),
+            }
+        }
+    }
+
+    fn request(
+        m: &mut LeaseMachine<'_, '_>,
+        sink: &mut MemorySink,
+        worker: usize,
+        max: u64,
+        now_us: u64,
+    ) -> Message {
+        let mut replies = drive(
+            m,
+            sink,
+            Event::Request {
+                worker,
+                max,
+                now_us,
+            },
+        );
+        assert_eq!(replies.len(), 1, "a request has exactly one reply");
+        replies.remove(0)
+    }
+
+    fn done(
+        m: &mut LeaseMachine<'_, '_>,
+        sink: &mut MemorySink,
+        worker: usize,
+        task: u64,
+        ok: bool,
+        now_us: u64,
+    ) -> bool {
+        let mut replies = drive(
+            m,
+            sink,
+            Event::Done {
+                worker,
+                task,
+                ok,
+                now_us,
+            },
+        );
+        assert_eq!(replies.len(), 1);
+        match replies.remove(0) {
+            Message::Ack { accepted, .. } => accepted,
+            other => panic!("done answers with ack, got {other:?}"),
+        }
+    }
+
+    /// The machine's accounting invariant: every ELIGIBLE task is in
+    /// exactly one place — the allocatable pool, the backoff queue, or
+    /// out on (one or more) leases — and only pooled tasks are
+    /// unclaimed.
+    fn assert_accounting(m: &LeaseMachine<'_, '_>) {
+        let mut eligible = m.exec().eligible_nodes();
+        eligible.sort_unstable_by_key(|v| v.index());
+        let mut tracked: Vec<NodeId> = m.exec().pool().to_vec();
+        tracked.extend(m.deferred_tasks());
+        let mut leased: Vec<NodeId> = m.lease_views().iter().map(|l| l.task).collect();
+        leased.sort_unstable_by_key(|v| v.index());
+        leased.dedup();
+        tracked.extend(leased);
+        tracked.sort_unstable_by_key(|v| v.index());
+        assert_eq!(
+            tracked, eligible,
+            "pool ∪ deferred ∪ leased must equal the ELIGIBLE set"
+        );
+        for v in m.deferred_tasks() {
+            assert!(!m.exec().is_pooled(v), "deferred task {v} stays claimed");
+        }
+        for l in m.lease_views() {
+            assert!(
+                !m.exec().is_pooled(l.task),
+                "leased task {} stays claimed",
+                l.task
+            );
+        }
+        assert_eq!(
+            m.recorded_pool(),
+            m.exec().pool_len() + m.deferred_tasks().len()
+        );
+    }
+
+    fn audit_errors(sink: MemorySink) -> Vec<ic_audit::Diagnostic> {
+        let trace = sink.into_trace().expect("header written");
+        audit_trace(&trace)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect()
+    }
+
+    /// Regression test for the failure-reallocation lifecycle, now on
+    /// the machine's virtual clock (no sleeps): a task that is leased,
+    /// forfeited, parked in backoff, and re-leased must keep the pool
+    /// and backoff accounting consistent at every step, and the
+    /// finished trace must replay clean.
+    #[test]
+    fn failure_reallocation_keeps_pool_accounting_consistent() {
+        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+        let policy = Policy::Fifo;
+        let cfg = ServerConfig::builder()
+            .lease_ms(10_000)
+            .backoff_base_ms(15)
+            .build();
+        let mut sink = MemorySink::new();
+        let mut m = LeaseMachine::new(&g, &policy, cfg);
+        boot(&mut m, &mut sink);
+        assert_accounting(&m);
+
+        // Lease the lone source, then have the worker report failure:
+        // the task parks in the backoff queue, still claimed.
+        let Message::Assign { tasks } = request(&mut m, &mut sink, 0, 1, 0) else {
+            panic!("the source must be allocatable");
+        };
+        assert_eq!(tasks, vec![0]);
+        assert_accounting(&m);
+        assert!(done(&mut m, &mut sink, 0, 0, false, 0));
+        assert_eq!((m.deferred_tasks().len(), m.lease_views().len()), (1, 0));
+        assert_eq!(
+            m.recorded_pool(),
+            1,
+            "a backing-off task still counts in the recorded pool"
+        );
+        assert_accounting(&m);
+
+        // While the 15 ms backoff runs, the pool is empty: requests
+        // wait.
+        assert!(matches!(
+            request(&mut m, &mut sink, 0, 1, 10_000),
+            Message::Wait { .. }
+        ));
+        assert_accounting(&m);
+
+        // After the backoff elapses the task is re-leased...
+        let Message::Assign { tasks } = request(&mut m, &mut sink, 0, 1, 20_000) else {
+            panic!("the backoff elapsed; the task must be reallocatable");
+        };
+        assert_eq!(tasks, vec![0]);
+        assert_eq!(m.failure_count(NodeId(0)), 1);
+        assert_accounting(&m);
+
+        // ...and a request from a worker still holding a lease
+        // forfeits it back into the backoff queue (now 30 ms) instead
+        // of leaking it.
+        assert!(matches!(
+            request(&mut m, &mut sink, 0, 1, 20_000),
+            Message::Wait { .. }
+        ));
+        assert_eq!((m.deferred_tasks().len(), m.lease_views().len()), (1, 0));
+        assert_eq!(m.failure_count(NodeId(0)), 2);
+        assert_accounting(&m);
+
+        // Jump past the doubled backoff and drive the dag to
+        // completion, checking the invariant around every decision.
+        let mut now = 60_000;
+        let mut guard = 0;
+        while !m.is_complete() {
+            match request(&mut m, &mut sink, 0, 1, now) {
+                Message::Assign { tasks } => {
+                    assert_accounting(&m);
+                    assert!(done(&mut m, &mut sink, 0, tasks[0], true, now));
+                }
+                Message::Wait { .. } => now += 5_000,
+                other => panic!("unexpected reply mid-run: {other:?}"),
+            }
+            assert_accounting(&m);
+            guard += 1;
+            assert!(guard < 1_000, "run failed to converge");
+        }
+        assert!(matches!(
+            request(&mut m, &mut sink, 0, 1, now),
+            Message::Drain
+        ));
+
+        let report = m.summary(now);
+        assert_eq!(report.completions, 4);
+        assert_eq!(report.failures, 2);
+        assert_eq!(report.allocations, 6);
+
+        let errors = audit_errors(sink);
+        assert!(errors.is_empty(), "trace must replay clean: {errors:?}");
+    }
+
+    /// A mid-lease disconnect of a v1 (or never-registered) worker
+    /// reallocates the held task through the same claimed-while-
+    /// deferred path as a failure report.
+    #[test]
+    fn disconnect_reallocation_keeps_pool_accounting_consistent() {
+        let g = from_arcs(3, &[(0, 1), (0, 2)]).unwrap();
+        let policy = Policy::Fifo;
+        let cfg = ServerConfig::builder()
+            .lease_ms(10_000)
+            .backoff_base_ms(0)
+            .build();
+        let mut sink = MemorySink::new();
+        let mut m = LeaseMachine::new(&g, &policy, cfg);
+        boot(&mut m, &mut sink);
+
+        let Message::Assign { tasks } = request(&mut m, &mut sink, 0, 1, 0) else {
+            panic!("the source must be allocatable");
+        };
+        assert_accounting(&m);
+        drive(
+            &mut m,
+            &mut sink,
+            Event::Sever {
+                worker: 0,
+                epoch: 0,
+                now_us: 0,
+            },
+        );
+        assert_eq!((m.deferred_tasks().len(), m.lease_views().len()), (1, 0));
+        assert_accounting(&m);
+
+        // Zero backoff: another worker picks the task right back up.
+        let Message::Assign { tasks: retry } = request(&mut m, &mut sink, 1, 1, 0) else {
+            panic!("the lost task must be immediately reallocatable");
+        };
+        assert_eq!(retry, tasks);
+        assert_accounting(&m);
+        assert!(done(&mut m, &mut sink, 1, retry[0], true, 0));
+        assert_eq!(m.exec().pool_len(), 2, "both children became ELIGIBLE");
+        assert_accounting(&m);
+    }
+
+    /// The resume lifecycle on the machine: a v2 worker that
+    /// disconnects mid-lease keeps the lease, reclaims its slot with
+    /// the token (rotated, so the old token dies), and the dead
+    /// connection's stale `Sever` cannot disturb the resumed slot.
+    #[test]
+    fn resume_restores_leases_and_rotates_the_token() {
+        let g = from_arcs(2, &[(0, 1)]).unwrap();
+        let policy = Policy::Fifo;
+        let cfg = ServerConfig::builder().lease_ms(10_000).build();
+        let mut sink = MemorySink::new();
+        let mut m = LeaseMachine::new(&g, &policy, cfg);
+        boot(&mut m, &mut sink);
+
+        let mut replies = drive(
+            &mut m,
+            &mut sink,
+            Event::Hello {
+                id: "a".into(),
+                speed: 1.0,
+                proto: PROTO_V2,
+                resume: None,
+                now_us: 0,
+            },
+        );
+        let Message::Welcome {
+            resume: Some(token),
+            proto,
+            ..
+        } = replies.remove(0)
+        else {
+            panic!("a v2 hello must be welcomed with a resume token");
+        };
+        assert_eq!(proto, PROTO_V2);
+        let Message::Assign { tasks } = request(&mut m, &mut sink, 0, 1, 0) else {
+            panic!("the source must be allocatable");
+        };
+
+        // The connection dies mid-lease: the v2 slot keeps the lease.
+        drive(
+            &mut m,
+            &mut sink,
+            Event::Sever {
+                worker: 0,
+                epoch: 0,
+                now_us: 0,
+            },
+        );
+        assert_eq!(m.connected(), 0);
+        assert_eq!(m.lease_views().len(), 1);
+        assert_eq!(m.summary(0).failures, 0, "no spurious reallocation");
+        assert_accounting(&m);
+
+        // Resume with the token: same slot, rotated token, lease back.
+        let mut replies = drive(
+            &mut m,
+            &mut sink,
+            Event::Hello {
+                id: "a".into(),
+                speed: 1.0,
+                proto: PROTO_V2,
+                resume: Some(token.clone()),
+                now_us: 0,
+            },
+        );
+        let Message::Welcome {
+            worker,
+            resume: Some(rotated),
+            tasks: held,
+            ..
+        } = replies.remove(0)
+        else {
+            panic!("a valid resume token must be accepted");
+        };
+        assert_eq!(worker, 0);
+        assert_ne!(rotated, token, "the token must rotate on resume");
+        assert_eq!(held, tasks);
+        assert_eq!((m.summary(0).resumes, m.connected()), (1, 1));
+        assert_eq!(m.worker_epoch(0), Some(1));
+
+        // The spent token is dead; the old connection's Sever is stale.
+        let mut replies = drive(
+            &mut m,
+            &mut sink,
+            Event::Hello {
+                id: "a".into(),
+                speed: 1.0,
+                proto: PROTO_V2,
+                resume: Some(token),
+                now_us: 0,
+            },
+        );
+        assert!(
+            matches!(replies.remove(0), Message::Error { ref code, .. } if code == ERR_BAD_RESUME),
+            "a spent token must be refused"
+        );
+        drive(
+            &mut m,
+            &mut sink,
+            Event::Sever {
+                worker: 0,
+                epoch: 0,
+                now_us: 0,
+            },
+        );
+        assert_eq!(m.connected(), 1, "a stale-epoch Sever is ignored");
+        assert_eq!(m.lease_views().len(), 1);
+
+        // Finish under the resumed lease; the trace replays clean.
+        assert!(done(&mut m, &mut sink, 0, held[0], true, 0));
+        let Message::Assign { tasks } = request(&mut m, &mut sink, 0, 1, 0) else {
+            panic!("the child must be allocatable");
+        };
+        assert!(done(&mut m, &mut sink, 0, tasks[0], true, 0));
+        assert!(m.is_complete());
+        let report = m.summary(0);
+        assert_eq!((report.resumes, report.failures), (1, 0));
+        let errors = audit_errors(sink);
+        assert!(errors.is_empty(), "trace must replay clean: {errors:?}");
+    }
+
+    /// The drain-barrier steal lifecycle: an idle v2 worker gets a
+    /// speculative duplicate of the straggling lease, the first
+    /// completion wins, the loser is revoked without a pool change,
+    /// and the loser's late report is rejected without a trace event.
+    #[test]
+    fn speculative_duplicate_first_completion_wins() {
+        let g = from_arcs(2, &[(0, 1)]).unwrap();
+        let policy = Policy::Fifo;
+        let cfg = ServerConfig::builder()
+            .lease_ms(10_000)
+            .backoff_base_ms(0)
+            .steal_after(0)
+            .build();
+        let mut sink = MemorySink::new();
+        let mut m = LeaseMachine::new(&g, &policy, cfg);
+        boot(&mut m, &mut sink);
+        for id in ["a", "b"] {
+            let replies = drive(
+                &mut m,
+                &mut sink,
+                Event::Hello {
+                    id: id.into(),
+                    speed: 1.0,
+                    proto: PROTO_V2,
+                    resume: None,
+                    now_us: 0,
+                },
+            );
+            assert!(matches!(replies[0], Message::Welcome { .. }));
+        }
+
+        let Message::Assign { tasks } = request(&mut m, &mut sink, 0, 1, 0) else {
+            panic!("the source must be allocatable");
+        };
+        assert_eq!(tasks, vec![0]);
+
+        // Pool empty, a lease outstanding: worker 1 steals a duplicate.
+        let Message::Assign { tasks: stolen } = request(&mut m, &mut sink, 1, 1, 0) else {
+            panic!("the drain barrier must yield a speculative lease");
+        };
+        assert_eq!(stolen, vec![0]);
+        assert_eq!(m.lease_views().len(), 2);
+        assert_eq!(m.summary(0).steals, 1);
+        assert_accounting(&m);
+
+        let steps_before = m.trace_steps();
+        // Worker 1 finishes first: it wins, worker 0's lease is
+        // revoked, the child enters the pool exactly once.
+        assert!(done(&mut m, &mut sink, 1, 0, true, 0));
+        assert_eq!((m.summary(0).revokes, m.lease_views().len()), (1, 0));
+        assert_eq!(m.exec().pool_len(), 1);
+        assert_accounting(&m);
+        assert_eq!(m.trace_steps(), steps_before + 2, "completed + revoked");
+
+        // The loser's late report finds no lease: rejected, no event.
+        assert!(!done(&mut m, &mut sink, 0, 0, true, 0));
+        assert_eq!(
+            m.trace_steps(),
+            steps_before + 2,
+            "a late report emits nothing"
+        );
+
+        // The loser learns via its next heartbeat: a v2 Revoke frame.
+        let replies = drive(
+            &mut m,
+            &mut sink,
+            Event::Heartbeat {
+                worker: 0,
+                task: 0,
+                now_us: 0,
+            },
+        );
+        assert_eq!(replies, vec![Message::Revoke { task: 0 }]);
+
+        let Message::Assign { tasks } = request(&mut m, &mut sink, 0, 1, 0) else {
+            panic!("the child must be allocatable");
+        };
+        assert!(done(&mut m, &mut sink, 0, tasks[0], true, 0));
+        assert!(m.is_complete());
+        let report = m.summary(0);
+        assert_eq!((report.steals, report.revokes, report.failures), (1, 1, 0));
+        let errors = audit_errors(sink);
+        assert!(errors.is_empty(), "trace must replay clean: {errors:?}");
+    }
+
+    /// Batched allocation follows the offline batch schedule: a lone
+    /// v2 worker requesting `max` tasks per round executes exactly the
+    /// rounds `ic_sched::batched::batches_with` computes, and the
+    /// per-task trace still replays clean.
+    #[test]
+    fn batched_allocation_matches_the_offline_batch_schedule() {
+        let g = from_arcs(7, &[(0, 2), (1, 2), (1, 3), (2, 4), (2, 5), (3, 6)]).unwrap();
+        let policy = Policy::Fifo;
+        let offline: Vec<Vec<u64>> = batches_with(&g, 3, &policy)
+            .batches()
+            .iter()
+            .map(|round| round.iter().map(|v| v.index() as u64).collect())
+            .collect();
+
+        let cfg = ServerConfig::builder().lease_ms(10_000).batch(3).build();
+        let mut sink = MemorySink::new();
+        let mut m = LeaseMachine::new(&g, &policy, cfg);
+        boot(&mut m, &mut sink);
+        let replies = drive(
+            &mut m,
+            &mut sink,
+            Event::Hello {
+                id: "a".into(),
+                speed: 1.0,
+                proto: PROTO_V2,
+                resume: None,
+                now_us: 0,
+            },
+        );
+        assert!(matches!(replies[0], Message::Welcome { .. }));
+
+        let mut online: Vec<Vec<u64>> = Vec::new();
+        while !m.is_complete() {
+            let Message::Assign { tasks } = request(&mut m, &mut sink, 0, 3, 0) else {
+                panic!("a lone worker never waits on a failure-free dag");
+            };
+            assert_accounting(&m);
+            for &t in &tasks {
+                assert!(done(&mut m, &mut sink, 0, t, true, 0));
+            }
+            online.push(tasks);
+        }
+        assert_eq!(online, offline);
+
+        let errors = audit_errors(sink);
+        assert!(errors.is_empty(), "trace must replay clean: {errors:?}");
+    }
+
+    /// Protocol gatekeeping: a hello below `min_proto` is refused with
+    /// the typed `unsupported` error; a v1 worker on a default server
+    /// is capped at one task per assign.
+    #[test]
+    fn min_proto_refuses_and_v1_is_never_batched() {
+        let g = from_arcs(3, &[]).unwrap();
+        let policy = Policy::Fifo;
+        let cfg = ServerConfig::builder().min_proto(PROTO_V2).build();
+        let mut sink = MemorySink::new();
+        let mut m = LeaseMachine::new(&g, &policy, cfg);
+        boot(&mut m, &mut sink);
+        let replies = drive(
+            &mut m,
+            &mut sink,
+            Event::Hello {
+                id: "old".into(),
+                speed: 1.0,
+                proto: PROTO_V1,
+                resume: None,
+                now_us: 0,
+            },
+        );
+        assert!(
+            matches!(replies[0], Message::Error { ref code, .. } if code == ERR_UNSUPPORTED),
+            "a v1 hello against a v2-only server gets the typed error"
+        );
+        assert_eq!(m.num_workers(), 0, "a refused peer takes no slot");
+
+        let cfg = ServerConfig::builder().batch(4).build();
+        let mut sink = MemorySink::new();
+        let mut m = LeaseMachine::new(&g, &policy, cfg);
+        boot(&mut m, &mut sink);
+        let mut replies = drive(
+            &mut m,
+            &mut sink,
+            Event::Hello {
+                id: "old".into(),
+                speed: 1.0,
+                proto: PROTO_V1,
+                resume: None,
+                now_us: 0,
+            },
+        );
+        let Message::Welcome { proto, resume, .. } = replies.remove(0) else {
+            panic!("a v1 hello is welcome on a default server");
+        };
+        assert_eq!(proto, PROTO_V1);
+        assert_eq!(resume, None, "v1 peers get no resume token");
+        let Message::Assign { tasks } = request(&mut m, &mut sink, 0, 4, 0) else {
+            panic!("sources are allocatable");
+        };
+        assert_eq!(tasks.len(), 1, "v1 workers are never batched");
+    }
+
+    /// Targeted expiry: an `Expire` whose deadline has not passed is a
+    /// no-op; one whose deadline has passed forfeits exactly that
+    /// lease. The driver's `expired()` scan and the event agree.
+    #[test]
+    fn targeted_expiry_honors_the_deadline() {
+        let g = from_arcs(2, &[(0, 1)]).unwrap();
+        let policy = Policy::Fifo;
+        let cfg = ServerConfig::builder()
+            .lease_ms(10) // 10 ms = 10_000 µs
+            .backoff_base_ms(0)
+            .build();
+        let mut sink = MemorySink::new();
+        let mut m = LeaseMachine::new(&g, &policy, cfg);
+        boot(&mut m, &mut sink);
+        let Message::Assign { tasks } = request(&mut m, &mut sink, 0, 1, 0) else {
+            panic!("the source must be allocatable");
+        };
+
+        // Too early: nothing is expired, the event is a no-op.
+        assert!(m.expired(5_000).is_empty());
+        drive(
+            &mut m,
+            &mut sink,
+            Event::Expire {
+                worker: 0,
+                task: tasks[0],
+                now_us: 5_000,
+            },
+        );
+        assert_eq!(m.lease_views().len(), 1);
+
+        // A heartbeat at 5 ms pushes the deadline to 15 ms.
+        drive(
+            &mut m,
+            &mut sink,
+            Event::Heartbeat {
+                worker: 0,
+                task: tasks[0],
+                now_us: 5_000,
+            },
+        );
+        assert!(
+            m.expired(12_000).is_empty(),
+            "the heartbeat renewed the lease"
+        );
+
+        // Past the renewed deadline the lease is forfeited.
+        let due = m.expired(15_000);
+        assert_eq!(due, vec![(0, tasks[0])]);
+        drive(
+            &mut m,
+            &mut sink,
+            Event::Expire {
+                worker: 0,
+                task: tasks[0],
+                now_us: 15_000,
+            },
+        );
+        assert_eq!(m.lease_views().len(), 0);
+        assert_eq!(m.failure_count(NodeId(0)), 1);
+        assert_accounting(&m);
+    }
+
+    /// The fingerprint is insensitive to trace-step counters and
+    /// timing, but sensitive to scheduling state.
+    #[test]
+    fn fingerprint_tracks_scheduling_state_only() {
+        let g = from_arcs(3, &[(0, 1), (0, 2)]).unwrap();
+        let policy = Policy::Fifo;
+        let cfg = ServerConfig::builder().lease_ms(10_000).build();
+        let mut sink = MemorySink::new();
+
+        let mut a = LeaseMachine::new(&g, &policy, cfg.clone());
+        boot(&mut a, &mut sink);
+        let mut b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // Same decision at different times: same fingerprint.
+        let Message::Assign { .. } = request(&mut a, &mut sink, 0, 1, 0) else {
+            panic!("allocatable");
+        };
+        let Message::Assign { .. } = request(&mut b, &mut sink, 0, 1, 99_000) else {
+            panic!("allocatable");
+        };
+        assert_eq!(a.fingerprint(), b.fingerprint());
+
+        // Diverging decisions: different fingerprints.
+        assert!(done(&mut a, &mut sink, 0, 0, true, 0));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -26,6 +26,16 @@
 //!   lease already expired, or another worker already completed the
 //!   task) is acknowledged with `accepted = false` and changes nothing.
 //!
+//! All of these semantics live in the *pure* transition function
+//! [`crate::machine::LeaseMachine`]: the server here is a thin driver
+//! that accepts connections, stamps each request with wall-clock
+//! microseconds, feeds it to the machine as an
+//! [`crate::machine::Event`], and performs the returned
+//! [`crate::machine::Effect`]s — trace records into the
+//! [`TraceSink`], wire frames back to the requesting connection. The
+//! same machine is exhaustively model-checked by `ic-check`, so what
+//! the checker verifies is exactly what this server runs.
+//!
 //! Every decision is emitted through the [`TraceSink`] event model in
 //! server order, so a finished run's JSONL trace replays clean under
 //! `ic-prio audit --schedule`: a lease expiry or failure report is a
@@ -53,28 +63,22 @@
 //! forwards each request over an mpsc channel to the *coordinator*,
 //! which runs inline in [`Server::run`] on the caller's thread (so the
 //! trace sink needs neither `Send` nor `'static`). All scheduling
-//! state — the [`ExecState`], the pool, the lease table, the backoff
-//! queue — lives only in the coordinator; handler threads are dumb
-//! pipes. Each handler remembers the *epoch* of its registration; a
-//! `Gone` from a superseded connection (the worker already resumed on
-//! a new socket) is ignored.
+//! state lives only in the coordinator's [`LeaseMachine`]; handler
+//! threads are dumb pipes. Each handler remembers the *epoch* of its
+//! registration; a `Gone` from a superseded connection (the worker
+//! already resumed on a new socket) is ignored.
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
-use ic_dag::rng::XorShift64;
-use ic_dag::{Dag, NodeId};
-use ic_sched::batched::fill_round;
-use ic_sched::eligibility::ExecState;
+use ic_dag::Dag;
 use ic_sched::policy::AllocationPolicy;
-use ic_sim::trace::{TraceEvent, TraceHeader, TraceSink, WorkerParams};
+use ic_sim::trace::TraceSink;
 
-use crate::wire::{
-    read_msg, write_msg, Message, ERR_BAD_RESUME, ERR_UNSUPPORTED, PROTO_CURRENT, PROTO_V1,
-    PROTO_V2,
-};
+use crate::machine::{Effect, Event, LeaseMachine};
+use crate::wire::{read_msg, write_msg, Message, PROTO_V1};
 
 /// Tunables of a serving run. Construct with [`ServerConfig::builder`]
 /// (the struct is `#[non_exhaustive]`: new knobs may appear without a
@@ -312,7 +316,6 @@ impl<'a> Server<'a> {
     /// Panics if the policy rejects the dag in
     /// [`AllocationPolicy::prepare`].
     pub fn run(self, sink: &mut dyn TraceSink) -> io::Result<ServeReport> {
-        self.policy.prepare(self.dag);
         self.listener.set_nonblocking(true)?;
         let (tx, rx) = channel::<Req>();
         let mut coord = Coordinator::new(self.dag, self.policy, &self.cfg, sink);
@@ -347,15 +350,18 @@ impl<'a> Server<'a> {
                     }
                 }
                 Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => unreachable!("coordinator holds a sender"),
+                Err(RecvTimeoutError::Disconnected) => {
+                    // lint:allow — the coordinator itself holds `tx`.
+                    unreachable!("coordinator holds a sender")
+                }
             }
 
             coord.expire_leases();
 
-            if coord.is_complete() {
+            if coord.machine.is_complete() {
                 let now = Instant::now();
                 let reached = *done_at.get_or_insert(now);
-                if coord.connected == 0 || now.duration_since(reached) >= drain_grace {
+                if coord.machine.connected() == 0 || now.duration_since(reached) >= drain_grace {
                     break;
                 }
             }
@@ -364,78 +370,16 @@ impl<'a> Server<'a> {
     }
 }
 
-/// Per-worker registration record. The slot outlives its TCP
-/// connection: a v2 worker that disconnects mid-lease can reclaim it
-/// with the resume token.
-struct WorkerSlot {
-    id: String,
-    speed: f64,
-    /// Whether the worker's latest request already saw an empty pool
-    /// (suppresses repeated `Idle` events while it polls).
-    waiting: bool,
-    /// Negotiated protocol version for this slot's current connection.
-    proto: u32,
-    /// Current resume token (v2 slots only; rotated on every resume so
-    /// a stale token cannot hijack the slot).
-    token: Option<String>,
-    /// Bumped on every resume; a `Gone` carrying an older epoch comes
-    /// from a superseded connection and is ignored.
-    epoch: u64,
-    /// Whether a live connection currently owns the slot.
-    connected: bool,
-}
-
-/// One entry of the lease table. A task can appear in several entries
-/// at once: one primary lease plus speculative duplicates granted at
-/// the drain barrier.
-#[derive(Debug, Clone, Copy)]
-struct Lease {
-    worker: usize,
-    task: NodeId,
-    /// Heartbeat deadline; passing it forfeits the lease.
-    deadline: Instant,
-    /// When the lease was granted — the straggler clock for stealing.
-    granted: Instant,
-    /// A duplicate granted at the drain barrier (loses ties: its
-    /// completion only counts if it arrives first).
-    speculative: bool,
-}
-
-/// All scheduling state, single-threaded inside [`Server::run`].
+/// The thin driver around the pure [`LeaseMachine`]: stamps requests
+/// with wall-clock microseconds, steps the machine, and performs the
+/// returned effects (trace records to the sink, frames to the reply
+/// channels). Single-threaded inside [`Server::run`].
 struct Coordinator<'a, 'd> {
-    dag: &'d Dag,
-    policy: &'a dyn AllocationPolicy,
-    cfg: &'a ServerConfig,
+    machine: LeaseMachine<'a, 'd>,
     sink: &'a mut dyn TraceSink,
-    /// Execution state; its dense pool holds the ELIGIBLE, unleased,
-    /// not-backing-off tasks — allocatable now. Leased and deferred
-    /// tasks are *claimed* (ELIGIBLE but out of the pool).
-    state: ExecState<'d>,
-    /// Failed tasks waiting out their backoff: `(ready_at, task)`.
-    /// They stay claimed in `state` until promoted back to the pool.
-    deferred: Vec<(Instant, NodeId)>,
-    /// The lease table. Linear scans throughout: the table never holds
-    /// more entries than there are connected workers.
-    leases: Vec<Lease>,
-    /// Per-node failure counts, surfaced to policies via
-    /// [`ic_sched::policy::PolicyContext::retries`].
-    failures: Vec<u32>,
-    workers: Vec<WorkerSlot>,
-    connected: usize,
-    late_workers: usize,
-    header_written: bool,
-    start: Instant,
-    step: u64,
-    allocation_steps: usize,
-    completions: usize,
-    failure_events: usize,
-    resumes: usize,
-    steals: usize,
-    revokes: usize,
-    completed_at: Option<Instant>,
-    /// Resume-token source, seeded from the config (keeps the server
-    /// deterministic given its inputs).
-    rng: XorShift64,
+    /// The driver's time epoch; every event gets
+    /// `epoch.elapsed()` microseconds as its `now_us`.
+    epoch: Instant,
 }
 
 impl<'a, 'd> Coordinator<'a, 'd> {
@@ -445,286 +389,41 @@ impl<'a, 'd> Coordinator<'a, 'd> {
         cfg: &'a ServerConfig,
         sink: &'a mut dyn TraceSink,
     ) -> Coordinator<'a, 'd> {
-        let state = ExecState::new(dag);
         let mut coord = Coordinator {
-            dag,
-            policy,
-            cfg,
+            machine: LeaseMachine::new(dag, policy, cfg.clone()),
             sink,
-            state,
-            deferred: Vec::new(),
-            leases: Vec::new(),
-            failures: vec![0; dag.num_nodes()],
-            workers: Vec::new(),
-            connected: 0,
-            late_workers: 0,
-            header_written: false,
-            start: Instant::now(),
-            step: 0,
-            allocation_steps: 0,
-            completions: 0,
-            failure_events: 0,
-            resumes: 0,
-            steals: 0,
-            revokes: 0,
-            completed_at: None,
-            rng: XorShift64::new(cfg.seed ^ 0x7EA5_E0CE),
+            epoch: Instant::now(),
         };
-        if cfg.expect_workers == 0 {
-            coord.write_header();
-        }
+        let fx = coord.machine.boot(0);
+        coord.absorb(fx, None);
         coord
     }
 
-    fn now(&self) -> f64 {
-        self.start.elapsed().as_secs_f64()
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
     }
 
-    /// Pool size as the trace records it: allocatable now, plus tasks
-    /// waiting out a backoff — both are ELIGIBLE and unallocated, which
-    /// is what the auditor's replay reconstructs.
-    fn recorded_pool(&self) -> usize {
-        self.state.pool_len() + self.deferred.len()
-    }
-
-    fn is_complete(&self) -> bool {
-        self.state.num_executed() == self.dag.num_nodes()
-    }
-
-    fn emit(&mut self, ev: TraceEvent) {
-        debug_assert!(self.header_written, "events only after the header");
-        self.sink.record(&ev);
-        self.step += 1;
-    }
-
-    /// Write the trace header recording every worker registered so far
-    /// with its declared parameters. Called when the registration
-    /// barrier is met (or immediately with no barrier); workers joining
-    /// later appear in events but not in the header.
-    fn write_header(&mut self) {
-        debug_assert!(!self.header_written);
-        let params: Vec<WorkerParams> = self
-            .workers
-            .iter()
-            .enumerate()
-            .map(|(i, w)| WorkerParams {
-                client: i,
-                id: w.id.clone(),
-                speed: w.speed,
-            })
-            .collect();
-        let clients = self.workers.len().max(self.cfg.expect_workers).max(1);
-        let header = TraceHeader::for_run(self.dag, clients, self.cfg.seed, &self.policy.name())
-            .with_workers(params);
-        self.sink.header(&header);
-        self.header_written = true;
-        // Serving time starts when serving can actually start.
-        self.start = Instant::now();
-    }
-
-    /// Move deferred tasks whose backoff elapsed back into the pool.
-    /// Unclaiming stamps them as the pool's newest arrivals, so FIFO
-    /// policies treat a reallocated task as freshly eligible.
-    fn promote_deferred(&mut self) {
-        let now = Instant::now();
-        let mut i = 0;
-        while i < self.deferred.len() {
-            if self.deferred[i].0 <= now {
-                let (_, v) = self.deferred.swap_remove(i);
-                self.state
-                    .unclaim(v)
-                    .expect("deferred tasks are claimed ELIGIBLE nodes");
-            } else {
-                i += 1;
+    /// Perform the machine's effects: header and trace records into
+    /// the sink, reply frames (if any) to `reply`.
+    fn absorb(&mut self, fx: Vec<Effect>, reply: Option<&Sender<Message>>) {
+        for e in fx {
+            match e {
+                Effect::Header(h) => self.sink.header(&h),
+                Effect::Trace(ev) => self.sink.record(&ev),
+                Effect::Reply(msg) => {
+                    if let Some(reply) = reply {
+                        let _ = reply.send(msg);
+                    }
+                }
+                Effect::Registered { .. } => {
+                    debug_assert!(false, "only Hello answers with Registered");
+                }
             }
-        }
-    }
-
-    fn fresh_token(&mut self) -> String {
-        format!("{:016x}{:016x}", self.rng.next_u64(), self.rng.next_u64())
-    }
-
-    /// Lease duration from now.
-    fn lease_deadline(&self) -> Instant {
-        Instant::now() + Duration::from_millis(self.cfg.lease_ms)
-    }
-
-    /// Declare a (removed) lease lost: emit `Failed` and bump the
-    /// task's failure count. Only when the *last* holder falls does the
-    /// task park in the backoff queue — while duplicates remain, the
-    /// task is still in flight and must not re-enter the pool.
-    fn lose_lease(&mut self, lease: Lease) {
-        let v = lease.task;
-        self.failures[v.index()] += 1;
-        let last_holder = !self.leases.iter().any(|l| l.task == v);
-        if last_holder {
-            let fails = self.failures[v.index()];
-            let backoff = self
-                .cfg
-                .backoff_base_ms
-                .saturating_mul(1 << (fails - 1).min(6));
-            self.deferred
-                .push((Instant::now() + Duration::from_millis(backoff), v));
-        }
-        self.failure_events += 1;
-        let ev = TraceEvent::Failed {
-            step: self.step,
-            time: self.now(),
-            client: lease.worker,
-            task: v,
-            pool: Some(self.recorded_pool()),
-        };
-        self.emit(ev);
-    }
-
-    /// Remove and lose every lease held by `worker`.
-    fn drop_worker_leases(&mut self, worker: usize) {
-        let mut i = 0;
-        while i < self.leases.len() {
-            if self.leases[i].worker == worker {
-                let lease = self.leases.swap_remove(i);
-                self.lose_lease(lease);
-            } else {
-                i += 1;
-            }
-        }
-    }
-
-    /// Reallocate every lease whose deadline passed.
-    fn expire_leases(&mut self) {
-        let now = Instant::now();
-        let mut i = 0;
-        while i < self.leases.len() {
-            if self.leases[i].deadline <= now {
-                let lease = self.leases.swap_remove(i);
-                self.lose_lease(lease);
-            } else {
-                i += 1;
-            }
-        }
-    }
-
-    /// Register a fresh worker or resume an existing slot.
-    fn register(
-        &mut self,
-        id: String,
-        speed: f64,
-        proto: u32,
-        resume: Option<String>,
-    ) -> Registered {
-        let refused = |msg: Message| Registered {
-            msg,
-            worker: usize::MAX,
-            epoch: 0,
-        };
-        if proto < self.cfg.min_proto {
-            return refused(Message::Error {
-                code: ERR_UNSUPPORTED.into(),
-                msg: format!(
-                    "protocol {proto} not supported: this server requires at least {}",
-                    self.cfg.min_proto
-                ),
-            });
-        }
-        let negotiated = proto.min(PROTO_CURRENT);
-        if let Some(token) = resume {
-            if negotiated < PROTO_V2 {
-                return refused(Message::Error {
-                    code: ERR_UNSUPPORTED.into(),
-                    msg: "resume requires protocol 2".into(),
-                });
-            }
-            return self.resume_slot(&token, negotiated);
-        }
-        let worker = self.workers.len();
-        let token = (negotiated >= PROTO_V2).then(|| self.fresh_token());
-        self.workers.push(WorkerSlot {
-            id,
-            speed,
-            waiting: false,
-            proto: negotiated,
-            token: token.clone(),
-            epoch: 0,
-            connected: true,
-        });
-        self.connected += 1;
-        if self.header_written {
-            self.late_workers += 1;
-        } else if self.workers.len() >= self.cfg.expect_workers {
-            self.write_header();
-        }
-        Registered {
-            msg: Message::Welcome {
-                worker: worker as u64,
-                lease_ms: self.cfg.lease_ms,
-                proto: negotiated,
-                resume: token,
-                tasks: Vec::new(),
-            },
-            worker,
-            epoch: 0,
-        }
-    }
-
-    /// Reattach a reconnecting worker to its slot: rotate the token,
-    /// bump the epoch (so the dead connection's `Gone` is ignored),
-    /// and restore the heartbeat clock of every lease it still holds.
-    fn resume_slot(&mut self, token: &str, negotiated: u32) -> Registered {
-        let Some(worker) = self
-            .workers
-            .iter()
-            .position(|w| w.token.as_deref() == Some(token))
-        else {
-            return Registered {
-                msg: Message::Error {
-                    code: ERR_BAD_RESUME.into(),
-                    msg: "unknown or stale resume token".into(),
-                },
-                worker: usize::MAX,
-                epoch: 0,
-            };
-        };
-        let fresh = self.fresh_token();
-        let deadline = self.lease_deadline();
-        let slot = &mut self.workers[worker];
-        slot.epoch += 1;
-        slot.token = Some(fresh.clone());
-        slot.proto = negotiated;
-        slot.waiting = false;
-        if !slot.connected {
-            slot.connected = true;
-            self.connected += 1;
-        }
-        let epoch = slot.epoch;
-        let mut held: Vec<NodeId> = Vec::new();
-        for l in self.leases.iter_mut().filter(|l| l.worker == worker) {
-            l.deadline = deadline;
-            held.push(l.task);
-        }
-        self.resumes += 1;
-        for &v in &held {
-            let ev = TraceEvent::Resumed {
-                step: self.step,
-                time: self.now(),
-                client: worker,
-                task: v,
-            };
-            self.emit(ev);
-        }
-        Registered {
-            msg: Message::Welcome {
-                worker: worker as u64,
-                lease_ms: self.cfg.lease_ms,
-                proto: negotiated,
-                resume: Some(fresh),
-                tasks: held.iter().map(|v| v.index() as u64).collect(),
-            },
-            worker,
-            epoch,
         }
     }
 
     fn serve(&mut self, req: Req) {
+        let now_us = self.now_us();
         match req {
             Req::Register {
                 id,
@@ -733,12 +432,32 @@ impl<'a, 'd> Coordinator<'a, 'd> {
                 resume,
                 reply,
             } => {
-                let reg = self.register(id, speed, proto, resume);
-                let _ = reply.send(reg);
+                for e in self.machine.step(Event::Hello {
+                    id,
+                    speed,
+                    proto,
+                    resume,
+                    now_us,
+                }) {
+                    match e {
+                        Effect::Header(h) => self.sink.header(&h),
+                        Effect::Trace(ev) => self.sink.record(&ev),
+                        Effect::Registered { msg, worker, epoch } => {
+                            let _ = reply.send(Registered { msg, worker, epoch });
+                        }
+                        Effect::Reply(_) => {
+                            debug_assert!(false, "Hello answers with Registered, not Reply");
+                        }
+                    }
+                }
             }
             Req::Want { worker, max, reply } => {
-                let msg = self.allocate_for(worker, max);
-                let _ = reply.send(msg);
+                let fx = self.machine.step(Event::Request {
+                    worker,
+                    max,
+                    now_us,
+                });
+                self.absorb(fx, Some(&reply));
             }
             Req::Done {
                 worker,
@@ -746,291 +465,54 @@ impl<'a, 'd> Coordinator<'a, 'd> {
                 ok,
                 reply,
             } => {
-                let accepted = self.report(worker, task, ok);
-                let _ = reply.send(Message::Ack { task, accepted });
+                let fx = self.machine.step(Event::Done {
+                    worker,
+                    task,
+                    ok,
+                    now_us,
+                });
+                self.absorb(fx, Some(&reply));
             }
             Req::Beat {
                 worker,
                 task,
                 reply,
             } => {
-                let deadline = self.lease_deadline();
-                let mut held = false;
-                for l in self
-                    .leases
-                    .iter_mut()
-                    .filter(|l| l.worker == worker && l.task.index() as u64 == task)
-                {
-                    l.deadline = deadline;
-                    held = true;
-                }
-                let msg = if held {
-                    Message::Ack {
-                        task,
-                        accepted: true,
-                    }
-                } else if self.worker_proto(worker) >= PROTO_V2 {
-                    // The lease is gone (expired, forfeited, or revoked
-                    // after a losing race): tell a v2 worker to abandon
-                    // the task instead of finishing doomed work.
-                    Message::Revoke { task }
-                } else {
-                    Message::Ack {
-                        task,
-                        accepted: false,
-                    }
-                };
-                let _ = reply.send(msg);
+                let fx = self.machine.step(Event::Heartbeat {
+                    worker,
+                    task,
+                    now_us,
+                });
+                self.absorb(fx, Some(&reply));
             }
-            Req::Gone { worker, epoch } => match self.workers.get_mut(worker) {
-                Some(slot) => {
-                    if slot.epoch != epoch {
-                        // A superseded connection: the worker already
-                        // resumed on a new socket.
-                        return;
-                    }
-                    if slot.connected {
-                        slot.connected = false;
-                        self.connected = self.connected.saturating_sub(1);
-                    }
-                    if slot.proto >= PROTO_V2 && slot.token.is_some() {
-                        // v2: keep the leases — the worker may resume.
-                        // Lease expiry is the fallback if it never does.
-                    } else {
-                        self.drop_worker_leases(worker);
-                    }
-                }
-                None => {
-                    // Never fully registered (e.g. the welcome write
-                    // failed): v1 semantics, lose everything.
-                    self.connected = self.connected.saturating_sub(1);
-                    self.drop_worker_leases(worker);
-                }
-            },
+            Req::Gone { worker, epoch } => {
+                let fx = self.machine.step(Event::Sever {
+                    worker,
+                    epoch,
+                    now_us,
+                });
+                self.absorb(fx, None);
+            }
         }
     }
 
-    fn worker_proto(&self, worker: usize) -> u32 {
-        self.workers.get(worker).map_or(PROTO_V1, |w| w.proto)
-    }
-
-    /// Answer a work request: `Assign` when the pool has tasks, `Drain`
-    /// when the dag is complete, a speculative duplicate at the drain
-    /// barrier if stealing is enabled, `Wait` otherwise.
-    ///
-    /// A worker requesting while it still holds leases forfeits them
-    /// (same as a mid-lease disconnect) — otherwise the held tasks,
-    /// belonging to no queue, could never be reallocated.
-    fn allocate_for(&mut self, worker: usize, max: u64) -> Message {
-        if self.is_complete() {
-            return Message::Drain;
-        }
-        if !self.header_written {
-            // Registration barrier not met: no events before the header.
-            return Message::Wait {
-                ms: self.cfg.wait_ms,
-            };
-        }
-        self.drop_worker_leases(worker);
-        self.promote_deferred();
-        if self.state.pool_len() == 0 {
-            if let Some(msg) = self.try_steal(worker) {
-                return msg;
-            }
-            // First unsatisfied request since this worker's last
-            // allocation is a gridlock event; its polling retries are
-            // not.
-            if let Some(w) = self.workers.get_mut(worker) {
-                if !w.waiting {
-                    w.waiting = true;
-                    let ev = TraceEvent::Idle {
-                        step: self.step,
-                        time: self.now(),
-                        client: worker,
-                    };
-                    self.emit(ev);
-                }
-            }
-            return Message::Wait {
-                ms: self.cfg.wait_ms,
-            };
-        }
-        let width = if self.worker_proto(worker) >= PROTO_V2 {
-            max.clamp(1, self.cfg.batch.max(1) as u64) as usize
-        } else {
-            1
-        };
-        // Claiming removes each task from the pool but keeps it
-        // ELIGIBLE until the lease resolves (completion, failure, or
-        // expiry). The round is chosen exactly as the offline
-        // `ic_sched::batched::batches_with` would choose it.
-        let tasks = fill_round(
-            &mut self.state,
-            self.dag,
-            self.policy,
-            width,
-            self.allocation_steps,
-            Some(&self.failures),
-        );
-        self.allocation_steps += tasks.len();
-        let now = Instant::now();
-        let deadline = self.lease_deadline();
-        // The trace shows one `alloc` per task; event `i` of `k`
-        // records the pool as it stood after that single allocation.
-        let base = self.recorded_pool();
-        let k = tasks.len();
-        for (i, &v) in tasks.iter().enumerate() {
-            self.leases.push(Lease {
+    /// Turn the passage of time into `Expire` events: every lease
+    /// whose heartbeat deadline passed is forfeited and reallocated.
+    fn expire_leases(&mut self) {
+        let now_us = self.now_us();
+        for (worker, task) in self.machine.expired(now_us) {
+            let fx = self.machine.step(Event::Expire {
                 worker,
-                task: v,
-                deadline,
-                granted: now,
-                speculative: false,
+                task,
+                now_us,
             });
-            let ev = TraceEvent::Allocated {
-                step: self.step,
-                time: self.now(),
-                client: worker,
-                task: v,
-                pool: Some(base + (k - 1 - i)),
-            };
-            self.emit(ev);
+            self.absorb(fx, None);
         }
-        if let Some(w) = self.workers.get_mut(worker) {
-            w.waiting = false;
-        }
-        Message::Assign {
-            tasks: tasks.iter().map(|v| v.index() as u64).collect(),
-        }
-    }
-
-    /// At the drain barrier (empty pool, nothing deferred, leases
-    /// outstanding), grant an idle v2 worker a speculative duplicate of
-    /// the longest-outstanding primary lease — if stealing is enabled,
-    /// that lease is old enough, and the task has no duplicate yet.
-    fn try_steal(&mut self, worker: usize) -> Option<Message> {
-        let after = Duration::from_millis(self.cfg.steal_after_ms?);
-        if !self.deferred.is_empty() || self.worker_proto(worker) < PROTO_V2 {
-            return None;
-        }
-        let now = Instant::now();
-        let mut straggler: Option<(Instant, NodeId)> = None;
-        for l in &self.leases {
-            if l.speculative || l.worker == worker {
-                continue;
-            }
-            if now.duration_since(l.granted) < after {
-                continue;
-            }
-            let task = l.task;
-            if self.leases.iter().any(|x| x.task == task && x.speculative) {
-                continue;
-            }
-            if straggler.is_none_or(|(g, _)| l.granted < g) {
-                straggler = Some((l.granted, task));
-            }
-        }
-        let (_, v) = straggler?;
-        self.steals += 1;
-        self.leases.push(Lease {
-            worker,
-            task: v,
-            deadline: now + Duration::from_millis(self.cfg.lease_ms),
-            granted: now,
-            speculative: true,
-        });
-        // The pool does not shrink: the task was already allocated.
-        let ev = TraceEvent::Speculated {
-            step: self.step,
-            time: self.now(),
-            client: worker,
-            task: v,
-            pool: Some(self.recorded_pool()),
-        };
-        self.emit(ev);
-        if let Some(w) = self.workers.get_mut(worker) {
-            w.waiting = false;
-        }
-        Some(Message::assign(v.index() as u64))
-    }
-
-    /// Apply a worker's outcome report. Returns whether it was
-    /// accepted; late or duplicate reports are discarded without a
-    /// trace event (the lease expiry already recorded the loss, or the
-    /// task is already executed).
-    ///
-    /// First completion wins: the winner's `Completed` is followed by a
-    /// `Revoked` for every remaining duplicate holder, whose eventual
-    /// report then finds no lease and is rejected.
-    fn report(&mut self, worker: usize, task: u64, ok: bool) -> bool {
-        let Some(pos) = self
-            .leases
-            .iter()
-            .position(|l| l.worker == worker && l.task.index() as u64 == task)
-        else {
-            return false;
-        };
-        let lease = self.leases.swap_remove(pos);
-        let v = lease.task;
-        if ok {
-            // Newly ELIGIBLE children enter the pool inside
-            // `execute_counting` (in id order).
-            self.state
-                .execute_counting(v)
-                .expect("leased tasks are ELIGIBLE by construction");
-            self.completions += 1;
-            let ev = TraceEvent::Completed {
-                step: self.step,
-                time: self.now(),
-                client: worker,
-                task: v,
-                pool: Some(self.recorded_pool()),
-            };
-            self.emit(ev);
-            // Cancel the stale duplicates (if any): their leases are
-            // removed now; their workers learn via the `Revoke` reply
-            // to their next heartbeat or the rejected `Done`.
-            let mut i = 0;
-            while i < self.leases.len() {
-                if self.leases[i].task == v {
-                    let dup = self.leases.swap_remove(i);
-                    self.revokes += 1;
-                    let ev = TraceEvent::Revoked {
-                        step: self.step,
-                        time: self.now(),
-                        client: dup.worker,
-                        task: dup.task,
-                    };
-                    self.emit(ev);
-                } else {
-                    i += 1;
-                }
-            }
-            if self.is_complete() {
-                self.completed_at = Some(Instant::now());
-            }
-        } else {
-            self.lose_lease(lease);
-        }
-        true
     }
 
     fn into_report(self) -> ServeReport {
-        let makespan = self
-            .completed_at
-            .map_or_else(|| self.start.elapsed(), |t| t.duration_since(self.start))
-            .as_secs_f64();
-        ServeReport {
-            completions: self.completions,
-            failures: self.failure_events,
-            allocations: self.allocation_steps,
-            workers_registered: self.workers.len(),
-            late_workers: self.late_workers,
-            resumes: self.resumes,
-            steals: self.steals,
-            revokes: self.revokes,
-            makespan,
-        }
+        let now_us = self.now_us();
+        self.machine.summary(now_us)
     }
 }
 
@@ -1149,388 +631,5 @@ fn handle_conn(stream: TcpStream, tx: Sender<Req>, read_timeout: Duration) {
             let _ = tx.send(Req::Gone { worker, epoch });
             return;
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use ic_audit::{audit_trace, Severity};
-    use ic_dag::builder::from_arcs;
-    use ic_sched::batched::batches_with;
-    use ic_sched::heuristics::Policy;
-    use ic_sim::MemorySink;
-
-    /// The coordinator's accounting invariant: every ELIGIBLE task is
-    /// in exactly one place — the allocatable pool, the backoff queue,
-    /// or out on (one or more) leases — and only pooled tasks are
-    /// unclaimed.
-    fn assert_accounting(coord: &Coordinator<'_, '_>) {
-        let mut eligible = coord.state.eligible_nodes();
-        eligible.sort_unstable_by_key(|v| v.0);
-        let mut tracked: Vec<NodeId> = coord.state.pool().to_vec();
-        tracked.extend(coord.deferred.iter().map(|&(_, v)| v));
-        let mut leased: Vec<NodeId> = coord.leases.iter().map(|l| l.task).collect();
-        leased.sort_unstable_by_key(|v| v.0);
-        leased.dedup();
-        tracked.extend(leased);
-        tracked.sort_unstable_by_key(|v| v.0);
-        assert_eq!(
-            tracked, eligible,
-            "pool ∪ deferred ∪ leased must equal the ELIGIBLE set"
-        );
-        for &(_, v) in &coord.deferred {
-            assert!(!coord.state.is_pooled(v), "deferred task {v} stays claimed");
-        }
-        for l in &coord.leases {
-            assert!(
-                !coord.state.is_pooled(l.task),
-                "leased task {} stays claimed",
-                l.task
-            );
-        }
-        assert_eq!(
-            coord.recorded_pool(),
-            coord.state.pool_len() + coord.deferred.len()
-        );
-    }
-
-    fn audit_errors(sink: MemorySink) -> Vec<ic_audit::Diagnostic> {
-        let trace = sink.into_trace().expect("header written");
-        audit_trace(&trace)
-            .into_iter()
-            .filter(|d| d.severity == Severity::Error)
-            .collect()
-    }
-
-    /// Regression test for the failure-reallocation lifecycle: a task
-    /// that is leased, forfeited, parked in backoff, and re-leased must
-    /// keep the pool and `deferred` accounting consistent at every
-    /// step, and the finished trace must replay clean.
-    #[test]
-    fn failure_reallocation_keeps_pool_accounting_consistent() {
-        let g = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
-        let policy = Policy::Fifo;
-        let cfg = ServerConfig::builder()
-            .lease_ms(10_000)
-            .backoff_base_ms(15)
-            .build();
-        let mut sink = MemorySink::new();
-        let mut coord = Coordinator::new(&g, &policy, &cfg, &mut sink);
-        assert_accounting(&coord);
-
-        // Lease the lone source, then have the worker report failure:
-        // the task parks in the backoff queue, still claimed.
-        let Message::Assign { tasks } = coord.allocate_for(0, 1) else {
-            panic!("the source must be allocatable");
-        };
-        assert_eq!(tasks, vec![0]);
-        assert_accounting(&coord);
-        assert!(coord.report(0, 0, false));
-        assert_eq!((coord.deferred.len(), coord.leases.len()), (1, 0));
-        assert_eq!(
-            coord.recorded_pool(),
-            1,
-            "a backing-off task still counts in the recorded pool"
-        );
-        assert_accounting(&coord);
-
-        // While the backoff runs, the pool is empty: requests wait.
-        assert!(matches!(coord.allocate_for(0, 1), Message::Wait { .. }));
-        assert_accounting(&coord);
-
-        // After the backoff elapses the task is re-leased...
-        std::thread::sleep(Duration::from_millis(30));
-        let Message::Assign { tasks } = coord.allocate_for(0, 1) else {
-            panic!("the backoff elapsed; the task must be reallocatable");
-        };
-        assert_eq!(tasks, vec![0]);
-        assert_eq!(coord.failures[0], 1);
-        assert_accounting(&coord);
-
-        // ...and a request from a worker still holding a lease forfeits
-        // it back into the backoff queue instead of leaking it.
-        assert!(matches!(coord.allocate_for(0, 1), Message::Wait { .. }));
-        assert_eq!((coord.deferred.len(), coord.leases.len()), (1, 0));
-        assert_eq!(coord.failures[0], 2);
-        assert_accounting(&coord);
-
-        // Wait out the doubled backoff and drive the dag to completion,
-        // checking the invariant around every decision.
-        std::thread::sleep(Duration::from_millis(60));
-        let mut guard = 0;
-        while !coord.is_complete() {
-            match coord.allocate_for(0, 1) {
-                Message::Assign { tasks } => {
-                    assert_accounting(&coord);
-                    assert!(coord.report(0, tasks[0], true));
-                }
-                Message::Wait { .. } => std::thread::sleep(Duration::from_millis(5)),
-                other => panic!("unexpected reply mid-run: {other:?}"),
-            }
-            assert_accounting(&coord);
-            guard += 1;
-            assert!(guard < 1_000, "run failed to converge");
-        }
-        assert!(matches!(coord.allocate_for(0, 1), Message::Drain));
-
-        let report = coord.into_report();
-        assert_eq!(report.completions, 4);
-        assert_eq!(report.failures, 2);
-        assert_eq!(report.allocations, 6);
-
-        let errors = audit_errors(sink);
-        assert!(errors.is_empty(), "trace must replay clean: {errors:?}");
-    }
-
-    /// A mid-lease disconnect of a v1 (or never-registered) worker
-    /// reallocates the held task through the same claimed-while-
-    /// deferred path as a failure report.
-    #[test]
-    fn disconnect_reallocation_keeps_pool_accounting_consistent() {
-        let g = from_arcs(3, &[(0, 1), (0, 2)]).unwrap();
-        let policy = Policy::Fifo;
-        let cfg = ServerConfig::builder()
-            .lease_ms(10_000)
-            .backoff_base_ms(0)
-            .build();
-        let mut sink = MemorySink::new();
-        let mut coord = Coordinator::new(&g, &policy, &cfg, &mut sink);
-
-        let Message::Assign { tasks } = coord.allocate_for(0, 1) else {
-            panic!("the source must be allocatable");
-        };
-        assert_accounting(&coord);
-        coord.serve(Req::Gone {
-            worker: 0,
-            epoch: 0,
-        });
-        assert_eq!((coord.deferred.len(), coord.leases.len()), (1, 0));
-        assert_accounting(&coord);
-
-        // Zero backoff: another worker picks the task right back up.
-        let Message::Assign { tasks: retry } = coord.allocate_for(1, 1) else {
-            panic!("the lost task must be immediately reallocatable");
-        };
-        assert_eq!(retry, tasks);
-        assert_accounting(&coord);
-        assert!(coord.report(1, retry[0], true));
-        assert_eq!(coord.state.pool_len(), 2, "both children became ELIGIBLE");
-        assert_accounting(&coord);
-    }
-
-    /// The resume lifecycle: a v2 worker that disconnects mid-lease
-    /// keeps the lease, reclaims its slot with the token (rotated, so
-    /// the old token dies), and the dead connection's stale `Gone`
-    /// cannot disturb the resumed slot.
-    #[test]
-    fn resume_restores_leases_and_rotates_the_token() {
-        let g = from_arcs(2, &[(0, 1)]).unwrap();
-        let policy = Policy::Fifo;
-        let cfg = ServerConfig::builder().lease_ms(10_000).build();
-        let mut sink = MemorySink::new();
-        let mut coord = Coordinator::new(&g, &policy, &cfg, &mut sink);
-
-        let reg = coord.register("a".into(), 1.0, PROTO_V2, None);
-        let Message::Welcome {
-            resume: Some(token),
-            proto,
-            ..
-        } = reg.msg
-        else {
-            panic!("a v2 hello must be welcomed with a resume token");
-        };
-        assert_eq!(proto, PROTO_V2);
-        let Message::Assign { tasks } = coord.allocate_for(0, 1) else {
-            panic!("the source must be allocatable");
-        };
-
-        // The connection dies mid-lease: the v2 slot keeps the lease.
-        coord.serve(Req::Gone {
-            worker: 0,
-            epoch: reg.epoch,
-        });
-        assert_eq!(coord.connected, 0);
-        assert_eq!(coord.leases.len(), 1);
-        assert_eq!(coord.failure_events, 0, "no spurious reallocation");
-        assert_accounting(&coord);
-
-        // Resume with the token: same slot, rotated token, lease back.
-        let resumed = coord.register("a".into(), 1.0, PROTO_V2, Some(token.clone()));
-        let Message::Welcome {
-            worker,
-            resume: Some(rotated),
-            tasks: held,
-            ..
-        } = resumed.msg
-        else {
-            panic!("a valid resume token must be accepted");
-        };
-        assert_eq!(worker, 0);
-        assert_ne!(rotated, token, "the token must rotate on resume");
-        assert_eq!(held, tasks);
-        assert_eq!((coord.resumes, coord.connected), (1, 1));
-
-        // The spent token is dead; the old connection's Gone is stale.
-        let replayed = coord.register("a".into(), 1.0, PROTO_V2, Some(token));
-        assert!(
-            matches!(replayed.msg, Message::Error { ref code, .. } if code == ERR_BAD_RESUME),
-            "a spent token must be refused"
-        );
-        coord.serve(Req::Gone {
-            worker: 0,
-            epoch: reg.epoch,
-        });
-        assert_eq!(coord.connected, 1, "a stale-epoch Gone is ignored");
-        assert_eq!(coord.leases.len(), 1);
-
-        // Finish under the resumed lease; the trace replays clean.
-        assert!(coord.report(0, held[0], true));
-        let Message::Assign { tasks } = coord.allocate_for(0, 1) else {
-            panic!("the child must be allocatable");
-        };
-        assert!(coord.report(0, tasks[0], true));
-        assert!(coord.is_complete());
-        let report = coord.into_report();
-        assert_eq!((report.resumes, report.failures), (1, 0));
-        let errors = audit_errors(sink);
-        assert!(errors.is_empty(), "trace must replay clean: {errors:?}");
-    }
-
-    /// The drain-barrier steal lifecycle: an idle v2 worker gets a
-    /// speculative duplicate of the straggling lease, the first
-    /// completion wins, the loser is revoked without a pool change, and
-    /// the loser's late report is rejected without a trace event.
-    #[test]
-    fn speculative_duplicate_first_completion_wins() {
-        let g = from_arcs(2, &[(0, 1)]).unwrap();
-        let policy = Policy::Fifo;
-        let cfg = ServerConfig::builder()
-            .lease_ms(10_000)
-            .backoff_base_ms(0)
-            .steal_after(0)
-            .build();
-        let mut sink = MemorySink::new();
-        let mut coord = Coordinator::new(&g, &policy, &cfg, &mut sink);
-        let a = coord.register("a".into(), 1.0, PROTO_V2, None);
-        let b = coord.register("b".into(), 1.0, PROTO_V2, None);
-        assert!(matches!(a.msg, Message::Welcome { .. }));
-        assert!(matches!(b.msg, Message::Welcome { .. }));
-
-        let Message::Assign { tasks } = coord.allocate_for(0, 1) else {
-            panic!("the source must be allocatable");
-        };
-        assert_eq!(tasks, vec![0]);
-
-        // Pool empty, a lease outstanding: worker 1 steals a duplicate.
-        let Message::Assign { tasks: stolen } = coord.allocate_for(1, 1) else {
-            panic!("the drain barrier must yield a speculative lease");
-        };
-        assert_eq!(stolen, vec![0]);
-        assert_eq!(coord.leases.len(), 2);
-        assert_eq!(coord.steals, 1);
-        assert_accounting(&coord);
-
-        let steps_before = coord.step;
-        // Worker 1 finishes first: it wins, worker 0's lease is
-        // revoked, the child enters the pool exactly once.
-        assert!(coord.report(1, 0, true));
-        assert_eq!((coord.revokes, coord.leases.len()), (1, 0));
-        assert_eq!(coord.state.pool_len(), 1);
-        assert_accounting(&coord);
-        assert_eq!(coord.step, steps_before + 2, "completed + revoked");
-
-        // The loser's late report finds no lease: rejected, no event.
-        assert!(!coord.report(0, 0, true));
-        assert_eq!(coord.step, steps_before + 2, "a late report emits nothing");
-
-        // The loser learns via its next heartbeat: a v2 Revoke frame.
-        let (tx, rx) = channel();
-        coord.serve(Req::Beat {
-            worker: 0,
-            task: 0,
-            reply: tx,
-        });
-        assert_eq!(rx.recv().unwrap(), Message::Revoke { task: 0 });
-
-        let Message::Assign { tasks } = coord.allocate_for(0, 1) else {
-            panic!("the child must be allocatable");
-        };
-        assert!(coord.report(0, tasks[0], true));
-        assert!(coord.is_complete());
-        let report = coord.into_report();
-        assert_eq!((report.steals, report.revokes, report.failures), (1, 1, 0));
-        let errors = audit_errors(sink);
-        assert!(errors.is_empty(), "trace must replay clean: {errors:?}");
-    }
-
-    /// Batched allocation follows the offline batch schedule: a lone
-    /// v2 worker requesting `max` tasks per round executes exactly the
-    /// rounds `ic_sched::batched::batches_with` computes, and the
-    /// per-task trace still replays clean.
-    #[test]
-    fn batched_allocation_matches_the_offline_batch_schedule() {
-        let g = from_arcs(7, &[(0, 2), (1, 2), (1, 3), (2, 4), (2, 5), (3, 6)]).unwrap();
-        let policy = Policy::Fifo;
-        let offline: Vec<Vec<u64>> = batches_with(&g, 3, &policy)
-            .batches()
-            .iter()
-            .map(|round| round.iter().map(|v| v.index() as u64).collect())
-            .collect();
-
-        let cfg = ServerConfig::builder().lease_ms(10_000).batch(3).build();
-        let mut sink = MemorySink::new();
-        let mut coord = Coordinator::new(&g, &policy, &cfg, &mut sink);
-        let reg = coord.register("a".into(), 1.0, PROTO_V2, None);
-        assert!(matches!(reg.msg, Message::Welcome { .. }));
-
-        let mut online: Vec<Vec<u64>> = Vec::new();
-        while !coord.is_complete() {
-            let Message::Assign { tasks } = coord.allocate_for(0, 3) else {
-                panic!("a lone worker never waits on a failure-free dag");
-            };
-            assert_accounting(&coord);
-            for &t in &tasks {
-                assert!(coord.report(0, t, true));
-            }
-            online.push(tasks);
-        }
-        assert_eq!(online, offline);
-
-        // A v1 worker gets one task per assign no matter what it asks.
-        let errors = audit_errors(sink);
-        assert!(errors.is_empty(), "trace must replay clean: {errors:?}");
-    }
-
-    /// Protocol gatekeeping: a hello below `min_proto` is refused with
-    /// the typed `unsupported` error; a v1 worker on a default server
-    /// is capped at one task per assign.
-    #[test]
-    fn min_proto_refuses_and_v1_is_never_batched() {
-        let g = from_arcs(3, &[]).unwrap();
-        let policy = Policy::Fifo;
-        let cfg = ServerConfig::builder().min_proto(PROTO_V2).build();
-        let mut sink = MemorySink::new();
-        let mut coord = Coordinator::new(&g, &policy, &cfg, &mut sink);
-        let refused = coord.register("old".into(), 1.0, PROTO_V1, None);
-        assert!(
-            matches!(refused.msg, Message::Error { ref code, .. } if code == ERR_UNSUPPORTED),
-            "a v1 hello against a v2-only server gets the typed error"
-        );
-        assert_eq!(coord.workers.len(), 0, "a refused peer takes no slot");
-
-        let cfg = ServerConfig::builder().batch(4).build();
-        let mut sink = MemorySink::new();
-        let mut coord = Coordinator::new(&g, &policy, &cfg, &mut sink);
-        let reg = coord.register("old".into(), 1.0, PROTO_V1, None);
-        let Message::Welcome { proto, resume, .. } = reg.msg else {
-            panic!("a v1 hello is welcome on a default server");
-        };
-        assert_eq!(proto, PROTO_V1);
-        assert_eq!(resume, None, "v1 peers get no resume token");
-        let Message::Assign { tasks } = coord.allocate_for(0, 4) else {
-            panic!("sources are allocatable");
-        };
-        assert_eq!(tasks.len(), 1, "v1 workers are never batched");
     }
 }

@@ -327,7 +327,7 @@ impl Message {
             None => Ok(PROTO_V1),
             Some(p) => p
                 .as_u64()
-                .map(|p| p as u32)
+                .and_then(|p| u32::try_from(p).ok())
                 .ok_or_else(|| malformed("non-numeric \"proto\"")),
         };
         let resume = || match v.get("resume") {
@@ -519,7 +519,9 @@ impl WireError {
 pub fn write_msg(w: &mut impl Write, msg: &Message) -> std::io::Result<()> {
     let body = msg.to_json();
     debug_assert!(body.len() <= MAX_FRAME, "outgoing frame within bounds");
-    let len = body.len() as u32;
+    let len = u32::try_from(body.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, "frame exceeds u32 length")
+    })?;
     w.write_all(&len.to_be_bytes())?;
     w.write_all(body.as_bytes())?;
     w.flush()
@@ -668,6 +670,32 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(MAX_FRAME as u32 + 1).to_be_bytes());
         buf.extend_from_slice(b"ignored");
+        match read_msg(&mut &buf[..]) {
+            Err(WireError::Oversized(n)) => assert_eq!(n, MAX_FRAME + 1),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn the_frame_cap_boundary_is_exact() {
+        // A body of exactly MAX_FRAME bytes round-trips: the cap is
+        // inclusive. Pad a hello id until the encoded body lands on
+        // the boundary (each ASCII byte of id is one body byte).
+        let base = Message::hello("", 1.0).to_json().len();
+        let msg = Message::hello("a".repeat(MAX_FRAME - base), 1.0);
+        assert_eq!(msg.to_json().len(), MAX_FRAME);
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &msg).unwrap();
+        assert_eq!(read_msg(&mut &buf[..]).unwrap(), msg);
+
+        // One byte past the cap is rejected with the exact length,
+        // before the body is read. Framed by hand: `write_msg` itself
+        // debug-asserts the bound.
+        let over = Message::hello("a".repeat(MAX_FRAME - base + 1), 1.0).to_json();
+        assert_eq!(over.len(), MAX_FRAME + 1);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::try_from(over.len()).unwrap().to_be_bytes());
+        buf.extend_from_slice(over.as_bytes());
         match read_msg(&mut &buf[..]) {
             Err(WireError::Oversized(n)) => assert_eq!(n, MAX_FRAME + 1),
             other => panic!("expected Oversized, got {other:?}"),

@@ -300,6 +300,35 @@ impl<'a> ExecState<'a> {
     }
 }
 
+/// The ELIGIBLE set computed straight from the paper's definition
+/// (§2.2): a node is ELIGIBLE iff it is unexecuted and every parent is
+/// executed. `executed[v]` indexes by node id; indices past its length
+/// count as unexecuted.
+///
+/// This is the *oracle* form — `O(nodes + arcs)` per call, independent
+/// of [`ExecState`]'s incremental bookkeeping — used by differential
+/// tests and the `ic-check` model checker to validate the incremental
+/// state against the definition at every explored state.
+///
+/// ```
+/// use ic_dag::builder::from_arcs;
+/// use ic_dag::NodeId;
+/// use ic_sched::eligibility::eligible_from_executed;
+///
+/// let diamond = from_arcs(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]).unwrap();
+/// assert_eq!(eligible_from_executed(&diamond, &[]), vec![NodeId(0)]);
+/// assert_eq!(
+///     eligible_from_executed(&diamond, &[true]),
+///     vec![NodeId(1), NodeId(2)]
+/// );
+/// ```
+pub fn eligible_from_executed(dag: &Dag, executed: &[bool]) -> Vec<NodeId> {
+    let done = |v: NodeId| executed.get(v.index()).copied().unwrap_or(false);
+    dag.node_ids()
+        .filter(|&v| !done(v) && dag.parents(v).iter().all(|&p| done(p)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

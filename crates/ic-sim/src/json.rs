@@ -86,7 +86,7 @@ pub fn json_string(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
             c => out.push(c),
         }
     }
@@ -254,12 +254,28 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8")?;
-                    let c = s.chars().next().unwrap();
+                Some(b) if b < 0x80 => {
+                    out.push(char::from(b));
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // Consume one multibyte UTF-8 character. The input
+                    // is a &str, so boundaries are valid; the lead byte
+                    // fixes the encoded length, and only that window is
+                    // re-validated — not the whole remaining input,
+                    // which would make long strings quadratic to parse.
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| "invalid utf-8")?;
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| format!("truncated input at byte {}", self.pos))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -289,7 +305,8 @@ impl Parser<'_> {
         ) {
             self.pos += 1;
         }
-        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
         if raw.parse::<f64>().is_err() {
             return Err(format!("invalid number '{raw}' at byte {start}"));
         }

@@ -127,7 +127,10 @@ impl SimResult {
             let (t1, _) = w[1];
             area += (t1 - t0) * s0 as f64;
         }
-        let span = self.eligible_trace.last().unwrap().0 - self.eligible_trace[0].0;
+        let span = match (self.eligible_trace.last(), self.eligible_trace.first()) {
+            (Some(&(end, _)), Some(&(startt, _))) => end - startt,
+            _ => return 0.0,
+        };
         if span > 0.0 {
             area / span
         } else {

@@ -600,7 +600,8 @@ fn parse_header(v: &Json, lineno: usize) -> Result<TraceHeader, TraceParseError>
     let bad = |key: &str| err(lineno, format!("invalid \"{key}\" field"));
     let version = field(v, "version", lineno)?
         .as_u64()
-        .ok_or_else(|| bad("version"))? as u32;
+        .and_then(|u| u32::try_from(u).ok())
+        .ok_or_else(|| bad("version"))?;
     let nodes = field(v, "nodes", lineno)?
         .as_usize()
         .ok_or_else(|| bad("nodes"))?;
@@ -623,8 +624,14 @@ fn parse_header(v: &Json, lineno: usize) -> Result<TraceHeader, TraceParseError>
             .as_arr()
             .filter(|p| p.len() == 2)
             .ok_or_else(|| err(lineno, "each arc must be a [parent, child] pair"))?;
-        let u = pair[0].as_u64().ok_or_else(|| bad("arcs"))? as u32;
-        let w = pair[1].as_u64().ok_or_else(|| bad("arcs"))? as u32;
+        let u = pair[0]
+            .as_u64()
+            .and_then(|x| u32::try_from(x).ok())
+            .ok_or_else(|| bad("arcs"))?;
+        let w = pair[1]
+            .as_u64()
+            .and_then(|x| u32::try_from(x).ok())
+            .ok_or_else(|| bad("arcs"))?;
         arcs.push((u, w));
     }
     // Optional since version 2; version-1 traces parse as empty.
@@ -677,7 +684,8 @@ fn parse_event(kind: &str, v: &Json, lineno: usize) -> Result<TraceEvent, TraceP
     let task = NodeId(
         field(v, "task", lineno)?
             .as_u64()
-            .ok_or_else(|| bad("task"))? as u32,
+            .and_then(|u| u32::try_from(u).ok())
+            .ok_or_else(|| bad("task"))?,
     );
     let pool = match v.get("pool") {
         Some(p) => Some(p.as_usize().ok_or_else(|| bad("pool"))?),

@@ -20,16 +20,33 @@ cargo build --offline --workspace --release
 echo "==> cargo test"
 cargo test --offline --workspace --quiet
 
-echo "==> bench smoke (eligibility group, machine-readable report)"
-# A tiny-budget run of the eligibility benches proves the bench binary,
-# the JSON report, and its validator stay wired together. bench-check
-# exits nonzero on malformed JSON or a missing bench group; the numbers
-# themselves are not gated (5 ms budgets are noise).
+echo "==> ic-lint (no unwrap/expect/panic/narrowing in protocol code)"
+./target/release/ic-lint
+
+echo "==> ic-prio check (model-check the lease protocol)"
+# Exhaustive interleaving exploration of the pure LeaseMachine: two
+# workers over a 6-node mesh, every IC05xx invariant checked at every
+# reachable state, bounded depth so CI stays fast. Run once plain and
+# once with the speculative-steal path enabled.
+./target/release/ic-prio check --family mesh:3 --workers 2 --depth 48 --json \
+    | grep -q '"clean": true'
+./target/release/ic-prio check --family mesh:3 --workers 2 --depth 48 --steal --json \
+    | grep -q '"clean": true'
+
+echo "==> bench smoke (eligibility + check groups, machine-readable report)"
+# A tiny-budget run of the eligibility and model-checker benches proves
+# the bench binaries, the merged JSON report (IC_BENCH_APPEND), and the
+# validator stay wired together. bench-check exits nonzero on malformed
+# JSON or a missing bench group; the numbers themselves are not gated
+# (5 ms budgets are noise).
 mkdir -p target/verify
 # Absolute path: cargo runs bench binaries from the package directory.
 IC_BENCH_MS=5 IC_BENCH_JSON="$PWD/target/verify/BENCH.json" \
     cargo bench --offline -p ic-bench --bench eligibility > /dev/null
-./target/release/bench-check target/verify/BENCH.json
+IC_BENCH_MS=5 IC_BENCH_JSON="$PWD/target/verify/BENCH.json" IC_BENCH_APPEND=1 \
+    cargo bench --offline -p ic-bench --bench check > /dev/null
+./target/release/bench-check target/verify/BENCH.json \
+    envelope envelope-naive exec-state check
 
 echo "==> ic-prio audit --claims"
 ./target/release/ic-prio audit --claims

@@ -21,13 +21,18 @@
 //!   priorities;
 //! * [`audit`] — the static verifier: structured `ICxxxx` diagnostics
 //!   over dags, schedules, and the machine-checked paper-claims
-//!   registry (`ic-prio audit --claims`).
+//!   registry (`ic-prio audit --claims`);
+//! * [`check`] — the deterministic model checker: exhaustive
+//!   interleaving exploration of the `ic-net` lease protocol with
+//!   `IC05xx` invariants and minimal counterexamples (`ic-prio
+//!   check`).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every figure and table.
 
 pub use ic_apps as apps;
 pub use ic_audit as audit;
+pub use ic_check as check;
 pub use ic_dag as dag;
 pub use ic_exec as exec;
 pub use ic_families as families;
