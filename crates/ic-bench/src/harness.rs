@@ -131,6 +131,46 @@ impl Runner {
         self.bench_impl(group, id, Some(nodes), Some(states), f);
     }
 
+    /// Record one externally measured run verbatim. Macro-benchmarks
+    /// (like the `net` fleet harness, where a single run takes
+    /// seconds and drives thousands of worker connections) measure
+    /// themselves and report here instead of iterating a closure:
+    /// `best`/`mean` carry whatever the caller measured — e.g. a p99
+    /// and a mean latency — and `iters` the sample count behind them.
+    /// The usual name filter applies.
+    #[allow(clippy::too_many_arguments)] // mirrors the Record fields
+    pub fn record_raw(
+        &mut self,
+        group: &str,
+        id: &str,
+        nodes: Option<usize>,
+        states: Option<u64>,
+        best: Duration,
+        mean: Duration,
+        iters: u64,
+    ) {
+        let name = format!("{group}/{id}");
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        println!(
+            "{name:<48} best {:>12}  mean {:>12}  ({iters} sample(s), raw)",
+            fmt_duration(best),
+            fmt_duration(mean),
+        );
+        self.records.push(Record {
+            group: group.to_string(),
+            id: id.to_string(),
+            nodes,
+            states,
+            best_ns: best.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            iters: iters.max(1),
+        });
+    }
+
     fn bench_impl<R>(
         &mut self,
         group: &str,

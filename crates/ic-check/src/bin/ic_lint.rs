@@ -13,7 +13,10 @@
 //!   fine);
 //! * `panic!(` — explicit panic;
 //! * ` as u8` / `u16` / `u32` / `i8` / `i16` / `i32` — silently
-//!   truncating numeric narrowing (use `try_from`).
+//!   truncating numeric narrowing (use `try_from`);
+//! * `thread::spawn` — the reactor owns every connection on one
+//!   thread; spawning in protocol code reintroduces the
+//!   thread-per-connection model the event loop replaced.
 //!
 //! Test code is exempt: `#[cfg(test)]` modules are skipped by brace
 //! tracking, and a line carrying a `lint:allow` marker is skipped
@@ -21,7 +24,7 @@
 //! violation is found.
 //!
 //! ```text
-//! ic-lint [DIR ...]        # default: crates/ic-net/src crates/ic-sim/src
+//! ic-lint [--verbose] [DIR ...]   # default: crates/ic-net/src crates/ic-sim/src
 //! ```
 
 use std::fmt;
@@ -40,6 +43,11 @@ const RULES: &[(&str, &str, &str)] = &[
     (" as i8", "no-narrowing", "use i8::try_from"),
     (" as i16", "no-narrowing", "use i16::try_from"),
     (" as i32", "no-narrowing", "use i32::try_from"),
+    (
+        "thread::spawn",
+        "no-spawn",
+        "the reactor owns all connections on one thread",
+    ),
 ];
 
 /// One finding.
@@ -101,9 +109,16 @@ fn strip_noise(line: &str) -> String {
     out
 }
 
+/// A `lint:allow`-suppressed line, reported under `--verbose`.
+struct Allowed {
+    file: PathBuf,
+    line: usize,
+    reason: String,
+}
+
 /// Lint one file, appending findings. Skips `#[cfg(test)]` blocks by
 /// tracking the brace depth of the item that follows the attribute.
-fn lint_file(path: &Path, src: &str, findings: &mut Vec<Finding>) {
+fn lint_file(path: &Path, src: &str, findings: &mut Vec<Finding>, allowed: &mut Vec<Allowed>) {
     let mut skip_depth: Option<i64> = None; // brace depth at cfg(test) entry
     let mut depth: i64 = 0;
     let mut pending_test_attr = false;
@@ -135,7 +150,19 @@ fn lint_file(path: &Path, src: &str, findings: &mut Vec<Finding>) {
             }
             continue;
         }
-        if raw.contains("lint:allow") {
+        if let Some(at) = raw.find("lint:allow") {
+            let reason = raw[at + "lint:allow".len()..]
+                .trim_start_matches([':', ' ', '-'])
+                .trim();
+            allowed.push(Allowed {
+                file: path.to_path_buf(),
+                line: idx + 1,
+                reason: if reason.is_empty() {
+                    "(no reason given)".to_string()
+                } else {
+                    reason.to_string()
+                },
+            });
             continue;
         }
         let doc = trimmed.starts_with("///") || trimmed.starts_with("//!");
@@ -177,7 +204,9 @@ fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let verbose = args.iter().any(|a| a == "--verbose");
+    args.retain(|a| a != "--verbose");
     let dirs: Vec<PathBuf> = if args.is_empty() {
         vec![
             PathBuf::from("crates/ic-net/src"),
@@ -197,13 +226,25 @@ fn main() -> ExitCode {
     }
 
     let mut findings = Vec::new();
+    let mut allowed = Vec::new();
     for f in &files {
         match fs::read_to_string(f) {
-            Ok(src) => lint_file(f, &src, &mut findings),
+            Ok(src) => lint_file(f, &src, &mut findings, &mut allowed),
             Err(e) => {
                 eprintln!("ic-lint: {}: {e}", f.display());
                 return ExitCode::from(2);
             }
+        }
+    }
+
+    if verbose {
+        for a in &allowed {
+            println!(
+                "ic-lint: allowed {}:{}: {}",
+                a.file.display(),
+                a.line,
+                a.reason
+            );
         }
     }
 

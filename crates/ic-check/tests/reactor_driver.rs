@@ -1,0 +1,170 @@
+//! The injectable-driver contract: a [`Reactor`] over a
+//! [`ManualClock`] and the in-process loopback poller is a
+//! *deterministic* server — the same scripted client against the same
+//! frozen clock produces byte-identical traces, with lease expiry
+//! driven through the timer wheel by explicit clock advances rather
+//! than wall time. This is the property that lets `ic-bench` and the
+//! model checker share the production reactor code path.
+
+use std::time::Duration;
+
+use ic_net::{loopback, Driver, LoopbackConn, ManualClock, Message, Reactor, ServerConfig};
+use ic_sim::{MemorySink, TraceEvent};
+
+/// Receive with a generous real-time bound (the *content* is
+/// deterministic; only scheduling latency is not).
+fn recv(conn: &mut LoopbackConn) -> Message {
+    conn.recv_timeout(Duration::from_secs(10))
+        .expect("loopback receive")
+        .expect("reactor replied within the bound")
+}
+
+/// One scripted run: a single worker completes a 3-task independent
+/// dag, but sits out its first lease — the clock is advanced past the
+/// deadline, so the wheel (not a scan, not wall time) expires it.
+/// Returns the run's trace as JSONL plus the serve report.
+fn scripted_run(seed: u64) -> (String, ic_net::ServeReport) {
+    let dag = ic_dag::builder::from_arcs(3, &[]).expect("independent tasks");
+    let policy = ic_sched::Schedule::in_id_order(&dag);
+    let cfg = ServerConfig::builder()
+        .lease_ms(100)
+        .backoff_base_ms(0)
+        .expect_workers(1)
+        .wait_ms(5)
+        .seed(seed)
+        .build();
+    let clock = ManualClock::new(1_000_000);
+    let (poller, handle) = loopback(4);
+    let driver = Driver::new(Box::new(clock.clone()), Box::new(poller));
+    let mut reactor = Reactor::new(&dag, &policy, cfg, driver);
+
+    let mut sink = MemorySink::new();
+    let report = std::thread::scope(|s| {
+        let clock = &clock;
+        s.spawn(move || {
+            let mut conn = handle.connect();
+            conn.send(&Message::hello("deterministic", 1.0)).unwrap();
+            let Message::Welcome { .. } = recv(&mut conn) else {
+                panic!("expected welcome");
+            };
+            conn.send(&Message::request()).unwrap();
+            let Message::Assign { tasks } = recv(&mut conn) else {
+                panic!("expected the first assignment");
+            };
+            let abandoned = tasks[0];
+            // Abandon the lease: advance the frozen clock past the
+            // deadline and let the reactor's next poll tick fire the
+            // wheel. (If our next request races ahead of the timer,
+            // the machine forfeits the lease instead — both paths
+            // stamp the same `Failed` event at the same manual time,
+            // so the trace is identical either way.)
+            clock.advance(150_000);
+            std::thread::sleep(Duration::from_millis(40));
+            loop {
+                conn.send(&Message::request()).unwrap();
+                match recv(&mut conn) {
+                    Message::Assign { tasks } => {
+                        for t in tasks {
+                            conn.send(&Message::Done { task: t, ok: true }).unwrap();
+                            let Message::Ack { accepted: true, .. } = recv(&mut conn) else {
+                                panic!("fresh completion must be accepted");
+                            };
+                        }
+                    }
+                    Message::Wait { .. } => std::thread::sleep(Duration::from_millis(1)),
+                    Message::Drain => break,
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+            let _ = abandoned;
+        });
+        reactor.run_until_drain(&mut sink).unwrap()
+    });
+
+    let trace = sink.into_trace().expect("header recorded");
+    (trace.to_jsonl(), report)
+}
+
+#[test]
+fn manual_clock_runs_are_byte_identical() {
+    let (a, report_a) = scripted_run(42);
+    let (b, report_b) = scripted_run(42);
+    assert_eq!(a, b, "same script + same frozen clock = same bytes");
+    assert_eq!(report_a.completions, 3);
+    assert_eq!(report_b.failures, report_a.failures);
+    assert!(
+        report_a.failures >= 1,
+        "the abandoned lease was recovered: {report_a:?}"
+    );
+    // The frozen clock is the one stamping events: the makespan is
+    // exactly the 150 ms we advanced, not wall time.
+    assert!(
+        (report_a.makespan - 0.15).abs() < 1e-9,
+        "makespan from the manual clock: {report_a:?}"
+    );
+
+    // The trace carries the recovery, and replays clean.
+    let trace = ic_sim::Trace::from_jsonl(&a).unwrap();
+    let fails = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Failed { .. }))
+        .count();
+    assert_eq!(fails, report_a.failures);
+    let errors: Vec<_> = ic_audit::audit_trace(&trace)
+        .into_iter()
+        .filter(|d| d.severity == ic_audit::Severity::Error)
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "deterministic trace replays clean: {errors:?}"
+    );
+}
+
+/// The reactor exits via `connected() == 0` after draining its last
+/// worker — under a frozen clock the drain *grace* can never elapse,
+/// so prompt exit here proves the sever-on-drain path.
+#[test]
+fn drain_exits_promptly_under_a_frozen_clock() {
+    let dag = ic_dag::builder::from_arcs(1, &[]).expect("one task");
+    let policy = ic_sched::Schedule::in_id_order(&dag);
+    let cfg = ServerConfig::builder()
+        .lease_ms(60_000) // grace would be 60 s of manual time: unreachable
+        .expect_workers(1)
+        .seed(7)
+        .build();
+    let clock = ManualClock::new(0);
+    let (poller, handle) = loopback(1);
+    let driver = Driver::new(Box::new(clock), Box::new(poller));
+    let mut reactor = Reactor::new(&dag, &policy, cfg, driver);
+
+    let mut sink = MemorySink::new();
+    let report = std::thread::scope(|s| {
+        s.spawn(move || {
+            let mut conn = handle.connect();
+            conn.send(&Message::hello("prompt", 1.0)).unwrap();
+            let Message::Welcome { .. } = recv(&mut conn) else {
+                panic!("expected welcome");
+            };
+            conn.send(&Message::request()).unwrap();
+            let Message::Assign { tasks } = recv(&mut conn) else {
+                panic!("expected the assignment");
+            };
+            conn.send(&Message::Done {
+                task: tasks[0],
+                ok: true,
+            })
+            .unwrap();
+            let Message::Ack { accepted: true, .. } = recv(&mut conn) else {
+                panic!("completion accepted");
+            };
+            conn.send(&Message::request()).unwrap();
+            let Message::Drain = recv(&mut conn) else {
+                panic!("expected drain");
+            };
+        });
+        reactor.run_until_drain(&mut sink).unwrap()
+    });
+    assert_eq!(report.completions, 1);
+    assert_eq!(report.makespan, 0.0, "no manual time elapsed: {report:?}");
+}

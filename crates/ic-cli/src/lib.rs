@@ -44,4 +44,4 @@ pub mod output;
 pub mod parse;
 
 pub use output::CmdOutput;
-pub use parse::{parse_dag, NamedDag, ParseError};
+pub use parse::{parse_dag, NamedDag, NetOptions, ParseError};

@@ -15,6 +15,7 @@
 //! ic-prio serve (--dag <file> | --family <spec>) [--policy optimal|fifo|...]
 //!          [--listen addr] [--trace out.jsonl] [--lease-ms N] [--expect N]
 //!          [--batch N] [--steal-after MS] [--min-proto V]
+//!          [--poll-timeout MS] [--shards N]
 //!          [--port-file p] [--seed S] [--json]
 //! ic-prio work --connect <addr> [--id s] [--speed f] [--mean-ms N] [--batch N]
 //!          [--proto V] [--no-reconnect]
@@ -31,7 +32,7 @@ use std::process::ExitCode;
 
 use ic_cli::commands::{self, OrderPolicy};
 use ic_cli::output::CmdOutput;
-use ic_cli::parse_dag;
+use ic_cli::{parse_dag, NetOptions};
 
 const USAGE_EXIT: u8 = 2;
 
@@ -50,7 +51,7 @@ fn usage() -> ExitCode {
          ic-prio serve (--dag <file> | --family mesh:11|outtree:2:5|butterfly:3)\n              \
          [--policy optimal|fifo|lifo|random|greedy|maxout|mindepth] [--listen addr]\n              \
          [--trace out.jsonl] [--lease-ms N] [--expect N] [--batch N] [--steal-after MS]\n              \
-         [--min-proto V] [--port-file p] [--seed S] [--json]\n  \
+         [--min-proto V] [--poll-timeout MS] [--shards N] [--port-file p] [--seed S] [--json]\n  \
          ic-prio work --connect <addr> [--id s] [--speed f] [--mean-ms N] [--batch N]\n              \
          [--proto V] [--no-reconnect]\n              \
          [--flaky p | --die-after K | --stall-after K | --sever-after K] [--seed S] [--json]\n  \
@@ -359,68 +360,24 @@ fn main() -> ExitCode {
             let mut listen = "127.0.0.1:0";
             let mut trace_path: Option<&str> = None;
             let mut port_file: Option<&str> = None;
-            let mut lease_ms = 500u64;
-            let mut expect = 0usize;
-            let mut seed = 0x1C5EEDu64;
-            let mut batch = 1usize;
-            let mut steal_after: Option<u64> = None;
-            let mut min_proto = ic_net::PROTO_V1;
+            let mut net = NetOptions::new();
             let mut flags = rest.as_slice();
             while let [flag, value, tail @ ..] = flags {
-                match *flag {
-                    "--dag" => dag_path = Some(value),
-                    "--family" => family = Some(value),
-                    "--policy" => policy_flag = value,
-                    "--listen" => listen = value,
-                    "--trace" => trace_path = Some(value),
-                    "--port-file" => port_file = Some(value),
-                    "--lease-ms" => match value.parse() {
-                        Ok(ms) if ms > 0 => lease_ms = ms,
-                        _ => {
-                            eprintln!("error: --lease-ms takes a positive integer");
-                            return usage();
-                        }
+                match net.accept_serve(flag, value) {
+                    Ok(true) => {}
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return usage();
+                    }
+                    Ok(false) => match *flag {
+                        "--dag" => dag_path = Some(value),
+                        "--family" => family = Some(value),
+                        "--policy" => policy_flag = value,
+                        "--listen" => listen = value,
+                        "--trace" => trace_path = Some(value),
+                        "--port-file" => port_file = Some(value),
+                        _ => return usage(),
                     },
-                    "--expect" => match value.parse() {
-                        Ok(n) => expect = n,
-                        Err(_) => {
-                            eprintln!("error: --expect takes an integer");
-                            return usage();
-                        }
-                    },
-                    "--batch" => match value.parse() {
-                        Ok(n) if n > 0 => batch = n,
-                        _ => {
-                            eprintln!("error: --batch takes a positive integer");
-                            return usage();
-                        }
-                    },
-                    "--steal-after" => match value.parse() {
-                        Ok(ms) => steal_after = Some(ms),
-                        Err(_) => {
-                            eprintln!("error: --steal-after takes milliseconds");
-                            return usage();
-                        }
-                    },
-                    "--min-proto" => match value.parse() {
-                        Ok(v @ (ic_net::PROTO_V1 | ic_net::PROTO_V2)) => min_proto = v,
-                        _ => {
-                            eprintln!(
-                                "error: --min-proto takes {} or {}",
-                                ic_net::PROTO_V1,
-                                ic_net::PROTO_V2
-                            );
-                            return usage();
-                        }
-                    },
-                    "--seed" => match value.parse() {
-                        Ok(s) => seed = s,
-                        Err(_) => {
-                            eprintln!("error: --seed takes an integer");
-                            return usage();
-                        }
-                    },
-                    _ => return usage(),
                 }
                 flags = tail;
             }
@@ -444,23 +401,19 @@ fn main() -> ExitCode {
                     return usage();
                 }
             };
-            let policy = match commands::serve_policy(&dag, policy_flag, seed, family_schedule) {
+            let policy = match commands::serve_policy(
+                &dag,
+                policy_flag,
+                net.serve_seed(),
+                family_schedule,
+            ) {
                 Ok(p) => p,
                 Err(e) => {
                     eprintln!("error: {e}");
                     return usage();
                 }
             };
-            let mut builder = ic_net::ServerConfig::builder()
-                .lease_ms(lease_ms)
-                .expect_workers(expect)
-                .seed(seed)
-                .batch(batch)
-                .min_proto(min_proto);
-            if let Some(ms) = steal_after {
-                builder = builder.steal_after(ms);
-            }
-            let net_cfg = builder.build();
+            let net_cfg = net.server_config();
             match commands::serve_run(
                 &label,
                 &dag,
@@ -485,84 +438,85 @@ fn main() -> ExitCode {
                 .filter(|a| *a != "--no-reconnect")
                 .collect();
             let mut connect: Option<&str> = None;
-            let mut bld = ic_net::WorkerConfig::builder().reconnect(reconnect);
+            let mut net = NetOptions::new();
+            // Worker-only knobs layer onto the shared options last, so
+            // parse them into closures-free locals first.
+            let mut id: Option<&str> = None;
+            let mut speed: Option<f64> = None;
+            let mut mean_ms: Option<u64> = None;
+            let mut fault: Option<ic_net::FaultPlan> = None;
             let mut flags = rest.as_slice();
             while let [flag, value, tail @ ..] = flags {
-                match *flag {
-                    "--connect" => connect = Some(value),
-                    "--id" => bld = bld.id(*value),
-                    "--speed" => match value.parse() {
-                        Ok(f) if f > 0.0 => bld = bld.speed(f),
-                        _ => {
-                            eprintln!("error: --speed takes a positive number");
-                            return usage();
-                        }
+                match net.accept_work(flag, value) {
+                    Ok(true) => {}
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return usage();
+                    }
+                    Ok(false) => match *flag {
+                        "--connect" => connect = Some(value),
+                        "--id" => id = Some(value),
+                        "--speed" => match value.parse() {
+                            Ok(f) if f > 0.0 => speed = Some(f),
+                            _ => {
+                                eprintln!("error: --speed takes a positive number");
+                                return usage();
+                            }
+                        },
+                        "--mean-ms" => match value.parse() {
+                            Ok(ms) => mean_ms = Some(ms),
+                            Err(_) => {
+                                eprintln!("error: --mean-ms takes an integer");
+                                return usage();
+                            }
+                        },
+                        "--flaky" => match value.parse() {
+                            Ok(p) if (0.0..=1.0).contains(&p) => {
+                                fault = Some(ic_net::FaultPlan::Random(p));
+                            }
+                            _ => {
+                                eprintln!("error: --flaky takes a probability in [0, 1]");
+                                return usage();
+                            }
+                        },
+                        "--die-after" => match value.parse() {
+                            Ok(k) => fault = Some(ic_net::FaultPlan::DieAfter(k)),
+                            Err(_) => {
+                                eprintln!("error: --die-after takes an integer");
+                                return usage();
+                            }
+                        },
+                        "--stall-after" => match value.parse() {
+                            Ok(k) => fault = Some(ic_net::FaultPlan::StallAfter(k)),
+                            Err(_) => {
+                                eprintln!("error: --stall-after takes an integer");
+                                return usage();
+                            }
+                        },
+                        "--sever-after" => match value.parse() {
+                            Ok(k) => fault = Some(ic_net::FaultPlan::SeverAfter(k)),
+                            Err(_) => {
+                                eprintln!("error: --sever-after takes an integer");
+                                return usage();
+                            }
+                        },
+                        _ => return usage(),
                     },
-                    "--mean-ms" => match value.parse() {
-                        Ok(ms) => bld = bld.mean_ms(ms),
-                        Err(_) => {
-                            eprintln!("error: --mean-ms takes an integer");
-                            return usage();
-                        }
-                    },
-                    "--batch" => match value.parse() {
-                        Ok(n) if n > 0 => bld = bld.batch(n),
-                        _ => {
-                            eprintln!("error: --batch takes a positive integer");
-                            return usage();
-                        }
-                    },
-                    "--proto" => match value.parse() {
-                        Ok(v @ (ic_net::PROTO_V1 | ic_net::PROTO_V2)) => bld = bld.proto(v),
-                        _ => {
-                            eprintln!(
-                                "error: --proto takes {} or {}",
-                                ic_net::PROTO_V1,
-                                ic_net::PROTO_V2
-                            );
-                            return usage();
-                        }
-                    },
-                    "--flaky" => match value.parse() {
-                        Ok(p) if (0.0..=1.0).contains(&p) => {
-                            bld = bld.fault(ic_net::FaultPlan::Random(p));
-                        }
-                        _ => {
-                            eprintln!("error: --flaky takes a probability in [0, 1]");
-                            return usage();
-                        }
-                    },
-                    "--die-after" => match value.parse() {
-                        Ok(k) => bld = bld.fault(ic_net::FaultPlan::DieAfter(k)),
-                        Err(_) => {
-                            eprintln!("error: --die-after takes an integer");
-                            return usage();
-                        }
-                    },
-                    "--stall-after" => match value.parse() {
-                        Ok(k) => bld = bld.fault(ic_net::FaultPlan::StallAfter(k)),
-                        Err(_) => {
-                            eprintln!("error: --stall-after takes an integer");
-                            return usage();
-                        }
-                    },
-                    "--sever-after" => match value.parse() {
-                        Ok(k) => bld = bld.fault(ic_net::FaultPlan::SeverAfter(k)),
-                        Err(_) => {
-                            eprintln!("error: --sever-after takes an integer");
-                            return usage();
-                        }
-                    },
-                    "--seed" => match value.parse() {
-                        Ok(s) => bld = bld.seed(s),
-                        Err(_) => {
-                            eprintln!("error: --seed takes an integer");
-                            return usage();
-                        }
-                    },
-                    _ => return usage(),
                 }
                 flags = tail;
+            }
+            let mut bld = net.worker_builder().reconnect(reconnect);
+            if let Some(v) = id {
+                bld = bld.id(v);
+            }
+            if let Some(v) = speed {
+                bld = bld.speed(v);
+            }
+            if let Some(v) = mean_ms {
+                bld = bld.mean_ms(v);
+            }
+            if let Some(v) = fault {
+                bld = bld.fault(v);
             }
             if !flags.is_empty() {
                 return usage();

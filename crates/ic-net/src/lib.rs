@@ -4,26 +4,37 @@
 //! of a computation-dag to remote clients it does not control: they
 //! may be slow, may die, and may never return results. `ic-sim`
 //! studies that server in a discrete-event vacuum; this crate *is* the
-//! server — a multithreaded TCP service (plus the matching worker
-//! client) built entirely on `std::net`, keeping the workspace's
-//! zero-external-dependency rule.
+//! server — a single-threaded event-driven TCP service (plus the
+//! matching worker client) built entirely on `std::net`, keeping the
+//! workspace's zero-external-dependency rule.
 //!
 //! * [`wire`] — the *versioned* length-prefixed JSON frame protocol,
 //!   encoded with the in-repo parser ([`ic_sim::json`]); every decoding
 //!   failure is a typed error, never a panic. `hello`/`welcome`
 //!   negotiate the protocol version; v2 adds resume tokens, batched
-//!   assignment, and lease revocation.
+//!   assignment, and lease revocation. The buffer-oriented
+//!   [`wire::Frame`] / [`wire::Decoder`] pair is the one framing path
+//!   shared by the reactor and the worker client.
 //! * [`machine`] — the *pure* lease-protocol state machine:
 //!   `LeaseMachine::step(Event) -> Vec<Effect>` with no clock, socket,
 //!   or sink of its own, so the `ic-check` model checker can
 //!   exhaustively enumerate event interleavings over the exact code
 //!   the server runs.
-//! * [`server`] — the coordinator: leases with heartbeat timeouts,
-//!   exponential-backoff reallocation of lost tasks, resumable leases
-//!   across reconnects, speculative straggler re-lease at the drain
-//!   barrier, batched allocation, duplicate-result resolution, graceful
-//!   drain, and allocation through any
-//!   [`ic_sched::AllocationPolicy`] — an IC-optimal
+//! * [`reactor`] — the event-driven core: one thread, a nonblocking
+//!   [`reactor::Poller`], per-connection frame buffers, a hierarchical
+//!   [`timer::TimerWheel`] for lease expiry, and an injectable
+//!   [`reactor::Clock`]/[`reactor::Poller`] pair
+//!   ([`reactor::Driver`]) so deterministic in-process drivers and the
+//!   live TCP driver run the same code.
+//! * [`timer`] — the lazy (never-cancelled) hierarchical timer wheel
+//!   behind lease expiry and steal-deadline wakeups.
+//! * [`server`] — the TCP compatibility wrapper over the reactor, and
+//!   the shared [`server::ServerConfig`]: leases with heartbeat
+//!   timeouts, exponential-backoff reallocation of lost tasks,
+//!   resumable leases across reconnects, speculative straggler
+//!   re-lease at the drain barrier, batched allocation,
+//!   duplicate-result resolution, graceful drain, and allocation
+//!   through any [`ic_sched::AllocationPolicy`] — an IC-optimal
 //!   [`ic_sched::Schedule`] and the FIFO/greedy heuristics plug in
 //!   interchangeably.
 //! * [`worker`] — the volatile client, with fault-injection plans
@@ -40,14 +51,23 @@
 #![warn(missing_docs)]
 
 pub mod machine;
+pub mod reactor;
 pub mod server;
+pub mod timer;
 pub mod wire;
 pub mod worker;
 
 pub use machine::{Effect, Event, LeaseMachine, LeaseView};
+pub use reactor::{
+    loopback, Clock, ConnId, Deadline, Driver, IoEvent, LoopbackConn, LoopbackHandle,
+    LoopbackPoller, ManualClock, MonotonicClock, Poller, Reactor, ShardedTable, TcpPoller,
+};
 pub use server::{ServeReport, Server, ServerConfig, ServerConfigBuilder};
+pub use timer::TimerWheel;
+#[allow(deprecated)]
+pub use wire::{read_msg, write_msg};
 pub use wire::{
-    read_msg, write_msg, Message, WireError, ERR_BAD_RESUME, ERR_UNSUPPORTED, MAX_FRAME,
-    PROTO_CURRENT, PROTO_V1, PROTO_V2,
+    Decoder, Frame, Message, WireError, ERR_BAD_RESUME, ERR_UNSUPPORTED, MAX_FRAME, PROTO_CURRENT,
+    PROTO_V1, PROTO_V2,
 };
 pub use worker::{run_worker, FaultPlan, WorkerConfig, WorkerConfigBuilder, WorkerReport};

@@ -1,0 +1,1096 @@
+//! The event-driven reactor core of the IC task server.
+//!
+//! [`Reactor`] replaces the thread-per-connection server loop: one
+//! thread owns every connection, a nonblocking [`Poller`] surfaces
+//! transport readiness as [`IoEvent`]s, per-connection frame state
+//! lives in an incremental [`crate::wire::Decoder`], and lease expiry
+//! rides a hierarchical [`TimerWheel`] instead of a per-lease scan.
+//! All protocol semantics stay in the *pure*
+//! [`LeaseMachine`](crate::machine::LeaseMachine) — the reactor, like
+//! the blocking driver before it, only stamps events with clock
+//! microseconds and performs the returned effects. `LeaseMachine`
+//! itself is untouched by this redesign, so everything `ic-check`
+//! proves about it (invariants IC0501–IC0507) carries over verbatim.
+//!
+//! # Injectable clock and poller
+//!
+//! The reactor is generic over a [`Clock`] and a [`Poller`], injected
+//! together as a [`Driver`]:
+//!
+//! * the live TCP server uses [`MonotonicClock`] + [`TcpPoller`]
+//!   (std-only nonblocking sockets — the workspace has no `libc`, no
+//!   `unsafe`, and therefore no raw `epoll`; the poller compensates
+//!   with an adaptive idle backoff);
+//! * deterministic drivers — the in-process load harness and the
+//!   ic-check-style lockstep tests — use [`ManualClock`] +
+//!   [`LoopbackPoller`], where time only moves when the test says so
+//!   and "sockets" are in-process channels.
+//!
+//! Both paths execute the *same* reactor code, so what the
+//! deterministic tests exercise is exactly what production runs.
+//!
+//! # Timers are lazy
+//!
+//! The wheel is never cancelled (see [`crate::timer`]): every lease
+//! grant, resume, and heartbeat renewal schedules a fresh
+//! [`Deadline::Lease`] at its new deadline, and a firing whose lease
+//! was meanwhile completed, forfeited, renewed, or revoked steps an
+//! `Event::Expire` that the machine ignores by its
+//! `deadline_us <= now_us` guard. Stale firings are cheap no-ops;
+//! missed expiries are impossible as long as every grant path
+//! schedules — assigns (primary and speculative), heartbeat renewals,
+//! and resume welcomes all re-arm the wheel.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ic_dag::Dag;
+use ic_sched::policy::AllocationPolicy;
+use ic_sim::trace::TraceSink;
+
+use crate::machine::{Effect, Event, LeaseMachine};
+use crate::server::{ServeReport, ServerConfig};
+use crate::timer::TimerWheel;
+use crate::wire::{Decoder, Frame, Message, WireError};
+
+/// A source of driver time, in microseconds. The reactor stamps every
+/// machine event with `now_us()`; nothing else in the system reads a
+/// clock, which is what makes lockstep tests deterministic.
+pub trait Clock {
+    /// Current driver time in microseconds. Must be monotonic.
+    fn now_us(&self) -> u64;
+}
+
+/// Wall-clock [`Clock`]: microseconds since construction.
+#[derive(Debug, Clone)]
+pub struct MonotonicClock {
+    epoch: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose zero is now.
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        MonotonicClock::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A hand-cranked [`Clock`] for deterministic drivers: time moves only
+/// through [`advance`](ManualClock::advance) /
+/// [`set`](ManualClock::set). Clones share the same underlying time,
+/// so a test keeps one handle while the reactor owns another.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock(Arc<AtomicU64>);
+
+impl ManualClock {
+    /// A manual clock starting at `start_us`.
+    pub fn new(start_us: u64) -> ManualClock {
+        ManualClock(Arc::new(AtomicU64::new(start_us)))
+    }
+
+    /// Move time forward by `us` microseconds.
+    pub fn advance(&self, us: u64) {
+        self.0.fetch_add(us, Ordering::SeqCst);
+    }
+
+    /// Jump to an absolute time (ignored if it would move backwards).
+    pub fn set(&self, us: u64) {
+        self.0.fetch_max(us, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_us(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Identifier of one transport connection, assigned by the poller.
+pub type ConnId = u64;
+
+/// One unit of transport readiness, surfaced by [`Poller::poll`].
+#[derive(Debug)]
+pub enum IoEvent {
+    /// A new connection was accepted.
+    Open(ConnId),
+    /// Bytes arrived on a connection (any chunking; the reactor's
+    /// per-connection [`Decoder`] reassembles frames).
+    Data(ConnId, Vec<u8>),
+    /// The connection is gone: EOF, transport error, or a failed send.
+    /// Not emitted for connections the *reactor* closed.
+    Closed(ConnId),
+}
+
+/// A nonblocking transport the reactor drives. Implementations own the
+/// sockets (or channels) and all write buffering; the reactor never
+/// blocks on I/O — `poll` is its only wait point.
+pub trait Poller {
+    /// Gather readiness events, waiting at most `timeout` when idle.
+    /// Events are appended to `out` (which the reactor hands back
+    /// empty).
+    fn poll(&mut self, timeout: Duration, out: &mut Vec<IoEvent>) -> io::Result<()>;
+
+    /// Queue `bytes` on a connection, transmitting as much as the
+    /// transport accepts now and the rest as it drains. A send to a
+    /// dead connection must surface as a later
+    /// [`IoEvent::Closed`], never as an error here.
+    fn send(&mut self, conn: ConnId, bytes: &[u8]);
+
+    /// Close a connection after flushing its pending output. No
+    /// [`IoEvent::Closed`] is reported for it.
+    fn close(&mut self, conn: ConnId);
+}
+
+/// A sharded hash table keyed by [`ConnId`], used for the reactor's
+/// connection state and the TCP poller's socket table. Sharding keeps
+/// each underlying map small (cheaper rehashing at 10k-connection
+/// scale) and gives iteration a natural batch structure; the shard
+/// count is a [`ServerConfig::shards`] knob.
+#[derive(Debug)]
+pub struct ShardedTable<V> {
+    shards: Vec<HashMap<ConnId, V>>,
+    mask: u64,
+}
+
+impl<V> ShardedTable<V> {
+    /// A table with `shards` shards (rounded up to a power of two,
+    /// minimum 1).
+    pub fn new(shards: usize) -> ShardedTable<V> {
+        let n = shards.max(1).next_power_of_two();
+        ShardedTable {
+            shards: (0..n).map(|_| HashMap::new()).collect(),
+            mask: (n as u64) - 1,
+        }
+    }
+
+    fn shard(&self, id: ConnId) -> usize {
+        usize::try_from(id & self.mask).unwrap_or(0)
+    }
+
+    /// Insert (or replace) the value for `id`.
+    pub fn insert(&mut self, id: ConnId, v: V) -> Option<V> {
+        let s = self.shard(id);
+        self.shards[s].insert(id, v)
+    }
+
+    /// Shared access to the value for `id`.
+    pub fn get(&self, id: ConnId) -> Option<&V> {
+        self.shards[self.shard(id)].get(&id)
+    }
+
+    /// Mutable access to the value for `id`.
+    pub fn get_mut(&mut self, id: ConnId) -> Option<&mut V> {
+        let s = self.shard(id);
+        self.shards[s].get_mut(&id)
+    }
+
+    /// Remove and return the value for `id`.
+    pub fn remove(&mut self, id: ConnId) -> Option<V> {
+        let s = self.shard(id);
+        self.shards[s].remove(&id)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashMap::len).sum()
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(HashMap::is_empty)
+    }
+
+    /// Append every live id to `out` (callers reuse the scratch vec
+    /// across polls to avoid per-iteration allocation).
+    pub fn collect_ids(&self, out: &mut Vec<ConnId>) {
+        for shard in &self.shards {
+            out.extend(shard.keys().copied());
+        }
+    }
+}
+
+/// What a wheel timer means when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Deadline {
+    /// A lease's heartbeat deadline: step `Event::Expire` (a no-op if
+    /// the lease was renewed or resolved — timers are lazy).
+    Lease {
+        /// The lease holder's slot index.
+        worker: usize,
+        /// The leased task id.
+        task: u64,
+    },
+    /// A plain wakeup (steal deadline at the drain barrier): forces a
+    /// loop iteration so time-dependent state is re-examined promptly
+    /// even if no I/O arrives.
+    Wake,
+}
+
+/// The injectable pair a [`Reactor`] runs on: where time comes from
+/// and where bytes go. [`Driver::tcp`] builds the production pair;
+/// tests and harnesses compose their own from [`ManualClock`] /
+/// [`LoopbackPoller`].
+pub struct Driver {
+    clock: Box<dyn Clock>,
+    poller: Box<dyn Poller>,
+}
+
+impl Driver {
+    /// A driver from any clock/poller pair.
+    pub fn new(clock: Box<dyn Clock>, poller: Box<dyn Poller>) -> Driver {
+        Driver { clock, poller }
+    }
+
+    /// The production driver: wall-clock time over nonblocking TCP.
+    pub fn tcp(listener: TcpListener, cfg: &ServerConfig) -> io::Result<Driver> {
+        Ok(Driver {
+            clock: Box::new(MonotonicClock::new()),
+            poller: Box::new(TcpPoller::new(listener, cfg.shards)?),
+        })
+    }
+}
+
+impl std::fmt::Debug for Driver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Driver").finish_non_exhaustive()
+    }
+}
+
+/// Per-connection reactor state: frame reassembly plus the worker slot
+/// and registration epoch once the connection has said hello.
+#[derive(Debug, Default)]
+struct ConnState {
+    dec: Decoder,
+    /// `Some((worker, epoch))` once registered.
+    reg: Option<(usize, u64)>,
+}
+
+/// The event-driven IC task server core. Construct with
+/// [`Reactor::new`], drive with [`Reactor::run_until_drain`];
+/// [`crate::Server::run`] is the TCP compatibility wrapper around
+/// exactly this.
+pub struct Reactor<'a> {
+    machine: LeaseMachine<'a, 'a>,
+    clock: Box<dyn Clock>,
+    poller: Box<dyn Poller>,
+    wheel: TimerWheel<Deadline>,
+    conns: ShardedTable<ConnState>,
+    cfg: ServerConfig,
+    /// Scratch encode buffer, reused across replies.
+    out: Vec<u8>,
+}
+
+impl<'a> Reactor<'a> {
+    /// A reactor serving `dag` under `policy` with the given config,
+    /// on the injected driver.
+    ///
+    /// # Panics
+    /// Panics if the policy rejects the dag in
+    /// [`AllocationPolicy::prepare`] (exactly as the blocking server
+    /// did).
+    pub fn new(
+        dag: &'a Dag,
+        policy: &'a dyn AllocationPolicy,
+        cfg: ServerConfig,
+        driver: Driver,
+    ) -> Reactor<'a> {
+        let now = driver.clock.now_us();
+        Reactor {
+            machine: LeaseMachine::new(dag, policy, cfg.clone()),
+            clock: driver.clock,
+            poller: driver.poller,
+            wheel: TimerWheel::new(now),
+            conns: ShardedTable::new(cfg.shards),
+            cfg,
+            out: Vec::new(),
+        }
+    }
+
+    /// Serve until the dag completes and the drain grace expires (or
+    /// every connection is gone), streaming every decision into
+    /// `sink`. Semantics are identical to the blocking
+    /// [`crate::Server::run`]: same machine, same trace order, same
+    /// drain rule.
+    pub fn run_until_drain(&mut self, sink: &mut dyn TraceSink) -> io::Result<ServeReport> {
+        let fx = self.machine.boot(self.clock.now_us());
+        self.perform(fx, None, sink);
+
+        let poll_timeout = Duration::from_millis(self.cfg.poll_timeout_ms.max(1));
+        let drain_grace_us = self.cfg.lease_ms.max(250).saturating_mul(1000);
+        let mut done_at: Option<u64> = None;
+        let mut events: Vec<IoEvent> = Vec::new();
+        let mut fired: Vec<Deadline> = Vec::new();
+
+        loop {
+            events.clear();
+            self.poller.poll(poll_timeout, &mut events)?;
+            for ev in events.drain(..) {
+                match ev {
+                    IoEvent::Open(id) => {
+                        self.conns.insert(id, ConnState::default());
+                    }
+                    IoEvent::Data(id, bytes) => self.on_data(id, &bytes, sink),
+                    IoEvent::Closed(id) => {
+                        if let Some(st) = self.conns.remove(id) {
+                            if let Some((worker, epoch)) = st.reg {
+                                self.sever(worker, epoch, sink);
+                            }
+                        }
+                    }
+                }
+            }
+
+            fired.clear();
+            let now = self.clock.now_us();
+            self.wheel.advance(now, &mut fired);
+            for d in fired.drain(..) {
+                if let Deadline::Lease { worker, task } = d {
+                    let fx = self.machine.step(Event::Expire {
+                        worker,
+                        task,
+                        now_us: now,
+                    });
+                    self.perform(fx, None, sink);
+                }
+            }
+
+            if self.machine.is_complete() {
+                let now = self.clock.now_us();
+                let reached = *done_at.get_or_insert(now);
+                if self.machine.connected() == 0 || now.saturating_sub(reached) >= drain_grace_us {
+                    break;
+                }
+            }
+        }
+        Ok(self.machine.summary(self.clock.now_us()))
+    }
+
+    /// Feed arrived bytes to the connection's decoder and dispatch
+    /// every complete frame. A decode error (oversized prefix, garbage
+    /// payload, foreign JSON) drops the connection, as the blocking
+    /// handler always did.
+    fn on_data(&mut self, id: ConnId, bytes: &[u8], sink: &mut dyn TraceSink) {
+        if let Some(st) = self.conns.get_mut(id) {
+            st.dec.feed(bytes);
+        }
+        loop {
+            // Decode with the short-lived borrow, dispatch without it:
+            // dispatch may remove the connection (drain, bye, error),
+            // at which point `get_mut` misses and the loop ends.
+            let msg = match self.conns.get_mut(id).map(|st| st.dec.next_msg()) {
+                None | Some(Ok(None)) => break,
+                Some(Ok(Some(msg))) => msg,
+                Some(Err(_)) => {
+                    self.drop_conn(id, sink);
+                    break;
+                }
+            };
+            match self.conns.get(id).and_then(|st| st.reg) {
+                None => self.dispatch_unregistered(id, msg, sink),
+                Some((worker, epoch)) => self.dispatch_registered(id, worker, epoch, msg, sink),
+            }
+        }
+    }
+
+    /// First frame on a connection: a valid `hello` registers (fresh
+    /// or resume); anything else is a protocol error.
+    fn dispatch_unregistered(&mut self, id: ConnId, msg: Message, sink: &mut dyn TraceSink) {
+        let now_us = self.clock.now_us();
+        match msg {
+            Message::Hello {
+                id: wid,
+                speed,
+                proto,
+                resume,
+            } if speed.is_finite() && speed > 0.0 => {
+                let fx = self.machine.step(Event::Hello {
+                    id: wid,
+                    speed,
+                    proto,
+                    resume,
+                    now_us,
+                });
+                for e in fx {
+                    match e {
+                        Effect::Header(h) => sink.header(&h),
+                        Effect::Trace(ev) => sink.record(&ev),
+                        Effect::Registered { msg, worker, epoch } => {
+                            let accepted = matches!(msg, Message::Welcome { .. });
+                            // A resume's welcome restores held leases
+                            // with renewed clocks: re-arm each one.
+                            if let Message::Welcome { ref tasks, .. } = msg {
+                                for &task in tasks {
+                                    self.arm_lease(worker, task, now_us);
+                                }
+                            }
+                            self.send_msg(id, &msg);
+                            if accepted {
+                                if let Some(st) = self.conns.get_mut(id) {
+                                    st.reg = Some((worker, epoch));
+                                }
+                            } else {
+                                // Refused (unsupported proto, bad
+                                // resume): the typed error frame is on
+                                // its way out; close.
+                                self.conns.remove(id);
+                                self.poller.close(id);
+                            }
+                        }
+                        Effect::Reply(_) => {
+                            debug_assert!(false, "Hello answers with Registered, not Reply");
+                        }
+                    }
+                }
+            }
+            _ => {
+                self.send_msg(
+                    id,
+                    &Message::error("expected hello with a positive finite speed"),
+                );
+                self.conns.remove(id);
+                self.poller.close(id);
+            }
+        }
+    }
+
+    /// A frame from a registered worker.
+    fn dispatch_registered(
+        &mut self,
+        id: ConnId,
+        worker: usize,
+        epoch: u64,
+        msg: Message,
+        sink: &mut dyn TraceSink,
+    ) {
+        let now_us = self.clock.now_us();
+        let event = match msg {
+            Message::Request { max } => Event::Request {
+                worker,
+                max,
+                now_us,
+            },
+            Message::Done { task, ok } => Event::Done {
+                worker,
+                task,
+                ok,
+                now_us,
+            },
+            Message::Heartbeat { task } => Event::Heartbeat {
+                worker,
+                task,
+                now_us,
+            },
+            Message::Bye => {
+                self.conns.remove(id);
+                self.sever(worker, epoch, sink);
+                self.poller.close(id);
+                return;
+            }
+            _ => {
+                self.send_msg(
+                    id,
+                    &Message::error("unexpected server-side message from a worker"),
+                );
+                self.conns.remove(id);
+                self.sever(worker, epoch, sink);
+                self.poller.close(id);
+                return;
+            }
+        };
+        let fx = self.machine.step(event);
+        let mut draining = false;
+        for e in fx {
+            match e {
+                Effect::Header(h) => sink.header(&h),
+                Effect::Trace(ev) => sink.record(&ev),
+                Effect::Reply(msg) => {
+                    match &msg {
+                        // Every grant path re-arms the wheel: primary
+                        // and speculative assigns here, heartbeat
+                        // renewals below, resumes at registration.
+                        Message::Assign { tasks } => {
+                            for &task in tasks {
+                                self.arm_lease(worker, task, now_us);
+                            }
+                        }
+                        Message::Ack {
+                            task,
+                            accepted: true,
+                        } => {
+                            // Only heartbeats renew; a done's ack has
+                            // no lease left to time. Arming on both is
+                            // harmless (lazy timers), arming on
+                            // heartbeat is required.
+                            self.arm_lease(worker, *task, now_us);
+                        }
+                        Message::Wait { .. } => {
+                            // At the drain barrier a steal deadline
+                            // may be pending: wake the loop by then
+                            // even if no I/O arrives.
+                            if let Some(steal_ms) = self.cfg.steal_after_ms {
+                                self.wheel.schedule(
+                                    now_us.saturating_add(steal_ms.saturating_mul(1000)),
+                                    Deadline::Wake,
+                                );
+                            }
+                        }
+                        Message::Drain => draining = true,
+                        _ => {}
+                    }
+                    self.send_msg(id, &msg);
+                }
+                Effect::Registered { .. } => {
+                    debug_assert!(false, "only Hello answers with Registered");
+                }
+            }
+        }
+        if draining {
+            // The worker got its drain frame; its part is over. Sever
+            // now and close after the frame flushes, exactly like the
+            // blocking handler's drain path.
+            self.conns.remove(id);
+            self.sever(worker, epoch, sink);
+            self.poller.close(id);
+        }
+    }
+
+    /// Schedule the expiry timer for a lease granted or renewed at
+    /// `now_us` — the machine computed `now_us + lease_ms` as its
+    /// deadline, and the wheel rounds up, so the firing can never be
+    /// early.
+    fn arm_lease(&mut self, worker: usize, task: u64, now_us: u64) {
+        let deadline = now_us.saturating_add(self.cfg.lease_ms.saturating_mul(1000));
+        self.wheel
+            .schedule(deadline, Deadline::Lease { worker, task });
+    }
+
+    /// Step a `Sever` for a registered connection that is gone.
+    fn sever(&mut self, worker: usize, epoch: u64, sink: &mut dyn TraceSink) {
+        let now_us = self.clock.now_us();
+        let fx = self.machine.step(Event::Sever {
+            worker,
+            epoch,
+            now_us,
+        });
+        self.perform(fx, None, sink);
+    }
+
+    /// Drop a connection after a decode error: sever if registered,
+    /// close the transport.
+    fn drop_conn(&mut self, id: ConnId, sink: &mut dyn TraceSink) {
+        if let Some(st) = self.conns.remove(id) {
+            if let Some((worker, epoch)) = st.reg {
+                self.sever(worker, epoch, sink);
+            }
+        }
+        self.poller.close(id);
+    }
+
+    /// Perform effects outside a connection's request context (boot,
+    /// expiry, sever): sink records, plus replies when a connection is
+    /// given.
+    fn perform(&mut self, fx: Vec<Effect>, reply_to: Option<ConnId>, sink: &mut dyn TraceSink) {
+        for e in fx {
+            match e {
+                Effect::Header(h) => sink.header(&h),
+                Effect::Trace(ev) => sink.record(&ev),
+                Effect::Reply(msg) => {
+                    if let Some(id) = reply_to {
+                        self.send_msg(id, &msg);
+                    }
+                }
+                Effect::Registered { .. } => {
+                    debug_assert!(false, "only Hello answers with Registered");
+                }
+            }
+        }
+    }
+
+    /// Encode one frame into the scratch buffer and hand it to the
+    /// poller.
+    fn send_msg(&mut self, id: ConnId, msg: &Message) {
+        self.out.clear();
+        Frame::encode_into(msg, &mut self.out);
+        self.poller.send(id, &self.out);
+    }
+}
+
+impl std::fmt::Debug for Reactor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reactor")
+            .field("conns", &self.conns.len())
+            .field("timers", &self.wheel.len())
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP poller
+// ---------------------------------------------------------------------
+
+/// Read-buffer size per scan pass.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Idle backoff bounds for the scan poller: after activity the scan
+/// re-runs almost immediately; a quiet server decays toward the poll
+/// timeout so it costs ~no CPU.
+const NAP_MIN: Duration = Duration::from_micros(50);
+
+/// The production [`Poller`]: a nonblocking `TcpListener` plus a
+/// sharded table of nonblocking streams with per-connection write
+/// buffers.
+///
+/// The workspace forbids `unsafe` and external crates, so there is no
+/// raw `epoll` to block on; instead each `poll` scans the (sharded)
+/// connection table with nonblocking reads and sleeps an *adaptive*
+/// backoff when nothing is ready — microseconds under load, decaying
+/// to the configured poll timeout when idle. At harness scale
+/// (thousands of connections, most with pending frames) the scan is
+/// the same work epoll would have delivered; the backoff only matters
+/// at the quiet tail.
+pub struct TcpPoller {
+    listener: TcpListener,
+    conns: ShardedTable<TcpConn>,
+    next_id: ConnId,
+    nap: Duration,
+    /// Scratch id list reused across polls.
+    scan: Vec<ConnId>,
+    /// Scratch read buffer.
+    rbuf: Vec<u8>,
+    /// Events synthesized outside `poll` (failed sends).
+    pending: Vec<IoEvent>,
+}
+
+struct TcpConn {
+    stream: TcpStream,
+    wbuf: Vec<u8>,
+    /// Reactor asked to close once `wbuf` drains.
+    closing: bool,
+}
+
+impl TcpPoller {
+    /// Wrap a bound listener; `shards` sizes the connection table.
+    pub fn new(listener: TcpListener, shards: usize) -> io::Result<TcpPoller> {
+        listener.set_nonblocking(true)?;
+        Ok(TcpPoller {
+            listener,
+            conns: ShardedTable::new(shards),
+            next_id: 0,
+            nap: NAP_MIN,
+            scan: Vec::new(),
+            rbuf: vec![0u8; READ_CHUNK],
+            pending: Vec::new(),
+        })
+    }
+
+    /// One accept+scan pass; returns having appended any events.
+    fn pass(&mut self, out: &mut Vec<IoEvent>) -> io::Result<()> {
+        out.append(&mut self.pending);
+
+        // Admit new connections.
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.conns.insert(
+                        id,
+                        TcpConn {
+                            stream,
+                            wbuf: Vec::new(),
+                            closing: false,
+                        },
+                    );
+                    out.push(IoEvent::Open(id));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Scan every connection: drain write buffers, then read.
+        self.scan.clear();
+        self.conns.collect_ids(&mut self.scan);
+        let ids = std::mem::take(&mut self.scan);
+        for &id in &ids {
+            let mut gathered: Vec<u8> = Vec::new();
+            let fate = {
+                let Some(conn) = self.conns.get_mut(id) else {
+                    continue;
+                };
+                Self::service(conn, &mut self.rbuf, &mut gathered)
+            };
+            if !gathered.is_empty() {
+                out.push(IoEvent::Data(id, gathered));
+            }
+            match fate {
+                Fate::Keep => {}
+                Fate::DropSilent => {
+                    self.conns.remove(id);
+                }
+                Fate::DropClosed => {
+                    self.conns.remove(id);
+                    out.push(IoEvent::Closed(id));
+                }
+            }
+        }
+        self.scan = ids;
+        Ok(())
+    }
+
+    /// Flush then read one connection. Appends read bytes to
+    /// `gathered`; the verdict says whether (and how) to drop it.
+    fn service(conn: &mut TcpConn, rbuf: &mut [u8], gathered: &mut Vec<u8>) -> Fate {
+        let on_error = |conn: &TcpConn| {
+            if conn.closing {
+                Fate::DropSilent
+            } else {
+                Fate::DropClosed
+            }
+        };
+        // Flush pending output.
+        while !conn.wbuf.is_empty() {
+            match conn.stream.write(&conn.wbuf) {
+                Ok(0) => return on_error(conn),
+                Ok(n) => {
+                    conn.wbuf.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return on_error(conn),
+            }
+        }
+        if conn.closing {
+            // The reactor already forgot this connection; it lives only
+            // until its farewell frame drains.
+            return if conn.wbuf.is_empty() {
+                Fate::DropSilent
+            } else {
+                Fate::Keep
+            };
+        }
+        // Read whatever is ready.
+        loop {
+            match conn.stream.read(rbuf) {
+                Ok(0) => return Fate::DropClosed,
+                Ok(n) => {
+                    gathered.extend_from_slice(&rbuf[..n]);
+                    if n < rbuf.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Fate::DropClosed,
+            }
+        }
+        Fate::Keep
+    }
+}
+
+/// Verdict of one [`TcpPoller`] connection scan.
+enum Fate {
+    Keep,
+    /// Drop without a `Closed` event (reactor-initiated close).
+    DropSilent,
+    /// Drop and report `Closed`.
+    DropClosed,
+}
+
+impl Poller for TcpPoller {
+    fn poll(&mut self, timeout: Duration, out: &mut Vec<IoEvent>) -> io::Result<()> {
+        let before = out.len();
+        self.pass(out)?;
+        if out.len() == before && !timeout.is_zero() {
+            std::thread::sleep(self.nap.min(timeout));
+            self.pass(out)?;
+        }
+        if out.len() == before {
+            self.nap = (self.nap * 2).min(timeout.max(NAP_MIN));
+        } else {
+            self.nap = NAP_MIN;
+        }
+        Ok(())
+    }
+
+    fn send(&mut self, conn: ConnId, bytes: &[u8]) {
+        let failed = {
+            let Some(c) = self.conns.get_mut(conn) else {
+                return;
+            };
+            c.wbuf.extend_from_slice(bytes);
+            // Transmit eagerly: most replies fit the socket buffer
+            // whole, so the common case leaves no buffered residue.
+            let mut failed = false;
+            while !c.wbuf.is_empty() {
+                match c.stream.write(&c.wbuf) {
+                    Ok(0) => {
+                        failed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        c.wbuf.drain(..n);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            failed
+        };
+        if failed {
+            if let Some(c) = self.conns.remove(conn) {
+                if !c.closing {
+                    self.pending.push(IoEvent::Closed(conn));
+                }
+            }
+        }
+    }
+
+    fn close(&mut self, conn: ConnId) {
+        let empty = match self.conns.get_mut(conn) {
+            Some(c) => {
+                // Keep the socket until the farewell frame drains.
+                c.closing = true;
+                c.wbuf.is_empty()
+            }
+            None => return,
+        };
+        if empty {
+            self.conns.remove(conn);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loopback poller (deterministic / in-process driver)
+// ---------------------------------------------------------------------
+
+/// Commands a [`LoopbackConn`] sends to its poller.
+enum LoopCmd {
+    Connect { id: ConnId, peer: Sender<Vec<u8>> },
+    Data { id: ConnId, bytes: Vec<u8> },
+    Close { id: ConnId },
+}
+
+/// An in-process [`Poller`] over channels: the deterministic driver
+/// used by the load harness and the lockstep reactor tests. Clients
+/// obtain [`LoopbackConn`]s from the paired [`LoopbackHandle`]; bytes
+/// flow through `mpsc` channels instead of sockets, so a single-client
+/// script observes a fully deterministic event order.
+pub struct LoopbackPoller {
+    rx: Receiver<LoopCmd>,
+    peers: ShardedTable<Sender<Vec<u8>>>,
+    pending: Vec<IoEvent>,
+}
+
+/// Connection factory for a [`LoopbackPoller`]; clone one per client
+/// thread.
+#[derive(Clone)]
+pub struct LoopbackHandle {
+    tx: Sender<LoopCmd>,
+    next: Arc<AtomicU64>,
+}
+
+/// A paired loopback poller and its connection factory; `shards`
+/// mirrors [`ServerConfig::shards`].
+pub fn loopback(shards: usize) -> (LoopbackPoller, LoopbackHandle) {
+    let (tx, rx) = channel();
+    (
+        LoopbackPoller {
+            rx,
+            peers: ShardedTable::new(shards),
+            pending: Vec::new(),
+        },
+        LoopbackHandle {
+            tx,
+            next: Arc::new(AtomicU64::new(0)),
+        },
+    )
+}
+
+impl LoopbackPoller {
+    fn apply(&mut self, cmd: LoopCmd, out: &mut Vec<IoEvent>) {
+        match cmd {
+            LoopCmd::Connect { id, peer } => {
+                self.peers.insert(id, peer);
+                out.push(IoEvent::Open(id));
+            }
+            LoopCmd::Data { id, bytes } => {
+                if self.peers.get(id).is_some() {
+                    out.push(IoEvent::Data(id, bytes));
+                }
+            }
+            LoopCmd::Close { id } => {
+                if self.peers.remove(id).is_some() {
+                    out.push(IoEvent::Closed(id));
+                }
+            }
+        }
+    }
+}
+
+impl Poller for LoopbackPoller {
+    fn poll(&mut self, timeout: Duration, out: &mut Vec<IoEvent>) -> io::Result<()> {
+        out.append(&mut self.pending);
+        if out.is_empty() {
+            match self.rx.recv_timeout(timeout) {
+                Ok(cmd) => self.apply(cmd, out),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Every handle and client is gone; the reactor's
+                    // completion check will end the run.
+                    std::thread::sleep(timeout.min(Duration::from_millis(1)));
+                }
+            }
+        }
+        while let Ok(cmd) = self.rx.try_recv() {
+            self.apply(cmd, out);
+        }
+        Ok(())
+    }
+
+    fn send(&mut self, conn: ConnId, bytes: &[u8]) {
+        let dead = match self.peers.get(conn) {
+            Some(peer) => peer.send(bytes.to_vec()).is_err(),
+            None => false,
+        };
+        if dead {
+            self.peers.remove(conn);
+            self.pending.push(IoEvent::Closed(conn));
+        }
+    }
+
+    fn close(&mut self, conn: ConnId) {
+        // Dropping the sender EOFs the client after it drains what was
+        // already delivered.
+        self.peers.remove(conn);
+    }
+}
+
+impl LoopbackHandle {
+    /// Open a new in-process connection to the poller.
+    pub fn connect(&self) -> LoopbackConn {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        let (peer, rx) = channel();
+        let _ = self.tx.send(LoopCmd::Connect { id, peer });
+        LoopbackConn {
+            id,
+            tx: self.tx.clone(),
+            rx,
+            dec: Decoder::new(),
+            closed: false,
+        }
+    }
+}
+
+/// The client end of one loopback connection: send [`Message`]s to the
+/// reactor, receive its frames through an incremental decoder —
+/// exactly the shape of a TCP worker session, minus the sockets.
+pub struct LoopbackConn {
+    id: ConnId,
+    tx: Sender<LoopCmd>,
+    rx: Receiver<Vec<u8>>,
+    dec: Decoder,
+    closed: bool,
+}
+
+impl LoopbackConn {
+    /// This connection's id on the poller side.
+    pub fn id(&self) -> ConnId {
+        self.id
+    }
+
+    /// Send one message to the reactor.
+    pub fn send(&self, msg: &Message) -> io::Result<()> {
+        let mut frame = Vec::new();
+        Frame::encode_into(msg, &mut frame);
+        self.tx
+            .send(LoopCmd::Data {
+                id: self.id,
+                bytes: frame,
+            })
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "poller is gone"))
+    }
+
+    /// Receive the next message, waiting up to `timeout`. `Ok(None)`
+    /// means the timeout passed with no complete frame.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Message>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(msg) = wire_to_io(self.dec.next_msg())? {
+                return Ok(Some(msg));
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Ok(None);
+            }
+            match self.rx.recv_timeout(left) {
+                Ok(bytes) => self.dec.feed(&bytes),
+                Err(RecvTimeoutError::Timeout) => return Ok(None),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(io::ErrorKind::UnexpectedEof.into());
+                }
+            }
+        }
+    }
+
+    /// Receive without blocking: `Ok(None)` when no complete frame has
+    /// arrived yet; `Err(UnexpectedEof)` once the reactor closed the
+    /// connection and everything delivered was consumed.
+    pub fn try_recv(&mut self) -> io::Result<Option<Message>> {
+        loop {
+            if let Some(msg) = wire_to_io(self.dec.next_msg())? {
+                return Ok(Some(msg));
+            }
+            match self.rx.try_recv() {
+                Ok(bytes) => self.dec.feed(&bytes),
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => {
+                    return Err(io::ErrorKind::UnexpectedEof.into());
+                }
+            }
+        }
+    }
+}
+
+impl Drop for LoopbackConn {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            let _ = self.tx.send(LoopCmd::Close { id: self.id });
+        }
+    }
+}
+
+fn wire_to_io(r: Result<Option<Message>, WireError>) -> io::Result<Option<Message>> {
+    match r {
+        Ok(m) => Ok(m),
+        Err(WireError::Io(e)) => Err(e),
+        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}

@@ -57,28 +57,30 @@
 //! surface. A peer below [`ServerConfig::min_proto`] is refused with a
 //! typed `error{code: "unsupported"}` frame.
 //!
-//! # Threading
+//! # Architecture
 //!
-//! One handler thread per connection speaks the wire protocol and
-//! forwards each request over an mpsc channel to the *coordinator*,
-//! which runs inline in [`Server::run`] on the caller's thread (so the
-//! trace sink needs neither `Send` nor `'static`). All scheduling
-//! state lives only in the coordinator's [`LeaseMachine`]; handler
-//! threads are dumb pipes. Each handler remembers the *epoch* of its
-//! registration; a `Gone` from a superseded connection (the worker
+//! [`Server`] is the TCP *compatibility wrapper* around the
+//! event-driven [`crate::reactor::Reactor`]: [`Server::run`] builds
+//! the production [`crate::reactor::Driver`] (wall clock + nonblocking
+//! TCP poller) and calls
+//! [`Reactor::run_until_drain`](crate::reactor::Reactor::run_until_drain).
+//! One thread owns every connection — there are no per-connection
+//! threads, no channels, and the trace sink still needs neither `Send`
+//! nor `'static`. Per-connection framing state lives in incremental
+//! decoders, lease expiry rides a hierarchical timer wheel instead of
+//! a per-lease scan, and each connection remembers the *epoch* of its
+//! registration so a sever from a superseded connection (the worker
 //! already resumed on a new socket) is ignored.
 
-use std::io::{self, BufReader, BufWriter};
-use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
-use std::time::{Duration, Instant};
+use std::io;
+use std::net::{TcpListener, ToSocketAddrs};
 
 use ic_dag::Dag;
 use ic_sched::policy::AllocationPolicy;
 use ic_sim::trace::TraceSink;
 
-use crate::machine::{Effect, Event, LeaseMachine};
-use crate::wire::{read_msg, write_msg, Message, PROTO_V1};
+use crate::reactor::{Driver, Reactor};
+use crate::wire::PROTO_V1;
 
 /// Tunables of a serving run. Construct with [`ServerConfig::builder`]
 /// (the struct is `#[non_exhaustive]`: new knobs may appear without a
@@ -116,6 +118,13 @@ pub struct ServerConfig {
     /// Lowest protocol version this server accepts; a `hello` below it
     /// is refused with a typed `error{code: "unsupported"}` frame.
     pub min_proto: u32,
+    /// Upper bound on how long one reactor iteration may park waiting
+    /// for I/O, in milliseconds. This caps the latency of timer
+    /// processing (lease expiry, drain checks) when no frames arrive.
+    pub poll_timeout_ms: u64,
+    /// Shard count of the reactor's connection tables (rounded up to a
+    /// power of two). Larger fleets benefit from more shards.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -129,6 +138,8 @@ impl Default for ServerConfig {
             batch: 1,
             steal_after_ms: None,
             min_proto: PROTO_V1,
+            poll_timeout_ms: 5,
+            shards: 8,
         }
     }
 }
@@ -199,6 +210,18 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Reactor poll timeout in milliseconds (clamped to at least 1).
+    pub fn poll_timeout(mut self, ms: u64) -> Self {
+        self.cfg.poll_timeout_ms = ms.max(1);
+        self
+    }
+
+    /// Connection-table shard count (clamped to at least 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards.max(1);
+        self
+    }
+
     /// Finish the build.
     pub fn build(self) -> ServerConfig {
         self.cfg
@@ -234,46 +257,6 @@ pub struct ServeReport {
     pub revokes: usize,
     /// Wall-clock seconds from serving start to dag completion.
     pub makespan: f64,
-}
-
-/// What the coordinator answers a registration with: the frame to
-/// relay, plus the slot and epoch the handler needs for `Gone`.
-struct Registered {
-    msg: Message,
-    worker: usize,
-    epoch: u64,
-}
-
-/// What a handler thread asks the coordinator to do. Each carries a
-/// reply channel; `Gone` is fire-and-forget.
-enum Req {
-    Register {
-        id: String,
-        speed: f64,
-        proto: u32,
-        resume: Option<String>,
-        reply: Sender<Registered>,
-    },
-    Want {
-        worker: usize,
-        max: u64,
-        reply: Sender<Message>,
-    },
-    Done {
-        worker: usize,
-        task: u64,
-        ok: bool,
-        reply: Sender<Message>,
-    },
-    Beat {
-        worker: usize,
-        task: u64,
-        reply: Sender<Message>,
-    },
-    Gone {
-        worker: usize,
-        epoch: u64,
-    },
 }
 
 /// A bound, not-yet-running IC task server.
@@ -312,324 +295,15 @@ impl<'a> Server<'a> {
     /// all tasks are executed and connected workers have had a drain
     /// grace period to pick up their `Drain` replies.
     ///
+    /// This is the compatibility wrapper around the event-driven core:
+    /// it assembles the production [`Driver`] (wall clock, nonblocking
+    /// TCP poller) and delegates to [`Reactor::run_until_drain`].
+    ///
     /// # Panics
     /// Panics if the policy rejects the dag in
     /// [`AllocationPolicy::prepare`].
     pub fn run(self, sink: &mut dyn TraceSink) -> io::Result<ServeReport> {
-        self.listener.set_nonblocking(true)?;
-        let (tx, rx) = channel::<Req>();
-        let mut coord = Coordinator::new(self.dag, self.policy, &self.cfg, sink);
-
-        let read_timeout = Duration::from_millis(self.cfg.lease_ms.saturating_mul(4).max(2_000));
-        let lease_ms = self.cfg.lease_ms;
-        let drain_grace = Duration::from_millis(lease_ms.max(250));
-        let mut done_at: Option<Instant> = None;
-
-        loop {
-            // Admit new connections (non-blocking).
-            loop {
-                match self.listener.accept() {
-                    Ok((stream, _)) => {
-                        let tx = tx.clone();
-                        std::thread::spawn(move || {
-                            handle_conn(stream, tx, read_timeout);
-                        });
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    Err(e) => return Err(e),
-                }
-            }
-
-            // Serve queued requests; park briefly when idle.
-            match rx.recv_timeout(Duration::from_millis(5)) {
-                Ok(req) => {
-                    coord.serve(req);
-                    while let Ok(req) = rx.try_recv() {
-                        coord.serve(req);
-                    }
-                }
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => {
-                    // lint:allow — the coordinator itself holds `tx`.
-                    unreachable!("coordinator holds a sender")
-                }
-            }
-
-            coord.expire_leases();
-
-            if coord.machine.is_complete() {
-                let now = Instant::now();
-                let reached = *done_at.get_or_insert(now);
-                if coord.machine.connected() == 0 || now.duration_since(reached) >= drain_grace {
-                    break;
-                }
-            }
-        }
-        Ok(coord.into_report())
-    }
-}
-
-/// The thin driver around the pure [`LeaseMachine`]: stamps requests
-/// with wall-clock microseconds, steps the machine, and performs the
-/// returned effects (trace records to the sink, frames to the reply
-/// channels). Single-threaded inside [`Server::run`].
-struct Coordinator<'a, 'd> {
-    machine: LeaseMachine<'a, 'd>,
-    sink: &'a mut dyn TraceSink,
-    /// The driver's time epoch; every event gets
-    /// `epoch.elapsed()` microseconds as its `now_us`.
-    epoch: Instant,
-}
-
-impl<'a, 'd> Coordinator<'a, 'd> {
-    fn new(
-        dag: &'d Dag,
-        policy: &'a dyn AllocationPolicy,
-        cfg: &'a ServerConfig,
-        sink: &'a mut dyn TraceSink,
-    ) -> Coordinator<'a, 'd> {
-        let mut coord = Coordinator {
-            machine: LeaseMachine::new(dag, policy, cfg.clone()),
-            sink,
-            epoch: Instant::now(),
-        };
-        let fx = coord.machine.boot(0);
-        coord.absorb(fx, None);
-        coord
-    }
-
-    fn now_us(&self) -> u64 {
-        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
-    }
-
-    /// Perform the machine's effects: header and trace records into
-    /// the sink, reply frames (if any) to `reply`.
-    fn absorb(&mut self, fx: Vec<Effect>, reply: Option<&Sender<Message>>) {
-        for e in fx {
-            match e {
-                Effect::Header(h) => self.sink.header(&h),
-                Effect::Trace(ev) => self.sink.record(&ev),
-                Effect::Reply(msg) => {
-                    if let Some(reply) = reply {
-                        let _ = reply.send(msg);
-                    }
-                }
-                Effect::Registered { .. } => {
-                    debug_assert!(false, "only Hello answers with Registered");
-                }
-            }
-        }
-    }
-
-    fn serve(&mut self, req: Req) {
-        let now_us = self.now_us();
-        match req {
-            Req::Register {
-                id,
-                speed,
-                proto,
-                resume,
-                reply,
-            } => {
-                for e in self.machine.step(Event::Hello {
-                    id,
-                    speed,
-                    proto,
-                    resume,
-                    now_us,
-                }) {
-                    match e {
-                        Effect::Header(h) => self.sink.header(&h),
-                        Effect::Trace(ev) => self.sink.record(&ev),
-                        Effect::Registered { msg, worker, epoch } => {
-                            let _ = reply.send(Registered { msg, worker, epoch });
-                        }
-                        Effect::Reply(_) => {
-                            debug_assert!(false, "Hello answers with Registered, not Reply");
-                        }
-                    }
-                }
-            }
-            Req::Want { worker, max, reply } => {
-                let fx = self.machine.step(Event::Request {
-                    worker,
-                    max,
-                    now_us,
-                });
-                self.absorb(fx, Some(&reply));
-            }
-            Req::Done {
-                worker,
-                task,
-                ok,
-                reply,
-            } => {
-                let fx = self.machine.step(Event::Done {
-                    worker,
-                    task,
-                    ok,
-                    now_us,
-                });
-                self.absorb(fx, Some(&reply));
-            }
-            Req::Beat {
-                worker,
-                task,
-                reply,
-            } => {
-                let fx = self.machine.step(Event::Heartbeat {
-                    worker,
-                    task,
-                    now_us,
-                });
-                self.absorb(fx, Some(&reply));
-            }
-            Req::Gone { worker, epoch } => {
-                let fx = self.machine.step(Event::Sever {
-                    worker,
-                    epoch,
-                    now_us,
-                });
-                self.absorb(fx, None);
-            }
-        }
-    }
-
-    /// Turn the passage of time into `Expire` events: every lease
-    /// whose heartbeat deadline passed is forfeited and reallocated.
-    fn expire_leases(&mut self) {
-        let now_us = self.now_us();
-        for (worker, task) in self.machine.expired(now_us) {
-            let fx = self.machine.step(Event::Expire {
-                worker,
-                task,
-                now_us,
-            });
-            self.absorb(fx, None);
-        }
-    }
-
-    fn into_report(self) -> ServeReport {
-        let now_us = self.now_us();
-        self.machine.summary(now_us)
-    }
-}
-
-/// Per-connection handler: speaks the wire protocol, forwards every
-/// request to the coordinator, and relays the reply. Any protocol
-/// violation gets an `Error` frame and closes the connection; EOF and
-/// read timeouts count the worker as gone (carrying the registration
-/// epoch, so a resumed worker's old connection cannot disturb it).
-fn handle_conn(stream: TcpStream, tx: Sender<Req>, read_timeout: Duration) {
-    let _ = stream.set_read_timeout(Some(read_timeout));
-    let _ = stream.set_nodelay(true);
-    let Ok(write_stream) = stream.try_clone() else {
-        return;
-    };
-    let mut r = BufReader::new(stream);
-    let mut w = BufWriter::new(write_stream);
-    let (reply_tx, reply_rx) = channel::<Message>();
-
-    // The conversation must open with a registration (fresh or resume).
-    let (worker, epoch) = {
-        let (reg_tx, reg_rx) = channel::<Registered>();
-        match read_msg(&mut r) {
-            Ok(Message::Hello {
-                id,
-                speed,
-                proto,
-                resume,
-            }) if speed.is_finite() && speed > 0.0 => {
-                if tx
-                    .send(Req::Register {
-                        id,
-                        speed,
-                        proto,
-                        resume,
-                        reply: reg_tx,
-                    })
-                    .is_err()
-                {
-                    return;
-                }
-                let Ok(reg) = reg_rx.recv() else {
-                    return;
-                };
-                let accepted = matches!(reg.msg, Message::Welcome { .. });
-                if write_msg(&mut w, &reg.msg).is_err() {
-                    if accepted {
-                        // Registration already counted this worker as
-                        // connected; undo it so drain doesn't wait on a
-                        // connection that never got its welcome.
-                        let _ = tx.send(Req::Gone {
-                            worker: reg.worker,
-                            epoch: reg.epoch,
-                        });
-                    }
-                    return;
-                }
-                if !accepted {
-                    // A typed error frame (unsupported protocol, bad
-                    // resume token) was delivered; close.
-                    return;
-                }
-                (reg.worker, reg.epoch)
-            }
-            Ok(_) => {
-                let _ = write_msg(
-                    &mut w,
-                    &Message::error("expected hello with a positive finite speed"),
-                );
-                return;
-            }
-            Err(_) => return,
-        }
-    };
-
-    loop {
-        let req = match read_msg(&mut r) {
-            Ok(Message::Request { max }) => Req::Want {
-                worker,
-                max,
-                reply: reply_tx.clone(),
-            },
-            Ok(Message::Done { task, ok }) => Req::Done {
-                worker,
-                task,
-                ok,
-                reply: reply_tx.clone(),
-            },
-            Ok(Message::Heartbeat { task }) => Req::Beat {
-                worker,
-                task,
-                reply: reply_tx.clone(),
-            },
-            Ok(Message::Bye) | Err(_) => {
-                let _ = tx.send(Req::Gone { worker, epoch });
-                return;
-            }
-            Ok(_) => {
-                let _ = write_msg(
-                    &mut w,
-                    &Message::error("unexpected server-side message from a worker"),
-                );
-                let _ = tx.send(Req::Gone { worker, epoch });
-                return;
-            }
-        };
-        if tx.send(req).is_err() {
-            return;
-        }
-        let Ok(reply) = reply_rx.recv() else { return };
-        let draining = reply == Message::Drain;
-        if write_msg(&mut w, &reply).is_err() {
-            let _ = tx.send(Req::Gone { worker, epoch });
-            return;
-        }
-        if draining {
-            let _ = tx.send(Req::Gone { worker, epoch });
-            return;
-        }
+        let driver = Driver::tcp(self.listener, &self.cfg)?;
+        Reactor::new(self.dag, self.policy, self.cfg, driver).run_until_drain(sink)
     }
 }

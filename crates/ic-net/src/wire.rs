@@ -35,6 +35,17 @@
 //! emits a single-task `assign` in the v1 shape (`"task":N`). Frames a
 //! v1 peer cannot express degrade safely: the decoder defaults
 //! `proto` to 1, `request.max` to 1, and `error.code` to `""`.
+//!
+//! # Buffer-oriented API
+//!
+//! The reactor and the worker client share one framing path:
+//! [`Frame::encode_into`] appends frames onto a caller-owned output
+//! buffer (so one `write` can carry many frames), and the incremental
+//! [`Decoder`] accepts transport bytes in whatever chunks the socket
+//! yields ([`Decoder::feed`]) and hands back complete messages
+//! ([`Decoder::next_msg`]). The older per-frame stream helpers
+//! [`write_msg`]/[`read_msg`] are deprecated wrappers kept for
+//! compatibility.
 
 use std::io::{Read, Write};
 
@@ -515,15 +526,114 @@ impl WireError {
     }
 }
 
+/// Buffer-oriented frame encoder: the namespace for appending frames
+/// onto a caller-owned byte buffer instead of writing (and flushing)
+/// one stream frame at a time. The reactor batches every reply due on
+/// a connection into one buffer and hands it to the poller whole; the
+/// worker client encodes into its session buffer and writes once.
+pub struct Frame;
+
+impl Frame {
+    /// Append `msg` as one length-prefixed frame onto `out` and return
+    /// the number of bytes appended. Nothing is appended (returning 0)
+    /// in the unrepresentable case of a body above `u32::MAX` bytes —
+    /// callers keep bodies within [`MAX_FRAME`], which is
+    /// debug-asserted here exactly as [`write_msg`] always did.
+    pub fn encode_into(msg: &Message, out: &mut Vec<u8>) -> usize {
+        let body = msg.to_json();
+        debug_assert!(body.len() <= MAX_FRAME, "outgoing frame within bounds");
+        let Ok(len) = u32::try_from(body.len()) else {
+            return 0;
+        };
+        out.reserve(4 + body.len());
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(body.as_bytes());
+        4 + body.len()
+    }
+}
+
+/// Incremental frame decoder for nonblocking transports: [`feed`] it
+/// whatever byte chunks the socket yields — partial frames, many
+/// frames at once, a length prefix split across reads — and drain
+/// complete messages with [`next_msg`]. An oversized length prefix is
+/// rejected as soon as its 4 bytes arrive, before any body is
+/// buffered, preserving [`read_msg`]'s allocation bound.
+///
+/// [`feed`]: Decoder::feed
+/// [`next_msg`]: Decoder::next_msg
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl Decoder {
+    /// An empty decoder.
+    pub fn new() -> Decoder {
+        Decoder::default()
+    }
+
+    /// Append raw transport bytes. Consumed frames are compacted away
+    /// lazily, so long-lived connections do not grow the buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.start > 0 && (self.start == self.buf.len() || self.start >= 4096) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered bytes not yet decoded into a message.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Decode the next complete frame, if one is buffered.
+    ///
+    /// * `Ok(Some(msg))` — one frame consumed; call again, a single
+    ///   `feed` may have delivered several.
+    /// * `Ok(None)` — no complete frame yet; feed more bytes.
+    /// * `Err(_)` — the prefix was oversized or the payload was not a
+    ///   protocol message. The broken frame is consumed, but on a
+    ///   protocol as fragile as length-prefixed JSON the only safe
+    ///   reaction is to drop the connection, exactly as the blocking
+    ///   reader's callers always did.
+    pub fn next_msg(&mut self) -> Result<Option<Message>, WireError> {
+        let avail = &self.buf[self.start..];
+        let Some(len_buf) = avail.first_chunk::<4>() else {
+            return Ok(None);
+        };
+        let len = u32::from_be_bytes(*len_buf) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::Oversized(len));
+        }
+        let Some(body) = avail.get(4..4 + len) else {
+            return Ok(None);
+        };
+        let parsed = std::str::from_utf8(body)
+            .map_err(|e| WireError::Garbage(e.to_string()))
+            .and_then(|text| json::parse(text).map_err(WireError::Garbage))
+            .and_then(|v| Message::from_json(&v));
+        self.start += 4 + len;
+        parsed.map(Some)
+    }
+}
+
 /// Write `msg` as one frame and flush it.
+#[deprecated(
+    since = "0.1.0",
+    note = "encode with `Frame::encode_into` and write the buffer; \
+            the reactor and the worker client share that path"
+)]
 pub fn write_msg(w: &mut impl Write, msg: &Message) -> std::io::Result<()> {
-    let body = msg.to_json();
-    debug_assert!(body.len() <= MAX_FRAME, "outgoing frame within bounds");
-    let len = u32::try_from(body.len()).map_err(|_| {
-        std::io::Error::new(std::io::ErrorKind::InvalidData, "frame exceeds u32 length")
-    })?;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(body.as_bytes())?;
+    let mut frame = Vec::new();
+    if Frame::encode_into(msg, &mut frame) == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds u32 length",
+        ));
+    }
+    w.write_all(&frame)?;
     w.flush()
 }
 
@@ -531,6 +641,10 @@ pub fn write_msg(w: &mut impl Write, msg: &Message) -> std::io::Result<()> {
 /// oversized prefix, a truncated body, non-UTF-8 bytes, broken JSON,
 /// and well-formed-but-foreign JSON each map to their [`WireError`]
 /// variant.
+#[deprecated(
+    since = "0.1.0",
+    note = "feed transport bytes to `Decoder::feed` and drain `Decoder::next_msg`"
+)]
 pub fn read_msg(r: &mut impl Read) -> Result<Message, WireError> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
@@ -540,14 +654,112 @@ pub fn read_msg(r: &mut impl Read) -> Result<Message, WireError> {
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
-    let text = String::from_utf8(body).map_err(|e| WireError::Garbage(e.to_string()))?;
-    let v = json::parse(&text).map_err(WireError::Garbage)?;
-    Message::from_json(&v)
+    let mut dec = Decoder::new();
+    dec.feed(&len_buf);
+    dec.feed(&body);
+    match dec.next_msg() {
+        Ok(Some(msg)) => Ok(msg),
+        // Unreachable: the full frame was fed. Kept total for safety.
+        Ok(None) => Err(WireError::Io(std::io::ErrorKind::UnexpectedEof.into())),
+        Err(e) => Err(e),
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    // The deprecated stream helpers stay pinned by these tests until
+    // they are removed.
+    #![allow(deprecated)]
+
     use super::*;
+
+    #[test]
+    fn decoder_reassembles_frames_from_arbitrary_chunks() {
+        let msgs = [
+            Message::hello("worker \"zero\"", 2.5),
+            Message::Request { max: 4 },
+            Message::Assign {
+                tasks: vec![1, 2, 3],
+            },
+            Message::Drain,
+            Message::Error {
+                code: ERR_BAD_RESUME.into(),
+                msg: "stale".into(),
+            },
+        ];
+        let mut stream = Vec::new();
+        for m in &msgs {
+            assert!(Frame::encode_into(m, &mut stream) > 0);
+        }
+        // Feed the whole stream one byte at a time: every frame must
+        // come out exactly once, in order, across split length
+        // prefixes and split bodies.
+        for chunk in [1usize, 3, 7, stream.len()] {
+            let mut dec = Decoder::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                dec.feed(piece);
+                while let Some(m) = dec.next_msg().unwrap() {
+                    got.push(m);
+                }
+            }
+            assert_eq!(got, msgs, "chunk size {chunk}");
+            assert_eq!(dec.pending(), 0, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_an_oversized_prefix_before_the_body_arrives() {
+        let mut dec = Decoder::new();
+        dec.feed(&(MAX_FRAME as u32 + 1).to_be_bytes());
+        match dec.next_msg() {
+            Err(WireError::Oversized(n)) => assert_eq!(n, MAX_FRAME + 1),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decoder_consumes_a_garbage_frame_and_reports_it() {
+        let mut dec = Decoder::new();
+        let body = b"not json";
+        dec.feed(&(body.len() as u32).to_be_bytes());
+        dec.feed(body);
+        assert!(matches!(dec.next_msg(), Err(WireError::Garbage(_))));
+        // The broken frame was consumed; the buffer is clean.
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_bytes() {
+        let mut dec = Decoder::new();
+        let mut frame = Vec::new();
+        Frame::encode_into(&Message::request(), &mut frame);
+        for _ in 0..2048 {
+            dec.feed(&frame);
+            assert!(matches!(dec.next_msg(), Ok(Some(Message::Request { .. }))));
+        }
+        // Thousands of consumed frames must not accumulate: the lazy
+        // compaction keeps the internal buffer bounded by the
+        // compaction threshold plus one frame.
+        assert!(dec.buf.len() < 4096 + frame.len());
+    }
+
+    #[test]
+    fn stream_helpers_and_buffer_path_produce_identical_bytes() {
+        let msg = Message::Welcome {
+            worker: 3,
+            lease_ms: 500,
+            proto: PROTO_V2,
+            resume: Some("tok".into()),
+            tasks: vec![5],
+        };
+        let mut streamed = Vec::new();
+        write_msg(&mut streamed, &msg).unwrap();
+        let mut buffered = Vec::new();
+        let n = Frame::encode_into(&msg, &mut buffered);
+        assert_eq!(streamed, buffered);
+        assert_eq!(n, buffered.len());
+    }
 
     #[test]
     fn every_variant_round_trips_through_a_frame() {

@@ -19,13 +19,13 @@
 //! without a report.
 
 use std::collections::VecDeque;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use ic_dag::rng::XorShift64;
 
-use crate::wire::{read_msg, write_msg, Message, WireError, PROTO_CURRENT, PROTO_V2};
+use crate::wire::{Decoder, Frame, Message, WireError, PROTO_CURRENT, PROTO_V2};
 
 /// How (whether) a worker misbehaves — the `--flaky` fault-injection
 /// surface.
@@ -180,15 +180,43 @@ pub struct WorkerReport {
 }
 
 /// One live connection to the server (plus what its `welcome` said).
+/// Framing goes through the buffer-oriented [`Frame`]/[`Decoder`]
+/// path — the same code the reactor runs on its side of the wire.
 struct Session {
-    r: BufReader<TcpStream>,
-    w: BufWriter<TcpStream>,
+    stream: TcpStream,
+    dec: Decoder,
+    /// Reusable encode buffer.
+    wbuf: Vec<u8>,
     worker: u64,
     lease_ms: u64,
     /// Negotiated protocol version (the minimum of both sides').
     proto: u32,
     /// Resume token, when the (v2) server issued one.
     token: Option<String>,
+}
+
+impl Session {
+    /// Encode and transmit one frame.
+    fn send(&mut self, msg: &Message) -> io::Result<()> {
+        self.wbuf.clear();
+        Frame::encode_into(msg, &mut self.wbuf);
+        self.stream.write_all(&self.wbuf)
+    }
+
+    /// Block until the next complete frame arrives.
+    fn recv(&mut self) -> io::Result<Message> {
+        loop {
+            if let Some(msg) = self.dec.next_msg().map_err(to_io)? {
+                return Ok(msg);
+            }
+            let mut chunk = [0u8; 4096];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            self.dec.feed(&chunk[..n]);
+        }
+    }
 }
 
 /// Connect and register (fresh or with a resume token). Returns the
@@ -201,36 +229,35 @@ fn open(
 ) -> io::Result<(Session, Vec<u64>)> {
     let stream = TcpStream::connect(addr)?;
     let _ = stream.set_nodelay(true);
-    let write_stream = stream.try_clone()?;
-    let mut r = BufReader::new(stream);
-    let mut w = BufWriter::new(write_stream);
-    write_msg(
-        &mut w,
-        &Message::Hello {
-            id: cfg.id.clone(),
-            speed: cfg.speed,
-            proto: cfg.proto,
-            resume,
-        },
-    )?;
-    match read_msg(&mut r).map_err(to_io)? {
+    let mut sess = Session {
+        stream,
+        dec: Decoder::new(),
+        wbuf: Vec::new(),
+        worker: 0,
+        lease_ms: 0,
+        proto: PROTO_CURRENT,
+        token: None,
+    };
+    sess.send(&Message::Hello {
+        id: cfg.id.clone(),
+        speed: cfg.speed,
+        proto: cfg.proto,
+        resume,
+    })?;
+    match sess.recv()? {
         Message::Welcome {
             worker,
             lease_ms,
             proto,
             resume,
             tasks,
-        } => Ok((
-            Session {
-                r,
-                w,
-                worker,
-                lease_ms,
-                proto,
-                token: resume,
-            },
-            tasks,
-        )),
+        } => {
+            sess.worker = worker;
+            sess.lease_ms = lease_ms;
+            sess.proto = proto;
+            sess.token = resume;
+            Ok((sess, tasks))
+        }
         Message::Error { code, msg } => Err(io::Error::other(if code.is_empty() {
             msg
         } else {
@@ -263,15 +290,15 @@ pub fn run_worker(addr: impl ToSocketAddrs, cfg: &WorkerConfig) -> io::Result<Wo
             } else {
                 1
             };
-            write_msg(&mut sess.w, &Message::Request { max })?;
-            match read_msg(&mut sess.r).map_err(to_io)? {
+            sess.send(&Message::Request { max })?;
+            match sess.recv()? {
                 Message::Assign { tasks } => held.extend(tasks),
                 Message::Wait { ms } => {
                     std::thread::sleep(Duration::from_millis(ms.max(1)));
                     continue;
                 }
                 Message::Drain => {
-                    let _ = write_msg(&mut sess.w, &Message::Bye);
+                    let _ = sess.send(&Message::Bye);
                     return Ok(WorkerReport {
                         worker: sess.worker,
                         completed,
@@ -299,7 +326,7 @@ pub fn run_worker(addr: impl ToSocketAddrs, cfg: &WorkerConfig) -> io::Result<Wo
                 // Hold the task silently past several lease windows,
                 // then give up without reporting.
                 std::thread::sleep(Duration::from_millis(sess.lease_ms.saturating_mul(4)));
-                let _ = write_msg(&mut sess.w, &Message::Bye);
+                let _ = sess.send(&Message::Bye);
                 return Ok(WorkerReport {
                     worker: sess.worker,
                     completed,
@@ -412,8 +439,8 @@ fn compute_front(
         let mut i = 0;
         while i < held.len() {
             let t = held[i];
-            write_msg(&mut sess.w, &Message::Heartbeat { task: t })?;
-            match read_msg(&mut sess.r).map_err(to_io)? {
+            sess.send(&Message::Heartbeat { task: t })?;
+            match sess.recv()? {
                 Message::Ack { .. } => i += 1,
                 Message::Revoke { task: revoked } if revoked == t => {
                     held.remove(i);
@@ -426,9 +453,9 @@ fn compute_front(
         }
     }
     std::thread::sleep(Duration::from_millis(left));
-    write_msg(&mut sess.w, &Message::Done { task, ok: true })?;
+    sess.send(&Message::Done { task, ok: true })?;
     held.pop_front();
-    match read_msg(&mut sess.r).map_err(to_io)? {
+    match sess.recv()? {
         Message::Ack { accepted, .. } => Ok(if accepted {
             TaskOutcome::Accepted
         } else {

@@ -6,6 +6,13 @@
 //! tolerated, no IC0401/IC0402/IC0403; resumes and speculative
 //! re-leases tolerated, no IC0410-IC0412).
 
+// The hand-scripted protocol conversations below deliberately speak
+// through the deprecated stream shims: they are the compatibility
+// surface, and these tests pin that the shims still produce
+// byte-identical frames against the reactor. New code uses
+// `Frame`/`Decoder` (see `wire.rs` and `worker.rs`).
+#![allow(deprecated)]
+
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -619,6 +626,183 @@ fn request_while_leased_forfeits_the_old_task() {
         .count();
     assert_eq!(fails, 1, "trace records the forfeit");
     assert_audit_clean(&trace);
+}
+
+/// The reactor at fleet scale: 256 in-process workers — a mix of
+/// steady, randomly-dying, and connection-severing clients — against
+/// one single-threaded reactor, over real localhost TCP. The dag
+/// completes, every worker registers, and the trace replays clean.
+#[test]
+fn scale_smoke_256_flaky_workers_complete_audit_clean() {
+    const WORKERS: usize = 256;
+    let mesh = out_mesh(32); // 528 nodes
+    let sched = out_mesh_schedule(&mesh);
+    let cfg = ServerConfig::builder()
+        .lease_ms(2_000)
+        .backoff_base_ms(5)
+        .expect_workers(WORKERS)
+        .wait_ms(5)
+        .seed(77)
+        .batch(2)
+        .shards(64)
+        .build();
+    let server = Server::bind("127.0.0.1:0", &mesh, &sched, cfg).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let mut sink = MemorySink::new();
+    let (report, worker_reports) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|i| {
+                let fault = match i % 16 {
+                    7 => FaultPlan::Random(0.1),
+                    11 => FaultPlan::SeverAfter(2),
+                    _ => FaultPlan::None,
+                };
+                let cfg = WorkerConfig::builder()
+                    .id(format!("fleet-{i}"))
+                    .mean_ms(1)
+                    .fault(fault)
+                    .seed(1_000 + i as u64)
+                    .build();
+                s.spawn(move || run_worker(addr, &cfg))
+            })
+            .collect();
+        let report = server.run(&mut sink).unwrap();
+        let worker_reports: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        (report, worker_reports)
+    });
+
+    assert_eq!(report.completions, 528, "every task completes: {report:?}");
+    assert_eq!(report.workers_registered, WORKERS);
+    assert_eq!(report.allocations, report.completions + report.failures);
+    let completed: usize = worker_reports.iter().map(|r| r.completed).sum();
+    assert!(completed >= 528, "completions spread across the fleet");
+    let trace = sink.into_trace().expect("header written");
+    assert_eq!(trace.header.workers.len(), WORKERS);
+    assert_audit_clean(&trace);
+}
+
+/// A server killed mid-run leaves a *replayable* trace: the
+/// [`ic_sim::FileSink`] batches event lines but flushes whole lines on
+/// every lease-affecting event, so at any instant the bytes on disk
+/// parse as a trace whose only audit error can be the IC0405
+/// truncation finding — never a torn line, never incoherent custody.
+#[test]
+fn mid_run_trace_snapshot_is_replayable_with_at_most_ic0405() {
+    let dag = from_arcs(3, &[]).unwrap(); // three independent tasks
+    let policy = ic_sched::Schedule::in_id_order(&dag);
+    let cfg = ServerConfig::builder()
+        .lease_ms(10_000)
+        .backoff_base_ms(1)
+        .expect_workers(1)
+        .wait_ms(5)
+        .seed(13)
+        .build();
+    let server = Server::bind("127.0.0.1:0", &dag, &policy, cfg).unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let dir = std::env::temp_dir().join(format!("ic-net-killsnap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.jsonl");
+    let mut sink = ic_sim::FileSink::create(&path).unwrap();
+
+    let snapshot = std::thread::scope(|s| {
+        let path = &path;
+        let h = s.spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut r = BufReader::new(stream.try_clone().unwrap());
+            let mut w = BufWriter::new(stream);
+            write_msg(&mut w, &Message::hello("snapshooter", 1.0)).unwrap();
+            assert!(matches!(read_msg(&mut r).unwrap(), Message::Welcome { .. }));
+            write_msg(&mut w, &Message::request()).unwrap();
+            let Message::Assign { tasks } = read_msg(&mut r).unwrap() else {
+                panic!("expected the first assignment");
+            };
+            let first = tasks[0];
+            // Forfeit the held task by asking again: the `Failed`
+            // event is lease-affecting, so the sink flushes everything
+            // up to and including it.
+            write_msg(&mut w, &Message::request()).unwrap();
+            let Message::Assign { tasks } = read_msg(&mut r).unwrap() else {
+                panic!("expected the second assignment");
+            };
+            let second = tasks[0];
+            // One more round-trip so the previous dispatch (and its
+            // sink writes) has fully completed before we look.
+            write_msg(&mut w, &Message::Heartbeat { task: second }).unwrap();
+            assert!(matches!(
+                read_msg(&mut r).unwrap(),
+                Message::Ack { accepted: true, .. }
+            ));
+            // This is what a SIGKILL right now would leave on disk.
+            let snapshot = std::fs::read_to_string(path).unwrap();
+
+            // Then the run continues to completion as normal.
+            write_msg(
+                &mut w,
+                &Message::Done {
+                    task: second,
+                    ok: true,
+                },
+            )
+            .unwrap();
+            assert!(matches!(
+                read_msg(&mut r).unwrap(),
+                Message::Ack { accepted: true, .. }
+            ));
+            loop {
+                write_msg(&mut w, &Message::request()).unwrap();
+                match read_msg(&mut r).unwrap() {
+                    Message::Assign { tasks } => {
+                        for t in tasks {
+                            write_msg(&mut w, &Message::Done { task: t, ok: true }).unwrap();
+                            assert!(matches!(
+                                read_msg(&mut r).unwrap(),
+                                Message::Ack { accepted: true, .. }
+                            ));
+                        }
+                    }
+                    Message::Wait { ms } => std::thread::sleep(Duration::from_millis(ms.max(1))),
+                    Message::Drain => break,
+                    other => panic!("unexpected reply {other:?}"),
+                }
+            }
+            write_msg(&mut w, &Message::Bye).unwrap();
+            let _ = first;
+            snapshot
+        });
+        server.run(&mut sink).unwrap();
+        h.join().unwrap()
+    });
+    sink.finish().unwrap();
+
+    // The mid-run snapshot: parses, and replays with *at most* the
+    // truncation finding — no custody or pool-coherence errors.
+    let snap = Trace::from_jsonl(&snapshot).expect("snapshot is whole lines");
+    assert!(
+        snap.events
+            .iter()
+            .any(|e| matches!(e, ic_sim::TraceEvent::Failed { .. })),
+        "the flush point (the forfeit) is in the snapshot: {:?}",
+        snap.events
+    );
+    let errors: Vec<_> = audit_trace(&snap)
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    assert!(
+        errors.iter().all(|d| d.code == "IC0405"),
+        "only truncation may be reported: {errors:?}"
+    );
+
+    // The finished file replays fully clean.
+    let full = Trace::from_jsonl(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(full.completion_order().len(), 3);
+    assert_audit_clean(&full);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// A connection that opens with anything but `hello` gets a protocol

@@ -365,26 +365,41 @@ impl TraceSink for MemorySink {
     }
 }
 
-/// Streams a run's trace to a JSONL file *incrementally*: the header
-/// line is written by [`TraceSink::header`], and every event line is
-/// written and flushed as it is recorded. Long server runs therefore
-/// never buffer their trace in memory, and a killed process loses at
-/// most the event in flight — the file on disk is a valid (possibly
-/// IC0405-truncated) trace at every instant.
+/// Streams a run's trace to a JSONL file in *whole-line batches*.
+///
+/// Event lines accumulate in an internal buffer holding only complete
+/// lines, flushed to the OS:
+///
+/// * when the buffer exceeds [`FileSink::BATCH_BYTES`],
+/// * immediately after the header line,
+/// * on every *lease-affecting* event (`Failed`, `Resumed`,
+///   `Speculated`, `Revoked`) — the records an audit of a crashed run
+///   most needs in order to explain task custody,
+/// * and at [`FileSink::finish`] (or drop).
+///
+/// Long server runs therefore never buffer their trace in memory nor
+/// pay one `write(2)` per allocation, and because flushes happen only
+/// on line boundaries, a killed process leaves a valid — possibly
+/// IC0405-truncated — trace on disk at every instant.
 ///
 /// I/O errors are sticky: the first one is kept and every later write
 /// is skipped; [`FileSink::finish`] surfaces it.
 #[derive(Debug)]
 pub struct FileSink {
-    out: io::BufWriter<std::fs::File>,
+    out: std::fs::File,
+    buf: String,
     err: Option<io::Error>,
 }
 
 impl FileSink {
+    /// Buffered bytes past which the next line triggers a flush.
+    pub const BATCH_BYTES: usize = 16 * 1024;
+
     /// Create (truncating) the trace file at `path`.
     pub fn create(path: impl AsRef<Path>) -> io::Result<FileSink> {
         Ok(FileSink {
-            out: io::BufWriter::new(std::fs::File::create(path)?),
+            out: std::fs::File::create(path)?,
+            buf: String::new(),
             err: None,
         })
     }
@@ -393,31 +408,58 @@ impl FileSink {
         if self.err.is_some() {
             return;
         }
-        let r = self
-            .out
-            .write_all(line.as_bytes())
-            .and_then(|()| self.out.flush());
-        if let Err(e) = r {
+        self.buf.push_str(line);
+        if self.buf.len() >= FileSink::BATCH_BYTES {
+            self.flush_lines();
+        }
+    }
+
+    /// Push every buffered (complete) line to the OS.
+    fn flush_lines(&mut self) {
+        if self.err.is_some() || self.buf.is_empty() {
+            return;
+        }
+        if let Err(e) = self.out.write_all(self.buf.as_bytes()) {
             self.err = Some(e);
         }
+        self.buf.clear();
     }
 
     /// Flush and close, surfacing the first write error if any.
     pub fn finish(mut self) -> io::Result<()> {
+        self.flush_lines();
         match self.err.take() {
             Some(e) => Err(e),
-            None => self.out.flush(),
+            None => Ok(()),
         }
+    }
+}
+
+impl Drop for FileSink {
+    fn drop(&mut self) {
+        self.flush_lines();
     }
 }
 
 impl TraceSink for FileSink {
     fn header(&mut self, header: &TraceHeader) {
         self.write_line(&header.to_json_line());
+        // The header is the one line without which the file is not a
+        // trace at all — put it on disk before serving starts.
+        self.flush_lines();
     }
 
     fn record(&mut self, event: &TraceEvent) {
         self.write_line(&event.to_json_line());
+        if matches!(
+            event,
+            TraceEvent::Failed { .. }
+                | TraceEvent::Resumed { .. }
+                | TraceEvent::Speculated { .. }
+                | TraceEvent::Revoked { .. }
+        ) {
+            self.flush_lines();
+        }
     }
 }
 
@@ -970,6 +1012,52 @@ mod tests {
         let back = Trace::from_jsonl(&std::fs::read_to_string(&path).unwrap()).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn file_sink_killed_mid_run_leaves_a_replayable_trace() {
+        // Simulate a SIGKILL between flushes: the sink is leaked
+        // (destructor never runs, like a killed process), and the
+        // bytes on disk must still parse as a trace — batching may
+        // lose *whole trailing lines*, never corrupt one.
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("ic-sim-filesink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-kill-{}.jsonl", std::process::id()));
+        let mut sink = FileSink::create(&path).unwrap();
+        sink.header(&t.header);
+        sink.record(&t.events[0]); // alloc: buffered
+        sink.record(&t.events[3]); // failed: lease-affecting, flushes
+        sink.record(&t.events[1]); // idle: buffered, will be lost
+        std::mem::forget(sink);
+        let back = Trace::from_jsonl(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        // Header plus everything up to the lease-affecting event
+        // survive; the buffered tail is gone but nothing is mangled.
+        assert_eq!(back.header, t.header);
+        assert_eq!(back.events, vec![t.events[0].clone(), t.events[3].clone()]);
+    }
+
+    #[test]
+    fn file_sink_flushes_once_the_batch_fills() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("ic-sim-filesink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-batch-{}.jsonl", std::process::id()));
+        let mut sink = FileSink::create(&path).unwrap();
+        sink.header(&t.header);
+        let header_bytes = std::fs::metadata(&path).unwrap().len();
+        // Non-lease-affecting events buffer until BATCH_BYTES…
+        sink.record(&t.events[0]);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), header_bytes);
+        // …and spill once the batch fills.
+        while std::fs::metadata(&path).unwrap().len() == header_bytes {
+            sink.record(&t.events[1]);
+        }
+        sink.finish().unwrap();
+        let back = Trace::from_jsonl(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(back.events.len() > 2);
     }
 
     #[test]

@@ -45,8 +45,15 @@ IC_BENCH_MS=5 IC_BENCH_JSON="$PWD/target/verify/BENCH.json" \
     cargo bench --offline -p ic-bench --bench eligibility > /dev/null
 IC_BENCH_MS=5 IC_BENCH_JSON="$PWD/target/verify/BENCH.json" IC_BENCH_APPEND=1 \
     cargo bench --offline -p ic-bench --bench check > /dev/null
+# Reactor scale smoke: one 1000-worker loopback fleet (healthy + flaky
+# + severing mix) through the event-driven server, recording
+# allocations/sec, p99 assign latency, and drain time. `timeout`
+# bounds a reactor hang; the numbers are informational, but the run
+# itself asserts full completion and fault recovery.
+IC_NET_FLEETS=1000 IC_BENCH_JSON="$PWD/target/verify/BENCH.json" IC_BENCH_APPEND=1 \
+    timeout 120 cargo bench --offline -p ic-bench --bench net > /dev/null
 ./target/release/bench-check target/verify/BENCH.json \
-    envelope envelope-naive exec-state check
+    envelope envelope-naive exec-state check net
 
 echo "==> ic-prio audit --claims"
 ./target/release/ic-prio audit --claims
